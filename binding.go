@@ -1,0 +1,407 @@
+package scidb
+
+import (
+	"fmt"
+
+	"scidb/internal/parser"
+)
+
+// Query is the fluent Go language binding (§2.4): it builds the same parse
+// tree the AQL text parser produces, "fit[ting] large array manipulation
+// cleanly into the target language using the control structures of the
+// language in question" — no ODBC/JDBC-style data sublanguage.
+type Query struct {
+	expr parser.ArrayExpr
+	err  error
+}
+
+// Scan starts a query from a stored array.
+func Scan(name string) Query { return Query{expr: &parser.Ref{Name: name}} }
+
+// Version starts a query from a named version of an updatable array.
+func Version(arrayName, versionName string) Query {
+	return Query{expr: &parser.VersionExpr{Array: arrayName, Name: versionName}}
+}
+
+// stmt finalizes the query into a statement.
+func (q Query) stmt() (parser.Stmt, error) {
+	if q.err != nil {
+		return nil, q.err
+	}
+	return &parser.Query{Expr: q.expr}, nil
+}
+
+// Q returns the query itself (readability sugar for db.Run(... .Q())).
+func (q Query) Q() Query { return q }
+
+// StoreInto turns the query into a STORE statement builder.
+func (q Query) StoreInto(target string) Store {
+	return Store{expr: q.expr, target: target, err: q.err}
+}
+
+// Store is a terminal STORE statement.
+type Store struct {
+	expr   parser.ArrayExpr
+	target string
+	err    error
+}
+
+// Run executes the store.
+func (s Store) Run(db *DB) (*Result, error) {
+	if s.err != nil {
+		return nil, s.err
+	}
+	return db.core.Run(&parser.Store{Expr: s.expr, Target: s.target})
+}
+
+func (q Query) fail(format string, args ...interface{}) Query {
+	if q.err == nil {
+		q.err = fmt.Errorf(format, args...)
+	}
+	return q
+}
+
+// Subsample adds a dimension comparison conjunct (op in <,<=,>,>=,=,!=).
+func (q Query) Subsample(dim, op string, v int64) Query {
+	if q.err != nil {
+		return q
+	}
+	switch op {
+	case "<", "<=", ">", ">=", "=", "!=":
+	default:
+		return q.fail("scidb: bad subsample operator %q", op)
+	}
+	return q.mergeSubsample(parser.DimCond{Dim: dim, Op: op, Value: v})
+}
+
+// SubsampleEven adds the paper's even(dim) conjunct.
+func (q Query) SubsampleEven(dim string) Query {
+	if q.err != nil {
+		return q
+	}
+	return q.mergeSubsample(parser.DimCond{Dim: dim, Op: "even"})
+}
+
+// SubsampleOdd adds odd(dim).
+func (q Query) SubsampleOdd(dim string) Query {
+	if q.err != nil {
+		return q
+	}
+	return q.mergeSubsample(parser.DimCond{Dim: dim, Op: "odd"})
+}
+
+// mergeSubsample folds consecutive subsample calls into one conjunction,
+// matching the operator's conjunction-of-per-dimension-conditions contract.
+func (q Query) mergeSubsample(c parser.DimCond) Query {
+	if ss, ok := q.expr.(*parser.SubsampleExpr); ok {
+		ss.Pred = append(ss.Pred, c)
+		return q
+	}
+	q.expr = &parser.SubsampleExpr{In: q.expr, Pred: []parser.DimCond{c}}
+	return q
+}
+
+// Filter applies a value predicate.
+func (q Query) Filter(pred Expr) Query {
+	if q.err != nil {
+		return q
+	}
+	if pred.err != nil {
+		q.err = pred.err
+		return q
+	}
+	q.expr = &parser.FilterExpr{In: q.expr, Pred: pred.node}
+	return q
+}
+
+// Aggregate groups on dimensions and applies aggregate specs.
+func (q Query) Aggregate(groupDims []string, aggs ...AggSpec) Query {
+	if q.err != nil {
+		return q
+	}
+	if len(aggs) == 0 {
+		return q.fail("scidb: aggregate needs at least one aggregate")
+	}
+	node := &parser.AggregateExpr{In: q.expr, GroupDims: groupDims}
+	for _, a := range aggs {
+		node.Aggs = append(node.Aggs, parser.AggSpec(a))
+	}
+	q.expr = node
+	return q
+}
+
+// AggSpec names one aggregate: function, attribute ("*" = first), alias.
+type AggSpec struct {
+	Func string
+	Attr string
+	As   string
+}
+
+// Sum builds sum(attr).
+func Sum(attr string) AggSpec { return AggSpec{Func: "sum", Attr: attr} }
+
+// Count builds count(attr).
+func Count(attr string) AggSpec { return AggSpec{Func: "count", Attr: attr} }
+
+// Avg builds avg(attr).
+func Avg(attr string) AggSpec { return AggSpec{Func: "avg", Attr: attr} }
+
+// Min builds min(attr).
+func Min(attr string) AggSpec { return AggSpec{Func: "min", Attr: attr} }
+
+// Max builds max(attr).
+func Max(attr string) AggSpec { return AggSpec{Func: "max", Attr: attr} }
+
+// Stdev builds stdev(attr).
+func Stdev(attr string) AggSpec { return AggSpec{Func: "stdev", Attr: attr} }
+
+// Agg builds a named (possibly user-defined) aggregate.
+func Agg(fn, attr string) AggSpec { return AggSpec{Func: fn, Attr: attr} }
+
+// Sjoin joins with another query on dimension pairs "l=r".
+func (q Query) Sjoin(right Query, onLeft, onRight []string) Query {
+	if q.err != nil {
+		return q
+	}
+	if right.err != nil {
+		q.err = right.err
+		return q
+	}
+	if len(onLeft) != len(onRight) || len(onLeft) == 0 {
+		return q.fail("scidb: sjoin needs matching non-empty dimension lists")
+	}
+	node := &parser.SjoinExpr{L: q.expr, R: right.expr}
+	for i := range onLeft {
+		node.On = append(node.On, parser.JoinPair{Left: onLeft[i], Right: onRight[i]})
+	}
+	q.expr = node
+	return q
+}
+
+// Cjoin joins with another query on a value predicate.
+func (q Query) Cjoin(right Query, pred Expr) Query {
+	if q.err != nil {
+		return q
+	}
+	if right.err != nil {
+		q.err = right.err
+		return q
+	}
+	if pred.err != nil {
+		q.err = pred.err
+		return q
+	}
+	q.expr = &parser.CjoinExpr{L: q.expr, R: right.expr, Pred: pred.node}
+	return q
+}
+
+// Apply computes a new attribute per cell.
+func (q Query) Apply(name string, e Expr) Query {
+	if q.err != nil {
+		return q
+	}
+	if e.err != nil {
+		q.err = e.err
+		return q
+	}
+	if ap, ok := q.expr.(*parser.ApplyExpr); ok {
+		ap.Names = append(ap.Names, name)
+		ap.Exprs = append(ap.Exprs, e.node)
+		return q
+	}
+	q.expr = &parser.ApplyExpr{In: q.expr, Names: []string{name}, Exprs: []parser.ValExpr{e.node}}
+	return q
+}
+
+// Project keeps only the named attributes.
+func (q Query) Project(attrs ...string) Query {
+	if q.err != nil {
+		return q
+	}
+	if len(attrs) == 0 {
+		return q.fail("scidb: project needs attributes")
+	}
+	q.expr = &parser.ProjectExpr{In: q.expr, Attrs: attrs}
+	return q
+}
+
+// Reshape relinearizes into new dimensions; order lists input dims slowest
+// first, dims are name->high pairs applied in order.
+func (q Query) Reshape(order []string, names []string, highs []int64) Query {
+	if q.err != nil {
+		return q
+	}
+	if len(names) != len(highs) {
+		return q.fail("scidb: reshape names/highs mismatch")
+	}
+	node := &parser.ReshapeExpr{In: q.expr, Order: order}
+	for i := range names {
+		node.NewDims = append(node.NewDims, parser.NewDim{Name: names[i], High: highs[i]})
+	}
+	q.expr = node
+	return q
+}
+
+// Regrid coarsens by strides, aggregating each block.
+func (q Query) Regrid(strides []int64, agg AggSpec) Query {
+	if q.err != nil {
+		return q
+	}
+	q.expr = &parser.RegridExpr{In: q.expr, Strides: strides, Agg: parser.AggSpec(agg)}
+	return q
+}
+
+// Window applies a moving-window aggregate with the given radii.
+func (q Query) Window(radius []int64, agg AggSpec) Query {
+	if q.err != nil {
+		return q
+	}
+	q.expr = &parser.WindowExpr{In: q.expr, Radius: radius, Agg: parser.AggSpec(agg)}
+	return q
+}
+
+// Cross takes the cross product with another query.
+func (q Query) Cross(right Query) Query {
+	if q.err != nil {
+		return q
+	}
+	if right.err != nil {
+		q.err = right.err
+		return q
+	}
+	q.expr = &parser.CrossExpr{L: q.expr, R: right.expr}
+	return q
+}
+
+// Concat appends another query along a dimension.
+func (q Query) Concat(right Query, dim string) Query {
+	if q.err != nil {
+		return q
+	}
+	if right.err != nil {
+		q.err = right.err
+		return q
+	}
+	q.expr = &parser.ConcatExpr{L: q.expr, R: right.expr, Dim: dim}
+	return q
+}
+
+// AddDim prepends a size-1 dimension.
+func (q Query) AddDim(name string) Query {
+	if q.err != nil {
+		return q
+	}
+	q.expr = &parser.AddDimExpr{In: q.expr, Name: name}
+	return q
+}
+
+// RemDim removes an extent-1 dimension.
+func (q Query) RemDim(name string) Query {
+	if q.err != nil {
+		return q
+	}
+	q.expr = &parser.RemDimExpr{In: q.expr, Name: name}
+	return q
+}
+
+// --- scalar expression builder ---------------------------------------------
+
+// Expr builds value expressions for Filter, Apply, and Cjoin.
+type Expr struct {
+	node parser.ValExpr
+	err  error
+}
+
+// Attr references an attribute (optionally qualified, "B.val").
+func Attr(name string) Expr { return Expr{node: &parser.Ident{Name: name}} }
+
+// Dim references a dimension value.
+func Dim(name string) Expr { return Expr{node: &parser.Ident{Name: name}} }
+
+// Num is a float literal.
+func Num(v float64) Expr { return Expr{node: &parser.Lit{V: parser.Scalar{Num: v}}} }
+
+// IntLit is an integer literal.
+func IntLit(v int64) Expr {
+	return Expr{node: &parser.Lit{V: parser.Scalar{IsInt: true, Int: v, Num: float64(v)}}}
+}
+
+// StrLit is a string literal.
+func StrLit(s string) Expr { return Expr{node: &parser.Lit{V: parser.Scalar{IsString: true, Str: s}}} }
+
+// NullLit is a NULL literal.
+func NullLit() Expr { return Expr{node: &parser.Lit{V: parser.Scalar{IsNull: true}}} }
+
+// UncertainLit is a float literal with an error bar.
+func UncertainLit(v, sigma float64) Expr {
+	return Expr{node: &parser.Lit{V: parser.Scalar{Num: v, Sigma: sigma}}}
+}
+
+// CallUDF invokes a registered UDF.
+func CallUDF(name string, args ...Expr) Expr {
+	call := &parser.CallExpr{Name: name}
+	for _, a := range args {
+		if a.err != nil {
+			return Expr{err: a.err}
+		}
+		call.Args = append(call.Args, a.node)
+	}
+	return Expr{node: call}
+}
+
+func (e Expr) bin(op string, r Expr) Expr {
+	if e.err != nil {
+		return e
+	}
+	if r.err != nil {
+		return r
+	}
+	return Expr{node: &parser.BinExpr{Op: op, L: e.node, R: r.node}}
+}
+
+// Add is e + r.
+func (e Expr) Add(r Expr) Expr { return e.bin("+", r) }
+
+// Sub is e − r.
+func (e Expr) Sub(r Expr) Expr { return e.bin("-", r) }
+
+// Mul is e × r.
+func (e Expr) Mul(r Expr) Expr { return e.bin("*", r) }
+
+// Div is e ÷ r.
+func (e Expr) Div(r Expr) Expr { return e.bin("/", r) }
+
+// Mod is e % r.
+func (e Expr) Mod(r Expr) Expr { return e.bin("%", r) }
+
+// Eq is e = r.
+func (e Expr) Eq(r Expr) Expr { return e.bin("=", r) }
+
+// Ne is e != r.
+func (e Expr) Ne(r Expr) Expr { return e.bin("!=", r) }
+
+// Lt is e < r.
+func (e Expr) Lt(r Expr) Expr { return e.bin("<", r) }
+
+// Le is e <= r.
+func (e Expr) Le(r Expr) Expr { return e.bin("<=", r) }
+
+// Gt is e > r.
+func (e Expr) Gt(r Expr) Expr { return e.bin(">", r) }
+
+// Ge is e >= r.
+func (e Expr) Ge(r Expr) Expr { return e.bin(">=", r) }
+
+// And is e and r.
+func (e Expr) And(r Expr) Expr { return e.bin("and", r) }
+
+// Or is e or r.
+func (e Expr) Or(r Expr) Expr { return e.bin("or", r) }
+
+// Not negates e.
+func (e Expr) Not() Expr {
+	if e.err != nil {
+		return e
+	}
+	return Expr{node: &parser.NotExpr{E: e.node}}
+}

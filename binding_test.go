@@ -1,0 +1,142 @@
+package scidb
+
+import (
+	"testing"
+)
+
+// TestBindingFullSurface exercises every fluent combinator end to end,
+// verifying it against the equivalent AQL text (the two bindings must be
+// indistinguishable at the executor).
+func TestBindingFullSurface(t *testing.T) {
+	db := Open()
+	fill4x4(t, db, "A")
+
+	check := func(name string, q Query, aql string) {
+		t.Helper()
+		got, err := db.Run(q)
+		if err != nil {
+			t.Fatalf("%s (go): %v", name, err)
+		}
+		want, err := db.Exec(aql)
+		if err != nil {
+			t.Fatalf("%s (aql): %v", name, err)
+		}
+		if got.Array.Count() != want.Array.Count() {
+			t.Fatalf("%s: go %d cells, aql %d cells", name, got.Array.Count(), want.Array.Count())
+		}
+		want.Array.Iter(func(c Coord, cell Cell) bool {
+			g, ok := got.Array.At(c)
+			if !ok {
+				t.Fatalf("%s: cell %v missing in go result", name, c)
+			}
+			for i := range cell {
+				if cell[i].String() != g[i].String() {
+					t.Fatalf("%s: cell %v attr %d: go %v, aql %v", name, c, i, g[i], cell[i])
+				}
+			}
+			return true
+		})
+	}
+
+	check("odd-subsample",
+		Scan("A").SubsampleOdd("x"),
+		"subsample(A, odd(x))")
+	check("window",
+		Scan("A").Window([]int64{1, 1}, Avg("v")),
+		"window(A, [1, 1], avg(v))")
+	check("min-max-stdev",
+		Scan("A").Aggregate([]string{"x"}, Min("v"), Max("v"), Stdev("v"), Avg("v")),
+		"aggregate(A, {x}, min(v), max(v), stdev(v), avg(v))")
+	// Method chaining is left-associative, so the AQL twin needs explicit
+	// parentheses to express the same tree.
+	check("arith-kitchen-sink",
+		Scan("A").Apply("e",
+			Attr("v").Add(IntLit(1)).Sub(IntLit(2)).Mul(IntLit(3)).Div(IntLit(2)).Mod(IntLit(7))),
+		"apply(A, e = ((((v + 1) - 2) * 3) / 2) % 7)")
+	check("logic-kitchen-sink",
+		Scan("A").Filter(
+			Attr("v").Ne(IntLit(4)).And(Attr("v").Lt(IntLit(12))).
+				Or(Attr("v").Ge(IntLit(15))).And(Attr("v").Le(IntLit(16)).Not().Not())),
+		"filter(A, (v != 4 and v < 12 or v >= 15) and not not v <= 16)")
+	check("cross",
+		Scan("A").SubsampleEven("x").SubsampleEven("y").Cross(Scan("A").Subsample("x", "=", 1).Subsample("y", "=", 1)),
+		"cross(subsample(A, even(x) and even(y)), subsample(A, x = 1 and y = 1))")
+	check("adddim-remdim",
+		Scan("A").AddDim("layer").RemDim("layer"),
+		"remdim(adddim(A, layer), layer)")
+	check("concat",
+		Scan("A").Concat(Scan("A"), "x"),
+		"concat(A, A, x)")
+
+	// String/null/uncertain literals through Apply.
+	res, err := db.Run(Scan("A").
+		Apply("s", StrLit("tag")).
+		Apply("n", NullLit()).
+		Apply("u", UncertainLit(5, 0.5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cell, _ := res.Array.At(Coord{1, 1})
+	if cell[1].Str != "tag" || !cell[2].Null || cell[3].Sigma != 0.5 {
+		t.Errorf("literals = %v", cell)
+	}
+}
+
+func TestBindingVersionAndQ(t *testing.T) {
+	db := Open()
+	if _, err := db.Exec("define updatable array U (v = float) (x)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec("create array M as U [4]"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec("insert into M [1] values (10)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec("create version side from M"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.Run(Version("M", "side").Q())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cell, ok := res.Array.At(Coord{1})
+	if !ok || cell[0].Float != 10 {
+		t.Errorf("version read = %v,%v", cell, ok)
+	}
+	if _, err := db.Run(Version("M", "ghost")); err == nil {
+		t.Error("unknown version accepted")
+	}
+}
+
+func TestBindingCallUDFErrorPropagation(t *testing.T) {
+	db := Open()
+	fill4x4(t, db, "A")
+	bad := CallUDF("f", Expr{err: errSentinel})
+	if _, err := db.Run(Scan("A").Apply("x", bad)); err == nil {
+		t.Error("arg error swallowed")
+	}
+	// Window/Cross/Concat propagate prior errors.
+	broken := Scan("A").Subsample("x", "~", 0)
+	if _, err := db.Run(broken.Window([]int64{1, 1}, Sum("v"))); err == nil {
+		t.Error("window swallowed error")
+	}
+	if _, err := db.Run(Scan("A").Cross(broken)); err == nil {
+		t.Error("cross swallowed right error")
+	}
+	if _, err := db.Run(Scan("A").Concat(broken, "x")); err == nil {
+		t.Error("concat swallowed right error")
+	}
+	if _, err := db.Run(Scan("A").Cjoin(broken, Attr("v").Eq(IntLit(1)))); err == nil {
+		t.Error("cjoin swallowed right error")
+	}
+	if _, err := db.Run(Scan("A").Reshape([]string{"x", "y"}, []string{"i"}, []int64{16, 1})); err == nil {
+		t.Error("reshape arity mismatch accepted")
+	}
+}
+
+var errSentinel = errFor("sentinel")
+
+type errFor string
+
+func (e errFor) Error() string { return string(e) }

@@ -1,0 +1,49 @@
+// Command scidb-bench runs the paper-reproduction experiment suite: one
+// experiment per figure and quantified claim (see DESIGN.md and
+// EXPERIMENTS.md). With no flags it runs everything at full size.
+//
+//	scidb-bench [-exp ID[,ID...]] [-quick] [-list]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"scidb/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "", "comma-separated experiment ids (default: all)")
+	quick := flag.Bool("quick", false, "shrink workloads for a fast smoke run")
+	list := flag.Bool("list", false, "list experiments and exit")
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+	var runs []*experiments.Experiment
+	if *exp == "" {
+		runs = experiments.All()
+	} else {
+		for _, id := range strings.Split(*exp, ",") {
+			id = strings.TrimSpace(strings.ToUpper(id))
+			e, ok := experiments.ByID(id)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", id)
+				os.Exit(2)
+			}
+			runs = append(runs, e)
+		}
+	}
+	for _, e := range runs {
+		if err := e.Run(os.Stdout, *quick); err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,34 @@
+// Command scidb-server runs one shared-nothing grid worker (§2.7). A
+// coordinator (cmd/scidb-load, the examples, or library users via
+// cluster.DialTCP) connects over TCP and drives it with gob-framed
+// messages.
+//
+//	scidb-server -listen 127.0.0.1:7101 -id 0
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+
+	"scidb/internal/cluster"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:7101", "address to listen on")
+	id := flag.Int("id", 0, "node id")
+	flag.Parse()
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "listen:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("scidb-server node %d listening on %s\n", *id, ln.Addr())
+	w := cluster.NewWorker(*id)
+	if err := cluster.Serve(ln, w); err != nil {
+		fmt.Fprintln(os.Stderr, "serve:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,3 @@
+module scidb
+
+go 1.22

@@ -1,0 +1,509 @@
+package array
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Enhancement attaches a pseudo-coordinate system to a basic array (§2.1):
+// any function over the integer dimensions — transposition, scaling,
+// translation, irregular coordinates, Mercator geometry, wall-clock time for
+// the history dimension. The basic [ ... ] addressing keeps working; the
+// enhanced { ... } addressing resolves through the enhancement. The array
+// model does not dictate how pseudo-coordinates are implemented; this is the
+// paper's "functional representation" option.
+type Enhancement interface {
+	// Name identifies the enhancement (the UDF name it was created from).
+	Name() string
+	// OutDims names the pseudo-coordinates this enhancement adds.
+	OutDims() []string
+	// Map converts a basic integer coordinate to pseudo-coordinate values.
+	Map(basic Coord) []Value
+	// Invert converts pseudo-coordinate values back to a basic coordinate.
+	// ok is false when the pseudo-coordinates address no cell.
+	Invert(pseudo []Value) (basic Coord, ok bool)
+}
+
+// ShapeFunc defines ragged (non-rectangular) array boundaries (§2.1): a
+// user-defined function with integer arguments returning low- and high-water
+// marks. Arrays that digitize circles and other complex shapes are possible.
+type ShapeFunc interface {
+	// Name identifies the shape function.
+	Name() string
+	// Contains reports whether the coordinate is inside the ragged boundary.
+	Contains(c Coord) bool
+	// Bounds returns the minimum low-water and maximum high-water mark of
+	// dimension dim when the other dimensions are fixed as given; entries of
+	// fixed that are 0 are unspecified (the paper's shape-function(A[7,*])
+	// and shape-function(A[I,*]) queries).
+	Bounds(dim int, fixed Coord) (lo, hi int64)
+}
+
+// Array is a physical array instance: a schema plus a set of rectangular
+// chunks laid out on a regular chunking grid, with optional enhancements
+// and at most one shape function (§2.1).
+type Array struct {
+	Schema *Schema
+	// chunks maps chunk-origin keys to chunks.
+	chunks map[string]*Chunk
+	// hwm is the observed high-water mark per dimension; for bounded
+	// dimensions it equals the declared bound.
+	hwm []int64
+	// Enhancements added with "Enhance A with f".
+	Enhancements []Enhancement
+	// Shape is the optional shape function added with "Shape A with f".
+	Shape ShapeFunc
+	// last caches the most recently touched chunk; sequential access
+	// patterns (loads, scans) hit it almost always. Arrays are not safe
+	// for concurrent mutation, so a plain cache is fine.
+	last    *Chunk
+	lastBox Box
+	// sorted caches the origin-ordered chunk list; invalidated when the
+	// chunk population changes.
+	sorted []*Chunk
+}
+
+// New creates an empty array instance of the schema. The schema is validated.
+func New(s *Schema) (*Array, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	a := &Array{Schema: s, chunks: map[string]*Chunk{}}
+	a.hwm = make([]int64, len(s.Dims))
+	for i, d := range s.Dims {
+		if d.High != Unbounded {
+			a.hwm[i] = d.High
+		}
+	}
+	return a, nil
+}
+
+// MustNew is New for statically correct schemas; it panics on error.
+func MustNew(s *Schema) *Array {
+	a, err := New(s)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// Hwm returns the current high-water mark of dimension i (for unbounded
+// dimensions, the largest coordinate written so far).
+func (a *Array) Hwm(i int) int64 { return a.hwm[i] }
+
+// Bounds returns the current effective bounds of all dimensions.
+func (a *Array) Bounds() []int64 { return append([]int64(nil), a.hwm...) }
+
+// chunkOrigin returns the origin of the chunk containing c.
+func (a *Array) chunkOrigin(c Coord) Coord {
+	o := make(Coord, len(c))
+	for i, d := range a.Schema.Dims {
+		cl := d.ChunkLen
+		if cl <= 0 {
+			if d.High != Unbounded {
+				o[i] = 1
+				continue
+			}
+			cl = 64 // default stride for unbounded dimensions
+		}
+		o[i] = ((c[i]-1)/cl)*cl + 1
+	}
+	return o
+}
+
+// chunkShape returns the shape of the chunk at the given origin.
+func (a *Array) chunkShape(origin Coord) []int64 {
+	sh := make([]int64, len(origin))
+	for i, d := range a.Schema.Dims {
+		cl := d.ChunkLen
+		if cl <= 0 {
+			if d.High != Unbounded {
+				sh[i] = d.High
+				continue
+			}
+			cl = 64
+		}
+		sh[i] = cl
+		if d.High != Unbounded && origin[i]+cl-1 > d.High {
+			sh[i] = d.High - origin[i] + 1
+		}
+	}
+	return sh
+}
+
+// checkCoord validates a coordinate against dimensionality, bounds, and the
+// shape function if any.
+func (a *Array) checkCoord(c Coord) error {
+	if len(c) != len(a.Schema.Dims) {
+		return fmt.Errorf("array %s: coordinate %v has %d dims, want %d", a.Schema.Name, c, len(c), len(a.Schema.Dims))
+	}
+	for i, d := range a.Schema.Dims {
+		if c[i] < 1 {
+			return fmt.Errorf("array %s: coordinate %v below 1 in dimension %s", a.Schema.Name, c, d.Name)
+		}
+		if d.High != Unbounded && c[i] > d.High {
+			return fmt.Errorf("array %s: coordinate %v exceeds high-water mark %d in dimension %s", a.Schema.Name, c, d.High, d.Name)
+		}
+	}
+	if a.Shape != nil && !a.Shape.Contains(c) {
+		return fmt.Errorf("array %s: coordinate %v outside shape function %s", a.Schema.Name, c, a.Shape.Name())
+	}
+	return nil
+}
+
+// chunkFor returns the chunk containing c, allocating it if create is set,
+// consulting the last-chunk cache first.
+func (a *Array) chunkFor(c Coord, create bool) *Chunk {
+	if a.last != nil && a.lastBox.Contains(c) {
+		return a.last
+	}
+	o := a.chunkOrigin(c)
+	key := o.Key()
+	ch, ok := a.chunks[key]
+	if !ok {
+		if !create {
+			return nil
+		}
+		ch = NewChunk(a.Schema, o, a.chunkShape(o))
+		a.chunks[key] = ch
+		a.sorted = nil
+	}
+	a.last = ch
+	a.lastBox = ch.Box()
+	return ch
+}
+
+// Set writes a cell at the coordinate.
+func (a *Array) Set(c Coord, cell Cell) error {
+	if err := a.checkCoord(c); err != nil {
+		return err
+	}
+	ch := a.chunkFor(c, true)
+	for i := range c {
+		if c[i] > a.hwm[i] {
+			a.hwm[i] = c[i]
+		}
+	}
+	return ch.Set(c, cell)
+}
+
+// At returns the cell at the coordinate. ok is false for absent cells.
+// Exists?[A, c...] (§2.2.1) is At with the ok result.
+func (a *Array) At(c Coord) (Cell, bool) {
+	if err := a.checkCoord(c); err != nil {
+		return nil, false
+	}
+	ch := a.chunkFor(c, false)
+	if ch == nil {
+		return nil, false
+	}
+	return ch.Get(c)
+}
+
+// Exists reports whether a cell is present at the coordinate (§2.2.1
+// "Exists? [A, 7, 7]").
+func (a *Array) Exists(c Coord) bool {
+	_, ok := a.At(c)
+	return ok
+}
+
+// AtEnhanced resolves a cell through the named enhancement's pseudo-
+// coordinates: the paper's A{16.3, 48.2} addressing.
+func (a *Array) AtEnhanced(name string, pseudo []Value) (Cell, bool) {
+	for _, e := range a.Enhancements {
+		if e.Name() == name {
+			basic, ok := e.Invert(pseudo)
+			if !ok {
+				return nil, false
+			}
+			return a.At(basic)
+		}
+	}
+	return nil, false
+}
+
+// Enhance attaches a pseudo-coordinate system (§2.1 "Enhance A with f").
+// Any number of enhancements may be attached.
+func (a *Array) Enhance(e Enhancement) { a.Enhancements = append(a.Enhancements, e) }
+
+// SetShape attaches the array's single shape function (§2.1
+// "Shape array_name with shape_function"). It replaces any previous one.
+func (a *Array) SetShape(f ShapeFunc) { a.Shape = f }
+
+// Erase removes a cell if present.
+func (a *Array) Erase(c Coord) {
+	if ch := a.chunkFor(c, false); ch != nil {
+		ch.Erase(c)
+	}
+}
+
+// Count returns the number of present cells.
+func (a *Array) Count() int64 {
+	var n int64
+	for _, ch := range a.chunks {
+		n += ch.CellsPresent()
+	}
+	return n
+}
+
+// Chunks returns the array's chunks ordered by origin (deterministic).
+// The returned slice is cached and shared; callers must not modify it.
+func (a *Array) Chunks() []*Chunk {
+	if a.sorted != nil {
+		return a.sorted
+	}
+	out := make([]*Chunk, 0, len(a.chunks))
+	for _, ch := range a.chunks {
+		out = append(out, ch)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Origin, out[j].Origin
+		for k := range a {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return false
+	})
+	a.sorted = out
+	return out
+}
+
+// PutChunk installs a prebuilt chunk (used by the loader, the cluster
+// transport, and in-situ adaptors). The chunk must align with the array's
+// chunking grid. High-water marks advance to the largest coordinate of a
+// present cell, not the chunk's box, so sparse chunks in unbounded arrays
+// report accurate bounds.
+func (a *Array) PutChunk(ch *Chunk) {
+	a.chunks[ch.Origin.Key()] = ch
+	a.last = nil // the cache may point at a replaced chunk
+	a.sorted = nil
+	if ch.CellsPresent() == ch.Slots() {
+		// Dense chunk: the box is exact.
+		box := ch.Box()
+		for i := range a.hwm {
+			if box.Hi[i] > a.hwm[i] {
+				a.hwm[i] = box.Hi[i]
+			}
+		}
+		return
+	}
+	IterBox(ch.Box(), func(c Coord) bool {
+		if ch.Present.Get(ch.Index(c)) {
+			for i := range a.hwm {
+				if c[i] > a.hwm[i] {
+					a.hwm[i] = c[i]
+				}
+			}
+		}
+		return true
+	})
+}
+
+// ChunkAt returns the chunk containing the coordinate, if allocated.
+func (a *Array) ChunkAt(c Coord) (*Chunk, bool) {
+	ch, ok := a.chunks[a.chunkOrigin(c).Key()]
+	return ch, ok
+}
+
+// Iter calls fn for every present cell in row-major coordinate order
+// within each chunk (chunks ordered by origin). The Coord and Cell passed
+// to fn are freshly allocated per cell and may be retained.
+// Return false from fn to stop.
+func (a *Array) Iter(fn func(Coord, Cell) bool) {
+	nd := len(a.Schema.Dims)
+	for _, ch := range a.Chunks() {
+		slots := ch.Slots()
+		if ch.CellsPresent() == 0 {
+			continue
+		}
+		// Walk slots linearly, tracking the coordinate incrementally.
+		c := ch.Origin.Clone()
+		for idx := int64(0); idx < slots; idx++ {
+			if ch.Present.Get(idx) {
+				cell := make(Cell, len(ch.Cols))
+				for ai, col := range ch.Cols {
+					cell[ai] = col.Get(idx)
+				}
+				if !fn(c.Clone(), cell) {
+					return
+				}
+			}
+			// Increment the row-major coordinate (last dim fastest).
+			for d := nd - 1; d >= 0; d-- {
+				c[d]++
+				if c[d] < ch.Origin[d]+ch.Shape[d] {
+					break
+				}
+				c[d] = ch.Origin[d]
+			}
+		}
+	}
+}
+
+// IterReuse is the allocation-free variant of Iter for operator inner
+// loops: the Coord and Cell passed to fn are REUSED between calls — fn must
+// copy anything it retains. Iteration order matches Iter.
+func (a *Array) IterReuse(fn func(Coord, Cell) bool) {
+	nd := len(a.Schema.Dims)
+	var cell Cell
+	var c Coord
+	for _, ch := range a.Chunks() {
+		if ch.CellsPresent() == 0 {
+			continue
+		}
+		if cell == nil {
+			cell = make(Cell, len(ch.Cols))
+			c = make(Coord, nd)
+		}
+		copy(c, ch.Origin)
+		slots := ch.Slots()
+		for idx := int64(0); idx < slots; idx++ {
+			if ch.Present.Get(idx) {
+				for ai, col := range ch.Cols {
+					cell[ai] = col.Get(idx)
+				}
+				if !fn(c, cell) {
+					return
+				}
+			}
+			for d := nd - 1; d >= 0; d-- {
+				c[d]++
+				if c[d] < ch.Origin[d]+ch.Shape[d] {
+					break
+				}
+				c[d] = ch.Origin[d]
+			}
+		}
+	}
+}
+
+// IterBoxReuse streams the present cells intersecting q, pruning chunks
+// whose boxes miss it — the engine's predicate-pushdown scan kernel. Like
+// IterReuse, the Coord and Cell passed to fn are reused between calls.
+func (a *Array) IterBoxReuse(q Box, fn func(Coord, Cell) bool) {
+	var cell Cell
+	for _, ch := range a.Chunks() {
+		inter, ok := ch.Box().Intersect(q)
+		if !ok || ch.CellsPresent() == 0 {
+			continue
+		}
+		if cell == nil {
+			cell = make(Cell, len(ch.Cols))
+		}
+		stop := false
+		IterBox(inter, func(c Coord) bool {
+			idx := ch.Index(c)
+			if !ch.Present.Get(idx) {
+				return true
+			}
+			for ai, col := range ch.Cols {
+				cell[ai] = col.Get(idx)
+			}
+			if !fn(c, cell) {
+				stop = true
+				return false
+			}
+			return true
+		})
+		if stop {
+			return
+		}
+	}
+}
+
+// ScanFloats is the engine's columnar scan kernel: it streams one float64
+// attribute's present values within q, reading the chunk column directly
+// with a tight loop over the innermost dimension. The Coord passed to fn is
+// reused between calls. This is the fast path dense analytics (slab
+// averages, regrids, threshold scans) compile to.
+func (a *Array) ScanFloats(q Box, attr int, fn func(c Coord, v float64) bool) {
+	nd := len(a.Schema.Dims)
+	c := make(Coord, nd)
+	for _, ch := range a.Chunks() {
+		inter, ok := ch.Box().Intersect(q)
+		if !ok || ch.CellsPresent() == 0 {
+			continue
+		}
+		floats := ch.Cols[attr].Floats
+		if floats == nil {
+			continue
+		}
+		present := ch.Present
+		// Iterate the outer dimensions; run the innermost as a tight loop
+		// over contiguous slots.
+		copy(c, inter.Lo)
+		last := nd - 1
+		for {
+			// base is the slot of (outer dims of c, inner = inter.Lo).
+			base := RowMajorIndex(ch.Origin, ch.Shape, c)
+			for j := inter.Lo[last]; j <= inter.Hi[last]; j++ {
+				idx := base + (j - inter.Lo[last])
+				if present.Get(idx) {
+					c[last] = j
+					if !fn(c, floats[idx]) {
+						return
+					}
+				}
+			}
+			c[last] = inter.Lo[last]
+			// Advance the outer dimensions.
+			d := last - 1
+			for d >= 0 {
+				c[d]++
+				if c[d] <= inter.Hi[d] {
+					break
+				}
+				c[d] = inter.Lo[d]
+				d--
+			}
+			if d < 0 {
+				break
+			}
+		}
+	}
+}
+
+// Fill populates every cell of a bounded array using gen.
+func (a *Array) Fill(gen func(Coord) Cell) error {
+	if a.Schema.CellCount() < 0 {
+		return fmt.Errorf("array %s: cannot Fill an unbounded array", a.Schema.Name)
+	}
+	var err error
+	IterBox(WholeBox(a.Schema), func(c Coord) bool {
+		if a.Shape != nil && !a.Shape.Contains(c) {
+			return true
+		}
+		if e := a.Set(c, gen(c)); e != nil {
+			err = e
+			return false
+		}
+		return true
+	})
+	return err
+}
+
+// ByteSize estimates total in-memory payload.
+func (a *Array) ByteSize() int64 {
+	var n int64
+	for _, ch := range a.chunks {
+		n += ch.ByteSize()
+	}
+	return n
+}
+
+// Clone deep-copies the array (enhancements and shape are shared; they are
+// immutable).
+func (a *Array) Clone() *Array {
+	out := &Array{
+		Schema:       a.Schema.Clone(),
+		chunks:       make(map[string]*Chunk, len(a.chunks)),
+		hwm:          append([]int64(nil), a.hwm...),
+		Enhancements: append([]Enhancement(nil), a.Enhancements...),
+		Shape:        a.Shape,
+	}
+	for k, ch := range a.chunks {
+		out.chunks[k] = ch.Clone()
+	}
+	return out
+}

@@ -1,0 +1,67 @@
+package array
+
+import "math/bits"
+
+// Bitmap is a fixed-length bit set used for chunk presence and null masks.
+type Bitmap struct {
+	n     int64
+	words []uint64
+}
+
+// NewBitmap allocates a cleared bitmap of n bits.
+func NewBitmap(n int64) *Bitmap {
+	return &Bitmap{n: n, words: make([]uint64, (n+63)/64)}
+}
+
+// Len returns the bit count.
+func (b *Bitmap) Len() int64 { return b.n }
+
+// Set sets bit i.
+func (b *Bitmap) Set(i int64) { b.words[i>>6] |= 1 << uint(i&63) }
+
+// Clear clears bit i.
+func (b *Bitmap) Clear(i int64) { b.words[i>>6] &^= 1 << uint(i&63) }
+
+// Get reports bit i.
+func (b *Bitmap) Get(i int64) bool { return b.words[i>>6]&(1<<uint(i&63)) != 0 }
+
+// SetAll sets every bit.
+func (b *Bitmap) SetAll() {
+	for i := range b.words {
+		b.words[i] = ^uint64(0)
+	}
+	b.trim()
+}
+
+// Count returns the number of set bits.
+func (b *Bitmap) Count() int64 {
+	b.trim()
+	var n int
+	for _, w := range b.words {
+		n += bits.OnesCount64(w)
+	}
+	return int64(n)
+}
+
+// Clone copies the bitmap.
+func (b *Bitmap) Clone() *Bitmap {
+	out := &Bitmap{n: b.n, words: append([]uint64(nil), b.words...)}
+	return out
+}
+
+// Words exposes the raw words for serialization.
+func (b *Bitmap) Words() []uint64 { return b.words }
+
+// FromWords reconstructs a bitmap from serialized words.
+func FromWords(n int64, words []uint64) *Bitmap {
+	return &Bitmap{n: n, words: words}
+}
+
+// trim clears bits beyond n so Count stays exact after SetAll.
+func (b *Bitmap) trim() {
+	if b.n%64 == 0 || len(b.words) == 0 {
+		return
+	}
+	last := len(b.words) - 1
+	b.words[last] &= (1 << uint(b.n%64)) - 1
+}

@@ -1,0 +1,211 @@
+package array
+
+import "fmt"
+
+// Column holds one attribute's values for every cell slot of a chunk, as a
+// typed vector plus a null bitmap. Uncertain attributes carry a parallel
+// Sigma vector; when every cell shares one error bar the chunk stores a
+// single SharedSigma instead ("arrays with the same error bounds for all
+// values will require negligible extra space", §2.13).
+type Column struct {
+	Type        Type
+	Ints        []int64
+	Floats      []float64
+	Strs        []string
+	Bools       []bool
+	Arrs        []*Array
+	Nulls       *Bitmap
+	Sigma       []float64
+	SharedSigma float64
+	HasShared   bool
+}
+
+// NewColumn allocates a column of n slots for attribute a.
+func NewColumn(a Attribute, n int64) *Column {
+	c := &Column{Type: a.Type, Nulls: NewBitmap(n)}
+	switch a.Type {
+	case TInt64:
+		c.Ints = make([]int64, n)
+	case TFloat64:
+		c.Floats = make([]float64, n)
+	case TString:
+		c.Strs = make([]string, n)
+	case TBool:
+		c.Bools = make([]bool, n)
+	case TArray:
+		c.Arrs = make([]*Array, n)
+	}
+	if a.Uncertain && a.Type == TFloat64 {
+		c.Sigma = make([]float64, n)
+	}
+	return c
+}
+
+// Get returns the value at slot i.
+func (c *Column) Get(i int64) Value {
+	v := Value{Type: c.Type}
+	if c.Nulls.Get(i) {
+		v.Null = true
+		return v
+	}
+	switch c.Type {
+	case TInt64:
+		v.Int = c.Ints[i]
+	case TFloat64:
+		v.Float = c.Floats[i]
+	case TString:
+		v.Str = c.Strs[i]
+	case TBool:
+		v.Bool = c.Bools[i]
+	case TArray:
+		v.Arr = c.Arrs[i]
+	}
+	switch {
+	case c.HasShared:
+		v.Sigma = c.SharedSigma
+	case c.Sigma != nil:
+		v.Sigma = c.Sigma[i]
+	}
+	return v
+}
+
+// Set stores the value at slot i, converting numerics as needed.
+func (c *Column) Set(i int64, v Value) {
+	if v.Null {
+		c.Nulls.Set(i)
+		return
+	}
+	c.Nulls.Clear(i)
+	switch c.Type {
+	case TInt64:
+		c.Ints[i] = v.AsInt()
+	case TFloat64:
+		c.Floats[i] = v.AsFloat()
+	case TString:
+		c.Strs[i] = v.Str
+	case TBool:
+		c.Bools[i] = v.Bool
+	case TArray:
+		c.Arrs[i] = v.Arr
+	}
+	if c.Sigma != nil {
+		c.Sigma[i] = v.Sigma
+	}
+}
+
+// Len returns the slot count.
+func (c *Column) Len() int64 { return c.Nulls.Len() }
+
+// Clone deep-copies the column (nested arrays are shared).
+func (c *Column) Clone() *Column {
+	out := &Column{Type: c.Type, Nulls: c.Nulls.Clone(), SharedSigma: c.SharedSigma, HasShared: c.HasShared}
+	out.Ints = append([]int64(nil), c.Ints...)
+	out.Floats = append([]float64(nil), c.Floats...)
+	out.Strs = append([]string(nil), c.Strs...)
+	out.Bools = append([]bool(nil), c.Bools...)
+	out.Arrs = append([]*Array(nil), c.Arrs...)
+	out.Sigma = append([]float64(nil), c.Sigma...)
+	return out
+}
+
+// Chunk is a rectangular, columnar slab of cells: the in-memory form of the
+// paper's storage bucket (§2.8) and the unit shipped between grid nodes.
+// A cell slot may be absent (presence bit clear): Subsample results, sparse
+// loads, and Cjoin misses all use absence.
+type Chunk struct {
+	Origin  Coord   // coordinate of the first cell
+	Shape   []int64 // extent per dimension
+	Cols    []*Column
+	Present *Bitmap
+}
+
+// NewChunk allocates an empty (all-absent) chunk for the given schema region.
+func NewChunk(s *Schema, origin Coord, shape []int64) *Chunk {
+	n := int64(1)
+	for _, e := range shape {
+		n *= e
+	}
+	ch := &Chunk{Origin: origin.Clone(), Shape: append([]int64(nil), shape...), Present: NewBitmap(n)}
+	ch.Cols = make([]*Column, len(s.Attrs))
+	for i, a := range s.Attrs {
+		ch.Cols[i] = NewColumn(a, n)
+	}
+	return ch
+}
+
+// Box returns the chunk's coordinate region.
+func (ch *Chunk) Box() Box {
+	hi := make(Coord, len(ch.Origin))
+	for i := range hi {
+		hi[i] = ch.Origin[i] + ch.Shape[i] - 1
+	}
+	return Box{Lo: ch.Origin.Clone(), Hi: hi}
+}
+
+// Slots returns the number of cell slots.
+func (ch *Chunk) Slots() int64 { return ch.Present.Len() }
+
+// CellsPresent returns the number of present cells.
+func (ch *Chunk) CellsPresent() int64 { return ch.Present.Count() }
+
+// Index converts a coordinate to the chunk-local slot index. The caller
+// must ensure the coordinate is inside the chunk.
+func (ch *Chunk) Index(c Coord) int64 { return RowMajorIndex(ch.Origin, ch.Shape, c) }
+
+// Get returns the cell at the coordinate and whether it is present.
+func (ch *Chunk) Get(c Coord) (Cell, bool) {
+	i := ch.Index(c)
+	if !ch.Present.Get(i) {
+		return nil, false
+	}
+	cell := make(Cell, len(ch.Cols))
+	for a, col := range ch.Cols {
+		cell[a] = col.Get(i)
+	}
+	return cell, true
+}
+
+// Set writes the cell at the coordinate, marking it present.
+func (ch *Chunk) Set(c Coord, cell Cell) error {
+	if len(cell) != len(ch.Cols) {
+		return fmt.Errorf("array: cell has %d values, chunk has %d attributes", len(cell), len(ch.Cols))
+	}
+	i := ch.Index(c)
+	ch.Present.Set(i)
+	for a, col := range ch.Cols {
+		col.Set(i, cell[a])
+	}
+	return nil
+}
+
+// Erase marks the cell absent.
+func (ch *Chunk) Erase(c Coord) { ch.Present.Clear(ch.Index(c)) }
+
+// Clone deep-copies the chunk.
+func (ch *Chunk) Clone() *Chunk {
+	out := &Chunk{
+		Origin:  ch.Origin.Clone(),
+		Shape:   append([]int64(nil), ch.Shape...),
+		Present: ch.Present.Clone(),
+	}
+	out.Cols = make([]*Column, len(ch.Cols))
+	for i, c := range ch.Cols {
+		out.Cols[i] = c.Clone()
+	}
+	return out
+}
+
+// ByteSize estimates the in-memory payload size of the chunk, used by the
+// storage manager's memory accounting and the version-space experiments.
+func (ch *Chunk) ByteSize() int64 {
+	n := int64(len(ch.Present.Words()) * 8)
+	for _, c := range ch.Cols {
+		n += int64(len(c.Ints))*8 + int64(len(c.Floats))*8 + int64(len(c.Bools)) + int64(len(c.Sigma))*8
+		for _, s := range c.Strs {
+			n += int64(len(s)) + 16
+		}
+		n += int64(len(c.Arrs)) * 8
+		n += int64(len(c.Nulls.Words()) * 8)
+	}
+	return n
+}

@@ -1,0 +1,77 @@
+package array
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestModelBasedArrayOps drives a chunked array with a long random sequence
+// of Set/Erase/At/Count operations and checks every observation against a
+// plain map model. This is the core data structure the whole engine stands
+// on; the model test catches chunk-boundary, cache, and bitmap bugs that
+// example-based tests miss.
+func TestModelBasedArrayOps(t *testing.T) {
+	for _, chunkLen := range []int64{0, 3, 7, 16} {
+		chunkLen := chunkLen
+		s := &Schema{
+			Name: "model",
+			Dims: []Dimension{
+				{Name: "x", High: 16, ChunkLen: chunkLen},
+				{Name: "y", High: 16, ChunkLen: chunkLen},
+			},
+			Attrs: []Attribute{{Name: "v", Type: TInt64}},
+		}
+		a := MustNew(s)
+		model := map[[2]int64]int64{}
+		rng := rand.New(rand.NewSource(chunkLen + 100))
+		for step := 0; step < 5000; step++ {
+			x, y := rng.Int63n(16)+1, rng.Int63n(16)+1
+			c := Coord{x, y}
+			switch rng.Intn(4) {
+			case 0, 1: // set
+				v := rng.Int63n(1000)
+				if err := a.Set(c, Cell{Int64(v)}); err != nil {
+					t.Fatalf("chunk=%d step %d: set: %v", chunkLen, step, err)
+				}
+				model[[2]int64{x, y}] = v
+			case 2: // erase
+				a.Erase(c)
+				delete(model, [2]int64{x, y})
+			case 3: // read
+				cell, ok := a.At(c)
+				mv, mok := model[[2]int64{x, y}]
+				if ok != mok {
+					t.Fatalf("chunk=%d step %d: At%v present=%v, model=%v", chunkLen, step, c, ok, mok)
+				}
+				if ok && cell[0].Int != mv {
+					t.Fatalf("chunk=%d step %d: At%v = %d, model %d", chunkLen, step, c, cell[0].Int, mv)
+				}
+			}
+			if step%500 == 499 {
+				if got := a.Count(); got != int64(len(model)) {
+					t.Fatalf("chunk=%d step %d: Count = %d, model %d", chunkLen, step, got, len(model))
+				}
+			}
+		}
+		// Full iteration agrees with the model.
+		seen := map[[2]int64]int64{}
+		a.Iter(func(c Coord, cell Cell) bool {
+			seen[[2]int64{c[0], c[1]}] = cell[0].Int
+			return true
+		})
+		if len(seen) != len(model) {
+			t.Fatalf("chunk=%d: Iter saw %d cells, model has %d", chunkLen, len(seen), len(model))
+		}
+		for k, v := range model {
+			if seen[k] != v {
+				t.Fatalf("chunk=%d: cell %v = %d, model %d", chunkLen, k, seen[k], v)
+			}
+		}
+		// IterReuse and ScanFloats-style box reads agree too.
+		var reuseCount int
+		a.IterReuse(func(Coord, Cell) bool { reuseCount++; return true })
+		if int64(reuseCount) != int64(len(model)) {
+			t.Fatalf("chunk=%d: IterReuse saw %d cells", chunkLen, reuseCount)
+		}
+	}
+}

@@ -1,0 +1,106 @@
+package array
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Render draws a 1-D or 2-D array as the paper's figures draw them: a grid
+// with dimension indices on the margins and cell records ("1,1") in the
+// body. Absent cells render as ".", NULL cells as "NULL". Used by the
+// FIG1–FIG3 reproductions.
+func Render(a *Array) string {
+	switch len(a.Schema.Dims) {
+	case 1:
+		return render1D(a)
+	case 2:
+		return render2D(a)
+	default:
+		return renderList(a)
+	}
+}
+
+func cellString(cell Cell, present bool) string {
+	if !present {
+		return "."
+	}
+	allNull := true
+	for _, v := range cell {
+		if !v.Null {
+			allNull = false
+			break
+		}
+	}
+	if allNull {
+		return "NULL"
+	}
+	parts := make([]string, len(cell))
+	for i, v := range cell {
+		parts[i] = v.String()
+	}
+	return strings.Join(parts, ",")
+}
+
+func render1D(a *Array) string {
+	var b strings.Builder
+	dim := a.Schema.Dims[0]
+	fmt.Fprintf(&b, "%4s | %s\n", dim.Name, strings.Join(attrNames(a.Schema), ","))
+	fmt.Fprintf(&b, "-----+------\n")
+	hi := a.Hwm(0)
+	for i := int64(1); i <= hi; i++ {
+		cell, ok := a.At(Coord{i})
+		fmt.Fprintf(&b, "%4d | %s\n", i, cellString(cell, ok))
+	}
+	return b.String()
+}
+
+func render2D(a *Array) string {
+	var b strings.Builder
+	d0, d1 := a.Schema.Dims[0], a.Schema.Dims[1]
+	h0, h1 := a.Hwm(0), a.Hwm(1)
+
+	// Compute column width.
+	width := 4
+	IterBox(Box{Lo: Coord{1, 1}, Hi: Coord{h0, h1}}, func(c Coord) bool {
+		cell, ok := a.At(c)
+		if n := len(cellString(cell, ok)); n > width {
+			width = n
+		}
+		return true
+	})
+
+	fmt.Fprintf(&b, "%s\\%s", d0.Name, d1.Name)
+	pad := len(d0.Name) + len(d1.Name) + 1
+	for j := int64(1); j <= h1; j++ {
+		fmt.Fprintf(&b, " %*d", width, j)
+	}
+	b.WriteString("\n")
+	for i := int64(1); i <= h0; i++ {
+		fmt.Fprintf(&b, "%*d", pad, i)
+		for j := int64(1); j <= h1; j++ {
+			cell, ok := a.At(Coord{i, j})
+			fmt.Fprintf(&b, " %*s", width, cellString(cell, ok))
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+func renderList(a *Array) string {
+	var lines []string
+	a.Iter(func(c Coord, cell Cell) bool {
+		lines = append(lines, fmt.Sprintf("%s = %s", c, cellString(cell, true)))
+		return true
+	})
+	sort.Strings(lines)
+	return strings.Join(lines, "\n") + "\n"
+}
+
+func attrNames(s *Schema) []string {
+	out := make([]string, len(s.Attrs))
+	for i, a := range s.Attrs {
+		out[i] = a.Name
+	}
+	return out
+}

@@ -1,0 +1,125 @@
+package array
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func scanSchema(chunk int64) *Schema {
+	return &Schema{
+		Name: "scan",
+		Dims: []Dimension{
+			{Name: "x", High: 20, ChunkLen: chunk},
+			{Name: "y", High: 20, ChunkLen: chunk},
+		},
+		Attrs: []Attribute{
+			{Name: "a", Type: TFloat64},
+			{Name: "b", Type: TFloat64},
+		},
+	}
+}
+
+func TestScanFloatsMatchesIterBox(t *testing.T) {
+	for _, chunk := range []int64{0, 7, 20} {
+		a := MustNew(scanSchema(chunk))
+		rng := rand.New(rand.NewSource(13))
+		// Sparse fill: ~60% of cells.
+		IterBox(WholeBox(a.Schema), func(c Coord) bool {
+			if rng.Float64() < 0.6 {
+				_ = a.Set(c, Cell{Float64(float64(c[0]*100 + c[1])), Float64(-1)})
+			}
+			return true
+		})
+		boxes := []Box{
+			NewBox(Coord{1, 1}, Coord{20, 20}),
+			NewBox(Coord{3, 5}, Coord{11, 9}),
+			NewBox(Coord{7, 7}, Coord{7, 7}),
+			NewBox(Coord{19, 19}, Coord{25, 25}), // clipped at bounds
+		}
+		for _, q := range boxes {
+			want := map[string]float64{}
+			a.IterBoxReuse(q, func(c Coord, cell Cell) bool {
+				want[c.Key()] = cell[0].Float
+				return true
+			})
+			got := map[string]float64{}
+			a.ScanFloats(q, 0, func(c Coord, v float64) bool {
+				got[c.Key()] = v
+				return true
+			})
+			if len(got) != len(want) {
+				t.Fatalf("chunk=%d box=%v: ScanFloats saw %d cells, IterBoxReuse %d",
+					chunk, q, len(got), len(want))
+			}
+			for k, v := range want {
+				if got[k] != v {
+					t.Fatalf("chunk=%d box=%v cell %s: %v != %v", chunk, q, k, got[k], v)
+				}
+			}
+		}
+	}
+}
+
+func TestScanFloatsSecondAttribute(t *testing.T) {
+	a := MustNew(scanSchema(8))
+	_ = a.Set(Coord{2, 3}, Cell{Float64(1), Float64(42)})
+	var got float64
+	a.ScanFloats(WholeBox(a.Schema), 1, func(_ Coord, v float64) bool {
+		got = v
+		return true
+	})
+	if got != 42 {
+		t.Errorf("attr 1 scan = %v", got)
+	}
+}
+
+func TestScanFloatsEarlyStop(t *testing.T) {
+	a := MustNew(scanSchema(8))
+	_ = a.Fill(func(Coord) Cell { return Cell{Float64(1), Float64(2)} })
+	n := 0
+	a.ScanFloats(WholeBox(a.Schema), 0, func(Coord, float64) bool {
+		n++
+		return n < 5
+	})
+	if n != 5 {
+		t.Errorf("early stop visited %d", n)
+	}
+}
+
+func TestScanFloats1D(t *testing.T) {
+	s := &Schema{
+		Name:  "v",
+		Dims:  []Dimension{{Name: "i", High: 10, ChunkLen: 4}},
+		Attrs: []Attribute{{Name: "a", Type: TFloat64}},
+	}
+	a := MustNew(s)
+	for i := int64(1); i <= 10; i++ {
+		_ = a.Set(Coord{i}, Cell{Float64(float64(i))})
+	}
+	var sum float64
+	a.ScanFloats(NewBox(Coord{3}, Coord{7}), 0, func(_ Coord, v float64) bool {
+		sum += v
+		return true
+	})
+	if sum != 3+4+5+6+7 {
+		t.Errorf("1-D box sum = %v", sum)
+	}
+}
+
+func TestScanFloatsNonFloatColumn(t *testing.T) {
+	s := &Schema{
+		Name:  "i",
+		Dims:  []Dimension{{Name: "i", High: 4}},
+		Attrs: []Attribute{{Name: "n", Type: TInt64}},
+	}
+	a := MustNew(s)
+	_ = a.Set(Coord{1}, Cell{Int64(5)})
+	called := false
+	a.ScanFloats(WholeBox(a.Schema), 0, func(Coord, float64) bool {
+		called = true
+		return true
+	})
+	if called {
+		t.Error("ScanFloats visited an int column")
+	}
+}

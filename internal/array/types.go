@@ -1,0 +1,238 @@
+// Package array implements the SciDB array data model from CIDR 2009 §2.1:
+// multi-dimensional nested arrays whose dimensions are named, contiguous,
+// 1-based integer ranges and whose cells hold records of scalar values
+// and/or nested arrays. Arrays are stored as rectangular columnar chunks
+// with presence and null bitmaps.
+package array
+
+import (
+	"fmt"
+	"math"
+)
+
+// Type identifies the scalar or nested type of an attribute value.
+type Type uint8
+
+// Supported value types. TArray marks a nested-array attribute whose element
+// schema is carried by Attribute.Nested.
+const (
+	TInvalid Type = iota
+	TInt64
+	TFloat64
+	TString
+	TBool
+	TArray
+)
+
+// String returns the AQL spelling of the type.
+func (t Type) String() string {
+	switch t {
+	case TInt64:
+		return "int64"
+	case TFloat64:
+		return "float"
+	case TString:
+		return "string"
+	case TBool:
+		return "bool"
+	case TArray:
+		return "array"
+	default:
+		return "invalid"
+	}
+}
+
+// ParseType maps an AQL type name to a Type. It accepts the aliases used in
+// the paper's examples ("float", "int").
+func ParseType(s string) (Type, error) {
+	switch s {
+	case "int64", "int", "integer":
+		return TInt64, nil
+	case "float", "float64", "double":
+		return TFloat64, nil
+	case "string", "text":
+		return TString, nil
+	case "bool", "boolean":
+		return TBool, nil
+	case "array":
+		return TArray, nil
+	}
+	return TInvalid, fmt.Errorf("array: unknown type %q", s)
+}
+
+// Value is one attribute value of one cell. A Value may be NULL (the paper's
+// Filter and Cjoin produce NULL cells), and may carry an uncertainty standard
+// deviation when the attribute is declared "uncertain x" (§2.13).
+type Value struct {
+	Type  Type
+	Null  bool
+	Int   int64
+	Float float64
+	Str   string
+	Bool  bool
+	Arr   *Array
+	Sigma float64 // standard deviation ("error bar"); 0 for exact values
+}
+
+// NullValue returns a NULL value of type t.
+func NullValue(t Type) Value { return Value{Type: t, Null: true} }
+
+// Int64 returns an int64 value.
+func Int64(v int64) Value { return Value{Type: TInt64, Int: v} }
+
+// Float64 returns a float64 value.
+func Float64(v float64) Value { return Value{Type: TFloat64, Float: v} }
+
+// UncertainFloat returns a float64 value carrying an error bar (§2.13).
+func UncertainFloat(v, sigma float64) Value {
+	return Value{Type: TFloat64, Float: v, Sigma: sigma}
+}
+
+// String64 returns a string value. (Named to avoid colliding with the
+// fmt.Stringer method.)
+func String64(v string) Value { return Value{Type: TString, Str: v} }
+
+// Bool64 returns a bool value.
+func Bool64(v bool) Value { return Value{Type: TBool, Bool: v} }
+
+// Nested returns a nested-array value.
+func Nested(a *Array) Value { return Value{Type: TArray, Arr: a} }
+
+// AsFloat converts a numeric value to float64. NULLs convert to NaN.
+func (v Value) AsFloat() float64 {
+	if v.Null {
+		return math.NaN()
+	}
+	switch v.Type {
+	case TInt64:
+		return float64(v.Int)
+	case TFloat64:
+		return v.Float
+	case TBool:
+		if v.Bool {
+			return 1
+		}
+		return 0
+	}
+	return math.NaN()
+}
+
+// AsInt converts a numeric value to int64 (truncating floats). NULLs are 0.
+func (v Value) AsInt() int64 {
+	if v.Null {
+		return 0
+	}
+	switch v.Type {
+	case TInt64:
+		return v.Int
+	case TFloat64:
+		return int64(v.Float)
+	case TBool:
+		if v.Bool {
+			return 1
+		}
+		return 0
+	}
+	return 0
+}
+
+// Equal reports whether two values are equal. NULL equals nothing, matching
+// SQL/paper join semantics. Nested arrays compare by pointer identity.
+func (v Value) Equal(o Value) bool {
+	if v.Null || o.Null {
+		return false
+	}
+	if v.Type != o.Type {
+		// Permit cross numeric comparison.
+		if isNumeric(v.Type) && isNumeric(o.Type) {
+			return v.AsFloat() == o.AsFloat()
+		}
+		return false
+	}
+	switch v.Type {
+	case TInt64:
+		return v.Int == o.Int
+	case TFloat64:
+		return v.Float == o.Float
+	case TString:
+		return v.Str == o.Str
+	case TBool:
+		return v.Bool == o.Bool
+	case TArray:
+		return v.Arr == o.Arr
+	}
+	return false
+}
+
+// Compare returns -1, 0, or +1 ordering v against o. NULLs sort first.
+func (v Value) Compare(o Value) int {
+	switch {
+	case v.Null && o.Null:
+		return 0
+	case v.Null:
+		return -1
+	case o.Null:
+		return 1
+	}
+	if isNumeric(v.Type) && isNumeric(o.Type) {
+		a, b := v.AsFloat(), o.AsFloat()
+		switch {
+		case a < b:
+			return -1
+		case a > b:
+			return 1
+		}
+		return 0
+	}
+	if v.Type == TString && o.Type == TString {
+		switch {
+		case v.Str < o.Str:
+			return -1
+		case v.Str > o.Str:
+			return 1
+		}
+		return 0
+	}
+	return 0
+}
+
+func isNumeric(t Type) bool { return t == TInt64 || t == TFloat64 || t == TBool }
+
+// String renders the value for display (used by the figure reproductions).
+func (v Value) String() string {
+	if v.Null {
+		return "NULL"
+	}
+	switch v.Type {
+	case TInt64:
+		if v.Sigma != 0 {
+			return fmt.Sprintf("%d±%g", v.Int, v.Sigma)
+		}
+		return fmt.Sprintf("%d", v.Int)
+	case TFloat64:
+		if v.Sigma != 0 {
+			return fmt.Sprintf("%g±%g", v.Float, v.Sigma)
+		}
+		return fmt.Sprintf("%g", v.Float)
+	case TString:
+		return v.Str
+	case TBool:
+		return fmt.Sprintf("%t", v.Bool)
+	case TArray:
+		if v.Arr == nil {
+			return "<nil array>"
+		}
+		return fmt.Sprintf("<array %s>", v.Arr.Schema.Name)
+	}
+	return "?"
+}
+
+// Cell is one cell's record: one Value per attribute, in schema order.
+type Cell []Value
+
+// Clone deep-copies the cell (nested arrays are shared).
+func (c Cell) Clone() Cell {
+	out := make(Cell, len(c))
+	copy(out, c)
+	return out
+}

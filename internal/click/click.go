@@ -1,0 +1,305 @@
+// Package click implements §2.14, the eBay use case: a click stream
+// modelled as a one-dimensional time-series array with embedded arrays
+// representing the search results at each step, plus the analytics UDFs the
+// paper sketches — which items were clicked through, and (more importantly)
+// the user-ignored content: how often an item was surfaced but never
+// clicked. A weblog-style relational representation (tablesim) provides the
+// baseline for the CLICK experiment.
+package click
+
+import (
+	"fmt"
+	"math/rand"
+
+	"scidb/internal/array"
+	"scidb/internal/tablesim"
+)
+
+// Config shapes the synthetic click stream.
+type Config struct {
+	Events     int64 // search events in the stream
+	Users      int64
+	Items      int64   // distinct item ids
+	ResultsPer int64   // results surfaced per search
+	ClickBias  float64 // probability mass on the top-ranked results
+	Seed       int64
+	QueryPool  int64 // distinct query strings
+}
+
+// DefaultConfig returns a small, fast configuration.
+func DefaultConfig() Config {
+	return Config{Events: 200, Users: 20, Items: 100, ResultsPer: 10, ClickBias: 0.5, Seed: 1, QueryPool: 12}
+}
+
+// ResultSchema is the nested per-search result list: rank -> (item,
+// clicked, dwell).
+func ResultSchema() *array.Schema {
+	return &array.Schema{
+		Name: "results",
+		Dims: []array.Dimension{{Name: "rank", High: array.Unbounded}},
+		Attrs: []array.Attribute{
+			{Name: "item", Type: array.TInt64},
+			{Name: "clicked", Type: array.TBool},
+			{Name: "dwell", Type: array.TInt64},
+		},
+	}
+}
+
+// StreamSchema is the outer 1-D time series with nested result arrays —
+// "it can be effectively modelled as a one-dimensional array (i.e. a time
+// series) with embedded arrays to represent the search results at each
+// step."
+func StreamSchema() *array.Schema {
+	return &array.Schema{
+		Name: "clickstream",
+		Dims: []array.Dimension{{Name: "t", High: array.Unbounded, ChunkLen: 256}},
+		Attrs: []array.Attribute{
+			{Name: "user", Type: array.TInt64},
+			{Name: "query", Type: array.TString},
+			{Name: "results", Type: array.TArray, Nested: ResultSchema()},
+		},
+	}
+}
+
+// Generate builds the click stream. Each event surfaces ResultsPer items;
+// clicks skew toward popular items but, crucially, often skip the top
+// ranks (the paper's "their search strategy for pre-war Gibson banjos is
+// flawed, since the top 6 items were not of interest").
+func Generate(cfg Config) (*array.Array, error) {
+	if cfg.Events < 1 || cfg.ResultsPer < 1 || cfg.Items < cfg.ResultsPer {
+		return nil, fmt.Errorf("click: bad config %+v", cfg)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	stream, err := array.New(StreamSchema())
+	if err != nil {
+		return nil, err
+	}
+	for t := int64(1); t <= cfg.Events; t++ {
+		res, err := array.New(ResultSchema())
+		if err != nil {
+			return nil, err
+		}
+		// Sample distinct items for this result page.
+		perm := rng.Perm(int(cfg.Items))
+		clickedRank := int64(-1)
+		if rng.Float64() < 0.8 { // some searches get no click at all
+			// Higher ranks are more likely but far from certain.
+			if rng.Float64() < cfg.ClickBias {
+				clickedRank = 1 + rng.Int63n(3)
+			} else {
+				clickedRank = 1 + rng.Int63n(cfg.ResultsPer)
+			}
+		}
+		for r := int64(1); r <= cfg.ResultsPer; r++ {
+			item := int64(perm[r-1]) + 1
+			clicked := r == clickedRank
+			dwell := int64(0)
+			if clicked {
+				dwell = 5 + rng.Int63n(300)
+			}
+			if err := res.Set(array.Coord{r}, array.Cell{
+				array.Int64(item),
+				array.Bool64(clicked),
+				array.Int64(dwell),
+			}); err != nil {
+				return nil, err
+			}
+		}
+		user := 1 + rng.Int63n(cfg.Users)
+		query := fmt.Sprintf("q%02d", 1+rng.Int63n(cfg.QueryPool))
+		if err := stream.Set(array.Coord{t}, array.Cell{
+			array.Int64(user),
+			array.String64(query),
+			array.Nested(res),
+		}); err != nil {
+			return nil, err
+		}
+	}
+	return stream, nil
+}
+
+// ItemStats is the surfaced-vs-clicked analysis for one item.
+type ItemStats struct {
+	Item     int64
+	Surfaced int64
+	Clicked  int64
+}
+
+// SurfacedNeverClicked computes, per item, how often it was surfaced and
+// how often clicked — "how often did a particular item get surfaced but
+// was never clicked on?" — by walking the nested result arrays directly.
+func SurfacedNeverClicked(stream *array.Array) (map[int64]*ItemStats, error) {
+	ri := stream.Schema.AttrIndex("results")
+	if ri < 0 {
+		return nil, fmt.Errorf("click: stream has no results attribute")
+	}
+	out := map[int64]*ItemStats{}
+	stream.Iter(func(_ array.Coord, cell array.Cell) bool {
+		res := cell[ri].Arr
+		if res == nil {
+			return true
+		}
+		res.Iter(func(_ array.Coord, rc array.Cell) bool {
+			item := rc[0].Int
+			st, ok := out[item]
+			if !ok {
+				st = &ItemStats{Item: item}
+				out[item] = st
+			}
+			st.Surfaced++
+			if rc[1].Bool {
+				st.Clicked++
+			}
+			return true
+		})
+		return true
+	})
+	return out, nil
+}
+
+// SearchQuality measures ranking health: the fraction of clicked searches
+// whose click landed beyond rank k (the paper's "top 6 items were not of
+// interest" signal).
+func SearchQuality(stream *array.Array, k int64) (clickedBeyondK float64, clickedSearches int64, err error) {
+	ri := stream.Schema.AttrIndex("results")
+	if ri < 0 {
+		return 0, 0, fmt.Errorf("click: stream has no results attribute")
+	}
+	var beyond int64
+	stream.Iter(func(_ array.Coord, cell array.Cell) bool {
+		res := cell[ri].Arr
+		if res == nil {
+			return true
+		}
+		clickRank := int64(-1)
+		res.Iter(func(c array.Coord, rc array.Cell) bool {
+			if rc[1].Bool {
+				clickRank = c[0]
+				return false
+			}
+			return true
+		})
+		if clickRank > 0 {
+			clickedSearches++
+			if clickRank > k {
+				beyond++
+			}
+		}
+		return true
+	})
+	if clickedSearches == 0 {
+		return 0, 0, nil
+	}
+	return float64(beyond) / float64(clickedSearches), clickedSearches, nil
+}
+
+// SessionPaths reconstructs, per user, the sequence of clicked items in
+// time order — the "items 7 and then 9 were touched" analysis.
+func SessionPaths(stream *array.Array) (map[int64][]int64, error) {
+	ui := stream.Schema.AttrIndex("user")
+	ri := stream.Schema.AttrIndex("results")
+	if ui < 0 || ri < 0 {
+		return nil, fmt.Errorf("click: stream missing user or results")
+	}
+	out := map[int64][]int64{}
+	stream.Iter(func(_ array.Coord, cell array.Cell) bool {
+		res := cell[ri].Arr
+		if res == nil {
+			return true
+		}
+		user := cell[ui].Int
+		res.Iter(func(_ array.Coord, rc array.Cell) bool {
+			if rc[1].Bool {
+				out[user] = append(out[user], rc[0].Int)
+			}
+			return true
+		})
+		return true
+	})
+	return out, nil
+}
+
+// ToWeblogTables flattens the stream into the traditional relational
+// weblog representation the paper says "cannot provide the required
+// insight" efficiently: a searches table plus an impressions table (one row
+// per surfaced item).
+func ToWeblogTables(stream *array.Array) (searches, impressions *tablesim.Table, err error) {
+	searches, err = tablesim.NewTable("searches", []tablesim.Column{
+		{Name: "t", Type: array.TInt64},
+		{Name: "user", Type: array.TInt64},
+		{Name: "query", Type: array.TString},
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	impressions, err = tablesim.NewTable("impressions", []tablesim.Column{
+		{Name: "t", Type: array.TInt64},
+		{Name: "rank", Type: array.TInt64},
+		{Name: "item", Type: array.TInt64},
+		{Name: "clicked", Type: array.TBool},
+		{Name: "dwell", Type: array.TInt64},
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	ui := stream.Schema.AttrIndex("user")
+	qi := stream.Schema.AttrIndex("query")
+	ri := stream.Schema.AttrIndex("results")
+	var insErr error
+	stream.Iter(func(c array.Coord, cell array.Cell) bool {
+		if _, err := searches.Insert(tablesim.Row{array.Int64(c[0]), cell[ui], cell[qi]}); err != nil {
+			insErr = err
+			return false
+		}
+		res := cell[ri].Arr
+		if res == nil {
+			return true
+		}
+		res.Iter(func(rc array.Coord, rcell array.Cell) bool {
+			if _, err := impressions.Insert(tablesim.Row{
+				array.Int64(c[0]), array.Int64(rc[0]), rcell[0], rcell[1], rcell[2],
+			}); err != nil {
+				insErr = err
+				return false
+			}
+			return true
+		})
+		return insErr == nil
+	})
+	if insErr != nil {
+		return nil, nil, insErr
+	}
+	return searches, impressions, nil
+}
+
+// SurfacedNeverClickedSQL answers the same question as
+// SurfacedNeverClicked through the relational baseline: GROUP BY over the
+// impressions table.
+func SurfacedNeverClickedSQL(impressions *tablesim.Table) (map[int64]*ItemStats, error) {
+	surf, err := impressions.GroupBy([]string{"item"}, "count", "item")
+	if err != nil {
+		return nil, err
+	}
+	out := map[int64]*ItemStats{}
+	surf.Scan(func(_ int64, r tablesim.Row) bool {
+		out[r[0].Int] = &ItemStats{Item: r[0].Int, Surfaced: r[1].Int}
+		return true
+	})
+	clickedOnly, err := impressions.Select(func(r tablesim.Row) bool {
+		return !r[3].Null && r[3].Bool
+	}, nil)
+	if err != nil {
+		return nil, err
+	}
+	clicks, err := clickedOnly.GroupBy([]string{"item"}, "count", "item")
+	if err != nil {
+		return nil, err
+	}
+	clicks.Scan(func(_ int64, r tablesim.Row) bool {
+		if st, ok := out[r[0].Int]; ok {
+			st.Clicked = r[1].Int
+		}
+		return true
+	})
+	return out, nil
+}

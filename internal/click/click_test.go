@@ -1,0 +1,161 @@
+package click
+
+import (
+	"testing"
+
+	"scidb/internal/array"
+)
+
+func TestGenerateShape(t *testing.T) {
+	cfg := DefaultConfig()
+	s, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Count() != cfg.Events {
+		t.Fatalf("events = %d", s.Count())
+	}
+	cell, ok := s.At(array.Coord{1})
+	if !ok {
+		t.Fatal("first event missing")
+	}
+	res := cell[2].Arr
+	if res == nil || res.Count() != cfg.ResultsPer {
+		t.Fatalf("results nested array wrong: %v", res)
+	}
+	// Deterministic by seed.
+	s2, _ := Generate(cfg)
+	c2, _ := s2.At(array.Coord{1})
+	if c2[1].Str != cell[1].Str {
+		t.Error("generator not deterministic")
+	}
+	if _, err := Generate(Config{}); err == nil {
+		t.Error("bad config accepted")
+	}
+}
+
+func TestSurfacedNeverClickedConsistency(t *testing.T) {
+	cfg := DefaultConfig()
+	s, _ := Generate(cfg)
+	viaArray, err := SurfacedNeverClicked(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, impressions, err := ToWeblogTables(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaSQL, err := SurfacedNeverClickedSQL(impressions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The two engines must agree exactly.
+	if len(viaArray) != len(viaSQL) {
+		t.Fatalf("items: array %d, sql %d", len(viaArray), len(viaSQL))
+	}
+	var surfacedTotal, clickedTotal int64
+	for item, a := range viaArray {
+		b, ok := viaSQL[item]
+		if !ok || a.Surfaced != b.Surfaced || a.Clicked != b.Clicked {
+			t.Fatalf("item %d: array %+v, sql %+v", item, a, b)
+		}
+		surfacedTotal += a.Surfaced
+		clickedTotal += a.Clicked
+	}
+	if surfacedTotal != cfg.Events*cfg.ResultsPer {
+		t.Errorf("surfaced = %d, want %d", surfacedTotal, cfg.Events*cfg.ResultsPer)
+	}
+	if clickedTotal == 0 || clickedTotal >= cfg.Events {
+		t.Errorf("clicked = %d; expected some but not all searches clicked", clickedTotal)
+	}
+	// The headline analysis: many items are surfaced yet never clicked.
+	var never int
+	for _, st := range viaArray {
+		if st.Clicked == 0 {
+			never++
+		}
+	}
+	if never == 0 {
+		t.Error("no surfaced-never-clicked items; generator too clicky")
+	}
+}
+
+func TestSearchQuality(t *testing.T) {
+	cfg := DefaultConfig()
+	s, _ := Generate(cfg)
+	frac, clicked, err := SearchQuality(s, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clicked == 0 {
+		t.Fatal("no clicked searches")
+	}
+	if frac < 0 || frac > 1 {
+		t.Errorf("fraction = %v", frac)
+	}
+	// With bias 0.5, a meaningful share of clicks land beyond rank 6
+	// (the paper's flawed-search signal).
+	if frac == 0 {
+		t.Error("no deep clicks; generator not exercising the signal")
+	}
+	// k = results-per means nothing can be beyond it.
+	frac, _, _ = SearchQuality(s, cfg.ResultsPer)
+	if frac != 0 {
+		t.Errorf("beyond-last fraction = %v, want 0", frac)
+	}
+}
+
+func TestSessionPaths(t *testing.T) {
+	cfg := DefaultConfig()
+	s, _ := Generate(cfg)
+	paths, err := SessionPaths(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) == 0 {
+		t.Fatal("no user paths")
+	}
+	var total int
+	for user, items := range paths {
+		if user < 1 || user > cfg.Users {
+			t.Errorf("bad user id %d", user)
+		}
+		total += len(items)
+	}
+	if total == 0 {
+		t.Error("no clicked items in any path")
+	}
+}
+
+func TestWeblogTablesShape(t *testing.T) {
+	cfg := DefaultConfig()
+	s, _ := Generate(cfg)
+	searches, impressions, err := ToWeblogTables(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(searches.NumRows()) != cfg.Events {
+		t.Errorf("searches rows = %d", searches.NumRows())
+	}
+	if int64(impressions.NumRows()) != cfg.Events*cfg.ResultsPer {
+		t.Errorf("impressions rows = %d", impressions.NumRows())
+	}
+}
+
+func TestAnalyticsOnWrongSchema(t *testing.T) {
+	s := &array.Schema{
+		Name:  "notclicks",
+		Dims:  []array.Dimension{{Name: "t", High: 2}},
+		Attrs: []array.Attribute{{Name: "v", Type: array.TInt64}},
+	}
+	a := array.MustNew(s)
+	if _, err := SurfacedNeverClicked(a); err == nil {
+		t.Error("wrong schema accepted")
+	}
+	if _, _, err := SearchQuality(a, 3); err == nil {
+		t.Error("wrong schema accepted")
+	}
+	if _, err := SessionPaths(a); err == nil {
+		t.Error("wrong schema accepted")
+	}
+}

@@ -1,0 +1,604 @@
+package cluster
+
+import (
+	"fmt"
+	"net"
+	"testing"
+
+	"scidb/internal/array"
+	"scidb/internal/partition"
+	"scidb/internal/storage"
+)
+
+func gridSchema() *array.Schema {
+	return &array.Schema{
+		Name:  "sky",
+		Dims:  []array.Dimension{{Name: "x", High: 64}, {Name: "y", High: 64}},
+		Attrs: []array.Attribute{{Name: "flux", Type: array.TFloat64}},
+	}
+}
+
+func loadGrid(t *testing.T, co *Coordinator, name string, n int64) {
+	t.Helper()
+	for i := int64(1); i <= n; i++ {
+		for j := int64(1); j <= n; j++ {
+			if err := co.Put(name, array.Coord{i, j}, array.Cell{array.Float64(float64(i + j))}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := co.Flush(name); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLocalClusterPutScanCount(t *testing.T) {
+	tr := NewLocal(4)
+	co := NewCoordinator(tr, 0)
+	scheme := partition.Block{Nodes: 4, SplitDim: 0, High: 16}
+	if err := co.Create("sky", gridSchema(), scheme); err != nil {
+		t.Fatal(err)
+	}
+	loadGrid(t, co, "sky", 16)
+	n, err := co.Count("sky")
+	if err != nil || n != 256 {
+		t.Fatalf("Count = %d,%v; want 256", n, err)
+	}
+	// Box scan.
+	res, err := co.Scan("sky", array.NewBox(array.Coord{1, 1}, array.Coord{4, 4}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count() != 16 {
+		t.Errorf("scan cells = %d, want 16", res.Count())
+	}
+	cell, ok := res.At(array.Coord{3, 4})
+	if !ok || cell[0].Float != 7 {
+		t.Errorf("scan cell = %v,%v", cell, ok)
+	}
+	// Cells are spread across nodes per the block scheme.
+	stats, err := co.NodeStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range stats {
+		if s.CellsHeld == 0 {
+			t.Errorf("node %d holds nothing", i)
+		}
+	}
+}
+
+func TestDistributedAggregates(t *testing.T) {
+	tr := NewLocal(3)
+	co := NewCoordinator(tr, 0)
+	scheme := partition.Hash{Nodes: 3, Dims: []int{0, 1}, ChunkLen: 4}
+	if err := co.Create("sky", gridSchema(), scheme); err != nil {
+		t.Fatal(err)
+	}
+	loadGrid(t, co, "sky", 8) // values i+j over 8x8
+	all := array.NewBox(array.Coord{1, 1}, array.Coord{8, 8})
+
+	// Grand totals.
+	sum, err := co.Aggregate("sky", all, "sum", "flux", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cell, _ := sum.At(array.Coord{1})
+	if cell[0].Float != 576 { // sum over 8x8 of (i+j) = 2*8*36 = 576
+		t.Errorf("sum = %v, want 576", cell[0].Float)
+	}
+	cnt, _ := co.Aggregate("sky", all, "count", "flux", nil)
+	cell, _ = cnt.At(array.Coord{1})
+	if cell[0].Int != 64 {
+		t.Errorf("count = %v", cell[0])
+	}
+	avg, _ := co.Aggregate("sky", all, "avg", "flux", nil)
+	cell, _ = avg.At(array.Coord{1})
+	if cell[0].Float != 9 {
+		t.Errorf("avg = %v, want 9", cell[0].Float)
+	}
+	mn, _ := co.Aggregate("sky", all, "min", "flux", nil)
+	cell, _ = mn.At(array.Coord{1})
+	if cell[0].Float != 2 {
+		t.Errorf("min = %v, want 2", cell[0].Float)
+	}
+	mx, _ := co.Aggregate("sky", all, "max", "flux", nil)
+	cell, _ = mx.At(array.Coord{1})
+	if cell[0].Float != 16 {
+		t.Errorf("max = %v, want 16", cell[0].Float)
+	}
+
+	// Grouped: sum per x row = sum_j (i+j) = 8i + 36.
+	rows, err := co.Aggregate("sky", all, "sum", "flux", []string{"x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(1); i <= 8; i++ {
+		cell, ok := rows.At(array.Coord{i})
+		if !ok || cell[0].Float != float64(8*i+36) {
+			t.Errorf("row %d sum = %v,%v; want %d", i, cell, ok, 8*i+36)
+		}
+	}
+	// Box-restricted aggregate.
+	part, _ := co.Aggregate("sky", array.NewBox(array.Coord{1, 1}, array.Coord{1, 2}), "sum", "flux", nil)
+	cell, _ = part.At(array.Coord{1})
+	if cell[0].Float != 5 { // (1+1)+(1+2)
+		t.Errorf("box sum = %v, want 5", cell[0].Float)
+	}
+}
+
+func TestRepartitionMovesOnlyChangedCells(t *testing.T) {
+	tr := NewLocal(4)
+	co := NewCoordinator(tr, 0)
+	blockA := partition.Block{Nodes: 4, SplitDim: 0, High: 16}
+	if err := co.Create("sky", gridSchema(), blockA); err != nil {
+		t.Fatal(err)
+	}
+	loadGrid(t, co, "sky", 16)
+
+	// Repartition to the same scheme: nothing moves.
+	if err := co.Repartition("sky", blockA); err != nil {
+		t.Fatal(err)
+	}
+	noMove := co.BytesMoved()
+	co.ResetBytesMoved()
+
+	// Repartition along the other dimension: most cells move.
+	blockB := partition.Block{Nodes: 4, SplitDim: 1, High: 16}
+	if err := co.Repartition("sky", blockB); err != nil {
+		t.Fatal(err)
+	}
+	bigMove := co.BytesMoved()
+	if bigMove <= noMove {
+		t.Errorf("cross-dim repartition moved %d bytes, same-scheme %d; expected strictly more", bigMove, noMove)
+	}
+	// Data intact afterwards.
+	n, err := co.Count("sky")
+	if err != nil || n != 256 {
+		t.Fatalf("Count after repartition = %d,%v", n, err)
+	}
+	res, _ := co.Scan("sky", array.NewBox(array.Coord{5, 5}, array.Coord{5, 5}))
+	cell, ok := res.At(array.Coord{5, 5})
+	if !ok || cell[0].Float != 10 {
+		t.Errorf("cell after repartition = %v,%v", cell, ok)
+	}
+	if s, _ := co.Scheme("sky"); s.Name() != blockB.Name() {
+		t.Error("scheme not updated")
+	}
+}
+
+func TestCoPartitionedJoinNoMovement(t *testing.T) {
+	tr := NewLocal(4)
+	co := NewCoordinator(tr, 0)
+	scheme := partition.Block{Nodes: 4, SplitDim: 0, High: 32}
+	vec := func(name string) *array.Schema {
+		return &array.Schema{
+			Name:  name,
+			Dims:  []array.Dimension{{Name: "x", High: 32}},
+			Attrs: []array.Attribute{{Name: "v", Type: array.TInt64}},
+		}
+	}
+	if err := co.Create("A", vec("A"), scheme); err != nil {
+		t.Fatal(err)
+	}
+	if err := co.Create("B", vec("B"), scheme); err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(1); i <= 32; i++ {
+		_ = co.Put("A", array.Coord{i}, array.Cell{array.Int64(i)})
+		_ = co.Put("B", array.Coord{i}, array.Cell{array.Int64(i * 100)})
+	}
+	_ = co.Flush("A")
+	_ = co.Flush("B")
+	co.ResetBytesMoved()
+
+	res, err := co.Sjoin("A", "B", []string{"x"}, []string{"x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if co.BytesMoved() != 0 {
+		t.Errorf("co-partitioned join moved %d bytes, want 0", co.BytesMoved())
+	}
+	if res.Count() != 32 {
+		t.Errorf("join cells = %d, want 32", res.Count())
+	}
+	cell, ok := res.At(array.Coord{7})
+	if !ok || cell[0].Int != 7 || cell[1].Int != 700 {
+		t.Errorf("join cell = %v,%v", cell, ok)
+	}
+}
+
+func TestNonCoPartitionedJoinMovesData(t *testing.T) {
+	tr := NewLocal(4)
+	co := NewCoordinator(tr, 0)
+	schemeA := partition.Block{Nodes: 4, SplitDim: 0, High: 32}
+	schemeB := partition.Hash{Nodes: 4, Dims: []int{0}, ChunkLen: 1}
+	vec := func(name string) *array.Schema {
+		return &array.Schema{
+			Name:  name,
+			Dims:  []array.Dimension{{Name: "x", High: 32}},
+			Attrs: []array.Attribute{{Name: "v", Type: array.TInt64}},
+		}
+	}
+	_ = co.Create("A", vec("A"), schemeA)
+	_ = co.Create("B", vec("B"), schemeB)
+	for i := int64(1); i <= 32; i++ {
+		_ = co.Put("A", array.Coord{i}, array.Cell{array.Int64(i)})
+		_ = co.Put("B", array.Coord{i}, array.Cell{array.Int64(i * 100)})
+	}
+	_ = co.Flush("A")
+	_ = co.Flush("B")
+	co.ResetBytesMoved()
+
+	res, err := co.Sjoin("A", "B", []string{"x"}, []string{"x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if co.BytesMoved() == 0 {
+		t.Error("non-co-partitioned join moved no bytes")
+	}
+	if res.Count() != 32 {
+		t.Errorf("join cells = %d, want 32", res.Count())
+	}
+}
+
+func TestErrorsPropagate(t *testing.T) {
+	tr := NewLocal(2)
+	co := NewCoordinator(tr, 0)
+	if err := co.Put("ghost", array.Coord{1}, array.Cell{array.Int64(1)}); err == nil {
+		t.Error("put to unknown array accepted")
+	}
+	if _, err := co.Count("ghost"); err == nil {
+		t.Error("count of unknown array accepted")
+	}
+	if _, err := co.Scan("ghost", array.NewBox(array.Coord{1}, array.Coord{1})); err == nil {
+		t.Error("scan of unknown array accepted")
+	}
+	s := gridSchema()
+	big := partition.Block{Nodes: 10, SplitDim: 0, High: 64}
+	if err := co.Create("sky", s, big); err == nil {
+		t.Error("scheme larger than transport accepted")
+	}
+	// Worker-level error comes back as a transport error.
+	if _, err := tr.Call(0, &Message{Op: "frobnicate"}); err == nil {
+		t.Error("unknown op accepted")
+	}
+	if _, err := tr.Call(99, &Message{Op: "ping"}); err == nil {
+		t.Error("bad node accepted")
+	}
+}
+
+func TestTCPTransport(t *testing.T) {
+	// Two real TCP workers on loopback.
+	var addrs []string
+	for i := 0; i < 2; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer ln.Close()
+		w := NewWorker(i)
+		go func() { _ = Serve(ln, w) }()
+		addrs = append(addrs, ln.Addr().String())
+	}
+	tr, err := DialTCP(addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	if tr.NumNodes() != 2 {
+		t.Fatalf("NumNodes = %d", tr.NumNodes())
+	}
+	// Ping both.
+	for n := 0; n < 2; n++ {
+		if _, err := tr.Call(n, &Message{Op: "ping"}); err != nil {
+			t.Fatalf("ping node %d: %v", n, err)
+		}
+	}
+	// Full protocol over TCP.
+	co := NewCoordinator(tr, 0)
+	scheme := partition.Block{Nodes: 2, SplitDim: 0, High: 16}
+	s := &array.Schema{
+		Name:  "tcp_arr",
+		Dims:  []array.Dimension{{Name: "x", High: 16}},
+		Attrs: []array.Attribute{{Name: "v", Type: array.TFloat64}},
+	}
+	if err := co.Create("tcp_arr", s, scheme); err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(1); i <= 16; i++ {
+		if err := co.Put("tcp_arr", array.Coord{i}, array.Cell{array.Float64(float64(i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := co.Flush("tcp_arr"); err != nil {
+		t.Fatal(err)
+	}
+	n, err := co.Count("tcp_arr")
+	if err != nil || n != 16 {
+		t.Fatalf("Count over TCP = %d,%v", n, err)
+	}
+	agg, err := co.Aggregate("tcp_arr", array.NewBox(array.Coord{1}, array.Coord{16}), "sum", "v", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cell, _ := agg.At(array.Coord{1})
+	if cell[0].Float != 136 {
+		t.Errorf("sum over TCP = %v, want 136", cell[0].Float)
+	}
+	// Errors propagate across the wire.
+	if _, err := tr.Call(0, &Message{Op: "scan", Array: "ghost"}); err == nil {
+		t.Error("remote error not propagated")
+	}
+	// Bad dial fails cleanly.
+	if _, err := DialTCP([]string{"127.0.0.1:1"}); err == nil {
+		t.Error("dial to closed port succeeded")
+	}
+}
+
+func TestDropArray(t *testing.T) {
+	tr := NewLocal(1)
+	co := NewCoordinator(tr, 0)
+	s := gridSchema()
+	_ = co.Create("sky", s, partition.Block{Nodes: 1, SplitDim: 0, High: 64})
+	loadGrid(t, co, "sky", 4)
+	if _, err := tr.Call(0, &Message{Op: "drop", Array: "sky"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Call(0, &Message{Op: "count", Array: "sky"}); err == nil {
+		t.Error("dropped array still present")
+	}
+}
+
+func TestWorkerOpErrors(t *testing.T) {
+	tr := NewLocal(1)
+	// create without schema
+	if _, err := tr.Call(0, &Message{Op: "create", Array: "x"}); err == nil {
+		t.Error("create without schema accepted")
+	}
+	// ops against unknown arrays
+	for _, op := range []string{"put", "scan", "agg", "count", "replace"} {
+		if _, err := tr.Call(0, &Message{Op: op, Array: "ghost"}); err == nil {
+			t.Errorf("%s on unknown array accepted", op)
+		}
+	}
+	// sjoin argument validation
+	s := gridSchema()
+	if _, err := tr.Call(0, &Message{Op: "create", Array: "a", Schema: s}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Call(0, &Message{Op: "create", Array: "b", Schema: s}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Call(0, &Message{Op: "sjoin", Array: "a", Array2: "b"}); err == nil {
+		t.Error("sjoin without pairs accepted")
+	}
+	if _, err := tr.Call(0, &Message{Op: "sjoin", Array: "a", Array2: "ghost", OnL: []string{"x"}, OnR: []string{"x"}}); err == nil {
+		t.Error("sjoin with unknown right array accepted")
+	}
+	// agg with unknown attribute / dimension
+	if _, err := tr.Call(0, &Message{Op: "agg", Array: "a", Agg: "sum", Attr: "zzz"}); err == nil {
+		t.Error("agg unknown attr accepted")
+	}
+	if _, err := tr.Call(0, &Message{Op: "agg", Array: "a", Agg: "sum", GroupDims: []string{"zzz"}}); err == nil {
+		t.Error("agg unknown dim accepted")
+	}
+	// corrupted payload
+	if _, err := tr.Call(0, &Message{Op: "put", Array: "a", Payload: []byte{1, 2, 3}}); err == nil {
+		t.Error("corrupt payload accepted")
+	}
+}
+
+func TestStatsOpAndWorkerCounters(t *testing.T) {
+	tr := NewLocal(1)
+	co := NewCoordinator(tr, 0)
+	_ = co.Create("sky", gridSchema(), partition.Block{Nodes: 1, SplitDim: 0, High: 64})
+	loadGrid(t, co, "sky", 4)
+	resp, err := tr.Call(0, &Message{Op: "stats"})
+	if err != nil || resp.Stats == nil {
+		t.Fatalf("stats = %+v, %v", resp, err)
+	}
+	if resp.Stats.CellsHeld != 16 || resp.Stats.Requests == 0 || resp.Stats.BytesIn == 0 {
+		t.Errorf("counters = %+v", resp.Stats)
+	}
+}
+
+func TestEpochSchemeOnCluster(t *testing.T) {
+	// The paper's changing-partitioning: cells before time T place under
+	// one scheme, after T under another — in one array, via Epoch.
+	tr := NewLocal(2)
+	co := NewCoordinator(tr, 0)
+	s := &array.Schema{
+		Name:  "ts",
+		Dims:  []array.Dimension{{Name: "t", High: 100}, {Name: "site", High: 10}},
+		Attrs: []array.Attribute{{Name: "v", Type: array.TFloat64}},
+	}
+	epoch := partition.Epoch{
+		TimeDim:    0,
+		Boundaries: []int64{51},
+		Schemes: []partition.Scheme{
+			partition.Block{Nodes: 2, SplitDim: 1, High: 10},           // before T: by site
+			partition.Range{SplitDim: 1, Splits: []int64{2}, Nodes: 2}, // after T: hotspot-adjusted
+		},
+	}
+	if err := epoch.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := co.Create("ts", s, epoch); err != nil {
+		t.Fatal(err)
+	}
+	for tt := int64(1); tt <= 100; tt++ {
+		if err := co.Put("ts", array.Coord{tt, tt%10 + 1}, array.Cell{array.Float64(float64(tt))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := co.Flush("ts"); err != nil {
+		t.Fatal(err)
+	}
+	n, err := co.Count("ts")
+	if err != nil || n != 100 {
+		t.Fatalf("count = %d,%v", n, err)
+	}
+	// Same (site) coordinate lands differently across the boundary.
+	early := epoch.NodeFor(array.Coord{10, 5})
+	late := epoch.NodeFor(array.Coord{90, 5})
+	if early == late {
+		t.Error("epoch boundary had no placement effect for site 5")
+	}
+	// And the data is still all queryable.
+	agg, err := co.Aggregate("ts", array.NewBox(array.Coord{1, 1}, array.Coord{100, 10}), "count", "v", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cell, _ := agg.At(array.Coord{1})
+	if cell[0].Int != 100 {
+		t.Errorf("distributed count = %v", cell[0])
+	}
+}
+
+func TestSjoinOverTCP(t *testing.T) {
+	var addrs []string
+	for i := 0; i < 2; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer ln.Close()
+		go func(i int) { _ = Serve(ln, NewWorker(i)) }(i)
+		addrs = append(addrs, ln.Addr().String())
+	}
+	tr, err := DialTCP(addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	co := NewCoordinator(tr, 0)
+	scheme := partition.Block{Nodes: 2, SplitDim: 0, High: 8}
+	vec := func(name string) *array.Schema {
+		return &array.Schema{
+			Name:  name,
+			Dims:  []array.Dimension{{Name: "x", High: 8}},
+			Attrs: []array.Attribute{{Name: "v", Type: array.TInt64}},
+		}
+	}
+	_ = co.Create("L", vec("L"), scheme)
+	_ = co.Create("R", vec("R"), scheme)
+	for i := int64(1); i <= 8; i++ {
+		_ = co.Put("L", array.Coord{i}, array.Cell{array.Int64(i)})
+		_ = co.Put("R", array.Coord{i}, array.Cell{array.Int64(i * 10)})
+	}
+	_ = co.Flush("L")
+	_ = co.Flush("R")
+	res, err := co.Sjoin("L", "R", []string{"x"}, []string{"x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count() != 8 {
+		t.Errorf("TCP sjoin cells = %d", res.Count())
+	}
+	if co.BytesMoved() != 0 {
+		t.Errorf("co-partitioned TCP join moved %d bytes", co.BytesMoved())
+	}
+}
+
+// TestWorkerConcurrentAccess hammers one worker from several goroutines;
+// run under -race this validates the worker's locking.
+func TestWorkerConcurrentAccess(t *testing.T) {
+	w := NewWorker(0)
+	s := gridSchema()
+	if resp := w.Handle(&Message{Op: "create", Array: "c", Schema: s}); resp.Err != "" {
+		t.Fatal(resp.Err)
+	}
+	done := make(chan error, 4)
+	for g := 0; g < 4; g++ {
+		go func(g int) {
+			src := array.MustNew(s.Clone())
+			for i := int64(1); i <= 16; i++ {
+				_ = src.Set(array.Coord{int64(g)*16 + i, 1}, array.Cell{array.Float64(float64(i))})
+			}
+			payload, err := encodeForTest(src)
+			if err != nil {
+				done <- err
+				return
+			}
+			for k := 0; k < 20; k++ {
+				if resp := w.Handle(&Message{Op: "put", Array: "c", Payload: payload}); resp.Err != "" {
+					done <- fmt.Errorf("put: %s", resp.Err)
+					return
+				}
+				if resp := w.Handle(&Message{Op: "count", Array: "c"}); resp.Err != "" {
+					done <- fmt.Errorf("count: %s", resp.Err)
+					return
+				}
+				if resp := w.Handle(&Message{Op: "stats"}); resp.Err != "" {
+					done <- fmt.Errorf("stats: %s", resp.Err)
+					return
+				}
+			}
+			done <- nil
+		}(g)
+	}
+	for g := 0; g < 4; g++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	resp := w.Handle(&Message{Op: "count", Array: "c"})
+	if resp.Cells != 64 {
+		t.Errorf("final count = %d, want 64", resp.Cells)
+	}
+}
+
+func encodeForTest(a *array.Array) ([]byte, error) {
+	return storage.EncodeArray(a)
+}
+
+func TestBoxPruningSkipsNodes(t *testing.T) {
+	// With a block scheme on x, a box query touching only low x values
+	// must not contact nodes owning high slabs.
+	tr := NewLocal(4)
+	co := NewCoordinator(tr, 0)
+	scheme := partition.Block{Nodes: 4, SplitDim: 0, High: 16}
+	if err := co.Create("sky", gridSchema(), scheme); err != nil {
+		t.Fatal(err)
+	}
+	loadGrid(t, co, "sky", 16)
+	before := make([]int64, 4)
+	for i, w := range tr.Workers {
+		before[i] = w.Stats().Requests
+	}
+	// Box entirely inside node 0's slab (x in 1..4).
+	res, err := co.Scan("sky", array.NewBox(array.Coord{1, 1}, array.Coord{4, 16}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count() != 64 {
+		t.Fatalf("pruned scan cells = %d, want 64", res.Count())
+	}
+	for i, w := range tr.Workers {
+		delta := w.Stats().Requests - before[i]
+		if i == 0 && delta == 0 {
+			t.Error("owning node not contacted")
+		}
+		if i > 0 && delta != 0 {
+			t.Errorf("node %d contacted %d times for a pruned box", i, delta)
+		}
+	}
+	// Aggregates prune too, and agree with the full answer.
+	agg, err := co.Aggregate("sky", array.NewBox(array.Coord{1, 1}, array.Coord{4, 16}), "count", "flux", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cell, _ := agg.At(array.Coord{1})
+	if cell[0].Int != 64 {
+		t.Errorf("pruned count = %v", cell[0])
+	}
+	// Cross-slab boxes still reach every needed node.
+	res, err = co.Scan("sky", array.NewBox(array.Coord{3, 1}, array.Coord{10, 16}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count() != 8*16 {
+		t.Errorf("cross-slab scan = %d cells", res.Count())
+	}
+}

@@ -1,0 +1,467 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+
+	"scidb/internal/array"
+	"scidb/internal/partition"
+	"scidb/internal/storage"
+)
+
+// DistArray is the coordinator's record of one distributed array.
+type DistArray struct {
+	Name   string
+	Schema *array.Schema
+	Scheme partition.Scheme
+	// staging buffers cells per node until Flush.
+	staging map[int]*array.Array
+	staged  int64
+}
+
+// Coordinator routes work to grid nodes through a Transport. It is safe for
+// concurrent use.
+type Coordinator struct {
+	t Transport
+
+	mu         sync.Mutex
+	arrays     map[string]*DistArray
+	bytesMoved int64
+	batchCells int64
+}
+
+// NewCoordinator wraps a transport. batchCells is the staging threshold per
+// array before an automatic flush (0 = 4096).
+func NewCoordinator(t Transport, batchCells int64) *Coordinator {
+	if batchCells <= 0 {
+		batchCells = 4096
+	}
+	return &Coordinator{t: t, arrays: map[string]*DistArray{}, batchCells: batchCells}
+}
+
+// BytesMoved reports cumulative inter-node data movement caused by
+// repartitioning and non-co-partitioned joins.
+func (co *Coordinator) BytesMoved() int64 {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	return co.bytesMoved
+}
+
+// ResetBytesMoved zeroes the movement counter (per-experiment scoping).
+func (co *Coordinator) ResetBytesMoved() {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	co.bytesMoved = 0
+}
+
+// Create declares a distributed array on every node with the given
+// partitioning scheme.
+func (co *Coordinator) Create(name string, schema *array.Schema, scheme partition.Scheme) error {
+	if err := schema.Validate(); err != nil {
+		return err
+	}
+	if scheme.NumNodes() > co.t.NumNodes() {
+		return fmt.Errorf("cluster: scheme wants %d nodes, transport has %d", scheme.NumNodes(), co.t.NumNodes())
+	}
+	for n := 0; n < co.t.NumNodes(); n++ {
+		if _, err := co.t.Call(n, &Message{Op: "create", Array: name, Schema: schema}); err != nil {
+			return err
+		}
+	}
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	co.arrays[name] = &DistArray{Name: name, Schema: schema, Scheme: scheme, staging: map[int]*array.Array{}}
+	return nil
+}
+
+func (co *Coordinator) dist(name string) (*DistArray, error) {
+	da, ok := co.arrays[name]
+	if !ok {
+		return nil, fmt.Errorf("cluster: unknown distributed array %q", name)
+	}
+	return da, nil
+}
+
+// Put stages one cell for its owning node (per the scheme) and flushes the
+// staging buffer when it reaches the batch size.
+func (co *Coordinator) Put(name string, c array.Coord, cell array.Cell) error {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	da, err := co.dist(name)
+	if err != nil {
+		return err
+	}
+	node := da.Scheme.NodeFor(c)
+	buf, ok := da.staging[node]
+	if !ok {
+		s := da.Schema.Clone()
+		for i := range s.Dims {
+			s.Dims[i].High = array.Unbounded
+			if s.Dims[i].ChunkLen <= 0 {
+				s.Dims[i].ChunkLen = 64
+			}
+		}
+		buf, err = array.New(s)
+		if err != nil {
+			return err
+		}
+		da.staging[node] = buf
+	}
+	if err := buf.Set(c, cell); err != nil {
+		return err
+	}
+	da.staged++
+	if da.staged >= co.batchCells {
+		return co.flushLocked(da)
+	}
+	return nil
+}
+
+// Flush sends all staged cells to their nodes.
+func (co *Coordinator) Flush(name string) error {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	da, err := co.dist(name)
+	if err != nil {
+		return err
+	}
+	return co.flushLocked(da)
+}
+
+func (co *Coordinator) flushLocked(da *DistArray) error {
+	for node, buf := range da.staging {
+		payload, err := storage.EncodeArray(buf)
+		if err != nil {
+			return err
+		}
+		if _, err := co.t.Call(node, &Message{Op: "put", Array: da.Name, Payload: payload}); err != nil {
+			return err
+		}
+	}
+	da.staging = map[int]*array.Array{}
+	da.staged = 0
+	return nil
+}
+
+// Count sums cell counts across nodes.
+func (co *Coordinator) Count(name string) (int64, error) {
+	co.mu.Lock()
+	da, err := co.dist(name)
+	co.mu.Unlock()
+	if err != nil {
+		return 0, err
+	}
+	var total int64
+	for n := 0; n < co.t.NumNodes(); n++ {
+		resp, err := co.t.Call(n, &Message{Op: "count", Array: da.Name})
+		if err != nil {
+			return 0, err
+		}
+		total += resp.Cells
+	}
+	return total, nil
+}
+
+// Scan gathers every cell intersecting the box into one local array.
+func (co *Coordinator) Scan(name string, box array.Box) (*array.Array, error) {
+	co.mu.Lock()
+	da, err := co.dist(name)
+	co.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	s := da.Schema.Clone()
+	for i := range s.Dims {
+		s.Dims[i].High = array.Unbounded
+		if s.Dims[i].ChunkLen <= 0 {
+			s.Dims[i].ChunkLen = 64
+		}
+	}
+	out, err := array.New(s)
+	if err != nil {
+		return nil, err
+	}
+	req := &Message{Op: "scan", Array: name, BoxLo: box.Lo, BoxHi: box.Hi}
+	for _, n := range co.nodesFor(da, box) {
+		resp, err := co.t.Call(n, req)
+		if err != nil {
+			return nil, err
+		}
+		part, err := storage.DecodeArray(s, resp.Payload)
+		if err != nil {
+			return nil, err
+		}
+		var werr error
+		part.Iter(func(c array.Coord, cell array.Cell) bool {
+			if err := out.Set(c.Clone(), cell); err != nil {
+				werr = err
+				return false
+			}
+			return true
+		})
+		if werr != nil {
+			return nil, werr
+		}
+	}
+	return out, nil
+}
+
+// nodesFor returns the nodes a box query must visit: all of them, unless
+// the array's scheme can prune (Block/Range partitioning along a split
+// dimension).
+func (co *Coordinator) nodesFor(da *DistArray, box array.Box) []int {
+	if p, ok := da.Scheme.(partition.Pruner); ok && len(box.Lo) == len(da.Schema.Dims) {
+		return p.NodesForBox(box.Lo, box.Hi)
+	}
+	out := make([]int, co.t.NumNodes())
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// Aggregate pushes a distributable aggregate down to every node as
+// combinable partials and merges them, returning a result array with one
+// dimension per grouping dimension (or a single cell for a grand total).
+func (co *Coordinator) Aggregate(name string, box array.Box, agg, attr string, groupDims []string) (*array.Array, error) {
+	co.mu.Lock()
+	da, err := co.dist(name)
+	co.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	req := &Message{Op: "agg", Array: name, Agg: agg, Attr: attr, GroupDims: groupDims,
+		BoxLo: box.Lo, BoxHi: box.Hi}
+	merged := map[string]*Partial{}
+	for _, n := range co.nodesFor(da, box) {
+		resp, err := co.t.Call(n, req)
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range resp.Partials {
+			k := fmt.Sprint(p.Key)
+			if m, ok := merged[k]; ok {
+				m.merge(p)
+			} else {
+				cp := p
+				merged[k] = &cp
+			}
+		}
+	}
+	// Build the result array.
+	outSchema := &array.Schema{Name: name + "_agg"}
+	if len(groupDims) == 0 {
+		outSchema.Dims = []array.Dimension{{Name: "all", High: 1}}
+	} else {
+		for _, g := range groupDims {
+			outSchema.Dims = append(outSchema.Dims, array.Dimension{Name: g, High: array.Unbounded})
+		}
+	}
+	t := array.TFloat64
+	if agg == "count" {
+		t = array.TInt64
+	}
+	outSchema.Attrs = []array.Attribute{{Name: agg, Type: t}}
+	out, err := array.New(outSchema)
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range merged {
+		v, err := p.finalize(agg)
+		if err != nil {
+			return nil, err
+		}
+		coord := array.Coord{1}
+		if len(groupDims) > 0 {
+			coord = append(array.Coord(nil), p.Key...)
+		}
+		if err := out.Set(coord, array.Cell{v}); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Repartition changes an array's partitioning scheme ("we allow the
+// partitioning to change over time"), moving only the cells whose owner
+// changes and counting the moved bytes.
+func (co *Coordinator) Repartition(name string, newScheme partition.Scheme) error {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	da, err := co.dist(name)
+	if err != nil {
+		return err
+	}
+	if err := co.flushLocked(da); err != nil {
+		return err
+	}
+	nodes := co.t.NumNodes()
+	// Gather each node's content and compute new placements.
+	newContent := make([]*array.Array, nodes)
+	tmpl := da.Schema.Clone()
+	for i := range tmpl.Dims {
+		tmpl.Dims[i].High = array.Unbounded
+		if tmpl.Dims[i].ChunkLen <= 0 {
+			tmpl.Dims[i].ChunkLen = 64
+		}
+	}
+	for n := range newContent {
+		s := tmpl.Clone()
+		a, err := array.New(s)
+		if err != nil {
+			return err
+		}
+		newContent[n] = a
+	}
+	movedProbe := tmpl.Clone()
+	moved, err := array.New(movedProbe)
+	if err != nil {
+		return err
+	}
+	for n := 0; n < nodes; n++ {
+		resp, err := co.t.Call(n, &Message{Op: "scan", Array: name})
+		if err != nil {
+			return err
+		}
+		part, err := storage.DecodeArray(tmpl, resp.Payload)
+		if err != nil {
+			return err
+		}
+		var werr error
+		part.Iter(func(c array.Coord, cell array.Cell) bool {
+			target := newScheme.NodeFor(c)
+			if err := newContent[target].Set(c.Clone(), cell); err != nil {
+				werr = err
+				return false
+			}
+			if target != n {
+				if err := moved.Set(c.Clone(), cell); err != nil {
+					werr = err
+					return false
+				}
+			}
+			return true
+		})
+		if werr != nil {
+			return werr
+		}
+	}
+	// Count moved bytes via the wire encoding of the moved cells.
+	if moved.Count() > 0 {
+		if movedPayload, err := storage.EncodeArray(moved); err == nil {
+			co.bytesMoved += int64(len(movedPayload))
+		}
+	}
+	for n := 0; n < nodes; n++ {
+		payload, err := storage.EncodeArray(newContent[n])
+		if err != nil {
+			return err
+		}
+		if _, err := co.t.Call(n, &Message{Op: "replace", Array: name, Payload: payload}); err != nil {
+			return err
+		}
+	}
+	da.Scheme = newScheme
+	return nil
+}
+
+// Sjoin joins two distributed arrays on dimension pairs. When the arrays
+// are co-partitioned (same scheme — §2.7's co-partitioning research point),
+// the join runs node-locally with zero data movement; otherwise the right
+// array is first repartitioned to match the left's scheme, and the moved
+// bytes are charged to BytesMoved.
+func (co *Coordinator) Sjoin(left, right string, onL, onR []string) (*array.Array, error) {
+	co.mu.Lock()
+	la, err := co.dist(left)
+	if err != nil {
+		co.mu.Unlock()
+		return nil, err
+	}
+	ra, err := co.dist(right)
+	if err != nil {
+		co.mu.Unlock()
+		return nil, err
+	}
+	if err := co.flushLocked(la); err != nil {
+		co.mu.Unlock()
+		return nil, err
+	}
+	if err := co.flushLocked(ra); err != nil {
+		co.mu.Unlock()
+		return nil, err
+	}
+	coLocated := la.Scheme.Name() == ra.Scheme.Name()
+	co.mu.Unlock()
+
+	if !coLocated {
+		// Data movement is required: align the right array's partitioning
+		// with the left's.
+		if err := co.Repartition(right, la.Scheme); err != nil {
+			return nil, err
+		}
+	}
+	// Node-local joins, unioned at the coordinator.
+	var out *array.Array
+	req := &Message{Op: "sjoin", Array: left, Array2: right, OnL: onL, OnR: onR}
+	for n := 0; n < co.t.NumNodes(); n++ {
+		resp, err := co.t.Call(n, req)
+		if err != nil {
+			return nil, err
+		}
+		s := resp.Schema.Clone()
+		for i := range s.Dims {
+			s.Dims[i].High = array.Unbounded
+			if s.Dims[i].ChunkLen <= 0 {
+				s.Dims[i].ChunkLen = 64
+			}
+		}
+		part, err := storage.DecodeArray(s, resp.Payload)
+		if err != nil {
+			return nil, err
+		}
+		if out == nil {
+			out, err = array.New(s.Clone())
+			if err != nil {
+				return nil, err
+			}
+		}
+		var werr error
+		part.Iter(func(c array.Coord, cell array.Cell) bool {
+			if err := out.Set(c.Clone(), cell); err != nil {
+				werr = err
+				return false
+			}
+			return true
+		})
+		if werr != nil {
+			return nil, werr
+		}
+	}
+	return out, nil
+}
+
+// NodeStats gathers per-node counters (the PART experiment's load metric).
+func (co *Coordinator) NodeStats() ([]WorkerStats, error) {
+	out := make([]WorkerStats, co.t.NumNodes())
+	for n := range out {
+		resp, err := co.t.Call(n, &Message{Op: "stats"})
+		if err != nil {
+			return nil, err
+		}
+		if resp.Stats != nil {
+			out[n] = *resp.Stats
+		}
+	}
+	return out, nil
+}
+
+// Scheme returns the current scheme of a distributed array.
+func (co *Coordinator) Scheme(name string) (partition.Scheme, error) {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	da, err := co.dist(name)
+	if err != nil {
+		return nil, err
+	}
+	return da.Scheme, nil
+}

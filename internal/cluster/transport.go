@@ -1,0 +1,144 @@
+package cluster
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// Transport delivers a request to a numbered node and returns its response.
+// The coordinator is transport-agnostic; protocol behaviour is identical
+// in-process and over TCP.
+type Transport interface {
+	Call(node int, req *Message) (*Message, error)
+	NumNodes() int
+	Close() error
+}
+
+// Local is the in-process transport: direct calls into worker objects.
+type Local struct {
+	Workers []*Worker
+}
+
+// NewLocal creates n in-process workers and a transport over them.
+func NewLocal(n int) *Local {
+	ws := make([]*Worker, n)
+	for i := range ws {
+		ws[i] = NewWorker(i)
+	}
+	return &Local{Workers: ws}
+}
+
+// Call implements Transport.
+func (l *Local) Call(node int, req *Message) (*Message, error) {
+	if node < 0 || node >= len(l.Workers) {
+		return nil, fmt.Errorf("cluster: no node %d", node)
+	}
+	resp := l.Workers[node].Handle(req)
+	if resp.Err != "" {
+		return nil, fmt.Errorf("cluster: node %d: %s", node, resp.Err)
+	}
+	return resp, nil
+}
+
+// NumNodes implements Transport.
+func (l *Local) NumNodes() int { return len(l.Workers) }
+
+// Close implements Transport.
+func (l *Local) Close() error { return nil }
+
+// Serve runs a worker on a listener, handling one gob-framed Message per
+// request on each connection until the connection closes. It returns when
+// the listener is closed.
+func Serve(ln net.Listener, w *Worker) error {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return err
+		}
+		go func(conn net.Conn) {
+			defer conn.Close()
+			dec := gob.NewDecoder(conn)
+			enc := gob.NewEncoder(conn)
+			for {
+				var req Message
+				if err := dec.Decode(&req); err != nil {
+					return
+				}
+				resp := w.Handle(&req)
+				if err := enc.Encode(resp); err != nil {
+					return
+				}
+			}
+		}(conn)
+	}
+}
+
+// TCP connects to a set of worker addresses.
+type TCP struct {
+	mu    sync.Mutex
+	conns []*tcpConn
+}
+
+type tcpConn struct {
+	mu   sync.Mutex
+	conn net.Conn
+	enc  *gob.Encoder
+	dec  *gob.Decoder
+}
+
+// DialTCP connects to each address; node i is addrs[i].
+func DialTCP(addrs []string) (*TCP, error) {
+	t := &TCP{}
+	for _, addr := range addrs {
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			_ = t.Close()
+			return nil, fmt.Errorf("cluster: dial %s: %w", addr, err)
+		}
+		t.conns = append(t.conns, &tcpConn{
+			conn: conn,
+			enc:  gob.NewEncoder(conn),
+			dec:  gob.NewDecoder(conn),
+		})
+	}
+	return t, nil
+}
+
+// Call implements Transport.
+func (t *TCP) Call(node int, req *Message) (*Message, error) {
+	if node < 0 || node >= len(t.conns) {
+		return nil, fmt.Errorf("cluster: no node %d", node)
+	}
+	c := t.conns[node]
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.enc.Encode(req); err != nil {
+		return nil, fmt.Errorf("cluster: send to node %d: %w", node, err)
+	}
+	var resp Message
+	if err := c.dec.Decode(&resp); err != nil {
+		return nil, fmt.Errorf("cluster: recv from node %d: %w", node, err)
+	}
+	if resp.Err != "" {
+		return nil, fmt.Errorf("cluster: node %d: %s", node, resp.Err)
+	}
+	return &resp, nil
+}
+
+// NumNodes implements Transport.
+func (t *TCP) NumNodes() int { return len(t.conns) }
+
+// Close implements Transport.
+func (t *TCP) Close() error {
+	var first error
+	for _, c := range t.conns {
+		if c != nil && c.conn != nil {
+			if err := c.conn.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	return first
+}

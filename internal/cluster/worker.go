@@ -1,0 +1,428 @@
+// Package cluster implements §2.7's grid orientation: a shared-nothing
+// cluster of worker nodes coordinated over a message transport. Workers
+// hold array partitions; the coordinator routes cells by a partitioning
+// scheme, pushes aggregates down as combinable partials, executes
+// co-partitioned joins locally without data movement, and repartitions
+// arrays when the scheme changes over time (counting bytes moved, the PART
+// and COPART experiments' metric).
+//
+// Two transports are provided: in-process (direct calls) and TCP with gob
+// encoding — the protocol logic is identical over both (see DESIGN.md's
+// substitution table).
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"scidb/internal/array"
+	"scidb/internal/ops"
+	"scidb/internal/storage"
+)
+
+// Message is the single request/response envelope exchanged with workers.
+type Message struct {
+	Op     string // "create", "put", "scan", "agg", "count", "drop", "ping"
+	Array  string
+	Schema *array.Schema
+	BoxLo  []int64
+	BoxHi  []int64
+	// Payload carries cells as a storage.EncodeArray blob.
+	Payload   []byte
+	Agg       string
+	Attr      string
+	GroupDims []string
+	Partials  []Partial
+	Cells     int64
+	Err       string
+	// Join fields: join req.Array with Array2 on OnL[i] = OnR[i].
+	Array2 string
+	OnL    []string
+	OnR    []string
+	// Stats response.
+	Stats *WorkerStats
+}
+
+// Partial is a combinable aggregate fragment computed by one worker for one
+// group. Avg is carried as Sum+Count; stdev as Sum+SumSq+Count.
+type Partial struct {
+	Key   []int64
+	Sum   float64
+	SumSq float64
+	Count int64
+	Min   float64
+	Max   float64
+}
+
+// merge combines another partial for the same group.
+func (p *Partial) merge(o Partial) {
+	p.Sum += o.Sum
+	p.SumSq += o.SumSq
+	p.Count += o.Count
+	if o.Count > 0 {
+		if p.Count == o.Count { // p was empty before merge
+			p.Min, p.Max = o.Min, o.Max
+		} else {
+			if o.Min < p.Min {
+				p.Min = o.Min
+			}
+			if o.Max > p.Max {
+				p.Max = o.Max
+			}
+		}
+	}
+}
+
+// finalize produces the aggregate value named by agg.
+func (p *Partial) finalize(agg string) (array.Value, error) {
+	if p.Count == 0 {
+		return array.NullValue(array.TFloat64), nil
+	}
+	switch agg {
+	case "sum":
+		return array.Float64(p.Sum), nil
+	case "count":
+		return array.Int64(p.Count), nil
+	case "avg":
+		return array.Float64(p.Sum / float64(p.Count)), nil
+	case "min":
+		return array.Float64(p.Min), nil
+	case "max":
+		return array.Float64(p.Max), nil
+	case "stdev":
+		if p.Count < 2 {
+			return array.NullValue(array.TFloat64), nil
+		}
+		mean := p.Sum / float64(p.Count)
+		v := (p.SumSq - float64(p.Count)*mean*mean) / float64(p.Count-1)
+		if v < 0 {
+			v = 0
+		}
+		return array.Float64(math.Sqrt(v)), nil
+	}
+	return array.Value{}, fmt.Errorf("cluster: aggregate %q is not distributable", agg)
+}
+
+// Worker is one shared-nothing node: a set of local array partitions.
+type Worker struct {
+	ID int
+
+	mu     sync.RWMutex
+	arrays map[string]*array.Array
+	stats  WorkerStats
+}
+
+// WorkerStats counts per-node activity for the load-balance experiments.
+type WorkerStats struct {
+	CellsHeld    int64
+	CellsScanned int64
+	BytesIn      int64
+	BytesOut     int64
+	Requests     int64
+}
+
+// NewWorker creates an empty worker.
+func NewWorker(id int) *Worker {
+	return &Worker{ID: id, arrays: map[string]*array.Array{}}
+}
+
+// Stats snapshots the worker's counters.
+func (w *Worker) Stats() WorkerStats {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	return w.stats
+}
+
+// Handle processes one request message and returns the response. This is
+// the single entry point used by both transports.
+func (w *Worker) Handle(req *Message) *Message {
+	w.mu.Lock()
+	w.stats.Requests++
+	w.mu.Unlock()
+	resp, err := w.handle(req)
+	if err != nil {
+		return &Message{Op: req.Op, Err: err.Error()}
+	}
+	if resp == nil {
+		resp = &Message{Op: req.Op}
+	}
+	return resp
+}
+
+func (w *Worker) handle(req *Message) (*Message, error) {
+	switch req.Op {
+	case "ping":
+		return &Message{Op: "ping"}, nil
+	case "create":
+		return w.create(req)
+	case "put":
+		return w.put(req)
+	case "scan":
+		return w.scan(req)
+	case "agg":
+		return w.agg(req)
+	case "count":
+		return w.count(req)
+	case "drop":
+		return w.drop(req)
+	case "replace":
+		return w.replace(req)
+	case "sjoin":
+		return w.sjoin(req)
+	case "stats":
+		s := w.Stats()
+		return &Message{Op: "stats", Stats: &s}, nil
+	}
+	return nil, fmt.Errorf("cluster: unknown op %q", req.Op)
+}
+
+// replace swaps the node's entire partition content for the payload
+// (used by repartitioning).
+func (w *Worker) replace(req *Message) (*Message, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	a, err := w.local(req.Array)
+	if err != nil {
+		return nil, err
+	}
+	in, err := storage.DecodeArray(a.Schema, req.Payload)
+	if err != nil {
+		return nil, err
+	}
+	w.stats.CellsHeld += in.Count() - a.Count()
+	w.stats.BytesIn += int64(len(req.Payload))
+	w.arrays[req.Array] = in
+	return &Message{Op: "replace", Cells: in.Count()}, nil
+}
+
+// sjoin runs a local structured join between two partitions held on this
+// node (the co-partitioned fast path: "comparison operations including
+// joins do not require data movement").
+func (w *Worker) sjoin(req *Message) (*Message, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	a, err := w.local(req.Array)
+	if err != nil {
+		return nil, err
+	}
+	b, err := w.local(req.Array2)
+	if err != nil {
+		return nil, err
+	}
+	if len(req.OnL) != len(req.OnR) || len(req.OnL) == 0 {
+		return nil, fmt.Errorf("cluster: sjoin needs matching dimension pair lists")
+	}
+	pairs := make([]ops.DimPair, len(req.OnL))
+	for i := range req.OnL {
+		pairs[i] = ops.DimPair{LDim: req.OnL[i], RDim: req.OnR[i]}
+	}
+	res, err := ops.Sjoin(a, b, pairs)
+	if err != nil {
+		return nil, err
+	}
+	payload, err := storage.EncodeArray(res)
+	if err != nil {
+		return nil, err
+	}
+	w.stats.BytesOut += int64(len(payload))
+	return &Message{Op: "sjoin", Payload: payload, Schema: res.Schema, Cells: res.Count()}, nil
+}
+
+func (w *Worker) create(req *Message) (*Message, error) {
+	if req.Schema == nil {
+		return nil, fmt.Errorf("cluster: create without schema")
+	}
+	// Unbound all dims locally: a partition holds an arbitrary sub-box.
+	s := req.Schema.Clone()
+	for i := range s.Dims {
+		if s.Dims[i].ChunkLen <= 0 {
+			s.Dims[i].ChunkLen = 64
+		}
+		s.Dims[i].High = array.Unbounded
+	}
+	a, err := array.New(s)
+	if err != nil {
+		return nil, err
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.arrays[req.Array] = a
+	return nil, nil
+}
+
+func (w *Worker) local(name string) (*array.Array, error) {
+	a, ok := w.arrays[name]
+	if !ok {
+		return nil, fmt.Errorf("cluster: node %d has no array %q", w.ID, name)
+	}
+	return a, nil
+}
+
+func (w *Worker) put(req *Message) (*Message, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	a, err := w.local(req.Array)
+	if err != nil {
+		return nil, err
+	}
+	in, err := storage.DecodeArray(a.Schema, req.Payload)
+	if err != nil {
+		return nil, err
+	}
+	var n int64
+	var werr error
+	in.Iter(func(c array.Coord, cell array.Cell) bool {
+		if err := a.Set(c.Clone(), cell); err != nil {
+			werr = err
+			return false
+		}
+		n++
+		return true
+	})
+	if werr != nil {
+		return nil, werr
+	}
+	w.stats.CellsHeld += n
+	w.stats.BytesIn += int64(len(req.Payload))
+	return &Message{Op: "put", Cells: n}, nil
+}
+
+func (w *Worker) scan(req *Message) (*Message, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	a, err := w.local(req.Array)
+	if err != nil {
+		return nil, err
+	}
+	out, err := array.New(a.Schema.Clone())
+	if err != nil {
+		return nil, err
+	}
+	box := boxFrom(req, a)
+	var n int64
+	var werr error
+	a.Iter(func(c array.Coord, cell array.Cell) bool {
+		if !box.Contains(c) {
+			return true
+		}
+		if err := out.Set(c.Clone(), cell); err != nil {
+			werr = err
+			return false
+		}
+		n++
+		return true
+	})
+	if werr != nil {
+		return nil, werr
+	}
+	payload, err := storage.EncodeArray(out)
+	if err != nil {
+		return nil, err
+	}
+	w.stats.CellsScanned += n
+	w.stats.BytesOut += int64(len(payload))
+	return &Message{Op: "scan", Payload: payload, Cells: n}, nil
+}
+
+func (w *Worker) agg(req *Message) (*Message, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	a, err := w.local(req.Array)
+	if err != nil {
+		return nil, err
+	}
+	attr := 0
+	if req.Attr != "" && req.Attr != "*" {
+		attr = a.Schema.AttrIndex(req.Attr)
+		if attr < 0 {
+			return nil, fmt.Errorf("cluster: unknown attribute %q", req.Attr)
+		}
+	}
+	var gidx []int
+	for _, g := range req.GroupDims {
+		d := a.Schema.DimIndex(g)
+		if d < 0 {
+			return nil, fmt.Errorf("cluster: unknown grouping dimension %q", g)
+		}
+		gidx = append(gidx, d)
+	}
+	box := boxFrom(req, a)
+	parts := map[string]*Partial{}
+	var n int64
+	a.Iter(func(c array.Coord, cell array.Cell) bool {
+		if !box.Contains(c) {
+			return true
+		}
+		n++
+		v := cell[attr]
+		if v.Null {
+			return true
+		}
+		key := make([]int64, len(gidx))
+		for i, d := range gidx {
+			key[i] = c[d]
+		}
+		ks := fmt.Sprint(key)
+		p, ok := parts[ks]
+		if !ok {
+			p = &Partial{Key: key, Min: math.Inf(1), Max: math.Inf(-1)}
+			parts[ks] = p
+		}
+		x := v.AsFloat()
+		p.Sum += x
+		p.SumSq += x * x
+		p.Count++
+		if x < p.Min {
+			p.Min = x
+		}
+		if x > p.Max {
+			p.Max = x
+		}
+		return true
+	})
+	w.stats.CellsScanned += n
+	out := make([]Partial, 0, len(parts))
+	keys := make([]string, 0, len(parts))
+	for k := range parts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		out = append(out, *parts[k])
+	}
+	return &Message{Op: "agg", Partials: out}, nil
+}
+
+func (w *Worker) count(req *Message) (*Message, error) {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	a, err := w.local(req.Array)
+	if err != nil {
+		return nil, err
+	}
+	return &Message{Op: "count", Cells: a.Count()}, nil
+}
+
+func (w *Worker) drop(req *Message) (*Message, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	delete(w.arrays, req.Array)
+	return nil, nil
+}
+
+// boxFrom extracts the query box, defaulting to everything.
+func boxFrom(req *Message, a *array.Array) array.Box {
+	if len(req.BoxLo) > 0 {
+		return array.Box{Lo: req.BoxLo, Hi: req.BoxHi}
+	}
+	nd := len(a.Schema.Dims)
+	lo := make(array.Coord, nd)
+	hi := make(array.Coord, nd)
+	for i := range lo {
+		lo[i] = 1
+		hi[i] = math.MaxInt64 / 4
+	}
+	return array.Box{Lo: lo, Hi: hi}
+}

@@ -1,0 +1,223 @@
+// Package compress provides the bucket compression codecs used by the
+// storage manager (§2.8: "compress the bucket and write it to disk";
+// "what compression algorithms to employ" is one of the storage-layer
+// optimization questions, answered empirically by the STORE experiment).
+package compress
+
+import (
+	"bytes"
+	"compress/gzip"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Codec encodes and decodes byte buffers.
+type Codec interface {
+	Name() string
+	Encode(src []byte) []byte
+	Decode(src []byte) ([]byte, error)
+}
+
+// ByName returns a codec by its registered name.
+func ByName(name string) (Codec, error) {
+	switch name {
+	case "none":
+		return None{}, nil
+	case "rle":
+		return RLE{}, nil
+	case "delta":
+		return Delta{}, nil
+	case "gzip":
+		return Gzip{}, nil
+	case "auto":
+		return Auto{}, nil
+	}
+	return nil, fmt.Errorf("compress: unknown codec %q", name)
+}
+
+// All returns every concrete codec, for benchmarking sweeps.
+func All() []Codec { return []Codec{None{}, RLE{}, Delta{}, Gzip{}} }
+
+// None is the identity codec.
+type None struct{}
+
+// Name implements Codec.
+func (None) Name() string { return "none" }
+
+// Encode implements Codec.
+func (None) Encode(src []byte) []byte { return append([]byte(nil), src...) }
+
+// Decode implements Codec.
+func (None) Decode(src []byte) ([]byte, error) { return append([]byte(nil), src...), nil }
+
+// RLE is byte-level run-length encoding: pairs of (count, byte). Effective
+// for sparse presence bitmaps and constant slabs (e.g. cloud-free masks).
+type RLE struct{}
+
+// Name implements Codec.
+func (RLE) Name() string { return "rle" }
+
+// Encode implements Codec.
+func (RLE) Encode(src []byte) []byte {
+	out := make([]byte, 0, len(src)/2+8)
+	var lenBuf [8]byte
+	binary.LittleEndian.PutUint64(lenBuf[:], uint64(len(src)))
+	out = append(out, lenBuf[:]...)
+	i := 0
+	for i < len(src) {
+		b := src[i]
+		run := 1
+		for i+run < len(src) && src[i+run] == b && run < 255 {
+			run++
+		}
+		out = append(out, byte(run), b)
+		i += run
+	}
+	return out
+}
+
+// Decode implements Codec.
+func (RLE) Decode(src []byte) ([]byte, error) {
+	if len(src) < 8 {
+		return nil, fmt.Errorf("compress: rle input too short")
+	}
+	n := binary.LittleEndian.Uint64(src[:8])
+	out := make([]byte, 0, n)
+	for i := 8; i+1 < len(src) || i+1 == len(src); i += 2 {
+		if i+1 >= len(src) {
+			break
+		}
+		run, b := int(src[i]), src[i+1]
+		for k := 0; k < run; k++ {
+			out = append(out, b)
+		}
+	}
+	if uint64(len(out)) != n {
+		return nil, fmt.Errorf("compress: rle decoded %d bytes, want %d", len(out), n)
+	}
+	return out, nil
+}
+
+// Delta delta-encodes the buffer as little-endian uint64 words (the natural
+// word size of int64/float64 attribute vectors loaded in a dominant-
+// dimension order, where neighboring values are close) and varint-encodes
+// the zig-zagged deltas. A non-multiple-of-8 tail is stored raw.
+type Delta struct{}
+
+// Name implements Codec.
+func (Delta) Name() string { return "delta" }
+
+// Encode implements Codec.
+func (Delta) Encode(src []byte) []byte {
+	nWords := len(src) / 8
+	tail := src[nWords*8:]
+	out := make([]byte, 0, len(src)/2+16)
+	var hdr [8]byte
+	binary.LittleEndian.PutUint64(hdr[:], uint64(nWords))
+	out = append(out, hdr[:]...)
+	var prev uint64
+	var buf [binary.MaxVarintLen64]byte
+	for i := 0; i < nWords; i++ {
+		w := binary.LittleEndian.Uint64(src[i*8:])
+		d := int64(w - prev)
+		prev = w
+		n := binary.PutVarint(buf[:], d)
+		out = append(out, buf[:n]...)
+	}
+	out = append(out, tail...)
+	return out
+}
+
+// Decode implements Codec.
+func (Delta) Decode(src []byte) ([]byte, error) {
+	if len(src) < 8 {
+		return nil, fmt.Errorf("compress: delta input too short")
+	}
+	nWords := binary.LittleEndian.Uint64(src[:8])
+	src = src[8:]
+	out := make([]byte, 0, nWords*8)
+	var prev uint64
+	for i := uint64(0); i < nWords; i++ {
+		d, n := binary.Varint(src)
+		if n <= 0 {
+			return nil, fmt.Errorf("compress: delta varint truncated at word %d", i)
+		}
+		src = src[n:]
+		prev += uint64(d)
+		var w [8]byte
+		binary.LittleEndian.PutUint64(w[:], prev)
+		out = append(out, w[:]...)
+	}
+	out = append(out, src...)
+	return out, nil
+}
+
+// Gzip wraps compress/gzip at the default level.
+type Gzip struct{}
+
+// Name implements Codec.
+func (Gzip) Name() string { return "gzip" }
+
+// Encode implements Codec.
+func (Gzip) Encode(src []byte) []byte {
+	var buf bytes.Buffer
+	w := gzip.NewWriter(&buf)
+	_, _ = w.Write(src)
+	_ = w.Close()
+	return buf.Bytes()
+}
+
+// Decode implements Codec.
+func (Gzip) Decode(src []byte) ([]byte, error) {
+	r, err := gzip.NewReader(bytes.NewReader(src))
+	if err != nil {
+		return nil, err
+	}
+	defer r.Close()
+	return io.ReadAll(r)
+}
+
+// Auto tries delta then gzip on the delta output and keeps whichever is
+// smallest (including raw), prefixing one tag byte. This is the storage
+// manager's default: the paper leaves codec choice as a research question,
+// and picking per-bucket is the pragmatic answer.
+type Auto struct{}
+
+// Name implements Codec.
+func (Auto) Name() string { return "auto" }
+
+// Tag bytes for Auto encoding.
+const (
+	tagRaw   = 0
+	tagDelta = 1
+	tagGzip  = 2
+)
+
+// Encode implements Codec.
+func (Auto) Encode(src []byte) []byte {
+	best := append([]byte{tagRaw}, src...)
+	if d := (Delta{}).Encode(src); len(d)+1 < len(best) {
+		best = append([]byte{tagDelta}, d...)
+	}
+	if g := (Gzip{}).Encode(src); len(g)+1 < len(best) {
+		best = append([]byte{tagGzip}, g...)
+	}
+	return best
+}
+
+// Decode implements Codec.
+func (Auto) Decode(src []byte) ([]byte, error) {
+	if len(src) == 0 {
+		return nil, fmt.Errorf("compress: auto input empty")
+	}
+	switch src[0] {
+	case tagRaw:
+		return append([]byte(nil), src[1:]...), nil
+	case tagDelta:
+		return Delta{}.Decode(src[1:])
+	case tagGzip:
+		return Gzip{}.Decode(src[1:])
+	}
+	return nil, fmt.Errorf("compress: auto unknown tag %d", src[0])
+}

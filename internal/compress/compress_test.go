@@ -1,0 +1,149 @@
+package compress
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func roundTrip(t *testing.T, c Codec, data []byte) {
+	t.Helper()
+	enc := c.Encode(data)
+	dec, err := c.Decode(enc)
+	if err != nil {
+		t.Fatalf("%s: decode: %v", c.Name(), err)
+	}
+	if !bytes.Equal(dec, data) {
+		t.Fatalf("%s: round trip mismatch: %d bytes in, %d out", c.Name(), len(data), len(dec))
+	}
+}
+
+func TestRoundTripAllCodecs(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	inputs := [][]byte{
+		nil,
+		{},
+		{0},
+		{1, 1, 1, 1, 1, 1},
+		[]byte("hello world hello world"),
+		make([]byte, 1000), // zeros
+	}
+	random := make([]byte, 4096)
+	rng.Read(random)
+	inputs = append(inputs, random)
+	// Monotone int64 sequence (ideal for delta).
+	mono := make([]byte, 8*512)
+	for i := 0; i < 512; i++ {
+		binary.LittleEndian.PutUint64(mono[i*8:], uint64(1000+i*3))
+	}
+	inputs = append(inputs, mono)
+	// Non-multiple-of-8 length.
+	inputs = append(inputs, random[:4097-84])
+
+	codecs := append(All(), Auto{})
+	for _, c := range codecs {
+		for _, in := range inputs {
+			roundTrip(t, c, in)
+		}
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	codecs := append(All(), Auto{})
+	for _, c := range codecs {
+		c := c
+		f := func(data []byte) bool {
+			enc := c.Encode(data)
+			dec, err := c.Decode(enc)
+			return err == nil && bytes.Equal(dec, data)
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+			t.Errorf("%s: %v", c.Name(), err)
+		}
+	}
+}
+
+func TestDeltaCompressesMonotone(t *testing.T) {
+	mono := make([]byte, 8*4096)
+	for i := 0; i < 4096; i++ {
+		binary.LittleEndian.PutUint64(mono[i*8:], uint64(100000+i))
+	}
+	enc := (Delta{}).Encode(mono)
+	if len(enc) >= len(mono)/4 {
+		t.Errorf("delta on monotone data: %d -> %d bytes; expected >=4x reduction", len(mono), len(enc))
+	}
+}
+
+func TestRLECompressesConstant(t *testing.T) {
+	data := bytes.Repeat([]byte{7}, 10000)
+	enc := (RLE{}).Encode(data)
+	if len(enc) >= len(data)/10 {
+		t.Errorf("rle on constant data: %d -> %d bytes; expected >=10x reduction", len(data), len(enc))
+	}
+}
+
+func TestGzipCompressesText(t *testing.T) {
+	data := bytes.Repeat([]byte("the quick brown fox "), 500)
+	enc := (Gzip{}).Encode(data)
+	if len(enc) >= len(data)/5 {
+		t.Errorf("gzip on text: %d -> %d bytes", len(data), len(enc))
+	}
+}
+
+func TestAutoPicksSmallest(t *testing.T) {
+	// Monotone floats: delta should win or at least beat raw.
+	mono := make([]byte, 8*1024)
+	for i := 0; i < 1024; i++ {
+		binary.LittleEndian.PutUint64(mono[i*8:], math.Float64bits(float64(i)))
+	}
+	enc := (Auto{}).Encode(mono)
+	if len(enc) >= len(mono)+1 {
+		t.Errorf("auto did not compress monotone data: %d -> %d", len(mono), len(enc))
+	}
+	// Random data: auto must not blow up beyond raw+1.
+	rng := rand.New(rand.NewSource(7))
+	rnd := make([]byte, 4096)
+	rng.Read(rnd)
+	enc = (Auto{}).Encode(rnd)
+	if len(enc) > len(rnd)+1 {
+		t.Errorf("auto expanded random data: %d -> %d", len(rnd), len(enc))
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"none", "rle", "delta", "gzip", "auto"} {
+		c, err := ByName(name)
+		if err != nil || c.Name() != name {
+			t.Errorf("ByName(%q) = %v, %v", name, c, err)
+		}
+	}
+	if _, err := ByName("zstd"); err == nil {
+		t.Error("unknown codec accepted")
+	}
+}
+
+func TestDecodeCorrupt(t *testing.T) {
+	if _, err := (RLE{}).Decode([]byte{1, 2}); err == nil {
+		t.Error("short rle accepted")
+	}
+	if _, err := (Delta{}).Decode([]byte{1}); err == nil {
+		t.Error("short delta accepted")
+	}
+	if _, err := (Gzip{}).Decode([]byte("not gzip")); err == nil {
+		t.Error("bad gzip accepted")
+	}
+	if _, err := (Auto{}).Decode(nil); err == nil {
+		t.Error("empty auto accepted")
+	}
+	if _, err := (Auto{}).Decode([]byte{9}); err == nil {
+		t.Error("bad auto tag accepted")
+	}
+	// Truncated delta varint stream.
+	good := (Delta{}).Encode(bytes.Repeat([]byte{0xFF}, 64))
+	if _, err := (Delta{}).Decode(good[:9]); err == nil {
+		t.Error("truncated delta accepted")
+	}
+}

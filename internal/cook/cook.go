@@ -1,0 +1,236 @@
+// Package cook implements §2.10, cooking inside the engine: raw sensor
+// readings are converted into finished information through calibration,
+// cloud correction, and compositing — all expressed as engine operators and
+// UDFs so provenance can be recorded. It also provides the synthetic
+// satellite-pass generator that substitutes for real remote-sensing feeds
+// (see DESIGN.md), including the two compositing policies of §2.11: the
+// default least-cloud-cover selection, and the nearest-nadir alternative a
+// scientist would put in a named version.
+package cook
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"scidb/internal/array"
+	"scidb/internal/ops"
+	"scidb/internal/udf"
+)
+
+// Config shapes the synthetic imagery.
+type Config struct {
+	Width, Height int64 // pixels per pass
+	Passes        int64
+	Seed          int64
+	// CloudFraction is the mean fraction of cloudy pixels per pass.
+	CloudFraction float64
+	// Gain and Offset are the "true" calibration constants the cooking
+	// step must apply.
+	Gain, Offset float64
+}
+
+// DefaultConfig returns a small, fast configuration.
+func DefaultConfig() Config {
+	return Config{Width: 64, Height: 64, Passes: 4, Seed: 1, CloudFraction: 0.3, Gain: 0.01, Offset: -2}
+}
+
+// Attribute layout of the raw passes array.
+const (
+	AttrDN    = "dn"    // raw digital number
+	AttrCloud = "cloud" // cloud-cover fraction 0..1
+	AttrNadir = "nadir" // distance from nadir (0 = directly overhead)
+)
+
+// GeneratePasses builds the raw 3-D array raw[pass, x, y] with the digital
+// number, per-pixel cloud fraction, and nadir distance of each observation.
+// The underlying ground truth is a smooth field so calibration results are
+// checkable.
+func GeneratePasses(cfg Config) (*array.Array, error) {
+	if cfg.Width < 1 || cfg.Height < 1 || cfg.Passes < 1 {
+		return nil, fmt.Errorf("cook: bad config %+v", cfg)
+	}
+	s := &array.Schema{
+		Name: "raw_passes",
+		Dims: []array.Dimension{
+			{Name: "pass", High: cfg.Passes},
+			{Name: "x", High: cfg.Width, ChunkLen: 64},
+			{Name: "y", High: cfg.Height, ChunkLen: 64},
+		},
+		Attrs: []array.Attribute{
+			{Name: AttrDN, Type: array.TFloat64},
+			{Name: AttrCloud, Type: array.TFloat64},
+			{Name: AttrNadir, Type: array.TFloat64},
+		},
+	}
+	a, err := array.New(s)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	for p := int64(1); p <= cfg.Passes; p++ {
+		// Each pass's track center wanders, changing nadir distances.
+		track := float64(rng.Int63n(cfg.Width)) + 1
+		for x := int64(1); x <= cfg.Width; x++ {
+			for y := int64(1); y <= cfg.Height; y++ {
+				truth := GroundTruth(x, y)
+				dn := (truth - cfg.Offset) / cfg.Gain // inverse calibration
+				dn += rng.NormFloat64() * 0.5         // sensor noise
+				cloud := rng.Float64()
+				if cloud > cfg.CloudFraction*2 {
+					cloud = cfg.CloudFraction * rng.Float64()
+				}
+				if cloud > 1 {
+					cloud = 1
+				}
+				nadir := math.Abs(float64(x) - track)
+				if err := a.Set(array.Coord{p, x, y}, array.Cell{
+					array.Float64(dn),
+					array.Float64(cloud),
+					array.Float64(nadir),
+				}); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return a, nil
+}
+
+// GroundTruth is the smooth radiance field the generator encodes; cooked
+// values should approximate it.
+func GroundTruth(x, y int64) float64 {
+	return 10 + 5*math.Sin(float64(x)/9) + 3*math.Cos(float64(y)/7)
+}
+
+// Calibrate converts digital numbers to radiance inside the engine:
+// radiance = dn*gain + offset, expressed as an Apply over the raw array.
+func Calibrate(raw *array.Array, gain, offset float64, reg *udf.Registry) (*array.Array, error) {
+	return ops.Apply(raw, []ops.ApplySpec{{
+		Name: "radiance",
+		Expr: ops.Binary{
+			Op: ops.OpAdd,
+			L: ops.Binary{
+				Op: ops.OpMul,
+				L:  ops.AttrRef{Name: AttrDN},
+				R:  ops.Const{V: array.Float64(gain)},
+			},
+			R: ops.Const{V: array.Float64(offset)},
+		},
+	}}, reg)
+}
+
+// Policy selects one observation per ground cell from the candidates
+// observed across passes.
+type Policy func(cands []Obs) Obs
+
+// Obs is one candidate observation of a ground cell.
+type Obs struct {
+	Pass     int64
+	Radiance float64
+	Cloud    float64
+	Nadir    float64
+}
+
+// LeastCloud is the default cooking policy: "often, the observation
+// selected is the one with least cloud cover."
+func LeastCloud(cands []Obs) Obs {
+	best := cands[0]
+	for _, c := range cands[1:] {
+		if c.Cloud < best.Cloud {
+			best = c
+		}
+	}
+	return best
+}
+
+// NearestNadir is the alternative policy: "he might want the observation
+// when the satellite is closest to being directly overhead."
+func NearestNadir(cands []Obs) Obs {
+	best := cands[0]
+	for _, c := range cands[1:] {
+		if c.Nadir < best.Nadir {
+			best = c
+		}
+	}
+	return best
+}
+
+// Composite collapses the pass dimension of a calibrated array into a
+// single 2-D image by applying the policy per ground cell. The calibrated
+// array must have dims (pass, x, y) and a "radiance" attribute alongside
+// cloud and nadir.
+func Composite(calibrated *array.Array, policy Policy) (*array.Array, error) {
+	s := calibrated.Schema
+	if len(s.Dims) != 3 {
+		return nil, fmt.Errorf("cook: composite expects (pass, x, y), got %d dims", len(s.Dims))
+	}
+	ri := s.AttrIndex("radiance")
+	ci := s.AttrIndex(AttrCloud)
+	ni := s.AttrIndex(AttrNadir)
+	if ri < 0 || ci < 0 || ni < 0 {
+		return nil, fmt.Errorf("cook: composite needs radiance, cloud, nadir attributes")
+	}
+	out := &array.Schema{
+		Name: s.Name + "_cooked",
+		Dims: []array.Dimension{
+			{Name: s.Dims[1].Name, High: calibrated.Hwm(1), ChunkLen: 64},
+			{Name: s.Dims[2].Name, High: calibrated.Hwm(2), ChunkLen: 64},
+		},
+		Attrs: []array.Attribute{
+			{Name: "radiance", Type: array.TFloat64},
+			{Name: "src_pass", Type: array.TInt64},
+		},
+	}
+	res, err := array.New(out)
+	if err != nil {
+		return nil, err
+	}
+	cands := map[[2]int64][]Obs{}
+	calibrated.Iter(func(c array.Coord, cell array.Cell) bool {
+		key := [2]int64{c[1], c[2]}
+		cands[key] = append(cands[key], Obs{
+			Pass:     c[0],
+			Radiance: cell[ri].AsFloat(),
+			Cloud:    cell[ci].AsFloat(),
+			Nadir:    cell[ni].AsFloat(),
+		})
+		return true
+	})
+	for key, obs := range cands {
+		pick := policy(obs)
+		if err := res.Set(array.Coord{key[0], key[1]}, array.Cell{
+			array.Float64(pick.Radiance),
+			array.Int64(pick.Pass),
+		}); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+// Cook runs the whole in-engine pipeline: calibrate then composite.
+func Cook(raw *array.Array, cfg Config, policy Policy, reg *udf.Registry) (*array.Array, error) {
+	cal, err := Calibrate(raw, cfg.Gain, cfg.Offset, reg)
+	if err != nil {
+		return nil, err
+	}
+	return Composite(cal, policy)
+}
+
+// RMSE measures a cooked image against the ground truth, for pipeline
+// verification.
+func RMSE(cooked *array.Array) float64 {
+	var sum float64
+	var n int64
+	cooked.Iter(func(c array.Coord, cell array.Cell) bool {
+		d := cell[0].AsFloat() - GroundTruth(c[0], c[1])
+		sum += d * d
+		n++
+		return true
+	})
+	if n == 0 {
+		return math.NaN()
+	}
+	return math.Sqrt(sum / float64(n))
+}

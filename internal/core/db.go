@@ -1,0 +1,495 @@
+// Package core is the SciDB engine facade: the catalog of array types,
+// array instances, updatable (no-overwrite) arrays, and version trees; the
+// UDF registry; the provenance log; and the executor that runs parse trees
+// produced by any language binding (§2.4).
+package core
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"scidb/internal/array"
+	"scidb/internal/insitu"
+	"scidb/internal/parser"
+	"scidb/internal/provenance"
+	"scidb/internal/udf"
+	"scidb/internal/version"
+)
+
+// Result is the outcome of executing one statement: an array for queries,
+// a message for DDL and DML.
+type Result struct {
+	Array *array.Array
+	Msg   string
+}
+
+// Database is one engine instance.
+type Database struct {
+	mu sync.RWMutex
+	// types holds DEFINE ARRAY templates (dimension bounds unset).
+	types map[string]*parser.DefineArray
+	// arrays holds plain (non-updatable) array instances.
+	arrays map[string]*array.Array
+	// updatables holds no-overwrite instances, each with a version tree.
+	updatables map[string]*version.Updatable
+	trees      map[string]*version.Tree
+	// attached holds in-situ external datasets (§2.9).
+	attached map[string]*attachedDS
+
+	reg *udf.Registry
+	log *provenance.Log
+	// reruns holds re-executable closures for logged derivations (§2.12
+	// re-derivation).
+	reruns *reruns
+	// now supplies commit timestamps; injectable for tests.
+	now func() int64
+}
+
+// Open creates an empty database.
+func Open() *Database {
+	return &Database{
+		types:      map[string]*parser.DefineArray{},
+		arrays:     map[string]*array.Array{},
+		updatables: map[string]*version.Updatable{},
+		trees:      map[string]*version.Tree{},
+		attached:   map[string]*attachedDS{},
+		reg:        udf.NewRegistry(),
+		log:        provenance.NewLog(),
+		reruns:     newReruns(),
+		now:        func() int64 { return time.Now().UnixNano() },
+	}
+}
+
+// SetClock overrides the commit clock (tests, deterministic benches).
+func (db *Database) SetClock(now func() int64) { db.now = now }
+
+// Registry exposes the UDF registry for Go-registered functions (§2.3
+// extensibility; see DESIGN.md's substitution for C++ object code).
+func (db *Database) Registry() *udf.Registry { return db.reg }
+
+// Provenance exposes the command log (§2.12).
+func (db *Database) Provenance() *provenance.Log { return db.log }
+
+// Exec parses and executes one AQL statement.
+func (db *Database) Exec(src string) (*Result, error) {
+	stmt, err := parser.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return db.Run(stmt)
+}
+
+// Run executes a parse tree (the shared representation all language
+// bindings map to).
+func (db *Database) Run(stmt parser.Stmt) (*Result, error) {
+	switch s := stmt.(type) {
+	case *parser.DefineArray:
+		return db.runDefine(s)
+	case *parser.DefineFunction:
+		return db.runDefineFunction(s)
+	case *parser.CreateArray:
+		return db.runCreate(s)
+	case *parser.CreateVersion:
+		return db.runCreateVersion(s)
+	case *parser.Enhance:
+		return db.runEnhance(s)
+	case *parser.Shape:
+		return db.runShape(s)
+	case *parser.Insert:
+		return db.runInsert(s)
+	case *parser.Delete:
+		return db.runDelete(s)
+	case *parser.Load:
+		return db.runLoad(s)
+	case *parser.Attach:
+		return db.runAttach(s)
+	case *parser.Store:
+		return db.runStore(s)
+	case *parser.Query:
+		a, err := db.eval(s.Expr)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Array: a}, nil
+	}
+	return nil, fmt.Errorf("core: unsupported statement %T", stmt)
+}
+
+func (db *Database) runDefine(s *parser.DefineArray) (*Result, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, ok := db.types[s.Name]; ok {
+		return nil, fmt.Errorf("core: array type %q already defined", s.Name)
+	}
+	// Validate attribute types now.
+	for _, a := range s.Attrs {
+		if _, err := array.ParseType(a.Type); err != nil {
+			return nil, err
+		}
+	}
+	if len(s.DimNames) == 0 || len(s.Attrs) == 0 {
+		return nil, fmt.Errorf("core: array type needs dimensions and attributes")
+	}
+	db.types[s.Name] = s
+	return &Result{Msg: fmt.Sprintf("defined array type %s", s.Name)}, nil
+}
+
+// runDefineFunction binds the paper's
+//
+//	Define function Scale10 (integer I, integer J)
+//	    returns (integer K, integer L) file_handle
+//
+// declaration. The handle "go:<name>" plays the file_handle role: it names
+// a Go body already registered in this database's registry (the paper
+// links C++ object code; we link a registered Go function — DESIGN.md).
+// The declaration's signature is installed under the declared name, and
+// calls are type-checked against it.
+func (db *Database) runDefineFunction(s *parser.DefineFunction) (*Result, error) {
+	const prefix = "go:"
+	if !strings.HasPrefix(s.Handle, prefix) {
+		return nil, fmt.Errorf("core: function handle %q must be 'go:<registered-name>'", s.Handle)
+	}
+	impl, err := db.reg.Func(strings.TrimPrefix(s.Handle, prefix))
+	if err != nil {
+		return nil, fmt.Errorf("core: %w (register the Go body before DEFINE FUNCTION)", err)
+	}
+	in, err := paramTypes(s.In)
+	if err != nil {
+		return nil, err
+	}
+	out, err := paramTypes(s.Out)
+	if err != nil {
+		return nil, err
+	}
+	if len(impl.In) != 0 && len(impl.In) != len(in) {
+		return nil, fmt.Errorf("core: handle %s takes %d args, declaration has %d", s.Handle, len(impl.In), len(in))
+	}
+	bound := &udf.Func{Name: s.Name, In: in, Out: out, Body: impl.Body}
+	if err := db.reg.RegisterFunc(bound); err != nil {
+		return nil, err
+	}
+	return &Result{Msg: fmt.Sprintf("defined function %s (%d in, %d out) bound to %s",
+		s.Name, len(in), len(out), s.Handle)}, nil
+}
+
+func paramTypes(params []parser.ParamDef) ([]array.Type, error) {
+	out := make([]array.Type, len(params))
+	for i, p := range params {
+		t, err := array.ParseType(p.Type)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = t
+	}
+	return out, nil
+}
+
+func (db *Database) runCreate(s *parser.CreateArray) (*Result, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t, ok := db.types[s.TypeName]
+	if !ok {
+		return nil, fmt.Errorf("core: unknown array type %q", s.TypeName)
+	}
+	if db.nameTakenLocked(s.Name) {
+		return nil, fmt.Errorf("core: array %q already exists", s.Name)
+	}
+	if len(s.Bounds) != len(t.DimNames) {
+		return nil, fmt.Errorf("core: %s has %d dimensions, got %d bounds", s.TypeName, len(t.DimNames), len(s.Bounds))
+	}
+	schema := &array.Schema{Name: s.Name}
+	for i, dn := range t.DimNames {
+		hi := s.Bounds[i]
+		if hi < 0 {
+			hi = array.Unbounded
+		}
+		schema.Dims = append(schema.Dims, array.Dimension{Name: dn, High: hi})
+	}
+	for _, a := range t.Attrs {
+		at, err := array.ParseType(a.Type)
+		if err != nil {
+			return nil, err
+		}
+		schema.Attrs = append(schema.Attrs, array.Attribute{Name: a.Name, Type: at, Uncertain: a.Uncertain})
+	}
+	if t.Updatable {
+		u, err := version.NewUpdatable(schema)
+		if err != nil {
+			return nil, err
+		}
+		db.updatables[s.Name] = u
+		db.trees[s.Name] = version.NewTree(u)
+		return &Result{Msg: fmt.Sprintf("created updatable array %s (history dimension added automatically)", s.Name)}, nil
+	}
+	a, err := array.New(schema)
+	if err != nil {
+		return nil, err
+	}
+	db.arrays[s.Name] = a
+	return &Result{Msg: fmt.Sprintf("created array %s", s.Name)}, nil
+}
+
+func (db *Database) nameTakenLocked(name string) bool {
+	if _, ok := db.arrays[name]; ok {
+		return true
+	}
+	_, ok := db.updatables[name]
+	return ok
+}
+
+func (db *Database) runCreateVersion(s *parser.CreateVersion) (*Result, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	tree, ok := db.trees[s.Array]
+	if !ok {
+		return nil, fmt.Errorf("core: %q is not an updatable array (versions require no-overwrite storage)", s.Array)
+	}
+	if _, err := tree.Create(s.Name, s.Parent); err != nil {
+		return nil, err
+	}
+	return &Result{Msg: fmt.Sprintf("created version %s of %s", s.Name, s.Array)}, nil
+}
+
+func (db *Database) runEnhance(s *parser.Enhance) (*Result, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	a, ok := db.arrays[s.Array]
+	if !ok {
+		return nil, fmt.Errorf("core: unknown array %q (enhance applies to plain arrays)", s.Array)
+	}
+	f, err := db.reg.Func(s.Func)
+	if err != nil {
+		return nil, err
+	}
+	// An inverse registered as "inv_<name>" enables { ... } addressing.
+	inv, _ := db.reg.Func("inv_" + s.Func)
+	e, err := udf.FromFunc(f, inv)
+	if err != nil {
+		return nil, err
+	}
+	a.Enhance(e)
+	return &Result{Msg: fmt.Sprintf("enhanced %s with %s", s.Array, s.Func)}, nil
+}
+
+func (db *Database) runShape(s *parser.Shape) (*Result, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	a, ok := db.arrays[s.Array]
+	if !ok {
+		return nil, fmt.Errorf("core: unknown array %q", s.Array)
+	}
+	sh, err := db.reg.Shape(s.Func, s.Args)
+	if err != nil {
+		return nil, err
+	}
+	a.SetShape(sh)
+	return &Result{Msg: fmt.Sprintf("shaped %s with %s", s.Array, s.Func)}, nil
+}
+
+func scalarToValue(s parser.Scalar) array.Value {
+	switch {
+	case s.IsNull:
+		return array.NullValue(array.TFloat64)
+	case s.IsString:
+		return array.String64(s.Str)
+	case s.IsInt:
+		return array.Int64(s.Int)
+	default:
+		return array.UncertainFloat(s.Num, s.Sigma)
+	}
+}
+
+func (db *Database) runInsert(s *parser.Insert) (*Result, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	cell := make(array.Cell, len(s.Values))
+	for i, v := range s.Values {
+		cell[i] = scalarToValue(v)
+	}
+	coord := array.Coord(s.Coord)
+	if a, ok := db.arrays[s.Array]; ok {
+		// Coerce nulls to the attribute types.
+		for i := range cell {
+			if cell[i].Null && i < len(a.Schema.Attrs) {
+				cell[i] = array.NullValue(a.Schema.Attrs[i].Type)
+			}
+		}
+		if err := a.Set(coord, cell); err != nil {
+			return nil, err
+		}
+		return &Result{Msg: "1 cell written"}, nil
+	}
+	if u, ok := db.updatables[s.Array]; ok {
+		tx := u.Begin()
+		if err := tx.Put(coord, cell); err != nil {
+			return nil, err
+		}
+		h, err := tx.Commit(db.now())
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Msg: fmt.Sprintf("1 cell written at history %d", h)}, nil
+	}
+	return nil, fmt.Errorf("core: unknown array %q", s.Array)
+}
+
+func (db *Database) runDelete(s *parser.Delete) (*Result, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	coord := array.Coord(s.Coord)
+	if a, ok := db.arrays[s.Array]; ok {
+		a.Erase(coord)
+		return &Result{Msg: "1 cell erased"}, nil
+	}
+	if u, ok := db.updatables[s.Array]; ok {
+		// No-overwrite: a deletion flag at the next history value.
+		tx := u.Begin()
+		if err := tx.Delete(coord); err != nil {
+			return nil, err
+		}
+		h, err := tx.Commit(db.now())
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Msg: fmt.Sprintf("deletion flag written at history %d", h)}, nil
+	}
+	return nil, fmt.Errorf("core: unknown array %q", s.Array)
+}
+
+func (db *Database) runLoad(s *parser.Load) (*Result, error) {
+	ad, err := insitu.ByName(s.Adaptor)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := os.Stat(s.Path); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	ds, err := ad.Open(s.Path)
+	if err != nil {
+		return nil, err
+	}
+	defer ds.Close()
+	a, err := insitu.Materialize(ds)
+	if err != nil {
+		return nil, err
+	}
+	a.Schema.Name = s.Array
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.nameTakenLocked(s.Array) {
+		return nil, fmt.Errorf("core: array %q already exists", s.Array)
+	}
+	db.arrays[s.Array] = a
+	// Metadata repository record (§2.12): the external program and its
+	// run-time parameters.
+	db.log.Append(&provenance.Command{
+		Kind:   provenance.KindLoad,
+		Output: s.Array,
+		Time:   db.now(),
+		Text:   fmt.Sprintf("load %s from '%s' using %s", s.Array, s.Path, s.Adaptor),
+		Params: map[string]string{"path": s.Path, "adaptor": s.Adaptor},
+	})
+	return &Result{Msg: fmt.Sprintf("loaded %d cells into %s", a.Count(), s.Array)}, nil
+}
+
+func (db *Database) runStore(s *parser.Store) (*Result, error) {
+	a, err := db.eval(s.Expr)
+	if err != nil {
+		return nil, err
+	}
+	db.mu.Lock()
+	if db.nameTakenLocked(s.Target) {
+		db.mu.Unlock()
+		return nil, fmt.Errorf("core: array %q already exists", s.Target)
+	}
+	a.Schema.Name = s.Target
+	db.arrays[s.Target] = a
+	db.mu.Unlock()
+	db.logDerivation(s.Expr, s.Target)
+	return &Result{Msg: fmt.Sprintf("stored %d cells into %s", a.Count(), s.Target)}, nil
+}
+
+// Array returns a stored plain array (Go binding access).
+func (db *Database) Array(name string) (*array.Array, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if a, ok := db.arrays[name]; ok {
+		return a, nil
+	}
+	return nil, fmt.Errorf("core: unknown array %q", name)
+}
+
+// Updatable returns a no-overwrite array instance.
+func (db *Database) Updatable(name string) (*version.Updatable, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if u, ok := db.updatables[name]; ok {
+		return u, nil
+	}
+	return nil, fmt.Errorf("core: unknown updatable array %q", name)
+}
+
+// VersionTree returns an updatable array's tree of named versions.
+func (db *Database) VersionTree(name string) (*version.Tree, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if t, ok := db.trees[name]; ok {
+		return t, nil
+	}
+	return nil, fmt.Errorf("core: unknown updatable array %q", name)
+}
+
+// PutArray registers an externally built array under a name (Go binding).
+func (db *Database) PutArray(name string, a *array.Array) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.nameTakenLocked(name) {
+		return fmt.Errorf("core: array %q already exists", name)
+	}
+	a.Schema.Name = name
+	db.arrays[name] = a
+	return nil
+}
+
+// Drop removes an array by name.
+func (db *Database) Drop(name string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, ok := db.arrays[name]; ok {
+		delete(db.arrays, name)
+		return nil
+	}
+	if at, ok := db.attached[name]; ok {
+		_ = at.ds.Close()
+		delete(db.attached, name)
+		return nil
+	}
+	if _, ok := db.updatables[name]; ok {
+		delete(db.updatables, name)
+		delete(db.trees, name)
+		return nil
+	}
+	return fmt.Errorf("core: unknown array %q", name)
+}
+
+// Names lists stored arrays (plain and updatable), sorted.
+func (db *Database) Names() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	var out []string
+	for n := range db.arrays {
+		out = append(out, n)
+	}
+	for n := range db.updatables {
+		out = append(out, n)
+	}
+	for n := range db.attached {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

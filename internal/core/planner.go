@@ -1,0 +1,473 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"scidb/internal/array"
+	"scidb/internal/ops"
+	"scidb/internal/parser"
+	"scidb/internal/provenance"
+)
+
+// eval executes an array expression tree against the catalog.
+func (db *Database) eval(e parser.ArrayExpr) (*array.Array, error) {
+	switch n := e.(type) {
+	case *parser.Ref:
+		return db.resolveRef(n.Name)
+	case *parser.ExistsExpr:
+		a, err := db.resolveRef(n.Array)
+		if err != nil {
+			return nil, err
+		}
+		out := &array.Schema{
+			Name:  n.Array + "_exists",
+			Dims:  []array.Dimension{{Name: "q", High: 1}},
+			Attrs: []array.Attribute{{Name: "present", Type: array.TBool}},
+		}
+		res, err := array.New(out)
+		if err != nil {
+			return nil, err
+		}
+		if err := res.Set(array.Coord{1}, array.Cell{array.Bool64(a.Exists(n.Coord))}); err != nil {
+			return nil, err
+		}
+		return res, nil
+	case *parser.VersionExpr:
+		tree, err := db.VersionTree(n.Array)
+		if err != nil {
+			return nil, err
+		}
+		v, err := tree.Get(n.Name)
+		if err != nil {
+			return nil, err
+		}
+		return v.Materialize()
+	case *parser.SubsampleExpr:
+		// In-situ pushdown: a box-expressible subsample over an attached
+		// dataset reads only the box from the file.
+		if at := db.attachedFor(n.In); at != nil {
+			if res, done, err := db.evalAttachedSubsample(at, n); err != nil {
+				return nil, err
+			} else if done {
+				return res, nil
+			}
+		}
+		in, err := db.eval(n.In)
+		if err != nil {
+			return nil, err
+		}
+		conds, err := dimConds(n.Pred)
+		if err != nil {
+			return nil, err
+		}
+		return ops.Subsample(in, conds)
+	case *parser.FilterExpr:
+		in, err := db.eval(n.In)
+		if err != nil {
+			return nil, err
+		}
+		pred, err := valExpr(n.Pred)
+		if err != nil {
+			return nil, err
+		}
+		return ops.Filter(in, pred, db.reg)
+	case *parser.AggregateExpr:
+		in, err := db.eval(n.In)
+		if err != nil {
+			return nil, err
+		}
+		specs := make([]ops.AggSpec, len(n.Aggs))
+		for i, a := range n.Aggs {
+			specs[i] = ops.AggSpec{Agg: a.Func, Attr: a.Attr, As: a.As}
+		}
+		return ops.Aggregate(in, n.GroupDims, specs, db.reg)
+	case *parser.SjoinExpr:
+		l, err := db.eval(n.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := db.eval(n.R)
+		if err != nil {
+			return nil, err
+		}
+		pairs := make([]ops.DimPair, len(n.On))
+		for i, p := range n.On {
+			pairs[i] = ops.DimPair{LDim: p.Left, RDim: p.Right}
+		}
+		return ops.Sjoin(l, r, pairs)
+	case *parser.CjoinExpr:
+		l, err := db.eval(n.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := db.eval(n.R)
+		if err != nil {
+			return nil, err
+		}
+		pred, err := valExpr(n.Pred)
+		if err != nil {
+			return nil, err
+		}
+		return ops.Cjoin(l, r, pred, db.reg)
+	case *parser.ApplyExpr:
+		in, err := db.eval(n.In)
+		if err != nil {
+			return nil, err
+		}
+		specs := make([]ops.ApplySpec, len(n.Names))
+		for i := range n.Names {
+			ex, err := valExpr(n.Exprs[i])
+			if err != nil {
+				return nil, err
+			}
+			specs[i] = ops.ApplySpec{Name: n.Names[i], Expr: ex}
+		}
+		return ops.Apply(in, specs, db.reg)
+	case *parser.ProjectExpr:
+		in, err := db.eval(n.In)
+		if err != nil {
+			return nil, err
+		}
+		return ops.Project(in, n.Attrs)
+	case *parser.ReshapeExpr:
+		in, err := db.eval(n.In)
+		if err != nil {
+			return nil, err
+		}
+		dims := make([]array.Dimension, len(n.NewDims))
+		for i, d := range n.NewDims {
+			dims[i] = array.Dimension{Name: d.Name, High: d.High}
+		}
+		return ops.Reshape(in, n.Order, dims)
+	case *parser.RegridExpr:
+		in, err := db.eval(n.In)
+		if err != nil {
+			return nil, err
+		}
+		return ops.Regrid(in, n.Strides, ops.AggSpec{Agg: n.Agg.Func, Attr: n.Agg.Attr, As: n.Agg.As}, db.reg)
+	case *parser.WindowExpr:
+		in, err := db.eval(n.In)
+		if err != nil {
+			return nil, err
+		}
+		return ops.Window(in, n.Radius, ops.AggSpec{Agg: n.Agg.Func, Attr: n.Agg.Attr, As: n.Agg.As}, db.reg)
+	case *parser.CrossExpr:
+		l, err := db.eval(n.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := db.eval(n.R)
+		if err != nil {
+			return nil, err
+		}
+		return ops.CrossProduct(l, r)
+	case *parser.ConcatExpr:
+		l, err := db.eval(n.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := db.eval(n.R)
+		if err != nil {
+			return nil, err
+		}
+		return ops.Concat(l, r, n.Dim)
+	case *parser.AddDimExpr:
+		in, err := db.eval(n.In)
+		if err != nil {
+			return nil, err
+		}
+		return ops.AddDim(in, n.Name)
+	case *parser.RemDimExpr:
+		in, err := db.eval(n.In)
+		if err != nil {
+			return nil, err
+		}
+		return ops.RemoveDim(in, n.Name)
+	}
+	return nil, fmt.Errorf("core: unsupported array expression %T", e)
+}
+
+// resolveRef returns a plain array, or the latest snapshot of an updatable.
+func (db *Database) resolveRef(name string) (*array.Array, error) {
+	db.mu.RLock()
+	a, okA := db.arrays[name]
+	u, okU := db.updatables[name]
+	db.mu.RUnlock()
+	if okA {
+		return a, nil
+	}
+	if okU {
+		return u.Snapshot(u.History())
+	}
+	db.mu.RLock()
+	at, okAt := db.attached[name]
+	db.mu.RUnlock()
+	if okAt {
+		// A whole-array reference materializes (and caches) the dataset.
+		return db.materializeAttached(name, at)
+	}
+	return nil, fmt.Errorf("core: unknown array %q", name)
+}
+
+// dimConds converts parsed subsample conjuncts to operator predicates.
+func dimConds(in []parser.DimCond) ([]ops.DimCond, error) {
+	out := make([]ops.DimCond, len(in))
+	for i, c := range in {
+		switch c.Op {
+		case "even":
+			out[i] = ops.DimEven(c.Dim)
+		case "odd":
+			out[i] = ops.DimOdd(c.Dim)
+		default:
+			dc, err := ops.DimCmp(c.Dim, c.Op, c.Value)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = dc
+		}
+	}
+	return out, nil
+}
+
+// qualifiedRef resolves "Q.name" against a (possibly join-produced) schema:
+// the right side of a join renames colliding attributes to "Q_name".
+type qualifiedRef struct {
+	qual string
+	name string
+}
+
+// Eval implements ops.Expr.
+func (r qualifiedRef) Eval(ctx *ops.EvalCtx) (array.Value, error) {
+	if i := ctx.Schema.AttrIndex(r.qual + "_" + r.name); i >= 0 {
+		return ctx.Cell[i], nil
+	}
+	if i := ctx.Schema.AttrIndex(r.name); i >= 0 {
+		return ctx.Cell[i], nil
+	}
+	if i := ctx.Schema.DimIndex(r.name); i >= 0 {
+		return array.Int64(ctx.Coord[i]), nil
+	}
+	return array.Value{}, fmt.Errorf("core: cannot resolve %s.%s", r.qual, r.name)
+}
+
+// String implements ops.Expr.
+func (r qualifiedRef) String() string { return r.qual + "." + r.name }
+
+// nameRef resolves an unqualified identifier against attributes first,
+// then dimensions.
+type nameRef struct{ name string }
+
+// Eval implements ops.Expr.
+func (r nameRef) Eval(ctx *ops.EvalCtx) (array.Value, error) {
+	if i := ctx.Schema.AttrIndex(r.name); i >= 0 {
+		return ctx.Cell[i], nil
+	}
+	if i := ctx.Schema.DimIndex(r.name); i >= 0 {
+		return array.Int64(ctx.Coord[i]), nil
+	}
+	return array.Value{}, fmt.Errorf("core: unknown attribute or dimension %q", r.name)
+}
+
+// String implements ops.Expr.
+func (r nameRef) String() string { return r.name }
+
+// valExpr converts a parsed value expression into an executable one.
+func valExpr(e parser.ValExpr) (ops.Expr, error) {
+	switch n := e.(type) {
+	case *parser.Ident:
+		if i := strings.IndexByte(n.Name, '.'); i >= 0 {
+			return qualifiedRef{qual: n.Name[:i], name: n.Name[i+1:]}, nil
+		}
+		return nameRef{name: n.Name}, nil
+	case *parser.Lit:
+		return ops.Const{V: scalarToValue(n.V)}, nil
+	case *parser.BinExpr:
+		l, err := valExpr(n.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := valExpr(n.R)
+		if err != nil {
+			return nil, err
+		}
+		return ops.Binary{Op: ops.BinOp(n.Op), L: l, R: r}, nil
+	case *parser.NotExpr:
+		inner, err := valExpr(n.E)
+		if err != nil {
+			return nil, err
+		}
+		return ops.Not{E: inner}, nil
+	case *parser.CallExpr:
+		args := make([]ops.Expr, len(n.Args))
+		for i, a := range n.Args {
+			x, err := valExpr(a)
+			if err != nil {
+				return nil, err
+			}
+			args[i] = x
+		}
+		return ops.Call{Name: n.Name, Args: args}, nil
+	}
+	return nil, fmt.Errorf("core: unsupported value expression %T", e)
+}
+
+// logDerivation records provenance commands for a STORE. Each operator
+// level gets one command; intermediate levels use synthetic names so
+// backward and forward traces can walk the whole chain. Operators whose
+// item-level lineage pattern is not modeled (joins, reshape, cross) are
+// logged as lineage barriers with a descriptive text.
+func (db *Database) logDerivation(e parser.ArrayExpr, target string) {
+	db.logExpr(e, target, target)
+}
+
+// logExpr returns the name under which the expression's output is known in
+// the provenance graph.
+func (db *Database) logExpr(e parser.ArrayExpr, target, prefix string) string {
+	child := func(sub parser.ArrayExpr, k int) string {
+		if r, ok := sub.(*parser.Ref); ok {
+			return r.Name
+		}
+		name := fmt.Sprintf("%s#%d", prefix, k)
+		return db.logExpr(sub, name, name)
+	}
+	now := db.now()
+	switch n := e.(type) {
+	case *parser.Ref:
+		return n.Name
+	case *parser.FilterExpr:
+		in := child(n.In, 1)
+		cmd := db.log.Append(&provenance.Command{
+			Kind: provenance.KindElementwise, Input: in, Output: target, Time: now,
+			Text: parser.Format(&parser.Store{Expr: n, Target: target}),
+		})
+		if pred, err := valExpr(n.Pred); err == nil {
+			db.registerRerun(cmd, filterRerun{pred: pred})
+		}
+	case *parser.ApplyExpr:
+		in := child(n.In, 1)
+		cmd := db.log.Append(&provenance.Command{
+			Kind: provenance.KindElementwise, Input: in, Output: target, Time: now,
+			Text: parser.Format(&parser.Store{Expr: n, Target: target}),
+		})
+		specs := make([]ops.ApplySpec, 0, len(n.Names))
+		okAll := true
+		for i := range n.Names {
+			ex, err := valExpr(n.Exprs[i])
+			if err != nil {
+				okAll = false
+				break
+			}
+			specs = append(specs, ops.ApplySpec{Name: n.Names[i], Expr: ex})
+		}
+		if okAll {
+			db.registerRerun(cmd, applyRerun{specs: specs})
+		}
+	case *parser.ProjectExpr:
+		in := child(n.In, 1)
+		cmd := db.log.Append(&provenance.Command{
+			Kind: provenance.KindElementwise, Input: in, Output: target, Time: now,
+			Text: parser.Format(&parser.Store{Expr: n, Target: target}),
+		})
+		if src, err := db.resolveRef(in); err == nil {
+			idxs := make([]int, 0, len(n.Attrs))
+			okAll := true
+			for _, a := range n.Attrs {
+				i := src.Schema.AttrIndex(a)
+				if i < 0 {
+					okAll = false
+					break
+				}
+				idxs = append(idxs, i)
+			}
+			if okAll {
+				db.registerRerun(cmd, applyRerun{project: idxs})
+			}
+		}
+	case *parser.RegridExpr:
+		in := child(n.In, 1)
+		cmd := &provenance.Command{
+			Kind: provenance.KindRegrid, Input: in, Output: target, Time: now,
+			Strides: n.Strides,
+			Text:    parser.Format(&parser.Store{Expr: n, Target: target}),
+		}
+		if src, err := db.resolveRef(in); err == nil {
+			cmd.InBounds = src.Bounds()
+			cmd.InDims = len(src.Schema.Dims)
+		}
+		db.log.Append(cmd)
+		db.registerRerun(cmd, regridRerun{strides: n.Strides,
+			spec: ops.AggSpec{Agg: n.Agg.Func, Attr: n.Agg.Attr, As: n.Agg.As}})
+	case *parser.AggregateExpr:
+		in := child(n.In, 1)
+		cmd := &provenance.Command{
+			Kind: provenance.KindAggregate, Input: in, Output: target, Time: now,
+			Text: parser.Format(&parser.Store{Expr: n, Target: target}),
+		}
+		if src, err := db.resolveRef(in); err == nil {
+			cmd.InBounds = src.Bounds()
+			cmd.InDims = len(src.Schema.Dims)
+			for _, g := range n.GroupDims {
+				if d := src.Schema.DimIndex(g); d >= 0 {
+					cmd.GroupDims = append(cmd.GroupDims, d)
+				}
+			}
+		}
+		db.log.Append(cmd)
+		aspecs := make([]ops.AggSpec, len(n.Aggs))
+		for i, a := range n.Aggs {
+			aspecs[i] = ops.AggSpec{Agg: a.Func, Attr: a.Attr, As: a.As}
+		}
+		db.registerRerun(cmd, aggregateRerun{groupDims: cmd.GroupDims, specs: aspecs})
+	case *parser.SubsampleExpr:
+		in := child(n.In, 1)
+		cmd := &provenance.Command{
+			Kind: provenance.KindSubsample, Input: in, Output: target, Time: now,
+			Text: parser.Format(&parser.Store{Expr: n, Target: target}),
+		}
+		if src, err := db.resolveRef(in); err == nil {
+			if conds, err := dimConds(n.Pred); err == nil {
+				cmd.Sel = selectedIndices(src, conds)
+			}
+		}
+		db.log.Append(cmd)
+		if cmd.Sel != nil {
+			db.registerRerun(cmd, subsampleRerun{sel: cmd.Sel})
+		}
+	default:
+		// Joins, reshape, cross, concat, dims: logged as lineage barriers.
+		db.log.Append(&provenance.Command{
+			Kind: provenance.KindLoad, Output: target, Time: now,
+			Text: fmt.Sprintf("store %T into %s (lineage barrier)", e, target),
+		})
+	}
+	return target
+}
+
+// selectedIndices recomputes a subsample's retained original indices for
+// the provenance record.
+func selectedIndices(a *array.Array, conds []ops.DimCond) [][]int64 {
+	out := make([][]int64, len(a.Schema.Dims))
+	for d, dim := range a.Schema.Dims {
+		hi := a.Hwm(d)
+		var preds []func(int64) bool
+		for _, c := range conds {
+			if c.Dim == dim.Name {
+				preds = append(preds, c.Pred)
+			}
+		}
+		for v := int64(1); v <= hi; v++ {
+			keep := true
+			for _, p := range preds {
+				if !p(v) {
+					keep = false
+					break
+				}
+			}
+			if keep {
+				out[d] = append(out[d], v)
+			}
+		}
+	}
+	return out
+}

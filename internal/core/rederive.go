@@ -1,0 +1,312 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"scidb/internal/array"
+	"scidb/internal/ops"
+	"scidb/internal/provenance"
+	"scidb/internal/udf"
+)
+
+// rerunFn recomputes the given output coordinates of one logged command
+// from its input array's current contents — the paper's "rerun (a portion
+// of) the derivation to generate a replacement value or values" (§2.12).
+type rerunFn func(outCoords []array.Coord) error
+
+// reruns holds the re-executable closures for logged commands, keyed by
+// command id. (Closures cannot persist across processes; a reloaded log
+// supports tracing but not re-derivation, which matches the paper's
+// split between the durable log and the live executor.)
+type reruns struct {
+	mu sync.Mutex
+	m  map[int64]rerunFn
+}
+
+func newReruns() *reruns { return &reruns{m: map[int64]rerunFn{}} }
+
+func (r *reruns) set(id int64, fn rerunFn) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.m[id] = fn
+}
+
+func (r *reruns) get(id int64) rerunFn {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.m[id]
+}
+
+// ReDerive propagates a correction: after the cell at ref has been given a
+// new value, every downstream data element whose value depends on it is
+// recomputed, command by command in log order, touching only the affected
+// coordinates (the qualified re-run of §2.12). It returns the downstream
+// elements that were recomputed.
+func (db *Database) ReDerive(ref provenance.CellRef) ([]provenance.CellRef, error) {
+	affected, err := db.log.TraceForward(ref)
+	if err != nil {
+		return nil, err
+	}
+	// Group affected coords by output array.
+	byArray := map[string][]array.Coord{}
+	for _, a := range affected {
+		byArray[a.Array] = append(byArray[a.Array], a.Coord)
+	}
+	// Re-run commands in log order so upstream corrections land before
+	// downstream ones consume them.
+	for _, cmd := range db.log.Commands() {
+		coords, ok := byArray[cmd.Output]
+		if !ok {
+			continue
+		}
+		fn := db.reruns.get(cmd.ID)
+		if fn == nil {
+			return nil, fmt.Errorf("core: command %d (%s) is not re-runnable in this session", cmd.ID, cmd.Text)
+		}
+		if err := fn(coords); err != nil {
+			return nil, err
+		}
+	}
+	// Deterministic output order.
+	sort.Slice(affected, func(i, j int) bool { return affected[i].String() < affected[j].String() })
+	return affected, nil
+}
+
+// registerRerun builds and stores the recompute closure for a just-logged
+// derivation command.
+func (db *Database) registerRerun(cmd *provenance.Command, node interface{}) {
+	inName, outName := cmd.Input, cmd.Output
+	resolve := func() (*array.Array, *array.Array, error) {
+		in, err := db.resolveRef(inName)
+		if err != nil {
+			return nil, nil, err
+		}
+		out, err := db.Array(outName)
+		if err != nil {
+			return nil, nil, err
+		}
+		return in, out, nil
+	}
+	switch n := node.(type) {
+	case applyRerun:
+		db.reruns.set(cmd.ID, func(coords []array.Coord) error {
+			in, out, err := resolve()
+			if err != nil {
+				return err
+			}
+			ctx := &ops.EvalCtx{Schema: in.Schema, Reg: db.reg}
+			for _, c := range coords {
+				cell, ok := in.At(c)
+				if !ok {
+					out.Erase(c)
+					continue
+				}
+				ctx.Coord, ctx.Cell = c, cell
+				newCell := cell.Clone()
+				for _, sp := range n.specs {
+					v, err := sp.Expr.Eval(ctx)
+					if err != nil {
+						return err
+					}
+					newCell = append(newCell, v)
+				}
+				if n.project != nil {
+					proj := make(array.Cell, len(n.project))
+					for i, idx := range n.project {
+						proj[i] = newCell[idx]
+					}
+					newCell = proj
+				}
+				if err := out.Set(c.Clone(), newCell); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+	case filterRerun:
+		db.reruns.set(cmd.ID, func(coords []array.Coord) error {
+			in, out, err := resolve()
+			if err != nil {
+				return err
+			}
+			ctx := &ops.EvalCtx{Schema: in.Schema, Reg: db.reg}
+			nullCell := make(array.Cell, len(in.Schema.Attrs))
+			for i, at := range in.Schema.Attrs {
+				nullCell[i] = array.NullValue(at.Type)
+			}
+			for _, c := range coords {
+				cell, ok := in.At(c)
+				if !ok {
+					out.Erase(c)
+					continue
+				}
+				ctx.Coord, ctx.Cell = c, cell
+				keep, err := ops.Truthy(n.pred, ctx)
+				if err != nil {
+					return err
+				}
+				write := nullCell
+				if keep {
+					write = cell
+				}
+				if err := out.Set(c.Clone(), write); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+	case regridRerun:
+		db.reruns.set(cmd.ID, func(coords []array.Coord) error {
+			in, out, err := resolve()
+			if err != nil {
+				return err
+			}
+			fac, err := db.reg.Aggregate(n.spec.Agg)
+			if err != nil {
+				return err
+			}
+			attr := attrIndexOrZero(in.Schema, n.spec.Attr)
+			for _, c := range coords {
+				// Recompute the whole source block of this output cell.
+				lo := make(array.Coord, len(c))
+				hi := make(array.Coord, len(c))
+				for d := range c {
+					lo[d] = (c[d]-1)*n.strides[d] + 1
+					hi[d] = c[d] * n.strides[d]
+					if b := in.Hwm(d); hi[d] > b {
+						hi[d] = b
+					}
+				}
+				acc := fac()
+				found := false
+				in.IterBoxReuse(array.Box{Lo: lo, Hi: hi}, func(_ array.Coord, cell array.Cell) bool {
+					acc.Step(cell[attr])
+					found = true
+					return true
+				})
+				if !found {
+					out.Erase(c)
+					continue
+				}
+				if err := out.Set(c.Clone(), array.Cell{acc.Result()}); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+	case aggregateRerun:
+		db.reruns.set(cmd.ID, func(coords []array.Coord) error {
+			in, out, err := resolve()
+			if err != nil {
+				return err
+			}
+			for _, c := range coords {
+				// Recompute the whole input slab matching the group coords.
+				lo := make(array.Coord, len(in.Schema.Dims))
+				hi := make(array.Coord, len(in.Schema.Dims))
+				for d := range lo {
+					lo[d], hi[d] = 1, max64(in.Hwm(d), 1)
+				}
+				for i, d := range n.groupDims {
+					lo[d], hi[d] = c[i], c[i]
+				}
+				accs := make([]udf.Aggregate, len(n.specs))
+				for i, sp := range n.specs {
+					fac, err := db.reg.Aggregate(sp.Agg)
+					if err != nil {
+						return err
+					}
+					accs[i] = fac()
+				}
+				found := false
+				in.IterBoxReuse(array.Box{Lo: lo, Hi: hi}, func(_ array.Coord, cell array.Cell) bool {
+					for i, sp := range n.specs {
+						accs[i].Step(cell[attrIndexOrZero(in.Schema, sp.Attr)])
+					}
+					found = true
+					return true
+				})
+				if !found {
+					out.Erase(c)
+					continue
+				}
+				newCell := make(array.Cell, len(accs))
+				for i, acc := range accs {
+					newCell[i] = acc.Result()
+				}
+				if err := out.Set(c.Clone(), newCell); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+	case subsampleRerun:
+		db.reruns.set(cmd.ID, func(coords []array.Coord) error {
+			in, out, err := resolve()
+			if err != nil {
+				return err
+			}
+			for _, c := range coords {
+				src := make(array.Coord, len(c))
+				okAll := true
+				for d := range c {
+					idx := c[d] - 1
+					if idx < 0 || idx >= int64(len(n.sel[d])) {
+						okAll = false
+						break
+					}
+					src[d] = n.sel[d][idx]
+				}
+				if !okAll {
+					continue
+				}
+				cell, ok := in.At(src)
+				if !ok {
+					out.Erase(c)
+					continue
+				}
+				if err := out.Set(c.Clone(), cell); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+	}
+}
+
+// Parameter carriers for registerRerun.
+type (
+	applyRerun struct {
+		specs   []ops.ApplySpec
+		project []int // post-apply projection indexes, nil = keep all
+	}
+	filterRerun struct{ pred ops.Expr }
+	regridRerun struct {
+		strides []int64
+		spec    ops.AggSpec
+	}
+	aggregateRerun struct {
+		groupDims []int
+		specs     []ops.AggSpec
+	}
+	subsampleRerun struct{ sel [][]int64 }
+)
+
+func attrIndexOrZero(s *array.Schema, name string) int {
+	if name == "" || name == "*" {
+		return 0
+	}
+	if i := s.AttrIndex(name); i >= 0 {
+		return i
+	}
+	return 0
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,212 @@
+// Package insitu implements §2.9: operating on data "in situ", without a
+// load process. It defines SDF, a self-describing binary array format, and
+// adaptors for external formats — CSV and NCL, a NetCDF-like container we
+// also implement (stdlib-only substitute for HDF-5/NetCDF; see DESIGN.md).
+// A Dataset can be scanned and queried directly from the file; the INSITU
+// experiment compares that against load-then-query.
+//
+// As the paper notes, in-situ data gets no DBMS services such as recovery:
+// it stays under user control.
+package insitu
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"scidb/internal/array"
+	"scidb/internal/storage"
+)
+
+// Dataset is a queryable view over external data, usable without loading.
+type Dataset interface {
+	// Schema describes the data.
+	Schema() *array.Schema
+	// Scan visits every cell intersecting the box. Return false to stop.
+	Scan(box array.Box, fn func(array.Coord, array.Cell) bool) error
+	// Close releases resources.
+	Close() error
+}
+
+// Adaptor opens a path in one external format.
+type Adaptor interface {
+	Name() string
+	Open(path string) (Dataset, error)
+}
+
+// ByName returns a registered adaptor ("sdf", "csv", "ncl").
+func ByName(name string) (Adaptor, error) {
+	switch name {
+	case "sdf":
+		return SDFAdaptor{}, nil
+	case "csv":
+		return CSVAdaptor{}, nil
+	case "ncl":
+		return NCLAdaptor{}, nil
+	}
+	return nil, fmt.Errorf("insitu: unknown adaptor %q", name)
+}
+
+// Materialize loads a dataset fully into an in-memory array — the "load
+// stage" the paper's users complain about, measured by the INSITU
+// experiment.
+func Materialize(ds Dataset) (*array.Array, error) {
+	s := ds.Schema().Clone()
+	a, err := array.New(s)
+	if err != nil {
+		return nil, err
+	}
+	box := scanAll(s)
+	var werr error
+	err = ds.Scan(box, func(c array.Coord, cell array.Cell) bool {
+		if err := a.Set(c.Clone(), cell); err != nil {
+			werr = err
+			return false
+		}
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	return a, werr
+}
+
+// scanAll builds a box covering a schema (bounded dims, or a large range
+// for unbounded ones).
+func scanAll(s *array.Schema) array.Box {
+	lo := make(array.Coord, len(s.Dims))
+	hi := make(array.Coord, len(s.Dims))
+	for i, d := range s.Dims {
+		lo[i] = 1
+		if d.High == array.Unbounded {
+			hi[i] = 1 << 40
+		} else {
+			hi[i] = d.High
+		}
+	}
+	return array.Box{Lo: lo, Hi: hi}
+}
+
+// --- SDF: the self-describing SciDB format -------------------------------
+
+// sdfMagic begins every SDF file.
+var sdfMagic = []byte("SDF1")
+
+// sdfHeader is the JSON-encoded self-description.
+type sdfHeader struct {
+	Schema *array.Schema `json:"schema"`
+	Chunks int           `json:"chunks"`
+}
+
+// WriteSDF writes an array with its schema — "a self-describing data
+// format" any SciDB node can open without a catalog.
+func WriteSDF(w io.Writer, a *array.Array) error {
+	hdr, err := json.Marshal(sdfHeader{Schema: a.Schema, Chunks: len(a.Chunks())})
+	if err != nil {
+		return err
+	}
+	if _, err := w.Write(sdfMagic); err != nil {
+		return err
+	}
+	if err := writeU32(w, uint32(len(hdr))); err != nil {
+		return err
+	}
+	if _, err := w.Write(hdr); err != nil {
+		return err
+	}
+	payload, err := storage.EncodeArray(a)
+	if err != nil {
+		return err
+	}
+	if err := writeU32(w, uint32(len(payload))); err != nil {
+		return err
+	}
+	_, err = w.Write(payload)
+	return err
+}
+
+// ReadSDF reads a self-describing array.
+func ReadSDF(r io.Reader) (*array.Array, error) {
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(r, magic); err != nil {
+		return nil, err
+	}
+	if string(magic) != string(sdfMagic) {
+		return nil, fmt.Errorf("insitu: not an SDF file")
+	}
+	hlen, err := readU32(r)
+	if err != nil {
+		return nil, err
+	}
+	hbuf := make([]byte, hlen)
+	if _, err := io.ReadFull(r, hbuf); err != nil {
+		return nil, err
+	}
+	var hdr sdfHeader
+	if err := json.Unmarshal(hbuf, &hdr); err != nil {
+		return nil, fmt.Errorf("insitu: bad SDF header: %w", err)
+	}
+	if hdr.Schema == nil {
+		return nil, fmt.Errorf("insitu: SDF header missing schema")
+	}
+	plen, err := readU32(r)
+	if err != nil {
+		return nil, err
+	}
+	payload := make([]byte, plen)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, err
+	}
+	return storage.DecodeArray(hdr.Schema, payload)
+}
+
+// SDFAdaptor opens SDF files as datasets.
+type SDFAdaptor struct{}
+
+// Name implements Adaptor.
+func (SDFAdaptor) Name() string { return "sdf" }
+
+// Open implements Adaptor.
+func (SDFAdaptor) Open(path string) (Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	a, err := ReadSDF(f)
+	if err != nil {
+		return nil, err
+	}
+	return &memDataset{a: a}, nil
+}
+
+// memDataset adapts an in-memory array to the Dataset interface.
+type memDataset struct{ a *array.Array }
+
+func (d *memDataset) Schema() *array.Schema { return d.a.Schema }
+
+func (d *memDataset) Scan(box array.Box, fn func(array.Coord, array.Cell) bool) error {
+	d.a.Iter(func(c array.Coord, cell array.Cell) bool {
+		if !box.Contains(c) {
+			return true
+		}
+		return fn(c, cell)
+	})
+	return nil
+}
+
+func (d *memDataset) Close() error { return nil }
+
+func writeU32(w io.Writer, v uint32) error {
+	_, err := w.Write([]byte{byte(v), byte(v >> 8), byte(v >> 16), byte(v >> 24)})
+	return err
+}
+
+func readU32(r io.Reader) (uint32, error) {
+	b := make([]byte, 4)
+	if _, err := io.ReadFull(r, b); err != nil {
+		return 0, err
+	}
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24, nil
+}

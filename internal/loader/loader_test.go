@@ -1,0 +1,155 @@
+package loader
+
+import (
+	"path/filepath"
+	"testing"
+
+	"scidb/internal/array"
+	"scidb/internal/cluster"
+	"scidb/internal/insitu"
+	"scidb/internal/partition"
+	"scidb/internal/storage"
+)
+
+func streamSchema() *array.Schema {
+	return &array.Schema{
+		Name:  "stream",
+		Dims:  []array.Dimension{{Name: "t", High: 100}, {Name: "site", High: 10}},
+		Attrs: []array.Attribute{{Name: "v", Type: array.TFloat64}},
+	}
+}
+
+func makeRecords(n int64) []Record {
+	var out []Record
+	for t := int64(1); t <= n; t++ {
+		for s := int64(1); s <= 10; s++ {
+			out = append(out, Record{
+				Coord: array.Coord{t, s},
+				Cell:  array.Cell{array.Float64(float64(t*100 + s))},
+			})
+		}
+	}
+	return out
+}
+
+func TestLoadSplitsSubstreams(t *testing.T) {
+	recs := makeRecords(20)
+	scheme := partition.Block{Nodes: 2, SplitDim: 1, High: 10}
+	a1 := array.MustNew(streamSchema())
+	a2 := array.MustNew(streamSchema())
+	st, err := Load(FromSlice(recs), scheme, []Sink{ArraySink{a1}, ArraySink{a2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Records != 200 {
+		t.Errorf("records = %d", st.Records)
+	}
+	if st.PerSite[0] != 100 || st.PerSite[1] != 100 {
+		t.Errorf("per-site = %v", st.PerSite)
+	}
+	// Site 0 holds sites 1..5, site 1 holds 6..10.
+	if a1.Count() != 100 || a2.Count() != 100 {
+		t.Errorf("counts = %d, %d", a1.Count(), a2.Count())
+	}
+	if !a1.Exists(array.Coord{3, 5}) || a1.Exists(array.Coord{3, 6}) {
+		t.Error("site 0 split wrong")
+	}
+	if !a2.Exists(array.Coord{3, 6}) || a2.Exists(array.Coord{3, 5}) {
+		t.Error("site 1 split wrong")
+	}
+}
+
+func TestLoadIntoStores(t *testing.T) {
+	recs := makeRecords(10)
+	scheme := partition.Block{Nodes: 2, SplitDim: 1, High: 10}
+	dir := t.TempDir()
+	var sinks []Sink
+	var stores []*storage.Store
+	for i := 0; i < 2; i++ {
+		st, err := storage.NewStore(streamSchema(), storage.Options{
+			Dir:      filepath.Join(dir, "site", string(rune('a'+i))),
+			Stride:   []int64{32, 8},
+			MemLimit: 256, // tiny: force bucket formation during load
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		stores = append(stores, st)
+		sinks = append(sinks, StoreSink{st})
+	}
+	st, err := Load(FromSlice(recs), scheme, sinks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Records != 100 {
+		t.Errorf("records = %d", st.Records)
+	}
+	// Both stores flushed buckets and answer queries.
+	for i, s := range stores {
+		if s.NumBuckets() == 0 {
+			t.Errorf("site %d wrote no buckets", i)
+		}
+	}
+	cell, ok, err := stores[0].Get(array.Coord{7, 2})
+	if err != nil || !ok || cell[0].Float != 702 {
+		t.Errorf("site-0 get = %v,%v,%v", cell, ok, err)
+	}
+	cell, ok, err = stores[1].Get(array.Coord{7, 9})
+	if err != nil || !ok || cell[0].Float != 709 {
+		t.Errorf("site-1 get = %v,%v,%v", cell, ok, err)
+	}
+}
+
+func TestLoadFromDatasetIntoCluster(t *testing.T) {
+	// CSV file -> adaptor stream -> cluster coordinator.
+	a := array.MustNew(streamSchema())
+	for tt := int64(1); tt <= 8; tt++ {
+		_ = a.Set(array.Coord{tt, 1}, array.Cell{array.Float64(float64(tt))})
+	}
+	path := filepath.Join(t.TempDir(), "in.csv")
+	if err := insitu.WriteCSV(path, a); err != nil {
+		t.Fatal(err)
+	}
+	ds, err := (insitu.CSVAdaptor{}).Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ds.Close()
+
+	tr := cluster.NewLocal(2)
+	co := cluster.NewCoordinator(tr, 0)
+	scheme := partition.Block{Nodes: 2, SplitDim: 0, High: 100}
+	if err := co.Create("stream", streamSchema(), scheme); err != nil {
+		t.Fatal(err)
+	}
+	sink := ClusterSink{Co: co, Array: "stream"}
+	box := array.NewBox(array.Coord{1, 1}, array.Coord{100, 10})
+	st, err := Load(FromDataset(ds, box), scheme, Replicate(sink, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Records != 8 {
+		t.Errorf("records = %d", st.Records)
+	}
+	n, err := co.Count("stream")
+	if err != nil || n != 8 {
+		t.Errorf("cluster count = %d,%v", n, err)
+	}
+}
+
+func TestLoadSchemeSinkMismatch(t *testing.T) {
+	scheme := partition.Block{Nodes: 3, SplitDim: 0, High: 10}
+	if _, err := Load(FromSlice(nil), scheme, []Sink{ArraySink{array.MustNew(streamSchema())}}); err == nil {
+		t.Error("sink shortfall accepted")
+	}
+}
+
+func TestLoadPropagatesSinkError(t *testing.T) {
+	// Out-of-bounds record should surface the sink error.
+	recs := []Record{{Coord: array.Coord{1000, 1}, Cell: array.Cell{array.Float64(0)}}}
+	scheme := partition.Block{Nodes: 1, SplitDim: 0, High: 100}
+	a := array.MustNew(streamSchema())
+	if _, err := Load(FromSlice(recs), scheme, []Sink{ArraySink{a}}); err == nil {
+		t.Error("out-of-bounds record accepted")
+	}
+}

@@ -1,0 +1,409 @@
+package ops
+
+import (
+	"fmt"
+
+	"scidb/internal/array"
+	"scidb/internal/udf"
+)
+
+// Filter (§2.2.2) takes an array and a predicate over the data values in its
+// cells and returns an array with the same dimensions: where the predicate
+// holds the cell keeps its value, otherwise the result "will contain NULL".
+// Absent cells stay absent.
+func Filter(a *array.Array, pred Expr, reg *udf.Registry) (*array.Array, error) {
+	out := &array.Schema{Name: a.Schema.Name + "_filter", Dims: dimsWithHwm(a), Attrs: a.Schema.Attrs}
+	res, err := array.New(out)
+	if err != nil {
+		return nil, err
+	}
+	nullCell := make(array.Cell, len(a.Schema.Attrs))
+	for i, at := range a.Schema.Attrs {
+		nullCell[i] = array.NullValue(at.Type)
+	}
+	ctx := &EvalCtx{Schema: a.Schema, Reg: reg}
+	var evalErr error
+	a.IterReuse(func(c array.Coord, cell array.Cell) bool {
+		ctx.Coord, ctx.Cell = c, cell
+		keep, err := Truthy(pred, ctx)
+		if err != nil {
+			evalErr = err
+			return false
+		}
+		var werr error
+		if keep {
+			werr = res.Set(c.Clone(), cell)
+		} else {
+			werr = res.Set(c.Clone(), nullCell)
+		}
+		if werr != nil {
+			evalErr = werr
+			return false
+		}
+		return true
+	})
+	if evalErr != nil {
+		return nil, evalErr
+	}
+	return res, nil
+}
+
+// AggSpec names one aggregate to compute: Agg over attribute Attr
+// ("*" aggregates the first attribute, matching the paper's Sum(*)).
+type AggSpec struct {
+	Agg  string
+	Attr string
+	As   string // output attribute name; default "agg_attr"
+}
+
+// Aggregate (§2.2.2, Figure 2) groups an n-dimensional array on k grouping
+// dimensions and applies aggregate functions to the remaining (n−k)-
+// dimensional subarrays, one per combination of grouping-dimension values.
+// The output is a k-dimensional array whose dimensions retain the grouping
+// dimensions' index values. Data attributes cannot be used for grouping.
+func Aggregate(a *array.Array, groupDims []string, specs []AggSpec, reg *udf.Registry) (*array.Array, error) {
+	s := a.Schema
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("ops: aggregate requires at least one aggregate spec")
+	}
+	gidx := make([]int, len(groupDims))
+	for i, g := range groupDims {
+		d := s.DimIndex(g)
+		if d < 0 {
+			if s.AttrIndex(g) >= 0 {
+				return nil, fmt.Errorf("ops: cannot group on data attribute %q; grouping is by dimensions only", g)
+			}
+			return nil, fmt.Errorf("ops: unknown grouping dimension %q", g)
+		}
+		gidx[i] = d
+	}
+
+	out := &array.Schema{Name: s.Name + "_agg"}
+	if len(groupDims) == 0 {
+		// Grand total: a single-cell 1-D array.
+		out.Dims = []array.Dimension{{Name: "all", High: 1}}
+	} else {
+		for _, d := range gidx {
+			out.Dims = append(out.Dims, array.Dimension{Name: s.Dims[d].Name, High: max64(a.Hwm(d), 1)})
+		}
+	}
+	type aggCol struct {
+		attr int
+		fac  udf.AggregateFactory
+	}
+	cols := make([]aggCol, len(specs))
+	for i, sp := range specs {
+		fac, err := reg.Aggregate(sp.Agg)
+		if err != nil {
+			return nil, err
+		}
+		attr := 0
+		if sp.Attr != "*" && sp.Attr != "" {
+			attr = s.AttrIndex(sp.Attr)
+			if attr < 0 {
+				return nil, fmt.Errorf("ops: unknown attribute %q in aggregate", sp.Attr)
+			}
+		}
+		cols[i] = aggCol{attr: attr, fac: fac}
+		name := sp.As
+		if name == "" {
+			name = sp.Agg + "_" + s.Attrs[attr].Name
+		}
+		// Aggregate output type: count is integer, others follow the input.
+		t := s.Attrs[attr].Type
+		if sp.Agg == "count" {
+			t = array.TInt64
+		}
+		if sp.Agg == "avg" || sp.Agg == "stdev" {
+			t = array.TFloat64
+		}
+		out.Attrs = append(out.Attrs, array.Attribute{Name: name, Type: t, Uncertain: s.Attrs[attr].Uncertain})
+	}
+	res, err := array.New(out)
+	if err != nil {
+		return nil, err
+	}
+
+	// One accumulator set per group, held in a flat slice indexed by the
+	// row-major position of the group coordinate (group spaces are bounded
+	// by the output array's own size).
+	gShape := make([]int64, len(out.Dims))
+	gOrigin := make(array.Coord, len(out.Dims))
+	slots := int64(1)
+	for i, d := range out.Dims {
+		gShape[i] = d.High
+		gOrigin[i] = 1
+		slots *= d.High
+	}
+	groups := make([][]udf.Aggregate, slots)
+	gc := make(array.Coord, maxInt(len(gidx), 1))
+	a.IterReuse(func(c array.Coord, cell array.Cell) bool {
+		if len(gidx) == 0 {
+			gc[0] = 1
+		} else {
+			for i, d := range gidx {
+				gc[i] = c[d]
+			}
+		}
+		slot := array.RowMajorIndex(gOrigin, gShape, gc)
+		accs := groups[slot]
+		if accs == nil {
+			accs = make([]udf.Aggregate, len(cols))
+			for i, col := range cols {
+				accs[i] = col.fac()
+			}
+			groups[slot] = accs
+		}
+		for i, col := range cols {
+			accs[i].Step(cell[col.attr])
+		}
+		return true
+	})
+	for slot, accs := range groups {
+		if accs == nil {
+			continue
+		}
+		outCell := make(array.Cell, len(accs))
+		for i, acc := range accs {
+			outCell[i] = acc.Result()
+		}
+		if err := res.Set(array.CoordAt(gOrigin, gShape, int64(slot)), outCell); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Cjoin (§2.2.2, Figure 3) is the content-based join: its predicate is over
+// data values only. Joining an m-dimensional and an n-dimensional array
+// yields an (m+n)-dimensional array with concatenated cell tuples wherever
+// the predicate is true and NULL where it is false. Cells where either
+// input is absent stay absent.
+func Cjoin(a, b *array.Array, pred Expr, reg *udf.Registry) (*array.Array, error) {
+	sa, sb := a.Schema, b.Schema
+	out := &array.Schema{Name: sa.Name + "_cjoin_" + sb.Name}
+	out.Dims = append(out.Dims, dimsWithHwm(a)...)
+	for _, dim := range dimsWithHwm(b) {
+		name := dim.Name
+		if out.DimIndex(name) >= 0 {
+			name = sb.Name + "_" + name
+		}
+		out.Dims = append(out.Dims, array.Dimension{Name: name, High: dim.High})
+	}
+	out.Attrs = concatAttrs(sa, sb)
+	res, err := array.New(out)
+	if err != nil {
+		return nil, err
+	}
+	// The predicate evaluates over the concatenated schema.
+	joinedSchema := out
+	nullCell := make(array.Cell, len(out.Attrs))
+	for i, at := range out.Attrs {
+		nullCell[i] = array.NullValue(at.Type)
+	}
+	ctx := &EvalCtx{Schema: joinedSchema, Reg: reg}
+	var evalErr error
+	a.IterReuse(func(ca array.Coord, cellA array.Cell) bool {
+		ok := true
+		b.IterReuse(func(cb array.Coord, cellB array.Cell) bool {
+			dst := append(ca.Clone(), cb...)
+			joined := append(cellA.Clone(), cellB...)
+			ctx.Coord, ctx.Cell = dst, joined
+			match, err := Truthy(pred, ctx)
+			if err != nil {
+				evalErr = err
+				ok = false
+				return false
+			}
+			var werr error
+			if match {
+				werr = res.Set(dst, joined)
+			} else {
+				werr = res.Set(dst, nullCell)
+			}
+			if werr != nil {
+				evalErr = werr
+				ok = false
+				return false
+			}
+			return true
+		})
+		return ok
+	})
+	if evalErr != nil {
+		return nil, evalErr
+	}
+	return res, nil
+}
+
+// ApplySpec names one computed attribute: Name := Expr.
+type ApplySpec struct {
+	Name string
+	Expr Expr
+}
+
+// Apply (§2.2.2) computes new attributes per cell from expressions over the
+// existing record (and the coordinate), appending them to the cell.
+func Apply(a *array.Array, specs []ApplySpec, reg *udf.Registry) (*array.Array, error) {
+	s := a.Schema
+	out := &array.Schema{Name: s.Name + "_apply", Dims: dimsWithHwm(a)}
+	out.Attrs = append([]array.Attribute(nil), s.Attrs...)
+	ctx := &EvalCtx{Schema: s, Reg: reg}
+	// Infer output types from a probe evaluation lazily; default float.
+	// Computed attributes are marked Uncertain so error bars propagated by
+	// the expression arithmetic survive storage (§2.13).
+	for _, sp := range specs {
+		out.Attrs = append(out.Attrs, array.Attribute{Name: sp.Name, Type: array.TFloat64, Uncertain: true})
+	}
+	res, err := array.New(out)
+	if err != nil {
+		return nil, err
+	}
+	typed := false
+	var evalErr error
+	a.IterReuse(func(c array.Coord, cell array.Cell) bool {
+		ctx.Coord, ctx.Cell = c, cell
+		newCell := cell.Clone()
+		for i, sp := range specs {
+			v, err := sp.Expr.Eval(ctx)
+			if err != nil {
+				evalErr = err
+				return false
+			}
+			if !typed && !v.Null {
+				// Fix the declared type from the first concrete value.
+				res.Schema.Attrs[len(s.Attrs)+i].Type = v.Type
+			}
+			newCell = append(newCell, v)
+		}
+		typed = true
+		if err := res.Set(c.Clone(), newCell); err != nil {
+			evalErr = err
+			return false
+		}
+		return true
+	})
+	if evalErr != nil {
+		return nil, evalErr
+	}
+	return res, nil
+}
+
+// Project (§2.2.2) keeps only the named attributes.
+func Project(a *array.Array, attrs []string) (*array.Array, error) {
+	s := a.Schema
+	idx := make([]int, len(attrs))
+	out := &array.Schema{Name: s.Name + "_project", Dims: dimsWithHwm(a)}
+	for i, name := range attrs {
+		j := s.AttrIndex(name)
+		if j < 0 {
+			return nil, fmt.Errorf("ops: unknown attribute %q", name)
+		}
+		idx[i] = j
+		out.Attrs = append(out.Attrs, s.Attrs[j])
+	}
+	res, err := array.New(out)
+	if err != nil {
+		return nil, err
+	}
+	var setErr error
+	a.IterReuse(func(c array.Coord, cell array.Cell) bool {
+		newCell := make(array.Cell, len(idx))
+		for i, j := range idx {
+			newCell[i] = cell[j]
+		}
+		if err := res.Set(c.Clone(), newCell); err != nil {
+			setErr = err
+			return false
+		}
+		return true
+	})
+	return res, setErr
+}
+
+// Regrid is the science operation the paper calls out in §2.3 ("science
+// users wish to regrid arrays"): it coarsens the array by an integer stride
+// per dimension, aggregating each block into one output cell.
+func Regrid(a *array.Array, strides []int64, spec AggSpec, reg *udf.Registry) (*array.Array, error) {
+	s := a.Schema
+	if len(strides) != len(s.Dims) {
+		return nil, fmt.Errorf("ops: regrid needs one stride per dimension")
+	}
+	for _, st := range strides {
+		if st < 1 {
+			return nil, fmt.Errorf("ops: regrid strides must be >= 1")
+		}
+	}
+	fac, err := reg.Aggregate(spec.Agg)
+	if err != nil {
+		return nil, err
+	}
+	attr := 0
+	if spec.Attr != "*" && spec.Attr != "" {
+		attr = s.AttrIndex(spec.Attr)
+		if attr < 0 {
+			return nil, fmt.Errorf("ops: unknown attribute %q", spec.Attr)
+		}
+	}
+	out := &array.Schema{Name: s.Name + "_regrid"}
+	for d, dim := range s.Dims {
+		hi := (max64(a.Hwm(d), 1) + strides[d] - 1) / strides[d]
+		out.Dims = append(out.Dims, array.Dimension{Name: dim.Name, High: hi})
+	}
+	name := spec.As
+	if name == "" {
+		name = spec.Agg + "_" + s.Attrs[attr].Name
+	}
+	t := s.Attrs[attr].Type
+	if spec.Agg == "count" {
+		t = array.TInt64
+	}
+	if spec.Agg == "avg" || spec.Agg == "stdev" {
+		t = array.TFloat64
+	}
+	out.Attrs = []array.Attribute{{Name: name, Type: t, Uncertain: s.Attrs[attr].Uncertain}}
+	res, err := array.New(out)
+	if err != nil {
+		return nil, err
+	}
+	// Flat accumulator slice over the (bounded) output grid.
+	gShape := make([]int64, len(out.Dims))
+	gOrigin := make(array.Coord, len(out.Dims))
+	slots := int64(1)
+	for i, d := range out.Dims {
+		gShape[i] = d.High
+		gOrigin[i] = 1
+		slots *= d.High
+	}
+	groups := make([]udf.Aggregate, slots)
+	gc := make(array.Coord, len(s.Dims))
+	a.IterReuse(func(c array.Coord, cell array.Cell) bool {
+		for d := range c {
+			gc[d] = (c[d]-1)/strides[d] + 1
+		}
+		slot := array.RowMajorIndex(gOrigin, gShape, gc)
+		acc := groups[slot]
+		if acc == nil {
+			acc = fac()
+			groups[slot] = acc
+		}
+		acc.Step(cell[attr])
+		return true
+	})
+	for slot, acc := range groups {
+		if acc == nil {
+			continue
+		}
+		if err := res.Set(array.CoordAt(gOrigin, gShape, int64(slot)), array.Cell{acc.Result()}); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,289 @@
+// Package ops implements the SciDB operator suite of §2.2: structural
+// operators (Subsample, Reshape, Sjoin, add/remove dimension, Concat,
+// CrossProduct) that create arrays purely from the structure of their
+// inputs, and content-dependent operators (Filter, Aggregate, Cjoin, Apply,
+// Project) plus the science regridding operator of §2.3. All operators are
+// user-extendable through the udf registry.
+package ops
+
+import (
+	"fmt"
+
+	"scidb/internal/array"
+	"scidb/internal/udf"
+	"scidb/internal/uncertain"
+)
+
+// EvalCtx carries one cell's evaluation context: its schema, coordinate,
+// record, and the UDF registry for Call nodes.
+type EvalCtx struct {
+	Schema *array.Schema
+	Coord  array.Coord
+	Cell   array.Cell
+	Reg    *udf.Registry
+}
+
+// Expr is an expression over one cell, used by Filter predicates, Apply
+// computations, and Cjoin predicates (where the context holds the
+// concatenated cell).
+type Expr interface {
+	Eval(ctx *EvalCtx) (array.Value, error)
+	String() string
+}
+
+// Const is a literal value.
+type Const struct{ V array.Value }
+
+// Eval implements Expr.
+func (e Const) Eval(*EvalCtx) (array.Value, error) { return e.V, nil }
+
+// String implements Expr.
+func (e Const) String() string { return e.V.String() }
+
+// AttrRef references an attribute of the current cell by name.
+type AttrRef struct{ Name string }
+
+// Eval implements Expr.
+func (e AttrRef) Eval(ctx *EvalCtx) (array.Value, error) {
+	i := ctx.Schema.AttrIndex(e.Name)
+	if i < 0 {
+		return array.Value{}, fmt.Errorf("ops: unknown attribute %q", e.Name)
+	}
+	return ctx.Cell[i], nil
+}
+
+// String implements Expr.
+func (e AttrRef) String() string { return e.Name }
+
+// DimRef references a dimension value of the current cell's coordinate.
+type DimRef struct{ Name string }
+
+// Eval implements Expr.
+func (e DimRef) Eval(ctx *EvalCtx) (array.Value, error) {
+	i := ctx.Schema.DimIndex(e.Name)
+	if i < 0 {
+		return array.Value{}, fmt.Errorf("ops: unknown dimension %q", e.Name)
+	}
+	return array.Int64(ctx.Coord[i]), nil
+}
+
+// String implements Expr.
+func (e DimRef) String() string { return e.Name }
+
+// BinOp identifies a binary operator.
+type BinOp string
+
+// Binary operators. Arithmetic on uncertain values performs the §2.13
+// error-bar propagation.
+const (
+	OpAdd BinOp = "+"
+	OpSub BinOp = "-"
+	OpMul BinOp = "*"
+	OpDiv BinOp = "/"
+	OpMod BinOp = "%"
+	OpEq  BinOp = "="
+	OpNe  BinOp = "!="
+	OpLt  BinOp = "<"
+	OpLe  BinOp = "<="
+	OpGt  BinOp = ">"
+	OpGe  BinOp = ">="
+	OpAnd BinOp = "and"
+	OpOr  BinOp = "or"
+)
+
+// Binary applies a binary operator to two subexpressions.
+type Binary struct {
+	Op   BinOp
+	L, R Expr
+}
+
+// Eval implements Expr.
+func (e Binary) Eval(ctx *EvalCtx) (array.Value, error) {
+	l, err := e.L.Eval(ctx)
+	if err != nil {
+		return array.Value{}, err
+	}
+	r, err := e.R.Eval(ctx)
+	if err != nil {
+		return array.Value{}, err
+	}
+	switch e.Op {
+	case OpAdd, OpSub, OpMul, OpDiv, OpMod:
+		return evalArith(e.Op, l, r)
+	case OpEq, OpNe, OpLt, OpLe, OpGt, OpGe:
+		return evalCmp(e.Op, l, r), nil
+	case OpAnd, OpOr:
+		return evalLogic(e.Op, l, r), nil
+	}
+	return array.Value{}, fmt.Errorf("ops: unknown operator %q", e.Op)
+}
+
+// String implements Expr.
+func (e Binary) String() string {
+	return fmt.Sprintf("(%s %s %s)", e.L.String(), e.Op, e.R.String())
+}
+
+func evalArith(op BinOp, l, r array.Value) (array.Value, error) {
+	if l.Null || r.Null {
+		return array.NullValue(array.TFloat64), nil
+	}
+	// Integer arithmetic stays exact integer when both sides are exact ints.
+	if l.Type == array.TInt64 && r.Type == array.TInt64 && l.Sigma == 0 && r.Sigma == 0 {
+		a, b := l.Int, r.Int
+		switch op {
+		case OpAdd:
+			return array.Int64(a + b), nil
+		case OpSub:
+			return array.Int64(a - b), nil
+		case OpMul:
+			return array.Int64(a * b), nil
+		case OpDiv:
+			if b == 0 {
+				return array.NullValue(array.TInt64), nil
+			}
+			return array.Int64(a / b), nil
+		case OpMod:
+			if b == 0 {
+				return array.NullValue(array.TInt64), nil
+			}
+			return array.Int64(a % b), nil
+		}
+	}
+	if op == OpMod {
+		return array.Value{}, fmt.Errorf("ops: %% requires integer operands")
+	}
+	ul := uncertain.New(l.AsFloat(), l.Sigma)
+	ur := uncertain.New(r.AsFloat(), r.Sigma)
+	var out uncertain.Value
+	switch op {
+	case OpAdd:
+		out = ul.Add(ur)
+	case OpSub:
+		out = ul.Sub(ur)
+	case OpMul:
+		out = ul.Mul(ur)
+	case OpDiv:
+		out = ul.Div(ur)
+	}
+	return array.UncertainFloat(out.Mean, out.Sigma), nil
+}
+
+func evalCmp(op BinOp, l, r array.Value) array.Value {
+	if l.Null || r.Null {
+		return array.NullValue(array.TBool)
+	}
+	c := l.Compare(r)
+	var b bool
+	switch op {
+	case OpEq:
+		b = l.Equal(r)
+	case OpNe:
+		b = !l.Equal(r)
+	case OpLt:
+		b = c < 0
+	case OpLe:
+		b = c <= 0
+	case OpGt:
+		b = c > 0
+	case OpGe:
+		b = c >= 0
+	}
+	return array.Bool64(b)
+}
+
+func evalLogic(op BinOp, l, r array.Value) array.Value {
+	// Three-valued logic: NULL and false = false, NULL or true = true.
+	lt, ln := l.Bool && !l.Null, l.Null
+	rt, rn := r.Bool && !r.Null, r.Null
+	switch op {
+	case OpAnd:
+		if !lt && !ln || !rt && !rn {
+			return array.Bool64(false)
+		}
+		if ln || rn {
+			return array.NullValue(array.TBool)
+		}
+		return array.Bool64(true)
+	case OpOr:
+		if lt || rt {
+			return array.Bool64(true)
+		}
+		if ln || rn {
+			return array.NullValue(array.TBool)
+		}
+		return array.Bool64(false)
+	}
+	return array.NullValue(array.TBool)
+}
+
+// Not negates a boolean expression.
+type Not struct{ E Expr }
+
+// Eval implements Expr.
+func (e Not) Eval(ctx *EvalCtx) (array.Value, error) {
+	v, err := e.E.Eval(ctx)
+	if err != nil {
+		return array.Value{}, err
+	}
+	if v.Null {
+		return v, nil
+	}
+	return array.Bool64(!v.Bool), nil
+}
+
+// String implements Expr.
+func (e Not) String() string { return "not " + e.E.String() }
+
+// Call invokes a registered UDF with the evaluated arguments, taking the
+// UDF's first output value.
+type Call struct {
+	Name string
+	Args []Expr
+}
+
+// Eval implements Expr.
+func (e Call) Eval(ctx *EvalCtx) (array.Value, error) {
+	if ctx.Reg == nil {
+		return array.Value{}, fmt.Errorf("ops: no UDF registry for call to %s", e.Name)
+	}
+	f, err := ctx.Reg.Func(e.Name)
+	if err != nil {
+		return array.Value{}, err
+	}
+	args := make([]array.Value, len(e.Args))
+	for i, a := range e.Args {
+		if args[i], err = a.Eval(ctx); err != nil {
+			return array.Value{}, err
+		}
+	}
+	out, err := f.Call(args)
+	if err != nil {
+		return array.Value{}, err
+	}
+	if len(out) == 0 {
+		return array.NullValue(array.TFloat64), nil
+	}
+	return out[0], nil
+}
+
+// String implements Expr.
+func (e Call) String() string {
+	s := e.Name + "("
+	for i, a := range e.Args {
+		if i > 0 {
+			s += ", "
+		}
+		s += a.String()
+	}
+	return s + ")"
+}
+
+// Truthy evaluates a predicate expression to a definite boolean:
+// NULL counts as false (SQL WHERE semantics).
+func Truthy(e Expr, ctx *EvalCtx) (bool, error) {
+	v, err := e.Eval(ctx)
+	if err != nil {
+		return false, err
+	}
+	return !v.Null && v.Bool, nil
+}

@@ -1,0 +1,99 @@
+package ops
+
+import (
+	"testing"
+
+	"scidb/internal/array"
+	"scidb/internal/udf"
+)
+
+func TestWindowSmoothing(t *testing.T) {
+	// 1-D window average with radius 1.
+	a := vec1D(t, "W", "x", 1, 2, 3, 4, 5)
+	res, err := Window(a, []int64{1}, AggSpec{Agg: "avg", Attr: "val"}, udf.NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Interior cell 3: mean(2,3,4) = 3; edge cell 1: mean(1,2) = 1.5.
+	cell, _ := res.At(array.Coord{3})
+	if cell[0].AsFloat() != 3 {
+		t.Errorf("window[3] = %v, want 3", cell[0])
+	}
+	cell, _ = res.At(array.Coord{1})
+	if cell[0].AsFloat() != 1.5 {
+		t.Errorf("window[1] = %v, want 1.5", cell[0])
+	}
+	// Same dimensionality and cell count.
+	if res.Count() != a.Count() || len(res.Schema.Dims) != 1 {
+		t.Errorf("shape changed: %d cells, %d dims", res.Count(), len(res.Schema.Dims))
+	}
+}
+
+func TestWindow2DSumAndCount(t *testing.T) {
+	g := grid2D(t, "W2", 3, 3, []int64{
+		1, 1, 1,
+		1, 1, 1,
+		1, 1, 1,
+	})
+	res, err := Window(g, []int64{1, 1}, AggSpec{Agg: "sum", Attr: "val"}, udf.NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Center: full 3x3 neighborhood = 9; corner: 2x2 = 4; edge: 2x3 = 6.
+	wantInt(t, res, array.Coord{2, 2}, 0, 9)
+	wantInt(t, res, array.Coord{1, 1}, 0, 4)
+	wantInt(t, res, array.Coord{1, 2}, 0, 6)
+}
+
+func TestWindowRadiusZeroIsIdentity(t *testing.T) {
+	a := vec1D(t, "W", "x", 7, 8, 9)
+	res, err := Window(a, []int64{0}, AggSpec{Agg: "sum", Attr: "val"}, udf.NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(1); i <= 3; i++ {
+		want, _ := a.At(array.Coord{i})
+		got, _ := res.At(array.Coord{i})
+		if got[0].AsInt() != want[0].Int {
+			t.Errorf("identity window differs at %d", i)
+		}
+	}
+}
+
+func TestWindowSparseSkipsAbsent(t *testing.T) {
+	s := &array.Schema{
+		Name:  "SP",
+		Dims:  []array.Dimension{{Name: "x", High: 5}},
+		Attrs: []array.Attribute{{Name: "val", Type: array.TInt64}},
+	}
+	a := array.MustNew(s)
+	_ = a.Set(array.Coord{1}, array.Cell{array.Int64(10)})
+	_ = a.Set(array.Coord{3}, array.Cell{array.Int64(20)})
+	res, err := Window(a, []int64{1}, AggSpec{Agg: "count", Attr: "val"}, udf.NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Output only where input present.
+	if res.Count() != 2 {
+		t.Errorf("output cells = %d, want 2", res.Count())
+	}
+	// Cell 3's neighborhood {2,3,4} holds only itself.
+	wantInt(t, res, array.Coord{3}, 0, 1)
+}
+
+func TestWindowErrors(t *testing.T) {
+	a := vec1D(t, "W", "x", 1)
+	reg := udf.NewRegistry()
+	if _, err := Window(a, []int64{1, 1}, AggSpec{Agg: "sum"}, reg); err == nil {
+		t.Error("radius arity mismatch accepted")
+	}
+	if _, err := Window(a, []int64{-1}, AggSpec{Agg: "sum"}, reg); err == nil {
+		t.Error("negative radius accepted")
+	}
+	if _, err := Window(a, []int64{1}, AggSpec{Agg: "frob"}, reg); err == nil {
+		t.Error("unknown aggregate accepted")
+	}
+	if _, err := Window(a, []int64{1}, AggSpec{Agg: "sum", Attr: "zzz"}, reg); err == nil {
+		t.Error("unknown attribute accepted")
+	}
+}

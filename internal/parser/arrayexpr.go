@@ -1,0 +1,746 @@
+package parser
+
+import (
+	"fmt"
+	"strings"
+)
+
+func fmtSprintf(format string, args ...interface{}) string {
+	return fmt.Sprintf(format, args...)
+}
+
+// operator keywords that introduce array expressions.
+var arrayOps = map[string]bool{
+	"subsample": true, "filter": true, "aggregate": true, "sjoin": true,
+	"cjoin": true, "apply": true, "project": true, "reshape": true,
+	"regrid": true, "window": true, "cross": true, "concat": true, "adddim": true,
+	"remdim": true, "version": true, "scan": true, "exists": true,
+}
+
+func (p *parser) parseArrayExpr() (ArrayExpr, error) {
+	t := p.peek()
+	if t.kind != tokIdent {
+		return nil, p.errf("expected array expression, got %q", t.text)
+	}
+	op := strings.ToLower(t.text)
+	if !arrayOps[op] {
+		// plain array reference
+		p.advance()
+		return &Ref{Name: t.text}, nil
+	}
+	p.advance()
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	var (
+		node ArrayExpr
+		err  error
+	)
+	switch op {
+	case "scan":
+		name, e := p.expectIdent()
+		if e != nil {
+			return nil, e
+		}
+		node = &Ref{Name: name}
+	case "exists":
+		arr, e := p.expectIdent()
+		if e != nil {
+			return nil, e
+		}
+		ex := &ExistsExpr{Array: arr}
+		for p.acceptPunct(",") {
+			v, e := p.expectInt()
+			if e != nil {
+				return nil, e
+			}
+			ex.Coord = append(ex.Coord, v)
+		}
+		if len(ex.Coord) == 0 {
+			return nil, p.errf("exists needs a coordinate")
+		}
+		node = ex
+	case "version":
+		arr, e := p.expectIdent()
+		if e != nil {
+			return nil, e
+		}
+		if e := p.expectPunct(","); e != nil {
+			return nil, e
+		}
+		name, e := p.expectIdent()
+		if e != nil {
+			return nil, e
+		}
+		node = &VersionExpr{Array: arr, Name: name}
+	case "subsample":
+		node, err = p.parseSubsample()
+	case "filter":
+		node, err = p.parseFilter()
+	case "aggregate":
+		node, err = p.parseAggregate()
+	case "sjoin":
+		node, err = p.parseSjoin()
+	case "cjoin":
+		node, err = p.parseCjoin()
+	case "apply":
+		node, err = p.parseApply()
+	case "project":
+		node, err = p.parseProject()
+	case "reshape":
+		node, err = p.parseReshape()
+	case "regrid":
+		node, err = p.parseRegrid()
+	case "window":
+		node, err = p.parseWindow()
+	case "cross":
+		node, err = p.parseCross()
+	case "concat":
+		node, err = p.parseConcat()
+	case "adddim", "remdim":
+		node, err = p.parseDimOp(op)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return nil, err
+	}
+	return node, nil
+}
+
+func (p *parser) parseSubsample() (ArrayExpr, error) {
+	in, err := p.parseArrayExpr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct(","); err != nil {
+		return nil, err
+	}
+	var conds []DimCond
+	for {
+		c, err := p.parseDimCond()
+		if err != nil {
+			return nil, err
+		}
+		conds = append(conds, c)
+		if p.acceptKeyword("and") {
+			continue
+		}
+		break
+	}
+	return &SubsampleExpr{In: in, Pred: conds}, nil
+}
+
+func (p *parser) parseDimCond() (DimCond, error) {
+	if p.isKeyword("even") || p.isKeyword("odd") {
+		op := strings.ToLower(p.advance().text)
+		if err := p.expectPunct("("); err != nil {
+			return DimCond{}, err
+		}
+		dim, err := p.expectIdent()
+		if err != nil {
+			return DimCond{}, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return DimCond{}, err
+		}
+		return DimCond{Dim: dim, Op: op}, nil
+	}
+	dim, err := p.expectIdent()
+	if err != nil {
+		return DimCond{}, err
+	}
+	t := p.peek()
+	if t.kind != tokPunct {
+		return DimCond{}, p.errf("expected comparison, got %q", t.text)
+	}
+	op := t.text
+	switch op {
+	case "<", "<=", ">", ">=", "=", "!=":
+	default:
+		return DimCond{}, p.errf("bad dimension comparison %q", op)
+	}
+	p.advance()
+	// The other side must be an integer literal — a dimension name here
+	// would be the outlawed cross-dimension predicate ("X = Y is not
+	// legal").
+	if p.peek().kind == tokIdent {
+		return DimCond{}, p.errf("subsample predicates must compare a dimension to a constant; %q is not legal", dim+" "+op+" "+p.peek().text)
+	}
+	v, err := p.expectInt()
+	if err != nil {
+		return DimCond{}, err
+	}
+	return DimCond{Dim: dim, Op: op, Value: v}, nil
+}
+
+func (p *parser) parseFilter() (ArrayExpr, error) {
+	in, err := p.parseArrayExpr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct(","); err != nil {
+		return nil, err
+	}
+	pred, err := p.parseValExpr()
+	if err != nil {
+		return nil, err
+	}
+	return &FilterExpr{In: in, Pred: pred}, nil
+}
+
+func (p *parser) parseAggregate() (ArrayExpr, error) {
+	in, err := p.parseArrayExpr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct(","); err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct("{"); err != nil {
+		return nil, err
+	}
+	var dims []string
+	if !p.acceptPunct("}") {
+		for {
+			d, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			dims = append(dims, d)
+			if p.acceptPunct(",") {
+				continue
+			}
+			break
+		}
+		if err := p.expectPunct("}"); err != nil {
+			return nil, err
+		}
+	}
+	if err := p.expectPunct(","); err != nil {
+		return nil, err
+	}
+	var aggs []AggSpec
+	for {
+		a, err := p.parseAggSpec()
+		if err != nil {
+			return nil, err
+		}
+		aggs = append(aggs, a)
+		if p.acceptPunct(",") {
+			continue
+		}
+		break
+	}
+	return &AggregateExpr{In: in, GroupDims: dims, Aggs: aggs}, nil
+}
+
+func (p *parser) parseAggSpec() (AggSpec, error) {
+	fn, err := p.expectIdent()
+	if err != nil {
+		return AggSpec{}, err
+	}
+	if err := p.expectPunct("("); err != nil {
+		return AggSpec{}, err
+	}
+	attr := "*"
+	if !p.acceptPunct("*") {
+		attr, err = p.expectIdent()
+		if err != nil {
+			return AggSpec{}, err
+		}
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return AggSpec{}, err
+	}
+	as := ""
+	if p.acceptKeyword("as") {
+		as, err = p.expectIdent()
+		if err != nil {
+			return AggSpec{}, err
+		}
+	}
+	return AggSpec{Func: strings.ToLower(fn), Attr: attr, As: as}, nil
+}
+
+func (p *parser) parseSjoin() (ArrayExpr, error) {
+	l, err := p.parseArrayExpr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct(","); err != nil {
+		return nil, err
+	}
+	r, err := p.parseArrayExpr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct(","); err != nil {
+		return nil, err
+	}
+	var pairs []JoinPair
+	for {
+		// a.I = b.J — qualified on both sides; the qualifier is ignored
+		// positionally (left side refers to the left array).
+		lq, err := p.parseQualified()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct("="); err != nil {
+			return nil, err
+		}
+		rq, err := p.parseQualified()
+		if err != nil {
+			return nil, err
+		}
+		pairs = append(pairs, JoinPair{Left: lq, Right: rq})
+		if p.acceptKeyword("and") {
+			continue
+		}
+		break
+	}
+	return &SjoinExpr{L: l, R: r, On: pairs}, nil
+}
+
+// parseQualified parses ident or ident.ident, returning the last component.
+func (p *parser) parseQualified() (string, error) {
+	a, err := p.expectIdent()
+	if err != nil {
+		return "", err
+	}
+	if p.acceptPunct(".") {
+		b, err := p.expectIdent()
+		if err != nil {
+			return "", err
+		}
+		return b, nil
+	}
+	return a, nil
+}
+
+func (p *parser) parseCjoin() (ArrayExpr, error) {
+	l, err := p.parseArrayExpr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct(","); err != nil {
+		return nil, err
+	}
+	r, err := p.parseArrayExpr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct(","); err != nil {
+		return nil, err
+	}
+	pred, err := p.parseValExpr()
+	if err != nil {
+		return nil, err
+	}
+	return &CjoinExpr{L: l, R: r, Pred: pred}, nil
+}
+
+func (p *parser) parseApply() (ArrayExpr, error) {
+	in, err := p.parseArrayExpr()
+	if err != nil {
+		return nil, err
+	}
+	out := &ApplyExpr{In: in}
+	for p.acceptPunct(",") {
+		name, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct("="); err != nil {
+			return nil, err
+		}
+		e, err := p.parseValExpr()
+		if err != nil {
+			return nil, err
+		}
+		out.Names = append(out.Names, name)
+		out.Exprs = append(out.Exprs, e)
+	}
+	if len(out.Names) == 0 {
+		return nil, p.errf("apply needs at least one name = expr")
+	}
+	return out, nil
+}
+
+func (p *parser) parseProject() (ArrayExpr, error) {
+	in, err := p.parseArrayExpr()
+	if err != nil {
+		return nil, err
+	}
+	out := &ProjectExpr{In: in}
+	for p.acceptPunct(",") {
+		a, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		out.Attrs = append(out.Attrs, a)
+	}
+	if len(out.Attrs) == 0 {
+		return nil, p.errf("project needs at least one attribute")
+	}
+	return out, nil
+}
+
+func (p *parser) parseReshape() (ArrayExpr, error) {
+	in, err := p.parseArrayExpr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct(","); err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct("["); err != nil {
+		return nil, err
+	}
+	out := &ReshapeExpr{In: in}
+	for {
+		d, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		out.Order = append(out.Order, d)
+		if p.acceptPunct(",") {
+			continue
+		}
+		break
+	}
+	if err := p.expectPunct("]"); err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct(","); err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct("["); err != nil {
+		return nil, err
+	}
+	for {
+		// U = 1:8
+		name, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct("="); err != nil {
+			return nil, err
+		}
+		lo, err := p.expectInt()
+		if err != nil {
+			return nil, err
+		}
+		if lo != 1 {
+			return nil, p.errf("dimension %s must start at 1", name)
+		}
+		if err := p.expectPunct(":"); err != nil {
+			return nil, err
+		}
+		hi, err := p.expectInt()
+		if err != nil {
+			return nil, err
+		}
+		out.NewDims = append(out.NewDims, NewDim{Name: name, High: hi})
+		if p.acceptPunct(",") {
+			continue
+		}
+		break
+	}
+	if err := p.expectPunct("]"); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func (p *parser) parseRegrid() (ArrayExpr, error) {
+	in, err := p.parseArrayExpr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct(","); err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct("["); err != nil {
+		return nil, err
+	}
+	out := &RegridExpr{In: in}
+	for {
+		v, err := p.expectInt()
+		if err != nil {
+			return nil, err
+		}
+		out.Strides = append(out.Strides, v)
+		if p.acceptPunct(",") {
+			continue
+		}
+		break
+	}
+	if err := p.expectPunct("]"); err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct(","); err != nil {
+		return nil, err
+	}
+	agg, err := p.parseAggSpec()
+	if err != nil {
+		return nil, err
+	}
+	out.Agg = agg
+	return out, nil
+}
+
+func (p *parser) parseWindow() (ArrayExpr, error) {
+	in, err := p.parseArrayExpr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct(","); err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct("["); err != nil {
+		return nil, err
+	}
+	out := &WindowExpr{In: in}
+	for {
+		v, err := p.expectInt()
+		if err != nil {
+			return nil, err
+		}
+		out.Radius = append(out.Radius, v)
+		if p.acceptPunct(",") {
+			continue
+		}
+		break
+	}
+	if err := p.expectPunct("]"); err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct(","); err != nil {
+		return nil, err
+	}
+	agg, err := p.parseAggSpec()
+	if err != nil {
+		return nil, err
+	}
+	out.Agg = agg
+	return out, nil
+}
+
+func (p *parser) parseCross() (ArrayExpr, error) {
+	l, err := p.parseArrayExpr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct(","); err != nil {
+		return nil, err
+	}
+	r, err := p.parseArrayExpr()
+	if err != nil {
+		return nil, err
+	}
+	return &CrossExpr{L: l, R: r}, nil
+}
+
+func (p *parser) parseConcat() (ArrayExpr, error) {
+	l, err := p.parseArrayExpr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct(","); err != nil {
+		return nil, err
+	}
+	r, err := p.parseArrayExpr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct(","); err != nil {
+		return nil, err
+	}
+	d, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	return &ConcatExpr{L: l, R: r, Dim: d}, nil
+}
+
+func (p *parser) parseDimOp(op string) (ArrayExpr, error) {
+	in, err := p.parseArrayExpr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct(","); err != nil {
+		return nil, err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if op == "adddim" {
+		return &AddDimExpr{In: in, Name: name}, nil
+	}
+	return &RemDimExpr{In: in, Name: name}, nil
+}
+
+// --- value expressions: precedence climbing --------------------------------
+
+func (p *parser) parseValExpr() (ValExpr, error) { return p.parseOr() }
+
+func (p *parser) parseOr() (ValExpr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("or") {
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinExpr{Op: "or", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAnd() (ValExpr, error) {
+	l, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("and") {
+		r, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinExpr{Op: "and", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseNot() (ValExpr, error) {
+	if p.acceptKeyword("not") {
+		e, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &NotExpr{E: e}, nil
+	}
+	return p.parseCmp()
+}
+
+func (p *parser) parseCmp() (ValExpr, error) {
+	l, err := p.parseAdd()
+	if err != nil {
+		return nil, err
+	}
+	t := p.peek()
+	if t.kind == tokPunct {
+		switch t.text {
+		case "=", "!=", "<", "<=", ">", ">=":
+			p.advance()
+			r, err := p.parseAdd()
+			if err != nil {
+				return nil, err
+			}
+			return &BinExpr{Op: t.text, L: l, R: r}, nil
+		}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAdd() (ValExpr, error) {
+	l, err := p.parseMul()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.kind == tokPunct && (t.text == "+" || t.text == "-") {
+			p.advance()
+			r, err := p.parseMul()
+			if err != nil {
+				return nil, err
+			}
+			l = &BinExpr{Op: t.text, L: l, R: r}
+			continue
+		}
+		return l, nil
+	}
+}
+
+func (p *parser) parseMul() (ValExpr, error) {
+	l, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.kind == tokPunct && (t.text == "*" || t.text == "/" || t.text == "%") {
+			p.advance()
+			r, err := p.parsePrimary()
+			if err != nil {
+				return nil, err
+			}
+			l = &BinExpr{Op: t.text, L: l, R: r}
+			continue
+		}
+		return l, nil
+	}
+}
+
+func (p *parser) parsePrimary() (ValExpr, error) {
+	t := p.peek()
+	switch {
+	case t.kind == tokNumber, t.kind == tokString,
+		p.isKeyword("null"), p.isKeyword("true"), p.isKeyword("false"):
+		s, err := p.parseScalar()
+		if err != nil {
+			return nil, err
+		}
+		return &Lit{V: s}, nil
+	case t.kind == tokPunct && t.text == "(":
+		p.advance()
+		e, err := p.parseValExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case t.kind == tokIdent:
+		name, _ := p.expectIdent()
+		// UDF call?
+		if p.acceptPunct("(") {
+			call := &CallExpr{Name: name}
+			if !p.acceptPunct(")") {
+				for {
+					a, err := p.parseValExpr()
+					if err != nil {
+						return nil, err
+					}
+					call.Args = append(call.Args, a)
+					if p.acceptPunct(",") {
+						continue
+					}
+					break
+				}
+				if err := p.expectPunct(")"); err != nil {
+					return nil, err
+				}
+			}
+			return call, nil
+		}
+		// Qualified attribute B.val: the planner resolves qualified names
+		// against join outputs ("B_val").
+		if p.acceptPunct(".") {
+			f, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			return &Ident{Name: name + "." + f}, nil
+		}
+		return &Ident{Name: name}, nil
+	}
+	return nil, p.errf("expected expression, got %q", t.text)
+}

@@ -1,0 +1,213 @@
+package parser
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Format renders a parse tree back to canonical AQL text. Round-tripping
+// holds: Parse(Format(stmt)) produces an equivalent tree. Used for logging,
+// the shell, and the parser's own round-trip tests.
+func Format(s Stmt) string {
+	switch n := s.(type) {
+	case *DefineArray:
+		var b strings.Builder
+		b.WriteString("define ")
+		if n.Updatable {
+			b.WriteString("updatable ")
+		}
+		b.WriteString("array ")
+		b.WriteString(n.Name)
+		b.WriteString(" (")
+		for i, a := range n.Attrs {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(a.Name)
+			b.WriteString(" = ")
+			if a.Uncertain {
+				b.WriteString("uncertain ")
+			}
+			b.WriteString(a.Type)
+		}
+		b.WriteString(") [")
+		b.WriteString(strings.Join(n.DimNames, ", "))
+		b.WriteString("]")
+		return b.String()
+	case *DefineFunction:
+		return fmt.Sprintf("define function %s %s returns %s '%s'",
+			n.Name, formatParams(n.In), formatParams(n.Out), n.Handle)
+	case *CreateArray:
+		bounds := make([]string, len(n.Bounds))
+		for i, v := range n.Bounds {
+			if v < 0 {
+				bounds[i] = "*"
+			} else {
+				bounds[i] = fmt.Sprintf("%d", v)
+			}
+		}
+		return fmt.Sprintf("create array %s as %s [%s]", n.Name, n.TypeName, strings.Join(bounds, ", "))
+	case *CreateVersion:
+		if n.Parent != "" {
+			return fmt.Sprintf("create version %s from %s parent %s", n.Name, n.Array, n.Parent)
+		}
+		return fmt.Sprintf("create version %s from %s", n.Name, n.Array)
+	case *Enhance:
+		return fmt.Sprintf("enhance %s with %s", n.Array, n.Func)
+	case *Shape:
+		if len(n.Args) == 0 {
+			return fmt.Sprintf("shape %s with %s", n.Array, n.Func)
+		}
+		return fmt.Sprintf("shape %s with %s(%s)", n.Array, n.Func, joinInts(n.Args))
+	case *Insert:
+		vals := make([]string, len(n.Values))
+		for i, v := range n.Values {
+			vals[i] = formatScalar(v)
+		}
+		return fmt.Sprintf("insert into %s [%s] values (%s)", n.Array, joinInts(n.Coord), strings.Join(vals, ", "))
+	case *Delete:
+		return fmt.Sprintf("delete from %s [%s]", n.Array, joinInts(n.Coord))
+	case *Load:
+		return fmt.Sprintf("load %s from '%s' using %s", n.Array, n.Path, n.Adaptor)
+	case *Attach:
+		return fmt.Sprintf("attach %s from '%s' using %s", n.Array, n.Path, n.Adaptor)
+	case *Store:
+		return fmt.Sprintf("store %s into %s", FormatArrayExpr(n.Expr), n.Target)
+	case *Query:
+		return FormatArrayExpr(n.Expr)
+	}
+	return fmt.Sprintf("<unprintable %T>", s)
+}
+
+// FormatArrayExpr renders an array expression.
+func FormatArrayExpr(e ArrayExpr) string {
+	switch n := e.(type) {
+	case *Ref:
+		return n.Name
+	case *ExistsExpr:
+		return fmt.Sprintf("exists(%s, %s)", n.Array, joinInts(n.Coord))
+	case *VersionExpr:
+		return fmt.Sprintf("version(%s, %s)", n.Array, n.Name)
+	case *SubsampleExpr:
+		conds := make([]string, len(n.Pred))
+		for i, c := range n.Pred {
+			conds[i] = formatDimCond(c)
+		}
+		return fmt.Sprintf("subsample(%s, %s)", FormatArrayExpr(n.In), strings.Join(conds, " and "))
+	case *FilterExpr:
+		return fmt.Sprintf("filter(%s, %s)", FormatArrayExpr(n.In), FormatValExpr(n.Pred))
+	case *AggregateExpr:
+		aggs := make([]string, len(n.Aggs))
+		for i, a := range n.Aggs {
+			aggs[i] = formatAggSpec(a)
+		}
+		return fmt.Sprintf("aggregate(%s, {%s}, %s)",
+			FormatArrayExpr(n.In), strings.Join(n.GroupDims, ", "), strings.Join(aggs, ", "))
+	case *SjoinExpr:
+		pairs := make([]string, len(n.On))
+		for i, p := range n.On {
+			pairs[i] = fmt.Sprintf("l.%s = r.%s", p.Left, p.Right)
+		}
+		return fmt.Sprintf("sjoin(%s, %s, %s)", FormatArrayExpr(n.L), FormatArrayExpr(n.R), strings.Join(pairs, " and "))
+	case *CjoinExpr:
+		return fmt.Sprintf("cjoin(%s, %s, %s)", FormatArrayExpr(n.L), FormatArrayExpr(n.R), FormatValExpr(n.Pred))
+	case *ApplyExpr:
+		parts := make([]string, len(n.Names))
+		for i := range n.Names {
+			parts[i] = fmt.Sprintf("%s = %s", n.Names[i], FormatValExpr(n.Exprs[i]))
+		}
+		return fmt.Sprintf("apply(%s, %s)", FormatArrayExpr(n.In), strings.Join(parts, ", "))
+	case *ProjectExpr:
+		return fmt.Sprintf("project(%s, %s)", FormatArrayExpr(n.In), strings.Join(n.Attrs, ", "))
+	case *ReshapeExpr:
+		dims := make([]string, len(n.NewDims))
+		for i, d := range n.NewDims {
+			dims[i] = fmt.Sprintf("%s = 1:%d", d.Name, d.High)
+		}
+		return fmt.Sprintf("reshape(%s, [%s], [%s])",
+			FormatArrayExpr(n.In), strings.Join(n.Order, ", "), strings.Join(dims, ", "))
+	case *RegridExpr:
+		return fmt.Sprintf("regrid(%s, [%s], %s)", FormatArrayExpr(n.In), joinInts(n.Strides), formatAggSpec(n.Agg))
+	case *WindowExpr:
+		return fmt.Sprintf("window(%s, [%s], %s)", FormatArrayExpr(n.In), joinInts(n.Radius), formatAggSpec(n.Agg))
+	case *CrossExpr:
+		return fmt.Sprintf("cross(%s, %s)", FormatArrayExpr(n.L), FormatArrayExpr(n.R))
+	case *ConcatExpr:
+		return fmt.Sprintf("concat(%s, %s, %s)", FormatArrayExpr(n.L), FormatArrayExpr(n.R), n.Dim)
+	case *AddDimExpr:
+		return fmt.Sprintf("adddim(%s, %s)", FormatArrayExpr(n.In), n.Name)
+	case *RemDimExpr:
+		return fmt.Sprintf("remdim(%s, %s)", FormatArrayExpr(n.In), n.Name)
+	}
+	return fmt.Sprintf("<unprintable %T>", e)
+}
+
+// FormatValExpr renders a value expression, fully parenthesized so
+// round-tripping is precedence-safe.
+func FormatValExpr(e ValExpr) string {
+	switch n := e.(type) {
+	case *Ident:
+		return n.Name
+	case *Lit:
+		return formatScalar(n.V)
+	case *BinExpr:
+		return fmt.Sprintf("(%s %s %s)", FormatValExpr(n.L), n.Op, FormatValExpr(n.R))
+	case *NotExpr:
+		return fmt.Sprintf("not %s", FormatValExpr(n.E))
+	case *CallExpr:
+		args := make([]string, len(n.Args))
+		for i, a := range n.Args {
+			args[i] = FormatValExpr(a)
+		}
+		return fmt.Sprintf("%s(%s)", n.Name, strings.Join(args, ", "))
+	}
+	return fmt.Sprintf("<unprintable %T>", e)
+}
+
+func formatDimCond(c DimCond) string {
+	switch c.Op {
+	case "even", "odd":
+		return fmt.Sprintf("%s(%s)", c.Op, c.Dim)
+	default:
+		return fmt.Sprintf("%s %s %d", c.Dim, c.Op, c.Value)
+	}
+}
+
+func formatAggSpec(a AggSpec) string {
+	s := fmt.Sprintf("%s(%s)", a.Func, a.Attr)
+	if a.As != "" {
+		s += " as " + a.As
+	}
+	return s
+}
+
+func formatScalar(v Scalar) string {
+	switch {
+	case v.IsNull:
+		return "NULL"
+	case v.IsString:
+		return "'" + strings.ReplaceAll(v.Str, "'", `\'`) + "'"
+	case v.Sigma != 0:
+		return fmt.Sprintf("%g ± %g", v.Num, v.Sigma)
+	case v.IsInt:
+		return fmt.Sprintf("%d", v.Int)
+	default:
+		return fmt.Sprintf("%g", v.Num)
+	}
+}
+
+func formatParams(ps []ParamDef) string {
+	parts := make([]string, len(ps))
+	for i, p := range ps {
+		parts[i] = p.Type + " " + p.Name
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}
+
+func joinInts(vs []int64) string {
+	parts := make([]string, len(vs))
+	for i, v := range vs {
+		parts[i] = fmt.Sprintf("%d", v)
+	}
+	return strings.Join(parts, ", ")
+}

@@ -1,0 +1,133 @@
+package parser
+
+import (
+	"strings"
+	"unicode"
+)
+
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokPunct // single/multi char punctuation: ( ) [ ] { } , = < > <= >= != . : * ±
+)
+
+type token struct {
+	kind tokKind
+	text string
+	pos  int
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+// lex tokenizes the whole input up front.
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		l.toks = append(l.toks, t)
+		if t.kind == tokEOF {
+			return l.toks, nil
+		}
+	}
+}
+
+func (l *lexer) next() (token, error) {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == ' ' || c == '\t' || c == '\n' || c == '\r' {
+			l.pos++
+			continue
+		}
+		if c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '-' {
+			// -- comment to end of line
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+			continue
+		}
+		break
+	}
+	if l.pos >= len(l.src) {
+		return token{kind: tokEOF, pos: l.pos}, nil
+	}
+	start := l.pos
+	c := l.src[l.pos]
+	// Multi-byte ± (UTF-8 0xC2 0xB1) — must be checked before the
+	// identifier branch, which would otherwise eat the lead byte.
+	if c == 0xC2 && l.pos+1 < len(l.src) && l.src[l.pos+1] == 0xB1 {
+		l.pos += 2
+		return token{kind: tokPunct, text: "±", pos: start}, nil
+	}
+	switch {
+	case isIdentStart(rune(c)):
+		for l.pos < len(l.src) && isIdentPart(rune(l.src[l.pos])) {
+			l.pos++
+		}
+		return token{kind: tokIdent, text: l.src[start:l.pos], pos: start}, nil
+	case c >= '0' && c <= '9' || c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] >= '0' && l.src[l.pos+1] <= '9':
+		l.pos++
+		for l.pos < len(l.src) && (l.src[l.pos] >= '0' && l.src[l.pos] <= '9' || l.src[l.pos] == '.' || l.src[l.pos] == 'e' || l.src[l.pos] == 'E' ||
+			(l.src[l.pos] == '-' || l.src[l.pos] == '+') && (l.src[l.pos-1] == 'e' || l.src[l.pos-1] == 'E')) {
+			l.pos++
+		}
+		return token{kind: tokNumber, text: l.src[start:l.pos], pos: start}, nil
+	case c == '\'':
+		l.pos++
+		var b strings.Builder
+		for l.pos < len(l.src) && l.src[l.pos] != '\'' {
+			if l.src[l.pos] == '\\' && l.pos+1 < len(l.src) {
+				l.pos++
+			}
+			b.WriteByte(l.src[l.pos])
+			l.pos++
+		}
+		if l.pos >= len(l.src) {
+			return token{}, &Error{Pos: start, Msg: "unterminated string"}
+		}
+		l.pos++ // closing quote
+		return token{kind: tokString, text: b.String(), pos: start}, nil
+	}
+	// Two-char operators.
+	if l.pos+1 < len(l.src) {
+		two := l.src[l.pos : l.pos+2]
+		switch two {
+		case "<=", ">=", "!=", "<>", "==", "+-":
+			l.pos += 2
+			if two == "<>" {
+				two = "!="
+			}
+			if two == "==" {
+				two = "="
+			}
+			if two == "+-" {
+				two = "±"
+			}
+			return token{kind: tokPunct, text: two, pos: start}, nil
+		}
+	}
+	switch c {
+	case '(', ')', '[', ']', '{', '}', ',', '=', '<', '>', '.', ':', '*', '+', '-', '/', '%':
+		l.pos++
+		return token{kind: tokPunct, text: string(c), pos: start}, nil
+	}
+	return token{}, &Error{Pos: start, Msg: "unexpected character " + string(rune(c))}
+}
+
+func isIdentStart(r rune) bool {
+	return unicode.IsLetter(r) || r == '_'
+}
+
+func isIdentPart(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_'
+}

@@ -1,0 +1,557 @@
+package parser
+
+import (
+	"strconv"
+	"strings"
+)
+
+// Parse parses one AQL statement into its parse tree.
+func Parse(src string) (Stmt, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	stmt, err := p.parseStmt()
+	if err != nil {
+		return nil, err
+	}
+	if !p.atEOF() {
+		return nil, p.errf("trailing input %q", p.peek().text)
+	}
+	return stmt, nil
+}
+
+type parser struct {
+	toks []token
+	i    int
+}
+
+func (p *parser) peek() token { return p.toks[p.i] }
+func (p *parser) atEOF() bool { return p.peek().kind == tokEOF }
+func (p *parser) advance() token {
+	t := p.toks[p.i]
+	if t.kind != tokEOF {
+		p.i++
+	}
+	return t
+}
+
+func (p *parser) errf(format string, args ...interface{}) error {
+	msg := format
+	if len(args) > 0 {
+		msg = sprintf(format, args...)
+	}
+	return &Error{Pos: p.peek().pos, Msg: msg}
+}
+
+func sprintf(format string, args ...interface{}) string {
+	// tiny indirection to keep fmt out of hot paths elsewhere
+	return fmtSprintf(format, args...)
+}
+
+// isKeyword reports whether the next token is the given keyword
+// (case-insensitive).
+func (p *parser) isKeyword(kw string) bool {
+	t := p.peek()
+	return t.kind == tokIdent && strings.EqualFold(t.text, kw)
+}
+
+func (p *parser) acceptKeyword(kw string) bool {
+	if p.isKeyword(kw) {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.acceptKeyword(kw) {
+		return p.errf("expected %s, got %q", kw, p.peek().text)
+	}
+	return nil
+}
+
+func (p *parser) acceptPunct(s string) bool {
+	t := p.peek()
+	if t.kind == tokPunct && t.text == s {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectPunct(s string) error {
+	if !p.acceptPunct(s) {
+		return p.errf("expected %q, got %q", s, p.peek().text)
+	}
+	return nil
+}
+
+func (p *parser) expectIdent() (string, error) {
+	t := p.peek()
+	if t.kind != tokIdent {
+		return "", p.errf("expected identifier, got %q", t.text)
+	}
+	p.advance()
+	return t.text, nil
+}
+
+func (p *parser) expectInt() (int64, error) {
+	t := p.peek()
+	if t.kind != tokNumber {
+		return 0, p.errf("expected number, got %q", t.text)
+	}
+	v, err := strconv.ParseInt(t.text, 10, 64)
+	if err != nil {
+		return 0, p.errf("expected integer, got %q", t.text)
+	}
+	p.advance()
+	return v, nil
+}
+
+func (p *parser) parseStmt() (Stmt, error) {
+	switch {
+	case p.isKeyword("define"):
+		return p.parseDefine()
+	case p.isKeyword("create"):
+		return p.parseCreate()
+	case p.isKeyword("enhance"):
+		return p.parseEnhance()
+	case p.isKeyword("shape"):
+		return p.parseShape()
+	case p.isKeyword("insert"):
+		return p.parseInsert()
+	case p.isKeyword("delete"):
+		return p.parseDelete()
+	case p.isKeyword("load"):
+		return p.parseLoad()
+	case p.isKeyword("attach"):
+		return p.parseAttach()
+	case p.isKeyword("store"):
+		return p.parseStore()
+	default:
+		e, err := p.parseArrayExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &Query{Expr: e}, nil
+	}
+}
+
+// DEFINE [UPDATABLE] ARRAY name (a = type, ...) [d1, d2]
+// DEFINE FUNCTION name (type p, ...) RETURNS (type q, ...) 'handle'
+func (p *parser) parseDefine() (Stmt, error) {
+	p.advance() // define
+	if p.isKeyword("function") {
+		return p.parseDefineFunction()
+	}
+	upd := p.acceptKeyword("updatable")
+	if err := p.expectKeyword("array"); err != nil {
+		return nil, err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	var attrs []AttrDef
+	for {
+		an, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct("="); err != nil {
+			return nil, err
+		}
+		unc := p.acceptKeyword("uncertain")
+		tn, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		attrs = append(attrs, AttrDef{Name: an, Type: strings.ToLower(tn), Uncertain: unc})
+		if p.acceptPunct(",") {
+			continue
+		}
+		break
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return nil, err
+	}
+	// Dimensions in (...) or [...]; the paper uses (I, J), our create uses
+	// [..]; accept both.
+	close := ")"
+	if p.acceptPunct("[") {
+		close = "]"
+	} else if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	var dims []string
+	for {
+		dn, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		dims = append(dims, dn)
+		if p.acceptPunct(",") {
+			continue
+		}
+		break
+	}
+	if err := p.expectPunct(close); err != nil {
+		return nil, err
+	}
+	return &DefineArray{Name: name, Updatable: upd, Attrs: attrs, DimNames: dims}, nil
+}
+
+// parseDefineFunction parses the paper's UDF declaration.
+func (p *parser) parseDefineFunction() (Stmt, error) {
+	p.advance() // function
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	in, err := p.parseParamList()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("returns"); err != nil {
+		return nil, err
+	}
+	out, err := p.parseParamList()
+	if err != nil {
+		return nil, err
+	}
+	t := p.peek()
+	if t.kind != tokString {
+		return nil, p.errf("expected quoted function handle, got %q", t.text)
+	}
+	p.advance()
+	return &DefineFunction{Name: name, In: in, Out: out, Handle: t.text}, nil
+}
+
+// parseParamList parses "(type name, type name, ...)".
+func (p *parser) parseParamList() ([]ParamDef, error) {
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	var out []ParamDef
+	for {
+		tn, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		pn, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ParamDef{Type: strings.ToLower(tn), Name: pn})
+		if p.acceptPunct(",") {
+			continue
+		}
+		break
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// CREATE ARRAY name AS type [b1, b2] | CREATE VERSION v FROM a [PARENT p]
+func (p *parser) parseCreate() (Stmt, error) {
+	p.advance() // create
+	if p.acceptKeyword("version") {
+		name, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("from"); err != nil {
+			return nil, err
+		}
+		arr, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		parent := ""
+		if p.acceptKeyword("parent") {
+			parent, err = p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+		}
+		return &CreateVersion{Name: name, Array: arr, Parent: parent}, nil
+	}
+	if err := p.expectKeyword("array"); err != nil {
+		return nil, err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("as"); err != nil {
+		return nil, err
+	}
+	tn, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct("["); err != nil {
+		return nil, err
+	}
+	var bounds []int64
+	for {
+		if p.acceptPunct("*") {
+			bounds = append(bounds, -1)
+		} else {
+			v, err := p.expectInt()
+			if err != nil {
+				return nil, err
+			}
+			bounds = append(bounds, v)
+		}
+		if p.acceptPunct(",") {
+			continue
+		}
+		break
+	}
+	if err := p.expectPunct("]"); err != nil {
+		return nil, err
+	}
+	return &CreateArray{Name: name, TypeName: tn, Bounds: bounds}, nil
+}
+
+func (p *parser) parseEnhance() (Stmt, error) {
+	p.advance()
+	arr, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("with"); err != nil {
+		return nil, err
+	}
+	fn, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	return &Enhance{Array: arr, Func: fn}, nil
+}
+
+func (p *parser) parseShape() (Stmt, error) {
+	p.advance()
+	arr, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("with"); err != nil {
+		return nil, err
+	}
+	fn, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	var args []int64
+	if p.acceptPunct("(") {
+		for {
+			v, err := p.expectInt()
+			if err != nil {
+				return nil, err
+			}
+			args = append(args, v)
+			if p.acceptPunct(",") {
+				continue
+			}
+			break
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+	}
+	return &Shape{Array: arr, Func: fn, Args: args}, nil
+}
+
+func (p *parser) parseInsert() (Stmt, error) {
+	p.advance()
+	if err := p.expectKeyword("into"); err != nil {
+		return nil, err
+	}
+	arr, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	coord, err := p.parseCoord()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("values"); err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	var vals []Scalar
+	for {
+		s, err := p.parseScalar()
+		if err != nil {
+			return nil, err
+		}
+		vals = append(vals, s)
+		if p.acceptPunct(",") {
+			continue
+		}
+		break
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return nil, err
+	}
+	return &Insert{Array: arr, Coord: coord, Values: vals}, nil
+}
+
+func (p *parser) parseDelete() (Stmt, error) {
+	p.advance()
+	if err := p.expectKeyword("from"); err != nil {
+		return nil, err
+	}
+	arr, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	coord, err := p.parseCoord()
+	if err != nil {
+		return nil, err
+	}
+	return &Delete{Array: arr, Coord: coord}, nil
+}
+
+func (p *parser) parseCoord() ([]int64, error) {
+	if err := p.expectPunct("["); err != nil {
+		return nil, err
+	}
+	var coord []int64
+	for {
+		v, err := p.expectInt()
+		if err != nil {
+			return nil, err
+		}
+		coord = append(coord, v)
+		if p.acceptPunct(",") {
+			continue
+		}
+		break
+	}
+	if err := p.expectPunct("]"); err != nil {
+		return nil, err
+	}
+	return coord, nil
+}
+
+func (p *parser) parseLoad() (Stmt, error) {
+	p.advance()
+	arr, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("from"); err != nil {
+		return nil, err
+	}
+	t := p.peek()
+	if t.kind != tokString {
+		return nil, p.errf("expected quoted path, got %q", t.text)
+	}
+	p.advance()
+	adaptor := "sdf"
+	if p.acceptKeyword("using") {
+		adaptor, err = p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &Load{Array: arr, Path: t.text, Adaptor: strings.ToLower(adaptor)}, nil
+}
+
+func (p *parser) parseAttach() (Stmt, error) {
+	p.advance()
+	arr, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("from"); err != nil {
+		return nil, err
+	}
+	t := p.peek()
+	if t.kind != tokString {
+		return nil, p.errf("expected quoted path, got %q", t.text)
+	}
+	p.advance()
+	adaptor := "sdf"
+	if p.acceptKeyword("using") {
+		adaptor, err = p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &Attach{Array: arr, Path: t.text, Adaptor: strings.ToLower(adaptor)}, nil
+}
+
+func (p *parser) parseStore() (Stmt, error) {
+	p.advance()
+	e, err := p.parseArrayExpr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("into"); err != nil {
+		return nil, err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	return &Store{Expr: e, Target: name}, nil
+}
+
+func (p *parser) parseScalar() (Scalar, error) {
+	t := p.peek()
+	switch {
+	case t.kind == tokString:
+		p.advance()
+		return Scalar{IsString: true, Str: t.text}, nil
+	case t.kind == tokNumber:
+		p.advance()
+		s := Scalar{}
+		if i, err := strconv.ParseInt(t.text, 10, 64); err == nil && !strings.ContainsAny(t.text, ".eE") {
+			s.IsInt, s.Int, s.Num = true, i, float64(i)
+		} else {
+			f, err := strconv.ParseFloat(t.text, 64)
+			if err != nil {
+				return Scalar{}, p.errf("bad number %q", t.text)
+			}
+			s.Num = f
+		}
+		// optional error bar "± sigma"
+		if p.acceptPunct("±") {
+			st := p.peek()
+			if st.kind != tokNumber {
+				return Scalar{}, p.errf("expected sigma after ±")
+			}
+			sg, err := strconv.ParseFloat(st.text, 64)
+			if err != nil {
+				return Scalar{}, p.errf("bad sigma %q", st.text)
+			}
+			p.advance()
+			s.Sigma = sg
+			s.IsInt = false
+		}
+		return s, nil
+	case p.isKeyword("null"):
+		p.advance()
+		return Scalar{IsNull: true}, nil
+	case p.isKeyword("true"):
+		p.advance()
+		return Scalar{IsInt: true, Int: 1, Num: 1}, nil
+	case p.isKeyword("false"):
+		p.advance()
+		return Scalar{IsInt: true, Int: 0, Num: 0}, nil
+	}
+	return Scalar{}, p.errf("expected literal, got %q", t.text)
+}

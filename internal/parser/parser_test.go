@@ -1,0 +1,458 @@
+package parser
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+func mustParse(t *testing.T, src string) Stmt {
+	t.Helper()
+	s, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	return s
+}
+
+func mustFail(t *testing.T, src string) {
+	t.Helper()
+	if _, err := Parse(src); err == nil {
+		t.Errorf("Parse(%q) succeeded, want error", src)
+	}
+}
+
+func TestDefineArrayPaperSyntax(t *testing.T) {
+	// The paper's example: define Remote (s1 = float, s2 = float,
+	// s3 = float) (I, J)
+	s := mustParse(t, "define array Remote (s1 = float, s2 = float, s3 = float) (I, J)")
+	d := s.(*DefineArray)
+	if d.Name != "Remote" || d.Updatable {
+		t.Errorf("define = %+v", d)
+	}
+	if len(d.Attrs) != 3 || d.Attrs[0].Name != "s1" || d.Attrs[2].Type != "float" {
+		t.Errorf("attrs = %+v", d.Attrs)
+	}
+	if len(d.DimNames) != 2 || d.DimNames[0] != "I" || d.DimNames[1] != "J" {
+		t.Errorf("dims = %v", d.DimNames)
+	}
+}
+
+func TestDefineUpdatableAndUncertain(t *testing.T) {
+	s := mustParse(t, "DEFINE UPDATABLE ARRAY Remote_2 (s1 = uncertain float) [I, J]")
+	d := s.(*DefineArray)
+	if !d.Updatable || !d.Attrs[0].Uncertain {
+		t.Errorf("define = %+v", d)
+	}
+}
+
+func TestCreateArray(t *testing.T) {
+	s := mustParse(t, "create array My_remote as Remote [1024, 1024]")
+	c := s.(*CreateArray)
+	if c.Name != "My_remote" || c.TypeName != "Remote" || c.Bounds[0] != 1024 {
+		t.Errorf("create = %+v", c)
+	}
+	// Unbounded: create My_remote_2 as Remote [*, *]
+	s = mustParse(t, "create array My_remote_2 as Remote [*, *]")
+	c = s.(*CreateArray)
+	if c.Bounds[0] != -1 || c.Bounds[1] != -1 {
+		t.Errorf("unbounded = %+v", c)
+	}
+}
+
+func TestCreateVersion(t *testing.T) {
+	s := mustParse(t, "create version v1 from base")
+	v := s.(*CreateVersion)
+	if v.Name != "v1" || v.Array != "base" || v.Parent != "" {
+		t.Errorf("version = %+v", v)
+	}
+	s = mustParse(t, "create version v2 from base parent v1")
+	v = s.(*CreateVersion)
+	if v.Parent != "v1" {
+		t.Errorf("version = %+v", v)
+	}
+}
+
+func TestEnhanceShape(t *testing.T) {
+	e := mustParse(t, "enhance My_remote with Scale10").(*Enhance)
+	if e.Array != "My_remote" || e.Func != "Scale10" {
+		t.Errorf("enhance = %+v", e)
+	}
+	sh := mustParse(t, "shape A with circle(5, 5, 3)").(*Shape)
+	if sh.Func != "circle" || len(sh.Args) != 3 || sh.Args[2] != 3 {
+		t.Errorf("shape = %+v", sh)
+	}
+}
+
+func TestInsertDelete(t *testing.T) {
+	i := mustParse(t, "insert into A [7, 8] values (3.5, 'x', NULL)").(*Insert)
+	if i.Array != "A" || i.Coord[0] != 7 || i.Coord[1] != 8 {
+		t.Errorf("insert = %+v", i)
+	}
+	if i.Values[0].Num != 3.5 || !i.Values[1].IsString || i.Values[1].Str != "x" || !i.Values[2].IsNull {
+		t.Errorf("values = %+v", i.Values)
+	}
+	d := mustParse(t, "delete from A [1, 2]").(*Delete)
+	if d.Array != "A" || d.Coord[1] != 2 {
+		t.Errorf("delete = %+v", d)
+	}
+}
+
+func TestInsertUncertainValue(t *testing.T) {
+	i := mustParse(t, "insert into A [1] values (3.5 ± 0.2)").(*Insert)
+	if i.Values[0].Num != 3.5 || i.Values[0].Sigma != 0.2 {
+		t.Errorf("uncertain = %+v", i.Values[0])
+	}
+	// ASCII spelling "+-" also works.
+	i = mustParse(t, "insert into A [1] values (3.5 +- 0.2)").(*Insert)
+	if i.Values[0].Sigma != 0.2 {
+		t.Errorf("uncertain ascii = %+v", i.Values[0])
+	}
+}
+
+func TestLoadStmt(t *testing.T) {
+	l := mustParse(t, "load A from '/data/a.csv' using csv").(*Load)
+	if l.Array != "A" || l.Path != "/data/a.csv" || l.Adaptor != "csv" {
+		t.Errorf("load = %+v", l)
+	}
+	l = mustParse(t, "load A from '/data/a.sdf'").(*Load)
+	if l.Adaptor != "sdf" {
+		t.Errorf("default adaptor = %q", l.Adaptor)
+	}
+}
+
+func TestQuerySubsample(t *testing.T) {
+	q := mustParse(t, "subsample(F, even(X))").(*Query)
+	ss := q.Expr.(*SubsampleExpr)
+	if ss.Pred[0].Op != "even" || ss.Pred[0].Dim != "X" {
+		t.Errorf("pred = %+v", ss.Pred)
+	}
+	// The paper's legal example: "X = 3 and Y < 4".
+	q = mustParse(t, "subsample(F, X = 3 and Y < 4)").(*Query)
+	ss = q.Expr.(*SubsampleExpr)
+	if len(ss.Pred) != 2 || ss.Pred[0].Value != 3 || ss.Pred[1].Op != "<" {
+		t.Errorf("pred = %+v", ss.Pred)
+	}
+}
+
+func TestSubsampleCrossDimIllegal(t *testing.T) {
+	// "the predicate X = Y is not [legal]".
+	mustFail(t, "subsample(F, X = Y)")
+}
+
+func TestQueryFilterAggregate(t *testing.T) {
+	q := mustParse(t, "filter(A, val > 3 and val < 10)").(*Query)
+	f := q.Expr.(*FilterExpr)
+	b := f.Pred.(*BinExpr)
+	if b.Op != "and" {
+		t.Errorf("pred = %+v", b)
+	}
+	// The paper's Figure 2 operation.
+	q = mustParse(t, "aggregate(H, {Y}, sum(*))").(*Query)
+	ag := q.Expr.(*AggregateExpr)
+	if len(ag.GroupDims) != 1 || ag.GroupDims[0] != "Y" || ag.Aggs[0].Func != "sum" || ag.Aggs[0].Attr != "*" {
+		t.Errorf("aggregate = %+v", ag)
+	}
+	// Grand total with empty dims and alias.
+	q = mustParse(t, "aggregate(A, {}, avg(v) as mean, count(v))").(*Query)
+	ag = q.Expr.(*AggregateExpr)
+	if len(ag.GroupDims) != 0 || ag.Aggs[0].As != "mean" || ag.Aggs[1].Func != "count" {
+		t.Errorf("aggregate = %+v", ag)
+	}
+}
+
+func TestQueryJoins(t *testing.T) {
+	q := mustParse(t, "sjoin(A, B, A.x = B.x)").(*Query)
+	sj := q.Expr.(*SjoinExpr)
+	if sj.On[0].Left != "x" || sj.On[0].Right != "x" {
+		t.Errorf("sjoin = %+v", sj.On)
+	}
+	q = mustParse(t, "sjoin(A, B, A.x = B.u and A.y = B.v)").(*Query)
+	sj = q.Expr.(*SjoinExpr)
+	if len(sj.On) != 2 || sj.On[1].Right != "v" {
+		t.Errorf("sjoin = %+v", sj.On)
+	}
+	q = mustParse(t, "cjoin(A, B, A.val = B.val)").(*Query)
+	cj := q.Expr.(*CjoinExpr)
+	be := cj.Pred.(*BinExpr)
+	if be.L.(*Ident).Name != "A.val" || be.R.(*Ident).Name != "B.val" {
+		t.Errorf("cjoin pred = %+v", be)
+	}
+}
+
+func TestQueryApplyProject(t *testing.T) {
+	q := mustParse(t, "apply(A, d = val * 2, xc = x)").(*Query)
+	ap := q.Expr.(*ApplyExpr)
+	if len(ap.Names) != 2 || ap.Names[0] != "d" {
+		t.Errorf("apply = %+v", ap)
+	}
+	q = mustParse(t, "project(A, s1, s3)").(*Query)
+	pr := q.Expr.(*ProjectExpr)
+	if len(pr.Attrs) != 2 || pr.Attrs[1] != "s3" {
+		t.Errorf("project = %+v", pr)
+	}
+	mustFail(t, "apply(A)")
+	mustFail(t, "project(A)")
+}
+
+func TestQueryReshapePaperExample(t *testing.T) {
+	// Reshape(G, [X, Z, Y], [U = 1:8, V = 1:3])
+	q := mustParse(t, "reshape(G, [X, Z, Y], [U = 1:8, V = 1:3])").(*Query)
+	r := q.Expr.(*ReshapeExpr)
+	if len(r.Order) != 3 || r.Order[1] != "Z" {
+		t.Errorf("order = %v", r.Order)
+	}
+	if len(r.NewDims) != 2 || r.NewDims[0].High != 8 || r.NewDims[1].Name != "V" {
+		t.Errorf("newdims = %+v", r.NewDims)
+	}
+	mustFail(t, "reshape(G, [X], [U = 2:8])") // dims must start at 1
+}
+
+func TestQueryRegridCrossConcatDims(t *testing.T) {
+	q := mustParse(t, "regrid(A, [4, 4], avg(v))").(*Query)
+	r := q.Expr.(*RegridExpr)
+	if r.Strides[0] != 4 || r.Agg.Func != "avg" || r.Agg.Attr != "v" {
+		t.Errorf("regrid = %+v", r)
+	}
+	q = mustParse(t, "cross(A, B)").(*Query)
+	if _, ok := q.Expr.(*CrossExpr); !ok {
+		t.Error("cross parse failed")
+	}
+	q = mustParse(t, "concat(A, B, x)").(*Query)
+	if c := q.Expr.(*ConcatExpr); c.Dim != "x" {
+		t.Errorf("concat = %+v", c)
+	}
+	q = mustParse(t, "adddim(A, layer)").(*Query)
+	if a := q.Expr.(*AddDimExpr); a.Name != "layer" {
+		t.Errorf("adddim = %+v", a)
+	}
+	q = mustParse(t, "remdim(A, layer)").(*Query)
+	if a := q.Expr.(*RemDimExpr); a.Name != "layer" {
+		t.Errorf("remdim = %+v", a)
+	}
+}
+
+func TestNestedArrayExprs(t *testing.T) {
+	q := mustParse(t, "aggregate(filter(subsample(A, even(x)), v > 0), {y}, sum(v))").(*Query)
+	ag := q.Expr.(*AggregateExpr)
+	f := ag.In.(*FilterExpr)
+	ss := f.In.(*SubsampleExpr)
+	if ss.In.(*Ref).Name != "A" {
+		t.Error("nesting lost")
+	}
+}
+
+func TestStoreAndScanAndVersion(t *testing.T) {
+	s := mustParse(t, "store filter(A, v > 0) into B").(*Store)
+	if s.Target != "B" {
+		t.Errorf("store = %+v", s)
+	}
+	q := mustParse(t, "scan(A)").(*Query)
+	if q.Expr.(*Ref).Name != "A" {
+		t.Error("scan parse failed")
+	}
+	q = mustParse(t, "version(A, v1)").(*Query)
+	v := q.Expr.(*VersionExpr)
+	if v.Array != "A" || v.Name != "v1" {
+		t.Errorf("version = %+v", v)
+	}
+}
+
+func TestValExprPrecedence(t *testing.T) {
+	q := mustParse(t, "filter(A, a + b * 2 > 10 or not c = 1)").(*Query)
+	pred := q.Expr.(*FilterExpr).Pred.(*BinExpr)
+	if pred.Op != "or" {
+		t.Fatalf("top op = %q", pred.Op)
+	}
+	left := pred.L.(*BinExpr)
+	if left.Op != ">" {
+		t.Errorf("cmp op = %q", left.Op)
+	}
+	add := left.L.(*BinExpr)
+	if add.Op != "+" {
+		t.Errorf("add op = %q", add.Op)
+	}
+	if add.R.(*BinExpr).Op != "*" {
+		t.Error("mul should bind tighter than +")
+	}
+	if _, ok := pred.R.(*NotExpr); !ok {
+		t.Error("not parse failed")
+	}
+}
+
+func TestUDFCallInExpr(t *testing.T) {
+	q := mustParse(t, "apply(A, s = scale10(x, y))").(*Query)
+	call := q.Expr.(*ApplyExpr).Exprs[0].(*CallExpr)
+	if call.Name != "scale10" || len(call.Args) != 2 {
+		t.Errorf("call = %+v", call)
+	}
+	// Zero-arg call.
+	q = mustParse(t, "apply(A, r = rand())").(*Query)
+	call = q.Expr.(*ApplyExpr).Exprs[0].(*CallExpr)
+	if len(call.Args) != 0 {
+		t.Errorf("call = %+v", call)
+	}
+}
+
+func TestComments(t *testing.T) {
+	s := mustParse(t, "-- the paper's example\ncreate array A as T [4] -- trailing")
+	if s.(*CreateArray).Name != "A" {
+		t.Error("comment handling broke parse")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"define array",
+		"define array A",
+		"define array A (x = float)",
+		"create array A as",
+		"create array A as T [",
+		"insert into A [1] values",
+		"load A from missing_quotes",
+		"subsample(A)",
+		"filter(A, )",
+		"aggregate(A, {x})",
+		"sjoin(A, B)",
+		"store filter(A, x > 0)",
+		"filter(A, x > 0) trailing",
+		"insert into A [1] values ('unterminated)",
+		"filter(A, x >)",
+	}
+	for _, c := range cases {
+		mustFail(t, c)
+	}
+}
+
+func TestLexerEdgeCases(t *testing.T) {
+	// Negative numbers, floats, scientific notation.
+	i := mustParse(t, "insert into A [1] values (-5, 2.5e3, 1e-2)").(*Insert)
+	if !i.Values[0].IsInt || i.Values[0].Int != -5 {
+		t.Errorf("neg = %+v", i.Values[0])
+	}
+	if i.Values[1].Num != 2500 {
+		t.Errorf("sci = %+v", i.Values[1])
+	}
+	if i.Values[2].Num != 0.01 {
+		t.Errorf("sci neg exp = %+v", i.Values[2])
+	}
+	// Escaped quote in string.
+	s := mustParse(t, `insert into A [1] values ('it\'s')`).(*Insert)
+	if s.Values[0].Str != "it's" {
+		t.Errorf("escape = %q", s.Values[0].Str)
+	}
+}
+
+func TestDefineFunctionPaperSyntax(t *testing.T) {
+	// The paper's declaration, with 'go:...' standing in for file_handle.
+	s := mustParse(t, "define function Scale10 (integer I, integer J) returns (integer K, integer L) 'go:scale10_impl'")
+	f := s.(*DefineFunction)
+	if f.Name != "Scale10" || f.Handle != "go:scale10_impl" {
+		t.Errorf("define function = %+v", f)
+	}
+	if len(f.In) != 2 || f.In[0].Type != "integer" || f.In[1].Name != "J" {
+		t.Errorf("in params = %+v", f.In)
+	}
+	if len(f.Out) != 2 || f.Out[1].Name != "L" {
+		t.Errorf("out params = %+v", f.Out)
+	}
+	mustFail(t, "define function F (integer I) returns (integer K)") // no handle
+	mustFail(t, "define function F (integer I) (integer K) 'go:x'")  // missing returns
+	mustFail(t, "define function F () returns (integer K) 'go:x'")   // empty params
+}
+
+func TestQueryWindow(t *testing.T) {
+	q := mustParse(t, "window(A, [1, 1], avg(v))").(*Query)
+	w := q.Expr.(*WindowExpr)
+	if len(w.Radius) != 2 || w.Radius[0] != 1 || w.Agg.Func != "avg" {
+		t.Errorf("window = %+v", w)
+	}
+	mustFail(t, "window(A, [], avg(v))")
+	mustFail(t, "window(A, [1])")
+}
+
+// TestParserNeverPanics throws random token soup at the parser; it must
+// return errors, never panic.
+func TestParserNeverPanics(t *testing.T) {
+	vocab := []string{
+		"define", "array", "create", "as", "insert", "into", "values",
+		"subsample", "filter", "aggregate", "sjoin", "cjoin", "apply",
+		"project", "reshape", "regrid", "window", "exists", "version",
+		"store", "load", "attach", "from", "using", "with", "and", "or",
+		"not", "even", "odd", "A", "B", "x", "y", "v", "float", "int64",
+		"(", ")", "[", "]", "{", "}", ",", "=", "<", ">", "<=", ">=", "!=",
+		"*", "+", "-", "/", "%", ".", ":", "±", "1", "42", "3.5", "'s'", "",
+	}
+	rng := newRand(7)
+	for i := 0; i < 2000; i++ {
+		n := rng.Intn(12) + 1
+		src := ""
+		for k := 0; k < n; k++ {
+			src += vocab[rng.Intn(len(vocab))] + " "
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic on %q: %v", src, r)
+				}
+			}()
+			_, _ = Parse(src)
+		}()
+	}
+}
+
+// TestFormatRoundTrip: Parse(Format(Parse(src))) must equal Format(Parse(src))
+// for a corpus covering every statement and operator form.
+func TestFormatRoundTrip(t *testing.T) {
+	corpus := []string{
+		"define array Remote (s1 = float, s2 = uncertain float) (I, J)",
+		"define updatable array R2 (v = float) (x, y)",
+		"define function Scale10 (integer I, integer J) returns (integer K, integer L) 'go:impl'",
+		"create array A as Remote [1024, 1024]",
+		"create array B as Remote [*, *]",
+		"create version v1 from A",
+		"create version v2 from A parent v1",
+		"enhance A with Scale10",
+		"shape A with circle(5, 5, 3)",
+		"shape A with ring(5, 5, 4, 2)",
+		"insert into A [7, 8] values (3.5, 'x', NULL, 1.5 ± 0.25, -4)",
+		"delete from A [1, 2]",
+		"load A from '/data/a.csv' using csv",
+		"attach B from '/data/b.ncl' using ncl",
+		"store filter(A, v > 3) into F",
+		"subsample(A, even(x) and y < 4 and odd(z))",
+		"filter(A, (v > 1 and v < 9) or not b = 0)",
+		"aggregate(A, {x, y}, sum(v), avg(v) as mean, count(*))",
+		"sjoin(A, B, l.x = r.u and l.y = r.v)",
+		"cjoin(A, B, A.val = B.val)",
+		"apply(A, d = (v * 2), e = f(x, 1))",
+		"project(A, s1, s3)",
+		"reshape(A, [X, Z, Y], [U = 1:8, V = 1:3])",
+		"regrid(A, [4, 4], avg(v))",
+		"window(A, [1, 2], max(v) as peak)",
+		"cross(A, B)",
+		"concat(A, B, x)",
+		"adddim(A, layer)",
+		"remdim(A, layer)",
+		"version(A, v1)",
+		"exists(A, 7, 7)",
+		"aggregate(filter(subsample(A, x >= 2), v != 0), {y}, min(v))",
+	}
+	for _, src := range corpus {
+		first, err := Parse(src)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", src, err)
+		}
+		out1 := Format(first)
+		second, err := Parse(out1)
+		if err != nil {
+			t.Fatalf("re-Parse(%q) from %q: %v", out1, src, err)
+		}
+		out2 := Format(second)
+		if out1 != out2 {
+			t.Errorf("round trip unstable:\n src: %s\n 1st: %s\n 2nd: %s", src, out1, out2)
+		}
+	}
+}

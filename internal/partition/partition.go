@@ -1,0 +1,270 @@
+// Package partition implements §2.7 grid partitioning: fixed block
+// partitioning of the coordinate system, Gamma-style hash and range
+// partitioning, partitioning that changes over time (epochs), and the
+// automatic database designer that derives a partitioning from a sample
+// workload in the style of C-Store/H-Store.
+package partition
+
+import (
+	"fmt"
+	"sort"
+
+	"scidb/internal/array"
+)
+
+// Scheme assigns array coordinates to grid nodes.
+type Scheme interface {
+	Name() string
+	NumNodes() int
+	// NodeFor returns the node owning the cell at c.
+	NodeFor(c array.Coord) int
+}
+
+// Block is fixed partitioning: dimension SplitDim's range [1..High] is cut
+// into NumNodes equal contiguous slabs. "For these applications
+// [sky surveys], dividing the coordinate system for the sky into fixed
+// partitions will probably work well."
+type Block struct {
+	Nodes    int
+	SplitDim int
+	High     int64
+}
+
+// Name implements Scheme.
+func (b Block) Name() string { return fmt.Sprintf("block(dim=%d,n=%d)", b.SplitDim, b.Nodes) }
+
+// NumNodes implements Scheme.
+func (b Block) NumNodes() int { return b.Nodes }
+
+// NodeFor implements Scheme.
+func (b Block) NodeFor(c array.Coord) int {
+	v := c[b.SplitDim]
+	if v < 1 {
+		v = 1
+	}
+	if v > b.High {
+		v = b.High
+	}
+	per := (b.High + int64(b.Nodes) - 1) / int64(b.Nodes)
+	n := int((v - 1) / per)
+	if n >= b.Nodes {
+		n = b.Nodes - 1
+	}
+	return n
+}
+
+// Hash is Gamma-style hash partitioning on one or more dimensions,
+// typically at chunk granularity (ChunkLen aligns cells of one chunk to one
+// node; 1 hashes individual cells).
+type Hash struct {
+	Nodes    int
+	Dims     []int
+	ChunkLen int64
+}
+
+// Name implements Scheme.
+func (h Hash) Name() string { return fmt.Sprintf("hash(dims=%v,n=%d)", h.Dims, h.Nodes) }
+
+// NumNodes implements Scheme.
+func (h Hash) NumNodes() int { return h.Nodes }
+
+// NodeFor implements Scheme.
+func (h Hash) NodeFor(c array.Coord) int {
+	cl := h.ChunkLen
+	if cl <= 0 {
+		cl = 1
+	}
+	var x uint64 = 1469598103934665603 // FNV offset basis
+	for _, d := range h.Dims {
+		v := uint64((c[d] - 1) / cl)
+		x ^= v
+		x *= 1099511628211
+	}
+	return int(x % uint64(h.Nodes))
+}
+
+// Range is Gamma-style range partitioning: Splits[i] is the last coordinate
+// value (inclusive) of node i on SplitDim; the final node takes the rest.
+type Range struct {
+	SplitDim int
+	Splits   []int64 // len == nodes-1, ascending
+	Nodes    int
+}
+
+// Name implements Scheme.
+func (r Range) Name() string { return fmt.Sprintf("range(dim=%d,n=%d)", r.SplitDim, r.Nodes) }
+
+// NumNodes implements Scheme.
+func (r Range) NumNodes() int { return r.Nodes }
+
+// NodeFor implements Scheme.
+func (r Range) NodeFor(c array.Coord) int {
+	v := c[r.SplitDim]
+	return sort.Search(len(r.Splits), func(i int) bool { return r.Splits[i] >= v })
+}
+
+// Epoch allows "the partitioning to change over time. In this way, a first
+// partitioning scheme is used for time less than T and a second
+// partitioning scheme for time > T." TimeDim is the dominant (load-order)
+// dimension consulted for the epoch boundary.
+type Epoch struct {
+	TimeDim int
+	// Boundaries[i] is the first time coordinate governed by Schemes[i+1];
+	// Schemes[0] governs everything before Boundaries[0].
+	Boundaries []int64
+	Schemes    []Scheme
+}
+
+// Name implements Scheme.
+func (e Epoch) Name() string { return fmt.Sprintf("epoch(%d schemes)", len(e.Schemes)) }
+
+// NumNodes implements Scheme.
+func (e Epoch) NumNodes() int {
+	n := 0
+	for _, s := range e.Schemes {
+		if s.NumNodes() > n {
+			n = s.NumNodes()
+		}
+	}
+	return n
+}
+
+// NodeFor implements Scheme.
+func (e Epoch) NodeFor(c array.Coord) int {
+	t := c[e.TimeDim]
+	i := sort.Search(len(e.Boundaries), func(i int) bool { return e.Boundaries[i] > t })
+	return e.Schemes[i].NodeFor(c)
+}
+
+// Validate checks epoch construction.
+func (e Epoch) Validate() error {
+	if len(e.Schemes) != len(e.Boundaries)+1 {
+		return fmt.Errorf("partition: epoch needs len(schemes) == len(boundaries)+1")
+	}
+	for i := 1; i < len(e.Boundaries); i++ {
+		if e.Boundaries[i] <= e.Boundaries[i-1] {
+			return fmt.Errorf("partition: epoch boundaries must ascend")
+		}
+	}
+	return nil
+}
+
+// Pruner is implemented by schemes that can enumerate the nodes whose
+// partitions intersect a coordinate box, letting the coordinator skip
+// nodes that cannot hold matching cells.
+type Pruner interface {
+	// NodesForBox returns the nodes that may own cells inside [lo, hi].
+	NodesForBox(lo, hi array.Coord) []int
+}
+
+// NodesForBox implements Pruner for Block: only the slabs overlapping the
+// box's split-dimension range are touched.
+func (b Block) NodesForBox(lo, hi array.Coord) []int {
+	nLo := b.NodeFor(lo)
+	nHi := b.NodeFor(hi)
+	if nHi < nLo {
+		nLo, nHi = nHi, nLo
+	}
+	out := make([]int, 0, nHi-nLo+1)
+	for n := nLo; n <= nHi; n++ {
+		out = append(out, n)
+	}
+	return out
+}
+
+// NodesForBox implements Pruner for Range.
+func (r Range) NodesForBox(lo, hi array.Coord) []int {
+	nLo := r.NodeFor(lo)
+	nHi := r.NodeFor(hi)
+	if nHi < nLo {
+		nLo, nHi = nHi, nLo
+	}
+	out := make([]int, 0, nHi-nLo+1)
+	for n := nLo; n <= nHi; n++ {
+		out = append(out, n)
+	}
+	return out
+}
+
+// SampleAccess is one entry of a sample workload: a cell (or cell region
+// representative) and how often it is touched.
+type SampleAccess struct {
+	Coord  array.Coord
+	Weight int64
+}
+
+// Design is the automatic database designer (§2.7: "Like C-Store and
+// H-Store, we plan an automatic data base designer which will use a sample
+// workload to do the partitioning. This designer can be run periodically on
+// the actual workload, and suggest modifications.") It derives a Range
+// scheme on splitDim whose per-node access weight is balanced.
+func Design(workload []SampleAccess, splitDim, nodes int) (Range, error) {
+	if nodes < 1 {
+		return Range{}, fmt.Errorf("partition: need at least one node")
+	}
+	if len(workload) == 0 {
+		return Range{}, fmt.Errorf("partition: empty sample workload")
+	}
+	// Histogram of weight per coordinate value on splitDim.
+	hist := map[int64]int64{}
+	var total int64
+	for _, a := range workload {
+		hist[a.Coord[splitDim]] += a.Weight
+		total += a.Weight
+	}
+	keys := make([]int64, 0, len(hist))
+	for k := range hist {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	// Greedy equal-weight split.
+	target := total / int64(nodes)
+	splits := make([]int64, 0, nodes-1)
+	var acc int64
+	for _, k := range keys {
+		acc += hist[k]
+		if acc >= target && len(splits) < nodes-1 {
+			splits = append(splits, k)
+			acc = 0
+		}
+	}
+	for len(splits) < nodes-1 {
+		last := keys[len(keys)-1]
+		if len(splits) > 0 {
+			last = splits[len(splits)-1]
+		}
+		splits = append(splits, last+1)
+	}
+	return Range{SplitDim: splitDim, Splits: splits, Nodes: nodes}, nil
+}
+
+// Imbalance computes the load-balance metric used by the PART experiment:
+// max node weight / mean node weight under the scheme (1.0 is perfect).
+func Imbalance(s Scheme, workload []SampleAccess) float64 {
+	loads := make([]int64, s.NumNodes())
+	var total int64
+	for _, a := range workload {
+		loads[s.NodeFor(a.Coord)] += a.Weight
+		total += a.Weight
+	}
+	if total == 0 {
+		return 1
+	}
+	var max int64
+	for _, l := range loads {
+		if l > max {
+			max = l
+		}
+	}
+	mean := float64(total) / float64(len(loads))
+	return float64(max) / mean
+}
+
+// Loads returns per-node access weights under the scheme.
+func Loads(s Scheme, workload []SampleAccess) []int64 {
+	loads := make([]int64, s.NumNodes())
+	for _, a := range workload {
+		loads[s.NodeFor(a.Coord)] += a.Weight
+	}
+	return loads
+}

@@ -1,0 +1,283 @@
+package partition
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"scidb/internal/array"
+)
+
+func TestBlockScheme(t *testing.T) {
+	b := Block{Nodes: 4, SplitDim: 0, High: 100}
+	if b.NodeFor(array.Coord{1, 50}) != 0 {
+		t.Error("first slab wrong")
+	}
+	if b.NodeFor(array.Coord{100, 1}) != 3 {
+		t.Error("last slab wrong")
+	}
+	if b.NodeFor(array.Coord{26, 1}) != 1 {
+		t.Error("second slab wrong")
+	}
+	// Out-of-range coordinates clamp rather than panic.
+	if n := b.NodeFor(array.Coord{1000, 1}); n != 3 {
+		t.Errorf("clamped high = %d", n)
+	}
+	if n := b.NodeFor(array.Coord{-5, 1}); n != 0 {
+		t.Errorf("clamped low = %d", n)
+	}
+}
+
+func TestBlockCoversAllNodesProperty(t *testing.T) {
+	f := func(v uint16) bool {
+		b := Block{Nodes: 7, SplitDim: 0, High: 1000}
+		n := b.NodeFor(array.Coord{int64(v%1000) + 1})
+		return n >= 0 && n < 7
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHashScheme(t *testing.T) {
+	h := Hash{Nodes: 4, Dims: []int{0, 1}, ChunkLen: 8}
+	// Deterministic.
+	a := h.NodeFor(array.Coord{10, 10})
+	if h.NodeFor(array.Coord{10, 10}) != a {
+		t.Error("hash not deterministic")
+	}
+	// Chunk-aligned: cells of the same 8x8 chunk land together.
+	if h.NodeFor(array.Coord{9, 9}) != h.NodeFor(array.Coord{16, 16}) {
+		t.Error("same chunk split across nodes")
+	}
+	// Roughly balanced across many chunks.
+	counts := make([]int, 4)
+	for i := int64(1); i <= 64; i++ {
+		for j := int64(1); j <= 64; j += 8 {
+			counts[h.NodeFor(array.Coord{i, j})]++
+		}
+	}
+	for n, c := range counts {
+		if c == 0 {
+			t.Errorf("node %d got nothing", n)
+		}
+	}
+}
+
+func TestRangeScheme(t *testing.T) {
+	r := Range{SplitDim: 0, Splits: []int64{10, 20, 30}, Nodes: 4}
+	cases := map[int64]int{1: 0, 10: 0, 11: 1, 20: 1, 25: 2, 30: 2, 31: 3, 99: 3}
+	for v, want := range cases {
+		if got := r.NodeFor(array.Coord{v}); got != want {
+			t.Errorf("NodeFor(%d) = %d, want %d", v, got, want)
+		}
+	}
+}
+
+func TestEpochScheme(t *testing.T) {
+	// First scheme for time < 100, second for time >= 100.
+	e := Epoch{
+		TimeDim:    0,
+		Boundaries: []int64{100},
+		Schemes: []Scheme{
+			Range{SplitDim: 1, Splits: []int64{50}, Nodes: 2},
+			Range{SplitDim: 1, Splits: []int64{10}, Nodes: 2},
+		},
+	}
+	if err := e.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Early epoch: y=30 -> node 0.
+	if e.NodeFor(array.Coord{50, 30}) != 0 {
+		t.Error("early epoch wrong")
+	}
+	// Late epoch: y=30 -> node 1 (split moved to 10).
+	if e.NodeFor(array.Coord{150, 30}) != 1 {
+		t.Error("late epoch wrong")
+	}
+	if e.NumNodes() != 2 {
+		t.Errorf("NumNodes = %d", e.NumNodes())
+	}
+	bad := Epoch{TimeDim: 0, Boundaries: []int64{5, 5}, Schemes: []Scheme{nil, nil, nil}}
+	if err := bad.Validate(); err == nil {
+		t.Error("non-ascending boundaries accepted")
+	}
+	bad2 := Epoch{TimeDim: 0, Boundaries: []int64{5}, Schemes: []Scheme{nil}}
+	if err := bad2.Validate(); err == nil {
+		t.Error("mismatched schemes/boundaries accepted")
+	}
+}
+
+// skewedWorkload builds an El Niño-style hotspot: most accesses hit a
+// narrow band of the coordinate space.
+func skewedWorkload(n int, hotLo, hotHi int64) []SampleAccess {
+	rng := rand.New(rand.NewSource(5))
+	var w []SampleAccess
+	for i := 0; i < n; i++ {
+		var y int64
+		if rng.Float64() < 0.9 {
+			y = hotLo + rng.Int63n(hotHi-hotLo+1)
+		} else {
+			y = rng.Int63n(1000) + 1
+		}
+		w = append(w, SampleAccess{Coord: array.Coord{int64(i + 1), y}, Weight: 1})
+	}
+	return w
+}
+
+func TestDesignerBalancesSkew(t *testing.T) {
+	w := skewedWorkload(5000, 400, 420)
+	fixed := Block{Nodes: 8, SplitDim: 1, High: 1000}
+	fixedImb := Imbalance(fixed, w)
+	designed, err := Design(w, 1, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	designedImb := Imbalance(designed, w)
+	// The paper's claim: fixed partitioning cannot load-balance steerable
+	// (skewed) workloads; the designer can.
+	if fixedImb < 3 {
+		t.Errorf("fixed imbalance = %.2f; hotspot should overload one node", fixedImb)
+	}
+	if designedImb > 2 {
+		t.Errorf("designed imbalance = %.2f; designer should balance", designedImb)
+	}
+	if designedImb >= fixedImb {
+		t.Errorf("designer (%.2f) should beat fixed (%.2f)", designedImb, fixedImb)
+	}
+}
+
+func TestDesignerUniform(t *testing.T) {
+	// Uniform sky-survey scan: fixed partitioning is already fine and the
+	// designer should not be much worse.
+	var w []SampleAccess
+	for i := int64(1); i <= 1000; i++ {
+		w = append(w, SampleAccess{Coord: array.Coord{1, i}, Weight: 1})
+	}
+	fixed := Block{Nodes: 4, SplitDim: 1, High: 1000}
+	designed, err := Design(w, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi := Imbalance(fixed, w); fi > 1.05 {
+		t.Errorf("fixed imbalance on uniform = %.3f", fi)
+	}
+	if di := Imbalance(designed, w); di > 1.2 {
+		t.Errorf("designed imbalance on uniform = %.3f", di)
+	}
+}
+
+func TestDesignErrors(t *testing.T) {
+	if _, err := Design(nil, 0, 4); err == nil {
+		t.Error("empty workload accepted")
+	}
+	if _, err := Design([]SampleAccess{{Coord: array.Coord{1}, Weight: 1}}, 0, 0); err == nil {
+		t.Error("zero nodes accepted")
+	}
+	// More nodes than distinct values still yields a valid scheme.
+	r, err := Design([]SampleAccess{{Coord: array.Coord{5}, Weight: 10}}, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.NumNodes() != 3 || len(r.Splits) != 2 {
+		t.Errorf("scheme = %+v", r)
+	}
+	n := r.NodeFor(array.Coord{5})
+	if n < 0 || n >= 3 {
+		t.Errorf("NodeFor = %d", n)
+	}
+}
+
+func TestLoadsAndImbalance(t *testing.T) {
+	w := []SampleAccess{
+		{Coord: array.Coord{1}, Weight: 3},
+		{Coord: array.Coord{100}, Weight: 1},
+	}
+	r := Range{SplitDim: 0, Splits: []int64{50}, Nodes: 2}
+	loads := Loads(r, w)
+	if loads[0] != 3 || loads[1] != 1 {
+		t.Errorf("loads = %v", loads)
+	}
+	if got := Imbalance(r, w); got != 1.5 {
+		t.Errorf("imbalance = %v, want 1.5", got)
+	}
+	if got := Imbalance(r, nil); got != 1 {
+		t.Errorf("imbalance of empty workload = %v, want 1", got)
+	}
+}
+
+func TestReplicatedPlacement(t *testing.T) {
+	// §2.13 PanSTARRS: observations near a partition boundary are placed
+	// in every partition within the maximum location error.
+	base := Block{Nodes: 4, SplitDim: 0, High: 100} // boundaries at 25/50/75
+	r := Replicated{Scheme: base, MaxErr: 2}
+
+	// Far from any boundary: one copy.
+	if nodes := r.NodesFor(array.Coord{10, 1}); len(nodes) != 1 || nodes[0] != 0 {
+		t.Errorf("interior placement = %v", nodes)
+	}
+	// On the 25/26 boundary: both neighbors hold it.
+	nodes := r.NodesFor(array.Coord{25, 1})
+	if len(nodes) != 2 {
+		t.Fatalf("boundary placement = %v", nodes)
+	}
+	has := map[int]bool{}
+	for _, n := range nodes {
+		has[n] = true
+	}
+	if !has[0] || !has[1] {
+		t.Errorf("boundary nodes = %v, want {0,1}", nodes)
+	}
+	// Zero error degenerates to the base scheme.
+	r0 := Replicated{Scheme: base, MaxErr: 0}
+	if nodes := r0.NodesFor(array.Coord{25, 1}); len(nodes) != 1 {
+		t.Errorf("zero-error placement = %v", nodes)
+	}
+	// Primary owner matches the base scheme.
+	if r.NodeFor(array.Coord{60, 1}) != base.NodeFor(array.Coord{60, 1}) {
+		t.Error("primary owner differs from base")
+	}
+}
+
+func TestReplicatedUncertainJoinNeedsNoMovement(t *testing.T) {
+	// An uncertain spatial join probes every location within the error
+	// bound; with replication, whichever node owns the probe location also
+	// holds a copy of the observation.
+	base := Block{Nodes: 4, SplitDim: 0, High: 100}
+	r := Replicated{Scheme: base, MaxErr: 2}
+	// The observation's recorded location.
+	obs := array.Coord{26, 1}
+	copies := map[int]bool{}
+	for _, n := range r.NodesFor(obs) {
+		copies[n] = true
+	}
+	// True location might be anywhere within the error bound; every such
+	// probe must find a local copy.
+	for dx := int64(-2); dx <= 2; dx++ {
+		probe := array.Coord{26 + dx, 1}
+		if probe[0] < 1 {
+			continue
+		}
+		owner := base.NodeFor(probe)
+		if !copies[owner] {
+			t.Errorf("probe %v owned by node %d, which holds no copy (copies %v)", probe, owner, copies)
+		}
+	}
+}
+
+func TestReplicationFactor(t *testing.T) {
+	base := Block{Nodes: 4, SplitDim: 0, High: 100}
+	r := Replicated{Scheme: base, MaxErr: 2}
+	var sample []array.Coord
+	for i := int64(1); i <= 100; i++ {
+		sample = append(sample, array.Coord{i, 1})
+	}
+	f := r.ReplicationFactor(sample)
+	// 3 boundaries x 4 straddling cells on each side -> modest overhead.
+	if f <= 1.0 || f > 1.5 {
+		t.Errorf("replication factor = %v; want slightly above 1", f)
+	}
+	if got := r.ReplicationFactor(nil); got != 1 {
+		t.Errorf("empty sample factor = %v", got)
+	}
+}

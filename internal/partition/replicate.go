@@ -1,0 +1,71 @@
+package partition
+
+import (
+	"scidb/internal/array"
+)
+
+// Replicated implements the PanSTARRS tactic of §2.13: when an
+// observation's true location is uncertain ("the actual object location may
+// be elsewhere"), placing it redundantly in every partition within the
+// maximum possible location error ensures that uncertain spatial joins can
+// be performed without moving data elements.
+type Replicated struct {
+	// Scheme is the underlying placement.
+	Scheme Scheme
+	// MaxErr is the maximum possible location error, in cells per
+	// dimension (Chebyshev radius).
+	MaxErr int64
+}
+
+// Name implements Scheme (primary placement only).
+func (r Replicated) Name() string { return "replicated(" + r.Scheme.Name() + ")" }
+
+// NumNodes implements Scheme.
+func (r Replicated) NumNodes() int { return r.Scheme.NumNodes() }
+
+// NodeFor implements Scheme: the primary owner is the underlying scheme's.
+func (r Replicated) NodeFor(c array.Coord) int { return r.Scheme.NodeFor(c) }
+
+// NodesFor returns every node that must hold a copy of the cell at c: the
+// owners of all cells within MaxErr. An observation near a partition
+// boundary lands on both sides, so a join probe for any location within
+// the error bound finds it locally.
+func (r Replicated) NodesFor(c array.Coord) []int {
+	if r.MaxErr <= 0 {
+		return []int{r.Scheme.NodeFor(c)}
+	}
+	lo := make(array.Coord, len(c))
+	hi := make(array.Coord, len(c))
+	for i := range c {
+		lo[i] = c[i] - r.MaxErr
+		if lo[i] < 1 {
+			lo[i] = 1
+		}
+		hi[i] = c[i] + r.MaxErr
+	}
+	seen := map[int]bool{}
+	var out []int
+	array.IterBox(array.Box{Lo: lo, Hi: hi}, func(p array.Coord) bool {
+		n := r.Scheme.NodeFor(p)
+		if !seen[n] {
+			seen[n] = true
+			out = append(out, n)
+		}
+		return true
+	})
+	return out
+}
+
+// ReplicationFactor computes the average number of copies per cell for a
+// sample of coordinates — the space price of movement-free uncertain
+// joins.
+func (r Replicated) ReplicationFactor(sample []array.Coord) float64 {
+	if len(sample) == 0 {
+		return 1
+	}
+	var total int
+	for _, c := range sample {
+		total += len(r.NodesFor(c))
+	}
+	return float64(total) / float64(len(sample))
+}

@@ -1,0 +1,216 @@
+package provenance
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Step is one edge of a derivation: the command plus the specific input
+// elements that contributed to (backward) or were affected by (forward) the
+// queried element.
+type Step struct {
+	Command *Command
+	From    CellRef   // the element the step was traced from
+	Refs    []CellRef // contributing inputs (backward) or affected outputs (forward)
+}
+
+// Log is the provenance log plus the metadata repository. "Recording the
+// log and establishing a metadata repository is straightforward."
+type Log struct {
+	mu       sync.RWMutex
+	commands []*Command
+	// producer maps array name to the command that created it (the latest,
+	// if recreated).
+	producer map[string]*Command
+	// consumers maps array name to commands reading it.
+	consumers map[string][]*Command
+	nextID    int64
+
+	// cache holds Trio-style item-level lineage for commands that enabled
+	// caching: command ID -> output-coordinate key -> contributing refs.
+	cache      map[int64]map[string][]CellRef
+	cacheBytes int64
+}
+
+// NewLog returns an empty provenance log.
+func NewLog() *Log {
+	return &Log{
+		producer:  map[string]*Command{},
+		consumers: map[string][]*Command{},
+		cache:     map[int64]map[string][]CellRef{},
+	}
+}
+
+// Append records a command. The command's ID is assigned.
+func (l *Log) Append(c *Command) *Command {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.nextID++
+	c.ID = l.nextID
+	l.commands = append(l.commands, c)
+	if c.Output != "" {
+		l.producer[c.Output] = c
+	}
+	if c.Input != "" {
+		l.consumers[c.Input] = append(l.consumers[c.Input], c)
+	}
+	return c
+}
+
+// Commands returns the full log in execution order.
+func (l *Log) Commands() []*Command {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return append([]*Command(nil), l.commands...)
+}
+
+// Producer returns the command that created the named array, if logged.
+func (l *Log) Producer(arrayName string) (*Command, bool) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	c, ok := l.producer[arrayName]
+	return c, ok
+}
+
+// TraceBack answers requirement 1 of §2.12: "for a given data element D,
+// find the collection of processing steps that created it from input data."
+// It walks producers backward, re-running each command's recording mode,
+// until it reaches loads. The returned steps are ordered from D toward the
+// sources.
+func (l *Log) TraceBack(ref CellRef) ([]Step, error) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	var steps []Step
+	frontier := []CellRef{ref}
+	seen := map[string]bool{ref.key(): true}
+	for guard := 0; len(frontier) > 0; guard++ {
+		if guard > 1_000_000 {
+			return nil, fmt.Errorf("provenance: backward trace did not terminate")
+		}
+		var next []CellRef
+		for _, r := range frontier {
+			cmd, ok := l.producer[r.Array]
+			if !ok || cmd.Kind == KindLoad {
+				continue
+			}
+			refs := l.backRefs(cmd, r)
+			steps = append(steps, Step{Command: cmd, From: r, Refs: refs})
+			for _, in := range refs {
+				if !seen[in.key()] {
+					seen[in.key()] = true
+					next = append(next, in)
+				}
+			}
+		}
+		frontier = next
+	}
+	return steps, nil
+}
+
+// backRefs resolves one command's backward lineage for one output element,
+// consulting the Trio-style cache first.
+func (l *Log) backRefs(cmd *Command, r CellRef) []CellRef {
+	if m, ok := l.cache[cmd.ID]; ok {
+		if refs, ok := m[r.Coord.Key()]; ok {
+			return refs
+		}
+		return nil
+	}
+	coords := cmd.back(r.Coord)
+	refs := make([]CellRef, len(coords))
+	for i, c := range coords {
+		refs[i] = CellRef{Array: cmd.Input, Coord: c}
+	}
+	return refs
+}
+
+// TraceForward answers requirement 2 of §2.12: "for a given data element D,
+// find all the downstream data elements whose value is impacted by the
+// value of D." Each downstream command is re-run in the modified,
+// qualified form; the process iterates "until there is no further
+// activity." The result includes transitively affected elements.
+func (l *Log) TraceForward(ref CellRef) ([]CellRef, error) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	var out []CellRef
+	frontier := []CellRef{ref}
+	seen := map[string]bool{ref.key(): true}
+	for guard := 0; len(frontier) > 0; guard++ {
+		if guard > 1_000_000 {
+			return nil, fmt.Errorf("provenance: forward trace did not terminate")
+		}
+		var next []CellRef
+		for _, r := range frontier {
+			for _, cmd := range l.consumers[r.Array] {
+				for _, oc := range cmd.forward(r.Coord) {
+					o := CellRef{Array: cmd.Output, Coord: oc}
+					if !seen[o.key()] {
+						seen[o.key()] = true
+						out = append(out, o)
+						next = append(next, o)
+					}
+				}
+			}
+		}
+		frontier = next
+	}
+	return out, nil
+}
+
+// EnableCache materializes Trio-style item-level lineage for one command
+// over the given output coordinates, storing every output's contributing
+// input set. This is the space-for-time end of the morph: TraceBack over a
+// cached command is a lookup instead of a re-run.
+func (l *Log) EnableCache(cmdID int64, outputs []CellRef) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var cmd *Command
+	for _, c := range l.commands {
+		if c.ID == cmdID {
+			cmd = c
+			break
+		}
+	}
+	if cmd == nil {
+		return fmt.Errorf("provenance: unknown command %d", cmdID)
+	}
+	m := map[string][]CellRef{}
+	for _, o := range outputs {
+		coords := cmd.back(o.Coord)
+		refs := make([]CellRef, len(coords))
+		for i, c := range coords {
+			refs[i] = CellRef{Array: cmd.Input, Coord: c}
+			l.cacheBytes += int64(8*len(c)) + int64(len(cmd.Input))
+		}
+		m[o.Coord.Key()] = refs
+		l.cacheBytes += int64(len(o.Coord.Key()))
+	}
+	l.cache[cmdID] = m
+	return nil
+}
+
+// CacheBytes reports the space consumed by cached item-level lineage —
+// the cost the paper calls "way too high" for full Trio recording.
+func (l *Log) CacheBytes() int64 {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.cacheBytes
+}
+
+// DropCache discards a command's cached lineage (morphing back toward the
+// minimal-storage solution).
+func (l *Log) DropCache(cmdID int64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	m, ok := l.cache[cmdID]
+	if !ok {
+		return
+	}
+	for k, refs := range m {
+		for _, r := range refs {
+			l.cacheBytes -= int64(8*len(r.Coord)) + int64(len(r.Array))
+		}
+		l.cacheBytes -= int64(len(k))
+	}
+	delete(l.cache, cmdID)
+}

@@ -1,0 +1,102 @@
+package provenance
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// wireCommand is the JSON form of a logged command. Provenance must outlive
+// processes — §2.6's multi-decade support expectation — so the log
+// serializes to a line-oriented JSON stream that future readers can parse
+// without this codebase.
+type wireCommand struct {
+	ID        int64             `json:"id"`
+	Time      int64             `json:"time"`
+	Text      string            `json:"text,omitempty"`
+	Kind      string            `json:"kind"`
+	Input     string            `json:"input,omitempty"`
+	Output    string            `json:"output,omitempty"`
+	Params    map[string]string `json:"params,omitempty"`
+	Strides   []int64           `json:"strides,omitempty"`
+	GroupDims []int             `json:"group_dims,omitempty"`
+	InDims    int               `json:"in_dims,omitempty"`
+	Sel       [][]int64         `json:"sel,omitempty"`
+	InBounds  []int64           `json:"in_bounds,omitempty"`
+}
+
+var kindNames = map[Kind]string{
+	KindLoad:        "load",
+	KindElementwise: "elementwise",
+	KindRegrid:      "regrid",
+	KindAggregate:   "aggregate",
+	KindSubsample:   "subsample",
+}
+
+var kindValues = func() map[string]Kind {
+	m := map[string]Kind{}
+	for k, n := range kindNames {
+		m[n] = k
+	}
+	return m
+}()
+
+// Save writes the command log as JSON lines, in execution order. Cached
+// (Trio-style) lineage is not persisted: it is a recomputable
+// space-for-time optimization.
+func (l *Log) Save(w io.Writer) error {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, c := range l.commands {
+		wc := wireCommand{
+			ID: c.ID, Time: c.Time, Text: c.Text, Kind: kindNames[c.Kind],
+			Input: c.Input, Output: c.Output, Params: c.Params,
+			Strides: c.Strides, GroupDims: c.GroupDims, InDims: c.InDims,
+			Sel: c.Sel, InBounds: c.InBounds,
+		}
+		if err := enc.Encode(&wc); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// LoadLog reconstructs a log from a Save stream. Command ids are preserved.
+func LoadLog(r io.Reader) (*Log, error) {
+	l := NewLog()
+	dec := json.NewDecoder(bufio.NewReader(r))
+	for {
+		var wc wireCommand
+		if err := dec.Decode(&wc); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("provenance: corrupt log: %w", err)
+		}
+		kind, ok := kindValues[wc.Kind]
+		if !ok {
+			return nil, fmt.Errorf("provenance: unknown command kind %q", wc.Kind)
+		}
+		c := &Command{
+			Time: wc.Time, Text: wc.Text, Kind: kind,
+			Input: wc.Input, Output: wc.Output, Params: wc.Params,
+			Strides: wc.Strides, GroupDims: wc.GroupDims, InDims: wc.InDims,
+			Sel: wc.Sel, InBounds: wc.InBounds,
+		}
+		l.Append(c)
+		// Preserve the original id (Append assigned a sequential one; for
+		// a well-formed stream they coincide, but be defensive).
+		c.ID = wc.ID
+		if wc.ID > l.nextID {
+			l.nextID = wc.ID
+		}
+		l.mu.Lock()
+		if c.Output != "" {
+			l.producer[c.Output] = c
+		}
+		l.mu.Unlock()
+	}
+	return l, nil
+}

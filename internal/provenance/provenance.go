@@ -1,0 +1,194 @@
+// Package provenance implements §2.12: repeatability of data derivation.
+//
+// For processing inside SciDB, a log records every command that created an
+// array. For externally loaded arrays, a metadata repository records the
+// programs and run-time parameters that produced them. Two queries are
+// supported:
+//
+//  1. Backward: for a data element D, find the collection of processing
+//     steps that created it from input data — implemented by re-running
+//     each producing command in a recording executor mode that reports
+//     which input items contributed (the paper's minimal-storage scheme).
+//  2. Forward: for a data element D, find all downstream elements whose
+//     value is impacted by D — implemented by re-running each downstream
+//     command with the dimension qualification "AND dimension-i = Vi"
+//     added, iterating until there is no further activity.
+//
+// The minimal scheme stores no per-item lineage; a Trio-style cache can be
+// enabled per command to materialize item-level lineage, trading space for
+// trace time ("an interesting research issue is to find a better solution
+// that can easily morph between the minimal storage solution and the Trio
+// solution" — the cache flag is exactly that morph knob).
+package provenance
+
+import (
+	"scidb/internal/array"
+)
+
+// Kind classifies a logged command by its coordinate-lineage pattern.
+type Kind int
+
+// Command kinds.
+const (
+	// KindLoad is an external load; its lineage terminates here and its
+	// Params record the external program and run-time parameters.
+	KindLoad Kind = iota
+	// KindElementwise maps each output cell from the same-coordinate input
+	// cell (Apply, Filter, calibration UDFs).
+	KindElementwise
+	// KindRegrid maps output cell c from the input block of Strides-sized
+	// cells it aggregates.
+	KindRegrid
+	// KindAggregate maps output cell c (over the grouped dimensions) from
+	// the whole input slab matching c on GroupDims.
+	KindAggregate
+	// KindSubsample maps output cell c from the original input coordinate
+	// Sel[d][c[d]-1].
+	KindSubsample
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindLoad:
+		return "load"
+	case KindElementwise:
+		return "elementwise"
+	case KindRegrid:
+		return "regrid"
+	case KindAggregate:
+		return "aggregate"
+	case KindSubsample:
+		return "subsample"
+	}
+	return "unknown"
+}
+
+// CellRef identifies one data element: an array name and a coordinate.
+type CellRef struct {
+	Array string
+	Coord array.Coord
+}
+
+// String renders the reference.
+func (r CellRef) String() string { return r.Array + r.Coord.String() }
+
+func (r CellRef) key() string { return r.Array + "|" + r.Coord.Key() }
+
+// Command is one logged derivation step.
+type Command struct {
+	ID     int64
+	Time   int64
+	Text   string // the command as run (for the log / repeatability)
+	Kind   Kind
+	Input  string // input array name ("" for loads)
+	Output string // output array name
+	// Params is the metadata-repository record: programs that were run
+	// along with their run-time parameters.
+	Params map[string]string
+
+	// Kind-specific lineage parameters.
+	Strides   []int64   // KindRegrid
+	GroupDims []int     // KindAggregate: input dim indexes that survive
+	InDims    int       // input dimensionality (KindAggregate, KindRegrid)
+	Sel       [][]int64 // KindSubsample: selected original indices per dim
+	InBounds  []int64   // input bounds (KindAggregate backward expansion)
+}
+
+// back maps an output coordinate to the contributing input coordinates —
+// the "special executor mode that will record all items that contributed".
+func (c *Command) back(out array.Coord) []array.Coord {
+	switch c.Kind {
+	case KindLoad:
+		return nil
+	case KindElementwise:
+		return []array.Coord{out.Clone()}
+	case KindRegrid:
+		lo := make(array.Coord, len(out))
+		hi := make(array.Coord, len(out))
+		for d := range out {
+			lo[d] = (out[d]-1)*c.Strides[d] + 1
+			hi[d] = out[d] * c.Strides[d]
+			if d < len(c.InBounds) && hi[d] > c.InBounds[d] {
+				hi[d] = c.InBounds[d]
+			}
+		}
+		var cells []array.Coord
+		array.IterBox(array.Box{Lo: lo, Hi: hi}, func(cc array.Coord) bool {
+			cells = append(cells, cc.Clone())
+			return true
+		})
+		return cells
+	case KindAggregate:
+		// The output coordinate fixes the grouped dims; every combination
+		// of the remaining dims contributed.
+		lo := make(array.Coord, c.InDims)
+		hi := make(array.Coord, c.InDims)
+		for d := 0; d < c.InDims; d++ {
+			lo[d], hi[d] = 1, c.InBounds[d]
+		}
+		for i, d := range c.GroupDims {
+			lo[d], hi[d] = out[i], out[i]
+		}
+		var cells []array.Coord
+		array.IterBox(array.Box{Lo: lo, Hi: hi}, func(cc array.Coord) bool {
+			cells = append(cells, cc.Clone())
+			return true
+		})
+		return cells
+	case KindSubsample:
+		in := make(array.Coord, len(out))
+		for d := range out {
+			idx := out[d] - 1
+			if idx < 0 || idx >= int64(len(c.Sel[d])) {
+				return nil
+			}
+			in[d] = c.Sel[d][idx]
+		}
+		return []array.Coord{in}
+	}
+	return nil
+}
+
+// forward maps an input coordinate to the affected output coordinates —
+// the re-run "in a modified form" with the added dimension qualification.
+func (c *Command) forward(in array.Coord) []array.Coord {
+	switch c.Kind {
+	case KindLoad:
+		return nil
+	case KindElementwise:
+		return []array.Coord{in.Clone()}
+	case KindRegrid:
+		out := make(array.Coord, len(in))
+		for d := range in {
+			out[d] = (in[d]-1)/c.Strides[d] + 1
+		}
+		return []array.Coord{out}
+	case KindAggregate:
+		out := make(array.Coord, len(c.GroupDims))
+		if len(c.GroupDims) == 0 {
+			return []array.Coord{{1}}
+		}
+		for i, d := range c.GroupDims {
+			out[i] = in[d]
+		}
+		return []array.Coord{out}
+	case KindSubsample:
+		out := make(array.Coord, len(in))
+		for d := range in {
+			found := int64(-1)
+			for i, orig := range c.Sel[d] {
+				if orig == in[d] {
+					found = int64(i + 1)
+					break
+				}
+			}
+			if found < 0 {
+				return nil // the cell was filtered out: no downstream impact
+			}
+			out[d] = found
+		}
+		return []array.Coord{out}
+	}
+	return nil
+}

@@ -1,0 +1,303 @@
+package provenance
+
+import (
+	"bytes"
+	"testing"
+
+	"scidb/internal/array"
+)
+
+// buildPipeline logs: raw --elementwise--> calibrated --regrid(2,2)-->
+// coarse --aggregate(group dim 0)--> rowsum. Input raw is an 8x8 load.
+func buildPipeline() *Log {
+	l := NewLog()
+	l.Append(&Command{
+		Kind: KindLoad, Output: "raw", Text: "load raw from satellite pass 17",
+		Params: map[string]string{"program": "ingest.py", "pass": "17"},
+	})
+	l.Append(&Command{
+		Kind: KindElementwise, Input: "raw", Output: "calibrated",
+		Text: "apply calibrate(raw)",
+	})
+	l.Append(&Command{
+		Kind: KindRegrid, Input: "calibrated", Output: "coarse",
+		Strides: []int64{2, 2}, InBounds: []int64{8, 8}, InDims: 2,
+		Text: "regrid(calibrated, 2, 2, avg)",
+	})
+	l.Append(&Command{
+		Kind: KindAggregate, Input: "coarse", Output: "rowsum",
+		GroupDims: []int{0}, InDims: 2, InBounds: []int64{4, 4},
+		Text: "aggregate(coarse, {x}, sum)",
+	})
+	return l
+}
+
+func TestBackwardTrace(t *testing.T) {
+	l := buildPipeline()
+	// rowsum[2] came from coarse[2, 1..4], each from a 2x2 calibrated
+	// block, each from the same raw cell.
+	steps, err := l.TraceBack(CellRef{Array: "rowsum", Coord: array.Coord{2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(steps) == 0 {
+		t.Fatal("no steps")
+	}
+	// First step: the aggregate, contributing coarse[2,1..4].
+	if steps[0].Command.Output != "rowsum" || len(steps[0].Refs) != 4 {
+		t.Errorf("first step = %s with %d refs, want rowsum with 4", steps[0].Command.Output, len(steps[0].Refs))
+	}
+	// Collect all raw-level contributors: should be calibrated rows 3..4,
+	// all 8 columns -> 16 cells, then the same 16 raw cells.
+	var rawRefs, calRefs int
+	for _, s := range steps {
+		for _, r := range s.Refs {
+			switch r.Array {
+			case "raw":
+				rawRefs++
+			case "calibrated":
+				calRefs++
+			}
+		}
+	}
+	if calRefs != 16 {
+		t.Errorf("calibrated contributors = %d, want 16", calRefs)
+	}
+	if rawRefs != 16 {
+		t.Errorf("raw contributors = %d, want 16", rawRefs)
+	}
+}
+
+func TestBackwardTraceStopsAtLoad(t *testing.T) {
+	l := buildPipeline()
+	steps, err := l.TraceBack(CellRef{Array: "calibrated", Coord: array.Coord{5, 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exactly one step: calibrated <- raw; the load terminates the walk.
+	if len(steps) != 1 {
+		t.Fatalf("steps = %d, want 1", len(steps))
+	}
+	if steps[0].Refs[0].Array != "raw" || !steps[0].Refs[0].Coord.Equal(array.Coord{5, 5}) {
+		t.Errorf("ref = %v", steps[0].Refs[0])
+	}
+	// The load's metadata-repository record is available.
+	cmd, ok := l.Producer("raw")
+	if !ok || cmd.Params["program"] != "ingest.py" {
+		t.Error("metadata repository record missing")
+	}
+}
+
+func TestForwardTrace(t *testing.T) {
+	l := buildPipeline()
+	// raw[3,3] -> calibrated[3,3] -> coarse[2,2] -> rowsum[2].
+	refs, err := l.TraceForward(CellRef{Array: "raw", Coord: array.Coord{3, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]bool{
+		"calibrated[3, 3]": true,
+		"coarse[2, 2]":     true,
+		"rowsum[2]":        true,
+	}
+	if len(refs) != len(want) {
+		t.Fatalf("forward refs = %v, want %d elements", refs, len(want))
+	}
+	for _, r := range refs {
+		if !want[r.String()] {
+			t.Errorf("unexpected downstream element %s", r)
+		}
+	}
+}
+
+func TestForwardTraceFromMiddle(t *testing.T) {
+	l := buildPipeline()
+	refs, err := l.TraceForward(CellRef{Array: "coarse", Coord: array.Coord{1, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(refs) != 1 || refs[0].String() != "rowsum[1]" {
+		t.Errorf("refs = %v, want [rowsum[1]]", refs)
+	}
+}
+
+func TestSubsampleLineage(t *testing.T) {
+	l := NewLog()
+	l.Append(&Command{Kind: KindLoad, Output: "A"})
+	// Subsample keeping original rows 2 and 4 (even) of a 4x3 array,
+	// all 3 columns.
+	l.Append(&Command{
+		Kind: KindSubsample, Input: "A", Output: "E",
+		Sel: [][]int64{{2, 4}, {1, 2, 3}},
+	})
+	// Backward: E[2,3] came from A[4,3].
+	steps, err := l.TraceBack(CellRef{Array: "E", Coord: array.Coord{2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(steps) != 1 || steps[0].Refs[0].String() != "A[4, 3]" {
+		t.Errorf("steps = %+v", steps)
+	}
+	// Forward: A[2,1] -> E[1,1]; A[3,1] was filtered out -> nothing.
+	refs, _ := l.TraceForward(CellRef{Array: "A", Coord: array.Coord{2, 1}})
+	if len(refs) != 1 || refs[0].String() != "E[1, 1]" {
+		t.Errorf("forward = %v", refs)
+	}
+	refs, _ = l.TraceForward(CellRef{Array: "A", Coord: array.Coord{3, 1}})
+	if len(refs) != 0 {
+		t.Errorf("filtered-out element has downstream refs: %v", refs)
+	}
+}
+
+func TestCachedLineageMatchesMinimal(t *testing.T) {
+	l := buildPipeline()
+	ref := CellRef{Array: "coarse", Coord: array.Coord{1, 1}}
+	minimal, err := l.TraceBack(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cache the regrid command's lineage for all 16 coarse outputs.
+	cmd, _ := l.Producer("coarse")
+	var outs []CellRef
+	array.IterBox(array.NewBox(array.Coord{1, 1}, array.Coord{4, 4}), func(c array.Coord) bool {
+		outs = append(outs, CellRef{Array: "coarse", Coord: c.Clone()})
+		return true
+	})
+	if err := l.EnableCache(cmd.ID, outs); err != nil {
+		t.Fatal(err)
+	}
+	if l.CacheBytes() == 0 {
+		t.Error("cache consumed no space")
+	}
+	cached, err := l.TraceBack(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cached) != len(minimal) {
+		t.Fatalf("cached steps = %d, minimal = %d", len(cached), len(minimal))
+	}
+	// Same first-step refs.
+	if len(cached[0].Refs) != len(minimal[0].Refs) {
+		t.Errorf("cached refs = %d, minimal = %d", len(cached[0].Refs), len(minimal[0].Refs))
+	}
+	// Dropping the cache returns to minimal storage.
+	l.DropCache(cmd.ID)
+	if l.CacheBytes() != 0 {
+		t.Errorf("cache bytes after drop = %d", l.CacheBytes())
+	}
+	if err := l.EnableCache(999, nil); err == nil {
+		t.Error("caching unknown command accepted")
+	}
+}
+
+func TestAggregateGrandTotalLineage(t *testing.T) {
+	l := NewLog()
+	l.Append(&Command{Kind: KindLoad, Output: "A"})
+	l.Append(&Command{
+		Kind: KindAggregate, Input: "A", Output: "total",
+		GroupDims: nil, InDims: 1, InBounds: []int64{4},
+	})
+	refs, err := l.TraceForward(CellRef{Array: "A", Coord: array.Coord{3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(refs) != 1 || refs[0].String() != "total[1]" {
+		t.Errorf("refs = %v", refs)
+	}
+	steps, err := l.TraceBack(CellRef{Array: "total", Coord: array.Coord{1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(steps) != 1 || len(steps[0].Refs) != 4 {
+		t.Errorf("steps = %+v", steps)
+	}
+}
+
+func TestLogOrderAndProducers(t *testing.T) {
+	l := buildPipeline()
+	cmds := l.Commands()
+	if len(cmds) != 4 {
+		t.Fatalf("commands = %d", len(cmds))
+	}
+	for i := 1; i < len(cmds); i++ {
+		if cmds[i].ID <= cmds[i-1].ID {
+			t.Error("command ids not monotone")
+		}
+	}
+	if _, ok := l.Producer("nonexistent"); ok {
+		t.Error("producer for unknown array")
+	}
+	// Re-derivation produces a new command that becomes the producer.
+	l.Append(&Command{Kind: KindElementwise, Input: "raw", Output: "calibrated", Text: "recalibrate v2"})
+	cmd, _ := l.Producer("calibrated")
+	if cmd.Text != "recalibrate v2" {
+		t.Error("latest producer not returned")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k, want := range map[Kind]string{
+		KindLoad: "load", KindElementwise: "elementwise", KindRegrid: "regrid",
+		KindAggregate: "aggregate", KindSubsample: "subsample", Kind(99): "unknown",
+	} {
+		if k.String() != want {
+			t.Errorf("Kind(%d).String() = %q", k, k.String())
+		}
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	l := buildPipeline()
+	var buf bytes.Buffer
+	if err := l.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadLog(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Commands()) != len(l.Commands()) {
+		t.Fatalf("commands = %d, want %d", len(back.Commands()), len(l.Commands()))
+	}
+	// Traces behave identically on the restored log.
+	wantSteps, _ := l.TraceBack(CellRef{Array: "rowsum", Coord: array.Coord{2}})
+	gotSteps, err := back.TraceBack(CellRef{Array: "rowsum", Coord: array.Coord{2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gotSteps) != len(wantSteps) {
+		t.Fatalf("restored steps = %d, want %d", len(gotSteps), len(wantSteps))
+	}
+	wantFwd, _ := l.TraceForward(CellRef{Array: "raw", Coord: array.Coord{3, 3}})
+	gotFwd, err := back.TraceForward(CellRef{Array: "raw", Coord: array.Coord{3, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gotFwd) != len(wantFwd) {
+		t.Fatalf("restored forward = %v, want %v", gotFwd, wantFwd)
+	}
+	// Metadata repository records survive.
+	cmd, ok := back.Producer("raw")
+	if !ok || cmd.Params["program"] != "ingest.py" {
+		t.Error("load params lost")
+	}
+	// Appending continues with fresh ids.
+	c := back.Append(&Command{Kind: KindElementwise, Input: "rowsum", Output: "final"})
+	if c.ID <= cmd.ID {
+		t.Errorf("post-restore id %d not monotone", c.ID)
+	}
+}
+
+func TestLoadLogCorrupt(t *testing.T) {
+	if _, err := LoadLog(bytes.NewReader([]byte("not json"))); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := LoadLog(bytes.NewReader([]byte(`{"kind":"frobnicate"}` + "\n"))); err == nil {
+		t.Error("unknown kind accepted")
+	}
+	// Empty stream is a valid empty log.
+	l, err := LoadLog(bytes.NewReader(nil))
+	if err != nil || len(l.Commands()) != 0 {
+		t.Errorf("empty load = %v, %v", l, err)
+	}
+}

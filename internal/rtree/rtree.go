@@ -1,0 +1,350 @@
+// Package rtree implements the R-tree the storage manager uses to "keep
+// track of the size of the various buckets" (§2.8): an n-dimensional
+// spatial index from coordinate boxes to bucket ids, with quadratic-split
+// insertion, deletion, and box-intersection search.
+package rtree
+
+import (
+	"scidb/internal/array"
+)
+
+const (
+	maxEntries = 8
+	minEntries = 3
+)
+
+// Entry is one indexed item: a bounding box and an opaque id.
+type Entry struct {
+	Box array.Box
+	ID  int64
+}
+
+type node struct {
+	leaf     bool
+	entries  []Entry // leaf payload
+	children []*node
+	box      array.Box
+}
+
+// Tree is an R-tree over n-dimensional boxes. It is not safe for concurrent
+// mutation; callers (the storage manager) serialize access.
+type Tree struct {
+	root *node
+	size int
+}
+
+// New returns an empty tree.
+func New() *Tree { return &Tree{root: &node{leaf: true}} }
+
+// Len returns the number of indexed entries.
+func (t *Tree) Len() int { return t.size }
+
+// Insert adds an entry.
+func (t *Tree) Insert(box array.Box, id int64) {
+	e := Entry{Box: box, ID: id}
+	leaf := t.chooseLeaf(t.root, e)
+	leaf.entries = append(leaf.entries, e)
+	t.size++
+	t.adjust(leaf)
+}
+
+// Delete removes the entry with the given id and box. It reports whether an
+// entry was removed.
+func (t *Tree) Delete(box array.Box, id int64) bool {
+	leaf, idx := t.findLeaf(t.root, box, id)
+	if leaf == nil {
+		return false
+	}
+	leaf.entries = append(leaf.entries[:idx], leaf.entries[idx+1:]...)
+	t.size--
+	t.condense(leaf)
+	return true
+}
+
+// Search calls fn for every entry whose box intersects q. Return false to
+// stop early.
+func (t *Tree) Search(q array.Box, fn func(Entry) bool) {
+	t.search(t.root, q, fn)
+}
+
+// All returns every entry (used by the background merger to enumerate
+// buckets).
+func (t *Tree) All() []Entry {
+	var out []Entry
+	t.walk(t.root, func(e Entry) bool {
+		out = append(out, e)
+		return true
+	})
+	return out
+}
+
+func (t *Tree) search(n *node, q array.Box, fn func(Entry) bool) bool {
+	if t.size == 0 {
+		return true
+	}
+	if n.leaf {
+		for _, e := range n.entries {
+			if e.Box.Intersects(q) {
+				if !fn(e) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	for _, c := range n.children {
+		if c.box.Intersects(q) {
+			if !t.search(c, q, fn) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func (t *Tree) walk(n *node, fn func(Entry) bool) bool {
+	if n.leaf {
+		for _, e := range n.entries {
+			if !fn(e) {
+				return false
+			}
+		}
+		return true
+	}
+	for _, c := range n.children {
+		if !t.walk(c, fn) {
+			return false
+		}
+	}
+	return true
+}
+
+// parentOf finds the parent of target (nil when target is the root).
+func (t *Tree) parentOf(n, target *node) *node {
+	if n.leaf {
+		return nil
+	}
+	for _, c := range n.children {
+		if c == target {
+			return n
+		}
+	}
+	for _, c := range n.children {
+		if p := t.parentOf(c, target); p != nil {
+			return p
+		}
+	}
+	return nil
+}
+
+func (t *Tree) chooseLeaf(n *node, e Entry) *node {
+	if n.leaf {
+		return n
+	}
+	// Pick the child needing least enlargement.
+	best := n.children[0]
+	bestGrow := growth(best.box, e.Box)
+	for _, c := range n.children[1:] {
+		g := growth(c.box, e.Box)
+		if g < bestGrow || (g == bestGrow && area(c.box) < area(best.box)) {
+			best, bestGrow = c, g
+		}
+	}
+	return t.chooseLeaf(best, e)
+}
+
+// adjust recomputes boxes up the tree and splits overflowing nodes.
+func (t *Tree) adjust(n *node) {
+	recomputeBox(n)
+	if n.leaf && len(n.entries) > maxEntries || !n.leaf && len(n.children) > maxEntries {
+		t.split(n)
+		return
+	}
+	if p := t.parentOf(t.root, n); p != nil {
+		t.adjust(p)
+	}
+}
+
+func (t *Tree) split(n *node) {
+	a, b := splitNode(n)
+	p := t.parentOf(t.root, n)
+	if p == nil {
+		// Splitting the root: grow the tree.
+		t.root = &node{leaf: false, children: []*node{a, b}}
+		recomputeBox(t.root)
+		return
+	}
+	for i, c := range p.children {
+		if c == n {
+			p.children[i] = a
+			break
+		}
+	}
+	p.children = append(p.children, b)
+	t.adjust(p)
+}
+
+// condense handles underflow after deletion: empty nodes (leaves with no
+// entries, internal nodes with no children) are unlinked from their
+// parents all the way up, and single-child internal roots collapse.
+func (t *Tree) condense(n *node) {
+	recomputeBox(n)
+	if p := t.parentOf(t.root, n); p != nil {
+		empty := n.leaf && len(n.entries) == 0 || !n.leaf && len(n.children) == 0
+		if empty {
+			for i, c := range p.children {
+				if c == n {
+					p.children = append(p.children[:i], p.children[i+1:]...)
+					break
+				}
+			}
+		}
+		t.condense(p)
+		return
+	}
+	// Root: collapse single-child internal roots.
+	for !t.root.leaf && len(t.root.children) == 1 {
+		t.root = t.root.children[0]
+	}
+	if !t.root.leaf && len(t.root.children) == 0 {
+		t.root = &node{leaf: true}
+	}
+	recomputeBox(t.root)
+}
+
+func (t *Tree) findLeaf(n *node, box array.Box, id int64) (*node, int) {
+	if n.leaf {
+		for i, e := range n.entries {
+			if e.ID == id && e.Box.Lo.Equal(box.Lo) && e.Box.Hi.Equal(box.Hi) {
+				return n, i
+			}
+		}
+		return nil, -1
+	}
+	for _, c := range n.children {
+		if c.box.Intersects(box) || len(c.children) > 0 || len(c.entries) > 0 {
+			if leaf, i := t.findLeaf(c, box, id); leaf != nil {
+				return leaf, i
+			}
+		}
+	}
+	return nil, -1
+}
+
+// splitNode performs a quadratic split.
+func splitNode(n *node) (*node, *node) {
+	if n.leaf {
+		g1, g2 := quadraticSplitEntries(n.entries)
+		a := &node{leaf: true, entries: g1}
+		b := &node{leaf: true, entries: g2}
+		recomputeBox(a)
+		recomputeBox(b)
+		return a, b
+	}
+	g1, g2 := quadraticSplitChildren(n.children)
+	a := &node{children: g1}
+	b := &node{children: g2}
+	recomputeBox(a)
+	recomputeBox(b)
+	return a, b
+}
+
+func quadraticSplitEntries(es []Entry) ([]Entry, []Entry) {
+	s1, s2 := pickSeeds(len(es), func(i, j int) int64 {
+		return wasted(es[i].Box, es[j].Box)
+	})
+	g1 := []Entry{es[s1]}
+	g2 := []Entry{es[s2]}
+	b1, b2 := es[s1].Box, es[s2].Box
+	for i, e := range es {
+		if i == s1 || i == s2 {
+			continue
+		}
+		if assignToFirst(&b1, &b2, e.Box, len(g1), len(g2)) {
+			g1 = append(g1, e)
+		} else {
+			g2 = append(g2, e)
+		}
+	}
+	return g1, g2
+}
+
+func quadraticSplitChildren(cs []*node) ([]*node, []*node) {
+	s1, s2 := pickSeeds(len(cs), func(i, j int) int64 {
+		return wasted(cs[i].box, cs[j].box)
+	})
+	g1 := []*node{cs[s1]}
+	g2 := []*node{cs[s2]}
+	b1, b2 := cs[s1].box, cs[s2].box
+	for i, c := range cs {
+		if i == s1 || i == s2 {
+			continue
+		}
+		if assignToFirst(&b1, &b2, c.box, len(g1), len(g2)) {
+			g1 = append(g1, c)
+		} else {
+			g2 = append(g2, c)
+		}
+	}
+	return g1, g2
+}
+
+func pickSeeds(n int, waste func(i, j int) int64) (int, int) {
+	s1, s2, worst := 0, 1, int64(-1)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if w := waste(i, j); w > worst {
+				worst, s1, s2 = w, i, j
+			}
+		}
+	}
+	return s1, s2
+}
+
+// assignToFirst decides group membership by least enlargement, with a
+// balance guard, and grows the chosen group's box.
+func assignToFirst(b1, b2 *array.Box, e array.Box, n1, n2 int) bool {
+	// Balance guard: never let one group starve.
+	if n1+minEntries >= maxEntries && n2 < minEntries {
+		*b2 = b2.Union(e)
+		return false
+	}
+	if n2+minEntries >= maxEntries && n1 < minEntries {
+		*b1 = b1.Union(e)
+		return true
+	}
+	if growth(*b1, e) <= growth(*b2, e) {
+		*b1 = b1.Union(e)
+		return true
+	}
+	*b2 = b2.Union(e)
+	return false
+}
+
+func recomputeBox(n *node) {
+	if n.leaf {
+		if len(n.entries) == 0 {
+			return
+		}
+		b := n.entries[0].Box
+		for _, e := range n.entries[1:] {
+			b = b.Union(e.Box)
+		}
+		n.box = b
+		return
+	}
+	if len(n.children) == 0 {
+		return
+	}
+	b := n.children[0].box
+	for _, c := range n.children[1:] {
+		b = b.Union(c.box)
+	}
+	n.box = b
+}
+
+func area(b array.Box) int64 { return b.Cells() }
+
+func growth(b, add array.Box) int64 { return b.Union(add).Cells() - b.Cells() }
+
+func wasted(a, b array.Box) int64 { return a.Union(b).Cells() - a.Cells() - b.Cells() }

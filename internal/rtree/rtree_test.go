@@ -1,0 +1,249 @@
+package rtree
+
+import (
+	"math/rand"
+	"testing"
+
+	"scidb/internal/array"
+)
+
+func box(lo, hi int64) array.Box {
+	return array.NewBox(array.Coord{lo}, array.Coord{hi})
+}
+
+func box2(x1, y1, x2, y2 int64) array.Box {
+	return array.NewBox(array.Coord{x1, y1}, array.Coord{x2, y2})
+}
+
+func TestInsertSearchSmall(t *testing.T) {
+	tr := New()
+	tr.Insert(box(1, 10), 1)
+	tr.Insert(box(20, 30), 2)
+	tr.Insert(box(5, 25), 3)
+	if tr.Len() != 3 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	var got []int64
+	tr.Search(box(8, 22), func(e Entry) bool {
+		got = append(got, e.ID)
+		return true
+	})
+	want := map[int64]bool{1: true, 2: true, 3: true}
+	if len(got) != 3 {
+		t.Fatalf("search hit %v, want all three", got)
+	}
+	for _, id := range got {
+		if !want[id] {
+			t.Errorf("unexpected id %d", id)
+		}
+	}
+	got = got[:0]
+	tr.Search(box(11, 19), func(e Entry) bool {
+		got = append(got, e.ID)
+		return true
+	})
+	if len(got) != 1 || got[0] != 3 {
+		t.Errorf("gap search = %v, want [3]", got)
+	}
+}
+
+func TestSearchEarlyStop(t *testing.T) {
+	tr := New()
+	for i := int64(0); i < 50; i++ {
+		tr.Insert(box(i, i+1), i)
+	}
+	n := 0
+	tr.Search(box(0, 100), func(Entry) bool {
+		n++
+		return n < 5
+	})
+	if n != 5 {
+		t.Errorf("early stop visited %d", n)
+	}
+}
+
+func TestManyInsertionsCorrectness2D(t *testing.T) {
+	// Compare against brute force on random 2-D boxes.
+	rng := rand.New(rand.NewSource(1))
+	tr := New()
+	var all []Entry
+	for i := int64(0); i < 500; i++ {
+		x, y := rng.Int63n(1000)+1, rng.Int63n(1000)+1
+		b := box2(x, y, x+rng.Int63n(50), y+rng.Int63n(50))
+		tr.Insert(b, i)
+		all = append(all, Entry{Box: b, ID: i})
+	}
+	if tr.Len() != 500 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	for q := 0; q < 50; q++ {
+		x, y := rng.Int63n(1000)+1, rng.Int63n(1000)+1
+		qb := box2(x, y, x+rng.Int63n(200), y+rng.Int63n(200))
+		want := map[int64]bool{}
+		for _, e := range all {
+			if e.Box.Intersects(qb) {
+				want[e.ID] = true
+			}
+		}
+		got := map[int64]bool{}
+		tr.Search(qb, func(e Entry) bool {
+			got[e.ID] = true
+			return true
+		})
+		if len(got) != len(want) {
+			t.Fatalf("query %d: got %d hits, want %d", q, len(got), len(want))
+		}
+		for id := range want {
+			if !got[id] {
+				t.Fatalf("query %d: missing id %d", q, id)
+			}
+		}
+	}
+}
+
+func TestDelete(t *testing.T) {
+	tr := New()
+	boxes := make([]array.Box, 100)
+	for i := int64(0); i < 100; i++ {
+		boxes[i] = box(i*10, i*10+5)
+		tr.Insert(boxes[i], i)
+	}
+	// Delete every other entry.
+	for i := int64(0); i < 100; i += 2 {
+		if !tr.Delete(boxes[i], i) {
+			t.Fatalf("delete %d failed", i)
+		}
+	}
+	if tr.Len() != 50 {
+		t.Fatalf("Len after deletes = %d", tr.Len())
+	}
+	// Deleted entries are gone; remaining entries are findable.
+	found := map[int64]bool{}
+	tr.Search(box(0, 2000), func(e Entry) bool {
+		found[e.ID] = true
+		return true
+	})
+	for i := int64(0); i < 100; i++ {
+		want := i%2 == 1
+		if found[i] != want {
+			t.Errorf("id %d found=%v want=%v", i, found[i], want)
+		}
+	}
+	// Deleting a missing entry reports false.
+	if tr.Delete(boxes[0], 0) {
+		t.Error("double delete succeeded")
+	}
+}
+
+func TestDeleteAllThenReuse(t *testing.T) {
+	tr := New()
+	for i := int64(0); i < 30; i++ {
+		tr.Insert(box(i, i), i)
+	}
+	for i := int64(0); i < 30; i++ {
+		if !tr.Delete(box(i, i), i) {
+			t.Fatalf("delete %d failed", i)
+		}
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("Len = %d after deleting all", tr.Len())
+	}
+	tr.Insert(box(5, 6), 99)
+	var got []int64
+	tr.Search(box(0, 10), func(e Entry) bool {
+		got = append(got, e.ID)
+		return true
+	})
+	if len(got) != 1 || got[0] != 99 {
+		t.Errorf("reuse after empty = %v", got)
+	}
+}
+
+func TestAll(t *testing.T) {
+	tr := New()
+	for i := int64(0); i < 25; i++ {
+		tr.Insert(box(i, i+1), i)
+	}
+	all := tr.All()
+	if len(all) != 25 {
+		t.Fatalf("All returned %d entries", len(all))
+	}
+	seen := map[int64]bool{}
+	for _, e := range all {
+		seen[e.ID] = true
+	}
+	if len(seen) != 25 {
+		t.Error("duplicate ids in All")
+	}
+}
+
+func TestEmptyTreeSearch(t *testing.T) {
+	tr := New()
+	called := false
+	tr.Search(box(0, 100), func(Entry) bool {
+		called = true
+		return true
+	})
+	if called {
+		t.Error("search on empty tree produced hits")
+	}
+}
+
+// TestInterleavedInsertDeleteTorture mirrors the background merger's
+// access pattern (delete two, insert one, repeat) at a scale that forces
+// multi-level underflow; the tree must stay consistent with brute force.
+// Regression test for empty internal nodes crashing chooseLeaf.
+func TestInterleavedInsertDeleteTorture(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	tr := New()
+	type item struct {
+		box array.Box
+		id  int64
+	}
+	var live []item
+	nextID := int64(0)
+	add := func() {
+		x, y := rng.Int63n(500)+1, rng.Int63n(500)+1
+		b := box2(x, y, x+rng.Int63n(30), y+rng.Int63n(30))
+		tr.Insert(b, nextID)
+		live = append(live, item{b, nextID})
+		nextID++
+	}
+	for i := 0; i < 64; i++ {
+		add()
+	}
+	for round := 0; round < 200; round++ {
+		// Delete two random live items.
+		for k := 0; k < 2 && len(live) > 0; k++ {
+			i := rng.Intn(len(live))
+			if !tr.Delete(live[i].box, live[i].id) {
+				t.Fatalf("round %d: delete failed", round)
+			}
+			live = append(live[:i], live[i+1:]...)
+		}
+		// Insert one (the merged bucket).
+		add()
+		if tr.Len() != len(live) {
+			t.Fatalf("round %d: len %d, want %d", round, tr.Len(), len(live))
+		}
+	}
+	// Final consistency check against brute force.
+	for q := 0; q < 20; q++ {
+		x, y := rng.Int63n(500)+1, rng.Int63n(500)+1
+		qb := box2(x, y, x+100, y+100)
+		want := map[int64]bool{}
+		for _, it := range live {
+			if it.box.Intersects(qb) {
+				want[it.id] = true
+			}
+		}
+		got := map[int64]bool{}
+		tr.Search(qb, func(e Entry) bool {
+			got[e.ID] = true
+			return true
+		})
+		if len(got) != len(want) {
+			t.Fatalf("query %d: got %d, want %d", q, len(got), len(want))
+		}
+	}
+}

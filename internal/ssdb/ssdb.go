@@ -1,0 +1,481 @@
+// Package ssdb implements the science benchmark the paper promises in
+// §2.15 ("we are almost finished with a science benchmark"), in the style
+// of the SS-DB benchmark that the SciDB project later published: synthetic
+// telescope/remote-sensing imagery, an in-engine cooking pipeline,
+// observation detection, and a fixed set of queries Q1–Q9 spanning raw
+// slabs, regrids, group-bys, joins against a derived catalog, and pixel
+// time series. Every query has an array-engine implementation and a
+// relational (tablesim) twin so the SSDB experiment can compare the two.
+package ssdb
+
+import (
+	"fmt"
+
+	"scidb/internal/array"
+	"scidb/internal/cook"
+	"scidb/internal/ops"
+	"scidb/internal/tablesim"
+	"scidb/internal/udf"
+)
+
+// Config sizes the benchmark.
+type Config struct {
+	Size      int64 // image width and height
+	Passes    int64
+	Seed      int64
+	Threshold float64 // observation-detection radiance threshold
+	Tile      int64   // Q5 tile size
+}
+
+// DefaultConfig is laptop-sized ("tiny" in SS-DB terms).
+func DefaultConfig() Config {
+	return Config{Size: 64, Passes: 4, Seed: 42, Threshold: 13, Tile: 8}
+}
+
+// Dataset holds the generated benchmark state for both engines.
+type Dataset struct {
+	Cfg    Config
+	Reg    *udf.Registry
+	Raw    *array.Array // (pass, x, y): dn, cloud, nadir
+	Cooked *array.Array // (x, y): radiance, src_pass
+	// Catalog holds detected observations: (x, y): obsid, brightness.
+	Catalog *array.Array
+	// Relational twins.
+	RawTab     *tablesim.Table
+	CookedTab  *tablesim.Table
+	CatalogTab *tablesim.Table
+}
+
+// Setup generates imagery, cooks it, detects observations, and builds the
+// relational twins.
+func Setup(cfg Config) (*Dataset, error) {
+	reg := udf.NewRegistry()
+	ccfg := cook.Config{
+		Width: cfg.Size, Height: cfg.Size, Passes: cfg.Passes, Seed: cfg.Seed,
+		CloudFraction: 0.3, Gain: 0.01, Offset: -2,
+	}
+	raw, err := cook.GeneratePasses(ccfg)
+	if err != nil {
+		return nil, err
+	}
+	cooked, err := cook.Cook(raw, ccfg, cook.LeastCloud, reg)
+	if err != nil {
+		return nil, err
+	}
+	catalog, err := detect(cooked, cfg.Threshold)
+	if err != nil {
+		return nil, err
+	}
+	rawTab, err := tablesim.FromArray(raw, "pk")
+	if err != nil {
+		return nil, err
+	}
+	cookedTab, err := tablesim.FromArray(cooked, "pk")
+	if err != nil {
+		return nil, err
+	}
+	catalogTab, err := tablesim.FromArray(catalog, "pk")
+	if err != nil {
+		return nil, err
+	}
+	return &Dataset{
+		Cfg: cfg, Reg: reg, Raw: raw, Cooked: cooked, Catalog: catalog,
+		RawTab: rawTab, CookedTab: cookedTab, CatalogTab: catalogTab,
+	}, nil
+}
+
+// detect builds the observation catalog: cooked cells whose radiance
+// exceeds the threshold become observations with sequential ids.
+func detect(cooked *array.Array, threshold float64) (*array.Array, error) {
+	s := &array.Schema{
+		Name: "catalog",
+		Dims: []array.Dimension{
+			{Name: "x", High: cooked.Hwm(0), ChunkLen: 64},
+			{Name: "y", High: cooked.Hwm(1), ChunkLen: 64},
+		},
+		Attrs: []array.Attribute{
+			{Name: "obsid", Type: array.TInt64},
+			{Name: "brightness", Type: array.TFloat64},
+		},
+	}
+	cat, err := array.New(s)
+	if err != nil {
+		return nil, err
+	}
+	var id int64
+	var werr error
+	cooked.Iter(func(c array.Coord, cell array.Cell) bool {
+		if cell[0].AsFloat() <= threshold {
+			return true
+		}
+		id++
+		if err := cat.Set(c.Clone(), array.Cell{array.Int64(id), cell[0]}); err != nil {
+			werr = err
+			return false
+		}
+		return true
+	})
+	return cat, werr
+}
+
+// Answer is one query's validated result.
+type Answer struct {
+	Value float64 // the scalar the query reports
+	Cells int64   // cells/rows touched or produced
+}
+
+// --- Q1: average raw DN over a subslab of one pass ------------------------
+
+// Q1Array computes avg(dn) over pass 1, x and y in [lo, hi], using the
+// engine's box-scan kernel: chunk pruning plus dense iteration, no
+// intermediate materialization (the array engine's slab fast path).
+func (d *Dataset) Q1Array(lo, hi int64) (Answer, error) {
+	dn := d.Raw.Schema.AttrIndex(cook.AttrDN)
+	box := array.NewBox(array.Coord{1, lo, lo}, array.Coord{1, hi, hi})
+	var sum float64
+	var n int64
+	d.Raw.ScanFloats(box, dn, func(_ array.Coord, v float64) bool {
+		sum += v
+		n++
+		return true
+	})
+	if n == 0 {
+		return Answer{}, fmt.Errorf("ssdb: Q1 empty")
+	}
+	return Answer{Value: sum / float64(n), Cells: n}, nil
+}
+
+// Q1Table is the relational twin: index range scan + aggregate.
+func (d *Dataset) Q1Table(lo, hi int64) (Answer, error) {
+	var sum float64
+	var n int64
+	dn := d.RawTab.ColIndex(cook.AttrDN)
+	err := d.RawTab.IndexRange("pk", []int64{1, lo, lo}, []int64{1, hi, hi},
+		func(_ int64, r tablesim.Row) bool {
+			// The composite index covers (pass, x, y) lexicographically;
+			// filter y within the slab.
+			y := r[2].Int
+			if y < lo || y > hi {
+				return true
+			}
+			sum += r[dn].AsFloat()
+			n++
+			return true
+		})
+	if err != nil {
+		return Answer{}, err
+	}
+	if n == 0 {
+		return Answer{}, fmt.Errorf("ssdb: Q1 empty")
+	}
+	return Answer{Value: sum / float64(n), Cells: n}, nil
+}
+
+// --- Q2: regrid one raw pass -----------------------------------------------
+
+// Q2Array regrids pass 1 by stride, averaging dn, and reports the total of
+// the coarse cells — a streaming block aggregation over the box-scan
+// kernel (no materialized pass-1 slice).
+func (d *Dataset) Q2Array(stride int64) (Answer, error) {
+	dn := d.Raw.Schema.AttrIndex(cook.AttrDN)
+	n := d.Cfg.Size
+	nb := (n + stride - 1) / stride
+	sums := make([]float64, nb*nb)
+	counts := make([]int64, nb*nb)
+	box := array.NewBox(array.Coord{1, 1, 1}, array.Coord{1, n, n})
+	d.Raw.ScanFloats(box, dn, func(c array.Coord, v float64) bool {
+		idx := ((c[1]-1)/stride)*nb + (c[2]-1)/stride
+		sums[idx] += v
+		counts[idx]++
+		return true
+	})
+	var total float64
+	var cells int64
+	for i := range sums {
+		if counts[i] > 0 {
+			total += sums[i] / float64(counts[i])
+			cells++
+		}
+	}
+	return Answer{Value: total, Cells: cells}, nil
+}
+
+// Q2Table groups rows into stride buckets with integer arithmetic.
+func (d *Dataset) Q2Table(stride int64) (Answer, error) {
+	type key struct{ bx, by int64 }
+	sums := map[key]float64{}
+	counts := map[key]int64{}
+	dn := d.RawTab.ColIndex(cook.AttrDN)
+	err := d.RawTab.IndexRange("pk", []int64{1, 1, 1}, []int64{1, d.Cfg.Size, d.Cfg.Size},
+		func(_ int64, r tablesim.Row) bool {
+			k := key{(r[1].Int - 1) / stride, (r[2].Int - 1) / stride}
+			sums[k] += r[dn].AsFloat()
+			counts[k]++
+			return true
+		})
+	if err != nil {
+		return Answer{}, err
+	}
+	var total float64
+	for k, s := range sums {
+		total += s / float64(counts[k])
+	}
+	return Answer{Value: total, Cells: int64(len(sums))}, nil
+}
+
+// --- Q3: the cooking pipeline ----------------------------------------------
+
+// Q3Cook re-runs calibrate+composite inside the engine and reports the
+// cooked image's RMSE against the ground truth.
+func (d *Dataset) Q3Cook() (Answer, error) {
+	ccfg := cook.Config{
+		Width: d.Cfg.Size, Height: d.Cfg.Size, Passes: d.Cfg.Passes,
+		CloudFraction: 0.3, Gain: 0.01, Offset: -2,
+	}
+	cooked, err := cook.Cook(d.Raw, ccfg, cook.LeastCloud, d.Reg)
+	if err != nil {
+		return Answer{}, err
+	}
+	return Answer{Value: cook.RMSE(cooked), Cells: cooked.Count()}, nil
+}
+
+// --- Q4: observation detection ---------------------------------------------
+
+// Q4Array counts cooked cells brighter than the threshold with a streaming
+// predicate scan over the chunk storage.
+func (d *Dataset) Q4Array() (Answer, error) {
+	ri := d.Cooked.Schema.AttrIndex("radiance")
+	var n, seen int64
+	d.Cooked.ScanFloats(array.WholeBox(d.Cooked.Schema), ri, func(_ array.Coord, v float64) bool {
+		seen++
+		if v > d.Cfg.Threshold {
+			n++
+		}
+		return true
+	})
+	return Answer{Value: float64(n), Cells: seen}, nil
+}
+
+// Q4Table is a predicate scan over the cooked table.
+func (d *Dataset) Q4Table() (Answer, error) {
+	ri := d.CookedTab.ColIndex("radiance")
+	var n int64
+	d.CookedTab.Scan(func(_ int64, r tablesim.Row) bool {
+		if r[ri].AsFloat() > d.Cfg.Threshold {
+			n++
+		}
+		return true
+	})
+	return Answer{Value: float64(n), Cells: int64(d.CookedTab.NumRows())}, nil
+}
+
+// --- Q5: per-tile aggregates -----------------------------------------------
+
+// Q5Array regrids the cooked image into tiles, averaging radiance, and
+// reports the max tile average.
+func (d *Dataset) Q5Array() (Answer, error) {
+	rg, err := ops.Regrid(d.Cooked, []int64{d.Cfg.Tile, d.Cfg.Tile},
+		ops.AggSpec{Agg: "avg", Attr: "radiance"}, d.Reg)
+	if err != nil {
+		return Answer{}, err
+	}
+	var max float64
+	var n int64
+	rg.Iter(func(_ array.Coord, cell array.Cell) bool {
+		if v := cell[0].AsFloat(); v > max {
+			max = v
+		}
+		n++
+		return true
+	})
+	return Answer{Value: max, Cells: n}, nil
+}
+
+// Q5Table is GROUP BY tile over the cooked table.
+func (d *Dataset) Q5Table() (Answer, error) {
+	type key struct{ tx, ty int64 }
+	sums := map[key]float64{}
+	counts := map[key]int64{}
+	ri := d.CookedTab.ColIndex("radiance")
+	d.CookedTab.Scan(func(_ int64, r tablesim.Row) bool {
+		k := key{(r[0].Int - 1) / d.Cfg.Tile, (r[1].Int - 1) / d.Cfg.Tile}
+		sums[k] += r[ri].AsFloat()
+		counts[k]++
+		return true
+	})
+	var max float64
+	for k, s := range sums {
+		if v := s / float64(counts[k]); v > max {
+			max = v
+		}
+	}
+	return Answer{Value: max, Cells: int64(len(sums))}, nil
+}
+
+// --- Q6: dense region read ---------------------------------------------------
+
+// Q6Array reads a small box from the cooked image and sums it (box-scan
+// kernel).
+func (d *Dataset) Q6Array(lo, hi int64) (Answer, error) {
+	ri := d.Cooked.Schema.AttrIndex("radiance")
+	var sum float64
+	var n int64
+	d.Cooked.ScanFloats(array.NewBox(array.Coord{lo, lo}, array.Coord{hi, hi}), ri,
+		func(_ array.Coord, v float64) bool {
+			sum += v
+			n++
+			return true
+		})
+	return Answer{Value: sum, Cells: n}, nil
+}
+
+// Q6Table is the index-range twin.
+func (d *Dataset) Q6Table(lo, hi int64) (Answer, error) {
+	var sum float64
+	var n int64
+	ri := d.CookedTab.ColIndex("radiance")
+	err := d.CookedTab.IndexRange("pk", []int64{lo, lo}, []int64{hi, hi},
+		func(_ int64, r tablesim.Row) bool {
+			if y := r[1].Int; y < lo || y > hi {
+				return true
+			}
+			sum += r[ri].AsFloat()
+			n++
+			return true
+		})
+	if err != nil {
+		return Answer{}, err
+	}
+	return Answer{Value: sum, Cells: n}, nil
+}
+
+// --- Q7: catalog join ---------------------------------------------------------
+
+// Q7Array joins the cooked image with the observation catalog on (x, y)
+// and sums catalog brightness over the matches.
+func (d *Dataset) Q7Array() (Answer, error) {
+	j, err := ops.Sjoin(d.Catalog, d.Cooked, []ops.DimPair{
+		{LDim: "x", RDim: "x"}, {LDim: "y", RDim: "y"},
+	})
+	if err != nil {
+		return Answer{}, err
+	}
+	bi := j.Schema.AttrIndex("brightness")
+	var sum float64
+	var n int64
+	j.Iter(func(_ array.Coord, cell array.Cell) bool {
+		sum += cell[bi].AsFloat()
+		n++
+		return true
+	})
+	return Answer{Value: sum, Cells: n}, nil
+}
+
+// Q7Table is the hash-join twin over composite keys. Coordinates join via
+// an encoded single key column added on the fly.
+func (d *Dataset) Q7Table() (Answer, error) {
+	size := d.Cfg.Size
+	// Build key-extended copies (what a SQL engine's join on two columns
+	// effectively hashes).
+	enc := func(x, y int64) int64 { return x*size*4 + y }
+	bi := d.CatalogTab.ColIndex("brightness")
+	ht := map[int64]float64{}
+	d.CatalogTab.Scan(func(_ int64, r tablesim.Row) bool {
+		ht[enc(r[0].Int, r[1].Int)] = r[bi].AsFloat()
+		return true
+	})
+	var sum float64
+	var n int64
+	d.CookedTab.Scan(func(_ int64, r tablesim.Row) bool {
+		if b, ok := ht[enc(r[0].Int, r[1].Int)]; ok {
+			sum += b
+			n++
+		}
+		return true
+	})
+	return Answer{Value: sum, Cells: n}, nil
+}
+
+// --- Q8: pixel history ---------------------------------------------------------
+
+// Q8Array extracts one pixel's DN across passes (the time-series slice):
+// a box scan along the pass dimension.
+func (d *Dataset) Q8Array(x, y int64) (Answer, error) {
+	dn := d.Raw.Schema.AttrIndex(cook.AttrDN)
+	var sum float64
+	var n int64
+	d.Raw.ScanFloats(array.NewBox(array.Coord{1, x, y}, array.Coord{d.Cfg.Passes, x, y}), dn,
+		func(_ array.Coord, v float64) bool {
+			sum += v
+			n++
+			return true
+		})
+	return Answer{Value: sum, Cells: n}, nil
+}
+
+// Q8Table scans the pass range of one pixel via the composite index.
+func (d *Dataset) Q8Table(x, y int64) (Answer, error) {
+	var sum float64
+	var n int64
+	dn := d.RawTab.ColIndex(cook.AttrDN)
+	// The (pass, x, y) index cannot serve an (x, y) point lookup without a
+	// full scan per pass — the representation penalty in miniature.
+	for p := int64(1); p <= d.Cfg.Passes; p++ {
+		rows, err := d.RawTab.IndexLookup("pk", []int64{p, x, y})
+		if err != nil {
+			return Answer{}, err
+		}
+		for _, r := range rows {
+			sum += r[dn].AsFloat()
+			n++
+		}
+	}
+	return Answer{Value: sum, Cells: n}, nil
+}
+
+// --- Q9: bright regions at coarse resolution -------------------------------
+
+// Q9Array regrids then filters: coarse tiles whose mean radiance exceeds
+// the threshold.
+func (d *Dataset) Q9Array() (Answer, error) {
+	rg, err := ops.Regrid(d.Cooked, []int64{d.Cfg.Tile, d.Cfg.Tile},
+		ops.AggSpec{Agg: "avg", Attr: "radiance", As: "mean"}, d.Reg)
+	if err != nil {
+		return Answer{}, err
+	}
+	f, err := ops.Filter(rg, ops.Binary{
+		Op: ops.OpGt, L: ops.AttrRef{Name: "mean"}, R: ops.Const{V: array.Float64(d.Cfg.Threshold)},
+	}, d.Reg)
+	if err != nil {
+		return Answer{}, err
+	}
+	var n int64
+	f.Iter(func(_ array.Coord, cell array.Cell) bool {
+		if !cell[0].Null {
+			n++
+		}
+		return true
+	})
+	return Answer{Value: float64(n), Cells: f.Count()}, nil
+}
+
+// Q9Table is the GROUP BY + HAVING twin.
+func (d *Dataset) Q9Table() (Answer, error) {
+	type key struct{ tx, ty int64 }
+	sums := map[key]float64{}
+	counts := map[key]int64{}
+	ri := d.CookedTab.ColIndex("radiance")
+	d.CookedTab.Scan(func(_ int64, r tablesim.Row) bool {
+		k := key{(r[0].Int - 1) / d.Cfg.Tile, (r[1].Int - 1) / d.Cfg.Tile}
+		sums[k] += r[ri].AsFloat()
+		counts[k]++
+		return true
+	})
+	var n int64
+	for k, s := range sums {
+		if s/float64(counts[k]) > d.Cfg.Threshold {
+			n++
+		}
+	}
+	return Answer{Value: float64(n), Cells: int64(len(sums))}, nil
+}

@@ -1,0 +1,129 @@
+package ssdb
+
+import (
+	"math"
+	"testing"
+)
+
+func tinyDataset(t *testing.T) *Dataset {
+	t.Helper()
+	cfg := Config{Size: 32, Passes: 3, Seed: 9, Threshold: 13, Tile: 8}
+	d, err := Setup(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func close(a, b float64) bool {
+	if a == b {
+		return true
+	}
+	return math.Abs(a-b) < 1e-6*(1+math.Abs(a)+math.Abs(b))
+}
+
+func TestSetupShapes(t *testing.T) {
+	d := tinyDataset(t)
+	if d.Raw.Count() != 32*32*3 {
+		t.Errorf("raw cells = %d", d.Raw.Count())
+	}
+	if d.Cooked.Count() != 32*32 {
+		t.Errorf("cooked cells = %d", d.Cooked.Count())
+	}
+	if d.Catalog.Count() == 0 || d.Catalog.Count() == d.Cooked.Count() {
+		t.Errorf("catalog cells = %d; detection should select a strict subset", d.Catalog.Count())
+	}
+	if int64(d.RawTab.NumRows()) != d.Raw.Count() {
+		t.Error("raw table rows mismatch")
+	}
+	if int64(d.CatalogTab.NumRows()) != d.Catalog.Count() {
+		t.Error("catalog table rows mismatch")
+	}
+}
+
+// Every query's array and table implementations must produce the same
+// answer — the benchmark measures representation cost, not semantics.
+func TestQueriesAgreeAcrossEngines(t *testing.T) {
+	d := tinyDataset(t)
+
+	q1a, err := d.Q1Array(5, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q1t, err := d.Q1Table(5, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !close(q1a.Value, q1t.Value) || q1a.Cells != q1t.Cells {
+		t.Errorf("Q1: array %+v, table %+v", q1a, q1t)
+	}
+
+	q2a, _ := d.Q2Array(8)
+	q2t, _ := d.Q2Table(8)
+	if !close(q2a.Value, q2t.Value) || q2a.Cells != q2t.Cells {
+		t.Errorf("Q2: array %+v, table %+v", q2a, q2t)
+	}
+
+	q4a, _ := d.Q4Array()
+	q4t, _ := d.Q4Table()
+	if q4a.Value != q4t.Value {
+		t.Errorf("Q4: array %+v, table %+v", q4a, q4t)
+	}
+	if q4a.Value == 0 {
+		t.Error("Q4 detected nothing; threshold badly tuned")
+	}
+
+	q5a, _ := d.Q5Array()
+	q5t, _ := d.Q5Table()
+	if !close(q5a.Value, q5t.Value) || q5a.Cells != q5t.Cells {
+		t.Errorf("Q5: array %+v, table %+v", q5a, q5t)
+	}
+
+	q6a, _ := d.Q6Array(3, 10)
+	q6t, _ := d.Q6Table(3, 10)
+	if !close(q6a.Value, q6t.Value) || q6a.Cells != q6t.Cells {
+		t.Errorf("Q6: array %+v, table %+v", q6a, q6t)
+	}
+
+	q7a, _ := d.Q7Array()
+	q7t, _ := d.Q7Table()
+	if !close(q7a.Value, q7t.Value) || q7a.Cells != q7t.Cells {
+		t.Errorf("Q7: array %+v, table %+v", q7a, q7t)
+	}
+	if q7a.Cells != d.Catalog.Count() {
+		t.Errorf("Q7 matches = %d, want every catalog entry %d", q7a.Cells, d.Catalog.Count())
+	}
+
+	q8a, _ := d.Q8Array(7, 7)
+	q8t, _ := d.Q8Table(7, 7)
+	if !close(q8a.Value, q8t.Value) || q8a.Cells != int64(d.Cfg.Passes) || q8t.Cells != int64(d.Cfg.Passes) {
+		t.Errorf("Q8: array %+v, table %+v", q8a, q8t)
+	}
+
+	q9a, _ := d.Q9Array()
+	q9t, _ := d.Q9Table()
+	if q9a.Value != q9t.Value {
+		t.Errorf("Q9: array %+v, table %+v", q9a, q9t)
+	}
+}
+
+func TestQ3CookQuality(t *testing.T) {
+	d := tinyDataset(t)
+	ans, err := d.Q3Cook()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ans.Cells != 32*32 {
+		t.Errorf("cooked cells = %d", ans.Cells)
+	}
+	if ans.Value > 0.1 {
+		t.Errorf("cooking RMSE = %v; pipeline broken", ans.Value)
+	}
+}
+
+func TestQ1EmptySlab(t *testing.T) {
+	d := tinyDataset(t)
+	if _, err := d.Q1Array(1000, 2000); err == nil {
+		t.Error("empty slab should error")
+	}
+}

@@ -1,0 +1,92 @@
+package storage
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"scidb/internal/array"
+	"scidb/internal/rtree"
+)
+
+// manifestName is the bucket index file inside a store directory. It makes
+// the on-disk bucket population recoverable: a Store reopened on an
+// existing directory resumes serving its buckets — the DBMS service
+// ("recovery") that §2.9 notes in-situ data does not get.
+const manifestName = "MANIFEST.json"
+
+// manifest is the serialized bucket index.
+type manifest struct {
+	NextID  int64           `json:"next_id"`
+	Buckets []manifestEntry `json:"buckets"`
+}
+
+type manifestEntry struct {
+	ID    int64   `json:"id"`
+	Lo    []int64 `json:"lo"`
+	Hi    []int64 `json:"hi"`
+	Bytes int64   `json:"bytes"`
+	Cells int64   `json:"cells"`
+	File  string  `json:"file"`
+}
+
+// saveManifestLocked writes the bucket index atomically (tmp + rename).
+func (s *Store) saveManifestLocked() error {
+	if s.opts.Dir == "" {
+		return nil
+	}
+	m := manifest{NextID: s.nextID}
+	for _, b := range s.buckets {
+		m.Buckets = append(m.Buckets, manifestEntry{
+			ID: b.id, Lo: b.box.Lo, Hi: b.box.Hi,
+			Bytes: b.bytes, Cells: b.cells, File: filepath.Base(b.path),
+		})
+	}
+	data, err := json.MarshalIndent(&m, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := filepath.Join(s.opts.Dir, manifestName+".tmp")
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("storage: %w", err)
+	}
+	return os.Rename(tmp, filepath.Join(s.opts.Dir, manifestName))
+}
+
+// loadManifestLocked rebuilds the bucket index from a prior run's manifest.
+// Missing bucket files are skipped with an error; a missing manifest means
+// a fresh store.
+func (s *Store) loadManifestLocked() error {
+	if s.opts.Dir == "" {
+		return nil
+	}
+	data, err := os.ReadFile(filepath.Join(s.opts.Dir, manifestName))
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("storage: %w", err)
+	}
+	var m manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return fmt.Errorf("storage: corrupt manifest: %w", err)
+	}
+	s.nextID = m.NextID
+	s.rt = rtree.New()
+	s.buckets = map[int64]*bucketMeta{}
+	for _, e := range m.Buckets {
+		path := filepath.Join(s.opts.Dir, e.File)
+		if _, err := os.Stat(path); err != nil {
+			return fmt.Errorf("storage: manifest names missing bucket %s: %w", e.File, err)
+		}
+		meta := &bucketMeta{
+			id:    e.ID,
+			box:   array.Box{Lo: e.Lo, Hi: e.Hi},
+			bytes: e.Bytes, cells: e.Cells, path: path,
+		}
+		s.buckets[e.ID] = meta
+		s.rt.Insert(meta.box, e.ID)
+	}
+	return nil
+}

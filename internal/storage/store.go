@@ -1,0 +1,482 @@
+package storage
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"scidb/internal/array"
+	"scidb/internal/compress"
+	"scidb/internal/rtree"
+)
+
+// Stats counts storage activity for the STORE experiment.
+type Stats struct {
+	BucketsWritten int64
+	BucketsMerged  int64
+	BucketsRead    int64
+	BytesWritten   int64
+	BytesRead      int64
+	Flushes        int64
+}
+
+// Options configures a Store.
+type Options struct {
+	// Dir is the on-disk bucket directory. Empty means in-memory buckets
+	// (still encoded and compressed, held in a map instead of files).
+	Dir string
+	// Codec compresses buckets; nil means compress.Auto.
+	Codec compress.Codec
+	// MemLimit is the in-memory buffer budget in bytes before a flush
+	// ("when main memory is nearly full"). Zero means 4 MiB.
+	MemLimit int64
+	// Stride is the bucket stride per dimension ("rectangular buckets,
+	// defined by a stride in each dimension"). Zero entries default to 64.
+	Stride []int64
+	// MaxBucketBytes caps merged bucket size. Zero means 1 MiB.
+	MaxBucketBytes int64
+}
+
+type bucketMeta struct {
+	id    int64
+	box   array.Box
+	bytes int64
+	cells int64
+	path  string // file path, or "" when in-memory
+	data  []byte // in-memory payload when path == ""
+}
+
+// Store is the per-node storage manager for one array's partition. Writes
+// buffer in an in-memory chunked array; when the buffer exceeds the memory
+// limit it is cut into stride-aligned rectangular buckets, compressed, and
+// written out. An R-tree indexes bucket bounding boxes. MergeOnce combines
+// small adjacent buckets (the background thread's unit of work).
+type Store struct {
+	schema *array.Schema
+	opts   Options
+	codec  compress.Codec
+
+	mu      sync.Mutex
+	mem     *array.Array
+	rt      *rtree.Tree
+	buckets map[int64]*bucketMeta
+	nextID  int64
+	stats   Stats
+
+	mergeStop chan struct{}
+	mergeDone chan struct{}
+}
+
+// NewStore creates a storage manager for the schema.
+func NewStore(schema *array.Schema, opts Options) (*Store, error) {
+	if opts.Codec == nil {
+		opts.Codec = compress.Auto{}
+	}
+	if opts.MemLimit <= 0 {
+		opts.MemLimit = 4 << 20
+	}
+	if opts.MaxBucketBytes <= 0 {
+		opts.MaxBucketBytes = 1 << 20
+	}
+	stride := make([]int64, len(schema.Dims))
+	for i := range stride {
+		if i < len(opts.Stride) && opts.Stride[i] > 0 {
+			stride[i] = opts.Stride[i]
+		} else {
+			stride[i] = 64
+		}
+	}
+	opts.Stride = stride
+	if opts.Dir != "" {
+		if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+			return nil, fmt.Errorf("storage: %w", err)
+		}
+	}
+	s := &Store{
+		schema:  schema,
+		opts:    opts,
+		codec:   opts.Codec,
+		rt:      rtree.New(),
+		buckets: map[int64]*bucketMeta{},
+	}
+	if err := s.resetMem(); err != nil {
+		return nil, err
+	}
+	// Recover the bucket index from a prior run, if this directory has one.
+	if err := s.loadManifestLocked(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// resetMem builds a fresh in-memory buffer array chunked at the bucket
+// stride, so a flush can emit chunks directly as buckets.
+func (s *Store) resetMem() error {
+	ms := s.schema.Clone()
+	ms.Name = s.schema.Name + "_membuf"
+	for i := range ms.Dims {
+		ms.Dims[i].ChunkLen = s.opts.Stride[i]
+	}
+	mem, err := array.New(ms)
+	if err != nil {
+		return err
+	}
+	s.mem = mem
+	return nil
+}
+
+// Schema returns the stored array's schema.
+func (s *Store) Schema() *array.Schema { return s.schema }
+
+// Stats returns a snapshot of activity counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// NumBuckets returns the current on-disk bucket count.
+func (s *Store) NumBuckets() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.buckets)
+}
+
+// Put writes one cell. When the memory buffer exceeds the limit the store
+// flushes synchronously (the paper's loader does this per site substream).
+func (s *Store) Put(c array.Coord, cell array.Cell) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.mem.Set(c, cell); err != nil {
+		return err
+	}
+	if s.mem.ByteSize() >= s.opts.MemLimit {
+		return s.flushLocked()
+	}
+	return nil
+}
+
+// PutChunk ingests a whole chunk (bulk-load fast path).
+func (s *Store) PutChunk(ch *array.Chunk) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var err error
+	array.IterBox(ch.Box(), func(c array.Coord) bool {
+		cell, ok := ch.Get(c)
+		if !ok {
+			return true
+		}
+		if e := s.mem.Set(c, cell); e != nil {
+			err = e
+			return false
+		}
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	if s.mem.ByteSize() >= s.opts.MemLimit {
+		return s.flushLocked()
+	}
+	return nil
+}
+
+// Flush forces the memory buffer to disk buckets.
+func (s *Store) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.flushLocked()
+}
+
+func (s *Store) flushLocked() error {
+	chunks := s.mem.Chunks()
+	for _, ch := range chunks {
+		if ch.CellsPresent() == 0 {
+			continue
+		}
+		if err := s.writeBucketLocked(ch); err != nil {
+			return err
+		}
+	}
+	s.stats.Flushes++
+	if err := s.saveManifestLocked(); err != nil {
+		return err
+	}
+	return s.resetMem()
+}
+
+func (s *Store) writeBucketLocked(ch *array.Chunk) error {
+	raw, err := EncodeChunk(s.schema, ch)
+	if err != nil {
+		return err
+	}
+	enc := s.codec.Encode(raw)
+	id := s.nextID
+	s.nextID++
+	meta := &bucketMeta{id: id, box: ch.Box(), bytes: int64(len(enc)), cells: ch.CellsPresent()}
+	if s.opts.Dir != "" {
+		meta.path = filepath.Join(s.opts.Dir, fmt.Sprintf("bucket-%06d.sdb", id))
+		if err := os.WriteFile(meta.path, enc, 0o644); err != nil {
+			return fmt.Errorf("storage: %w", err)
+		}
+	} else {
+		meta.data = enc
+	}
+	s.buckets[id] = meta
+	s.rt.Insert(meta.box, id)
+	s.stats.BucketsWritten++
+	s.stats.BytesWritten += int64(len(enc))
+	return nil
+}
+
+func (s *Store) readBucketLocked(meta *bucketMeta) (*array.Chunk, error) {
+	var enc []byte
+	var err error
+	if meta.path != "" {
+		enc, err = os.ReadFile(meta.path)
+		if err != nil {
+			return nil, fmt.Errorf("storage: %w", err)
+		}
+	} else {
+		enc = meta.data
+	}
+	raw, err := s.codec.Decode(enc)
+	if err != nil {
+		return nil, err
+	}
+	s.stats.BucketsRead++
+	s.stats.BytesRead += int64(len(enc))
+	return DecodeChunk(s.schema, raw)
+}
+
+// Get returns one cell, consulting the memory buffer first, then newest
+// buckets.
+func (s *Store) Get(c array.Coord) (array.Cell, bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if cell, ok := s.mem.At(c); ok {
+		return cell, true, nil
+	}
+	pt := array.Box{Lo: c, Hi: c}
+	var best *bucketMeta
+	s.rt.Search(pt, func(e rtree.Entry) bool {
+		m := s.buckets[e.ID]
+		if best == nil || m.id > best.id {
+			best = m
+		}
+		return true
+	})
+	for best != nil {
+		ch, err := s.readBucketLocked(best)
+		if err != nil {
+			return nil, false, err
+		}
+		if cell, ok := ch.Get(c); ok {
+			return cell, true, nil
+		}
+		// The newest bucket covering the box may not hold the cell; fall
+		// back to scanning all covering buckets newest-first.
+		var prev *bucketMeta
+		s.rt.Search(pt, func(e rtree.Entry) bool {
+			m := s.buckets[e.ID]
+			if m.id < best.id && (prev == nil || m.id > prev.id) {
+				prev = m
+			}
+			return true
+		})
+		best = prev
+	}
+	return nil, false, nil
+}
+
+// Scan calls fn for every stored cell intersecting the box, newest bucket
+// winning for duplicated coordinates. Memory-buffer cells win over disk.
+func (s *Store) Scan(q array.Box, fn func(array.Coord, array.Cell) bool) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	seen := map[string]bool{}
+	stop := false
+	// Memory buffer first.
+	s.mem.Iter(func(c array.Coord, cell array.Cell) bool {
+		if !q.Contains(c) {
+			return true
+		}
+		seen[c.Key()] = true
+		if !fn(c, cell) {
+			stop = true
+			return false
+		}
+		return true
+	})
+	if stop {
+		return nil
+	}
+	// Buckets newest-first so later writes shadow earlier ones.
+	var metas []*bucketMeta
+	s.rt.Search(q, func(e rtree.Entry) bool {
+		metas = append(metas, s.buckets[e.ID])
+		return true
+	})
+	for i := 0; i < len(metas); i++ {
+		for j := i + 1; j < len(metas); j++ {
+			if metas[j].id > metas[i].id {
+				metas[i], metas[j] = metas[j], metas[i]
+			}
+		}
+	}
+	for _, m := range metas {
+		ch, err := s.readBucketLocked(m)
+		if err != nil {
+			return err
+		}
+		inter, ok := ch.Box().Intersect(q)
+		if !ok {
+			continue
+		}
+		done := false
+		array.IterBox(inter, func(c array.Coord) bool {
+			cell, ok := ch.Get(c)
+			if !ok {
+				return true
+			}
+			key := c.Key()
+			if seen[key] {
+				return true
+			}
+			seen[key] = true
+			if !fn(c, cell) {
+				done = true
+				return false
+			}
+			return true
+		})
+		if done {
+			return nil
+		}
+	}
+	return nil
+}
+
+// MergeOnce performs one unit of background-merge work: it finds the best
+// pair of small buckets whose boxes can combine without exceeding the size
+// cap and merges them. It reports whether a merge happened.
+func (s *Store) MergeOnce() (bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	entries := s.rt.All()
+	var bi, bj *bucketMeta
+	var bestWaste int64 = 1 << 62
+	for i := 0; i < len(entries); i++ {
+		mi := s.buckets[entries[i].ID]
+		for j := i + 1; j < len(entries); j++ {
+			mj := s.buckets[entries[j].ID]
+			if mi.bytes+mj.bytes > s.opts.MaxBucketBytes {
+				continue
+			}
+			u := mi.box.Union(mj.box)
+			waste := u.Cells() - mi.box.Cells() - mj.box.Cells()
+			if waste < 0 {
+				waste = 0
+			}
+			if waste < bestWaste {
+				bestWaste, bi, bj = waste, mi, mj
+			}
+		}
+	}
+	if bi == nil {
+		return false, nil
+	}
+	ci, err := s.readBucketLocked(bi)
+	if err != nil {
+		return false, err
+	}
+	cj, err := s.readBucketLocked(bj)
+	if err != nil {
+		return false, err
+	}
+	u := bi.box.Union(bj.box)
+	merged := array.NewChunk(s.schema, u.Lo, u.Shape())
+	// Older bucket first so the newer one wins on overlap.
+	first, second := ci, cj
+	if bi.id > bj.id {
+		first, second = cj, ci
+	}
+	for _, src := range []*array.Chunk{first, second} {
+		var copyErr error
+		array.IterBox(src.Box(), func(c array.Coord) bool {
+			if cell, ok := src.Get(c); ok {
+				if err := merged.Set(c, cell); err != nil {
+					copyErr = err
+					return false
+				}
+			}
+			return true
+		})
+		if copyErr != nil {
+			return false, copyErr
+		}
+	}
+	// Remove the old buckets, then write the merged one.
+	for _, m := range []*bucketMeta{bi, bj} {
+		s.rt.Delete(m.box, m.id)
+		delete(s.buckets, m.id)
+		if m.path != "" {
+			_ = os.Remove(m.path)
+		}
+	}
+	if err := s.writeBucketLocked(merged); err != nil {
+		return false, err
+	}
+	s.stats.BucketsMerged++
+	if err := s.saveManifestLocked(); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// StartMerger runs MergeOnce on a background goroutine every interval, in
+// the style of Vertica's tuple mover. Stop with StopMerger.
+func (s *Store) StartMerger(interval time.Duration) {
+	s.mu.Lock()
+	if s.mergeStop != nil {
+		s.mu.Unlock()
+		return
+	}
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	s.mergeStop, s.mergeDone = stop, done
+	s.mu.Unlock()
+	go func() {
+		defer close(done)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				_, _ = s.MergeOnce()
+			}
+		}
+	}()
+}
+
+// StopMerger stops the background merger and waits for it to exit.
+func (s *Store) StopMerger() {
+	s.mu.Lock()
+	stop, done := s.mergeStop, s.mergeDone
+	s.mergeStop, s.mergeDone = nil, nil
+	s.mu.Unlock()
+	if stop != nil {
+		close(stop)
+		<-done
+	}
+}
+
+// Close flushes and stops background work.
+func (s *Store) Close() error {
+	s.StopMerger()
+	return s.Flush()
+}

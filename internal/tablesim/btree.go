@@ -1,0 +1,191 @@
+// Package tablesim is the relational baseline engine used by every
+// array-vs-tables comparison in this repo, chiefly the ASAP experiment
+// (§2.1: "the performance penalty of simulating arrays on top of tables was
+// around two orders of magnitude"). It is an honest, small row store: heap
+// tables of tuples, B-trees over composite integer keys, tuple-at-a-time
+// scans, hash joins, and group-by — the machinery a commercial RDBMS brings
+// to bear when an array is stored as (coord..., value) rows.
+package tablesim
+
+// bKey is a composite integer key compared lexicographically (an array
+// coordinate stored as index columns).
+type bKey []int64
+
+func cmpKey(a, b bKey) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		switch {
+		case a[i] < b[i]:
+			return -1
+		case a[i] > b[i]:
+			return 1
+		}
+	}
+	switch {
+	case len(a) < len(b):
+		return -1
+	case len(a) > len(b):
+		return 1
+	}
+	return 0
+}
+
+const btreeOrder = 32 // max keys per node
+
+// BTree is an in-memory B+tree multimap from composite integer keys to row
+// ids, mimicking a disk B-tree's fanout and per-key comparison costs.
+type BTree struct {
+	root *bnode
+	size int
+}
+
+type bnode struct {
+	leaf     bool
+	keys     []bKey
+	vals     [][]int64 // leaf: row ids per key
+	children []*bnode
+	next     *bnode // leaf chain for range scans
+}
+
+// NewBTree returns an empty tree.
+func NewBTree() *BTree { return &BTree{root: &bnode{leaf: true}} }
+
+// Len returns the number of distinct keys.
+func (t *BTree) Len() int { return t.size }
+
+// Insert adds rowID under key (duplicates append).
+func (t *BTree) Insert(key bKey, rowID int64) {
+	k := append(bKey(nil), key...)
+	if t.root.full() {
+		old := t.root
+		t.root = &bnode{children: []*bnode{old}}
+		t.root.splitChild(0)
+	}
+	if t.root.insert(k, rowID) {
+		t.size++
+	}
+}
+
+func (n *bnode) full() bool { return len(n.keys) >= btreeOrder }
+
+// insert returns true if a new distinct key was created.
+func (n *bnode) insert(key bKey, rowID int64) bool {
+	if n.leaf {
+		i := n.search(key)
+		if i < len(n.keys) && cmpKey(n.keys[i], key) == 0 {
+			n.vals[i] = append(n.vals[i], rowID)
+			return false
+		}
+		n.keys = append(n.keys, nil)
+		n.vals = append(n.vals, nil)
+		copy(n.keys[i+1:], n.keys[i:])
+		copy(n.vals[i+1:], n.vals[i:])
+		n.keys[i] = key
+		n.vals[i] = []int64{rowID}
+		return true
+	}
+	i := n.search(key)
+	if i < len(n.keys) && cmpKey(n.keys[i], key) == 0 {
+		i++ // equal separator: key lives in the right child
+	}
+	if n.children[i].full() {
+		n.splitChild(i)
+		if cmpKey(key, n.keys[i]) >= 0 {
+			i++
+		}
+	}
+	return n.children[i].insert(key, rowID)
+}
+
+// search returns the first index whose key is >= key.
+func (n *bnode) search(key bKey) int {
+	lo, hi := 0, len(n.keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if cmpKey(n.keys[mid], key) < 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// splitChild splits the full child at index i.
+func (n *bnode) splitChild(i int) {
+	child := n.children[i]
+	mid := len(child.keys) / 2
+	var right *bnode
+	var sep bKey
+	if child.leaf {
+		right = &bnode{leaf: true,
+			keys: append([]bKey(nil), child.keys[mid:]...),
+			vals: append([][]int64(nil), child.vals[mid:]...),
+			next: child.next,
+		}
+		child.keys = child.keys[:mid]
+		child.vals = child.vals[:mid]
+		child.next = right
+		sep = right.keys[0]
+	} else {
+		sep = child.keys[mid]
+		right = &bnode{
+			keys:     append([]bKey(nil), child.keys[mid+1:]...),
+			children: append([]*bnode(nil), child.children[mid+1:]...),
+		}
+		child.keys = child.keys[:mid]
+		child.children = child.children[:mid+1]
+	}
+	n.keys = append(n.keys, nil)
+	copy(n.keys[i+1:], n.keys[i:])
+	n.keys[i] = sep
+	n.children = append(n.children, nil)
+	copy(n.children[i+2:], n.children[i+1:])
+	n.children[i+1] = right
+}
+
+// Get returns the row ids stored under key.
+func (t *BTree) Get(key bKey) []int64 {
+	n := t.root
+	for !n.leaf {
+		i := n.search(key)
+		if i < len(n.keys) && cmpKey(n.keys[i], key) == 0 {
+			i++
+		}
+		n = n.children[i]
+	}
+	i := n.search(key)
+	if i < len(n.keys) && cmpKey(n.keys[i], key) == 0 {
+		return n.vals[i]
+	}
+	return nil
+}
+
+// Range calls fn for every (key, rowIDs) with lo <= key <= hi, ascending.
+// Return false to stop.
+func (t *BTree) Range(lo, hi bKey, fn func(key bKey, rows []int64) bool) {
+	n := t.root
+	for !n.leaf {
+		i := n.search(lo)
+		if i < len(n.keys) && cmpKey(n.keys[i], lo) == 0 {
+			i++
+		}
+		n = n.children[i]
+	}
+	i := n.search(lo)
+	for n != nil {
+		for ; i < len(n.keys); i++ {
+			if cmpKey(n.keys[i], hi) > 0 {
+				return
+			}
+			if !fn(n.keys[i], n.vals[i]) {
+				return
+			}
+		}
+		n = n.next
+		i = 0
+	}
+}

@@ -1,0 +1,339 @@
+package tablesim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"scidb/internal/array"
+)
+
+func TestBTreeInsertGet(t *testing.T) {
+	tr := NewBTree()
+	tr.Insert(bKey{3, 1}, 10)
+	tr.Insert(bKey{1, 2}, 20)
+	tr.Insert(bKey{3, 1}, 30) // duplicate key
+	if tr.Len() != 2 {
+		t.Errorf("Len = %d", tr.Len())
+	}
+	got := tr.Get(bKey{3, 1})
+	if len(got) != 2 || got[0] != 10 || got[1] != 30 {
+		t.Errorf("Get = %v", got)
+	}
+	if tr.Get(bKey{9, 9}) != nil {
+		t.Error("missing key found")
+	}
+}
+
+func TestBTreeManyKeysSorted(t *testing.T) {
+	tr := NewBTree()
+	rng := rand.New(rand.NewSource(3))
+	perm := rng.Perm(5000)
+	for _, v := range perm {
+		tr.Insert(bKey{int64(v)}, int64(v))
+	}
+	if tr.Len() != 5000 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	// Full range walk must be sorted and complete.
+	var keys []int64
+	tr.Range(bKey{0}, bKey{5000}, func(k bKey, rows []int64) bool {
+		keys = append(keys, k[0])
+		return true
+	})
+	if len(keys) != 5000 {
+		t.Fatalf("range walked %d keys", len(keys))
+	}
+	if !sort.SliceIsSorted(keys, func(i, j int) bool { return keys[i] < keys[j] }) {
+		t.Error("range not sorted")
+	}
+	// Bounded range.
+	var sub []int64
+	tr.Range(bKey{100}, bKey{110}, func(k bKey, rows []int64) bool {
+		sub = append(sub, k[0])
+		return true
+	})
+	if len(sub) != 11 || sub[0] != 100 || sub[10] != 110 {
+		t.Errorf("bounded range = %v", sub)
+	}
+}
+
+func TestBTreeCompositeRange(t *testing.T) {
+	tr := NewBTree()
+	for i := int64(1); i <= 10; i++ {
+		for j := int64(1); j <= 10; j++ {
+			tr.Insert(bKey{i, j}, i*100+j)
+		}
+	}
+	// Range over row i=3: [3,1]..[3,10].
+	var n int
+	tr.Range(bKey{3, 1}, bKey{3, 10}, func(k bKey, rows []int64) bool {
+		if k[0] != 3 {
+			t.Errorf("stray key %v", k)
+		}
+		n++
+		return true
+	})
+	if n != 10 {
+		t.Errorf("row range = %d keys", n)
+	}
+	// Early stop.
+	n = 0
+	tr.Range(bKey{1, 1}, bKey{10, 10}, func(bKey, []int64) bool {
+		n++
+		return n < 7
+	})
+	if n != 7 {
+		t.Errorf("early stop = %d", n)
+	}
+}
+
+func TestBTreeRandomAgainstMap(t *testing.T) {
+	f := func(vals []uint16) bool {
+		tr := NewBTree()
+		ref := map[int64]int{}
+		for _, v := range vals {
+			tr.Insert(bKey{int64(v)}, int64(v))
+			ref[int64(v)]++
+		}
+		if tr.Len() != len(ref) {
+			return false
+		}
+		for k, n := range ref {
+			if len(tr.Get(bKey{k})) != n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCmpKey(t *testing.T) {
+	cases := []struct {
+		a, b bKey
+		want int
+	}{
+		{bKey{1}, bKey{1}, 0},
+		{bKey{1}, bKey{2}, -1},
+		{bKey{2, 1}, bKey{2, 2}, -1},
+		{bKey{2, 3}, bKey{2}, 1},
+		{bKey{2}, bKey{2, 0}, -1},
+	}
+	for _, c := range cases {
+		if got := cmpKey(c.a, c.b); got != c.want {
+			t.Errorf("cmpKey(%v,%v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func newPointsTable(t *testing.T) *Table {
+	t.Helper()
+	tab, err := NewTable("points", []Column{
+		{Name: "i", Type: array.TInt64},
+		{Name: "j", Type: array.TInt64},
+		{Name: "val", Type: array.TFloat64},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(1); i <= 8; i++ {
+		for j := int64(1); j <= 8; j++ {
+			if _, err := tab.Insert(Row{array.Int64(i), array.Int64(j), array.Float64(float64(i * j))}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return tab
+}
+
+func TestTableInsertScanSelect(t *testing.T) {
+	tab := newPointsTable(t)
+	if tab.NumRows() != 64 {
+		t.Fatalf("rows = %d", tab.NumRows())
+	}
+	// Predicate select with projection.
+	res, err := tab.Select(func(r Row) bool { return r[2].Float > 49 }, []string{"val"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// i*j > 49: (7,8),(8,7),(8,8) -> 56,56,64.
+	if res.NumRows() != 3 {
+		t.Errorf("select rows = %d", res.NumRows())
+	}
+	if _, err := tab.Select(nil, []string{"zzz"}); err == nil {
+		t.Error("unknown column accepted")
+	}
+	// Bad arity insert.
+	if _, err := tab.Insert(Row{array.Int64(1)}); err == nil {
+		t.Error("short row accepted")
+	}
+}
+
+func TestTableIndexRangeAndLookup(t *testing.T) {
+	tab := newPointsTable(t)
+	if err := tab.CreateIndex("pk", "i", "j"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.CreateIndex("pk", "i"); err == nil {
+		t.Error("duplicate index accepted")
+	}
+	if err := tab.CreateIndex("bad", "zzz"); err == nil {
+		t.Error("index on unknown column accepted")
+	}
+	// Subslab read: i in 3..4, all j.
+	var n int
+	var sum float64
+	err := tab.IndexRange("pk", []int64{3, 1}, []int64{4, 8}, func(id int64, r Row) bool {
+		n++
+		sum += r[2].Float
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 16 {
+		t.Errorf("range rows = %d, want 16", n)
+	}
+	if sum != float64(3*36+4*36) {
+		t.Errorf("range sum = %v", sum)
+	}
+	rows, err := tab.IndexLookup("pk", []int64{5, 6})
+	if err != nil || len(rows) != 1 || rows[0][2].Float != 30 {
+		t.Errorf("lookup = %v,%v", rows, err)
+	}
+	if err := tab.IndexRange("ghost", nil, nil, nil); err == nil {
+		t.Error("unknown index accepted")
+	}
+	if _, err := tab.IndexLookup("ghost", nil); err == nil {
+		t.Error("unknown index accepted")
+	}
+}
+
+func TestIndexMaintainedAfterCreation(t *testing.T) {
+	tab := newPointsTable(t)
+	_ = tab.CreateIndex("pk", "i", "j")
+	// Insert after index creation.
+	if _, err := tab.Insert(Row{array.Int64(9), array.Int64(9), array.Float64(81)}); err != nil {
+		t.Fatal(err)
+	}
+	rows, _ := tab.IndexLookup("pk", []int64{9, 9})
+	if len(rows) != 1 || rows[0][2].Float != 81 {
+		t.Error("index missed post-creation insert")
+	}
+}
+
+func TestGroupBy(t *testing.T) {
+	tab := newPointsTable(t)
+	g, err := tab.GroupBy([]string{"i"}, "sum", "val")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumRows() != 8 {
+		t.Fatalf("groups = %d", g.NumRows())
+	}
+	// Row for i: sum over j of i*j = 36i.
+	g.Scan(func(_ int64, r Row) bool {
+		i := r[0].Int
+		if r[1].Float != float64(36*i) {
+			t.Errorf("group %d sum = %v, want %d", i, r[1].Float, 36*i)
+		}
+		return true
+	})
+	for _, agg := range []string{"count", "avg", "min", "max"} {
+		if _, err := tab.GroupBy([]string{"i"}, agg, "val"); err != nil {
+			t.Errorf("%s: %v", agg, err)
+		}
+	}
+	if _, err := tab.GroupBy([]string{"i"}, "median", "val"); err == nil {
+		t.Error("unknown aggregate accepted")
+	}
+	if _, err := tab.GroupBy([]string{"zzz"}, "sum", "val"); err == nil {
+		t.Error("unknown key column accepted")
+	}
+}
+
+func TestHashJoin(t *testing.T) {
+	users, _ := NewTable("users", []Column{
+		{Name: "uid", Type: array.TInt64},
+		{Name: "name", Type: array.TString},
+	})
+	_, _ = users.Insert(Row{array.Int64(1), array.String64("ann")})
+	_, _ = users.Insert(Row{array.Int64(2), array.String64("bob")})
+	clicks, _ := NewTable("clicks", []Column{
+		{Name: "uid", Type: array.TInt64},
+		{Name: "item", Type: array.TInt64},
+	})
+	_, _ = clicks.Insert(Row{array.Int64(1), array.Int64(7)})
+	_, _ = clicks.Insert(Row{array.Int64(1), array.Int64(9)})
+	_, _ = clicks.Insert(Row{array.Int64(3), array.Int64(5)}) // dangling
+	j, err := HashJoin(users, clicks, "uid", "uid")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.NumRows() != 2 {
+		t.Fatalf("join rows = %d", j.NumRows())
+	}
+	// Column collision renamed.
+	if j.ColIndex("clicks_uid") < 0 {
+		t.Errorf("columns = %v", j.Cols)
+	}
+	j.Scan(func(_ int64, r Row) bool {
+		if r[1].Str != "ann" {
+			t.Errorf("joined row = %v", r)
+		}
+		return true
+	})
+	if _, err := HashJoin(users, clicks, "zzz", "uid"); err == nil {
+		t.Error("bad join column accepted")
+	}
+}
+
+func TestFromArray(t *testing.T) {
+	s := &array.Schema{
+		Name:  "A",
+		Dims:  []array.Dimension{{Name: "i", High: 4}, {Name: "j", High: 4}},
+		Attrs: []array.Attribute{{Name: "v", Type: array.TFloat64}},
+	}
+	a := array.MustNew(s)
+	_ = a.Fill(func(c array.Coord) array.Cell { return array.Cell{array.Float64(float64(c[0] + c[1]))} })
+	tab, err := FromArray(a, "pk")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.NumRows() != 16 {
+		t.Fatalf("rows = %d", tab.NumRows())
+	}
+	rows, err := tab.IndexLookup("pk", []int64{2, 3})
+	if err != nil || len(rows) != 1 || rows[0][2].Float != 5 {
+		t.Errorf("lookup = %v,%v", rows, err)
+	}
+	// Nested arrays cannot be flattened.
+	nested := &array.Schema{
+		Name: "N",
+		Dims: []array.Dimension{{Name: "i", High: 2}},
+		Attrs: []array.Attribute{{Name: "sub", Type: array.TArray, Nested: &array.Schema{
+			Name: "inner", Dims: []array.Dimension{{Name: "k", High: 2}},
+			Attrs: []array.Attribute{{Name: "x", Type: array.TInt64}},
+		}}},
+	}
+	na := array.MustNew(nested)
+	if _, err := FromArray(na, ""); err == nil {
+		t.Error("nested attribute flattened")
+	}
+}
+
+func TestNewTableValidation(t *testing.T) {
+	if _, err := NewTable("", []Column{{Name: "a"}}); err == nil {
+		t.Error("empty name accepted")
+	}
+	if _, err := NewTable("t", nil); err == nil {
+		t.Error("no columns accepted")
+	}
+	if _, err := NewTable("t", []Column{{Name: "a"}, {Name: "a"}}); err == nil {
+		t.Error("duplicate column accepted")
+	}
+}

@@ -1,0 +1,149 @@
+package udf
+
+import (
+	"math"
+
+	"scidb/internal/array"
+	"scidb/internal/uncertain"
+)
+
+// Built-in aggregates. Each is uncertainty-aware: when inputs carry error
+// bars the executor propagates them per §2.13 (sum/avg via root-sum-square;
+// min/max pick the winning cell's sigma).
+
+type sumAgg struct {
+	sum    uncertain.Value
+	seen   bool
+	isInt  bool
+	intSum int64
+}
+
+func (a *sumAgg) Step(v array.Value) {
+	if v.Null {
+		return
+	}
+	if !a.seen {
+		a.isInt = v.Type == array.TInt64 && v.Sigma == 0
+	}
+	if v.Type != array.TInt64 || v.Sigma != 0 {
+		a.isInt = false
+	}
+	a.seen = true
+	a.intSum += v.AsInt()
+	a.sum = a.sum.Add(uncertain.New(v.AsFloat(), v.Sigma))
+}
+
+func (a *sumAgg) Result() array.Value {
+	if !a.seen {
+		return array.NullValue(array.TFloat64)
+	}
+	if a.isInt {
+		return array.Int64(a.intSum)
+	}
+	return array.UncertainFloat(a.sum.Mean, a.sum.Sigma)
+}
+
+type countAgg struct{ n int64 }
+
+func (a *countAgg) Step(v array.Value) {
+	if !v.Null {
+		a.n++
+	}
+}
+func (a *countAgg) Result() array.Value { return array.Int64(a.n) }
+
+type avgAgg struct {
+	sum sumAgg
+	n   int64
+}
+
+func (a *avgAgg) Step(v array.Value) {
+	if v.Null {
+		return
+	}
+	a.sum.Step(v)
+	a.n++
+}
+
+func (a *avgAgg) Result() array.Value {
+	if a.n == 0 {
+		return array.NullValue(array.TFloat64)
+	}
+	return array.UncertainFloat(a.sum.sum.Mean/float64(a.n), a.sum.sum.Sigma/float64(a.n))
+}
+
+type minAgg struct {
+	best array.Value
+	seen bool
+}
+
+func (a *minAgg) Step(v array.Value) {
+	if v.Null {
+		return
+	}
+	if !a.seen || v.Compare(a.best) < 0 {
+		a.best, a.seen = v, true
+	}
+}
+
+func (a *minAgg) Result() array.Value {
+	if !a.seen {
+		return array.NullValue(array.TFloat64)
+	}
+	return a.best
+}
+
+type maxAgg struct {
+	best array.Value
+	seen bool
+}
+
+func (a *maxAgg) Step(v array.Value) {
+	if v.Null {
+		return
+	}
+	if !a.seen || v.Compare(a.best) > 0 {
+		a.best, a.seen = v, true
+	}
+}
+
+func (a *maxAgg) Result() array.Value {
+	if !a.seen {
+		return array.NullValue(array.TFloat64)
+	}
+	return a.best
+}
+
+// stdevAgg computes the sample standard deviation with Welford's algorithm.
+type stdevAgg struct {
+	n    int64
+	mean float64
+	m2   float64
+}
+
+func (a *stdevAgg) Step(v array.Value) {
+	if v.Null {
+		return
+	}
+	a.n++
+	x := v.AsFloat()
+	d := x - a.mean
+	a.mean += d / float64(a.n)
+	a.m2 += d * (x - a.mean)
+}
+
+func (a *stdevAgg) Result() array.Value {
+	if a.n < 2 {
+		return array.NullValue(array.TFloat64)
+	}
+	return array.Float64(math.Sqrt(a.m2 / float64(a.n-1)))
+}
+
+func registerBuiltinAggregates(r *Registry) {
+	r.RegisterAggregate("sum", func() Aggregate { return &sumAgg{} })
+	r.RegisterAggregate("count", func() Aggregate { return &countAgg{} })
+	r.RegisterAggregate("avg", func() Aggregate { return &avgAgg{} })
+	r.RegisterAggregate("min", func() Aggregate { return &minAgg{} })
+	r.RegisterAggregate("max", func() Aggregate { return &maxAgg{} })
+	r.RegisterAggregate("stdev", func() Aggregate { return &stdevAgg{} })
+}

@@ -1,0 +1,209 @@
+package udf
+
+import (
+	"fmt"
+	"sort"
+
+	"scidb/internal/array"
+)
+
+// DimEnhancement is the generic array.Enhancement built from a pair of
+// coordinate-mapping functions. "Any function that accepts integer arguments
+// can be applied to the dimensions of an array to enhance the array by
+// transposition, scaling, translation, and other co-ordinate
+// transformations" (§2.1).
+type DimEnhancement struct {
+	name    string
+	outDims []string
+	fwd     func(array.Coord) []array.Value
+	inv     func([]array.Value) (array.Coord, bool)
+}
+
+// NewDimEnhancement builds an enhancement from forward and (optional)
+// inverse coordinate maps. If inv is nil, enhanced addressing resolves by
+// scanning is not attempted and Invert reports false.
+func NewDimEnhancement(name string, outDims []string, fwd func(array.Coord) []array.Value, inv func([]array.Value) (array.Coord, bool)) *DimEnhancement {
+	return &DimEnhancement{name: name, outDims: outDims, fwd: fwd, inv: inv}
+}
+
+// Name implements array.Enhancement.
+func (e *DimEnhancement) Name() string { return e.name }
+
+// OutDims implements array.Enhancement.
+func (e *DimEnhancement) OutDims() []string { return e.outDims }
+
+// Map implements array.Enhancement.
+func (e *DimEnhancement) Map(basic array.Coord) []array.Value { return e.fwd(basic) }
+
+// Invert implements array.Enhancement.
+func (e *DimEnhancement) Invert(pseudo []array.Value) (array.Coord, bool) {
+	if e.inv == nil {
+		return nil, false
+	}
+	return e.inv(pseudo)
+}
+
+// Scale returns the paper's Scale10-style enhancement: it multiplies every
+// dimension by factor, producing integer pseudo-coordinates. Enhance
+// My_remote with Scale(10) makes both A[7,8] and A{70,80} address the same
+// cell.
+func Scale(name string, ndims int, factor int64, outNames []string) *DimEnhancement {
+	return NewDimEnhancement(name, outNames,
+		func(c array.Coord) []array.Value {
+			out := make([]array.Value, ndims)
+			for i := range out {
+				out[i] = array.Int64(c[i] * factor)
+			}
+			return out
+		},
+		func(p []array.Value) (array.Coord, bool) {
+			if len(p) != ndims {
+				return nil, false
+			}
+			c := make(array.Coord, ndims)
+			for i := range c {
+				v := p[i].AsInt()
+				if v%factor != 0 {
+					return nil, false
+				}
+				c[i] = v / factor
+			}
+			return c, true
+		})
+}
+
+// Translate shifts every dimension by delta[i].
+func Translate(name string, delta []int64, outNames []string) *DimEnhancement {
+	return NewDimEnhancement(name, outNames,
+		func(c array.Coord) []array.Value {
+			out := make([]array.Value, len(delta))
+			for i := range out {
+				out[i] = array.Int64(c[i] + delta[i])
+			}
+			return out
+		},
+		func(p []array.Value) (array.Coord, bool) {
+			if len(p) != len(delta) {
+				return nil, false
+			}
+			c := make(array.Coord, len(delta))
+			for i := range c {
+				c[i] = p[i].AsInt() - delta[i]
+			}
+			return c, true
+		})
+}
+
+// IrregularAxis maps one dimension's contiguous 1..N integers onto an
+// irregular, monotonically increasing coordinate table (the paper's
+// "coordinates 16.3, 27.6, 48.2, ..." example). Addressing A{16.3} resolves
+// by binary search; values not in the table address no cell.
+func IrregularAxis(name string, dim int, ndims int, coords []float64, outNames []string) (*DimEnhancement, error) {
+	if !sort.Float64sAreSorted(coords) {
+		return nil, fmt.Errorf("udf: irregular coordinates must be sorted")
+	}
+	return NewDimEnhancement(name, outNames,
+		func(c array.Coord) []array.Value {
+			i := c[dim]
+			if i < 1 || i > int64(len(coords)) {
+				return []array.Value{array.NullValue(array.TFloat64)}
+			}
+			return []array.Value{array.Float64(coords[i-1])}
+		},
+		func(p []array.Value) (array.Coord, bool) {
+			if len(p) != 1 {
+				return nil, false
+			}
+			want := p[0].AsFloat()
+			i := sort.SearchFloat64s(coords, want)
+			if i >= len(coords) || coords[i] != want {
+				return nil, false
+			}
+			c := make(array.Coord, ndims)
+			for k := range c {
+				c[k] = 1
+			}
+			c[dim] = int64(i + 1)
+			return c, true
+		}), nil
+}
+
+// WallClock enhances the history dimension with a mapping between history
+// integers and wall-clock times (§2.5: "SciDB will provide an enhancement
+// function for this purpose"). times[i] is the commit time of history i+1,
+// as Unix nanoseconds.
+func WallClock(name string, historyDim int, ndims int, times []int64) *DimEnhancement {
+	return NewDimEnhancement(name, []string{"time"},
+		func(c array.Coord) []array.Value {
+			h := c[historyDim]
+			if h < 1 || h > int64(len(times)) {
+				return []array.Value{array.NullValue(array.TInt64)}
+			}
+			return []array.Value{array.Int64(times[h-1])}
+		},
+		func(p []array.Value) (array.Coord, bool) {
+			if len(p) != 1 {
+				return nil, false
+			}
+			// Resolve a wall-clock time to the latest history value at or
+			// before it ("the array can be addressed using conventional
+			// time").
+			t := p[0].AsInt()
+			i := sort.Search(len(times), func(i int) bool { return times[i] > t })
+			if i == 0 {
+				return nil, false
+			}
+			c := make(array.Coord, ndims)
+			for k := range c {
+				c[k] = 1
+			}
+			c[historyDim] = int64(i)
+			return c, true
+		})
+}
+
+// FromFunc adapts a registered UDF over integer dimensions into an
+// enhancement, the paper's "Enhance My_remote with Scale10". The UDF's
+// input arity must match the array dimensionality. An optional registered
+// inverse UDF enables {...} addressing.
+func FromFunc(f, inverse *Func) (*DimEnhancement, error) {
+	for _, t := range f.In {
+		if t != array.TInt64 {
+			return nil, fmt.Errorf("udf: enhancement function %s must take integer dimensions", f.Name)
+		}
+	}
+	outNames := make([]string, len(f.Out))
+	for i := range outNames {
+		outNames[i] = fmt.Sprintf("%s_%d", f.Name, i)
+	}
+	var inv func([]array.Value) (array.Coord, bool)
+	if inverse != nil {
+		inv = func(p []array.Value) (array.Coord, bool) {
+			out, err := inverse.Call(p)
+			if err != nil {
+				return nil, false
+			}
+			c := make(array.Coord, len(out))
+			for i, v := range out {
+				c[i] = v.AsInt()
+			}
+			return c, true
+		}
+	}
+	return NewDimEnhancement(f.Name, outNames,
+		func(c array.Coord) []array.Value {
+			args := make([]array.Value, len(c))
+			for i, v := range c {
+				args[i] = array.Int64(v)
+			}
+			out, err := f.Call(args)
+			if err != nil {
+				nulls := make([]array.Value, len(f.Out))
+				for i := range nulls {
+					nulls[i] = array.NullValue(f.Out[i])
+				}
+				return nulls
+			}
+			return out
+		}, inv), nil
+}

@@ -1,0 +1,189 @@
+package udf
+
+import (
+	"fmt"
+
+	"scidb/internal/array"
+)
+
+// funcShape adapts low/high-water-mark functions into an array.ShapeFunc.
+// "A shape function is a user-defined function with integer arguments and a
+// pair of integer outputs" (§2.1); it can define raggedness in both the
+// upper and lower bounds.
+type funcShape struct {
+	name string
+	// bounds returns (lo, hi) for dimension dim given the other coordinates
+	// (entries of fixed that are 0 are unspecified).
+	bounds func(dim int, fixed array.Coord) (int64, int64)
+	ndims  int
+}
+
+// NewShape builds a shape function from a bounds function.
+func NewShape(name string, ndims int, bounds func(dim int, fixed array.Coord) (int64, int64)) array.ShapeFunc {
+	return &funcShape{name: name, bounds: bounds, ndims: ndims}
+}
+
+func (s *funcShape) Name() string { return s.name }
+
+func (s *funcShape) Bounds(dim int, fixed array.Coord) (int64, int64) {
+	return s.bounds(dim, fixed)
+}
+
+func (s *funcShape) Contains(c array.Coord) bool {
+	for d := 0; d < s.ndims; d++ {
+		lo, hi := s.bounds(d, c)
+		if c[d] < lo || c[d] > hi {
+			return false
+		}
+	}
+	return true
+}
+
+// RaggedRows builds a 2-D shape whose row extents vary: row i spans columns
+// rowBounds(i) = (lo, hi). shape-function(A[7,*]) returns that row's slice
+// bounds; shape-function(A[*,*]) returns the global envelope.
+func RaggedRows(name string, nrows int64, rowBounds func(row int64) (lo, hi int64)) array.ShapeFunc {
+	return NewShape(name, 2, func(dim int, fixed array.Coord) (int64, int64) {
+		if dim == 0 {
+			return 1, nrows
+		}
+		// Column bounds depend on the row.
+		row := int64(0)
+		if len(fixed) > 0 {
+			row = fixed[0]
+		}
+		if row >= 1 && row <= nrows {
+			return rowBounds(row)
+		}
+		// Unspecified row: the paper requires the maximum high-water mark
+		// and minimum low-water mark across the dimension.
+		lo, hi := int64(1<<62), int64(-1<<62)
+		for r := int64(1); r <= nrows; r++ {
+			l, h := rowBounds(r)
+			if l < lo {
+				lo = l
+			}
+			if h > hi {
+				hi = h
+			}
+		}
+		return lo, hi
+	})
+}
+
+// Circle builds the paper's digitized-circle shape: cells whose center lies
+// within radius r of (cx, cy).
+func Circle(name string, cx, cy, r int64) array.ShapeFunc {
+	inside := func(x, y int64) bool {
+		dx, dy := x-cx, y-cy
+		return dx*dx+dy*dy <= r*r
+	}
+	return NewShape(name, 2, func(dim int, fixed array.Coord) (int64, int64) {
+		other := 1 - dim
+		var oc int64
+		if len(fixed) == 2 {
+			oc = fixed[other]
+		}
+		center := []int64{cx, cy}
+		if oc == 0 {
+			// Unspecified companion: global envelope.
+			return center[dim] - r, center[dim] + r
+		}
+		lo, hi := int64(1), int64(0) // empty by default
+		for v := center[dim] - r; v <= center[dim]+r; v++ {
+			var x, y int64
+			if dim == 0 {
+				x, y = v, oc
+			} else {
+				x, y = oc, v
+			}
+			if inside(x, y) {
+				if hi < lo {
+					lo = v
+				}
+				hi = v
+			}
+		}
+		return lo, hi
+	})
+}
+
+// Separable composes one shape function per dimension into a single shape,
+// for the common case where "the shape function for a given dimension does
+// not depend on the value for other dimensions" (§2.1).
+func Separable(name string, perDim []func() (lo, hi int64)) array.ShapeFunc {
+	return NewShape(name, len(perDim), func(dim int, fixed array.Coord) (int64, int64) {
+		return perDim[dim]()
+	})
+}
+
+// WithHoles subtracts hole regions from a base shape — the extension the
+// paper anticipates in §2.1: "it is not possible to use a shape function to
+// indicate 'holes' in arrays. If this is a desirable feature, we can easily
+// add this capability." A coordinate is inside the composite shape when it
+// is inside the base and outside every hole.
+func WithHoles(name string, base array.ShapeFunc, holes ...array.ShapeFunc) array.ShapeFunc {
+	return &holedShape{name: name, base: base, holes: holes}
+}
+
+type holedShape struct {
+	name  string
+	base  array.ShapeFunc
+	holes []array.ShapeFunc
+}
+
+func (s *holedShape) Name() string { return s.name }
+
+func (s *holedShape) Contains(c array.Coord) bool {
+	if !s.base.Contains(c) {
+		return false
+	}
+	for _, h := range s.holes {
+		if h.Contains(c) {
+			return false
+		}
+	}
+	return true
+}
+
+// Bounds returns the base envelope: holes shrink membership, never the
+// outer low/high-water marks.
+func (s *holedShape) Bounds(dim int, fixed array.Coord) (int64, int64) {
+	return s.base.Bounds(dim, fixed)
+}
+
+func registerBuiltinShapes(r *Registry) {
+	// rect(lo1,hi1,lo2,hi2,...) — rectangular (possibly translated) region.
+	r.RegisterShape("rect", func(args []int64) (array.ShapeFunc, error) {
+		if len(args) == 0 || len(args)%2 != 0 {
+			return nil, fmt.Errorf("udf: rect needs lo,hi pairs")
+		}
+		nd := len(args) / 2
+		per := make([]func() (int64, int64), nd)
+		for i := 0; i < nd; i++ {
+			lo, hi := args[2*i], args[2*i+1]
+			per[i] = func() (int64, int64) { return lo, hi }
+		}
+		return Separable("rect", per), nil
+	})
+	// circle(cx,cy,r) — digitized circle.
+	r.RegisterShape("circle", func(args []int64) (array.ShapeFunc, error) {
+		if len(args) != 3 {
+			return nil, fmt.Errorf("udf: circle needs cx,cy,r")
+		}
+		return Circle("circle", args[0], args[1], args[2]), nil
+	})
+	// ring(cx,cy,rOuter,rInner) — a circle with a hole (the §2.1 holes
+	// extension).
+	r.RegisterShape("ring", func(args []int64) (array.ShapeFunc, error) {
+		if len(args) != 4 {
+			return nil, fmt.Errorf("udf: ring needs cx,cy,rOuter,rInner")
+		}
+		if args[3] >= args[2] {
+			return nil, fmt.Errorf("udf: ring inner radius must be smaller than outer")
+		}
+		return WithHoles("ring",
+			Circle("outer", args[0], args[1], args[2]),
+			Circle("inner", args[0], args[1], args[3])), nil
+	})
+}

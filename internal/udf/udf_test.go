@@ -1,0 +1,541 @@
+package udf
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"scidb/internal/array"
+)
+
+// scale10 is the paper's example function:
+//
+//	Define function Scale10 (integer I, integer J)
+//	    returns (integer K, integer L) file_handle
+func scale10() *Func {
+	return &Func{
+		Name: "Scale10",
+		In:   []array.Type{array.TInt64, array.TInt64},
+		Out:  []array.Type{array.TInt64, array.TInt64},
+		Body: func(args []array.Value) ([]array.Value, error) {
+			return []array.Value{array.Int64(args[0].Int * 10), array.Int64(args[1].Int * 10)}, nil
+		},
+	}
+}
+
+func TestRegisterAndCall(t *testing.T) {
+	r := NewRegistry()
+	if err := r.RegisterFunc(scale10()); err != nil {
+		t.Fatal(err)
+	}
+	f, err := r.Func("Scale10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := f.Call([]array.Value{array.Int64(7), array.Int64(8)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0].Int != 70 || out[1].Int != 80 {
+		t.Errorf("Scale10(7,8) = %v", out)
+	}
+	if _, err := r.Func("nope"); err == nil {
+		t.Error("unknown function found")
+	}
+	if _, err := f.Call([]array.Value{array.Int64(7)}); err == nil {
+		t.Error("arity mismatch accepted")
+	}
+	if _, err := f.Call([]array.Value{array.String64("x"), array.Int64(8)}); err == nil {
+		t.Error("type mismatch accepted")
+	}
+}
+
+func TestUDFCallsUDF(t *testing.T) {
+	// "As in POSTGRES, UDFs can internally run queries and call other UDFs."
+	r := NewRegistry()
+	_ = r.RegisterFunc(scale10())
+	composed := &Func{
+		Name: "Scale100",
+		In:   []array.Type{array.TInt64, array.TInt64},
+		Out:  []array.Type{array.TInt64, array.TInt64},
+		Body: func(args []array.Value) ([]array.Value, error) {
+			inner, err := r.Func("Scale10")
+			if err != nil {
+				return nil, err
+			}
+			once, err := inner.Call(args)
+			if err != nil {
+				return nil, err
+			}
+			return inner.Call(once)
+		},
+	}
+	_ = r.RegisterFunc(composed)
+	f, _ := r.Func("Scale100")
+	out, err := f.Call([]array.Value{array.Int64(3), array.Int64(4)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0].Int != 300 || out[1].Int != 400 {
+		t.Errorf("Scale100(3,4) = %v", out)
+	}
+}
+
+func TestUDFErrorPropagation(t *testing.T) {
+	f := &Func{
+		Name: "boom",
+		In:   []array.Type{array.TInt64},
+		Out:  []array.Type{array.TInt64},
+		Body: func([]array.Value) ([]array.Value, error) { return nil, errors.New("kaput") },
+	}
+	if _, err := f.Call([]array.Value{array.Int64(1)}); err == nil {
+		t.Error("UDF error swallowed")
+	}
+	short := &Func{
+		Name: "short",
+		In:   nil,
+		Out:  []array.Type{array.TInt64, array.TInt64},
+		Body: func([]array.Value) ([]array.Value, error) { return []array.Value{array.Int64(1)}, nil },
+	}
+	if _, err := short.Call(nil); err == nil {
+		t.Error("output arity mismatch accepted")
+	}
+}
+
+func TestBuiltinAggregates(t *testing.T) {
+	r := NewRegistry()
+	vals := []array.Value{array.Int64(1), array.Int64(2), array.NullValue(array.TInt64), array.Int64(4)}
+	cases := []struct {
+		name string
+		want float64
+	}{
+		{"sum", 7}, {"count", 3}, {"avg", 7.0 / 3}, {"min", 1}, {"max", 4},
+	}
+	for _, c := range cases {
+		fac, err := r.Aggregate(c.name)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		agg := fac()
+		for _, v := range vals {
+			agg.Step(v)
+		}
+		got := agg.Result().AsFloat()
+		if math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("%s = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestSumStaysIntegerForInts(t *testing.T) {
+	r := NewRegistry()
+	fac, _ := r.Aggregate("sum")
+	agg := fac()
+	agg.Step(array.Int64(2))
+	agg.Step(array.Int64(3))
+	got := agg.Result()
+	if got.Type != array.TInt64 || got.Int != 5 {
+		t.Errorf("integer sum = %v", got)
+	}
+}
+
+func TestStdev(t *testing.T) {
+	r := NewRegistry()
+	fac, _ := r.Aggregate("stdev")
+	agg := fac()
+	for _, v := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		agg.Step(array.Float64(v))
+	}
+	got := agg.Result().Float
+	want := math.Sqrt(32.0 / 7.0) // sample stdev
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("stdev = %v, want %v", got, want)
+	}
+	// Fewer than 2 values -> NULL.
+	one := fac()
+	one.Step(array.Float64(1))
+	if !one.Result().Null {
+		t.Error("stdev of 1 value should be NULL")
+	}
+}
+
+func TestEmptyAggregatesAreNull(t *testing.T) {
+	r := NewRegistry()
+	for _, name := range []string{"sum", "avg", "min", "max"} {
+		fac, _ := r.Aggregate(name)
+		agg := fac()
+		if !agg.Result().Null {
+			t.Errorf("%s over empty group should be NULL", name)
+		}
+	}
+	fac, _ := r.Aggregate("count")
+	agg := fac()
+	if agg.Result().Int != 0 {
+		t.Error("count over empty group should be 0")
+	}
+}
+
+func TestUncertainSumPropagation(t *testing.T) {
+	r := NewRegistry()
+	fac, _ := r.Aggregate("sum")
+	agg := fac()
+	agg.Step(array.UncertainFloat(1, 3))
+	agg.Step(array.UncertainFloat(2, 4))
+	got := agg.Result()
+	if math.Abs(got.Float-3) > 1e-9 || math.Abs(got.Sigma-5) > 1e-9 {
+		t.Errorf("uncertain sum = %v±%v, want 3±5", got.Float, got.Sigma)
+	}
+}
+
+func TestUserDefinedAggregate(t *testing.T) {
+	r := NewRegistry()
+	// A "product" aggregate, registered POSTGRES-style.
+	type prod struct{ p float64 }
+	r.RegisterAggregate("product", func() Aggregate { return &prodAgg{p: 1} })
+	fac, err := r.Aggregate("product")
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg := fac()
+	for _, v := range []float64{2, 3, 4} {
+		agg.Step(array.Float64(v))
+	}
+	if got := agg.Result().Float; got != 24 {
+		t.Errorf("product = %v", got)
+	}
+	_ = prod{}
+}
+
+type prodAgg struct{ p float64 }
+
+func (a *prodAgg) Step(v array.Value) {
+	if !v.Null {
+		a.p *= v.AsFloat()
+	}
+}
+func (a *prodAgg) Result() array.Value { return array.Float64(a.p) }
+
+func TestScaleEnhancement(t *testing.T) {
+	// Enhance My_remote with Scale10: A[7,8] and A{70,80} hit the same cell.
+	s := &array.Schema{
+		Name:  "A",
+		Dims:  []array.Dimension{{Name: "I", High: 16}, {Name: "J", High: 16}},
+		Attrs: []array.Attribute{{Name: "x", Type: array.TFloat64}},
+	}
+	a := array.MustNew(s)
+	_ = a.Set(array.Coord{7, 8}, array.Cell{array.Float64(42)})
+	a.Enhance(Scale("Scale10", 2, 10, []string{"K", "L"}))
+
+	cell, ok := a.AtEnhanced("Scale10", []array.Value{array.Int64(70), array.Int64(80)})
+	if !ok || cell[0].Float != 42 {
+		t.Fatalf("A{70,80} = %v,%v", cell, ok)
+	}
+	// Pseudo-coordinates that map to no basic cell.
+	if _, ok := a.AtEnhanced("Scale10", []array.Value{array.Int64(71), array.Int64(80)}); ok {
+		t.Error("non-multiple pseudo-coordinate resolved")
+	}
+	// Forward map.
+	e := a.Enhancements[0]
+	out := e.Map(array.Coord{7, 8})
+	if out[0].Int != 70 || out[1].Int != 80 {
+		t.Errorf("Map(7,8) = %v", out)
+	}
+	if got := e.OutDims(); len(got) != 2 || got[0] != "K" || got[1] != "L" {
+		t.Errorf("OutDims = %v", got)
+	}
+}
+
+func TestScaleRoundTripProperty(t *testing.T) {
+	e := Scale("s", 2, 10, []string{"K", "L"})
+	f := func(i, j uint8) bool {
+		c := array.Coord{int64(i) + 1, int64(j) + 1}
+		back, ok := e.Invert(e.Map(c))
+		return ok && back.Equal(c)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTranslateEnhancement(t *testing.T) {
+	e := Translate("shift", []int64{100, -5}, []string{"U", "V"})
+	out := e.Map(array.Coord{1, 10})
+	if out[0].Int != 101 || out[1].Int != 5 {
+		t.Errorf("Map = %v", out)
+	}
+	back, ok := e.Invert(out)
+	if !ok || !back.Equal(array.Coord{1, 10}) {
+		t.Errorf("Invert = %v,%v", back, ok)
+	}
+}
+
+func TestIrregularAxis(t *testing.T) {
+	// The paper's irregular 1-D coordinates 16.3, 27.6, 48.2.
+	e, err := IrregularAxis("geo", 0, 1, []float64{16.3, 27.6, 48.2}, []string{"lat"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &array.Schema{
+		Name:  "irr",
+		Dims:  []array.Dimension{{Name: "i", High: 3}},
+		Attrs: []array.Attribute{{Name: "v", Type: array.TInt64}},
+	}
+	a := array.MustNew(s)
+	for i := int64(1); i <= 3; i++ {
+		_ = a.Set(array.Coord{i}, array.Cell{array.Int64(i * 100)})
+	}
+	a.Enhance(e)
+	cell, ok := a.AtEnhanced("geo", []array.Value{array.Float64(27.6)})
+	if !ok || cell[0].Int != 200 {
+		t.Fatalf("A{27.6} = %v,%v", cell, ok)
+	}
+	if _, ok := a.AtEnhanced("geo", []array.Value{array.Float64(30.0)}); ok {
+		t.Error("coordinate not in table resolved")
+	}
+	if out := e.Map(array.Coord{3}); out[0].Float != 48.2 {
+		t.Errorf("Map(3) = %v", out)
+	}
+	if _, err := IrregularAxis("bad", 0, 1, []float64{3, 1, 2}, nil); err == nil {
+		t.Error("unsorted table accepted")
+	}
+}
+
+func TestWallClockEnhancement(t *testing.T) {
+	times := []int64{1000, 2000, 3000}
+	e := WallClock("clock", 2, 3, times)
+	// history = 2 maps to time 2000.
+	out := e.Map(array.Coord{1, 1, 2})
+	if out[0].Int != 2000 {
+		t.Errorf("Map = %v", out)
+	}
+	// Time 2500 resolves to history 2 (latest commit at or before).
+	c, ok := e.Invert([]array.Value{array.Int64(2500)})
+	if !ok || c[2] != 2 {
+		t.Errorf("Invert(2500) = %v,%v", c, ok)
+	}
+	// Before the first commit: nothing.
+	if _, ok := e.Invert([]array.Value{array.Int64(500)}); ok {
+		t.Error("time before first commit resolved")
+	}
+}
+
+func TestFromFunc(t *testing.T) {
+	r := NewRegistry()
+	_ = r.RegisterFunc(scale10())
+	inv := &Func{
+		Name: "Unscale10",
+		In:   []array.Type{array.TInt64, array.TInt64},
+		Out:  []array.Type{array.TInt64, array.TInt64},
+		Body: func(args []array.Value) ([]array.Value, error) {
+			return []array.Value{array.Int64(args[0].Int / 10), array.Int64(args[1].Int / 10)}, nil
+		},
+	}
+	_ = r.RegisterFunc(inv)
+	f, _ := r.Func("Scale10")
+	g, _ := r.Func("Unscale10")
+	e, err := FromFunc(f, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := e.Map(array.Coord{7, 8})
+	if out[0].Int != 70 || out[1].Int != 80 {
+		t.Errorf("Map = %v", out)
+	}
+	back, ok := e.Invert(out)
+	if !ok || !back.Equal(array.Coord{7, 8}) {
+		t.Errorf("Invert = %v,%v", back, ok)
+	}
+	// Non-integer input signature rejected.
+	bad := &Func{Name: "b", In: []array.Type{array.TString}, Out: []array.Type{array.TInt64},
+		Body: func(a []array.Value) ([]array.Value, error) { return a, nil }}
+	if _, err := FromFunc(bad, nil); err == nil {
+		t.Error("non-integer enhancement accepted")
+	}
+}
+
+func TestRaggedRowsShape(t *testing.T) {
+	// Row i spans columns 1..i (a triangular array).
+	sh := RaggedRows("tri", 4, func(r int64) (int64, int64) { return 1, r })
+	if !sh.Contains(array.Coord{3, 3}) || sh.Contains(array.Coord{3, 4}) {
+		t.Error("triangle membership wrong")
+	}
+	// shape-function(A[2,*]) returns that slice's bounds.
+	lo, hi := sh.Bounds(1, array.Coord{2, 0})
+	if lo != 1 || hi != 2 {
+		t.Errorf("row-2 bounds = %d,%d", lo, hi)
+	}
+	// shape-function(A[*,*]) returns the envelope: max high-water mark.
+	lo, hi = sh.Bounds(1, array.Coord{0, 0})
+	if lo != 1 || hi != 4 {
+		t.Errorf("envelope = %d,%d", lo, hi)
+	}
+}
+
+func TestCircleShape(t *testing.T) {
+	sh := Circle("c", 5, 5, 3)
+	if !sh.Contains(array.Coord{5, 5}) || !sh.Contains(array.Coord{5, 8}) {
+		t.Error("circle center/edge membership wrong")
+	}
+	if sh.Contains(array.Coord{8, 8}) { // distance sqrt(18) > 3
+		t.Error("corner inside circle")
+	}
+	// Slice bounds at y = 5 (through the center): full diameter.
+	lo, hi := sh.Bounds(0, array.Coord{0, 5})
+	if lo != 2 || hi != 8 {
+		t.Errorf("diameter bounds = %d,%d", lo, hi)
+	}
+}
+
+func TestShapeRestrictsArrayWrites(t *testing.T) {
+	s := &array.Schema{
+		Name:  "ragged",
+		Dims:  []array.Dimension{{Name: "i", High: 4}, {Name: "j", High: 4}},
+		Attrs: []array.Attribute{{Name: "v", Type: array.TInt64}},
+	}
+	a := array.MustNew(s)
+	a.SetShape(RaggedRows("tri", 4, func(r int64) (int64, int64) { return 1, r }))
+	if err := a.Set(array.Coord{2, 2}, array.Cell{array.Int64(1)}); err != nil {
+		t.Errorf("in-shape write rejected: %v", err)
+	}
+	if err := a.Set(array.Coord{2, 3}, array.Cell{array.Int64(1)}); err == nil {
+		t.Error("out-of-shape write accepted")
+	}
+	// Fill only populates in-shape cells: 1+2+3+4 = 10.
+	b := array.MustNew(s)
+	b.SetShape(RaggedRows("tri", 4, func(r int64) (int64, int64) { return 1, r }))
+	_ = b.Fill(func(array.Coord) array.Cell { return array.Cell{array.Int64(1)} })
+	if b.Count() != 10 {
+		t.Errorf("triangular fill count = %d, want 10", b.Count())
+	}
+}
+
+func TestRegistryShapes(t *testing.T) {
+	r := NewRegistry()
+	sh, err := r.Shape("rect", []int64{2, 3, 1, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sh.Contains(array.Coord{2, 5}) || sh.Contains(array.Coord{1, 1}) {
+		t.Error("rect shape wrong")
+	}
+	if _, err := r.Shape("rect", []int64{1}); err == nil {
+		t.Error("odd rect args accepted")
+	}
+	if _, err := r.Shape("circle", []int64{1, 2, 3, 4}); err == nil {
+		t.Error("bad circle args accepted")
+	}
+	if _, err := r.Shape("pentagon", nil); err == nil {
+		t.Error("unknown shape accepted")
+	}
+}
+
+func TestRegistryNames(t *testing.T) {
+	r := NewRegistry()
+	_ = r.RegisterFunc(scale10())
+	_ = r.RegisterFunc(&Func{Name: "abs", In: []array.Type{array.TFloat64}, Out: []array.Type{array.TFloat64},
+		Body: func(a []array.Value) ([]array.Value, error) {
+			return []array.Value{array.Float64(math.Abs(a[0].Float))}, nil
+		}})
+	names := r.Names()
+	if len(names) != 2 || names[0] != "Scale10" || names[1] != "abs" {
+		t.Errorf("Names = %v", names)
+	}
+	if err := r.RegisterFunc(&Func{}); err == nil {
+		t.Error("anonymous function accepted")
+	}
+}
+
+func TestRegistryConcurrentAccess(t *testing.T) {
+	r := NewRegistry()
+	done := make(chan bool)
+	for g := 0; g < 4; g++ {
+		go func(g int) {
+			for i := 0; i < 100; i++ {
+				_ = r.RegisterFunc(&Func{
+					Name: fmt.Sprintf("f%d_%d", g, i),
+					Body: func(a []array.Value) ([]array.Value, error) { return nil, nil },
+				})
+				_, _ = r.Func("f0_0")
+				_ = r.Names()
+			}
+			done <- true
+		}(g)
+	}
+	for g := 0; g < 4; g++ {
+		<-done
+	}
+}
+
+func TestWithHoles(t *testing.T) {
+	// The §2.1 extension: a rectangle with a circular hole.
+	base := Separable("rect", []func() (int64, int64){
+		func() (int64, int64) { return 1, 10 },
+		func() (int64, int64) { return 1, 10 },
+	})
+	sh := WithHoles("holed", base, Circle("hole", 5, 5, 2))
+	if !sh.Contains(array.Coord{1, 1}) {
+		t.Error("corner should be inside")
+	}
+	if sh.Contains(array.Coord{5, 5}) {
+		t.Error("hole center should be outside")
+	}
+	if sh.Contains(array.Coord{11, 5}) {
+		t.Error("beyond base should be outside")
+	}
+	// The envelope is the base's.
+	lo, hi := sh.Bounds(0, array.Coord{0, 0})
+	if lo != 1 || hi != 10 {
+		t.Errorf("bounds = %d,%d", lo, hi)
+	}
+	if sh.Name() != "holed" {
+		t.Errorf("name = %q", sh.Name())
+	}
+}
+
+func TestRingShapeRegistry(t *testing.T) {
+	r := NewRegistry()
+	sh, err := r.Shape("ring", []int64{10, 10, 5, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sh.Contains(array.Coord{10, 10}) {
+		t.Error("ring center (inside the hole) accepted")
+	}
+	if !sh.Contains(array.Coord{10, 14}) {
+		t.Error("annulus point rejected")
+	}
+	if sh.Contains(array.Coord{10, 16}) {
+		t.Error("outside outer radius accepted")
+	}
+	if _, err := r.Shape("ring", []int64{1, 1, 2}); err == nil {
+		t.Error("short args accepted")
+	}
+	if _, err := r.Shape("ring", []int64{1, 1, 2, 5}); err == nil {
+		t.Error("inner >= outer accepted")
+	}
+}
+
+func TestHoledShapeOnArray(t *testing.T) {
+	// Fill an array shaped as a ring; hole cells stay absent.
+	s := &array.Schema{
+		Name:  "ringarr",
+		Dims:  []array.Dimension{{Name: "x", High: 20}, {Name: "y", High: 20}},
+		Attrs: []array.Attribute{{Name: "v", Type: array.TInt64}},
+	}
+	a := array.MustNew(s)
+	r := NewRegistry()
+	sh, _ := r.Shape("ring", []int64{10, 10, 6, 3})
+	a.SetShape(sh)
+	_ = a.Fill(func(array.Coord) array.Cell { return array.Cell{array.Int64(1)} })
+	if a.Exists(array.Coord{10, 10}) {
+		t.Error("hole cell filled")
+	}
+	if !a.Exists(array.Coord{10, 15}) {
+		t.Error("annulus cell missing")
+	}
+	if err := a.Set(array.Coord{10, 10}, array.Cell{array.Int64(9)}); err == nil {
+		t.Error("write into hole accepted")
+	}
+}

@@ -1,0 +1,139 @@
+// Package uncertain implements the paper's §2.13 uncertainty model: every
+// data element may carry an "error bar" (one standard deviation of a normal
+// distribution), and the executor performs interval arithmetic when
+// combining uncertain elements. More sophisticated error models are left to
+// the application, exactly as the paper prescribes.
+//
+// Propagation follows first-order (Gaussian) error propagation for
+// independent errors:
+//
+//	(a±σa) + (b±σb) = (a+b) ± sqrt(σa² + σb²)
+//	(a±σa) − (b±σb) = (a−b) ± sqrt(σa² + σb²)
+//	(a±σa) × (b±σb) = ab ± |ab|·sqrt((σa/a)² + (σb/b)²)
+//	(a±σa) ÷ (b±σb) = a/b ± |a/b|·sqrt((σa/a)² + (σb/b)²)
+//	k·(a±σa)        = ka ± |k|σa
+//
+// which is the standard "error bars + interval arithmetic" the science users
+// requested.
+package uncertain
+
+import (
+	"fmt"
+	"math"
+)
+
+// Value is an uncertain scalar: a mean and one standard deviation.
+type Value struct {
+	Mean  float64
+	Sigma float64
+}
+
+// Exact wraps an exact number (σ = 0).
+func Exact(v float64) Value { return Value{Mean: v} }
+
+// New builds an uncertain value; sigma is stored as an absolute magnitude.
+func New(mean, sigma float64) Value { return Value{Mean: mean, Sigma: math.Abs(sigma)} }
+
+// Add returns v + o with propagated error.
+func (v Value) Add(o Value) Value {
+	return Value{Mean: v.Mean + o.Mean, Sigma: math.Hypot(v.Sigma, o.Sigma)}
+}
+
+// Sub returns v − o with propagated error.
+func (v Value) Sub(o Value) Value {
+	return Value{Mean: v.Mean - o.Mean, Sigma: math.Hypot(v.Sigma, o.Sigma)}
+}
+
+// Mul returns v × o with propagated relative error.
+func (v Value) Mul(o Value) Value {
+	m := v.Mean * o.Mean
+	return Value{Mean: m, Sigma: mulSigma(v, o, m)}
+}
+
+// Div returns v ÷ o with propagated relative error. Division by an exact
+// zero yields ±Inf mean with +Inf sigma.
+func (v Value) Div(o Value) Value {
+	m := v.Mean / o.Mean
+	if o.Mean == 0 {
+		return Value{Mean: m, Sigma: math.Inf(1)}
+	}
+	return Value{Mean: m, Sigma: mulSigma(v, o, m)}
+}
+
+func mulSigma(a, b Value, m float64) float64 {
+	// Relative error combination; handle exact zeros without dividing by 0.
+	var ra, rb float64
+	if a.Mean != 0 {
+		ra = a.Sigma / a.Mean
+	} else if a.Sigma != 0 {
+		// Degenerate: zero mean with nonzero sigma; fall back to absolute
+		// contribution scaled by the partner's mean.
+		return math.Hypot(a.Sigma*b.Mean, b.Sigma*a.Mean)
+	}
+	if b.Mean != 0 {
+		rb = b.Sigma / b.Mean
+	} else if b.Sigma != 0 {
+		return math.Hypot(a.Sigma*b.Mean, b.Sigma*a.Mean)
+	}
+	return math.Abs(m) * math.Hypot(ra, rb)
+}
+
+// Scale returns k·v.
+func (v Value) Scale(k float64) Value {
+	return Value{Mean: k * v.Mean, Sigma: math.Abs(k) * v.Sigma}
+}
+
+// Neg returns −v.
+func (v Value) Neg() Value { return Value{Mean: -v.Mean, Sigma: v.Sigma} }
+
+// Interval returns the k-sigma interval [mean−kσ, mean+kσ].
+func (v Value) Interval(k float64) (lo, hi float64) {
+	return v.Mean - k*v.Sigma, v.Mean + k*v.Sigma
+}
+
+// Overlaps reports whether the k-sigma intervals of two uncertain values
+// overlap — the predicate used for "uncertain" comparisons and spatial
+// joins (the PanSTARRS location-error use case in §2.13).
+func (v Value) Overlaps(o Value, k float64) bool {
+	alo, ahi := v.Interval(k)
+	blo, bhi := o.Interval(k)
+	return ahi >= blo && bhi >= alo
+}
+
+// DefinitelyLess reports whether v < o with the k-sigma intervals disjoint:
+// true only if even the pessimistic bound of v is below the optimistic
+// bound of o.
+func (v Value) DefinitelyLess(o Value, k float64) bool {
+	_, ahi := v.Interval(k)
+	blo, _ := o.Interval(k)
+	return ahi < blo
+}
+
+// String renders "mean±sigma".
+func (v Value) String() string {
+	if v.Sigma == 0 {
+		return fmt.Sprintf("%g", v.Mean)
+	}
+	return fmt.Sprintf("%g±%g", v.Mean, v.Sigma)
+}
+
+// Sum aggregates values with error propagation: the sigma of a sum of
+// independent normals is the root-sum-square of the sigmas.
+func Sum(vs []Value) Value {
+	var mean, varsum float64
+	for _, v := range vs {
+		mean += v.Mean
+		varsum += v.Sigma * v.Sigma
+	}
+	return Value{Mean: mean, Sigma: math.Sqrt(varsum)}
+}
+
+// Mean aggregates values: mean of means with sigma = rss(sigmas)/n.
+func Mean(vs []Value) Value {
+	if len(vs) == 0 {
+		return Value{Mean: math.NaN()}
+	}
+	s := Sum(vs)
+	n := float64(len(vs))
+	return Value{Mean: s.Mean / n, Sigma: s.Sigma / n}
+}

@@ -1,0 +1,160 @@
+package uncertain
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func close(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestAddSub(t *testing.T) {
+	a, b := New(10, 3), New(20, 4)
+	s := a.Add(b)
+	if !close(s.Mean, 30) || !close(s.Sigma, 5) {
+		t.Errorf("Add = %v, want 30±5", s)
+	}
+	d := b.Sub(a)
+	if !close(d.Mean, 10) || !close(d.Sigma, 5) {
+		t.Errorf("Sub = %v, want 10±5", d)
+	}
+}
+
+func TestMulDiv(t *testing.T) {
+	a, b := New(10, 1), New(20, 2) // both 10% relative error
+	m := a.Mul(b)
+	if !close(m.Mean, 200) || !close(m.Sigma, 200*math.Hypot(0.1, 0.1)) {
+		t.Errorf("Mul = %v", m)
+	}
+	d := b.Div(a)
+	if !close(d.Mean, 2) || !close(d.Sigma, 2*math.Hypot(0.1, 0.1)) {
+		t.Errorf("Div = %v", d)
+	}
+}
+
+func TestExactValuesPropagateExactly(t *testing.T) {
+	a, b := Exact(6), Exact(7)
+	if got := a.Mul(b); got.Sigma != 0 || got.Mean != 42 {
+		t.Errorf("exact Mul = %v", got)
+	}
+	if got := a.Add(b); got.Sigma != 0 {
+		t.Errorf("exact Add sigma = %v", got.Sigma)
+	}
+}
+
+func TestDivByZero(t *testing.T) {
+	got := New(1, 0.1).Div(Exact(0))
+	if !math.IsInf(got.Sigma, 1) {
+		t.Errorf("div by zero sigma = %v, want +Inf", got.Sigma)
+	}
+}
+
+func TestZeroMeanMul(t *testing.T) {
+	// Zero mean with nonzero sigma must not produce NaN.
+	got := New(0, 1).Mul(New(5, 0.5))
+	if math.IsNaN(got.Sigma) || math.IsNaN(got.Mean) {
+		t.Errorf("zero-mean Mul produced NaN: %v", got)
+	}
+	if !close(got.Mean, 0) {
+		t.Errorf("mean = %v", got.Mean)
+	}
+	if !close(got.Sigma, 5) { // sigma_a * mean_b dominates
+		t.Errorf("sigma = %v, want 5", got.Sigma)
+	}
+}
+
+func TestScaleNeg(t *testing.T) {
+	v := New(3, 0.5)
+	if got := v.Scale(-2); !close(got.Mean, -6) || !close(got.Sigma, 1) {
+		t.Errorf("Scale = %v", got)
+	}
+	if got := v.Neg(); !close(got.Mean, -3) || !close(got.Sigma, 0.5) {
+		t.Errorf("Neg = %v", got)
+	}
+}
+
+func TestIntervalOverlap(t *testing.T) {
+	a, b := New(0, 1), New(3, 1)
+	if !a.Overlaps(b, 2) { // [−2,2] vs [1,5]
+		t.Error("2σ intervals should overlap")
+	}
+	if a.Overlaps(b, 1) { // [−1,1] vs [2,4]
+		t.Error("1σ intervals should not overlap")
+	}
+	if !a.DefinitelyLess(b, 1) {
+		t.Error("a should be definitely less at 1σ")
+	}
+	if a.DefinitelyLess(b, 2) {
+		t.Error("a is not definitely less at 2σ")
+	}
+}
+
+func TestSumMean(t *testing.T) {
+	vs := []Value{New(1, 3), New(2, 4)}
+	s := Sum(vs)
+	if !close(s.Mean, 3) || !close(s.Sigma, 5) {
+		t.Errorf("Sum = %v", s)
+	}
+	m := Mean(vs)
+	if !close(m.Mean, 1.5) || !close(m.Sigma, 2.5) {
+		t.Errorf("Mean = %v", m)
+	}
+	if !math.IsNaN(Mean(nil).Mean) {
+		t.Error("Mean of empty should be NaN")
+	}
+}
+
+// Properties of Gaussian propagation.
+func TestPropagationProperties(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 200}
+	// Addition is commutative in both mean and sigma.
+	comm := func(a, b, sa, sb float64) bool {
+		sa, sb = math.Abs(math.Mod(sa, 100)), math.Abs(math.Mod(sb, 100))
+		a, b = math.Mod(a, 1e6), math.Mod(b, 1e6)
+		x, y := New(a, sa), New(b, sb)
+		p, q := x.Add(y), y.Add(x)
+		return close(p.Mean, q.Mean) && close(p.Sigma, q.Sigma)
+	}
+	if err := quick.Check(comm, cfg); err != nil {
+		t.Error(err)
+	}
+	// Sigma never decreases under addition of an independent error.
+	mono := func(a, b, sa, sb float64) bool {
+		sa, sb = math.Abs(math.Mod(sa, 100)), math.Abs(math.Mod(sb, 100))
+		x, y := New(math.Mod(a, 1e6), sa), New(math.Mod(b, 1e6), sb)
+		s := x.Add(y)
+		return s.Sigma >= x.Sigma-1e-12 && s.Sigma >= y.Sigma-1e-12
+	}
+	if err := quick.Check(mono, cfg); err != nil {
+		t.Error(err)
+	}
+	// A k-sigma interval always contains the mean.
+	contains := func(a, sa, k float64) bool {
+		sa = math.Abs(math.Mod(sa, 100))
+		k = math.Abs(math.Mod(k, 10))
+		v := New(math.Mod(a, 1e6), sa)
+		lo, hi := v.Interval(k)
+		return lo <= v.Mean && v.Mean <= hi
+	}
+	if err := quick.Check(contains, cfg); err != nil {
+		t.Error(err)
+	}
+	// Overlaps is symmetric.
+	sym := func(a, b, sa, sb float64) bool {
+		sa, sb = math.Abs(math.Mod(sa, 100)), math.Abs(math.Mod(sb, 100))
+		x, y := New(math.Mod(a, 1e6), sa), New(math.Mod(b, 1e6), sb)
+		return x.Overlaps(y, 2) == y.Overlaps(x, 2)
+	}
+	if err := quick.Check(sym, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestString(t *testing.T) {
+	if got := New(3.5, 0.25).String(); got != "3.5±0.25" {
+		t.Errorf("String = %q", got)
+	}
+	if got := Exact(2).String(); got != "2" {
+		t.Errorf("String = %q", got)
+	}
+}

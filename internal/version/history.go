@@ -1,0 +1,304 @@
+// Package version implements SciDB's no-overwrite storage (§2.5) and named
+// versions (§2.11).
+//
+// No-overwrite: scientists never discard data. An updatable array acquires
+// an extra history dimension; the initial load transaction writes cells at
+// history = 1, and every subsequent transaction adds new values (updates,
+// insertions, or deletion flags) at the next history value. Reading a cell
+// at history h resolves the most recent delta at or before h. A wall-clock
+// enhancement maps history integers to commit times so the array can be
+// addressed by conventional time.
+//
+// Named versions: a version V created from base A at time T is identical to
+// A at T and stored as a delta off its parent, consuming essentially no
+// space while empty. Reads look in V's delta first, then walk parents back
+// to a base array, each bounded by the history value recorded at creation.
+package version
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"scidb/internal/array"
+	"scidb/internal/udf"
+)
+
+// cellDelta is one delta entry: a new cell value or a deletion flag
+// ("one would insert a deletion-flag as the delta, indicating the value has
+// been deleted").
+type cellDelta struct {
+	cell    array.Cell
+	deleted bool
+}
+
+// txDelta is the set of cell changes committed by one transaction.
+type txDelta struct {
+	cells map[string]cellDelta
+	coord map[string]array.Coord
+	time  int64 // wall-clock commit time (Unix nanoseconds)
+}
+
+// Updatable is a no-overwrite array: an ordinary schema plus the implicit
+// history dimension. "The fact that Remote is declared to be updatable
+// would allow the system to add the History dimension automatically."
+type Updatable struct {
+	schema *array.Schema // base schema, without the history dimension
+
+	mu     sync.RWMutex
+	deltas []*txDelta // deltas[h-1] is transaction history = h
+}
+
+// NewUpdatable declares an updatable array with the given base schema.
+func NewUpdatable(s *array.Schema) (*Updatable, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if s.DimIndex(array.HistoryDim) >= 0 {
+		return nil, fmt.Errorf("version: schema already has a %s dimension", array.HistoryDim)
+	}
+	cp := s.Clone()
+	cp.Updatable = true
+	return &Updatable{schema: cp}, nil
+}
+
+// Schema returns the base schema (without history).
+func (u *Updatable) Schema() *array.Schema { return u.schema }
+
+// FullSchema returns the schema with the automatic history dimension
+// appended, as a user of the paper's
+//
+//	define updatable Remote_2 (...) (I, J, history)
+//
+// declaration would see it.
+func (u *Updatable) FullSchema() *array.Schema {
+	s := u.schema.Clone()
+	s.Dims = append(s.Dims, array.Dimension{Name: array.HistoryDim, High: array.Unbounded})
+	return s
+}
+
+// History returns the current high-water mark of the history dimension.
+func (u *Updatable) History() int64 {
+	u.mu.RLock()
+	defer u.mu.RUnlock()
+	return int64(len(u.deltas))
+}
+
+// Tx is one no-overwrite transaction: a batch of puts and deletes that
+// commits as the next history value.
+type Tx struct {
+	u     *Updatable
+	cells map[string]cellDelta
+	coord map[string]array.Coord
+	done  bool
+}
+
+// Begin starts a transaction.
+func (u *Updatable) Begin() *Tx {
+	return &Tx{u: u, cells: map[string]cellDelta{}, coord: map[string]array.Coord{}}
+}
+
+// Put records a new value for a cell. The old value is never overwritten;
+// the new value lands at the next history coordinate.
+func (t *Tx) Put(c array.Coord, cell array.Cell) error {
+	if t.done {
+		return fmt.Errorf("version: transaction already committed")
+	}
+	if len(c) != len(t.u.schema.Dims) {
+		return fmt.Errorf("version: coordinate %v has %d dims, want %d", c, len(c), len(t.u.schema.Dims))
+	}
+	if len(cell) != len(t.u.schema.Attrs) {
+		return fmt.Errorf("version: cell has %d values, want %d", len(cell), len(t.u.schema.Attrs))
+	}
+	for i, d := range t.u.schema.Dims {
+		if c[i] < 1 || (d.High != array.Unbounded && c[i] > d.High) {
+			return fmt.Errorf("version: coordinate %v out of bounds in dimension %s", c, d.Name)
+		}
+	}
+	key := c.Key()
+	t.cells[key] = cellDelta{cell: cell.Clone()}
+	t.coord[key] = c.Clone()
+	return nil
+}
+
+// Delete records a deletion flag for a cell. The prior value remains
+// readable at earlier history coordinates (provenance/lineage).
+func (t *Tx) Delete(c array.Coord) error {
+	if t.done {
+		return fmt.Errorf("version: transaction already committed")
+	}
+	key := c.Key()
+	t.cells[key] = cellDelta{deleted: true}
+	t.coord[key] = c.Clone()
+	return nil
+}
+
+// Commit appends the transaction as the next history value and returns it.
+// now is the wall-clock commit time (Unix nanoseconds) recorded for the
+// time enhancement.
+func (t *Tx) Commit(now int64) (int64, error) {
+	if t.done {
+		return 0, fmt.Errorf("version: transaction already committed")
+	}
+	t.done = true
+	t.u.mu.Lock()
+	defer t.u.mu.Unlock()
+	t.u.deltas = append(t.u.deltas, &txDelta{cells: t.cells, coord: t.coord, time: now})
+	return int64(len(t.u.deltas)), nil
+}
+
+// At resolves the cell at base coordinate c as of history h: the most
+// recent delta at or before h. ok is false if the cell never existed or
+// was deleted by then.
+func (u *Updatable) At(c array.Coord, h int64) (array.Cell, bool) {
+	u.mu.RLock()
+	defer u.mu.RUnlock()
+	return u.atLocked(c, h)
+}
+
+func (u *Updatable) atLocked(c array.Coord, h int64) (array.Cell, bool) {
+	if h > int64(len(u.deltas)) {
+		h = int64(len(u.deltas))
+	}
+	key := c.Key()
+	for i := h - 1; i >= 0; i-- {
+		if d, ok := u.deltas[i].cells[key]; ok {
+			if d.deleted {
+				return nil, false
+			}
+			return d.cell, true
+		}
+	}
+	return nil, false
+}
+
+// AtLatest resolves the cell at the newest history value.
+func (u *Updatable) AtLatest(c array.Coord) (array.Cell, bool) {
+	return u.At(c, u.History())
+}
+
+// HistoryEntry is one step of a cell's timeline.
+type HistoryEntry struct {
+	History int64
+	Time    int64
+	Cell    array.Cell
+	Deleted bool
+}
+
+// CellHistory travels along the history dimension of one cell ("a user who
+// starts at a particular cell ... and travels along the history dimension
+// will see the history of activity to the cell").
+func (u *Updatable) CellHistory(c array.Coord) []HistoryEntry {
+	u.mu.RLock()
+	defer u.mu.RUnlock()
+	key := c.Key()
+	var out []HistoryEntry
+	for i, d := range u.deltas {
+		if cd, ok := d.cells[key]; ok {
+			out = append(out, HistoryEntry{
+				History: int64(i + 1),
+				Time:    d.time,
+				Cell:    cd.cell,
+				Deleted: cd.deleted,
+			})
+		}
+	}
+	return out
+}
+
+// AtTime resolves a cell by wall-clock time: the newest transaction
+// committed at or before tm.
+func (u *Updatable) AtTime(c array.Coord, tm int64) (array.Cell, bool) {
+	u.mu.RLock()
+	defer u.mu.RUnlock()
+	h := u.historyAtLocked(tm)
+	if h == 0 {
+		return nil, false
+	}
+	return u.atLocked(c, h)
+}
+
+// HistoryAt returns the history value corresponding to wall-clock time tm.
+func (u *Updatable) HistoryAt(tm int64) int64 {
+	u.mu.RLock()
+	defer u.mu.RUnlock()
+	return u.historyAtLocked(tm)
+}
+
+func (u *Updatable) historyAtLocked(tm int64) int64 {
+	i := sort.Search(len(u.deltas), func(i int) bool { return u.deltas[i].time > tm })
+	return int64(i)
+}
+
+// TimeEnhancement builds the wall-clock enhancement for the history
+// dimension (§2.5), snapshotting current commit times.
+func (u *Updatable) TimeEnhancement(name string) *udf.DimEnhancement {
+	u.mu.RLock()
+	times := make([]int64, len(u.deltas))
+	for i, d := range u.deltas {
+		times[i] = d.time
+	}
+	u.mu.RUnlock()
+	nd := len(u.schema.Dims) + 1
+	return udf.WallClock(name, nd-1, nd, times)
+}
+
+// Snapshot materializes the array as of history h into a plain Array.
+func (u *Updatable) Snapshot(h int64) (*array.Array, error) {
+	u.mu.RLock()
+	defer u.mu.RUnlock()
+	a, err := array.New(u.snapshotSchemaLocked())
+	if err != nil {
+		return nil, err
+	}
+	if h > int64(len(u.deltas)) {
+		h = int64(len(u.deltas))
+	}
+	// Latest delta at or before h wins per cell.
+	resolved := map[string]bool{}
+	for i := h - 1; i >= 0; i-- {
+		d := u.deltas[i]
+		for key, cd := range d.cells {
+			if resolved[key] {
+				continue
+			}
+			resolved[key] = true
+			if cd.deleted {
+				continue
+			}
+			if err := a.Set(d.coord[key], cd.cell); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return a, nil
+}
+
+func (u *Updatable) snapshotSchemaLocked() *array.Schema {
+	s := u.schema.Clone()
+	s.Name = u.schema.Name + "_snapshot"
+	return s
+}
+
+// DeltaBytes estimates the space consumed by all deltas, for the HIST and
+// VER experiments.
+func (u *Updatable) DeltaBytes() int64 {
+	u.mu.RLock()
+	defer u.mu.RUnlock()
+	var n int64
+	for _, d := range u.deltas {
+		n += deltaBytes(d)
+	}
+	return n
+}
+
+func deltaBytes(d *txDelta) int64 {
+	var n int64 = 16
+	for key, cd := range d.cells {
+		n += int64(len(key)) + 8*int64(len(d.coord[key])) + 1
+		for _, v := range cd.cell {
+			n += 16 + int64(len(v.Str))
+		}
+	}
+	return n
+}

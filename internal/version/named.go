@@ -1,0 +1,192 @@
+package version
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"scidb/internal/array"
+)
+
+// Version is a named version (§2.11): an alternative view of a parent array
+// created at a specific time. "Since V is stored as a delta off its parent
+// A, it consumes essentially no space, and the new array is empty.
+// Thereafter, any modifications to V go into this array."
+type Version struct {
+	Name string
+	// parent is the enclosing version, or nil when the parent is the base.
+	parent *Version
+	// base is the root updatable array of the tree.
+	base *Updatable
+	// parentHistory is the parent's history value recorded at creation
+	// ("the time T is recorded"; at T the version is identical to A).
+	parentHistory int64
+	// own holds this version's modifications as a no-overwrite delta array.
+	own *Updatable
+}
+
+// Tree manages the tree of named versions hanging off one base array
+// ("hanging off any base array is a tree of named versions, each with its
+// delta recorded").
+type Tree struct {
+	mu       sync.RWMutex
+	base     *Updatable
+	versions map[string]*Version
+}
+
+// NewTree creates a version tree rooted at the base updatable array.
+func NewTree(base *Updatable) *Tree {
+	return &Tree{base: base, versions: map[string]*Version{}}
+}
+
+// Base returns the root array.
+func (t *Tree) Base() *Updatable { return t.base }
+
+// Create defines a named version from the base or another named version.
+// parentName == "" means the base array. The new version snapshots the
+// parent's current history value as its branch point.
+func (t *Tree) Create(name, parentName string) (*Version, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if name == "" {
+		return nil, fmt.Errorf("version: version needs a name")
+	}
+	if _, exists := t.versions[name]; exists {
+		return nil, fmt.Errorf("version: version %q already exists", name)
+	}
+	own, err := NewUpdatable(t.base.Schema())
+	if err != nil {
+		return nil, err
+	}
+	v := &Version{Name: name, base: t.base, own: own}
+	if parentName == "" {
+		v.parentHistory = t.base.History()
+	} else {
+		p, ok := t.versions[parentName]
+		if !ok {
+			return nil, fmt.Errorf("version: unknown parent version %q", parentName)
+		}
+		v.parent = p
+		v.parentHistory = p.own.History()
+	}
+	t.versions[name] = v
+	return v, nil
+}
+
+// Get looks up a named version.
+func (t *Tree) Get(name string) (*Version, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	v, ok := t.versions[name]
+	if !ok {
+		return nil, fmt.Errorf("version: unknown version %q", name)
+	}
+	return v, nil
+}
+
+// Names lists versions in sorted order.
+func (t *Tree) Names() []string {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]string, 0, len(t.versions))
+	for n := range t.versions {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Drop removes a named version. Dropping a version with children is
+// rejected to keep the tree consistent.
+func (t *Tree) Drop(name string) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	v, ok := t.versions[name]
+	if !ok {
+		return fmt.Errorf("version: unknown version %q", name)
+	}
+	for _, o := range t.versions {
+		if o.parent == v {
+			return fmt.Errorf("version: version %q has child %q", name, o.Name)
+		}
+	}
+	delete(t.versions, name)
+	return nil
+}
+
+// Begin starts a modification transaction against this version; commits go
+// into the version's own delta array, never the parent.
+func (v *Version) Begin() *Tx { return v.own.Begin() }
+
+// At resolves a cell in the version: "it will first look in the delta array
+// for V for the most recent value along the history dimension. If there is
+// no value in V, it will then look for the most recent value along the
+// history dimension in A. In turn, if A is a version, it will repeat this
+// process until it reaches a base array."
+func (v *Version) At(c array.Coord) (array.Cell, bool) {
+	return v.atDepth(c, v.own.History())
+}
+
+func (v *Version) atDepth(c array.Coord, h int64) (array.Cell, bool) {
+	key := c.Key()
+	v.own.mu.RLock()
+	limit := h
+	if limit > int64(len(v.own.deltas)) {
+		limit = int64(len(v.own.deltas))
+	}
+	for i := limit - 1; i >= 0; i-- {
+		if d, ok := v.own.deltas[i].cells[key]; ok {
+			v.own.mu.RUnlock()
+			if d.deleted {
+				return nil, false
+			}
+			return d.cell, true
+		}
+	}
+	v.own.mu.RUnlock()
+	if v.parent != nil {
+		return v.parent.atDepth(c, v.parentHistory)
+	}
+	return v.base.At(c, v.parentHistory)
+}
+
+// History returns the version's own history high-water mark.
+func (v *Version) History() int64 { return v.own.History() }
+
+// DeltaBytes reports the space consumed by this version's own deltas —
+// the quantity the paper claims is "essentially no space" at creation.
+func (v *Version) DeltaBytes() int64 { return v.own.DeltaBytes() }
+
+// Depth returns the number of parents between this version and the base.
+func (v *Version) Depth() int {
+	d := 1
+	for p := v.parent; p != nil; p = p.parent {
+		d++
+	}
+	return d
+}
+
+// Materialize resolves every cell of a bounded version into a plain array
+// (used by the provenance cache and the VER experiment).
+func (v *Version) Materialize() (*array.Array, error) {
+	s := v.base.Schema().Clone()
+	s.Name = v.Name + "_materialized"
+	if s.CellCount() < 0 {
+		return nil, fmt.Errorf("version: cannot materialize unbounded version %q", v.Name)
+	}
+	a, err := array.New(s)
+	if err != nil {
+		return nil, err
+	}
+	var werr error
+	array.IterBox(array.WholeBox(s), func(c array.Coord) bool {
+		if cell, ok := v.At(c); ok {
+			if err := a.Set(c.Clone(), cell); err != nil {
+				werr = err
+				return false
+			}
+		}
+		return true
+	})
+	return a, werr
+}

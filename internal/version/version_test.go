@@ -1,0 +1,391 @@
+package version
+
+import (
+	"testing"
+
+	"scidb/internal/array"
+)
+
+func baseSchema() *array.Schema {
+	return &array.Schema{
+		Name:  "Remote_2",
+		Dims:  []array.Dimension{{Name: "I", High: 16}, {Name: "J", High: 16}},
+		Attrs: []array.Attribute{{Name: "s1", Type: array.TFloat64}},
+	}
+}
+
+func mustCommit(t *testing.T, tx *Tx, now int64) int64 {
+	t.Helper()
+	h, err := tx.Commit(now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func TestNoOverwriteBasics(t *testing.T) {
+	u, err := NewUpdatable(baseSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Initial transaction adds values at history = 1.
+	tx := u.Begin()
+	_ = tx.Put(array.Coord{2, 2}, array.Cell{array.Float64(1.0)})
+	_ = tx.Put(array.Coord{3, 3}, array.Cell{array.Float64(9.0)})
+	if h := mustCommit(t, tx, 1000); h != 1 {
+		t.Fatalf("first commit history = %d, want 1", h)
+	}
+	// Second transaction updates (2,2) at history = 2; the old value stays.
+	tx = u.Begin()
+	_ = tx.Put(array.Coord{2, 2}, array.Cell{array.Float64(2.0)})
+	if h := mustCommit(t, tx, 2000); h != 2 {
+		t.Fatalf("second commit history = %d, want 2", h)
+	}
+
+	// [x=2, y=2, history=1] then history=2 shows the cell's history.
+	c1, ok := u.At(array.Coord{2, 2}, 1)
+	if !ok || c1[0].Float != 1.0 {
+		t.Errorf("At(h=1) = %v,%v; want 1.0", c1, ok)
+	}
+	c2, ok := u.At(array.Coord{2, 2}, 2)
+	if !ok || c2[0].Float != 2.0 {
+		t.Errorf("At(h=2) = %v,%v; want 2.0", c2, ok)
+	}
+	// Untouched cell resolves through older history.
+	c3, ok := u.At(array.Coord{3, 3}, 2)
+	if !ok || c3[0].Float != 9.0 {
+		t.Errorf("untouched cell at h=2 = %v,%v; want 9.0", c3, ok)
+	}
+	// Before any commit: absent.
+	if _, ok := u.At(array.Coord{2, 2}, 0); ok {
+		t.Error("cell present at history 0")
+	}
+}
+
+func TestDeletionFlag(t *testing.T) {
+	u, _ := NewUpdatable(baseSchema())
+	tx := u.Begin()
+	_ = tx.Put(array.Coord{1, 1}, array.Cell{array.Float64(5)})
+	mustCommit(t, tx, 1)
+	tx = u.Begin()
+	_ = tx.Delete(array.Coord{1, 1})
+	mustCommit(t, tx, 2)
+
+	if _, ok := u.AtLatest(array.Coord{1, 1}); ok {
+		t.Error("deleted cell still visible at latest")
+	}
+	// Old value retained for provenance.
+	if c, ok := u.At(array.Coord{1, 1}, 1); !ok || c[0].Float != 5 {
+		t.Error("pre-delete value lost")
+	}
+	hist := u.CellHistory(array.Coord{1, 1})
+	if len(hist) != 2 || hist[0].Deleted || !hist[1].Deleted {
+		t.Errorf("history = %+v", hist)
+	}
+}
+
+func TestCellHistoryTravel(t *testing.T) {
+	u, _ := NewUpdatable(baseSchema())
+	for i := 1; i <= 5; i++ {
+		tx := u.Begin()
+		_ = tx.Put(array.Coord{4, 4}, array.Cell{array.Float64(float64(i))})
+		mustCommit(t, tx, int64(i*100))
+	}
+	hist := u.CellHistory(array.Coord{4, 4})
+	if len(hist) != 5 {
+		t.Fatalf("history length = %d, want 5", len(hist))
+	}
+	for i, h := range hist {
+		if h.History != int64(i+1) || h.Cell[0].Float != float64(i+1) || h.Time != int64((i+1)*100) {
+			t.Errorf("entry %d = %+v", i, h)
+		}
+	}
+}
+
+func TestWallClockAddressing(t *testing.T) {
+	u, _ := NewUpdatable(baseSchema())
+	tx := u.Begin()
+	_ = tx.Put(array.Coord{1, 1}, array.Cell{array.Float64(1)})
+	mustCommit(t, tx, 1000)
+	tx = u.Begin()
+	_ = tx.Put(array.Coord{1, 1}, array.Cell{array.Float64(2)})
+	mustCommit(t, tx, 2000)
+
+	if c, ok := u.AtTime(array.Coord{1, 1}, 1500); !ok || c[0].Float != 1 {
+		t.Errorf("AtTime(1500) = %v,%v; want 1", c, ok)
+	}
+	if c, ok := u.AtTime(array.Coord{1, 1}, 2000); !ok || c[0].Float != 2 {
+		t.Errorf("AtTime(2000) = %v,%v; want 2", c, ok)
+	}
+	if _, ok := u.AtTime(array.Coord{1, 1}, 500); ok {
+		t.Error("value visible before first commit")
+	}
+	if h := u.HistoryAt(1999); h != 1 {
+		t.Errorf("HistoryAt(1999) = %d, want 1", h)
+	}
+	// The enhancement function maps history to wall clock.
+	e := u.TimeEnhancement("clock")
+	out := e.Map(array.Coord{1, 1, 2})
+	if out[0].Int != 2000 {
+		t.Errorf("enhancement Map = %v", out)
+	}
+}
+
+func TestFullSchemaAddsHistoryDim(t *testing.T) {
+	u, _ := NewUpdatable(baseSchema())
+	fs := u.FullSchema()
+	if fs.DimIndex("history") != 2 {
+		t.Errorf("history dim missing: %v", fs.Dims)
+	}
+	if fs.Dims[2].High != array.Unbounded {
+		t.Error("history dim should be unbounded")
+	}
+	// Declaring a schema that already has history fails.
+	s := baseSchema()
+	s.Dims = append(s.Dims, array.Dimension{Name: "history", High: array.Unbounded})
+	if _, err := NewUpdatable(s); err == nil {
+		t.Error("duplicate history dim accepted")
+	}
+}
+
+func TestTxValidation(t *testing.T) {
+	u, _ := NewUpdatable(baseSchema())
+	tx := u.Begin()
+	if err := tx.Put(array.Coord{1}, array.Cell{array.Float64(0)}); err == nil {
+		t.Error("wrong dims accepted")
+	}
+	if err := tx.Put(array.Coord{1, 1}, array.Cell{}); err == nil {
+		t.Error("wrong attr count accepted")
+	}
+	if err := tx.Put(array.Coord{99, 1}, array.Cell{array.Float64(0)}); err == nil {
+		t.Error("out of bounds accepted")
+	}
+	mustCommit(t, tx, 1)
+	if err := tx.Put(array.Coord{1, 1}, array.Cell{array.Float64(0)}); err == nil {
+		t.Error("put after commit accepted")
+	}
+	if _, err := tx.Commit(2); err == nil {
+		t.Error("double commit accepted")
+	}
+}
+
+func TestSnapshot(t *testing.T) {
+	u, _ := NewUpdatable(baseSchema())
+	tx := u.Begin()
+	_ = tx.Put(array.Coord{1, 1}, array.Cell{array.Float64(1)})
+	_ = tx.Put(array.Coord{2, 2}, array.Cell{array.Float64(2)})
+	mustCommit(t, tx, 1)
+	tx = u.Begin()
+	_ = tx.Put(array.Coord{1, 1}, array.Cell{array.Float64(10)})
+	_ = tx.Delete(array.Coord{2, 2})
+	mustCommit(t, tx, 2)
+
+	s1, err := u.Snapshot(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c, ok := s1.At(array.Coord{1, 1}); !ok || c[0].Float != 1 {
+		t.Error("snapshot(1) wrong at (1,1)")
+	}
+	if !s1.Exists(array.Coord{2, 2}) {
+		t.Error("snapshot(1) missing (2,2)")
+	}
+	s2, err := u.Snapshot(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c, ok := s2.At(array.Coord{1, 1}); !ok || c[0].Float != 10 {
+		t.Error("snapshot(2) wrong at (1,1)")
+	}
+	if s2.Exists(array.Coord{2, 2}) {
+		t.Error("snapshot(2) shows deleted cell")
+	}
+}
+
+func TestNamedVersionBasics(t *testing.T) {
+	u, _ := NewUpdatable(baseSchema())
+	tx := u.Begin()
+	_ = tx.Put(array.Coord{1, 1}, array.Cell{array.Float64(100)})
+	mustCommit(t, tx, 1)
+
+	tree := NewTree(u)
+	v, err := tree.Create("el-nino-study", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At creation the version is identical to the base and consumes
+	// essentially no space.
+	if c, ok := v.At(array.Coord{1, 1}); !ok || c[0].Float != 100 {
+		t.Errorf("fresh version At = %v,%v; want base value", c, ok)
+	}
+	if v.DeltaBytes() != 0 {
+		t.Errorf("fresh version consumes %d bytes, want 0", v.DeltaBytes())
+	}
+	// Modifications go into the version's delta, not the base.
+	tx2 := v.Begin()
+	_ = tx2.Put(array.Coord{1, 1}, array.Cell{array.Float64(200)})
+	mustCommit(t, tx2, 2)
+	if c, _ := v.At(array.Coord{1, 1}); c[0].Float != 200 {
+		t.Error("version modification invisible")
+	}
+	if c, _ := u.AtLatest(array.Coord{1, 1}); c[0].Float != 100 {
+		t.Error("version modification leaked into base")
+	}
+}
+
+func TestVersionSnapshotIsolation(t *testing.T) {
+	// Changes to the base AFTER version creation are invisible to the
+	// version: at time T the version equals A-as-of-T.
+	u, _ := NewUpdatable(baseSchema())
+	tx := u.Begin()
+	_ = tx.Put(array.Coord{5, 5}, array.Cell{array.Float64(1)})
+	mustCommit(t, tx, 1)
+	tree := NewTree(u)
+	v, _ := tree.Create("v1", "")
+	tx = u.Begin()
+	_ = tx.Put(array.Coord{5, 5}, array.Cell{array.Float64(2)})
+	mustCommit(t, tx, 2)
+	if c, _ := v.At(array.Coord{5, 5}); c[0].Float != 1 {
+		t.Errorf("version sees post-creation base change: %v", c)
+	}
+}
+
+func TestVersionTreeChain(t *testing.T) {
+	u, _ := NewUpdatable(baseSchema())
+	tx := u.Begin()
+	_ = tx.Put(array.Coord{1, 1}, array.Cell{array.Float64(1)})
+	_ = tx.Put(array.Coord{2, 2}, array.Cell{array.Float64(2)})
+	_ = tx.Put(array.Coord{3, 3}, array.Cell{array.Float64(3)})
+	mustCommit(t, tx, 1)
+	tree := NewTree(u)
+	v1, _ := tree.Create("v1", "")
+	tx = v1.Begin()
+	_ = tx.Put(array.Coord{2, 2}, array.Cell{array.Float64(22)})
+	mustCommit(t, tx, 2)
+	v2, err := tree.Create("v2", "v1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx = v2.Begin()
+	_ = tx.Put(array.Coord{3, 3}, array.Cell{array.Float64(33)})
+	mustCommit(t, tx, 3)
+
+	// v2 resolves: own delta -> v1 delta -> base.
+	if c, _ := v2.At(array.Coord{3, 3}); c[0].Float != 33 {
+		t.Error("own delta not found")
+	}
+	if c, _ := v2.At(array.Coord{2, 2}); c[0].Float != 22 {
+		t.Error("parent delta not found")
+	}
+	if c, _ := v2.At(array.Coord{1, 1}); c[0].Float != 1 {
+		t.Error("base value not found")
+	}
+	if v2.Depth() != 2 {
+		t.Errorf("depth = %d, want 2", v2.Depth())
+	}
+	// v1 changes after v2's creation are invisible to v2.
+	tx = v1.Begin()
+	_ = tx.Put(array.Coord{1, 1}, array.Cell{array.Float64(111)})
+	mustCommit(t, tx, 4)
+	if c, _ := v2.At(array.Coord{1, 1}); c[0].Float != 1 {
+		t.Error("v2 sees v1 change made after branching")
+	}
+}
+
+func TestVersionDeleteShadowsParent(t *testing.T) {
+	u, _ := NewUpdatable(baseSchema())
+	tx := u.Begin()
+	_ = tx.Put(array.Coord{1, 1}, array.Cell{array.Float64(1)})
+	mustCommit(t, tx, 1)
+	tree := NewTree(u)
+	v, _ := tree.Create("v", "")
+	tx = v.Begin()
+	_ = tx.Delete(array.Coord{1, 1})
+	mustCommit(t, tx, 2)
+	if _, ok := v.At(array.Coord{1, 1}); ok {
+		t.Error("deleted-in-version cell visible")
+	}
+	if _, ok := u.AtLatest(array.Coord{1, 1}); !ok {
+		t.Error("version delete leaked into base")
+	}
+}
+
+func TestTreeManagement(t *testing.T) {
+	u, _ := NewUpdatable(baseSchema())
+	tree := NewTree(u)
+	if _, err := tree.Create("", ""); err == nil {
+		t.Error("empty name accepted")
+	}
+	v1, _ := tree.Create("a", "")
+	if _, err := tree.Create("a", ""); err == nil {
+		t.Error("duplicate name accepted")
+	}
+	if _, err := tree.Create("b", "ghost"); err == nil {
+		t.Error("unknown parent accepted")
+	}
+	_, _ = tree.Create("b", "a")
+	names := tree.Names()
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Errorf("Names = %v", names)
+	}
+	got, err := tree.Get("a")
+	if err != nil || got != v1 {
+		t.Error("Get wrong")
+	}
+	if err := tree.Drop("a"); err == nil {
+		t.Error("dropping version with child accepted")
+	}
+	if err := tree.Drop("b"); err != nil {
+		t.Error(err)
+	}
+	if err := tree.Drop("a"); err != nil {
+		t.Error(err)
+	}
+	if err := tree.Drop("zzz"); err == nil {
+		t.Error("dropping unknown version accepted")
+	}
+}
+
+func TestMaterialize(t *testing.T) {
+	u, _ := NewUpdatable(baseSchema())
+	tx := u.Begin()
+	_ = tx.Put(array.Coord{1, 1}, array.Cell{array.Float64(1)})
+	_ = tx.Put(array.Coord{2, 2}, array.Cell{array.Float64(2)})
+	mustCommit(t, tx, 1)
+	tree := NewTree(u)
+	v, _ := tree.Create("m", "")
+	tx = v.Begin()
+	_ = tx.Put(array.Coord{2, 2}, array.Cell{array.Float64(20)})
+	mustCommit(t, tx, 2)
+	m, err := v.Materialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Count() != 2 {
+		t.Fatalf("materialized cells = %d, want 2", m.Count())
+	}
+	if c, _ := m.At(array.Coord{2, 2}); c[0].Float != 20 {
+		t.Error("materialized value wrong")
+	}
+}
+
+func TestDeltaBytesGrowWithChanges(t *testing.T) {
+	u, _ := NewUpdatable(baseSchema())
+	tx := u.Begin()
+	for i := int64(1); i <= 16; i++ {
+		_ = tx.Put(array.Coord{i, 1}, array.Cell{array.Float64(0)})
+	}
+	mustCommit(t, tx, 1)
+	before := u.DeltaBytes()
+	tx = u.Begin()
+	_ = tx.Put(array.Coord{1, 1}, array.Cell{array.Float64(1)})
+	mustCommit(t, tx, 2)
+	after := u.DeltaBytes()
+	if after <= before {
+		t.Error("delta bytes did not grow")
+	}
+	// A 1-cell update costs far less than the initial 16-cell load.
+	if after-before >= before {
+		t.Errorf("1-cell delta (%d) should be much smaller than 16-cell load (%d)", after-before, before)
+	}
+}

@@ -1,0 +1,183 @@
+// Package scidb is a from-scratch Go implementation of the array DBMS
+// described in "Requirements for Science Data Bases and SciDB" (CIDR 2009):
+// a multi-dimensional nested array data model with structural and
+// content-dependent operators, POSTGRES-style extensibility, no-overwrite
+// storage with a history dimension, named versions, provenance tracing,
+// first-class uncertainty, a shared-nothing grid, in-situ data access, and
+// the text (AQL) and Go language bindings that both map to one parse-tree
+// command representation.
+//
+// Quick start:
+//
+//	db := scidb.Open()
+//	db.Exec("define array Remote (s1 = float) (I, J)")
+//	db.Exec("create array M as Remote [1024, 1024]")
+//	res, _ := db.Run(scidb.Scan("M").
+//		Filter(scidb.Attr("s1").Gt(scidb.Num(0.5))).
+//		Aggregate([]string{"J"}, scidb.Sum("s1")).Q())
+package scidb
+
+import (
+	"io"
+
+	"scidb/internal/array"
+	"scidb/internal/core"
+	"scidb/internal/parser"
+	"scidb/internal/provenance"
+	"scidb/internal/udf"
+	"scidb/internal/uncertain"
+	"scidb/internal/version"
+)
+
+// Re-exported model types: the array data model of §2.1.
+type (
+	// Value is one attribute value of one cell.
+	Value = array.Value
+	// Cell is one cell's record.
+	Cell = array.Cell
+	// Coord addresses a cell.
+	Coord = array.Coord
+	// Box is a rectangular coordinate region.
+	Box = array.Box
+	// Schema describes an array type.
+	Schema = array.Schema
+	// Dimension is one named dimension.
+	Dimension = array.Dimension
+	// Attribute is one cell-record field.
+	Attribute = array.Attribute
+	// Array is a physical array instance.
+	Array = array.Array
+	// Type identifies a scalar or nested attribute type.
+	Type = array.Type
+	// Result is a statement outcome.
+	Result = core.Result
+	// UDF is a registered user-defined function.
+	UDF = udf.Func
+	// Aggregate is the accumulator interface user-defined aggregates
+	// implement (POSTGRES-style, §2.1).
+	Aggregate = udf.Aggregate
+	// Uncertain is an error-bar value with Gaussian propagation (§2.13).
+	Uncertain = uncertain.Value
+	// Updatable is a no-overwrite array (§2.5).
+	Updatable = version.Updatable
+	// VersionTree manages named versions (§2.11).
+	VersionTree = version.Tree
+	// CellRef identifies a data element for provenance queries (§2.12).
+	CellRef = provenance.CellRef
+)
+
+// Attribute type constants.
+const (
+	TInt64   = array.TInt64
+	TFloat64 = array.TFloat64
+	TString  = array.TString
+	TBool    = array.TBool
+	TArray   = array.TArray
+)
+
+// Unbounded marks a "*" dimension.
+const Unbounded = array.Unbounded
+
+// Value constructors.
+var (
+	// Int builds an int64 value.
+	Int = array.Int64
+	// Float builds a float64 value.
+	Float = array.Float64
+	// Str builds a string value.
+	Str = array.String64
+	// Bool builds a bool value.
+	Bool = array.Bool64
+	// UncertainFloat builds a value with an error bar.
+	UncertainFloat = array.UncertainFloat
+	// Null builds a NULL of the given type.
+	Null = array.NullValue
+	// NestedArray wraps an array as a cell value.
+	NestedArray = array.Nested
+)
+
+// DB is a SciDB engine instance.
+type DB struct {
+	core *core.Database
+}
+
+// Open creates an empty database.
+func Open() *DB { return &DB{core: core.Open()} }
+
+// Exec parses and executes one AQL statement.
+func (db *DB) Exec(src string) (*Result, error) { return db.core.Exec(src) }
+
+// Run executes a fluent-binding query. Both Exec and Run feed the same
+// parse-tree executor (§2.4's single command representation).
+func (db *DB) Run(q Query) (*Result, error) {
+	stmt, err := q.stmt()
+	if err != nil {
+		return nil, err
+	}
+	return db.core.Run(stmt)
+}
+
+// Array fetches a stored plain array.
+func (db *DB) Array(name string) (*Array, error) { return db.core.Array(name) }
+
+// PutArray registers an externally built array.
+func (db *DB) PutArray(name string, a *Array) error { return db.core.PutArray(name, a) }
+
+// Updatable fetches a no-overwrite array.
+func (db *DB) Updatable(name string) (*Updatable, error) { return db.core.Updatable(name) }
+
+// VersionTree fetches an updatable array's named-version tree.
+func (db *DB) VersionTree(name string) (*VersionTree, error) { return db.core.VersionTree(name) }
+
+// Drop removes an array.
+func (db *DB) Drop(name string) error { return db.core.Drop(name) }
+
+// Names lists stored arrays.
+func (db *DB) Names() []string { return db.core.Names() }
+
+// RegisterUDF adds a user-defined function (§2.3; Go body substitutes for
+// the paper's C++ object code — see DESIGN.md).
+func (db *DB) RegisterUDF(f *UDF) error { return db.core.Registry().RegisterFunc(f) }
+
+// UDFNames lists registered user-defined functions (the shell's \df).
+func (db *DB) UDFNames() []string { return db.core.Registry().Names() }
+
+// RegisterAggregate adds a user-defined aggregate.
+func (db *DB) RegisterAggregate(name string, fac func() Aggregate) {
+	db.core.Registry().RegisterAggregate(name, udf.AggregateFactory(fac))
+}
+
+// ProvenanceCommands lists the provenance log in execution order (the
+// shell's \prov command).
+func (db *DB) ProvenanceCommands() []*provenance.Command {
+	return db.core.Provenance().Commands()
+}
+
+// SaveProvenance serializes the command log as JSON lines (provenance must
+// outlive processes: §2.6 expects multi-decade support).
+func (db *DB) SaveProvenance(w io.Writer) error { return db.core.Provenance().Save(w) }
+
+// TraceBack answers §2.12 requirement 1 for a data element.
+func (db *DB) TraceBack(ref CellRef) ([]provenance.Step, error) {
+	return db.core.Provenance().TraceBack(ref)
+}
+
+// TraceForward answers §2.12 requirement 2 for a data element.
+func (db *DB) TraceForward(ref CellRef) ([]CellRef, error) {
+	return db.core.Provenance().TraceForward(ref)
+}
+
+// ReDerive completes the §2.12 workflow: after the cell at ref has been
+// corrected, every downstream element whose value depends on it is
+// recomputed via qualified re-runs of the logged commands, touching only
+// the affected coordinates. It returns the recomputed elements.
+func (db *DB) ReDerive(ref CellRef) ([]CellRef, error) { return db.core.ReDerive(ref) }
+
+// SetClock overrides commit timestamps (deterministic tests/benches).
+func (db *DB) SetClock(now func() int64) { db.core.SetClock(now) }
+
+// Render draws an array the way the paper's figures do.
+func Render(a *Array) string { return array.Render(a) }
+
+// Parse exposes the AQL front end (returns the parse tree representation).
+func Parse(src string) (parser.Stmt, error) { return parser.Parse(src) }

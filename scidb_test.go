@@ -1,0 +1,270 @@
+package scidb
+
+import (
+	"strings"
+	"testing"
+)
+
+func fill4x4(t *testing.T, db *DB, name string) {
+	t.Helper()
+	if _, err := db.Exec("define array T_" + name + " (v = int64) (x, y)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec("create array " + name + " as T_" + name + " [4, 4]"); err != nil {
+		t.Fatal(err)
+	}
+	a, err := db.Array(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Fill(func(c Coord) Cell { return Cell{Int(c[0] * c[1])} }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFluentBindingMatchesAQL(t *testing.T) {
+	db := Open()
+	fill4x4(t, db, "A")
+
+	// Same query through both bindings: they share the parse-tree executor.
+	viaText, err := db.Exec("aggregate(filter(A, v > 4), {y}, count(v))")
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaGo, err := db.Run(Scan("A").
+		Filter(Attr("v").Gt(IntLit(4))).
+		Aggregate([]string{"y"}, Count("v")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for y := int64(1); y <= 4; y++ {
+		a, aok := viaText.Array.At(Coord{y})
+		b, bok := viaGo.Array.At(Coord{y})
+		if aok != bok || (aok && a[0].Int != b[0].Int) {
+			t.Errorf("y=%d: text=%v,%v go=%v,%v", y, a, aok, b, bok)
+		}
+	}
+}
+
+func TestFluentSubsampleChain(t *testing.T) {
+	db := Open()
+	fill4x4(t, db, "A")
+	res, err := db.Run(Scan("A").SubsampleEven("x").Subsample("y", "<", 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Array.Hwm(0) != 2 || res.Array.Hwm(1) != 2 {
+		t.Errorf("bounds = %d x %d", res.Array.Hwm(0), res.Array.Hwm(1))
+	}
+	cell, ok := res.Array.At(Coord{2, 1}) // orig x=4, y=1 -> 4
+	if !ok || cell[0].Int != 4 {
+		t.Errorf("cell = %v,%v", cell, ok)
+	}
+}
+
+func TestFluentApplyProjectStore(t *testing.T) {
+	db := Open()
+	fill4x4(t, db, "A")
+	_, err := Scan("A").
+		Apply("double", Attr("v").Mul(IntLit(2))).
+		Apply("xc", Dim("x")).
+		Project("double").
+		StoreInto("B").
+		Run(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := db.Array("B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cell, ok := b.At(Coord{3, 4})
+	if !ok || cell[0].Int != 24 {
+		t.Errorf("B[3,4] = %v,%v", cell, ok)
+	}
+}
+
+func TestFluentJoins(t *testing.T) {
+	db := Open()
+	_, _ = db.Exec("define array V (val = int64) (x)")
+	_, _ = db.Exec("create array L as V [2]")
+	_, _ = db.Exec("define array W (val = int64) (y)")
+	_, _ = db.Exec("create array R as W [2]")
+	for i := int64(1); i <= 2; i++ {
+		l, _ := db.Array("L")
+		r, _ := db.Array("R")
+		_ = l.Set(Coord{i}, Cell{Int(i)})
+		_ = r.Set(Coord{i}, Cell{Int(i)})
+	}
+	// Figure 1 through the Go binding.
+	res, err := db.Run(Scan("L").Sjoin(Scan("R"), []string{"x"}, []string{"y"}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Array.Count() != 2 {
+		t.Errorf("sjoin cells = %d", res.Array.Count())
+	}
+	// Figure 3 through the Go binding.
+	res, err = db.Run(Scan("L").Cjoin(Scan("R"), Attr("L.val").Eq(Attr("R.val"))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cell, ok := res.Array.At(Coord{2, 2})
+	if !ok || cell[0].Int != 2 {
+		t.Errorf("cjoin[2,2] = %v,%v", cell, ok)
+	}
+	cell, ok = res.Array.At(Coord{1, 2})
+	if !ok || !cell[0].Null {
+		t.Errorf("cjoin[1,2] = %v,%v; want NULL", cell, ok)
+	}
+}
+
+func TestFluentRegridReshape(t *testing.T) {
+	db := Open()
+	fill4x4(t, db, "A")
+	res, err := db.Run(Scan("A").Regrid([]int64{2, 2}, Sum("v")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cell, _ := res.Array.At(Coord{1, 1}) // 1+2+2+4
+	if cell[0].Int != 9 {
+		t.Errorf("regrid = %v", cell)
+	}
+	res, err = db.Run(Scan("A").Reshape([]string{"x", "y"}, []string{"i"}, []int64{16}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Array.Count() != 16 {
+		t.Errorf("reshape cells = %d", res.Array.Count())
+	}
+}
+
+func TestFluentErrorPropagation(t *testing.T) {
+	db := Open()
+	fill4x4(t, db, "A")
+	if _, err := db.Run(Scan("A").Subsample("x", "~", 1)); err == nil {
+		t.Error("bad operator accepted")
+	}
+	if _, err := db.Run(Scan("A").Aggregate([]string{"y"})); err == nil {
+		t.Error("empty aggregate accepted")
+	}
+	if _, err := db.Run(Scan("A").Project()); err == nil {
+		t.Error("empty project accepted")
+	}
+	if _, err := db.Run(Scan("A").Sjoin(Scan("A"), []string{"x"}, nil)); err == nil {
+		t.Error("mismatched sjoin lists accepted")
+	}
+	if _, err := db.Run(Scan("Ghost")); err == nil {
+		t.Error("unknown array accepted")
+	}
+	// Error sticks through later combinators.
+	q := Scan("A").Subsample("x", "~", 1).Filter(Attr("v").Gt(Num(0)))
+	if _, err := db.Run(q); err == nil {
+		t.Error("error lost in chain")
+	}
+}
+
+func TestUDFThroughPublicAPI(t *testing.T) {
+	db := Open()
+	fill4x4(t, db, "A")
+	err := db.RegisterUDF(&UDF{
+		Name: "clamp10",
+		In:   []Type{TInt64},
+		Out:  []Type{TInt64},
+		Body: func(args []Value) ([]Value, error) {
+			v := args[0].Int
+			if v > 10 {
+				v = 10
+			}
+			return []Value{Int(v)}, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.Run(Scan("A").Apply("c", CallUDF("clamp10", Attr("v"))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cell, _ := res.Array.At(Coord{4, 4})
+	if cell[1].Int != 10 {
+		t.Errorf("clamped = %v", cell[1])
+	}
+}
+
+func TestUserDefinedAggregateThroughPublicAPI(t *testing.T) {
+	db := Open()
+	fill4x4(t, db, "A")
+	db.RegisterAggregate("range", func() Aggregate { return &rangeAgg{} })
+	res, err := db.Run(Scan("A").Aggregate(nil, Agg("range", "v")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cell, _ := res.Array.At(Coord{1})
+	if cell[0].AsFloat() != 15 { // max 16, min 1
+		t.Errorf("range = %v", cell[0])
+	}
+}
+
+type rangeAgg struct {
+	min, max float64
+	seen     bool
+}
+
+func (a *rangeAgg) Step(v Value) {
+	if v.Null {
+		return
+	}
+	x := v.AsFloat()
+	if !a.seen || x < a.min {
+		a.min = x
+	}
+	if !a.seen || x > a.max {
+		a.max = x
+	}
+	a.seen = true
+}
+
+func (a *rangeAgg) Result() Value {
+	if !a.seen {
+		return Null(TFloat64)
+	}
+	return Float(a.max - a.min)
+}
+
+func TestRenderThroughPublicAPI(t *testing.T) {
+	db := Open()
+	fill4x4(t, db, "A")
+	a, _ := db.Array("A")
+	out := Render(a)
+	if !strings.Contains(out, "x\\y") || !strings.Contains(out, "16") {
+		t.Errorf("render:\n%s", out)
+	}
+}
+
+func TestParsePublicAPI(t *testing.T) {
+	if _, err := Parse("create array A as T [4]"); err != nil {
+		t.Error(err)
+	}
+	if _, err := Parse("not a statement!!!"); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestSaveProvenancePublicAPI(t *testing.T) {
+	db := Open()
+	fill4x4(t, db, "A")
+	if _, err := db.Exec("store regrid(A, [2, 2], sum(v)) into C"); err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	if err := db.SaveProvenance(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"kind":"regrid"`) {
+		t.Errorf("serialized log missing regrid command:\n%s", buf.String())
+	}
+	if len(db.ProvenanceCommands()) != 1 {
+		t.Errorf("commands = %d", len(db.ProvenanceCommands()))
+	}
+}
