@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: all build test race bench experiments
+
+all: build test race
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Race detection over the concurrency-heavy packages (tier-1 verification
+# runs this alongside `test`; the full -race ./... sweep is `race-all`).
+race:
+	$(GO) test -race ./internal/bufcache ./internal/storage ./internal/cluster
+
+.PHONY: race-all
+race-all:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem .
+
+experiments:
+	$(GO) run ./cmd/scidb-bench -quick

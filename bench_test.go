@@ -308,6 +308,72 @@ func BenchmarkStoragePointRead(b *testing.B) {
 	}
 }
 
+// benchDiskStore builds an on-disk store with the sensor grid flushed to
+// compressed buckets. cacheBytes 0 = uncached (every scan pays disk+decode).
+func benchDiskStore(b *testing.B, cacheBytes int64) *storage.Store {
+	b.Helper()
+	s, coords, cells := storeBenchData()
+	st, err := storage.NewStore(s, storage.Options{
+		Dir:        b.TempDir(),
+		Stride:     []int64{32, 32},
+		CacheBytes: cacheBytes,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for k := range coords {
+		_ = st.Put(coords[k], cells[k])
+	}
+	if err := st.Flush(); err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { _ = st.Close() })
+	return st
+}
+
+func benchScanAll(b *testing.B, st *storage.Store) {
+	b.Helper()
+	var n int64
+	if err := st.Scan(array.NewBox(array.Coord{1, 1}, array.Coord{64, 64}), func(array.Coord, array.Cell) bool {
+		n++
+		return true
+	}); err != nil {
+		b.Fatal(err)
+	}
+	if n != 64*64 {
+		b.Fatalf("scan saw %d cells", n)
+	}
+}
+
+// BenchmarkScanCold: no buffer pool — every scan re-reads and re-decompresses
+// all buckets from disk (the pre-pool behaviour).
+func BenchmarkScanCold(b *testing.B) {
+	st := benchDiskStore(b, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchScanAll(b, st)
+	}
+	if st.Stats().BucketsRead < int64(b.N) {
+		b.Fatal("cold benchmark did not hit disk per scan")
+	}
+}
+
+// BenchmarkScanWarm: same workload with the pool primed — zero disk reads in
+// the measured loop. EXPERIMENTS.md records the cold/warm ratio.
+func BenchmarkScanWarm(b *testing.B) {
+	st := benchDiskStore(b, 64<<20)
+	benchScanAll(b, st) // prime the pool
+	primed := st.Stats().BucketsRead
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchScanAll(b, st)
+	}
+	b.StopTimer()
+	if got := st.Stats().BucketsRead - primed; got != 0 {
+		b.Fatalf("warm benchmark performed %d disk reads", got)
+	}
+}
+
 // --- INSITU: box query through the NCL adaptor --------------------------------
 
 func BenchmarkInSituBoxQuery(b *testing.B) {

@@ -2,7 +2,7 @@
 // experiment per figure and quantified claim (see DESIGN.md and
 // EXPERIMENTS.md). With no flags it runs everything at full size.
 //
-//	scidb-bench [-exp ID[,ID...]] [-quick] [-list]
+//	scidb-bench [-exp ID[,ID...]] [-quick] [-list] [-cache-bytes N]
 package main
 
 import (
@@ -18,7 +18,10 @@ func main() {
 	exp := flag.String("exp", "", "comma-separated experiment ids (default: all)")
 	quick := flag.Bool("quick", false, "shrink workloads for a fast smoke run")
 	list := flag.Bool("list", false, "list experiments and exit")
+	cacheBytes := flag.Int64("cache-bytes", 64<<20, "buffer-pool budget for cache-aware experiments")
 	flag.Parse()
+
+	experiments.SetCacheBytes(*cacheBytes)
 
 	if *list {
 		for _, e := range experiments.All() {

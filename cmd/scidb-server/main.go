@@ -4,6 +4,7 @@
 // messages.
 //
 //	scidb-server -listen 127.0.0.1:7101 -id 0
+//	scidb-server -listen 127.0.0.1:7101 -id 0 -persist -data-dir /var/scidb -cache-bytes 268435456
 package main
 
 import (
@@ -11,6 +12,8 @@ import (
 	"fmt"
 	"net"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"scidb/internal/cluster"
 )
@@ -18,6 +21,9 @@ import (
 func main() {
 	listen := flag.String("listen", "127.0.0.1:7101", "address to listen on")
 	id := flag.Int("id", 0, "node id")
+	persist := flag.Bool("persist", false, "back partitions with the bucket store instead of plain arrays")
+	dataDir := flag.String("data-dir", "", "bucket directory root for -persist (empty: in-memory buckets)")
+	cacheBytes := flag.Int64("cache-bytes", 64<<20, "decoded-bucket buffer pool budget for -persist (0 disables)")
 	flag.Parse()
 
 	ln, err := net.Listen("tcp", *listen)
@@ -25,8 +31,27 @@ func main() {
 		fmt.Fprintln(os.Stderr, "listen:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("scidb-server node %d listening on %s\n", *id, ln.Addr())
-	w := cluster.NewWorker(*id)
+	opts := cluster.WorkerOptions{}
+	if *persist {
+		opts = cluster.WorkerOptions{Persist: true, Dir: *dataDir, CacheBytes: *cacheBytes}
+	}
+	w := cluster.NewWorkerWithOptions(*id, opts)
+	mode := "array partitions"
+	if *persist {
+		mode = fmt.Sprintf("store-backed partitions (cache %d bytes)", *cacheBytes)
+	}
+	fmt.Printf("scidb-server node %d listening on %s, %s\n", *id, ln.Addr(), mode)
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sig
+		fmt.Println("scidb-server: shutting down, flushing stores")
+		if err := w.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "close:", err)
+			os.Exit(1)
+		}
+		os.Exit(0)
+	}()
 	if err := cluster.Serve(ln, w); err != nil {
 		fmt.Fprintln(os.Stderr, "serve:", err)
 		os.Exit(1)

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"scidb/internal/array"
+	"scidb/internal/bufcache"
 	"scidb/internal/partition"
 	"scidb/internal/storage"
 )
@@ -117,7 +118,9 @@ func (co *Coordinator) Put(name string, c array.Coord, cell array.Cell) error {
 	return nil
 }
 
-// Flush sends all staged cells to their nodes.
+// Flush sends all staged cells to their nodes, then asks each node to spill
+// the array to durable storage (a no-op for array-backed partitions).
+// Batch-triggered drains skip the spill so stores can build full buckets.
 func (co *Coordinator) Flush(name string) error {
 	co.mu.Lock()
 	defer co.mu.Unlock()
@@ -125,7 +128,15 @@ func (co *Coordinator) Flush(name string) error {
 	if err != nil {
 		return err
 	}
-	return co.flushLocked(da)
+	if err := co.flushLocked(da); err != nil {
+		return err
+	}
+	for n := 0; n < co.t.NumNodes(); n++ {
+		if _, err := co.t.Call(n, &Message{Op: "flush", Array: name}); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func (co *Coordinator) flushLocked(da *DistArray) error {
@@ -435,6 +446,23 @@ func (co *Coordinator) Sjoin(left, right string, onL, onR []string) (*array.Arra
 		})
 		if werr != nil {
 			return nil, werr
+		}
+	}
+	return out, nil
+}
+
+// CacheStats gathers every node's buffer-pool counters. With an in-process
+// grid all nodes share one pool, so node 0's snapshot is the whole story;
+// over TCP each node reports its own process-local pool.
+func (co *Coordinator) CacheStats() ([]bufcache.Stats, error) {
+	out := make([]bufcache.Stats, co.t.NumNodes())
+	for n := range out {
+		resp, err := co.t.Call(n, &Message{Op: "cachestats"})
+		if err != nil {
+			return nil, err
+		}
+		if resp.Cache != nil {
+			out[n] = *resp.Cache
 		}
 	}
 	return out, nil

@@ -1,0 +1,256 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+
+	"scidb/internal/array"
+	"scidb/internal/bufcache"
+	"scidb/internal/storage"
+)
+
+// WorkerOptions configures a node's partition backing. The zero value keeps
+// the original behaviour: plain in-memory array partitions, no pool.
+type WorkerOptions struct {
+	// Persist backs every partition with a storage.Store (stride-aligned
+	// compressed buckets + R-tree) instead of a plain array.
+	Persist bool
+	// Dir is the node's bucket-directory root; each partition gets a
+	// subdirectory. Empty keeps buckets in memory (still encoded).
+	Dir string
+	// Stride is the bucket stride handed to each partition's store.
+	Stride []int64
+	// Cache is a decoded-bucket pool shared with other nodes (one pool per
+	// process is the intended deployment). Nil with CacheBytes > 0 builds a
+	// private pool; both nil/zero leaves reads uncached.
+	Cache      *bufcache.Pool
+	CacheBytes int64
+}
+
+// NewWorkerWithOptions creates a worker with configured partition backing.
+func NewWorkerWithOptions(id int, opts WorkerOptions) *Worker {
+	w := &Worker{
+		ID:     id,
+		opts:   opts,
+		arrays: map[string]*array.Array{},
+		stores: map[string]*storage.Store{},
+	}
+	if opts.Cache != nil {
+		w.cache = opts.Cache
+	} else if opts.CacheBytes > 0 {
+		w.cache = bufcache.New(opts.CacheBytes)
+	}
+	return w
+}
+
+// CachePool exposes the worker's decoded-bucket pool (nil when uncached).
+func (w *Worker) CachePool() *bufcache.Pool { return w.cache }
+
+// CacheStats snapshots the worker's pool counters (zero value if uncached).
+func (w *Worker) CacheStats() bufcache.Stats {
+	if w.cache == nil {
+		return bufcache.Stats{}
+	}
+	return w.cache.Stats()
+}
+
+// Close shuts down every store-backed partition, flushing buffered cells and
+// releasing their pool entries.
+func (w *Worker) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	var first error
+	for name, st := range w.stores {
+		if err := st.Close(); err != nil && first == nil {
+			first = err
+		}
+		delete(w.stores, name)
+	}
+	return first
+}
+
+// flushOp spills a store-backed partition's buffered cells into disk buckets
+// so they survive a restart. Array-backed partitions have nothing to spill.
+func (w *Worker) flushOp(req *Message) (*Message, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if st, ok := w.stores[req.Array]; ok {
+		if err := st.Flush(); err != nil {
+			return nil, err
+		}
+	} else if _, err := w.local(req.Array); err != nil {
+		return nil, err
+	}
+	return &Message{Op: "flush"}, nil
+}
+
+// partitionSchema is the local shape of a distributed array: dimensions
+// unbounded (a partition holds an arbitrary sub-box) with chunking defaults.
+func partitionSchema(in *array.Schema) *array.Schema {
+	s := in.Clone()
+	for i := range s.Dims {
+		if s.Dims[i].ChunkLen <= 0 {
+			s.Dims[i].ChunkLen = 64
+		}
+		s.Dims[i].High = array.Unbounded
+	}
+	return s
+}
+
+// createStoreLocked builds the store-backed partition for create.
+func (w *Worker) createStoreLocked(name string, schema *array.Schema) error {
+	if old, ok := w.stores[name]; ok {
+		_ = old.Close()
+	}
+	dir := ""
+	if w.opts.Dir != "" {
+		dir = filepath.Join(w.opts.Dir, name)
+	}
+	st, err := storage.NewStore(partitionSchema(schema), storage.Options{
+		Dir:    dir,
+		Stride: w.opts.Stride,
+		Cache:  w.cache,
+	})
+	if err != nil {
+		return err
+	}
+	w.stores[name] = st
+	return nil
+}
+
+// partLocked resolves a partition to its schema and a box-bounded iterator,
+// hiding whether the backing is a plain array or a storage.Store. The
+// iterator honours fn's early-stop return.
+func (w *Worker) partLocked(name string) (*array.Schema, func(array.Box, func(array.Coord, array.Cell) bool) error, error) {
+	if st, ok := w.stores[name]; ok {
+		return st.Schema(), st.Scan, nil
+	}
+	a, ok := w.arrays[name]
+	if !ok {
+		return nil, nil, fmt.Errorf("cluster: node %d has no array %q", w.ID, name)
+	}
+	iter := func(box array.Box, fn func(array.Coord, array.Cell) bool) error {
+		a.Iter(func(c array.Coord, cell array.Cell) bool {
+			if !box.Contains(c) {
+				return true
+			}
+			return fn(c, cell)
+		})
+		return nil
+	}
+	return a.Schema, iter, nil
+}
+
+// materializeLocked returns the partition's full content as a plain array
+// (the shape sjoin and repartitioning work over). Array-backed partitions
+// are returned as-is; store-backed ones are scanned out through the pool.
+func (w *Worker) materializeLocked(name string) (*array.Array, error) {
+	if a, ok := w.arrays[name]; ok {
+		return a, nil
+	}
+	s, iter, err := w.partLocked(name)
+	if err != nil {
+		return nil, err
+	}
+	out, err := array.New(s.Clone())
+	if err != nil {
+		return nil, err
+	}
+	var werr error
+	if err := iter(fullBox(len(s.Dims)), func(c array.Coord, cell array.Cell) bool {
+		if err := out.Set(c.Clone(), cell); err != nil {
+			werr = err
+			return false
+		}
+		return true
+	}); err != nil {
+		return nil, err
+	}
+	if werr != nil {
+		return nil, werr
+	}
+	return out, nil
+}
+
+// putStoreLocked ingests a payload into a store-backed partition.
+func (w *Worker) putStoreLocked(st *storage.Store, req *Message) (*Message, error) {
+	in, err := storage.DecodeArray(st.Schema(), req.Payload)
+	if err != nil {
+		return nil, err
+	}
+	var n int64
+	var werr error
+	in.Iter(func(c array.Coord, cell array.Cell) bool {
+		if err := st.Put(c.Clone(), cell); err != nil {
+			werr = err
+			return false
+		}
+		n++
+		return true
+	})
+	if werr != nil {
+		return nil, werr
+	}
+	w.stats.CellsHeld += n
+	w.stats.BytesIn += int64(len(req.Payload))
+	return &Message{Op: "put", Cells: n}, nil
+}
+
+// replaceStoreLocked swaps a store-backed partition's entire content for the
+// payload. The old store (and its bucket directory) is destroyed so the new
+// one cannot recover stale buckets from a prior manifest.
+func (w *Worker) replaceStoreLocked(st *storage.Store, req *Message) (*Message, error) {
+	in, err := storage.DecodeArray(st.Schema(), req.Payload)
+	if err != nil {
+		return nil, err
+	}
+	var old int64
+	if err := st.Scan(fullBox(len(st.Schema().Dims)), func(array.Coord, array.Cell) bool {
+		old++
+		return true
+	}); err != nil {
+		return nil, err
+	}
+	if err := st.Close(); err != nil {
+		return nil, err
+	}
+	if dir := filepath.Join(w.opts.Dir, req.Array); w.opts.Dir != "" {
+		if err := os.RemoveAll(dir); err != nil {
+			return nil, err
+		}
+	}
+	delete(w.stores, req.Array)
+	if err := w.createStoreLocked(req.Array, st.Schema()); err != nil {
+		return nil, err
+	}
+	fresh := w.stores[req.Array]
+	var n int64
+	var werr error
+	in.Iter(func(c array.Coord, cell array.Cell) bool {
+		if err := fresh.Put(c.Clone(), cell); err != nil {
+			werr = err
+			return false
+		}
+		n++
+		return true
+	})
+	if werr != nil {
+		return nil, werr
+	}
+	w.stats.CellsHeld += n - old
+	w.stats.BytesIn += int64(len(req.Payload))
+	return &Message{Op: "replace", Cells: n}, nil
+}
+
+// fullBox is the everything-box for an nd-dimensional partition.
+func fullBox(nd int) array.Box {
+	lo := make(array.Coord, nd)
+	hi := make(array.Coord, nd)
+	for i := range lo {
+		lo[i] = 1
+		hi[i] = math.MaxInt64 / 4
+	}
+	return array.Box{Lo: lo, Hi: hi}
+}

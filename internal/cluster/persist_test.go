@@ -1,0 +1,194 @@
+package cluster
+
+import (
+	"testing"
+
+	"scidb/internal/array"
+	"scidb/internal/partition"
+)
+
+// persistGrid builds a 4-node in-process grid with store-backed partitions
+// sharing one buffer pool.
+func persistGrid(t *testing.T, nodes int) (*Local, *Coordinator) {
+	t.Helper()
+	tr := NewLocalWithOptions(nodes, LocalOptions{
+		Persist:    true,
+		Dir:        t.TempDir(),
+		Stride:     []int64{8, 8},
+		CacheBytes: 8 << 20,
+	})
+	t.Cleanup(func() { _ = tr.Close() })
+	return tr, NewCoordinator(tr, 0)
+}
+
+// TestPersistClusterRoundTrip runs the full op set against store-backed
+// partitions: create / put / scan / agg / count / sjoin / replace / drop.
+func TestPersistClusterRoundTrip(t *testing.T) {
+	tr, co := persistGrid(t, 4)
+	scheme := partition.Block{Nodes: 4, SplitDim: 0, High: 16}
+	if err := co.Create("sky", gridSchema(), scheme); err != nil {
+		t.Fatal(err)
+	}
+	loadGrid(t, co, "sky", 16)
+
+	// Every worker actually went through a store, not a plain array.
+	for i, w := range tr.Workers {
+		w.mu.RLock()
+		_, isStore := w.stores["sky"]
+		nArrays := len(w.arrays)
+		w.mu.RUnlock()
+		if !isStore || nArrays != 0 {
+			t.Fatalf("node %d: store=%v arrays=%d; want store-backed only", i, isStore, nArrays)
+		}
+	}
+
+	if n, err := co.Count("sky"); err != nil || n != 256 {
+		t.Fatalf("Count = %d,%v; want 256", n, err)
+	}
+	res, err := co.Scan("sky", array.NewBox(array.Coord{1, 1}, array.Coord{4, 4}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count() != 16 {
+		t.Errorf("scan cells = %d, want 16", res.Count())
+	}
+	if cell, ok := res.At(array.Coord{3, 4}); !ok || cell[0].Float != 7 {
+		t.Errorf("scan cell = %v,%v; want 7", cell, ok)
+	}
+
+	// Distributed aggregate over the stores.
+	agg, err := co.Aggregate("sky", array.NewBox(array.Coord{1, 1}, array.Coord{16, 16}), "sum", "flux", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cell, ok := agg.At(array.Coord{1})
+	if !ok || cell[0].Float != 4352 { // sum of (i+j) over 16x16
+		t.Errorf("sum = %v,%v; want 4352", cell, ok)
+	}
+
+	// Co-partitioned join runs node-locally over materialized stores.
+	if err := co.Create("sky2", gridSchema(), scheme); err != nil {
+		t.Fatal(err)
+	}
+	loadGrid(t, co, "sky2", 16)
+	joined, err := co.Sjoin("sky", "sky2", []string{"x", "y"}, []string{"x", "y"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if joined.Count() != 256 {
+		t.Errorf("join cells = %d, want 256", joined.Count())
+	}
+
+	// Repartition exercises the replace path (store teardown + rebuild).
+	if err := co.Repartition("sky", partition.Block{Nodes: 4, SplitDim: 1, High: 16}); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := co.Count("sky"); err != nil || n != 256 {
+		t.Fatalf("post-repartition Count = %d,%v; want 256", n, err)
+	}
+	if cell, ok, err := workerGet(tr, "sky", array.Coord{3, 4}); err != nil || !ok || cell[0].Float != 7 {
+		t.Errorf("post-repartition cell(3,4) = %v,%v,%v; want 7", cell, ok, err)
+	}
+
+	// Drop removes the partitions everywhere.
+	for n := range tr.Workers {
+		if _, err := tr.Call(n, &Message{Op: "drop", Array: "sky2"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, w := range tr.Workers {
+		w.mu.RLock()
+		_, still := w.stores["sky2"]
+		w.mu.RUnlock()
+		if still {
+			t.Errorf("node %d still holds dropped array", i)
+		}
+	}
+}
+
+// workerGet scans all nodes for one coordinate (test helper).
+func workerGet(tr *Local, name string, c array.Coord) (array.Cell, bool, error) {
+	for _, w := range tr.Workers {
+		w.mu.RLock()
+		st, ok := w.stores[name]
+		w.mu.RUnlock()
+		if !ok {
+			continue
+		}
+		cell, found, err := st.Get(c)
+		if err != nil {
+			return nil, false, err
+		}
+		if found {
+			return cell, true, nil
+		}
+	}
+	return nil, false, nil
+}
+
+// TestClusterSharedPoolWarmScan: scanning the same box twice serves the
+// second pass from the shared pool — observable through the cachestats op.
+func TestClusterSharedPoolWarmScan(t *testing.T) {
+	tr, co := persistGrid(t, 2)
+	scheme := partition.Block{Nodes: 2, SplitDim: 0, High: 16}
+	if err := co.Create("sky", gridSchema(), scheme); err != nil {
+		t.Fatal(err)
+	}
+	loadGrid(t, co, "sky", 16)
+	// Push buffered cells into buckets so scans go through the pool.
+	for _, w := range tr.Workers {
+		w.mu.RLock()
+		st := w.stores["sky"]
+		w.mu.RUnlock()
+		if err := st.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	box := array.NewBox(array.Coord{1, 1}, array.Coord{16, 16})
+	if _, err := co.Scan("sky", box); err != nil {
+		t.Fatal(err)
+	}
+	cold, err := co.CacheStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold[0].Loads == 0 {
+		t.Fatalf("cold scan loaded nothing through the pool: %+v", cold[0])
+	}
+	// All in-process nodes share one pool: every node reports it.
+	if cold[1] != cold[0] {
+		t.Errorf("nodes report different pools: %+v vs %+v", cold[0], cold[1])
+	}
+
+	if _, err := co.Scan("sky", box); err != nil {
+		t.Fatal(err)
+	}
+	warm, err := co.CacheStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm[0].Loads != cold[0].Loads {
+		t.Errorf("warm scan re-loaded buckets: %d -> %d loads", cold[0].Loads, warm[0].Loads)
+	}
+	if warm[0].Hits <= cold[0].Hits {
+		t.Errorf("warm scan produced no pool hits: %+v", warm[0])
+	}
+	if warm[0].PinnedBytes != 0 {
+		t.Errorf("pinned bytes leaked: %d", warm[0].PinnedBytes)
+	}
+}
+
+// TestCacheStatsOpUncached: array-backed workers answer cachestats with the
+// zero snapshot rather than an error.
+func TestCacheStatsOpUncached(t *testing.T) {
+	tr := NewLocal(1)
+	co := NewCoordinator(tr, 0)
+	stats, err := co.CacheStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats[0].Budget != 0 || stats[0].Hits != 0 {
+		t.Errorf("uncached node reported %+v, want zero value", stats[0])
+	}
+}

@@ -4,7 +4,10 @@ import (
 	"encoding/gob"
 	"fmt"
 	"net"
+	"path/filepath"
 	"sync"
+
+	"scidb/internal/bufcache"
 )
 
 // Transport delivers a request to a numbered node and returns its response.
@@ -23,9 +26,37 @@ type Local struct {
 
 // NewLocal creates n in-process workers and a transport over them.
 func NewLocal(n int) *Local {
+	return NewLocalWithOptions(n, LocalOptions{})
+}
+
+// LocalOptions configures an in-process grid's partition backing.
+type LocalOptions struct {
+	// Persist backs every partition with a storage.Store.
+	Persist bool
+	// Dir is the grid's data root; node i uses Dir/node-i. Empty keeps
+	// buckets in memory.
+	Dir string
+	// Stride is the per-partition bucket stride.
+	Stride []int64
+	// CacheBytes sizes ONE decoded-bucket pool shared by all n workers —
+	// the single-process deployment the pool is built for. Zero leaves
+	// reads uncached.
+	CacheBytes int64
+}
+
+// NewLocalWithOptions creates n in-process workers sharing one buffer pool.
+func NewLocalWithOptions(n int, opts LocalOptions) *Local {
+	var pool *bufcache.Pool
+	if opts.CacheBytes > 0 {
+		pool = bufcache.New(opts.CacheBytes)
+	}
 	ws := make([]*Worker, n)
 	for i := range ws {
-		ws[i] = NewWorker(i)
+		wo := WorkerOptions{Persist: opts.Persist, Stride: opts.Stride, Cache: pool}
+		if opts.Dir != "" {
+			wo.Dir = filepath.Join(opts.Dir, fmt.Sprintf("node-%d", i))
+		}
+		ws[i] = NewWorkerWithOptions(i, wo)
 	}
 	return &Local{Workers: ws}
 }
@@ -45,8 +76,16 @@ func (l *Local) Call(node int, req *Message) (*Message, error) {
 // NumNodes implements Transport.
 func (l *Local) NumNodes() int { return len(l.Workers) }
 
-// Close implements Transport.
-func (l *Local) Close() error { return nil }
+// Close implements Transport, shutting down every worker's stores.
+func (l *Local) Close() error {
+	var first error
+	for _, w := range l.Workers {
+		if err := w.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
 
 // Serve runs a worker on a listener, handling one gob-framed Message per
 // request on each connection until the connection closes. It returns when

@@ -14,17 +14,20 @@ package cluster
 import (
 	"fmt"
 	"math"
+	"os"
+	"path/filepath"
 	"sort"
 	"sync"
 
 	"scidb/internal/array"
+	"scidb/internal/bufcache"
 	"scidb/internal/ops"
 	"scidb/internal/storage"
 )
 
 // Message is the single request/response envelope exchanged with workers.
 type Message struct {
-	Op     string // "create", "put", "scan", "agg", "count", "drop", "ping"
+	Op     string // "create", "put", "scan", "agg", "count", "drop", "ping", "cachestats"
 	Array  string
 	Schema *array.Schema
 	BoxLo  []int64
@@ -43,6 +46,8 @@ type Message struct {
 	OnR    []string
 	// Stats response.
 	Stats *WorkerStats
+	// Cache is the "cachestats" response: the node's buffer-pool counters.
+	Cache *bufcache.Stats
 }
 
 // Partial is a combinable aggregate fragment computed by one worker for one
@@ -105,12 +110,20 @@ func (p *Partial) finalize(agg string) (array.Value, error) {
 	return array.Value{}, fmt.Errorf("cluster: aggregate %q is not distributable", agg)
 }
 
-// Worker is one shared-nothing node: a set of local array partitions.
+// Worker is one shared-nothing node: a set of local array partitions, each
+// backed by either a plain in-memory array (the default) or a storage.Store
+// with a shared decoded-bucket pool (WorkerOptions.Persist).
 type Worker struct {
-	ID int
+	ID   int
+	opts WorkerOptions
+
+	// cache is the node's decoded-bucket pool, shared by all its
+	// store-backed partitions (and, typically, by every node in-process).
+	cache *bufcache.Pool
 
 	mu     sync.RWMutex
 	arrays map[string]*array.Array
+	stores map[string]*storage.Store
 	stats  WorkerStats
 }
 
@@ -123,9 +136,9 @@ type WorkerStats struct {
 	Requests     int64
 }
 
-// NewWorker creates an empty worker.
+// NewWorker creates an empty worker with array-backed partitions.
 func NewWorker(id int) *Worker {
-	return &Worker{ID: id, arrays: map[string]*array.Array{}}
+	return NewWorkerWithOptions(id, WorkerOptions{})
 }
 
 // Stats snapshots the worker's counters.
@@ -165,6 +178,8 @@ func (w *Worker) handle(req *Message) (*Message, error) {
 		return w.agg(req)
 	case "count":
 		return w.count(req)
+	case "flush":
+		return w.flushOp(req)
 	case "drop":
 		return w.drop(req)
 	case "replace":
@@ -174,6 +189,9 @@ func (w *Worker) handle(req *Message) (*Message, error) {
 	case "stats":
 		s := w.Stats()
 		return &Message{Op: "stats", Stats: &s}, nil
+	case "cachestats":
+		s := w.CacheStats()
+		return &Message{Op: "cachestats", Cache: &s}, nil
 	}
 	return nil, fmt.Errorf("cluster: unknown op %q", req.Op)
 }
@@ -183,6 +201,9 @@ func (w *Worker) handle(req *Message) (*Message, error) {
 func (w *Worker) replace(req *Message) (*Message, error) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	if st, ok := w.stores[req.Array]; ok {
+		return w.replaceStoreLocked(st, req)
+	}
 	a, err := w.local(req.Array)
 	if err != nil {
 		return nil, err
@@ -203,11 +224,11 @@ func (w *Worker) replace(req *Message) (*Message, error) {
 func (w *Worker) sjoin(req *Message) (*Message, error) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	a, err := w.local(req.Array)
+	a, err := w.materializeLocked(req.Array)
 	if err != nil {
 		return nil, err
 	}
-	b, err := w.local(req.Array2)
+	b, err := w.materializeLocked(req.Array2)
 	if err != nil {
 		return nil, err
 	}
@@ -234,20 +255,16 @@ func (w *Worker) create(req *Message) (*Message, error) {
 	if req.Schema == nil {
 		return nil, fmt.Errorf("cluster: create without schema")
 	}
-	// Unbound all dims locally: a partition holds an arbitrary sub-box.
-	s := req.Schema.Clone()
-	for i := range s.Dims {
-		if s.Dims[i].ChunkLen <= 0 {
-			s.Dims[i].ChunkLen = 64
-		}
-		s.Dims[i].High = array.Unbounded
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.opts.Persist {
+		return nil, w.createStoreLocked(req.Array, req.Schema)
 	}
-	a, err := array.New(s)
+	// Unbound all dims locally: a partition holds an arbitrary sub-box.
+	a, err := array.New(partitionSchema(req.Schema))
 	if err != nil {
 		return nil, err
 	}
-	w.mu.Lock()
-	defer w.mu.Unlock()
 	w.arrays[req.Array] = a
 	return nil, nil
 }
@@ -263,6 +280,9 @@ func (w *Worker) local(name string) (*array.Array, error) {
 func (w *Worker) put(req *Message) (*Message, error) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	if st, ok := w.stores[req.Array]; ok {
+		return w.putStoreLocked(st, req)
+	}
 	a, err := w.local(req.Array)
 	if err != nil {
 		return nil, err
@@ -292,28 +312,27 @@ func (w *Worker) put(req *Message) (*Message, error) {
 func (w *Worker) scan(req *Message) (*Message, error) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	a, err := w.local(req.Array)
+	s, iter, err := w.partLocked(req.Array)
 	if err != nil {
 		return nil, err
 	}
-	out, err := array.New(a.Schema.Clone())
+	out, err := array.New(s.Clone())
 	if err != nil {
 		return nil, err
 	}
-	box := boxFrom(req, a)
+	box := boxFrom(req, len(s.Dims))
 	var n int64
 	var werr error
-	a.Iter(func(c array.Coord, cell array.Cell) bool {
-		if !box.Contains(c) {
-			return true
-		}
+	if err := iter(box, func(c array.Coord, cell array.Cell) bool {
 		if err := out.Set(c.Clone(), cell); err != nil {
 			werr = err
 			return false
 		}
 		n++
 		return true
-	})
+	}); err != nil {
+		return nil, err
+	}
 	if werr != nil {
 		return nil, werr
 	}
@@ -329,32 +348,29 @@ func (w *Worker) scan(req *Message) (*Message, error) {
 func (w *Worker) agg(req *Message) (*Message, error) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	a, err := w.local(req.Array)
+	s, iter, err := w.partLocked(req.Array)
 	if err != nil {
 		return nil, err
 	}
 	attr := 0
 	if req.Attr != "" && req.Attr != "*" {
-		attr = a.Schema.AttrIndex(req.Attr)
+		attr = s.AttrIndex(req.Attr)
 		if attr < 0 {
 			return nil, fmt.Errorf("cluster: unknown attribute %q", req.Attr)
 		}
 	}
 	var gidx []int
 	for _, g := range req.GroupDims {
-		d := a.Schema.DimIndex(g)
+		d := s.DimIndex(g)
 		if d < 0 {
 			return nil, fmt.Errorf("cluster: unknown grouping dimension %q", g)
 		}
 		gidx = append(gidx, d)
 	}
-	box := boxFrom(req, a)
+	box := boxFrom(req, len(s.Dims))
 	parts := map[string]*Partial{}
 	var n int64
-	a.Iter(func(c array.Coord, cell array.Cell) bool {
-		if !box.Contains(c) {
-			return true
-		}
+	if err := iter(box, func(c array.Coord, cell array.Cell) bool {
 		n++
 		v := cell[attr]
 		if v.Null {
@@ -381,7 +397,9 @@ func (w *Worker) agg(req *Message) (*Message, error) {
 			p.Max = x
 		}
 		return true
-	})
+	}); err != nil {
+		return nil, err
+	}
 	w.stats.CellsScanned += n
 	out := make([]Partial, 0, len(parts))
 	keys := make([]string, 0, len(parts))
@@ -398,6 +416,16 @@ func (w *Worker) agg(req *Message) (*Message, error) {
 func (w *Worker) count(req *Message) (*Message, error) {
 	w.mu.RLock()
 	defer w.mu.RUnlock()
+	if st, ok := w.stores[req.Array]; ok {
+		var n int64
+		if err := st.Scan(fullBox(len(st.Schema().Dims)), func(array.Coord, array.Cell) bool {
+			n++
+			return true
+		}); err != nil {
+			return nil, err
+		}
+		return &Message{Op: "count", Cells: n}, nil
+	}
 	a, err := w.local(req.Array)
 	if err != nil {
 		return nil, err
@@ -408,21 +436,24 @@ func (w *Worker) count(req *Message) (*Message, error) {
 func (w *Worker) drop(req *Message) (*Message, error) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	if st, ok := w.stores[req.Array]; ok {
+		if err := st.Close(); err != nil {
+			return nil, err
+		}
+		if w.opts.Dir != "" {
+			_ = os.RemoveAll(filepath.Join(w.opts.Dir, req.Array))
+		}
+		delete(w.stores, req.Array)
+		return nil, nil
+	}
 	delete(w.arrays, req.Array)
 	return nil, nil
 }
 
 // boxFrom extracts the query box, defaulting to everything.
-func boxFrom(req *Message, a *array.Array) array.Box {
+func boxFrom(req *Message, nd int) array.Box {
 	if len(req.BoxLo) > 0 {
 		return array.Box{Lo: req.BoxLo, Hi: req.BoxHi}
 	}
-	nd := len(a.Schema.Dims)
-	lo := make(array.Coord, nd)
-	hi := make(array.Coord, nd)
-	for i := range lo {
-		lo[i] = 1
-		hi[i] = math.MaxInt64 / 4
-	}
-	return array.Box{Lo: lo, Hi: hi}
+	return fullBox(nd)
 }

@@ -16,6 +16,7 @@ import (
 	"scidb/internal/insitu"
 	"scidb/internal/parser"
 	"scidb/internal/provenance"
+	"scidb/internal/storage"
 	"scidb/internal/udf"
 	"scidb/internal/version"
 )
@@ -39,6 +40,8 @@ type Database struct {
 	trees      map[string]*version.Tree
 	// attached holds in-situ external datasets (§2.9).
 	attached map[string]*attachedDS
+	// stores holds disk-backed arrays served through a buffer pool (§2.5).
+	stores map[string]*storage.Store
 
 	reg *udf.Registry
 	log *provenance.Log
@@ -57,6 +60,7 @@ func Open() *Database {
 		updatables: map[string]*version.Updatable{},
 		trees:      map[string]*version.Tree{},
 		attached:   map[string]*attachedDS{},
+		stores:     map[string]*storage.Store{},
 		reg:        udf.NewRegistry(),
 		log:        provenance.NewLog(),
 		reruns:     newReruns(),
@@ -235,6 +239,9 @@ func (db *Database) runCreate(s *parser.CreateArray) (*Result, error) {
 
 func (db *Database) nameTakenLocked(name string) bool {
 	if _, ok := db.arrays[name]; ok {
+		return true
+	}
+	if _, ok := db.stores[name]; ok {
 		return true
 	}
 	_, ok := db.updatables[name]
@@ -468,6 +475,11 @@ func (db *Database) Drop(name string) error {
 		delete(db.attached, name)
 		return nil
 	}
+	if st, ok := db.stores[name]; ok {
+		_ = st.Close()
+		delete(db.stores, name)
+		return nil
+	}
 	if _, ok := db.updatables[name]; ok {
 		delete(db.updatables, name)
 		delete(db.trees, name)
@@ -488,6 +500,9 @@ func (db *Database) Names() []string {
 		out = append(out, n)
 	}
 	for n := range db.attached {
+		out = append(out, n)
+	}
+	for n := range db.stores {
 		out = append(out, n)
 	}
 	sort.Strings(out)

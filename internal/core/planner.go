@@ -53,6 +53,15 @@ func (db *Database) eval(e parser.ArrayExpr) (*array.Array, error) {
 				return res, nil
 			}
 		}
+		// Store pushdown: box-expressible subsample over a store-backed
+		// array scans only the box (R-tree pruning, pool-resident chunks).
+		if st := db.storeBackedFor(n.In); st != nil {
+			if res, done, err := db.evalStoreSubsample(st, n); err != nil {
+				return nil, err
+			} else if done {
+				return res, nil
+			}
+		}
 		in, err := db.eval(n.In)
 		if err != nil {
 			return nil, err
@@ -202,10 +211,15 @@ func (db *Database) resolveRef(name string) (*array.Array, error) {
 	}
 	db.mu.RLock()
 	at, okAt := db.attached[name]
+	st, okSt := db.stores[name]
 	db.mu.RUnlock()
 	if okAt {
 		// A whole-array reference materializes (and caches) the dataset.
 		return db.materializeAttached(name, at)
+	}
+	if okSt {
+		// A store-backed reference scans the full extent through the pool.
+		return db.materializeStore(st)
 	}
 	return nil, fmt.Errorf("core: unknown array %q", name)
 }

@@ -5,14 +5,18 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"scidb/internal/array"
+	"scidb/internal/bufcache"
 	"scidb/internal/compress"
 	"scidb/internal/rtree"
 )
 
-// Stats counts storage activity for the STORE experiment.
+// Stats is a snapshot of storage activity for the STORE experiment.
+// BucketsRead/BytesRead count actual disk reads: a bucket served from the
+// buffer pool does not increment them.
 type Stats struct {
 	BucketsWritten int64
 	BucketsMerged  int64
@@ -20,6 +24,29 @@ type Stats struct {
 	BytesWritten   int64
 	BytesRead      int64
 	Flushes        int64
+}
+
+// statCounters is the store's live counter set. Counters are atomics so a
+// Stats snapshot (and monitoring code) never races with writers, whether
+// or not the caller holds s.mu.
+type statCounters struct {
+	bucketsWritten atomic.Int64
+	bucketsMerged  atomic.Int64
+	bucketsRead    atomic.Int64
+	bytesWritten   atomic.Int64
+	bytesRead      atomic.Int64
+	flushes        atomic.Int64
+}
+
+func (c *statCounters) snapshot() Stats {
+	return Stats{
+		BucketsWritten: c.bucketsWritten.Load(),
+		BucketsMerged:  c.bucketsMerged.Load(),
+		BucketsRead:    c.bucketsRead.Load(),
+		BytesWritten:   c.bytesWritten.Load(),
+		BytesRead:      c.bytesRead.Load(),
+		Flushes:        c.flushes.Load(),
+	}
 }
 
 // Options configures a Store.
@@ -37,6 +64,14 @@ type Options struct {
 	Stride []int64
 	// MaxBucketBytes caps merged bucket size. Zero means 1 MiB.
 	MaxBucketBytes int64
+	// Cache is an optional shared buffer pool for decoded buckets: reads
+	// of a cached bucket skip both the disk read and the decompression.
+	// Several stores may share one pool; each registers its own id.
+	Cache *bufcache.Pool
+	// CacheBytes sizes a private pool when Cache is nil. Zero leaves the
+	// store uncached (every read pays disk + decode, the pre-pool
+	// behaviour).
+	CacheBytes int64
 }
 
 type bucketMeta struct {
@@ -58,12 +93,17 @@ type Store struct {
 	opts   Options
 	codec  compress.Codec
 
+	// cache is the decoded-bucket buffer pool (nil = uncached); cacheID is
+	// this store's key namespace within it.
+	cache   *bufcache.Pool
+	cacheID uint64
+
 	mu      sync.Mutex
 	mem     *array.Array
 	rt      *rtree.Tree
 	buckets map[int64]*bucketMeta
 	nextID  int64
-	stats   Stats
+	stats   statCounters
 
 	mergeStop chan struct{}
 	mergeDone chan struct{}
@@ -94,12 +134,19 @@ func NewStore(schema *array.Schema, opts Options) (*Store, error) {
 			return nil, fmt.Errorf("storage: %w", err)
 		}
 	}
+	if opts.Cache == nil && opts.CacheBytes > 0 {
+		opts.Cache = bufcache.New(opts.CacheBytes)
+	}
 	s := &Store{
 		schema:  schema,
 		opts:    opts,
 		codec:   opts.Codec,
+		cache:   opts.Cache,
 		rt:      rtree.New(),
 		buckets: map[int64]*bucketMeta{},
+	}
+	if s.cache != nil {
+		s.cacheID = s.cache.RegisterStore()
 	}
 	if err := s.resetMem(); err != nil {
 		return nil, err
@@ -130,11 +177,20 @@ func (s *Store) resetMem() error {
 // Schema returns the stored array's schema.
 func (s *Store) Schema() *array.Schema { return s.schema }
 
-// Stats returns a snapshot of activity counters.
-func (s *Store) Stats() Stats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.stats
+// Stats returns a snapshot of activity counters. It is safe to call from
+// any goroutine, concurrently with reads and writes.
+func (s *Store) Stats() Stats { return s.stats.snapshot() }
+
+// Cache returns the store's buffer pool, or nil when uncached.
+func (s *Store) Cache() *bufcache.Pool { return s.cache }
+
+// CacheStats returns the buffer pool's counters (zero when uncached).
+// When several stores share one pool the counters are pool-wide.
+func (s *Store) CacheStats() bufcache.Stats {
+	if s.cache == nil {
+		return bufcache.Stats{}
+	}
+	return s.cache.Stats()
 }
 
 // NumBuckets returns the current on-disk bucket count.
@@ -200,7 +256,7 @@ func (s *Store) flushLocked() error {
 			return err
 		}
 	}
-	s.stats.Flushes++
+	s.stats.flushes.Add(1)
 	if err := s.saveManifestLocked(); err != nil {
 		return err
 	}
@@ -226,12 +282,24 @@ func (s *Store) writeBucketLocked(ch *array.Chunk) error {
 	}
 	s.buckets[id] = meta
 	s.rt.Insert(meta.box, id)
-	s.stats.BucketsWritten++
-	s.stats.BytesWritten += int64(len(enc))
+	s.stats.bucketsWritten.Add(1)
+	s.stats.bytesWritten.Add(int64(len(enc)))
+	if s.cache != nil {
+		// Defensive: a recycled id (possible only across manifest edits)
+		// must not serve another bucket's bytes.
+		s.cache.Invalidate(s.cacheKey(id))
+	}
 	return nil
 }
 
-func (s *Store) readBucketLocked(meta *bucketMeta) (*array.Chunk, error) {
+// cacheKey is the pool key for one of this store's buckets.
+func (s *Store) cacheKey(id int64) bufcache.Key {
+	return bufcache.Key{Store: s.cacheID, Bucket: id}
+}
+
+// loadBucketLocked reads a bucket from disk (or the in-memory payload) and
+// decodes it, counting the read. This is the path the buffer pool avoids.
+func (s *Store) loadBucketLocked(meta *bucketMeta) (*array.Chunk, error) {
 	var enc []byte
 	var err error
 	if meta.path != "" {
@@ -246,9 +314,28 @@ func (s *Store) readBucketLocked(meta *bucketMeta) (*array.Chunk, error) {
 	if err != nil {
 		return nil, err
 	}
-	s.stats.BucketsRead++
-	s.stats.BytesRead += int64(len(enc))
+	s.stats.bucketsRead.Add(1)
+	s.stats.bytesRead.Add(int64(len(enc)))
 	return DecodeChunk(s.schema, raw)
+}
+
+// readBucketLocked returns the decoded chunk for a bucket, consulting the
+// buffer pool first. The returned release func must be called once the
+// caller is done iterating the chunk: it unpins the pool entry so the
+// chunk becomes evictable again. Cached chunks are shared across readers
+// and must be treated as read-only.
+func (s *Store) readBucketLocked(meta *bucketMeta) (*array.Chunk, func(), error) {
+	if s.cache == nil {
+		ch, err := s.loadBucketLocked(meta)
+		return ch, func() {}, err
+	}
+	h, err := s.cache.GetOrLoad(s.cacheKey(meta.id), func() (*array.Chunk, error) {
+		return s.loadBucketLocked(meta)
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return h.Chunk(), h.Release, nil
 }
 
 // Get returns one cell, consulting the memory buffer first, then newest
@@ -269,11 +356,13 @@ func (s *Store) Get(c array.Coord) (array.Cell, bool, error) {
 		return true
 	})
 	for best != nil {
-		ch, err := s.readBucketLocked(best)
+		ch, release, err := s.readBucketLocked(best)
 		if err != nil {
 			return nil, false, err
 		}
-		if cell, ok := ch.Get(c); ok {
+		cell, ok := ch.Get(c)
+		release()
+		if ok {
 			return cell, true, nil
 		}
 		// The newest bucket covering the box may not hold the cell; fall
@@ -327,12 +416,15 @@ func (s *Store) Scan(q array.Box, fn func(array.Coord, array.Cell) bool) error {
 		}
 	}
 	for _, m := range metas {
-		ch, err := s.readBucketLocked(m)
+		// The chunk stays pinned in the pool for the whole iteration, so
+		// concurrent eviction pressure can never yank it mid-scan.
+		ch, release, err := s.readBucketLocked(m)
 		if err != nil {
 			return err
 		}
 		inter, ok := ch.Box().Intersect(q)
 		if !ok {
+			release()
 			continue
 		}
 		done := false
@@ -352,6 +444,7 @@ func (s *Store) Scan(q array.Box, fn func(array.Coord, array.Cell) bool) error {
 			}
 			return true
 		})
+		release()
 		if done {
 			return nil
 		}
@@ -388,14 +481,17 @@ func (s *Store) MergeOnce() (bool, error) {
 	if bi == nil {
 		return false, nil
 	}
-	ci, err := s.readBucketLocked(bi)
+	ci, releaseI, err := s.readBucketLocked(bi)
 	if err != nil {
 		return false, err
 	}
-	cj, err := s.readBucketLocked(bj)
+	cj, releaseJ, err := s.readBucketLocked(bj)
 	if err != nil {
+		releaseI()
 		return false, err
 	}
+	defer releaseI()
+	defer releaseJ()
 	u := bi.box.Union(bj.box)
 	merged := array.NewChunk(s.schema, u.Lo, u.Shape())
 	// Older bucket first so the newer one wins on overlap.
@@ -418,10 +514,15 @@ func (s *Store) MergeOnce() (bool, error) {
 			return false, copyErr
 		}
 	}
-	// Remove the old buckets, then write the merged one.
+	// Remove the old buckets, then write the merged one. The pool entries
+	// for the merged-away ids must go too: their boxes are no longer in
+	// the R-tree, and a recycled id must never serve their stale cells.
 	for _, m := range []*bucketMeta{bi, bj} {
 		s.rt.Delete(m.box, m.id)
 		delete(s.buckets, m.id)
+		if s.cache != nil {
+			s.cache.Invalidate(s.cacheKey(m.id))
+		}
 		if m.path != "" {
 			_ = os.Remove(m.path)
 		}
@@ -429,7 +530,7 @@ func (s *Store) MergeOnce() (bool, error) {
 	if err := s.writeBucketLocked(merged); err != nil {
 		return false, err
 	}
-	s.stats.BucketsMerged++
+	s.stats.bucketsMerged.Add(1)
 	if err := s.saveManifestLocked(); err != nil {
 		return false, err
 	}
@@ -475,8 +576,13 @@ func (s *Store) StopMerger() {
 	}
 }
 
-// Close flushes and stops background work.
+// Close flushes, stops background work, and releases this store's buffer
+// pool entries (freeing budget for other stores sharing the pool).
 func (s *Store) Close() error {
 	s.StopMerger()
-	return s.Flush()
+	err := s.Flush()
+	if s.cache != nil {
+		s.cache.InvalidateStore(s.cacheID)
+	}
+	return err
 }
