@@ -13,7 +13,7 @@ test:
 # Race detection over the concurrency-heavy packages (tier-1 verification
 # runs this alongside `test`; the full -race ./... sweep is `race-all`).
 race:
-	$(GO) test -race ./internal/bufcache ./internal/storage ./internal/cluster
+	$(GO) test -race ./internal/exec ./internal/ops ./internal/bufcache ./internal/storage ./internal/cluster
 
 .PHONY: race-all
 race-all:

@@ -2,7 +2,7 @@
 // experiment per figure and quantified claim (see DESIGN.md and
 // EXPERIMENTS.md). With no flags it runs everything at full size.
 //
-//	scidb-bench [-exp ID[,ID...]] [-quick] [-list] [-cache-bytes N]
+//	scidb-bench [-exp ID[,ID...]] [-quick] [-list] [-cache-bytes N] [-parallelism N]
 package main
 
 import (
@@ -11,6 +11,7 @@ import (
 	"os"
 	"strings"
 
+	"scidb/internal/exec"
 	"scidb/internal/experiments"
 )
 
@@ -19,9 +20,11 @@ func main() {
 	quick := flag.Bool("quick", false, "shrink workloads for a fast smoke run")
 	list := flag.Bool("list", false, "list experiments and exit")
 	cacheBytes := flag.Int64("cache-bytes", 64<<20, "buffer-pool budget for cache-aware experiments")
+	parallelism := flag.Int("parallelism", 0, "chunk-parallel worker bound (1 = serial, 0 = NumCPU)")
 	flag.Parse()
 
 	experiments.SetCacheBytes(*cacheBytes)
+	exec.SetParallelism(*parallelism)
 
 	if *list {
 		for _, e := range experiments.All() {

@@ -5,6 +5,7 @@
 //
 //	scidb-server -listen 127.0.0.1:7101 -id 0
 //	scidb-server -listen 127.0.0.1:7101 -id 0 -persist -data-dir /var/scidb -cache-bytes 268435456
+//	scidb-server -listen 127.0.0.1:7101 -id 0 -parallelism 8
 package main
 
 import (
@@ -16,6 +17,7 @@ import (
 	"syscall"
 
 	"scidb/internal/cluster"
+	"scidb/internal/exec"
 )
 
 func main() {
@@ -24,7 +26,10 @@ func main() {
 	persist := flag.Bool("persist", false, "back partitions with the bucket store instead of plain arrays")
 	dataDir := flag.String("data-dir", "", "bucket directory root for -persist (empty: in-memory buckets)")
 	cacheBytes := flag.Int64("cache-bytes", 64<<20, "decoded-bucket buffer pool budget for -persist (0 disables)")
+	parallelism := flag.Int("parallelism", 0, "chunk-parallel worker bound (1 = serial, 0 = NumCPU)")
 	flag.Parse()
+
+	exec.SetParallelism(*parallelism)
 
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
@@ -40,7 +45,8 @@ func main() {
 	if *persist {
 		mode = fmt.Sprintf("store-backed partitions (cache %d bytes)", *cacheBytes)
 	}
-	fmt.Printf("scidb-server node %d listening on %s, %s\n", *id, ln.Addr(), mode)
+	fmt.Printf("scidb-server node %d listening on %s, %s, parallelism %d\n",
+		*id, ln.Addr(), mode, exec.Parallelism())
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	go func() {

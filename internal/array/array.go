@@ -94,6 +94,10 @@ func (a *Array) Hwm(i int) int64 { return a.hwm[i] }
 // Bounds returns the current effective bounds of all dimensions.
 func (a *Array) Bounds() []int64 { return append([]int64(nil), a.hwm...) }
 
+// DefaultChunkLen is the chunking stride used for unbounded dimensions that
+// do not declare a ChunkLen.
+const DefaultChunkLen = 64
+
 // chunkOrigin returns the origin of the chunk containing c.
 func (a *Array) chunkOrigin(c Coord) Coord {
 	o := make(Coord, len(c))
@@ -104,7 +108,7 @@ func (a *Array) chunkOrigin(c Coord) Coord {
 				o[i] = 1
 				continue
 			}
-			cl = 64 // default stride for unbounded dimensions
+			cl = DefaultChunkLen
 		}
 		o[i] = ((c[i]-1)/cl)*cl + 1
 	}
@@ -121,7 +125,7 @@ func (a *Array) chunkShape(origin Coord) []int64 {
 				sh[i] = d.High
 				continue
 			}
-			cl = 64
+			cl = DefaultChunkLen
 		}
 		sh[i] = cl
 		if d.High != Unbounded && origin[i]+cl-1 > d.High {
@@ -129,6 +133,30 @@ func (a *Array) chunkShape(origin Coord) []int64 {
 		}
 	}
 	return sh
+}
+
+// GridOrigin returns the origin of this array's grid chunk containing c.
+func (a *Array) GridOrigin(c Coord) Coord { return a.chunkOrigin(c) }
+
+// GridShape returns the shape of this array's grid chunk at origin: the
+// declared chunk extents clamped to the dimension bounds. Chunk-parallel
+// operators size their disjoint output chunks with it.
+func (a *Array) GridShape(origin Coord) []int64 { return a.chunkShape(origin) }
+
+// CoordInside reports whether c is a legal cell address: correct
+// dimensionality, >= 1 everywhere, within declared bounds, and inside the
+// shape function if any. It is the allocation-free form of the check At
+// performs, safe for concurrent readers.
+func (a *Array) CoordInside(c Coord) bool {
+	if len(c) != len(a.Schema.Dims) {
+		return false
+	}
+	for i, d := range a.Schema.Dims {
+		if c[i] < 1 || (d.High != Unbounded && c[i] > d.High) {
+			return false
+		}
+	}
+	return a.Shape == nil || a.Shape.Contains(c)
 }
 
 // checkCoord validates a coordinate against dimensionality, bounds, and the
@@ -195,6 +223,22 @@ func (a *Array) At(c Coord) (Cell, bool) {
 	}
 	ch := a.chunkFor(c, false)
 	if ch == nil {
+		return nil, false
+	}
+	return ch.Get(c)
+}
+
+// PeekAt is At without the last-chunk cache update, so it is safe for
+// concurrent readers (the chunk-parallel operators probe join inputs with
+// it) as long as no goroutine mutates the array. Callers fanning out tasks
+// should call Chunks() once beforehand so the lazily built sorted list
+// isn't raced either.
+func (a *Array) PeekAt(c Coord) (Cell, bool) {
+	if err := a.checkCoord(c); err != nil {
+		return nil, false
+	}
+	ch, ok := a.chunks[a.chunkOrigin(c).Key()]
+	if !ok {
 		return nil, false
 	}
 	return ch.Get(c)
@@ -298,6 +342,58 @@ func (a *Array) PutChunk(ch *Chunk) {
 		}
 		return true
 	})
+}
+
+// ChunkAligned reports whether ch's origin and shape land exactly on this
+// array's chunking grid, i.e. whether PutChunk may adopt it wholesale.
+func (a *Array) ChunkAligned(ch *Chunk) bool {
+	if len(ch.Origin) != len(a.Schema.Dims) {
+		return false
+	}
+	want := a.chunkOrigin(ch.Origin)
+	for i := range want {
+		if ch.Origin[i] != want[i] {
+			return false
+		}
+	}
+	shape := a.chunkShape(ch.Origin)
+	for i := range shape {
+		if ch.Shape[i] != shape[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// MergeChunk unions a prebuilt chunk into the array. A grid-aligned chunk
+// whose origin is not yet populated is adopted wholesale via PutChunk —
+// no per-cell work; anything else falls back to Set per present cell. The
+// cluster coordinator merges decoded partition chunks with this.
+func (a *Array) MergeChunk(ch *Chunk) error {
+	if ch.CellsPresent() == 0 {
+		return nil
+	}
+	if _, taken := a.chunks[ch.Origin.Key()]; !taken && a.ChunkAligned(ch) {
+		a.PutChunk(ch)
+		return nil
+	}
+	var err error
+	IterBox(ch.Box(), func(c Coord) bool {
+		idx := ch.Index(c)
+		if !ch.Present.Get(idx) {
+			return true
+		}
+		cell := make(Cell, len(ch.Cols))
+		for ai, col := range ch.Cols {
+			cell[ai] = col.Get(idx)
+		}
+		if e := a.Set(c, cell); e != nil {
+			err = e
+			return false
+		}
+		return true
+	})
+	return err
 }
 
 // ChunkAt returns the chunk containing the coordinate, if allocated.

@@ -93,6 +93,40 @@ func (c *Column) Set(i int64, v Value) {
 	}
 }
 
+// CopyFrom copies slot src of o — a column of the same type — into slot dst
+// of c, preserving nulls and error bars. It is the columnar transfer
+// primitive the chunk-parallel operators use instead of boxing each cell
+// into a Value and back.
+func (c *Column) CopyFrom(o *Column, dst, src int64) {
+	if o.Nulls.Get(src) {
+		c.Nulls.Set(dst)
+		return
+	}
+	c.Nulls.Clear(dst)
+	switch c.Type {
+	case TInt64:
+		c.Ints[dst] = o.Ints[src]
+	case TFloat64:
+		c.Floats[dst] = o.Floats[src]
+	case TString:
+		c.Strs[dst] = o.Strs[src]
+	case TBool:
+		c.Bools[dst] = o.Bools[src]
+	case TArray:
+		c.Arrs[dst] = o.Arrs[src]
+	}
+	if c.Sigma != nil {
+		switch {
+		case o.HasShared:
+			c.Sigma[dst] = o.SharedSigma
+		case o.Sigma != nil:
+			c.Sigma[dst] = o.Sigma[src]
+		default:
+			c.Sigma[dst] = 0
+		}
+	}
+}
+
 // Len returns the slot count.
 func (c *Column) Len() int64 { return c.Nulls.Len() }
 

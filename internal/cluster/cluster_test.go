@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"scidb/internal/array"
+	"scidb/internal/exec"
 	"scidb/internal/partition"
 	"scidb/internal/storage"
 )
@@ -600,5 +601,36 @@ func TestBoxPruningSkipsNodes(t *testing.T) {
 	}
 	if res.Count() != 8*16 {
 		t.Errorf("cross-slab scan = %d cells", res.Count())
+	}
+}
+
+// The execstats op reports each node's worker-pool counters, and the
+// process-wide parallelism knob is visible through it.
+func TestExecStatsOp(t *testing.T) {
+	old := exec.Parallelism()
+	exec.SetParallelism(4)
+	defer exec.SetParallelism(old)
+
+	tr := NewLocal(3)
+	co := NewCoordinator(tr, 0)
+	scheme := partition.Block{Nodes: 3, SplitDim: 0, High: 64}
+	if err := co.Create("sky", gridSchema(), scheme); err != nil {
+		t.Fatal(err)
+	}
+	loadGrid(t, co, "sky", 16)
+	if _, err := co.Scan("sky", array.NewBox(array.Coord{1, 1}, array.Coord{16, 16})); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := co.ExecStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats) != 3 {
+		t.Fatalf("ExecStats returned %d entries, want 3", len(stats))
+	}
+	for i, s := range stats {
+		if s.Parallelism != 4 {
+			t.Errorf("node %d reports parallelism %d, want 4", i, s.Parallelism)
+		}
 	}
 }

@@ -2,10 +2,13 @@ package cluster
 
 import (
 	"fmt"
+	"sort"
 	"sync"
+	"sync/atomic"
 
 	"scidb/internal/array"
 	"scidb/internal/bufcache"
+	"scidb/internal/exec"
 	"scidb/internal/partition"
 	"scidb/internal/storage"
 )
@@ -64,10 +67,12 @@ func (co *Coordinator) Create(name string, schema *array.Schema, scheme partitio
 	if scheme.NumNodes() > co.t.NumNodes() {
 		return fmt.Errorf("cluster: scheme wants %d nodes, transport has %d", scheme.NumNodes(), co.t.NumNodes())
 	}
-	for n := 0; n < co.t.NumNodes(); n++ {
-		if _, err := co.t.Call(n, &Message{Op: "create", Array: name, Schema: schema}); err != nil {
-			return err
-		}
+	req := &Message{Op: "create", Array: name, Schema: schema}
+	if err := fanout(allNodes(co.t.NumNodes()), func(_, n int) error {
+		_, err := co.t.Call(n, req)
+		return err
+	}); err != nil {
+		return err
 	}
 	co.mu.Lock()
 	defer co.mu.Unlock()
@@ -99,7 +104,7 @@ func (co *Coordinator) Put(name string, c array.Coord, cell array.Cell) error {
 		for i := range s.Dims {
 			s.Dims[i].High = array.Unbounded
 			if s.Dims[i].ChunkLen <= 0 {
-				s.Dims[i].ChunkLen = 64
+				s.Dims[i].ChunkLen = array.DefaultChunkLen
 			}
 		}
 		buf, err = array.New(s)
@@ -131,23 +136,30 @@ func (co *Coordinator) Flush(name string) error {
 	if err := co.flushLocked(da); err != nil {
 		return err
 	}
-	for n := 0; n < co.t.NumNodes(); n++ {
-		if _, err := co.t.Call(n, &Message{Op: "flush", Array: name}); err != nil {
-			return err
-		}
-	}
-	return nil
+	req := &Message{Op: "flush", Array: name}
+	return fanout(allNodes(co.t.NumNodes()), func(_, n int) error {
+		_, err := co.t.Call(n, req)
+		return err
+	})
 }
 
 func (co *Coordinator) flushLocked(da *DistArray) error {
-	for node, buf := range da.staging {
-		payload, err := storage.EncodeArray(buf)
+	// Every staged buffer targets a distinct node, so the encode+put calls
+	// fan out concurrently; node order only fixes which error is reported.
+	nodes := make([]int, 0, len(da.staging))
+	for node := range da.staging {
+		nodes = append(nodes, node)
+	}
+	sort.Ints(nodes)
+	if err := fanout(nodes, func(_, node int) error {
+		payload, err := storage.EncodeArray(da.staging[node])
 		if err != nil {
 			return err
 		}
-		if _, err := co.t.Call(node, &Message{Op: "put", Array: da.Name, Payload: payload}); err != nil {
-			return err
-		}
+		_, err = co.t.Call(node, &Message{Op: "put", Array: da.Name, Payload: payload})
+		return err
+	}); err != nil {
+		return err
 	}
 	da.staging = map[int]*array.Array{}
 	da.staged = 0
@@ -162,15 +174,19 @@ func (co *Coordinator) Count(name string) (int64, error) {
 	if err != nil {
 		return 0, err
 	}
-	var total int64
-	for n := 0; n < co.t.NumNodes(); n++ {
-		resp, err := co.t.Call(n, &Message{Op: "count", Array: da.Name})
+	req := &Message{Op: "count", Array: da.Name}
+	var total atomic.Int64
+	if err := fanout(allNodes(co.t.NumNodes()), func(_, n int) error {
+		resp, err := co.t.Call(n, req)
 		if err != nil {
-			return 0, err
+			return err
 		}
-		total += resp.Cells
+		total.Add(resp.Cells)
+		return nil
+	}); err != nil {
+		return 0, err
 	}
-	return total, nil
+	return total.Load(), nil
 }
 
 // Scan gathers every cell intersecting the box into one local array.
@@ -185,34 +201,40 @@ func (co *Coordinator) Scan(name string, box array.Box) (*array.Array, error) {
 	for i := range s.Dims {
 		s.Dims[i].High = array.Unbounded
 		if s.Dims[i].ChunkLen <= 0 {
-			s.Dims[i].ChunkLen = 64
+			s.Dims[i].ChunkLen = array.DefaultChunkLen
 		}
 	}
 	out, err := array.New(s)
 	if err != nil {
 		return nil, err
 	}
+	// Nodes are queried and their payloads decoded concurrently; each
+	// decoded partition merges into the result as it arrives, chunk by
+	// chunk. Partitions are disjoint, so arrival order cannot change the
+	// merged content, and a grid-aligned chunk whose region no other node
+	// has touched is adopted wholesale (MergeChunk) instead of re-setting
+	// every cell through the coordinator's write path.
 	req := &Message{Op: "scan", Array: name, BoxLo: box.Lo, BoxHi: box.Hi}
-	for _, n := range co.nodesFor(da, box) {
+	var mu sync.Mutex
+	if err := fanout(co.nodesFor(da, box), func(_, n int) error {
 		resp, err := co.t.Call(n, req)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		part, err := storage.DecodeArray(s, resp.Payload)
+		part, err := storage.DecodeArray(s.Clone(), resp.Payload)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		var werr error
-		part.Iter(func(c array.Coord, cell array.Cell) bool {
-			if err := out.Set(c.Clone(), cell); err != nil {
-				werr = err
-				return false
+		mu.Lock()
+		defer mu.Unlock()
+		for _, ch := range part.Chunks() {
+			if err := out.MergeChunk(ch); err != nil {
+				return err
 			}
-			return true
-		})
-		if werr != nil {
-			return nil, werr
 		}
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -241,14 +263,26 @@ func (co *Coordinator) Aggregate(name string, box array.Box, agg, attr string, g
 	if err != nil {
 		return nil, err
 	}
+	// All nodes compute their partials concurrently; the merge happens at
+	// the barrier in node order so the floating-point fold is identical
+	// from run to run (partial merging is associative but not exactly
+	// commutative in float arithmetic).
 	req := &Message{Op: "agg", Array: name, Agg: agg, Attr: attr, GroupDims: groupDims,
 		BoxLo: box.Lo, BoxHi: box.Hi}
-	merged := map[string]*Partial{}
-	for _, n := range co.nodesFor(da, box) {
+	nodes := co.nodesFor(da, box)
+	resps := make([]*Message, len(nodes))
+	if err := fanout(nodes, func(i, n int) error {
 		resp, err := co.t.Call(n, req)
 		if err != nil {
-			return nil, err
+			return err
 		}
+		resps[i] = resp
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	merged := map[string]*Partial{}
+	for _, resp := range resps {
 		for _, p := range resp.Partials {
 			k := fmt.Sprint(p.Key)
 			if m, ok := merged[k]; ok {
@@ -313,7 +347,7 @@ func (co *Coordinator) Repartition(name string, newScheme partition.Scheme) erro
 	for i := range tmpl.Dims {
 		tmpl.Dims[i].High = array.Unbounded
 		if tmpl.Dims[i].ChunkLen <= 0 {
-			tmpl.Dims[i].ChunkLen = 64
+			tmpl.Dims[i].ChunkLen = array.DefaultChunkLen
 		}
 	}
 	for n := range newContent {
@@ -329,17 +363,27 @@ func (co *Coordinator) Repartition(name string, newScheme partition.Scheme) erro
 	if err != nil {
 		return err
 	}
-	for n := 0; n < nodes; n++ {
+	// Gather every node's content concurrently (scan + decode are the
+	// expensive half of a repartition), then redistribute serially in node
+	// order so placement and the moved-bytes count stay deterministic.
+	parts := make([]*array.Array, nodes)
+	if err := fanout(allNodes(nodes), func(_, n int) error {
 		resp, err := co.t.Call(n, &Message{Op: "scan", Array: name})
 		if err != nil {
 			return err
 		}
-		part, err := storage.DecodeArray(tmpl, resp.Payload)
+		part, err := storage.DecodeArray(tmpl.Clone(), resp.Payload)
 		if err != nil {
 			return err
 		}
+		parts[n] = part
+		return nil
+	}); err != nil {
+		return err
+	}
+	for n := 0; n < nodes; n++ {
 		var werr error
-		part.Iter(func(c array.Coord, cell array.Cell) bool {
+		parts[n].Iter(func(c array.Coord, cell array.Cell) bool {
 			target := newScheme.NodeFor(c)
 			if err := newContent[target].Set(c.Clone(), cell); err != nil {
 				werr = err
@@ -363,14 +407,15 @@ func (co *Coordinator) Repartition(name string, newScheme partition.Scheme) erro
 			co.bytesMoved += int64(len(movedPayload))
 		}
 	}
-	for n := 0; n < nodes; n++ {
+	if err := fanout(allNodes(nodes), func(_, n int) error {
 		payload, err := storage.EncodeArray(newContent[n])
 		if err != nil {
 			return err
 		}
-		if _, err := co.t.Call(n, &Message{Op: "replace", Array: name, Payload: payload}); err != nil {
-			return err
-		}
+		_, err = co.t.Call(n, &Message{Op: "replace", Array: name, Payload: payload})
+		return err
+	}); err != nil {
+		return err
 	}
 	da.Scheme = newScheme
 	return nil
@@ -411,41 +456,47 @@ func (co *Coordinator) Sjoin(left, right string, onL, onR []string) (*array.Arra
 			return nil, err
 		}
 	}
-	// Node-local joins, unioned at the coordinator.
-	var out *array.Array
+	// Node-local joins run concurrently (every worker owns a disjoint slice
+	// of the left array, so the join outputs are disjoint too); the decoded
+	// pieces are unioned at the barrier in node order via whole-chunk
+	// adoption.
 	req := &Message{Op: "sjoin", Array: left, Array2: right, OnL: onL, OnR: onR}
-	for n := 0; n < co.t.NumNodes(); n++ {
+	nodes := allNodes(co.t.NumNodes())
+	parts := make([]*array.Array, len(nodes))
+	if err := fanout(nodes, func(i, n int) error {
 		resp, err := co.t.Call(n, req)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		s := resp.Schema.Clone()
 		for i := range s.Dims {
 			s.Dims[i].High = array.Unbounded
 			if s.Dims[i].ChunkLen <= 0 {
-				s.Dims[i].ChunkLen = 64
+				s.Dims[i].ChunkLen = array.DefaultChunkLen
 			}
 		}
 		part, err := storage.DecodeArray(s, resp.Payload)
 		if err != nil {
-			return nil, err
+			return err
 		}
+		parts[i] = part
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	var out *array.Array
+	for _, part := range parts {
 		if out == nil {
-			out, err = array.New(s.Clone())
+			var err error
+			out, err = array.New(part.Schema.Clone())
 			if err != nil {
 				return nil, err
 			}
 		}
-		var werr error
-		part.Iter(func(c array.Coord, cell array.Cell) bool {
-			if err := out.Set(c.Clone(), cell); err != nil {
-				werr = err
-				return false
+		for _, ch := range part.Chunks() {
+			if err := out.MergeChunk(ch); err != nil {
+				return nil, err
 			}
-			return true
-		})
-		if werr != nil {
-			return nil, werr
 		}
 	}
 	return out, nil
@@ -456,14 +507,17 @@ func (co *Coordinator) Sjoin(left, right string, onL, onR []string) (*array.Arra
 // over TCP each node reports its own process-local pool.
 func (co *Coordinator) CacheStats() ([]bufcache.Stats, error) {
 	out := make([]bufcache.Stats, co.t.NumNodes())
-	for n := range out {
+	if err := fanout(allNodes(len(out)), func(_, n int) error {
 		resp, err := co.t.Call(n, &Message{Op: "cachestats"})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		if resp.Cache != nil {
 			out[n] = *resp.Cache
 		}
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -471,14 +525,37 @@ func (co *Coordinator) CacheStats() ([]bufcache.Stats, error) {
 // NodeStats gathers per-node counters (the PART experiment's load metric).
 func (co *Coordinator) NodeStats() ([]WorkerStats, error) {
 	out := make([]WorkerStats, co.t.NumNodes())
-	for n := range out {
+	if err := fanout(allNodes(len(out)), func(_, n int) error {
 		resp, err := co.t.Call(n, &Message{Op: "stats"})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		if resp.Stats != nil {
 			out[n] = *resp.Stats
 		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ExecStats gathers every node's worker-pool counters. With an in-process
+// grid all nodes share one process-wide pool, so node 0's snapshot is the
+// whole story; over TCP each node reports its own pool.
+func (co *Coordinator) ExecStats() ([]exec.Stats, error) {
+	out := make([]exec.Stats, co.t.NumNodes())
+	if err := fanout(allNodes(len(out)), func(_, n int) error {
+		resp, err := co.t.Call(n, &Message{Op: "execstats"})
+		if err != nil {
+			return err
+		}
+		if resp.Exec != nil {
+			out[n] = *resp.Exec
+		}
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	return out, nil
 }

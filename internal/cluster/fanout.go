@@ -1,0 +1,43 @@
+package cluster
+
+import "sync"
+
+// fanout invokes fn once per node concurrently — fn receives the slice index
+// and the node id — and waits for every call. Transport calls are
+// latency-bound, not CPU-bound, so each node gets its own goroutine rather
+// than a slot in the exec pool: a grid request costs the slowest node, not
+// the sum of all nodes. When several calls fail, the error from the lowest
+// slice index is returned so failure reporting stays deterministic.
+func fanout(nodes []int, fn func(i, node int) error) error {
+	if len(nodes) == 0 {
+		return nil
+	}
+	if len(nodes) == 1 {
+		return fn(0, nodes[0])
+	}
+	errs := make([]error, len(nodes))
+	var wg sync.WaitGroup
+	for i, n := range nodes {
+		wg.Add(1)
+		go func(i, n int) {
+			defer wg.Done()
+			errs[i] = fn(i, n)
+		}(i, n)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// allNodes lists node ids 0..n-1.
+func allNodes(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}

@@ -21,13 +21,14 @@ import (
 
 	"scidb/internal/array"
 	"scidb/internal/bufcache"
+	"scidb/internal/exec"
 	"scidb/internal/ops"
 	"scidb/internal/storage"
 )
 
 // Message is the single request/response envelope exchanged with workers.
 type Message struct {
-	Op     string // "create", "put", "scan", "agg", "count", "drop", "ping", "cachestats"
+	Op     string // "create", "put", "scan", "agg", "count", "drop", "ping", "cachestats", "execstats"
 	Array  string
 	Schema *array.Schema
 	BoxLo  []int64
@@ -48,6 +49,8 @@ type Message struct {
 	Stats *WorkerStats
 	// Cache is the "cachestats" response: the node's buffer-pool counters.
 	Cache *bufcache.Stats
+	// Exec is the "execstats" response: the node's worker-pool counters.
+	Exec *exec.Stats
 }
 
 // Partial is a combinable aggregate fragment computed by one worker for one
@@ -192,6 +195,9 @@ func (w *Worker) handle(req *Message) (*Message, error) {
 	case "cachestats":
 		s := w.CacheStats()
 		return &Message{Op: "cachestats", Cache: &s}, nil
+	case "execstats":
+		s := exec.Default().Stats()
+		return &Message{Op: "execstats", Exec: &s}, nil
 	}
 	return nil, fmt.Errorf("cluster: unknown op %q", req.Op)
 }

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"scidb/internal/array"
+	execpkg "scidb/internal/exec"
 	"scidb/internal/insitu"
 	"scidb/internal/parser"
 	"scidb/internal/provenance"
@@ -70,6 +71,19 @@ func Open() *Database {
 
 // SetClock overrides the commit clock (tests, deterministic benches).
 func (db *Database) SetClock(now func() int64) { db.now = now }
+
+// SetParallelism bounds the worker pool the chunk-parallel operators draw
+// from: 1 forces serial execution (the pre-parallel engine exactly), <= 0
+// restores runtime.NumCPU(). The pool is process-wide, so the setting spans
+// every Database in the process.
+func (db *Database) SetParallelism(n int) { execpkg.SetParallelism(n) }
+
+// Parallelism reports the worker pool's current bound.
+func (db *Database) Parallelism() int { return execpkg.Parallelism() }
+
+// ExecStats snapshots the worker-pool counters — scheduling observability
+// alongside the per-store CacheStats.
+func (db *Database) ExecStats() execpkg.Stats { return execpkg.Default().Stats() }
 
 // Registry exposes the UDF registry for Go-registered functions (§2.3
 // extensibility; see DESIGN.md's substitution for C++ object code).

@@ -1,0 +1,141 @@
+package exec
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestMapRunsEveryTask(t *testing.T) {
+	for _, par := range []int{1, 2, 4, 8} {
+		p := New(par)
+		var hits [100]atomic.Int32
+		if err := p.Map(context.Background(), len(hits), func(i int) error {
+			hits[i].Add(1)
+			return nil
+		}); err != nil {
+			t.Fatalf("par=%d: %v", par, err)
+		}
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("par=%d: task %d ran %d times", par, i, got)
+			}
+		}
+		if got := p.Stats().TasksRun; got != 100 {
+			t.Fatalf("par=%d: TasksRun = %d, want 100", par, got)
+		}
+	}
+}
+
+func TestMapSerialOrderAndFirstError(t *testing.T) {
+	p := New(1)
+	var order []int
+	wantErr := errors.New("boom")
+	err := p.Map(context.Background(), 10, func(i int) error {
+		order = append(order, i)
+		if i == 3 {
+			return wantErr
+		}
+		return nil
+	})
+	if !errors.Is(err, wantErr) {
+		t.Fatalf("err = %v, want %v", err, wantErr)
+	}
+	if len(order) != 4 || order[3] != 3 {
+		t.Fatalf("serial map ran %v, want [0 1 2 3]", order)
+	}
+}
+
+func TestMapParallelReturnsLowestIndexError(t *testing.T) {
+	p := New(4)
+	err := p.Map(context.Background(), 64, func(i int) error {
+		if i%7 == 5 {
+			return fmt.Errorf("task %d failed", i)
+		}
+		return nil
+	})
+	if err == nil || err.Error() != "task 5 failed" {
+		t.Fatalf("err = %v, want task 5 failed", err)
+	}
+}
+
+func TestMapErrorCancelsRemainingTasks(t *testing.T) {
+	p := New(4)
+	var ran atomic.Int64
+	_ = p.Map(context.Background(), 10000, func(i int) error {
+		ran.Add(1)
+		if i == 0 {
+			return errors.New("stop")
+		}
+		return nil
+	})
+	if n := ran.Load(); n == 10000 {
+		t.Fatalf("expected cancellation to skip tasks, all %d ran", n)
+	}
+}
+
+func TestMapContextCancellation(t *testing.T) {
+	p := New(4)
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int64
+	err := p.Map(ctx, 100000, func(i int) error {
+		if ran.Add(1) == 10 {
+			cancel()
+		}
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestNestedMapDoesNotDeadlock(t *testing.T) {
+	p := New(2)
+	done := make(chan error, 1)
+	go func() {
+		done <- p.Map(context.Background(), 4, func(i int) error {
+			return p.Map(context.Background(), 4, func(j int) error { return nil })
+		})
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("nested Map deadlocked")
+	}
+}
+
+func TestConcurrentMapsShareSlots(t *testing.T) {
+	p := New(4)
+	var wg = make(chan struct{}, 8)
+	for g := 0; g < 8; g++ {
+		go func() {
+			_ = p.Map(context.Background(), 32, func(i int) error { return nil })
+			wg <- struct{}{}
+		}()
+	}
+	for g := 0; g < 8; g++ {
+		<-wg
+	}
+	if got := p.Stats().TasksRun; got != 8*32 {
+		t.Fatalf("TasksRun = %d, want %d", got, 8*32)
+	}
+}
+
+func TestSetParallelism(t *testing.T) {
+	old := Parallelism()
+	defer SetParallelism(old)
+	SetParallelism(3)
+	if Parallelism() != 3 {
+		t.Fatalf("Parallelism() = %d, want 3", Parallelism())
+	}
+	SetParallelism(0)
+	if Parallelism() < 1 {
+		t.Fatalf("Parallelism() = %d, want >= 1", Parallelism())
+	}
+}

@@ -12,6 +12,9 @@ import (
 // holds the cell keeps its value, otherwise the result "will contain NULL".
 // Absent cells stay absent.
 func Filter(a *array.Array, pred Expr, reg *udf.Registry) (*array.Array, error) {
+	if pool, work := parChunks(a); pool != nil {
+		return parallelFilter(a, pred, reg, pool, work)
+	}
 	out := &array.Schema{Name: a.Schema.Name + "_filter", Dims: dimsWithHwm(a), Attrs: a.Schema.Attrs}
 	res, err := array.New(out)
 	if err != nil {
@@ -56,6 +59,13 @@ type AggSpec struct {
 	As   string // output attribute name; default "agg_attr"
 }
 
+// aggCol is one resolved aggregate: the input attribute it reads and the
+// accumulator factory.
+type aggCol struct {
+	attr int
+	fac  udf.AggregateFactory
+}
+
 // Aggregate (§2.2.2, Figure 2) groups an n-dimensional array on k grouping
 // dimensions and applies aggregate functions to the remaining (n−k)-
 // dimensional subarrays, one per combination of grouping-dimension values.
@@ -87,10 +97,6 @@ func Aggregate(a *array.Array, groupDims []string, specs []AggSpec, reg *udf.Reg
 			out.Dims = append(out.Dims, array.Dimension{Name: s.Dims[d].Name, High: max64(a.Hwm(d), 1)})
 		}
 	}
-	type aggCol struct {
-		attr int
-		fac  udf.AggregateFactory
-	}
 	cols := make([]aggCol, len(specs))
 	for i, sp := range specs {
 		fac, err := reg.Aggregate(sp.Agg)
@@ -118,6 +124,9 @@ func Aggregate(a *array.Array, groupDims []string, specs []AggSpec, reg *udf.Reg
 			t = array.TFloat64
 		}
 		out.Attrs = append(out.Attrs, array.Attribute{Name: name, Type: t, Uncertain: s.Attrs[attr].Uncertain})
+	}
+	if pool, work := parChunks(a); pool != nil && aggsMergeable(cols) {
+		return parallelAggregate(a, gidx, cols, out, pool, work)
 	}
 	res, err := array.New(out)
 	if err != nil {
@@ -252,6 +261,9 @@ type ApplySpec struct {
 // Apply (§2.2.2) computes new attributes per cell from expressions over the
 // existing record (and the coordinate), appending them to the cell.
 func Apply(a *array.Array, specs []ApplySpec, reg *udf.Registry) (*array.Array, error) {
+	if pool, work := parChunks(a); pool != nil {
+		return parallelApply(a, specs, reg, pool, work)
+	}
 	s := a.Schema
 	out := &array.Schema{Name: s.Name + "_apply", Dims: dimsWithHwm(a)}
 	out.Attrs = append([]array.Attribute(nil), s.Attrs...)
@@ -369,6 +381,11 @@ func Regrid(a *array.Array, strides []int64, spec AggSpec, reg *udf.Registry) (*
 		t = array.TFloat64
 	}
 	out.Attrs = []array.Attribute{{Name: name, Type: t, Uncertain: s.Attrs[attr].Uncertain}}
+	if pool, work := parChunks(a); pool != nil {
+		if _, ok := fac().(udf.MergeableAggregate); ok {
+			return parallelRegrid(a, strides, attr, fac, out, pool, work)
+		}
+	}
 	res, err := array.New(out)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,902 @@
+package ops
+
+// Chunk-parallel execution paths for the hot operators (Filter, Apply,
+// Aggregate, Regrid, Subsample, Sjoin). The paper's premise (§2.4, §2.10) is
+// that array operators parallelize naturally over a regular chunked layout:
+// each task processes one whole input chunk and writes one disjoint output
+// chunk, installed with PutChunk at the end — no locking on the output.
+//
+// Three invariants keep the parallel results cell-identical to the serial
+// operators:
+//
+//   - Input arrays are strictly read-only during a run. Tasks use PeekAt /
+//     peeker (never At, whose last-chunk cache mutates) and never call
+//     CellsPresent on shared chunks (Bitmap.Count trims in place); the
+//     drivers warm Chunks() and presence counts serially before fanning out.
+//   - Aggregate/Regrid partials merge at the barrier in chunk order, which
+//     is exactly the order the serial accumulator saw its inputs (serial
+//     iteration is chunk-major).
+//   - The columnar fast paths reuse evalArith/evalCmp/evalLogic and mirror
+//     Column.Get, so compiled and boxed evaluation are interchangeable.
+//
+// Output schemas pin the effective chunk stride explicitly (parOutDims) so
+// per-input-chunk tasks land on the output's own grid; with parallelism 1
+// the operators run their original serial code untouched.
+
+import (
+	"context"
+
+	"scidb/internal/array"
+	"scidb/internal/exec"
+	"scidb/internal/udf"
+)
+
+// parChunks decides whether an operator over a should run chunk-parallel.
+// It returns the pool and the non-empty input chunks, warming the array's
+// lazy caches (sorted chunk list, presence counts) so tasks only ever read;
+// (nil, nil) means run the serial path.
+func parChunks(a *array.Array) (*exec.Pool, []*array.Chunk) {
+	pool := exec.Default()
+	if pool.Parallelism() <= 1 {
+		return nil, nil
+	}
+	var work []*array.Chunk
+	for _, ch := range a.Chunks() {
+		if ch.CellsPresent() > 0 {
+			work = append(work, ch)
+		}
+	}
+	if len(work) < 2 {
+		return nil, nil
+	}
+	return pool, work
+}
+
+// effChunkLen is the stride dimension d of a actually chunks on: the
+// declared ChunkLen, the default stride for unbounded dimensions, or 0 for
+// bounded dimensions stored as one span.
+func effChunkLen(d array.Dimension) int64 {
+	if d.ChunkLen > 0 {
+		return d.ChunkLen
+	}
+	if d.High == array.Unbounded {
+		return array.DefaultChunkLen
+	}
+	return 0
+}
+
+// parOutDims pins dimensions to the high-water mark like dimsWithHwm but
+// also pins the effective chunk stride, so the output grid coincides with
+// the input's and per-input-chunk tasks emit aligned output chunks.
+func parOutDims(a *array.Array) []array.Dimension {
+	dims := dimsWithHwm(a)
+	for i, d := range a.Schema.Dims {
+		dims[i].ChunkLen = effChunkLen(d)
+	}
+	return dims
+}
+
+func shapeEq(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// eachPresent walks ch's present slots in row-major order, passing the slot
+// index and the coordinate (reused between calls).
+func eachPresent(ch *array.Chunk, fn func(idx int64, c array.Coord) error) error {
+	nd := len(ch.Origin)
+	c := ch.Origin.Clone()
+	slots := ch.Slots()
+	for idx := int64(0); idx < slots; idx++ {
+		if ch.Present.Get(idx) {
+			if err := fn(idx, c); err != nil {
+				return err
+			}
+		}
+		for d := nd - 1; d >= 0; d-- {
+			c[d]++
+			if c[d] < ch.Origin[d]+ch.Shape[d] {
+				break
+			}
+			c[d] = ch.Origin[d]
+		}
+	}
+	return nil
+}
+
+// peeker reads cells of a shared input array through a task-private
+// last-chunk cache, so concurrent tasks never touch the array's own mutable
+// cache (Array.At is not safe for concurrent use; PeekAt and this are).
+type peeker struct {
+	a    *array.Array
+	last *array.Chunk
+	box  array.Box
+}
+
+// get resolves c to its chunk and slot; ok is false for absent cells.
+func (p *peeker) get(c array.Coord) (*array.Chunk, int64, bool) {
+	if !p.a.CoordInside(c) {
+		return nil, 0, false
+	}
+	if p.last == nil || !p.box.Contains(c) {
+		ch, ok := p.a.ChunkAt(c)
+		if !ok {
+			return nil, 0, false
+		}
+		p.last, p.box = ch, ch.Box()
+	}
+	idx := p.last.Index(c)
+	if !p.last.Present.Get(idx) {
+		return nil, 0, false
+	}
+	return p.last, idx, true
+}
+
+// gridOrigins enumerates the chunk origins of a's grid covering its full
+// declared bounds, in origin order. The array's dimensions must be bounded.
+func gridOrigins(a *array.Array) []array.Coord {
+	dims := a.Schema.Dims
+	nd := len(dims)
+	steps := make([]int64, nd)
+	for i, d := range dims {
+		steps[i] = effChunkLen(d)
+		if steps[i] <= 0 {
+			steps[i] = d.High
+		}
+	}
+	var out []array.Coord
+	cur := make(array.Coord, nd)
+	for i := range cur {
+		cur[i] = 1
+	}
+	for {
+		out = append(out, cur.Clone())
+		d := nd - 1
+		for d >= 0 {
+			cur[d] += steps[d]
+			if cur[d] <= dims[d].High {
+				break
+			}
+			cur[d] = 1
+			d--
+		}
+		if d < 0 {
+			break
+		}
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Columnar expression compilation
+
+// colEval is a compiled per-chunk expression: it reads attribute vectors and
+// null bitmaps directly instead of boxing the whole cell into a Cell.
+type colEval func(idx int64, c array.Coord) (array.Value, error)
+
+func colSigma(col *array.Column, idx int64) float64 {
+	switch {
+	case col.HasShared:
+		return col.SharedSigma
+	case col.Sigma != nil:
+		return col.Sigma[idx]
+	}
+	return 0
+}
+
+// compileExpr compiles e against one chunk's columns. It returns nil when
+// the expression uses features the columnar path doesn't cover (string or
+// nested-array attributes, UDF calls); callers fall back to the generic
+// boxed-cell evaluator. Compiled evaluation produces identical Values: leaf
+// access mirrors Column.Get / DimRef.Eval and operators reuse evalArith,
+// evalCmp, and evalLogic.
+func compileExpr(e Expr, s *array.Schema, ch *array.Chunk) colEval {
+	switch n := e.(type) {
+	case Const:
+		v := n.V
+		return func(int64, array.Coord) (array.Value, error) { return v, nil }
+	case AttrRef:
+		ai := s.AttrIndex(n.Name)
+		if ai < 0 || ai >= len(ch.Cols) {
+			return nil
+		}
+		col := ch.Cols[ai]
+		switch col.Type {
+		case array.TInt64:
+			return func(idx int64, _ array.Coord) (array.Value, error) {
+				if col.Nulls.Get(idx) {
+					return array.Value{Type: array.TInt64, Null: true}, nil
+				}
+				return array.Value{Type: array.TInt64, Int: col.Ints[idx], Sigma: colSigma(col, idx)}, nil
+			}
+		case array.TFloat64:
+			return func(idx int64, _ array.Coord) (array.Value, error) {
+				if col.Nulls.Get(idx) {
+					return array.Value{Type: array.TFloat64, Null: true}, nil
+				}
+				return array.Value{Type: array.TFloat64, Float: col.Floats[idx], Sigma: colSigma(col, idx)}, nil
+			}
+		case array.TBool:
+			return func(idx int64, _ array.Coord) (array.Value, error) {
+				if col.Nulls.Get(idx) {
+					return array.Value{Type: array.TBool, Null: true}, nil
+				}
+				return array.Value{Type: array.TBool, Bool: col.Bools[idx], Sigma: colSigma(col, idx)}, nil
+			}
+		}
+		return nil
+	case DimRef:
+		d := s.DimIndex(n.Name)
+		if d < 0 {
+			return nil
+		}
+		return func(_ int64, c array.Coord) (array.Value, error) { return array.Int64(c[d]), nil }
+	case Binary:
+		l := compileExpr(n.L, s, ch)
+		if l == nil {
+			return nil
+		}
+		r := compileExpr(n.R, s, ch)
+		if r == nil {
+			return nil
+		}
+		op := n.Op
+		switch op {
+		case OpAdd, OpSub, OpMul, OpDiv, OpMod:
+			return func(idx int64, c array.Coord) (array.Value, error) {
+				lv, err := l(idx, c)
+				if err != nil {
+					return array.Value{}, err
+				}
+				rv, err := r(idx, c)
+				if err != nil {
+					return array.Value{}, err
+				}
+				return evalArith(op, lv, rv)
+			}
+		case OpEq, OpNe, OpLt, OpLe, OpGt, OpGe:
+			return func(idx int64, c array.Coord) (array.Value, error) {
+				lv, err := l(idx, c)
+				if err != nil {
+					return array.Value{}, err
+				}
+				rv, err := r(idx, c)
+				if err != nil {
+					return array.Value{}, err
+				}
+				return evalCmp(op, lv, rv), nil
+			}
+		case OpAnd, OpOr:
+			return func(idx int64, c array.Coord) (array.Value, error) {
+				lv, err := l(idx, c)
+				if err != nil {
+					return array.Value{}, err
+				}
+				rv, err := r(idx, c)
+				if err != nil {
+					return array.Value{}, err
+				}
+				return evalLogic(op, lv, rv), nil
+			}
+		}
+		return nil
+	case Not:
+		inner := compileExpr(n.E, s, ch)
+		if inner == nil {
+			return nil
+		}
+		return func(idx int64, c array.Coord) (array.Value, error) {
+			v, err := inner(idx, c)
+			if err != nil || v.Null {
+				return v, err
+			}
+			return array.Bool64(!v.Bool), nil
+		}
+	}
+	return nil
+}
+
+// vecPred recognizes the attribute-compare-constant predicate shape and
+// returns a tight vector kernel over the column (null bit → NULL → false,
+// matching Truthy); nil when the predicate has any other shape. Comparisons
+// mirror Value.Compare (AsFloat ordering, so <= is !(a > b) to keep NaN
+// behaviour) and Value.Equal (exact int64 equality for int-int).
+func vecPred(pred Expr, s *array.Schema, ch *array.Chunk) func(idx int64) bool {
+	b, ok := pred.(Binary)
+	if !ok {
+		return nil
+	}
+	switch b.Op {
+	case OpEq, OpNe, OpLt, OpLe, OpGt, OpGe:
+	default:
+		return nil
+	}
+	ar, ok := b.L.(AttrRef)
+	if !ok {
+		return nil
+	}
+	co, ok := b.R.(Const)
+	if !ok {
+		return nil
+	}
+	ai := s.AttrIndex(ar.Name)
+	if ai < 0 || ai >= len(ch.Cols) {
+		return nil
+	}
+	col := ch.Cols[ai]
+	cv := co.V
+	if cv.Null {
+		// Comparing with NULL yields NULL, which Filter treats as false.
+		return func(int64) bool { return false }
+	}
+	if cv.Type != array.TInt64 && cv.Type != array.TFloat64 {
+		return nil
+	}
+	nulls := col.Nulls
+	cf := cv.AsFloat()
+	switch col.Type {
+	case array.TInt64:
+		ints := col.Ints
+		switch b.Op {
+		case OpEq:
+			if cv.Type == array.TInt64 {
+				ci := cv.Int
+				return func(i int64) bool { return !nulls.Get(i) && ints[i] == ci }
+			}
+			return func(i int64) bool { return !nulls.Get(i) && float64(ints[i]) == cf }
+		case OpNe:
+			if cv.Type == array.TInt64 {
+				ci := cv.Int
+				return func(i int64) bool { return !nulls.Get(i) && ints[i] != ci }
+			}
+			return func(i int64) bool { return !nulls.Get(i) && float64(ints[i]) != cf }
+		case OpLt:
+			return func(i int64) bool { return !nulls.Get(i) && float64(ints[i]) < cf }
+		case OpLe:
+			return func(i int64) bool { return !nulls.Get(i) && !(float64(ints[i]) > cf) }
+		case OpGt:
+			return func(i int64) bool { return !nulls.Get(i) && float64(ints[i]) > cf }
+		case OpGe:
+			return func(i int64) bool { return !nulls.Get(i) && !(float64(ints[i]) < cf) }
+		}
+	case array.TFloat64:
+		floats := col.Floats
+		switch b.Op {
+		case OpEq:
+			return func(i int64) bool { return !nulls.Get(i) && floats[i] == cf }
+		case OpNe:
+			return func(i int64) bool { return !nulls.Get(i) && floats[i] != cf }
+		case OpLt:
+			return func(i int64) bool { return !nulls.Get(i) && floats[i] < cf }
+		case OpLe:
+			return func(i int64) bool { return !nulls.Get(i) && !(floats[i] > cf) }
+		case OpGt:
+			return func(i int64) bool { return !nulls.Get(i) && floats[i] > cf }
+		case OpGe:
+			return func(i int64) bool { return !nulls.Get(i) && !(floats[i] < cf) }
+		}
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Operators
+
+func parallelFilter(a *array.Array, pred Expr, reg *udf.Registry, pool *exec.Pool, work []*array.Chunk) (*array.Array, error) {
+	out := &array.Schema{Name: a.Schema.Name + "_filter", Dims: parOutDims(a), Attrs: a.Schema.Attrs}
+	res, err := array.New(out)
+	if err != nil {
+		return nil, err
+	}
+	outCh := make([]*array.Chunk, len(work))
+	err = pool.Map(context.Background(), len(work), func(i int) error {
+		ch := work[i]
+		oc := array.NewChunk(res.Schema, ch.Origin, res.GridShape(ch.Origin))
+		same := shapeEq(ch.Shape, oc.Shape)
+		vec := vecPred(pred, a.Schema, ch)
+		var eval colEval
+		var ctx *EvalCtx
+		var cell array.Cell
+		if vec == nil {
+			if eval = compileExpr(pred, a.Schema, ch); eval == nil {
+				ctx = &EvalCtx{Schema: a.Schema, Reg: reg}
+				cell = make(array.Cell, len(ch.Cols))
+			}
+		}
+		werr := eachPresent(ch, func(idx int64, c array.Coord) error {
+			var keep bool
+			switch {
+			case vec != nil:
+				keep = vec(idx)
+			case eval != nil:
+				v, err := eval(idx, c)
+				if err != nil {
+					return err
+				}
+				keep = !v.Null && v.Bool
+			default:
+				for ai, col := range ch.Cols {
+					cell[ai] = col.Get(idx)
+				}
+				ctx.Coord, ctx.Cell = c, cell
+				k, err := Truthy(pred, ctx)
+				if err != nil {
+					return err
+				}
+				keep = k
+			}
+			oidx := idx
+			if !same {
+				oidx = oc.Index(c)
+			}
+			oc.Present.Set(oidx)
+			if keep {
+				for ai := range oc.Cols {
+					oc.Cols[ai].CopyFrom(ch.Cols[ai], oidx, idx)
+				}
+			} else {
+				for _, col := range oc.Cols {
+					col.Nulls.Set(oidx)
+				}
+			}
+			return nil
+		})
+		if werr != nil {
+			return werr
+		}
+		outCh[i] = oc
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	pool.NoteChunks(int64(len(work)))
+	for _, oc := range outCh {
+		if oc != nil {
+			res.PutChunk(oc)
+		}
+	}
+	return res, nil
+}
+
+func parallelApply(a *array.Array, specs []ApplySpec, reg *udf.Registry, pool *exec.Pool, work []*array.Chunk) (*array.Array, error) {
+	s := a.Schema
+	out := &array.Schema{Name: s.Name + "_apply", Dims: parOutDims(a)}
+	out.Attrs = append([]array.Attribute(nil), s.Attrs...)
+	for _, sp := range specs {
+		out.Attrs = append(out.Attrs, array.Attribute{Name: sp.Name, Type: array.TFloat64, Uncertain: true})
+	}
+	res, err := array.New(out)
+	if err != nil {
+		return nil, err
+	}
+	// Fix the computed attributes' declared types from the first present
+	// cell, exactly as the serial probe does (expressions are assumed pure;
+	// this cell is evaluated again by its chunk's task).
+	probeCtx := &EvalCtx{Schema: s, Reg: reg}
+	probeErr := eachPresent(work[0], func(idx int64, c array.Coord) error {
+		cell := make(array.Cell, len(work[0].Cols))
+		for ai, col := range work[0].Cols {
+			cell[ai] = col.Get(idx)
+		}
+		probeCtx.Coord, probeCtx.Cell = c, cell
+		for i, sp := range specs {
+			v, err := sp.Expr.Eval(probeCtx)
+			if err != nil {
+				return err
+			}
+			if !v.Null {
+				res.Schema.Attrs[len(s.Attrs)+i].Type = v.Type
+			}
+		}
+		return errStopProbe
+	})
+	if probeErr != nil && probeErr != errStopProbe {
+		return nil, probeErr
+	}
+	base := len(s.Attrs)
+	outCh := make([]*array.Chunk, len(work))
+	err = pool.Map(context.Background(), len(work), func(i int) error {
+		ch := work[i]
+		oc := array.NewChunk(res.Schema, ch.Origin, res.GridShape(ch.Origin))
+		same := shapeEq(ch.Shape, oc.Shape)
+		compiled := make([]colEval, len(specs))
+		generic := false
+		for k, sp := range specs {
+			if compiled[k] = compileExpr(sp.Expr, s, ch); compiled[k] == nil {
+				generic = true
+			}
+		}
+		var ctx *EvalCtx
+		var cell array.Cell
+		if generic {
+			ctx = &EvalCtx{Schema: s, Reg: reg}
+			cell = make(array.Cell, len(ch.Cols))
+		}
+		werr := eachPresent(ch, func(idx int64, c array.Coord) error {
+			oidx := idx
+			if !same {
+				oidx = oc.Index(c)
+			}
+			oc.Present.Set(oidx)
+			for ai := 0; ai < base; ai++ {
+				oc.Cols[ai].CopyFrom(ch.Cols[ai], oidx, idx)
+			}
+			if generic {
+				for ai, col := range ch.Cols {
+					cell[ai] = col.Get(idx)
+				}
+				ctx.Coord, ctx.Cell = c, cell
+			}
+			for k := range specs {
+				var v array.Value
+				var err error
+				if compiled[k] != nil {
+					v, err = compiled[k](idx, c)
+				} else {
+					v, err = specs[k].Expr.Eval(ctx)
+				}
+				if err != nil {
+					return err
+				}
+				oc.Cols[base+k].Set(oidx, v)
+			}
+			return nil
+		})
+		if werr != nil {
+			return werr
+		}
+		outCh[i] = oc
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	pool.NoteChunks(int64(len(work)))
+	for _, oc := range outCh {
+		if oc != nil {
+			res.PutChunk(oc)
+		}
+	}
+	return res, nil
+}
+
+// errStopProbe is a sentinel used to stop eachPresent after the first cell.
+var errStopProbe = errSentinel("stop probe")
+
+type errSentinel string
+
+func (e errSentinel) Error() string { return string(e) }
+
+// aggsMergeable reports whether every factory builds a MergeableAggregate,
+// the precondition for per-chunk partial aggregation.
+func aggsMergeable(cols []aggCol) bool {
+	for _, c := range cols {
+		if _, ok := c.fac().(udf.MergeableAggregate); !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func parallelAggregate(a *array.Array, gidx []int, cols []aggCol, out *array.Schema, pool *exec.Pool, work []*array.Chunk) (*array.Array, error) {
+	res, err := array.New(out)
+	if err != nil {
+		return nil, err
+	}
+	gShape := make([]int64, len(out.Dims))
+	gOrigin := make(array.Coord, len(out.Dims))
+	slots := int64(1)
+	for i, d := range out.Dims {
+		gShape[i] = d.High
+		gOrigin[i] = 1
+		slots *= d.High
+	}
+	// One sparse partial-state map per chunk, merged at the barrier below.
+	locals := make([]map[int64][]udf.Aggregate, len(work))
+	err = pool.Map(context.Background(), len(work), func(i int) error {
+		ch := work[i]
+		local := map[int64][]udf.Aggregate{}
+		gc := make(array.Coord, maxInt(len(gidx), 1))
+		werr := eachPresent(ch, func(idx int64, c array.Coord) error {
+			if len(gidx) == 0 {
+				gc[0] = 1
+			} else {
+				for k, d := range gidx {
+					gc[k] = c[d]
+				}
+			}
+			slot := array.RowMajorIndex(gOrigin, gShape, gc)
+			accs := local[slot]
+			if accs == nil {
+				accs = make([]udf.Aggregate, len(cols))
+				for k, col := range cols {
+					accs[k] = col.fac()
+				}
+				local[slot] = accs
+			}
+			for k, col := range cols {
+				accs[k].Step(ch.Cols[col.attr].Get(idx))
+			}
+			return nil
+		})
+		if werr != nil {
+			return werr
+		}
+		locals[i] = local
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	pool.NoteChunks(int64(len(work)))
+	// Merge partials in chunk order: serial iteration is chunk-major, so for
+	// any one group the per-chunk partials fold in exactly the order the
+	// serial accumulator saw its inputs.
+	groups := make([][]udf.Aggregate, slots)
+	for _, local := range locals {
+		for slot, accs := range local {
+			if groups[slot] == nil {
+				groups[slot] = accs
+				continue
+			}
+			for k := range accs {
+				if err := groups[slot][k].(udf.MergeableAggregate).Merge(accs[k]); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	for slot, accs := range groups {
+		if accs == nil {
+			continue
+		}
+		outCell := make(array.Cell, len(accs))
+		for i, acc := range accs {
+			outCell[i] = acc.Result()
+		}
+		if err := res.Set(array.CoordAt(gOrigin, gShape, int64(slot)), outCell); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+func parallelRegrid(a *array.Array, strides []int64, attr int, fac udf.AggregateFactory, out *array.Schema, pool *exec.Pool, work []*array.Chunk) (*array.Array, error) {
+	res, err := array.New(out)
+	if err != nil {
+		return nil, err
+	}
+	gShape := make([]int64, len(out.Dims))
+	gOrigin := make(array.Coord, len(out.Dims))
+	slots := int64(1)
+	for i, d := range out.Dims {
+		gShape[i] = d.High
+		gOrigin[i] = 1
+		slots *= d.High
+	}
+	locals := make([]map[int64]udf.Aggregate, len(work))
+	err = pool.Map(context.Background(), len(work), func(i int) error {
+		ch := work[i]
+		local := map[int64]udf.Aggregate{}
+		gc := make(array.Coord, len(a.Schema.Dims))
+		col := ch.Cols[attr]
+		werr := eachPresent(ch, func(idx int64, c array.Coord) error {
+			for d := range c {
+				gc[d] = (c[d]-1)/strides[d] + 1
+			}
+			slot := array.RowMajorIndex(gOrigin, gShape, gc)
+			acc := local[slot]
+			if acc == nil {
+				acc = fac()
+				local[slot] = acc
+			}
+			acc.Step(col.Get(idx))
+			return nil
+		})
+		if werr != nil {
+			return werr
+		}
+		locals[i] = local
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	pool.NoteChunks(int64(len(work)))
+	groups := make([]udf.Aggregate, slots)
+	for _, local := range locals {
+		for slot, acc := range local {
+			if groups[slot] == nil {
+				groups[slot] = acc
+				continue
+			}
+			if err := groups[slot].(udf.MergeableAggregate).Merge(acc); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for slot, acc := range groups {
+		if acc == nil {
+			continue
+		}
+		if err := res.Set(array.CoordAt(gOrigin, gShape, int64(slot)), array.Cell{acc.Result()}); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+// parallelSubsample gathers the selected slices chunk-parallel: the output
+// adopts the input's effective chunk strides and one task fills each output
+// grid chunk, copying columns directly. Returns (nil, nil) when the serial
+// path should run instead.
+func parallelSubsample(a *array.Array, sel [][]int64, out *array.Schema) (*array.Array, error) {
+	pool := exec.Default()
+	if pool.Parallelism() <= 1 {
+		return nil, nil
+	}
+	dims := append([]array.Dimension(nil), out.Dims...)
+	nChunks := int64(1)
+	for i, d := range a.Schema.Dims {
+		cl := effChunkLen(d)
+		dims[i].ChunkLen = cl
+		if cl > 0 {
+			nChunks *= (dims[i].High + cl - 1) / cl
+		}
+	}
+	if nChunks < 2 {
+		return nil, nil
+	}
+	sch := &array.Schema{Name: out.Name, Dims: dims, Attrs: out.Attrs}
+	res, err := array.New(sch)
+	if err != nil {
+		return nil, err
+	}
+	origins := gridOrigins(res)
+	outCh := make([]*array.Chunk, len(origins))
+	nd := len(dims)
+	err = pool.Map(context.Background(), len(origins), func(i int) error {
+		oc := array.NewChunk(sch, origins[i], res.GridShape(origins[i]))
+		pk := peeker{a: a}
+		src := make(array.Coord, nd)
+		dst := origins[i].Clone()
+		any := false
+		slots := oc.Slots()
+		for idx := int64(0); idx < slots; idx++ {
+			inSel := true
+			for d := 0; d < nd; d++ {
+				if dst[d] > int64(len(sel[d])) {
+					inSel = false
+					break
+				}
+				src[d] = sel[d][dst[d]-1]
+			}
+			if inSel {
+				if sc, sidx, ok := pk.get(src); ok {
+					oc.Present.Set(idx)
+					for ai := range oc.Cols {
+						oc.Cols[ai].CopyFrom(sc.Cols[ai], idx, sidx)
+					}
+					any = true
+				}
+			}
+			for d := nd - 1; d >= 0; d-- {
+				dst[d]++
+				if dst[d] < oc.Origin[d]+oc.Shape[d] {
+					break
+				}
+				dst[d] = oc.Origin[d]
+			}
+		}
+		if any {
+			outCh[i] = oc
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	pool.NoteChunks(int64(len(origins)))
+	for _, oc := range outCh {
+		if oc != nil {
+			res.PutChunk(oc)
+		}
+	}
+	return res, nil
+}
+
+// parallelSjoin runs the scan side of Sjoin chunk-parallel over A's chunks:
+// the output's A dimensions adopt A's chunk strides and its free B
+// dimensions span the full extent, so each A chunk maps to exactly one
+// disjoint output chunk. Returns (nil, nil) when the serial path should run.
+func parallelSjoin(a, b *array.Array, lidx, ridx, bFree []int, out *array.Schema) (*array.Array, error) {
+	pool, work := parChunks(a)
+	if pool == nil {
+		return nil, nil
+	}
+	dims := append([]array.Dimension(nil), out.Dims...)
+	for i, d := range a.Schema.Dims {
+		dims[i].ChunkLen = effChunkLen(d)
+	}
+	sch := &array.Schema{Name: out.Name, Dims: dims, Attrs: out.Attrs}
+	res, err := array.New(sch)
+	if err != nil {
+		return nil, err
+	}
+	na := len(a.Schema.Dims)
+	naAttrs := len(a.Schema.Attrs)
+	outCh := make([]*array.Chunk, len(work))
+	err = pool.Map(context.Background(), len(work), func(i int) error {
+		ch := work[i]
+		ocOrigin := make(array.Coord, len(dims))
+		copy(ocOrigin, ch.Origin)
+		for k := na; k < len(dims); k++ {
+			ocOrigin[k] = 1
+		}
+		oc := array.NewChunk(sch, ocOrigin, res.GridShape(ocOrigin))
+		pk := peeker{a: b}
+		cb := make(array.Coord, len(b.Schema.Dims))
+		dst := make(array.Coord, len(dims))
+		any := false
+		werr := eachPresent(ch, func(idx int64, ca array.Coord) error {
+			for k := range lidx {
+				cb[ridx[k]] = ca[lidx[k]]
+			}
+			copy(dst, ca)
+			var scan func(k int) error
+			scan = func(k int) error {
+				if k == len(bFree) {
+					bch, bidx, ok := pk.get(cb)
+					if !ok {
+						return nil
+					}
+					oidx := oc.Index(dst)
+					oc.Present.Set(oidx)
+					for ai := 0; ai < naAttrs; ai++ {
+						oc.Cols[ai].CopyFrom(ch.Cols[ai], oidx, idx)
+					}
+					for ai := range bch.Cols {
+						oc.Cols[naAttrs+ai].CopyFrom(bch.Cols[ai], oidx, bidx)
+					}
+					any = true
+					return nil
+				}
+				d := bFree[k]
+				for v := int64(1); v <= b.Hwm(d); v++ {
+					cb[d] = v
+					dst[na+k] = v
+					if err := scan(k + 1); err != nil {
+						return err
+					}
+				}
+				return nil
+			}
+			return scan(0)
+		})
+		if werr != nil {
+			return werr
+		}
+		if any {
+			outCh[i] = oc
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	pool.NoteChunks(int64(len(work)))
+	for _, oc := range outCh {
+		if oc != nil {
+			res.PutChunk(oc)
+		}
+	}
+	return res, nil
+}

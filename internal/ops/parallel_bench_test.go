@@ -1,0 +1,86 @@
+package ops
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"scidb/internal/array"
+	"scidb/internal/exec"
+	"scidb/internal/udf"
+)
+
+// benchArray builds a dense 1024x1024 (≈1M cell) chunked array, the issue's
+// benchmark workload size.
+func benchArray(b *testing.B) *array.Array {
+	b.Helper()
+	s := &array.Schema{
+		Name: "B",
+		Dims: []array.Dimension{
+			{Name: "x", High: 1024, ChunkLen: 128},
+			{Name: "y", High: 1024, ChunkLen: 128},
+		},
+		Attrs: []array.Attribute{{Name: "v", Type: array.TFloat64}},
+	}
+	a := array.MustNew(s)
+	for i := int64(1); i <= 1024; i++ {
+		for j := int64(1); j <= 1024; j++ {
+			if err := a.Set(array.Coord{i, j}, array.Cell{array.Float64(float64((i*31 + j) % 997))}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	return a
+}
+
+// benchPar runs fn under b at parallelism 1 ("serial") and at the machine's
+// core count ("ncpu"); on a single-core host the two sub-benchmarks
+// coincide, so the speedup column is only meaningful with 2+ cores.
+func benchPar(b *testing.B, fn func(b *testing.B, a *array.Array)) {
+	a := benchArray(b)
+	for _, par := range []int{1, runtime.NumCPU()} {
+		name := fmt.Sprintf("par=%d", par)
+		if par == 1 {
+			name = "serial"
+		}
+		b.Run(name, func(b *testing.B) {
+			old := exec.Parallelism()
+			exec.SetParallelism(par)
+			defer exec.SetParallelism(old)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				fn(b, a)
+			}
+		})
+	}
+}
+
+func BenchmarkParallelFilter(b *testing.B) {
+	reg := udf.NewRegistry()
+	pred := Binary{Op: OpGt, L: AttrRef{Name: "v"}, R: Const{V: array.Float64(500)}}
+	benchPar(b, func(b *testing.B, a *array.Array) {
+		if _, err := Filter(a, pred, reg); err != nil {
+			b.Fatal(err)
+		}
+	})
+}
+
+func BenchmarkParallelAggregate(b *testing.B) {
+	reg := udf.NewRegistry()
+	specs := []AggSpec{{Agg: "sum", Attr: "v"}, {Agg: "avg", Attr: "v"}}
+	benchPar(b, func(b *testing.B, a *array.Array) {
+		if _, err := Aggregate(a, []string{"x"}, specs, reg); err != nil {
+			b.Fatal(err)
+		}
+	})
+}
+
+func BenchmarkParallelRegrid(b *testing.B) {
+	reg := udf.NewRegistry()
+	benchPar(b, func(b *testing.B, a *array.Array) {
+		if _, err := Regrid(a, []int64{8, 8}, AggSpec{Agg: "avg", Attr: "v"}, reg); err != nil {
+			b.Fatal(err)
+		}
+	})
+}

@@ -100,32 +100,37 @@ func Subsample(a *array.Array, conds []DimCond) (*array.Array, error) {
 	for d, dim := range s.Dims {
 		out.Dims = append(out.Dims, array.Dimension{Name: dim.Name, High: max64(int64(len(sel[d])), 1)})
 	}
-	res, err := array.New(out)
+	res, err := parallelSubsample(a, sel, out)
 	if err != nil {
 		return nil, err
 	}
-	// Copy selected cells, compacting coordinates.
-	idx := make(array.Coord, len(s.Dims))
-	var walk func(d int, src, dst array.Coord) error
-	walk = func(d int, src, dst array.Coord) error {
-		if d == len(s.Dims) {
-			if cell, ok := a.At(src); ok {
-				return res.Set(dst.Clone(), cell)
+	if res == nil {
+		if res, err = array.New(out); err != nil {
+			return nil, err
+		}
+		// Copy selected cells, compacting coordinates.
+		idx := make(array.Coord, len(s.Dims))
+		var walk func(d int, src, dst array.Coord) error
+		walk = func(d int, src, dst array.Coord) error {
+			if d == len(s.Dims) {
+				if cell, ok := a.At(src); ok {
+					return res.Set(dst.Clone(), cell)
+				}
+				return nil
+			}
+			for i, orig := range sel[d] {
+				src[d] = orig
+				dst[d] = int64(i + 1)
+				if err := walk(d+1, src, dst); err != nil {
+					return err
+				}
 			}
 			return nil
 		}
-		for i, orig := range sel[d] {
-			src[d] = orig
-			dst[d] = int64(i + 1)
-			if err := walk(d+1, src, dst); err != nil {
-				return err
-			}
+		src := make(array.Coord, len(s.Dims))
+		if err := walk(0, src, idx); err != nil {
+			return nil, err
 		}
-		return nil
-	}
-	src := make(array.Coord, len(s.Dims))
-	if err := walk(0, src, idx); err != nil {
-		return nil, err
 	}
 	// Retain the original index values as pseudo-coordinates.
 	selCopy := sel
@@ -290,6 +295,9 @@ func Sjoin(a, b *array.Array, on []DimPair) (*array.Array, error) {
 		out.Dims = append(out.Dims, array.Dimension{Name: name, High: b.Hwm(d)})
 	}
 	out.Attrs = concatAttrs(sa, sb)
+	if res, err := parallelSjoin(a, b, lidx, ridx, bFree, out); err != nil || res != nil {
+		return res, err
+	}
 	res, err := array.New(out)
 	if err != nil {
 		return nil, err

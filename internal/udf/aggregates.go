@@ -1,6 +1,7 @@
 package udf
 
 import (
+	"fmt"
 	"math"
 
 	"scidb/internal/array"
@@ -33,6 +34,24 @@ func (a *sumAgg) Step(v array.Value) {
 	a.sum = a.sum.Add(uncertain.New(v.AsFloat(), v.Sigma))
 }
 
+func (a *sumAgg) Merge(o Aggregate) error {
+	b, ok := o.(*sumAgg)
+	if !ok {
+		return fmt.Errorf("udf: cannot merge %T into sum", o)
+	}
+	if !b.seen {
+		return nil
+	}
+	if !a.seen {
+		*a = *b
+		return nil
+	}
+	a.isInt = a.isInt && b.isInt
+	a.intSum += b.intSum
+	a.sum = a.sum.Add(b.sum)
+	return nil
+}
+
 func (a *sumAgg) Result() array.Value {
 	if !a.seen {
 		return array.NullValue(array.TFloat64)
@@ -52,6 +71,15 @@ func (a *countAgg) Step(v array.Value) {
 }
 func (a *countAgg) Result() array.Value { return array.Int64(a.n) }
 
+func (a *countAgg) Merge(o Aggregate) error {
+	b, ok := o.(*countAgg)
+	if !ok {
+		return fmt.Errorf("udf: cannot merge %T into count", o)
+	}
+	a.n += b.n
+	return nil
+}
+
 type avgAgg struct {
 	sum sumAgg
 	n   int64
@@ -63,6 +91,18 @@ func (a *avgAgg) Step(v array.Value) {
 	}
 	a.sum.Step(v)
 	a.n++
+}
+
+func (a *avgAgg) Merge(o Aggregate) error {
+	b, ok := o.(*avgAgg)
+	if !ok {
+		return fmt.Errorf("udf: cannot merge %T into avg", o)
+	}
+	if err := a.sum.Merge(&b.sum); err != nil {
+		return err
+	}
+	a.n += b.n
+	return nil
 }
 
 func (a *avgAgg) Result() array.Value {
@@ -86,6 +126,19 @@ func (a *minAgg) Step(v array.Value) {
 	}
 }
 
+func (a *minAgg) Merge(o Aggregate) error {
+	b, ok := o.(*minAgg)
+	if !ok {
+		return fmt.Errorf("udf: cannot merge %T into min", o)
+	}
+	// Strict < keeps the receiver's winner on ties, matching Step's
+	// first-seen-wins when partials are merged in chunk order.
+	if b.seen && (!a.seen || b.best.Compare(a.best) < 0) {
+		a.best, a.seen = b.best, true
+	}
+	return nil
+}
+
 func (a *minAgg) Result() array.Value {
 	if !a.seen {
 		return array.NullValue(array.TFloat64)
@@ -105,6 +158,17 @@ func (a *maxAgg) Step(v array.Value) {
 	if !a.seen || v.Compare(a.best) > 0 {
 		a.best, a.seen = v, true
 	}
+}
+
+func (a *maxAgg) Merge(o Aggregate) error {
+	b, ok := o.(*maxAgg)
+	if !ok {
+		return fmt.Errorf("udf: cannot merge %T into max", o)
+	}
+	if b.seen && (!a.seen || b.best.Compare(a.best) > 0) {
+		a.best, a.seen = b.best, true
+	}
+	return nil
 }
 
 func (a *maxAgg) Result() array.Value {
@@ -130,6 +194,30 @@ func (a *stdevAgg) Step(v array.Value) {
 	d := x - a.mean
 	a.mean += d / float64(a.n)
 	a.m2 += d * (x - a.mean)
+}
+
+// Merge combines two Welford states with the Chan et al. pairwise update.
+// The result is algebraically the same variance but not bit-identical to a
+// single serial Welford pass; callers comparing parallel to serial stdev
+// should allow for float rounding.
+func (a *stdevAgg) Merge(o Aggregate) error {
+	b, ok := o.(*stdevAgg)
+	if !ok {
+		return fmt.Errorf("udf: cannot merge %T into stdev", o)
+	}
+	if b.n == 0 {
+		return nil
+	}
+	if a.n == 0 {
+		*a = *b
+		return nil
+	}
+	nA, nB := float64(a.n), float64(b.n)
+	d := b.mean - a.mean
+	a.n += b.n
+	a.mean += d * nB / (nA + nB)
+	a.m2 += b.m2 + d*d*nA*nB/(nA+nB)
+	return nil
 }
 
 func (a *stdevAgg) Result() array.Value {

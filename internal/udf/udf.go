@@ -71,6 +71,19 @@ type Aggregate interface {
 // AggregateFactory creates a fresh accumulator per group.
 type AggregateFactory func() Aggregate
 
+// MergeableAggregate is an Aggregate whose partial states combine: Merge
+// folds another accumulator of the same concrete type into the receiver, as
+// if the receiver had also Stepped every value the other one saw. This is
+// the "combinable partial state" contract that lets Aggregate and Regrid run
+// chunk-parallel (one accumulator per chunk, merged at a barrier) and that
+// the grid coordinator already relies on for distributed aggregation. The
+// executor falls back to serial accumulation for aggregates that don't
+// implement it.
+type MergeableAggregate interface {
+	Aggregate
+	Merge(o Aggregate) error
+}
+
 // Registry holds UDFs, aggregates, enhancement builders, and shape-function
 // builders. It is safe for concurrent use.
 type Registry struct {
