@@ -1,14 +1,17 @@
 GO ?= go
 
-.PHONY: all build test race bench experiments
+.PHONY: all build test vet race bench experiments
 
-all: build test race
+all: build test vet race
 
 build:
 	$(GO) build ./...
 
 test:
 	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
 
 # Race detection over the concurrency-heavy packages (tier-1 verification
 # runs this alongside `test`; the full -race ./... sweep is `race-all`).

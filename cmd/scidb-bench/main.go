@@ -3,6 +3,7 @@
 // EXPERIMENTS.md). With no flags it runs everything at full size.
 //
 //	scidb-bench [-exp ID[,ID...]] [-quick] [-list] [-cache-bytes N] [-parallelism N]
+//	scidb-bench -exp NET [-wire-compress gzip] [-call-timeout 30s] [-net-addrs host1:7101,host2:7101,host3:7101]
 package main
 
 import (
@@ -21,10 +22,26 @@ func main() {
 	list := flag.Bool("list", false, "list experiments and exit")
 	cacheBytes := flag.Int64("cache-bytes", 64<<20, "buffer-pool budget for cache-aware experiments")
 	parallelism := flag.Int("parallelism", 0, "chunk-parallel worker bound (1 = serial, 0 = NumCPU)")
+	wireCompress := flag.String("wire-compress", "", "wire codec for the NET experiment's compressed row (default gzip)")
+	callTimeout := flag.Duration("call-timeout", 0, "per-call deadline for NET transports (0 = none)")
+	netAddrs := flag.String("net-addrs", "", "comma-separated scidb-server addresses: run NET against real sockets instead of in-process listeners")
 	flag.Parse()
 
 	experiments.SetCacheBytes(*cacheBytes)
 	exec.SetParallelism(*parallelism)
+	if *wireCompress != "" {
+		experiments.SetWireCompress(*wireCompress)
+	}
+	experiments.SetCallTimeout(*callTimeout)
+	if *netAddrs != "" {
+		var addrs []string
+		for _, a := range strings.Split(*netAddrs, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				addrs = append(addrs, a)
+			}
+		}
+		experiments.SetNetAddrs(addrs)
+	}
 
 	if *list {
 		for _, e := range experiments.All() {

@@ -1,11 +1,12 @@
 // Command scidb-server runs one shared-nothing grid worker (§2.7). A
 // coordinator (cmd/scidb-load, the examples, or library users via
-// cluster.DialTCP) connects over TCP and drives it with gob-framed
-// messages.
+// cluster.DialTCP) connects over TCP and drives it with the multiplexed
+// binary wire protocol; legacy gob clients are still accepted (the server
+// sniffs the protocol per connection).
 //
 //	scidb-server -listen 127.0.0.1:7101 -id 0
 //	scidb-server -listen 127.0.0.1:7101 -id 0 -persist -data-dir /var/scidb -cache-bytes 268435456
-//	scidb-server -listen 127.0.0.1:7101 -id 0 -parallelism 8
+//	scidb-server -listen 127.0.0.1:7101 -id 0 -parallelism 8 -wire-compress gzip -call-timeout 30s
 package main
 
 import (
@@ -27,6 +28,8 @@ func main() {
 	dataDir := flag.String("data-dir", "", "bucket directory root for -persist (empty: in-memory buckets)")
 	cacheBytes := flag.Int64("cache-bytes", 64<<20, "decoded-bucket buffer pool budget for -persist (0 disables)")
 	parallelism := flag.Int("parallelism", 0, "chunk-parallel worker bound (1 = serial, 0 = NumCPU)")
+	wireCompress := flag.String("wire-compress", "", "response-frame codec (none|rle|delta|gzip|auto; empty mirrors each client)")
+	callTimeout := flag.Duration("call-timeout", 0, "per-connection I/O deadline for hello reads and response writes (0 = none)")
 	flag.Parse()
 
 	exec.SetParallelism(*parallelism)
@@ -41,25 +44,37 @@ func main() {
 		opts = cluster.WorkerOptions{Persist: true, Dir: *dataDir, CacheBytes: *cacheBytes}
 	}
 	w := cluster.NewWorkerWithOptions(*id, opts)
+	srv, err := cluster.NewServer(w, cluster.ServeOptions{Codec: *wireCompress, IOTimeout: *callTimeout})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "server:", err)
+		os.Exit(1)
+	}
 	mode := "array partitions"
 	if *persist {
 		mode = fmt.Sprintf("store-backed partitions (cache %d bytes)", *cacheBytes)
 	}
-	fmt.Printf("scidb-server node %d listening on %s, %s, parallelism %d\n",
-		*id, ln.Addr(), mode, exec.Parallelism())
+	codec := *wireCompress
+	if codec == "" {
+		codec = "mirror-client"
+	}
+	fmt.Printf("scidb-server node %d listening on %s, %s, parallelism %d, wire codec %s\n",
+		*id, ln.Addr(), mode, exec.Parallelism(), codec)
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	go func() {
 		<-sig
-		fmt.Println("scidb-server: shutting down, flushing stores")
-		if err := w.Close(); err != nil {
-			fmt.Fprintln(os.Stderr, "close:", err)
-			os.Exit(1)
-		}
-		os.Exit(0)
+		fmt.Println("scidb-server: shutting down, draining in-flight requests")
+		srv.Shutdown() // close listener, wait for in-flight requests, drop conns
 	}()
-	if err := cluster.Serve(ln, w); err != nil {
+	// Serve returns nil once Shutdown closes the listener; every in-flight
+	// request has been answered by then, so the stores can flush safely.
+	if err := srv.Serve(ln); err != nil {
 		fmt.Fprintln(os.Stderr, "serve:", err)
 		os.Exit(1)
 	}
+	if err := w.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "close:", err)
+		os.Exit(1)
+	}
+	fmt.Println("scidb-server: stopped")
 }

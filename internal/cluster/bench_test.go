@@ -1,0 +1,124 @@
+package cluster
+
+import (
+	"net"
+	"sync"
+	"testing"
+
+	"scidb/internal/array"
+	"scidb/internal/partition"
+)
+
+// benchGrid starts servers, loads a grid through tr, and returns a ready
+// coordinator.
+func benchSetup(b *testing.B, dial func(addrs []string) (Transport, error)) (*Coordinator, Transport, func()) {
+	b.Helper()
+	var addrs []string
+	var srvs []*Server
+	for i := 0; i < 3; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		srv, _ := NewServer(NewWorker(i), ServeOptions{})
+		go func() { _ = srv.Serve(ln) }()
+		srvs = append(srvs, srv)
+		addrs = append(addrs, ln.Addr().String())
+	}
+	tr, err := dial(addrs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	co := NewCoordinator(tr, 0)
+	if err := co.Create("b", gridSchema(), partition.Block{Nodes: 3, SplitDim: 0, High: 24}); err != nil {
+		b.Fatal(err)
+	}
+	for i := int64(1); i <= 24; i++ {
+		for j := int64(1); j <= 24; j++ {
+			if err := co.Put("b", array.Coord{i, j}, array.Cell{array.Float64(float64(i + j))}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	if err := co.Flush("b"); err != nil {
+		b.Fatal(err)
+	}
+	return co, tr, func() {
+		_ = tr.Close()
+		for _, s := range srvs {
+			s.Shutdown()
+		}
+	}
+}
+
+func benchConcurrentOps(b *testing.B, co *Coordinator) {
+	const clients = 16
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		var wg sync.WaitGroup
+		for c := 0; c < clients; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				var err error
+				switch c % 3 {
+				case 0:
+					_, err = co.Count("b")
+				case 1:
+					_, err = co.Scan("b", array.NewBox(array.Coord{1, 1}, array.Coord{8, 8}))
+				default:
+					_, err = co.Aggregate("b", array.NewBox(array.Coord{1, 1}, array.Coord{24, 24}), "sum", "flux", []string{"x"})
+				}
+				if err != nil {
+					b.Error(err)
+				}
+			}(c)
+		}
+		wg.Wait()
+	}
+}
+
+func BenchmarkConcurrentFanoutBinary(b *testing.B) {
+	co, _, stop := benchSetup(b, func(addrs []string) (Transport, error) { return DialTCP(addrs) })
+	defer stop()
+	benchConcurrentOps(b, co)
+}
+
+func BenchmarkConcurrentFanoutGob(b *testing.B) {
+	co, _, stop := benchSetup(b, func(addrs []string) (Transport, error) { return DialGobTCP(addrs) })
+	defer stop()
+	benchConcurrentOps(b, co)
+}
+
+func benchPing(b *testing.B, tr Transport) {
+	const clients = 16
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		var wg sync.WaitGroup
+		for c := 0; c < clients; c++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for k := 0; k < 10; k++ {
+					if _, err := tr.Call(k%3, &Message{Op: "ping"}); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+	}
+}
+
+func BenchmarkPingBinary(b *testing.B) {
+	_, tr, stop := benchSetup(b, func(addrs []string) (Transport, error) { return DialTCP(addrs) })
+	defer stop()
+	benchPing(b, tr)
+}
+
+func BenchmarkPingGob(b *testing.B) {
+	_, tr, stop := benchSetup(b, func(addrs []string) (Transport, error) { return DialGobTCP(addrs) })
+	defer stop()
+	benchPing(b, tr)
+}

@@ -560,6 +560,17 @@ func (co *Coordinator) ExecStats() ([]exec.Stats, error) {
 	return out, nil
 }
 
+// TransportStats reports the transport's wire counters (bytes and frames
+// in/out, in-flight high-water mark, summed round-trip time), alongside
+// ExecStats and CacheStats in the observability surface. ok is false for
+// transports without wire counters (Local).
+func (co *Coordinator) TransportStats() (TransportStats, bool) {
+	if src, ok := co.t.(StatsSource); ok {
+		return src.TransportStats(), true
+	}
+	return TransportStats{}, false
+}
+
 // Scheme returns the current scheme of a distributed array.
 func (co *Coordinator) Scheme(name string) (partition.Scheme, error) {
 	co.mu.Lock()

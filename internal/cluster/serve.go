@@ -1,0 +1,288 @@
+package cluster
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"scidb/internal/compress"
+)
+
+// ServeOptions tunes a worker server.
+type ServeOptions struct {
+	// Codec overrides the response-direction compression codec. Empty
+	// mirrors whatever codec each client announced in its hello.
+	Codec string
+	// IOTimeout bounds the hello read and each response-frame write, so a
+	// stalled peer cannot wedge a connection goroutine forever. Zero
+	// means no deadlines.
+	IOTimeout time.Duration
+}
+
+// Server runs one worker behind a listener, speaking the multiplexed
+// binary wire protocol. The first bytes of every connection are sniffed:
+// a wire-magic prefix selects the framed protocol (requests on one
+// connection are handled concurrently and responses return in completion
+// order, keyed by request id); anything else falls back to the legacy
+// one-gob-message-at-a-time protocol, so old clients keep working.
+type Server struct {
+	w    *Worker
+	opts ServeOptions
+
+	mu     sync.Mutex
+	ln     net.Listener
+	conns  map[net.Conn]struct{}
+	closed bool
+	reqs   sync.WaitGroup
+}
+
+// NewServer wraps a worker. The codec override is validated here so a
+// misconfigured server fails at startup, not per connection.
+func NewServer(w *Worker, opts ServeOptions) (*Server, error) {
+	if _, err := codecByName(opts.Codec); err != nil {
+		return nil, err
+	}
+	return &Server{w: w, opts: opts, conns: map[net.Conn]struct{}{}}, nil
+}
+
+// Serve accepts connections until the listener closes. A closed listener
+// (Shutdown, or ln.Close by the caller) is a clean nil return, not an
+// error.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		if !s.track(conn) {
+			_ = conn.Close()
+			return nil
+		}
+		go s.serveConn(conn)
+	}
+}
+
+// Shutdown closes the listener, waits for every in-flight request to
+// finish (its response is written before the request counts as done), then
+// closes the remaining connections. Safe to call more than once.
+func (s *Server) Shutdown() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	ln := s.ln
+	s.mu.Unlock()
+	if ln != nil {
+		_ = ln.Close()
+	}
+	s.reqs.Wait()
+	s.mu.Lock()
+	for c := range s.conns {
+		_ = c.Close()
+	}
+	s.mu.Unlock()
+}
+
+func (s *Server) track(conn net.Conn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false
+	}
+	s.conns[conn] = struct{}{}
+	return true
+}
+
+func (s *Server) untrack(conn net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, conn)
+	s.mu.Unlock()
+}
+
+// beginReq admits one request into the in-flight set, refusing once
+// shutdown has started (the WaitGroup may already be draining).
+func (s *Server) beginReq() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false
+	}
+	s.reqs.Add(1)
+	return true
+}
+
+// serveConn sniffs the protocol and runs the matching loop.
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.untrack(conn)
+	defer conn.Close()
+	if s.opts.IOTimeout > 0 {
+		_ = conn.SetReadDeadline(time.Now().Add(s.opts.IOTimeout))
+	}
+	br := bufio.NewReaderSize(conn, 64<<10)
+	head, err := br.Peek(4)
+	if err != nil {
+		return
+	}
+	if binary.LittleEndian.Uint32(head) == wireMagic {
+		s.serveWire(conn, br)
+	} else {
+		s.serveGob(conn, br)
+	}
+}
+
+// serveWire handles one framed-protocol connection: hello negotiation,
+// then a read loop that hands each frame to its own goroutine. The worker
+// serializes what it must under its own lock; everything else — decode,
+// execution of read-mostly ops, encode, compression — overlaps across the
+// pipelined requests.
+func (s *Server) serveWire(conn net.Conn, br *bufio.Reader) {
+	if _, err := br.Discard(4); err != nil {
+		return
+	}
+	clientCodecName, err := readHello(br)
+	if err != nil {
+		return
+	}
+	clientCodec, cerr := codecByName(clientCodecName)
+	respName := s.opts.Codec
+	if respName == "" {
+		respName = clientCodecName
+	}
+	respCodec, rerr := codecByName(respName)
+	if cerr != nil || rerr != nil {
+		err := cerr
+		if err == nil {
+			err = rerr
+		}
+		_ = writeHelloReply(conn, "", err)
+		return
+	}
+	if err := writeHelloReply(conn, respName, nil); err != nil {
+		return
+	}
+	if s.opts.IOTimeout > 0 {
+		_ = conn.SetReadDeadline(time.Time{})
+	}
+	wr := &connWriter{conn: conn, bw: bufio.NewWriterSize(conn, 64<<10), timeout: s.opts.IOTimeout}
+	for {
+		id, flags, body, err := readFrame(br)
+		if err != nil {
+			return
+		}
+		raw, err := decodeFrameBody(body, flags, clientCodec)
+		if err != nil {
+			return
+		}
+		if !s.beginReq() {
+			return
+		}
+		go func(id uint64, raw []byte) {
+			defer s.reqs.Done()
+			s.handleFrame(wr, respCodec, id, raw)
+		}(id, raw)
+	}
+}
+
+// handleFrame decodes one request, runs it, and frames the response.
+func (s *Server) handleFrame(wr *connWriter, respCodec compress.Codec, id uint64, raw []byte) {
+	var resp *Message
+	req, err := decodeMessage(raw)
+	if err != nil {
+		resp = &Message{Err: fmt.Sprintf("cluster: corrupt request: %v", err)}
+	} else {
+		resp = s.w.Handle(req)
+	}
+	enc, err := encodeMessage(resp)
+	if err != nil {
+		enc, err = encodeMessage(&Message{Op: resp.Op, Err: fmt.Sprintf("cluster: encode response: %v", err)})
+		if err != nil {
+			return
+		}
+	}
+	body, flags := encodeFrameBody(enc, respCodec)
+	_ = wr.write(id, flags, body)
+}
+
+// connWriter shares one buffered writer between the concurrent response
+// goroutines, coalescing flushes exactly like the client side.
+type connWriter struct {
+	conn    net.Conn
+	bw      *bufio.Writer
+	timeout time.Duration
+	writers atomic.Int32
+	mu      sync.Mutex
+}
+
+func (w *connWriter) write(id uint64, flags uint8, body []byte) error {
+	w.writers.Add(1)
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.timeout > 0 {
+		_ = w.conn.SetWriteDeadline(time.Now().Add(w.timeout))
+	}
+	err := writeFrame(w.bw, id, flags, body)
+	if w.writers.Add(-1) == 0 && err == nil {
+		err = w.bw.Flush()
+	}
+	if err != nil {
+		// A half-written frame would desynchronize the stream; kill the
+		// connection so the client fails fast instead of misparsing.
+		_ = w.conn.Close()
+	}
+	return err
+}
+
+// serveGob handles one legacy connection: gob-framed request/response,
+// strictly one at a time, exactly the pre-wire-protocol behaviour.
+func (s *Server) serveGob(conn net.Conn, br *bufio.Reader) {
+	if s.opts.IOTimeout > 0 {
+		_ = conn.SetReadDeadline(time.Time{})
+	}
+	dec := gob.NewDecoder(br)
+	enc := gob.NewEncoder(conn)
+	for {
+		var req Message
+		if err := dec.Decode(&req); err != nil {
+			return
+		}
+		if !s.beginReq() {
+			return
+		}
+		resp := s.w.Handle(&req)
+		err := enc.Encode(resp)
+		s.reqs.Done()
+		if err != nil {
+			return
+		}
+	}
+}
+
+// Serve runs a worker on a listener with default options until the
+// listener closes; closing the listener returns nil. Kept as the
+// one-call path used by tests and simple deployments — scidb-server uses
+// NewServer directly for graceful shutdown.
+func Serve(ln net.Listener, w *Worker) error {
+	srv, err := NewServer(w, ServeOptions{})
+	if err != nil {
+		return err
+	}
+	return srv.Serve(ln)
+}

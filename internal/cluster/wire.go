@@ -1,0 +1,435 @@
+package cluster
+
+// The multiplexed binary wire protocol.
+//
+// A connection starts with a hello exchange that pins the protocol version
+// and negotiates per-direction payload compression:
+//
+//	client hello: u32 magic "SCWP" | u8 version | u8 len | codec name
+//	server hello: u32 magic | u8 version | u8 status | u8 len | codec name
+//	              | (status != 0) u32 len | error text
+//
+// The client announces the codec it will compress its frames with; the
+// server replies with the codec it will use for responses (its configured
+// override, or a mirror of the client's). After the hello, both directions
+// carry length-prefixed frames:
+//
+//	u32 body length | u64 request id | u8 flags | body
+//
+// The body is a hand-rolled binary Message encoding (below) — chunk
+// payloads travel in their storage.EncodeArray form untouched, so the hot
+// field is a single length-prefixed copy, never re-encoded. flagCompressed
+// marks a body that was shrunk by the direction's negotiated codec; small
+// or incompressible bodies are sent raw even when a codec is negotiated.
+// Request ids are chosen by the client; a response echoes the id of the
+// request it answers, which is what lets many calls pipeline concurrently
+// over one connection with a reader goroutine dispatching responses to
+// waiters in completion order.
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"scidb/internal/array"
+	"scidb/internal/bufcache"
+	"scidb/internal/compress"
+	"scidb/internal/exec"
+	"scidb/internal/storage"
+)
+
+const (
+	wireMagic   = 0x53435750 // "SCWP"
+	wireVersion = 1
+
+	// frameHeaderLen is u32 length + u64 request id + u8 flags.
+	frameHeaderLen = 4 + 8 + 1
+
+	// maxFrameBody caps a single frame so a corrupt length prefix cannot
+	// force a huge allocation.
+	maxFrameBody = 1 << 30
+
+	// compressThreshold is the smallest body worth running through the
+	// negotiated codec; control messages stay raw.
+	compressThreshold = 512
+)
+
+// Frame flags.
+const (
+	flagCompressed = 1 << 0
+)
+
+// writeHello sends the client half of the hello exchange.
+func writeHello(w io.Writer, codec string) error {
+	fw := storage.NewFieldWriter(w)
+	fw.U32(wireMagic)
+	fw.U8(wireVersion)
+	if len(codec) > 255 {
+		return fmt.Errorf("cluster: codec name too long")
+	}
+	fw.U8(uint8(len(codec)))
+	fw.Raw([]byte(codec))
+	return fw.Err()
+}
+
+// readHello consumes a client hello (after the magic has already been
+// sniffed and consumed by the server) and returns the announced codec name.
+func readHello(r io.Reader) (string, error) {
+	fr := storage.NewFieldReader(r)
+	if v := fr.U8(); fr.Err() == nil && v != wireVersion {
+		return "", fmt.Errorf("cluster: wire version %d, want %d", v, wireVersion)
+	}
+	n := int(fr.U8())
+	name := make([]byte, n)
+	fr.Raw(name)
+	if fr.Err() != nil {
+		return "", fr.Err()
+	}
+	return string(name), nil
+}
+
+// writeHelloReply sends the server half: its response codec, or an error.
+func writeHelloReply(w io.Writer, codec string, helloErr error) error {
+	fw := storage.NewFieldWriter(w)
+	fw.U32(wireMagic)
+	fw.U8(wireVersion)
+	if helloErr != nil {
+		fw.U8(1)
+		fw.U8(0)
+		fw.String(helloErr.Error())
+	} else {
+		fw.U8(0)
+		fw.U8(uint8(len(codec)))
+		fw.Raw([]byte(codec))
+	}
+	return fw.Err()
+}
+
+// readHelloReply consumes the server hello and returns the server's
+// response codec name.
+func readHelloReply(r io.Reader) (string, error) {
+	fr := storage.NewFieldReader(r)
+	if m := fr.U32(); fr.Err() == nil && m != wireMagic {
+		return "", fmt.Errorf("cluster: bad hello magic %#x (not a scidb wire server?)", m)
+	}
+	if v := fr.U8(); fr.Err() == nil && v != wireVersion {
+		return "", fmt.Errorf("cluster: server speaks wire version %d, want %d", v, wireVersion)
+	}
+	status := fr.U8()
+	n := int(fr.U8())
+	name := make([]byte, n)
+	fr.Raw(name)
+	if fr.Err() != nil {
+		return "", fr.Err()
+	}
+	if status != 0 {
+		msg := fr.String()
+		if fr.Err() != nil {
+			return "", fr.Err()
+		}
+		return "", fmt.Errorf("cluster: server rejected hello: %s", msg)
+	}
+	return string(name), nil
+}
+
+// codecByName resolves a negotiated codec name; "" and "none" mean no
+// compression (nil codec).
+func codecByName(name string) (compress.Codec, error) {
+	if name == "" || name == "none" {
+		return nil, nil
+	}
+	return compress.ByName(name)
+}
+
+// encodeFrameBody runs the encoded message through the direction's codec
+// when it pays off, returning the body and its flags.
+func encodeFrameBody(enc []byte, codec compress.Codec) ([]byte, uint8) {
+	if codec == nil || len(enc) < compressThreshold {
+		return enc, 0
+	}
+	packed := codec.Encode(enc)
+	if len(packed) >= len(enc) {
+		return enc, 0
+	}
+	return packed, flagCompressed
+}
+
+// writeFrame writes one frame. The caller owns any locking around w.
+func writeFrame(w io.Writer, id uint64, flags uint8, body []byte) error {
+	var hdr [frameHeaderLen]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(body)))
+	binary.LittleEndian.PutUint64(hdr[4:12], id)
+	hdr[12] = flags
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(body)
+	return err
+}
+
+// readFrame reads one frame header + body.
+func readFrame(r io.Reader) (id uint64, flags uint8, body []byte, err error) {
+	var hdr [frameHeaderLen]byte
+	if _, err = io.ReadFull(r, hdr[:]); err != nil {
+		return 0, 0, nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[0:4])
+	id = binary.LittleEndian.Uint64(hdr[4:12])
+	flags = hdr[12]
+	if n > maxFrameBody {
+		return 0, 0, nil, fmt.Errorf("cluster: frame body %d bytes exceeds limit", n)
+	}
+	body = make([]byte, n)
+	if _, err = io.ReadFull(r, body); err != nil {
+		return 0, 0, nil, err
+	}
+	return id, flags, body, nil
+}
+
+// decodeFrameBody undoes encodeFrameBody.
+func decodeFrameBody(body []byte, flags uint8, codec compress.Codec) ([]byte, error) {
+	if flags&flagCompressed == 0 {
+		return body, nil
+	}
+	if codec == nil {
+		return nil, fmt.Errorf("cluster: compressed frame on an uncompressed connection")
+	}
+	return codec.Decode(body)
+}
+
+// Message presence bits for the optional pointer fields.
+const (
+	msgHasSchema = 1 << 0
+	msgHasStats  = 1 << 1
+	msgHasCache  = 1 << 2
+	msgHasExec   = 1 << 3
+)
+
+// encodeMessage hand-rolls a Message to its wire form. Field order is
+// fixed; Payload is carried verbatim (it is already the binary
+// storage.EncodeArray / EncodeChunk form), so the dominant field costs one
+// length-prefixed copy instead of a reflective re-encode.
+func encodeMessage(m *Message) ([]byte, error) {
+	var b bytes.Buffer
+	w := storage.NewFieldWriter(&b)
+	w.String(m.Op)
+	w.String(m.Array)
+	w.String(m.Array2)
+	w.String(m.Err)
+	w.String(m.Agg)
+	w.String(m.Attr)
+	w.Strings(m.GroupDims)
+	w.Strings(m.OnL)
+	w.Strings(m.OnR)
+	w.I64(m.Cells)
+	w.I64s(m.BoxLo)
+	w.I64s(m.BoxHi)
+	w.Bytes(m.Payload)
+	w.U32(uint32(len(m.Partials)))
+	for i := range m.Partials {
+		p := &m.Partials[i]
+		w.I64s(p.Key)
+		w.F64(p.Sum)
+		w.F64(p.SumSq)
+		w.I64(p.Count)
+		w.F64(p.Min)
+		w.F64(p.Max)
+	}
+	var present uint8
+	if m.Schema != nil {
+		present |= msgHasSchema
+	}
+	if m.Stats != nil {
+		present |= msgHasStats
+	}
+	if m.Cache != nil {
+		present |= msgHasCache
+	}
+	if m.Exec != nil {
+		present |= msgHasExec
+	}
+	w.U8(present)
+	if m.Schema != nil {
+		encodeSchema(w, m.Schema)
+	}
+	if m.Stats != nil {
+		w.I64(m.Stats.CellsHeld)
+		w.I64(m.Stats.CellsScanned)
+		w.I64(m.Stats.BytesIn)
+		w.I64(m.Stats.BytesOut)
+		w.I64(m.Stats.Requests)
+	}
+	if m.Cache != nil {
+		c := m.Cache
+		w.I64(c.Hits)
+		w.I64(c.Misses)
+		w.I64(c.Loads)
+		w.I64(c.Evictions)
+		w.I64(c.Invalidations)
+		w.I64(c.Entries)
+		w.I64(c.BytesResident)
+		w.I64(c.PinnedBytes)
+		w.I64(c.Budget)
+	}
+	if m.Exec != nil {
+		e := m.Exec
+		w.I64(int64(e.Parallelism))
+		w.I64(e.TasksRun)
+		w.I64(e.ChunksProcessed)
+		w.I64(e.ParallelRuns)
+		w.I64(e.SerialRuns)
+		w.I64(e.Saturation)
+	}
+	if w.Err() != nil {
+		return nil, w.Err()
+	}
+	return b.Bytes(), nil
+}
+
+// decodeMessage reverses encodeMessage.
+func decodeMessage(data []byte) (*Message, error) {
+	r := storage.NewFieldReader(bytes.NewReader(data))
+	m := &Message{}
+	m.Op = r.String()
+	m.Array = r.String()
+	m.Array2 = r.String()
+	m.Err = r.String()
+	m.Agg = r.String()
+	m.Attr = r.String()
+	m.GroupDims = r.Strings()
+	m.OnL = r.Strings()
+	m.OnR = r.Strings()
+	m.Cells = r.I64()
+	m.BoxLo = r.I64s()
+	m.BoxHi = r.I64s()
+	m.Payload = r.Bytes()
+	if n := int(r.U32()); n > 0 && r.Err() == nil {
+		if n > maxFrameBody/8 {
+			return nil, fmt.Errorf("cluster: message has %d partials", n)
+		}
+		m.Partials = make([]Partial, n)
+		for i := range m.Partials {
+			p := &m.Partials[i]
+			p.Key = r.I64s()
+			p.Sum = r.F64()
+			p.SumSq = r.F64()
+			p.Count = r.I64()
+			p.Min = r.F64()
+			p.Max = r.F64()
+		}
+	}
+	present := r.U8()
+	if r.Err() != nil {
+		return nil, fmt.Errorf("cluster: corrupt message: %w", r.Err())
+	}
+	if present&msgHasSchema != 0 {
+		s, err := decodeSchema(r)
+		if err != nil {
+			return nil, err
+		}
+		m.Schema = s
+	}
+	if present&msgHasStats != 0 {
+		m.Stats = &WorkerStats{
+			CellsHeld:    r.I64(),
+			CellsScanned: r.I64(),
+			BytesIn:      r.I64(),
+			BytesOut:     r.I64(),
+			Requests:     r.I64(),
+		}
+	}
+	if present&msgHasCache != 0 {
+		m.Cache = &bufcache.Stats{
+			Hits:          r.I64(),
+			Misses:        r.I64(),
+			Loads:         r.I64(),
+			Evictions:     r.I64(),
+			Invalidations: r.I64(),
+			Entries:       r.I64(),
+			BytesResident: r.I64(),
+			PinnedBytes:   r.I64(),
+			Budget:        r.I64(),
+		}
+	}
+	if present&msgHasExec != 0 {
+		m.Exec = &exec.Stats{
+			Parallelism:     int(r.I64()),
+			TasksRun:        r.I64(),
+			ChunksProcessed: r.I64(),
+			ParallelRuns:    r.I64(),
+			SerialRuns:      r.I64(),
+			Saturation:      r.I64(),
+		}
+	}
+	if r.Err() != nil {
+		return nil, fmt.Errorf("cluster: corrupt message: %w", r.Err())
+	}
+	return m, nil
+}
+
+// encodeSchema writes a schema, recursing into nested-array attributes.
+func encodeSchema(w *storage.FieldWriter, s *array.Schema) {
+	w.String(s.Name)
+	w.Bool(s.Updatable)
+	w.U32(uint32(len(s.Dims)))
+	for _, d := range s.Dims {
+		w.String(d.Name)
+		w.I64(d.High)
+		w.I64(d.ChunkLen)
+	}
+	w.U32(uint32(len(s.Attrs)))
+	for _, a := range s.Attrs {
+		w.String(a.Name)
+		w.U8(uint8(a.Type))
+		w.Bool(a.Uncertain)
+		w.Bool(a.Nested != nil)
+		if a.Nested != nil {
+			encodeSchema(w, a.Nested)
+		}
+	}
+}
+
+// decodeSchema reverses encodeSchema.
+func decodeSchema(r *storage.FieldReader) (*array.Schema, error) {
+	s := &array.Schema{}
+	s.Name = r.String()
+	s.Updatable = r.Bool()
+	nd := int(r.U32())
+	if r.Err() != nil {
+		return nil, r.Err()
+	}
+	if nd > 1<<16 {
+		return nil, fmt.Errorf("cluster: schema has %d dimensions", nd)
+	}
+	s.Dims = make([]array.Dimension, nd)
+	for i := range s.Dims {
+		s.Dims[i].Name = r.String()
+		s.Dims[i].High = r.I64()
+		s.Dims[i].ChunkLen = r.I64()
+	}
+	na := int(r.U32())
+	if r.Err() != nil {
+		return nil, r.Err()
+	}
+	if na > 1<<16 {
+		return nil, fmt.Errorf("cluster: schema has %d attributes", na)
+	}
+	s.Attrs = make([]array.Attribute, na)
+	for i := range s.Attrs {
+		s.Attrs[i].Name = r.String()
+		s.Attrs[i].Type = array.Type(r.U8())
+		s.Attrs[i].Uncertain = r.Bool()
+		if r.Bool() {
+			nested, err := decodeSchema(r)
+			if err != nil {
+				return nil, err
+			}
+			s.Attrs[i].Nested = nested
+		}
+		if r.Err() != nil {
+			return nil, r.Err()
+		}
+	}
+	return s, r.Err()
+}

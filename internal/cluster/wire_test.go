@@ -1,0 +1,191 @@
+package cluster
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"scidb/internal/array"
+	"scidb/internal/bufcache"
+	"scidb/internal/compress"
+	"scidb/internal/exec"
+)
+
+func wireTestMessage() *Message {
+	return &Message{
+		Op:        "sjoin",
+		Array:     "left",
+		Array2:    "right",
+		Err:       "",
+		Agg:       "sum",
+		Attr:      "flux",
+		GroupDims: []string{"x", "y"},
+		OnL:       []string{"x"},
+		OnR:       []string{"x"},
+		Cells:     42,
+		BoxLo:     []int64{1, 2},
+		BoxHi:     []int64{16, 32},
+		Payload:   []byte{0xde, 0xad, 0xbe, 0xef, 0x00, 0x01},
+		Partials: []Partial{
+			{Key: []int64{3, 4}, Sum: 1.5, SumSq: 2.25, Count: 7, Min: -1, Max: 9},
+			{Key: nil, Sum: 0, SumSq: 0, Count: 0, Min: 0, Max: 0},
+		},
+		Schema: &array.Schema{
+			Name:      "sessions",
+			Updatable: true,
+			Dims:      []array.Dimension{{Name: "t", High: array.Unbounded, ChunkLen: 64}},
+			Attrs: []array.Attribute{
+				{Name: "v", Type: array.TFloat64, Uncertain: true},
+				{Name: "results", Type: array.TArray, Nested: &array.Schema{
+					Name:  "result",
+					Dims:  []array.Dimension{{Name: "rank", High: 10}},
+					Attrs: []array.Attribute{{Name: "item", Type: array.TString}},
+				}},
+			},
+		},
+		Stats: &WorkerStats{CellsHeld: 1, CellsScanned: 2, BytesIn: 3, BytesOut: 4, Requests: 5},
+		Cache: &bufcache.Stats{Hits: 9, Misses: 8, Loads: 7, Evictions: 6, Invalidations: 5,
+			Entries: 4, BytesResident: 3, PinnedBytes: 2, Budget: 1},
+		Exec: &exec.Stats{Parallelism: 4, TasksRun: 10, ChunksProcessed: 20,
+			ParallelRuns: 3, SerialRuns: 2, Saturation: 1},
+	}
+}
+
+func TestMessageCodecRoundTrip(t *testing.T) {
+	for _, m := range []*Message{
+		wireTestMessage(),
+		{},           // zero message
+		{Op: "ping"}, // minimal request
+		{Op: "scan", Err: "cluster: node 1 has no array \"ghost\""},
+	} {
+		enc, err := encodeMessage(m)
+		if err != nil {
+			t.Fatalf("encode: %v", err)
+		}
+		got, err := decodeMessage(enc)
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if !reflect.DeepEqual(m, got) {
+			t.Errorf("round trip mismatch:\n in: %+v\nout: %+v", m, got)
+		}
+	}
+}
+
+func TestMessageCodecRejectsCorruptInput(t *testing.T) {
+	enc, err := encodeMessage(wireTestMessage())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Truncations at every prefix must error, never panic.
+	for cut := 0; cut < len(enc); cut += 7 {
+		if _, err := decodeMessage(enc[:cut]); err == nil {
+			t.Errorf("decode of %d-byte truncation succeeded", cut)
+		}
+	}
+	// A huge length prefix must be rejected before allocation.
+	bad := append([]byte(nil), enc...)
+	bad[0], bad[1], bad[2], bad[3] = 0xff, 0xff, 0xff, 0xff
+	if _, err := decodeMessage(bad); err == nil {
+		t.Error("decode of poisoned length prefix succeeded")
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	body := bytes.Repeat([]byte("scidb"), 100)
+	if err := writeFrame(&buf, 77, flagCompressed, body); err != nil {
+		t.Fatal(err)
+	}
+	id, flags, got, err := readFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != 77 || flags != flagCompressed || !bytes.Equal(got, body) {
+		t.Errorf("frame round trip: id=%d flags=%d len=%d", id, flags, len(got))
+	}
+	// Oversized length prefix is refused.
+	var hdr bytes.Buffer
+	if err := writeFrame(&hdr, 1, 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	raw := hdr.Bytes()
+	raw[0], raw[1], raw[2], raw[3] = 0xff, 0xff, 0xff, 0xff
+	if _, _, _, err := readFrame(bytes.NewReader(raw)); err == nil {
+		t.Error("oversized frame accepted")
+	}
+}
+
+func TestFrameBodyCompression(t *testing.T) {
+	codec, err := compress.ByName("gzip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Small bodies skip compression regardless of codec.
+	small := []byte("tiny")
+	if body, flags := encodeFrameBody(small, codec); flags != 0 || !bytes.Equal(body, small) {
+		t.Errorf("small body was compressed: flags=%d", flags)
+	}
+	// Large compressible bodies shrink and round-trip.
+	big := bytes.Repeat([]byte("abcdefgh"), 4096)
+	body, flags := encodeFrameBody(big, codec)
+	if flags&flagCompressed == 0 {
+		t.Fatal("compressible body not compressed")
+	}
+	if len(body) >= len(big) {
+		t.Fatalf("compressed body %d >= raw %d", len(body), len(big))
+	}
+	back, err := decodeFrameBody(body, flags, codec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(back, big) {
+		t.Error("compression round trip mismatch")
+	}
+	// A compressed flag without a negotiated codec is a protocol error.
+	if _, err := decodeFrameBody(body, flags, nil); err == nil {
+		t.Error("compressed frame accepted on uncompressed connection")
+	}
+	// No codec: passthrough.
+	if body, flags := encodeFrameBody(big, nil); flags != 0 || !bytes.Equal(body, big) {
+		t.Error("nil codec altered the body")
+	}
+}
+
+func TestHelloNegotiation(t *testing.T) {
+	var wire bytes.Buffer
+	if err := writeHello(&wire, "gzip"); err != nil {
+		t.Fatal(err)
+	}
+	r := bytes.NewReader(wire.Bytes())
+	var magic [4]byte
+	if _, err := r.Read(magic[:]); err != nil {
+		t.Fatal(err)
+	}
+	name, err := readHello(r)
+	if err != nil || name != "gzip" {
+		t.Fatalf("readHello = %q, %v", name, err)
+	}
+	// Server accept reply.
+	wire.Reset()
+	if err := writeHelloReply(&wire, "delta", nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := readHelloReply(bytes.NewReader(wire.Bytes()))
+	if err != nil || got != "delta" {
+		t.Fatalf("readHelloReply = %q, %v", got, err)
+	}
+	// Server reject reply surfaces the message.
+	wire.Reset()
+	if err := writeHelloReply(&wire, "", errUnknownCodecForTest()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := readHelloReply(bytes.NewReader(wire.Bytes())); err == nil {
+		t.Error("rejected hello decoded as success")
+	}
+}
+
+func errUnknownCodecForTest() error {
+	_, err := compress.ByName("no-such-codec")
+	return err
+}

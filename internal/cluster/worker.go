@@ -6,8 +6,12 @@
 // arrays when the scheme changes over time (counting bytes moved, the PART
 // and COPART experiments' metric).
 //
-// Two transports are provided: in-process (direct calls) and TCP with gob
-// encoding — the protocol logic is identical over both (see DESIGN.md's
+// Two transports are provided: in-process (direct calls) and TCP with a
+// multiplexed binary wire protocol — length-prefixed frames tagged with a
+// request id, so many calls pipeline concurrently over each connection
+// (see DESIGN.md's "Wire protocol" section). The legacy gob protocol is
+// retained as a measured baseline (GobTCP) and servers still accept it.
+// The protocol logic is identical over every transport (see DESIGN.md's
 // substitution table).
 package cluster
 

@@ -8,10 +8,7 @@ package storage
 
 import (
 	"bytes"
-	"encoding/binary"
 	"fmt"
-	"io"
-	"math"
 
 	"scidb/internal/array"
 )
@@ -23,12 +20,12 @@ const chunkMagic = 0x53434442 // "SCDB"
 // are encoded recursively using the attribute's element schema.
 func EncodeChunk(s *array.Schema, ch *array.Chunk) ([]byte, error) {
 	var b bytes.Buffer
-	w := &errWriter{w: &b}
-	w.u32(chunkMagic)
-	w.u8(uint8(len(ch.Origin)))
+	w := NewFieldWriter(&b)
+	w.U32(chunkMagic)
+	w.U8(uint8(len(ch.Origin)))
 	for i := range ch.Origin {
-		w.i64(ch.Origin[i])
-		w.i64(ch.Shape[i])
+		w.I64(ch.Origin[i])
+		w.I64(ch.Shape[i])
 	}
 	writeBitmap(w, ch.Present)
 	if len(ch.Cols) != len(s.Attrs) {
@@ -39,30 +36,30 @@ func EncodeChunk(s *array.Schema, ch *array.Chunk) ([]byte, error) {
 			return nil, err
 		}
 	}
-	if w.err != nil {
-		return nil, w.err
+	if w.Err() != nil {
+		return nil, w.Err()
 	}
 	return b.Bytes(), nil
 }
 
 // DecodeChunk reverses EncodeChunk.
 func DecodeChunk(s *array.Schema, data []byte) (*array.Chunk, error) {
-	r := &errReader{r: bytes.NewReader(data)}
-	if m := r.u32(); m != chunkMagic {
+	r := NewFieldReader(bytes.NewReader(data))
+	if m := r.U32(); m != chunkMagic {
 		return nil, fmt.Errorf("storage: bad chunk magic %#x", m)
 	}
-	nd := int(r.u8())
+	nd := int(r.U8())
 	origin := make(array.Coord, nd)
 	shape := make([]int64, nd)
 	for i := 0; i < nd; i++ {
-		origin[i] = r.i64()
-		shape[i] = r.i64()
+		origin[i] = r.I64()
+		shape[i] = r.I64()
 	}
 	slots := int64(1)
 	for _, e := range shape {
 		slots *= e
 	}
-	if slots < 0 || r.err != nil {
+	if slots < 0 || r.Err() != nil {
 		return nil, fmt.Errorf("storage: corrupt chunk header")
 	}
 	present, err := readBitmap(r, slots)
@@ -78,8 +75,8 @@ func DecodeChunk(s *array.Schema, data []byte) (*array.Chunk, error) {
 		}
 		ch.Cols[ai] = col
 	}
-	if r.err != nil {
-		return nil, r.err
+	if r.Err() != nil {
+		return nil, r.Err()
 	}
 	return ch, nil
 }
@@ -88,19 +85,18 @@ func DecodeChunk(s *array.Schema, data []byte) (*array.Chunk, error) {
 // catalog supplies it on decode).
 func EncodeArray(a *array.Array) ([]byte, error) {
 	var b bytes.Buffer
-	w := &errWriter{w: &b}
+	w := NewFieldWriter(&b)
 	chunks := a.Chunks()
-	w.u32(uint32(len(chunks)))
+	w.U32(uint32(len(chunks)))
 	for _, ch := range chunks {
 		payload, err := EncodeChunk(a.Schema, ch)
 		if err != nil {
 			return nil, err
 		}
-		w.u32(uint32(len(payload)))
-		w.raw(payload)
+		w.Bytes(payload)
 	}
-	if w.err != nil {
-		return nil, w.err
+	if w.Err() != nil {
+		return nil, w.Err()
 	}
 	return b.Bytes(), nil
 }
@@ -111,17 +107,12 @@ func DecodeArray(s *array.Schema, data []byte) (*array.Array, error) {
 	if err != nil {
 		return nil, err
 	}
-	r := &errReader{r: bytes.NewReader(data)}
-	n := int(r.u32())
+	r := NewFieldReader(bytes.NewReader(data))
+	n := int(r.U32())
 	for i := 0; i < n; i++ {
-		ln := int(r.u32())
-		if r.err != nil {
-			return nil, r.err
-		}
-		buf := make([]byte, ln)
-		r.raw(buf)
-		if r.err != nil {
-			return nil, r.err
+		buf := r.Bytes()
+		if r.Err() != nil {
+			return nil, r.Err()
 		}
 		ch, err := DecodeChunk(s, buf)
 		if err != nil {
@@ -137,7 +128,7 @@ const (
 	colFlagShared = 1 << 1
 )
 
-func encodeColumn(w *errWriter, at array.Attribute, col *array.Column) error {
+func encodeColumn(w *FieldWriter, at array.Attribute, col *array.Column) error {
 	var flags uint8
 	if col.Sigma != nil {
 		flags |= colFlagSigma
@@ -145,60 +136,54 @@ func encodeColumn(w *errWriter, at array.Attribute, col *array.Column) error {
 	if col.HasShared {
 		flags |= colFlagShared
 	}
-	w.u8(flags)
+	w.U8(flags)
 	writeBitmap(w, col.Nulls)
 	switch at.Type {
 	case array.TInt64:
 		for _, v := range col.Ints {
-			w.i64(v)
+			w.I64(v)
 		}
 	case array.TFloat64:
 		for _, v := range col.Floats {
-			w.u64(math.Float64bits(v))
+			w.F64(v)
 		}
 	case array.TBool:
 		for _, v := range col.Bools {
-			if v {
-				w.u8(1)
-			} else {
-				w.u8(0)
-			}
+			w.Bool(v)
 		}
 	case array.TString:
 		for _, v := range col.Strs {
-			w.u32(uint32(len(v)))
-			w.raw([]byte(v))
+			w.String(v)
 		}
 	case array.TArray:
 		for _, nested := range col.Arrs {
 			if nested == nil {
-				w.u8(0)
+				w.U8(0)
 				continue
 			}
-			w.u8(1)
+			w.U8(1)
 			payload, err := EncodeArray(nested)
 			if err != nil {
 				return err
 			}
-			w.u32(uint32(len(payload)))
-			w.raw(payload)
+			w.Bytes(payload)
 		}
 	default:
 		return fmt.Errorf("storage: cannot encode attribute type %v", at.Type)
 	}
 	if col.Sigma != nil {
 		for _, v := range col.Sigma {
-			w.u64(math.Float64bits(v))
+			w.F64(v)
 		}
 	}
 	if col.HasShared {
-		w.u64(math.Float64bits(col.SharedSigma))
+		w.F64(col.SharedSigma)
 	}
 	return nil
 }
 
-func decodeColumn(r *errReader, at array.Attribute, slots int64) (*array.Column, error) {
-	flags := r.u8()
+func decodeColumn(r *FieldReader, at array.Attribute, slots int64) (*array.Column, error) {
+	flags := r.U8()
 	nulls, err := readBitmap(r, slots)
 	if err != nil {
 		return nil, err
@@ -208,41 +193,36 @@ func decodeColumn(r *errReader, at array.Attribute, slots int64) (*array.Column,
 	case array.TInt64:
 		col.Ints = make([]int64, slots)
 		for i := range col.Ints {
-			col.Ints[i] = r.i64()
+			col.Ints[i] = r.I64()
 		}
 	case array.TFloat64:
 		col.Floats = make([]float64, slots)
 		for i := range col.Floats {
-			col.Floats[i] = math.Float64frombits(r.u64())
+			col.Floats[i] = r.F64()
 		}
 	case array.TBool:
 		col.Bools = make([]bool, slots)
 		for i := range col.Bools {
-			col.Bools[i] = r.u8() != 0
+			col.Bools[i] = r.Bool()
 		}
 	case array.TString:
 		col.Strs = make([]string, slots)
 		for i := range col.Strs {
-			n := int(r.u32())
-			if r.err != nil {
-				return nil, r.err
+			col.Strs[i] = r.String()
+			if r.Err() != nil {
+				return nil, r.Err()
 			}
-			buf := make([]byte, n)
-			r.raw(buf)
-			col.Strs[i] = string(buf)
 		}
 	case array.TArray:
 		col.Arrs = make([]*array.Array, slots)
 		for i := range col.Arrs {
-			if r.u8() == 0 {
+			if r.U8() == 0 {
 				continue
 			}
-			n := int(r.u32())
-			if r.err != nil {
-				return nil, r.err
+			buf := r.Bytes()
+			if r.Err() != nil {
+				return nil, r.Err()
 			}
-			buf := make([]byte, n)
-			r.raw(buf)
 			nested, err := DecodeArray(at.Nested, buf)
 			if err != nil {
 				return nil, err
@@ -255,100 +235,38 @@ func decodeColumn(r *errReader, at array.Attribute, slots int64) (*array.Column,
 	if flags&colFlagSigma != 0 {
 		col.Sigma = make([]float64, slots)
 		for i := range col.Sigma {
-			col.Sigma[i] = math.Float64frombits(r.u64())
+			col.Sigma[i] = r.F64()
 		}
 	}
 	if flags&colFlagShared != 0 {
 		col.HasShared = true
-		col.SharedSigma = math.Float64frombits(r.u64())
+		col.SharedSigma = r.F64()
 	}
-	return col, r.err
+	return col, r.Err()
 }
 
-func writeBitmap(w *errWriter, b *array.Bitmap) {
+func writeBitmap(w *FieldWriter, b *array.Bitmap) {
 	words := b.Words()
-	w.u32(uint32(len(words)))
+	w.U32(uint32(len(words)))
 	for _, word := range words {
-		w.u64(word)
+		w.U64(word)
 	}
 }
 
-func readBitmap(r *errReader, bits int64) (*array.Bitmap, error) {
-	n := int(r.u32())
-	if r.err != nil {
-		return nil, r.err
+func readBitmap(r *FieldReader, bits int64) (*array.Bitmap, error) {
+	n := int(r.U32())
+	if r.Err() != nil {
+		return nil, r.Err()
 	}
 	if want := int((bits + 63) / 64); n != want {
 		return nil, fmt.Errorf("storage: bitmap has %d words, want %d", n, want)
 	}
 	words := make([]uint64, n)
 	for i := range words {
-		words[i] = r.u64()
+		words[i] = r.U64()
 	}
-	if r.err != nil {
-		return nil, r.err
+	if r.Err() != nil {
+		return nil, r.Err()
 	}
 	return array.FromWords(bits, words), nil
 }
-
-// errWriter / errReader accumulate the first error, keeping the encode and
-// decode paths linear.
-type errWriter struct {
-	w   io.Writer
-	err error
-}
-
-func (w *errWriter) raw(p []byte) {
-	if w.err != nil {
-		return
-	}
-	_, w.err = w.w.Write(p)
-}
-
-func (w *errWriter) u8(v uint8) { w.raw([]byte{v}) }
-
-func (w *errWriter) u32(v uint32) {
-	var b [4]byte
-	binary.LittleEndian.PutUint32(b[:], v)
-	w.raw(b[:])
-}
-
-func (w *errWriter) u64(v uint64) {
-	var b [8]byte
-	binary.LittleEndian.PutUint64(b[:], v)
-	w.raw(b[:])
-}
-
-func (w *errWriter) i64(v int64) { w.u64(uint64(v)) }
-
-type errReader struct {
-	r   io.Reader
-	err error
-}
-
-func (r *errReader) raw(p []byte) {
-	if r.err != nil {
-		return
-	}
-	_, r.err = io.ReadFull(r.r, p)
-}
-
-func (r *errReader) u8() uint8 {
-	var b [1]byte
-	r.raw(b[:])
-	return b[0]
-}
-
-func (r *errReader) u32() uint32 {
-	var b [4]byte
-	r.raw(b[:])
-	return binary.LittleEndian.Uint32(b[:])
-}
-
-func (r *errReader) u64() uint64 {
-	var b [8]byte
-	r.raw(b[:])
-	return binary.LittleEndian.Uint64(b[:])
-}
-
-func (r *errReader) i64() int64 { return int64(r.u64()) }

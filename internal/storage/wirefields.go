@@ -1,0 +1,210 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// maxFieldLen bounds a single length-prefixed field (string, byte blob, or
+// slice count) so a corrupt or hostile length prefix cannot force a
+// multi-gigabyte allocation before the payload is validated.
+const maxFieldLen = 1 << 30
+
+// FieldWriter writes little-endian binary fields to an underlying writer,
+// accumulating the first error so encode paths stay linear. It is the
+// building block of both the bucket/chunk encoding in this package and the
+// cluster wire protocol's hand-rolled message codec.
+type FieldWriter struct {
+	w   io.Writer
+	err error
+}
+
+// NewFieldWriter wraps w.
+func NewFieldWriter(w io.Writer) *FieldWriter { return &FieldWriter{w: w} }
+
+// Err returns the first error any write encountered.
+func (w *FieldWriter) Err() error { return w.err }
+
+// Raw writes p verbatim.
+func (w *FieldWriter) Raw(p []byte) {
+	if w.err != nil {
+		return
+	}
+	_, w.err = w.w.Write(p)
+}
+
+// U8 writes one byte.
+func (w *FieldWriter) U8(v uint8) { w.Raw([]byte{v}) }
+
+// Bool writes a bool as one byte.
+func (w *FieldWriter) Bool(v bool) {
+	if v {
+		w.U8(1)
+	} else {
+		w.U8(0)
+	}
+}
+
+// U32 writes a little-endian uint32.
+func (w *FieldWriter) U32(v uint32) {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	w.Raw(b[:])
+}
+
+// U64 writes a little-endian uint64.
+func (w *FieldWriter) U64(v uint64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	w.Raw(b[:])
+}
+
+// I64 writes an int64 as its two's-complement uint64 image.
+func (w *FieldWriter) I64(v int64) { w.U64(uint64(v)) }
+
+// F64 writes a float64 via its IEEE-754 bits.
+func (w *FieldWriter) F64(v float64) { w.U64(math.Float64bits(v)) }
+
+// Bytes writes a u32 length prefix followed by the bytes.
+func (w *FieldWriter) Bytes(p []byte) {
+	w.U32(uint32(len(p)))
+	w.Raw(p)
+}
+
+// String writes a u32 length prefix followed by the string bytes.
+func (w *FieldWriter) String(s string) {
+	w.U32(uint32(len(s)))
+	w.Raw([]byte(s))
+}
+
+// Strings writes a u32 count followed by each string.
+func (w *FieldWriter) Strings(ss []string) {
+	w.U32(uint32(len(ss)))
+	for _, s := range ss {
+		w.String(s)
+	}
+}
+
+// I64s writes a u32 count followed by each int64.
+func (w *FieldWriter) I64s(vs []int64) {
+	w.U32(uint32(len(vs)))
+	for _, v := range vs {
+		w.I64(v)
+	}
+}
+
+// FieldReader mirrors FieldWriter on the decode side, accumulating the
+// first error (including short reads) and bounding length-prefixed fields.
+type FieldReader struct {
+	r   io.Reader
+	err error
+}
+
+// NewFieldReader wraps r.
+func NewFieldReader(r io.Reader) *FieldReader { return &FieldReader{r: r} }
+
+// Err returns the first error any read encountered.
+func (r *FieldReader) Err() error { return r.err }
+
+// Raw fills p, recording io.ReadFull's error on a short read.
+func (r *FieldReader) Raw(p []byte) {
+	if r.err != nil {
+		return
+	}
+	_, r.err = io.ReadFull(r.r, p)
+}
+
+// U8 reads one byte.
+func (r *FieldReader) U8() uint8 {
+	var b [1]byte
+	r.Raw(b[:])
+	return b[0]
+}
+
+// Bool reads a one-byte bool.
+func (r *FieldReader) Bool() bool { return r.U8() != 0 }
+
+// U32 reads a little-endian uint32.
+func (r *FieldReader) U32() uint32 {
+	var b [4]byte
+	r.Raw(b[:])
+	return binary.LittleEndian.Uint32(b[:])
+}
+
+// U64 reads a little-endian uint64.
+func (r *FieldReader) U64() uint64 {
+	var b [8]byte
+	r.Raw(b[:])
+	return binary.LittleEndian.Uint64(b[:])
+}
+
+// I64 reads an int64.
+func (r *FieldReader) I64() int64 { return int64(r.U64()) }
+
+// F64 reads a float64.
+func (r *FieldReader) F64() float64 { return math.Float64frombits(r.U64()) }
+
+// length reads and validates a u32 length prefix.
+func (r *FieldReader) length() int {
+	n := r.U32()
+	if r.err == nil && n > maxFieldLen {
+		r.err = fmt.Errorf("storage: field length %d exceeds limit", n)
+	}
+	if r.err != nil {
+		return 0
+	}
+	return int(n)
+}
+
+// Bytes reads a u32-length-prefixed byte blob. A zero length returns nil.
+func (r *FieldReader) Bytes() []byte {
+	n := r.length()
+	if n == 0 {
+		return nil
+	}
+	p := make([]byte, n)
+	r.Raw(p)
+	if r.err != nil {
+		return nil
+	}
+	return p
+}
+
+// String reads a u32-length-prefixed string.
+func (r *FieldReader) String() string {
+	return string(r.Bytes())
+}
+
+// Strings reads a u32-count-prefixed string slice.
+func (r *FieldReader) Strings() []string {
+	n := r.length()
+	if n == 0 {
+		return nil
+	}
+	out := make([]string, n)
+	for i := range out {
+		out[i] = r.String()
+		if r.err != nil {
+			return nil
+		}
+	}
+	return out
+}
+
+// I64s reads a u32-count-prefixed int64 slice.
+func (r *FieldReader) I64s() []int64 {
+	n := r.length()
+	if n == 0 {
+		return nil
+	}
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = r.I64()
+	}
+	if r.err != nil {
+		return nil
+	}
+	return out
+}
