@@ -2,7 +2,7 @@ GO ?= go
 
 .PHONY: all build test vet race bench experiments
 
-all: build test vet race
+all: build test vet race fuzz
 
 build:
 	$(GO) build ./...
@@ -15,8 +15,18 @@ vet:
 
 # Race detection over the concurrency-heavy packages (tier-1 verification
 # runs this alongside `test`; the full -race ./... sweep is `race-all`).
+# ./internal/storage includes the scan-prefetcher stress tests.
 race:
 	$(GO) test -race ./internal/exec ./internal/ops ./internal/bufcache ./internal/storage ./internal/cluster
+
+# Short fuzz smoke over the chunk/array decoders. Each target must be
+# invoked separately: `go test -fuzz` refuses a pattern matching more
+# than one fuzz function.
+FUZZTIME ?= 10s
+.PHONY: fuzz
+fuzz:
+	$(GO) test -run=NONE -fuzz=FuzzDecodeChunk -fuzztime=$(FUZZTIME) ./internal/storage
+	$(GO) test -run=NONE -fuzz=FuzzDecodeArray -fuzztime=$(FUZZTIME) ./internal/storage
 
 .PHONY: race-all
 race-all:

@@ -2,7 +2,7 @@
 // experiment per figure and quantified claim (see DESIGN.md and
 // EXPERIMENTS.md). With no flags it runs everything at full size.
 //
-//	scidb-bench [-exp ID[,ID...]] [-quick] [-list] [-cache-bytes N] [-parallelism N]
+//	scidb-bench [-exp ID[,ID...]] [-quick] [-list] [-cache-bytes N] [-parallelism N] [-readahead N]
 //	scidb-bench -exp NET [-wire-compress gzip] [-call-timeout 30s] [-net-addrs host1:7101,host2:7101,host3:7101]
 package main
 
@@ -21,6 +21,7 @@ func main() {
 	quick := flag.Bool("quick", false, "shrink workloads for a fast smoke run")
 	list := flag.Bool("list", false, "list experiments and exit")
 	cacheBytes := flag.Int64("cache-bytes", 64<<20, "buffer-pool budget for cache-aware experiments")
+	readahead := flag.Int("readahead", 4, "scan prefetch depth for the ENC experiment (0 disables)")
 	parallelism := flag.Int("parallelism", 0, "chunk-parallel worker bound (1 = serial, 0 = NumCPU)")
 	wireCompress := flag.String("wire-compress", "", "wire codec for the NET experiment's compressed row (default gzip)")
 	callTimeout := flag.Duration("call-timeout", 0, "per-call deadline for NET transports (0 = none)")
@@ -28,6 +29,7 @@ func main() {
 	flag.Parse()
 
 	experiments.SetCacheBytes(*cacheBytes)
+	experiments.SetReadahead(*readahead)
 	exec.SetParallelism(*parallelism)
 	if *wireCompress != "" {
 		experiments.SetWireCompress(*wireCompress)

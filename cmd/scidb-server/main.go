@@ -5,7 +5,7 @@
 // sniffs the protocol per connection).
 //
 //	scidb-server -listen 127.0.0.1:7101 -id 0
-//	scidb-server -listen 127.0.0.1:7101 -id 0 -persist -data-dir /var/scidb -cache-bytes 268435456
+//	scidb-server -listen 127.0.0.1:7101 -id 0 -persist -data-dir /var/scidb -cache-bytes 268435456 -readahead 4
 //	scidb-server -listen 127.0.0.1:7101 -id 0 -parallelism 8 -wire-compress gzip -call-timeout 30s
 package main
 
@@ -27,6 +27,7 @@ func main() {
 	persist := flag.Bool("persist", false, "back partitions with the bucket store instead of plain arrays")
 	dataDir := flag.String("data-dir", "", "bucket directory root for -persist (empty: in-memory buckets)")
 	cacheBytes := flag.Int64("cache-bytes", 64<<20, "decoded-bucket buffer pool budget for -persist (0 disables)")
+	readahead := flag.Int("readahead", 0, "scan prefetch depth for -persist: buckets loaded ahead of a scan (0 disables)")
 	parallelism := flag.Int("parallelism", 0, "chunk-parallel worker bound (1 = serial, 0 = NumCPU)")
 	wireCompress := flag.String("wire-compress", "", "response-frame codec (none|rle|delta|gzip|auto; empty mirrors each client)")
 	callTimeout := flag.Duration("call-timeout", 0, "per-connection I/O deadline for hello reads and response writes (0 = none)")
@@ -41,7 +42,7 @@ func main() {
 	}
 	opts := cluster.WorkerOptions{}
 	if *persist {
-		opts = cluster.WorkerOptions{Persist: true, Dir: *dataDir, CacheBytes: *cacheBytes}
+		opts = cluster.WorkerOptions{Persist: true, Dir: *dataDir, CacheBytes: *cacheBytes, Readahead: *readahead}
 	}
 	w := cluster.NewWorkerWithOptions(*id, opts)
 	srv, err := cluster.NewServer(w, cluster.ServeOptions{Codec: *wireCompress, IOTimeout: *callTimeout})
@@ -51,7 +52,7 @@ func main() {
 	}
 	mode := "array partitions"
 	if *persist {
-		mode = fmt.Sprintf("store-backed partitions (cache %d bytes)", *cacheBytes)
+		mode = fmt.Sprintf("store-backed partitions (cache %d bytes, readahead %d)", *cacheBytes, *readahead)
 	}
 	codec := *wireCompress
 	if codec == "" {

@@ -522,6 +522,26 @@ func (co *Coordinator) CacheStats() ([]bufcache.Stats, error) {
 	return out, nil
 }
 
+// StorageStats gathers every node's storage counters (disk traffic,
+// encoding ratios, prefetch hits), summed over the node's store-backed
+// partitions. Array-backed nodes report zeros.
+func (co *Coordinator) StorageStats() ([]storage.Stats, error) {
+	out := make([]storage.Stats, co.t.NumNodes())
+	if err := fanout(allNodes(len(out)), func(_, n int) error {
+		resp, err := co.t.Call(n, &Message{Op: "cachestats"})
+		if err != nil {
+			return err
+		}
+		if resp.Store != nil {
+			out[n] = *resp.Store
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
 // NodeStats gathers per-node counters (the PART experiment's load metric).
 func (co *Coordinator) NodeStats() ([]WorkerStats, error) {
 	out := make([]WorkerStats, co.t.NumNodes())

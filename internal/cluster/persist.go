@@ -27,6 +27,10 @@ type WorkerOptions struct {
 	// private pool; both nil/zero leaves reads uncached.
 	Cache      *bufcache.Pool
 	CacheBytes int64
+	// Readahead is the scan prefetch depth handed to each partition's
+	// store: how many upcoming buckets a scan loads into the pool ahead of
+	// its read position. Zero disables readahead.
+	Readahead int
 }
 
 // NewWorkerWithOptions creates a worker with configured partition backing.
@@ -54,6 +58,18 @@ func (w *Worker) CacheStats() bufcache.Stats {
 		return bufcache.Stats{}
 	}
 	return w.cache.Stats()
+}
+
+// StoreStats sums the storage counters of every store-backed partition on
+// this node (zero value when partitions are plain in-memory arrays).
+func (w *Worker) StoreStats() storage.Stats {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	var sum storage.Stats
+	for _, st := range w.stores {
+		sum = sum.Add(st.Stats())
+	}
+	return sum
 }
 
 // Close shuts down every store-backed partition, flushing buffered cells and
@@ -109,9 +125,10 @@ func (w *Worker) createStoreLocked(name string, schema *array.Schema) error {
 		dir = filepath.Join(w.opts.Dir, name)
 	}
 	st, err := storage.NewStore(partitionSchema(schema), storage.Options{
-		Dir:    dir,
-		Stride: w.opts.Stride,
-		Cache:  w.cache,
+		Dir:       dir,
+		Stride:    w.opts.Stride,
+		Cache:     w.cache,
+		Readahead: w.opts.Readahead,
 	})
 	if err != nil {
 		return err

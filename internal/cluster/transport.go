@@ -118,6 +118,8 @@ type LocalOptions struct {
 	// the single-process deployment the pool is built for. Zero leaves
 	// reads uncached.
 	CacheBytes int64
+	// Readahead is the per-store scan prefetch depth. Zero disables it.
+	Readahead int
 }
 
 // NewLocalWithOptions creates n in-process workers sharing one buffer pool.
@@ -128,7 +130,7 @@ func NewLocalWithOptions(n int, opts LocalOptions) *Local {
 	}
 	ws := make([]*Worker, n)
 	for i := range ws {
-		wo := WorkerOptions{Persist: opts.Persist, Stride: opts.Stride, Cache: pool}
+		wo := WorkerOptions{Persist: opts.Persist, Stride: opts.Stride, Cache: pool, Readahead: opts.Readahead}
 		if opts.Dir != "" {
 			wo.Dir = filepath.Join(opts.Dir, fmt.Sprintf("node-%d", i))
 		}

@@ -204,6 +204,7 @@ const (
 	msgHasStats  = 1 << 1
 	msgHasCache  = 1 << 2
 	msgHasExec   = 1 << 3
+	msgHasStore  = 1 << 4
 )
 
 // encodeMessage hand-rolls a Message to its wire form. Field order is
@@ -249,6 +250,9 @@ func encodeMessage(m *Message) ([]byte, error) {
 	if m.Exec != nil {
 		present |= msgHasExec
 	}
+	if m.Store != nil {
+		present |= msgHasStore
+	}
 	w.U8(present)
 	if m.Schema != nil {
 		encodeSchema(w, m.Schema)
@@ -281,6 +285,20 @@ func encodeMessage(m *Message) ([]byte, error) {
 		w.I64(e.SerialRuns)
 		w.I64(e.Saturation)
 	}
+	if m.Store != nil {
+		st := m.Store
+		w.I64(st.BucketsWritten)
+		w.I64(st.BucketsMerged)
+		w.I64(st.BucketsRead)
+		w.I64(st.BytesWritten)
+		w.I64(st.BytesRead)
+		w.I64(st.Flushes)
+		w.I64(st.BytesRaw)
+		w.I64(st.BytesEncoded)
+		w.I64(st.PrefetchIssued)
+		w.I64(st.PrefetchHits)
+		w.I64(st.PrefetchWasted)
+	}
 	if w.Err() != nil {
 		return nil, w.Err()
 	}
@@ -289,7 +307,7 @@ func encodeMessage(m *Message) ([]byte, error) {
 
 // decodeMessage reverses encodeMessage.
 func decodeMessage(data []byte) (*Message, error) {
-	r := storage.NewFieldReader(bytes.NewReader(data))
+	r := storage.NewFieldReaderBytes(data)
 	m := &Message{}
 	m.Op = r.String()
 	m.Array = r.String()
@@ -360,6 +378,21 @@ func decodeMessage(data []byte) (*Message, error) {
 			ParallelRuns:    r.I64(),
 			SerialRuns:      r.I64(),
 			Saturation:      r.I64(),
+		}
+	}
+	if present&msgHasStore != 0 {
+		m.Store = &storage.Stats{
+			BucketsWritten: r.I64(),
+			BucketsMerged:  r.I64(),
+			BucketsRead:    r.I64(),
+			BytesWritten:   r.I64(),
+			BytesRead:      r.I64(),
+			Flushes:        r.I64(),
+			BytesRaw:       r.I64(),
+			BytesEncoded:   r.I64(),
+			PrefetchIssued: r.I64(),
+			PrefetchHits:   r.I64(),
+			PrefetchWasted: r.I64(),
 		}
 	}
 	if r.Err() != nil {

@@ -55,6 +55,10 @@ type Message struct {
 	Cache *bufcache.Stats
 	// Exec is the "execstats" response: the node's worker-pool counters.
 	Exec *exec.Stats
+	// Store rides along in the "cachestats" response: the node's storage
+	// counters summed over its store-backed partitions (encoding ratios,
+	// prefetch hit/wasted counts, disk traffic).
+	Store *storage.Stats
 }
 
 // Partial is a combinable aggregate fragment computed by one worker for one
@@ -198,7 +202,8 @@ func (w *Worker) handle(req *Message) (*Message, error) {
 		return &Message{Op: "stats", Stats: &s}, nil
 	case "cachestats":
 		s := w.CacheStats()
-		return &Message{Op: "cachestats", Cache: &s}, nil
+		st := w.StoreStats()
+		return &Message{Op: "cachestats", Cache: &s, Store: &st}, nil
 	case "execstats":
 		s := exec.Default().Stats()
 		return &Message{Op: "execstats", Exec: &s}, nil

@@ -1,0 +1,593 @@
+package storage
+
+// Lightweight per-column value encodings for the chunk format (the paper's
+// §2.8 storage manager "compresses each bucket"; the general-purpose codec
+// in internal/compress still runs over the whole bucket afterwards, but the
+// encodings here exploit per-column structure the byte-level codecs cannot
+// see: constant columns, runs, small integer deltas, low-cardinality
+// strings).
+//
+// A v1-encoded column writes one tag byte after the null bitmap:
+//
+//	encRaw   — values verbatim, identical to the legacy (v0) layout
+//	encConst — a single value covering every slot
+//	encRLE   — u32 run count, then (u32 run length, value) pairs
+//	encDelta — first value, u8 bit width, zigzag deltas bit-packed into
+//	           little-endian u64 words (integer columns only)
+//	encDict  — u32 dictionary size, the dictionary strings, u8 bit width,
+//	           bit-packed dictionary indices (string columns only)
+//
+// The encoder chooses per column from one cheap stats pass (run count,
+// all-equal, max zigzag delta width, distinct count) by computing each
+// candidate's exact encoded size and keeping the smallest; encRaw is the
+// universal fallback, so every column of every type always encodes.
+import (
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// Column-encoding tags (format v1, columns flagged colFlagEncV1).
+const (
+	encRaw   = 0
+	encConst = 1
+	encRLE   = 2
+	encDelta = 3
+	encDict  = 4
+)
+
+// maxDictSize caps the string dictionary the encoder will build; columns
+// with more distinct values fall back to RLE or raw.
+const maxDictSize = 1 << 12
+
+// zigzag maps a signed delta to an unsigned value with small magnitudes
+// near zero (two's-complement wrap-around is intentional: decode adds the
+// delta back with the same wrapping arithmetic).
+func zigzag(v int64) uint64 { return uint64(v<<1) ^ uint64(v>>63) }
+
+// unzigzag reverses zigzag.
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+// packedWords returns the number of u64 words needed to hold count values
+// of the given bit width.
+func packedWords(count int64, width uint) int64 {
+	if width == 0 || count <= 0 {
+		return 0
+	}
+	return (count*int64(width) + 63) / 64
+}
+
+// packBits packs vals (each < 2^width) LSB-first into little-endian u64
+// words. A zero width packs nothing (every value is zero by construction).
+func packBits(vals []uint64, width uint) []uint64 {
+	if width == 0 || len(vals) == 0 {
+		return nil
+	}
+	words := make([]uint64, packedWords(int64(len(vals)), width))
+	bit := 0
+	for _, v := range vals {
+		w, off := bit/64, uint(bit%64)
+		words[w] |= v << off
+		if off+width > 64 {
+			words[w+1] = v >> (64 - off)
+		}
+		bit += int(width)
+	}
+	return words
+}
+
+// unpackBits reverses packBits into count values.
+func unpackBits(words []uint64, width uint, count int64) []uint64 {
+	out := make([]uint64, count)
+	if width == 0 {
+		return out
+	}
+	mask := ^uint64(0)
+	if width < 64 {
+		mask = uint64(1)<<width - 1
+	}
+	bit := 0
+	for i := range out {
+		w, off := bit/64, uint(bit%64)
+		v := words[w] >> off
+		if off+width > 64 {
+			v |= words[w+1] << (64 - off)
+		}
+		out[i] = v & mask
+		bit += int(width)
+	}
+	return out
+}
+
+// writePackedWords writes a u32 word count followed by the words.
+func writePackedWords(w *FieldWriter, words []uint64) {
+	w.U32(uint32(len(words)))
+	for _, word := range words {
+		w.U64(word)
+	}
+}
+
+// readPackedWords reads the words written by writePackedWords, validating
+// the count against the expected packed size and the remaining buffer.
+func readPackedWords(r *FieldReader, count int64, width uint) ([]uint64, error) {
+	n := int64(r.U32())
+	if want := packedWords(count, width); n != want {
+		return nil, fmt.Errorf("storage: packed column has %d words, want %d", n, want)
+	}
+	if !r.Need(n * 8) {
+		return nil, r.Err()
+	}
+	words := make([]uint64, n)
+	for i := range words {
+		words[i] = r.U64()
+	}
+	return words, r.Err()
+}
+
+// encodeIntValues picks and writes the cheapest encoding for an integer
+// vector: const, RLE, delta+bit-packing, or raw.
+func encodeIntValues(w *FieldWriter, vals []int64) {
+	n := len(vals)
+	if n == 0 {
+		w.U8(encRaw)
+		return
+	}
+	runs := 1
+	var maxZig uint64
+	for i := 1; i < n; i++ {
+		if vals[i] != vals[i-1] {
+			runs++
+		}
+		if z := zigzag(vals[i] - vals[i-1]); z > maxZig {
+			maxZig = z
+		}
+	}
+	if runs == 1 {
+		w.U8(encConst)
+		w.I64(vals[0])
+		return
+	}
+	width := uint(bits.Len64(maxZig))
+	rawSize := int64(8 * n)
+	rleSize := int64(4 + runs*12)
+	deltaSize := 8 + 1 + 4 + 8*packedWords(int64(n-1), width)
+	switch {
+	case deltaSize < rawSize && deltaSize <= rleSize:
+		w.U8(encDelta)
+		w.I64(vals[0])
+		w.U8(uint8(width))
+		zigs := make([]uint64, n-1)
+		for i := 1; i < n; i++ {
+			zigs[i-1] = zigzag(vals[i] - vals[i-1])
+		}
+		writePackedWords(w, packBits(zigs, width))
+	case rleSize < rawSize:
+		w.U8(encRLE)
+		w.U32(uint32(runs))
+		for i := 0; i < n; {
+			j := i + 1
+			for j < n && vals[j] == vals[i] {
+				j++
+			}
+			w.U32(uint32(j - i))
+			w.I64(vals[i])
+			i = j
+		}
+	default:
+		w.U8(encRaw)
+		for _, v := range vals {
+			w.I64(v)
+		}
+	}
+}
+
+// decodeIntValues reverses encodeIntValues into a slots-sized vector.
+func decodeIntValues(r *FieldReader, slots int64) ([]int64, error) {
+	tag := r.U8()
+	if slots == 0 {
+		return nil, r.Err()
+	}
+	switch tag {
+	case encRaw:
+		if !r.Need(slots * 8) {
+			return nil, r.Err()
+		}
+		out := make([]int64, slots)
+		for i := range out {
+			out[i] = r.I64()
+		}
+		return out, r.Err()
+	case encConst:
+		v := r.I64()
+		if r.Err() != nil {
+			return nil, r.Err()
+		}
+		out := make([]int64, slots)
+		for i := range out {
+			out[i] = v
+		}
+		return out, nil
+	case encRLE:
+		out := make([]int64, 0, slots)
+		if err := decodeRuns(r, slots, func(runLen int64) error {
+			v := r.I64()
+			for k := int64(0); k < runLen; k++ {
+				out = append(out, v)
+			}
+			return r.Err()
+		}); err != nil {
+			return nil, err
+		}
+		return out, nil
+	case encDelta:
+		first := r.I64()
+		width := uint(r.U8())
+		if r.Err() != nil {
+			return nil, r.Err()
+		}
+		if width > 64 {
+			return nil, fmt.Errorf("storage: delta column bit width %d", width)
+		}
+		words, err := readPackedWords(r, slots-1, width)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]int64, slots)
+		out[0] = first
+		prev := first
+		for i, z := range unpackBits(words, width, slots-1) {
+			prev += unzigzag(z)
+			out[i+1] = prev
+		}
+		return out, nil
+	}
+	return nil, fmt.Errorf("storage: unknown int column encoding %d", tag)
+}
+
+// encodeFloatValues picks const, RLE, or raw for a float vector. Run
+// detection compares IEEE-754 bit images so NaNs and signed zeros
+// round-trip byte-exactly.
+func encodeFloatValues(w *FieldWriter, vals []float64) {
+	n := len(vals)
+	if n == 0 {
+		w.U8(encRaw)
+		return
+	}
+	runs := 1
+	for i := 1; i < n; i++ {
+		if math.Float64bits(vals[i]) != math.Float64bits(vals[i-1]) {
+			runs++
+		}
+	}
+	switch {
+	case runs == 1:
+		w.U8(encConst)
+		w.F64(vals[0])
+	case int64(4+runs*12) < int64(8*n):
+		w.U8(encRLE)
+		w.U32(uint32(runs))
+		for i := 0; i < n; {
+			j := i + 1
+			for j < n && math.Float64bits(vals[j]) == math.Float64bits(vals[i]) {
+				j++
+			}
+			w.U32(uint32(j - i))
+			w.F64(vals[i])
+			i = j
+		}
+	default:
+		w.U8(encRaw)
+		for _, v := range vals {
+			w.F64(v)
+		}
+	}
+}
+
+// decodeFloatValues reverses encodeFloatValues.
+func decodeFloatValues(r *FieldReader, slots int64) ([]float64, error) {
+	tag := r.U8()
+	if slots == 0 {
+		return nil, r.Err()
+	}
+	switch tag {
+	case encRaw:
+		if !r.Need(slots * 8) {
+			return nil, r.Err()
+		}
+		out := make([]float64, slots)
+		for i := range out {
+			out[i] = r.F64()
+		}
+		return out, r.Err()
+	case encConst:
+		v := r.F64()
+		if r.Err() != nil {
+			return nil, r.Err()
+		}
+		out := make([]float64, slots)
+		for i := range out {
+			out[i] = v
+		}
+		return out, nil
+	case encRLE:
+		out := make([]float64, 0, slots)
+		if err := decodeRuns(r, slots, func(runLen int64) error {
+			v := r.F64()
+			for k := int64(0); k < runLen; k++ {
+				out = append(out, v)
+			}
+			return r.Err()
+		}); err != nil {
+			return nil, err
+		}
+		return out, nil
+	}
+	return nil, fmt.Errorf("storage: unknown float column encoding %d", tag)
+}
+
+// encodeBoolValues picks const, RLE, or raw for a bool vector.
+func encodeBoolValues(w *FieldWriter, vals []bool) {
+	n := len(vals)
+	if n == 0 {
+		w.U8(encRaw)
+		return
+	}
+	runs := 1
+	for i := 1; i < n; i++ {
+		if vals[i] != vals[i-1] {
+			runs++
+		}
+	}
+	switch {
+	case runs == 1:
+		w.U8(encConst)
+		w.Bool(vals[0])
+	case int64(4+runs*5) < int64(n):
+		w.U8(encRLE)
+		w.U32(uint32(runs))
+		for i := 0; i < n; {
+			j := i + 1
+			for j < n && vals[j] == vals[i] {
+				j++
+			}
+			w.U32(uint32(j - i))
+			w.Bool(vals[i])
+			i = j
+		}
+	default:
+		w.U8(encRaw)
+		for _, v := range vals {
+			w.Bool(v)
+		}
+	}
+}
+
+// decodeBoolValues reverses encodeBoolValues.
+func decodeBoolValues(r *FieldReader, slots int64) ([]bool, error) {
+	tag := r.U8()
+	if slots == 0 {
+		return nil, r.Err()
+	}
+	switch tag {
+	case encRaw:
+		if !r.Need(slots) {
+			return nil, r.Err()
+		}
+		out := make([]bool, slots)
+		for i := range out {
+			out[i] = r.Bool()
+		}
+		return out, r.Err()
+	case encConst:
+		v := r.Bool()
+		if r.Err() != nil {
+			return nil, r.Err()
+		}
+		out := make([]bool, slots)
+		for i := range out {
+			out[i] = v
+		}
+		return out, nil
+	case encRLE:
+		out := make([]bool, 0, slots)
+		if err := decodeRuns(r, slots, func(runLen int64) error {
+			v := r.Bool()
+			for k := int64(0); k < runLen; k++ {
+				out = append(out, v)
+			}
+			return r.Err()
+		}); err != nil {
+			return nil, err
+		}
+		return out, nil
+	}
+	return nil, fmt.Errorf("storage: unknown bool column encoding %d", tag)
+}
+
+// encodeStringValues picks const, dict, RLE, or raw for a string vector.
+func encodeStringValues(w *FieldWriter, vals []string) {
+	n := len(vals)
+	if n == 0 {
+		w.U8(encRaw)
+		return
+	}
+	// One stats pass: raw size, run count + RLE size, capped distinct set.
+	var rawSize, rleSize int64 = 0, 4
+	runs := 1
+	dict := map[string]uint64{vals[0]: 0}
+	order := []string{vals[0]}
+	var dictStrBytes int64 = 4 + int64(len(vals[0]))
+	for i, v := range vals {
+		rawSize += 4 + int64(len(v))
+		if i > 0 && v != vals[i-1] {
+			runs++
+		}
+		if dict != nil {
+			if _, ok := dict[v]; !ok {
+				if len(dict) >= maxDictSize {
+					dict, order = nil, nil
+				} else {
+					dict[v] = uint64(len(order))
+					order = append(order, v)
+					dictStrBytes += 4 + int64(len(v))
+				}
+			}
+		}
+	}
+	for i := 0; i < n; {
+		j := i + 1
+		for j < n && vals[j] == vals[i] {
+			j++
+		}
+		rleSize += 4 + 4 + int64(len(vals[i]))
+		i = j
+	}
+	if runs == 1 {
+		w.U8(encConst)
+		w.String(vals[0])
+		return
+	}
+	dictSize := int64(math.MaxInt64)
+	var width uint
+	if dict != nil {
+		width = uint(bits.Len64(uint64(len(order) - 1)))
+		dictSize = 4 + dictStrBytes + 1 + 4 + 8*packedWords(int64(n), width)
+	}
+	switch {
+	case dictSize < rawSize && dictSize <= rleSize:
+		w.U8(encDict)
+		w.U32(uint32(len(order)))
+		for _, s := range order {
+			w.String(s)
+		}
+		w.U8(uint8(width))
+		idx := make([]uint64, n)
+		for i, v := range vals {
+			idx[i] = dict[v]
+		}
+		writePackedWords(w, packBits(idx, width))
+	case rleSize < rawSize:
+		w.U8(encRLE)
+		w.U32(uint32(runs))
+		for i := 0; i < n; {
+			j := i + 1
+			for j < n && vals[j] == vals[i] {
+				j++
+			}
+			w.U32(uint32(j - i))
+			w.String(vals[i])
+			i = j
+		}
+	default:
+		w.U8(encRaw)
+		for _, v := range vals {
+			w.String(v)
+		}
+	}
+}
+
+// decodeStringValues reverses encodeStringValues.
+func decodeStringValues(r *FieldReader, slots int64) ([]string, error) {
+	tag := r.U8()
+	if slots == 0 {
+		return nil, r.Err()
+	}
+	switch tag {
+	case encRaw:
+		// Every string costs at least its 4-byte length prefix.
+		if !r.Need(slots * 4) {
+			return nil, r.Err()
+		}
+		out := make([]string, slots)
+		for i := range out {
+			out[i] = r.String()
+			if r.Err() != nil {
+				return nil, r.Err()
+			}
+		}
+		return out, nil
+	case encConst:
+		v := r.String()
+		if r.Err() != nil {
+			return nil, r.Err()
+		}
+		out := make([]string, slots)
+		for i := range out {
+			out[i] = v
+		}
+		return out, nil
+	case encRLE:
+		out := make([]string, 0, slots)
+		if err := decodeRuns(r, slots, func(runLen int64) error {
+			v := r.String()
+			for k := int64(0); k < runLen; k++ {
+				out = append(out, v)
+			}
+			return r.Err()
+		}); err != nil {
+			return nil, err
+		}
+		return out, nil
+	case encDict:
+		dictLen := int64(r.U32())
+		if dictLen <= 0 || !r.Need(dictLen*4) {
+			if r.Err() == nil {
+				return nil, fmt.Errorf("storage: dict column with empty dictionary")
+			}
+			return nil, r.Err()
+		}
+		dict := make([]string, dictLen)
+		for i := range dict {
+			dict[i] = r.String()
+			if r.Err() != nil {
+				return nil, r.Err()
+			}
+		}
+		width := uint(r.U8())
+		if width > 64 {
+			return nil, fmt.Errorf("storage: dict column bit width %d", width)
+		}
+		words, err := readPackedWords(r, slots, width)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]string, slots)
+		for i, idx := range unpackBits(words, width, slots) {
+			if idx >= uint64(dictLen) {
+				return nil, fmt.Errorf("storage: dict index %d out of range %d", idx, dictLen)
+			}
+			out[i] = dict[idx]
+		}
+		return out, nil
+	}
+	return nil, fmt.Errorf("storage: unknown string column encoding %d", tag)
+}
+
+// decodeRuns drives an RLE decode: it reads the run count, validates it
+// against the remaining buffer, and calls readRun with each run length,
+// enforcing that the lengths sum exactly to slots.
+func decodeRuns(r *FieldReader, slots int64, readRun func(runLen int64) error) error {
+	runs := int64(r.U32())
+	// Each run costs at least a u32 length plus a 1-byte value.
+	if !r.Need(runs * 5) {
+		return r.Err()
+	}
+	var total int64
+	for i := int64(0); i < runs; i++ {
+		runLen := int64(r.U32())
+		if r.Err() != nil {
+			return r.Err()
+		}
+		if runLen <= 0 || total+runLen > slots {
+			return fmt.Errorf("storage: RLE runs exceed %d slots", slots)
+		}
+		total += runLen
+		if err := readRun(runLen); err != nil {
+			return err
+		}
+	}
+	if total != slots {
+		return fmt.Errorf("storage: RLE runs cover %d of %d slots", total, slots)
+	}
+	return nil
+}

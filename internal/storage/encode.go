@@ -15,10 +15,35 @@ import (
 
 const chunkMagic = 0x53434442 // "SCDB"
 
+// Column flag bits. colFlagEncV1 versions the value layout: a v0 (legacy)
+// column stores its values verbatim; a v1 column follows the null bitmap
+// with an encoding tag byte (see colenc.go). Decoders accept both, so every
+// chunk written before the encoding layer existed still decodes.
+const (
+	colFlagSigma  = 1 << 0
+	colFlagShared = 1 << 1
+	colFlagEncV1  = 1 << 7
+
+	colFlagsKnown = colFlagSigma | colFlagShared | colFlagEncV1
+)
+
 // EncodeChunk serializes a chunk of the given schema to a portable binary
-// form (also the wire format between grid nodes). Nested-array attributes
-// are encoded recursively using the attribute's element schema.
+// form (also the wire format between grid nodes), choosing a lightweight
+// per-column value encoding (constant elision, RLE, delta+bit-packing,
+// string dictionary) from cheap column stats. Nested-array attributes are
+// encoded recursively using the attribute's element schema.
 func EncodeChunk(s *array.Schema, ch *array.Chunk) ([]byte, error) {
+	return encodeChunk(s, ch, false)
+}
+
+// EncodeChunkRaw serializes a chunk in the legacy (v0) verbatim layout —
+// no per-column encodings. It is retained as the measured baseline for the
+// ENC experiment and for compatibility tests; DecodeChunk reads both forms.
+func EncodeChunkRaw(s *array.Schema, ch *array.Chunk) ([]byte, error) {
+	return encodeChunk(s, ch, true)
+}
+
+func encodeChunk(s *array.Schema, ch *array.Chunk, raw bool) ([]byte, error) {
 	var b bytes.Buffer
 	w := NewFieldWriter(&b)
 	w.U32(chunkMagic)
@@ -32,7 +57,7 @@ func EncodeChunk(s *array.Schema, ch *array.Chunk) ([]byte, error) {
 		return nil, fmt.Errorf("storage: chunk has %d columns, schema %d", len(ch.Cols), len(s.Attrs))
 	}
 	for ai, col := range ch.Cols {
-		if err := encodeColumn(w, s.Attrs[ai], col); err != nil {
+		if err := encodeColumn(w, s.Attrs[ai], col, raw); err != nil {
 			return nil, err
 		}
 	}
@@ -42,25 +67,35 @@ func EncodeChunk(s *array.Schema, ch *array.Chunk) ([]byte, error) {
 	return b.Bytes(), nil
 }
 
-// DecodeChunk reverses EncodeChunk.
+// DecodeChunk reverses EncodeChunk (and EncodeChunkRaw: the column flag
+// byte selects the layout). All counts and lengths are validated against
+// the remaining buffer before anything is allocated for them, so corrupt
+// input fails with an error instead of a huge allocation.
 func DecodeChunk(s *array.Schema, data []byte) (*array.Chunk, error) {
-	r := NewFieldReader(bytes.NewReader(data))
+	r := NewFieldReaderBytes(data)
 	if m := r.U32(); m != chunkMagic {
 		return nil, fmt.Errorf("storage: bad chunk magic %#x", m)
 	}
 	nd := int(r.U8())
+	if r.Err() != nil {
+		return nil, r.Err()
+	}
+	if nd != len(s.Dims) {
+		return nil, fmt.Errorf("storage: chunk has %d dims, schema %d", nd, len(s.Dims))
+	}
 	origin := make(array.Coord, nd)
 	shape := make([]int64, nd)
+	slots := int64(1)
 	for i := 0; i < nd; i++ {
 		origin[i] = r.I64()
 		shape[i] = r.I64()
-	}
-	slots := int64(1)
-	for _, e := range shape {
-		slots *= e
-	}
-	if slots < 0 || r.Err() != nil {
-		return nil, fmt.Errorf("storage: corrupt chunk header")
+		if r.Err() != nil {
+			return nil, r.Err()
+		}
+		if shape[i] < 0 || (shape[i] > 0 && slots > maxFieldLen/shape[i]) {
+			return nil, fmt.Errorf("storage: corrupt chunk shape %v", shape[:i+1])
+		}
+		slots *= shape[i]
 	}
 	present, err := readBitmap(r, slots)
 	if err != nil {
@@ -107,9 +142,13 @@ func DecodeArray(s *array.Schema, data []byte) (*array.Array, error) {
 	if err != nil {
 		return nil, err
 	}
-	r := NewFieldReader(bytes.NewReader(data))
-	n := int(r.U32())
-	for i := 0; i < n; i++ {
+	r := NewFieldReaderBytes(data)
+	n := int64(r.U32())
+	// Every chunk costs at least its u32 length prefix.
+	if !r.Need(n * 4) {
+		return nil, r.Err()
+	}
+	for i := int64(0); i < n; i++ {
 		buf := r.Bytes()
 		if r.Err() != nil {
 			return nil, r.Err()
@@ -123,12 +162,11 @@ func DecodeArray(s *array.Schema, data []byte) (*array.Array, error) {
 	return a, nil
 }
 
-const (
-	colFlagSigma  = 1 << 0
-	colFlagShared = 1 << 1
-)
-
-func encodeColumn(w *FieldWriter, at array.Attribute, col *array.Column) error {
+// encodeColumn writes one column: flag byte, null bitmap, values (encoded
+// per colenc.go unless raw), then the uncertainty tail. Nested-array
+// columns always use the raw layout — their payloads are recursively
+// encoded arrays, which compress internally.
+func encodeColumn(w *FieldWriter, at array.Attribute, col *array.Column, raw bool) error {
 	var flags uint8
 	if col.Sigma != nil {
 		flags |= colFlagSigma
@@ -136,26 +174,48 @@ func encodeColumn(w *FieldWriter, at array.Attribute, col *array.Column) error {
 	if col.HasShared {
 		flags |= colFlagShared
 	}
+	if !raw {
+		flags |= colFlagEncV1
+	}
 	w.U8(flags)
 	writeBitmap(w, col.Nulls)
 	switch at.Type {
 	case array.TInt64:
-		for _, v := range col.Ints {
-			w.I64(v)
+		if raw {
+			for _, v := range col.Ints {
+				w.I64(v)
+			}
+		} else {
+			encodeIntValues(w, col.Ints)
 		}
 	case array.TFloat64:
-		for _, v := range col.Floats {
-			w.F64(v)
+		if raw {
+			for _, v := range col.Floats {
+				w.F64(v)
+			}
+		} else {
+			encodeFloatValues(w, col.Floats)
 		}
 	case array.TBool:
-		for _, v := range col.Bools {
-			w.Bool(v)
+		if raw {
+			for _, v := range col.Bools {
+				w.Bool(v)
+			}
+		} else {
+			encodeBoolValues(w, col.Bools)
 		}
 	case array.TString:
-		for _, v := range col.Strs {
-			w.String(v)
+		if raw {
+			for _, v := range col.Strs {
+				w.String(v)
+			}
+		} else {
+			encodeStringValues(w, col.Strs)
 		}
 	case array.TArray:
+		if !raw {
+			w.U8(encRaw)
+		}
 		for _, nested := range col.Arrs {
 			if nested == nil {
 				w.U8(0)
@@ -184,36 +244,69 @@ func encodeColumn(w *FieldWriter, at array.Attribute, col *array.Column) error {
 
 func decodeColumn(r *FieldReader, at array.Attribute, slots int64) (*array.Column, error) {
 	flags := r.U8()
+	if r.Err() != nil {
+		return nil, r.Err()
+	}
+	if flags&^uint8(colFlagsKnown) != 0 {
+		return nil, fmt.Errorf("storage: unknown column flags %#x", flags)
+	}
 	nulls, err := readBitmap(r, slots)
 	if err != nil {
 		return nil, err
 	}
+	encoded := flags&colFlagEncV1 != 0
 	col := &array.Column{Type: at.Type, Nulls: nulls}
 	switch at.Type {
 	case array.TInt64:
-		col.Ints = make([]int64, slots)
-		for i := range col.Ints {
-			col.Ints[i] = r.I64()
+		if encoded {
+			col.Ints, err = decodeIntValues(r, slots)
+		} else if r.Need(slots * 8) {
+			col.Ints = make([]int64, slots)
+			for i := range col.Ints {
+				col.Ints[i] = r.I64()
+			}
 		}
 	case array.TFloat64:
-		col.Floats = make([]float64, slots)
-		for i := range col.Floats {
-			col.Floats[i] = r.F64()
+		if encoded {
+			col.Floats, err = decodeFloatValues(r, slots)
+		} else if r.Need(slots * 8) {
+			col.Floats = make([]float64, slots)
+			for i := range col.Floats {
+				col.Floats[i] = r.F64()
+			}
 		}
 	case array.TBool:
-		col.Bools = make([]bool, slots)
-		for i := range col.Bools {
-			col.Bools[i] = r.Bool()
+		if encoded {
+			col.Bools, err = decodeBoolValues(r, slots)
+		} else if r.Need(slots) {
+			col.Bools = make([]bool, slots)
+			for i := range col.Bools {
+				col.Bools[i] = r.Bool()
+			}
 		}
 	case array.TString:
-		col.Strs = make([]string, slots)
-		for i := range col.Strs {
-			col.Strs[i] = r.String()
-			if r.Err() != nil {
-				return nil, r.Err()
+		if encoded {
+			col.Strs, err = decodeStringValues(r, slots)
+		} else if r.Need(slots * 4) {
+			col.Strs = make([]string, slots)
+			for i := range col.Strs {
+				col.Strs[i] = r.String()
+				if r.Err() != nil {
+					return nil, r.Err()
+				}
 			}
 		}
 	case array.TArray:
+		if encoded {
+			// v1 nested columns carry a tag byte for forward shape parity;
+			// only the raw layout is defined for them.
+			if tag := r.U8(); r.Err() == nil && tag != encRaw {
+				return nil, fmt.Errorf("storage: unknown nested column encoding %d", tag)
+			}
+		}
+		if !r.Need(slots) { // one presence byte per slot minimum
+			return nil, r.Err()
+		}
 		col.Arrs = make([]*array.Array, slots)
 		for i := range col.Arrs {
 			if r.U8() == 0 {
@@ -232,7 +325,16 @@ func decodeColumn(r *FieldReader, at array.Attribute, slots int64) (*array.Colum
 	default:
 		return nil, fmt.Errorf("storage: cannot decode attribute type %v", at.Type)
 	}
+	if err != nil {
+		return nil, err
+	}
+	if r.Err() != nil {
+		return nil, r.Err()
+	}
 	if flags&colFlagSigma != 0 {
+		if !r.Need(slots * 8) {
+			return nil, r.Err()
+		}
 		col.Sigma = make([]float64, slots)
 		for i := range col.Sigma {
 			col.Sigma[i] = r.F64()
@@ -254,12 +356,15 @@ func writeBitmap(w *FieldWriter, b *array.Bitmap) {
 }
 
 func readBitmap(r *FieldReader, bits int64) (*array.Bitmap, error) {
-	n := int(r.U32())
+	n := int64(r.U32())
 	if r.Err() != nil {
 		return nil, r.Err()
 	}
-	if want := int((bits + 63) / 64); n != want {
+	if want := (bits + 63) / 64; n != want {
 		return nil, fmt.Errorf("storage: bitmap has %d words, want %d", n, want)
+	}
+	if !r.Need(n * 8) {
+		return nil, r.Err()
 	}
 	words := make([]uint64, n)
 	for i := range words {
@@ -269,4 +374,49 @@ func readBitmap(r *FieldReader, bits int64) (*array.Bitmap, error) {
 		return nil, r.Err()
 	}
 	return array.FromWords(bits, words), nil
+}
+
+// RawChunkSize returns the exact byte length EncodeChunkRaw would produce
+// for the chunk, computed arithmetically — no encode pass. It is the "raw"
+// term of the store's encoding-ratio stats. (Nested-array attributes are
+// the one approximation: their recursive payloads are counted at the
+// encoded size actually written.)
+func RawChunkSize(s *array.Schema, ch *array.Chunk) int64 {
+	n := int64(4 + 1 + 16*len(ch.Origin))
+	n += 4 + int64(len(ch.Present.Words()))*8
+	for ai, col := range ch.Cols {
+		if ai >= len(s.Attrs) {
+			break
+		}
+		n += 1 // flags
+		n += 4 + int64(len(col.Nulls.Words()))*8
+		switch s.Attrs[ai].Type {
+		case array.TInt64:
+			n += int64(len(col.Ints)) * 8
+		case array.TFloat64:
+			n += int64(len(col.Floats)) * 8
+		case array.TBool:
+			n += int64(len(col.Bools))
+		case array.TString:
+			for _, v := range col.Strs {
+				n += 4 + int64(len(v))
+			}
+		case array.TArray:
+			for _, nested := range col.Arrs {
+				n++
+				if nested != nil {
+					if payload, err := EncodeArray(nested); err == nil {
+						n += 4 + int64(len(payload))
+					}
+				}
+			}
+		}
+		if col.Sigma != nil {
+			n += int64(len(col.Sigma)) * 8
+		}
+		if col.HasShared {
+			n += 8
+		}
+	}
+	return n
 }

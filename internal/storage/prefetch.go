@@ -1,0 +1,111 @@
+package storage
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"scidb/internal/array"
+)
+
+// prefetcher issues bounded-depth asynchronous loads of upcoming scan
+// buckets into the store's buffer pool, so disk read + decode of bucket
+// i+1..i+depth overlap the caller's compute over bucket i. One prefetcher
+// serves one Scan: the scan holds s.mu for its whole duration, which
+// freezes the bucket index, so the prefetch goroutines can read bucket
+// metadata and load from disk without taking the lock themselves (loads go
+// through bufcache.GetOrLoad, whose singleflight also dedups against the
+// scan's own read when it catches up to an in-flight prefetch).
+type prefetcher struct {
+	s     *Store
+	metas []*bucketMeta // the scan's consumption order
+	depth int
+
+	next    int           // next index not yet issued
+	sem     chan struct{} // bounds in-flight loads to depth
+	stopped atomic.Bool
+	wg      sync.WaitGroup
+
+	// Issued/consumed bookkeeping; touched only by the scan goroutine.
+	issued   map[int64]bool
+	consumed int
+}
+
+// newPrefetcher builds a prefetcher over the scan's bucket order. Returns
+// nil when prefetch is off (no depth or no pool to warm).
+func (s *Store) newPrefetcher(metas []*bucketMeta) *prefetcher {
+	depth := s.opts.Readahead
+	if depth <= 0 || s.cache == nil || len(metas) < 2 {
+		return nil
+	}
+	return &prefetcher{
+		s:      s,
+		metas:  metas,
+		depth:  depth,
+		sem:    make(chan struct{}, depth),
+		issued: map[int64]bool{},
+	}
+}
+
+// advance tells the prefetcher the scan is about to consume index i: it
+// issues async loads for indexes up to i+depth, never exceeding depth
+// in-flight loads. Call before reading metas[i].
+func (pf *prefetcher) advance(i int) {
+	if pf == nil {
+		return
+	}
+	if pf.next <= i {
+		pf.next = i + 1
+	}
+	for pf.next <= i+pf.depth && pf.next < len(pf.metas) {
+		select {
+		case pf.sem <- struct{}{}:
+		default:
+			return // depth loads already in flight
+		}
+		m := pf.metas[pf.next]
+		pf.next++
+		pf.issued[m.id] = true
+		pf.s.stats.prefetchIssued.Add(1)
+		pf.wg.Add(1)
+		go func() {
+			defer pf.wg.Done()
+			defer func() { <-pf.sem }()
+			if pf.stopped.Load() {
+				return
+			}
+			h, err := pf.s.cache.GetOrLoad(pf.s.cacheKey(m.id), func() (*array.Chunk, error) {
+				return pf.s.loadBucket(m)
+			})
+			if err == nil {
+				h.Release()
+			}
+		}()
+	}
+}
+
+// consume records that the scan read the bucket; a previously issued
+// prefetch for it counts as a hit (the load ran — or is running — off the
+// scan's critical path).
+func (pf *prefetcher) consume(id int64) {
+	if pf == nil {
+		return
+	}
+	if pf.issued[id] {
+		pf.consumed++
+		pf.s.stats.prefetchHits.Add(1)
+	}
+}
+
+// stop waits for in-flight loads to finish (they are bounded by depth) and
+// charges prefetches the scan never consumed — an early-stopped scan —
+// as wasted.
+func (pf *prefetcher) stop() {
+	if pf == nil {
+		return
+	}
+	pf.stopped.Store(true)
+	pf.wg.Wait()
+	if wasted := len(pf.issued) - pf.consumed; wasted > 0 {
+		pf.s.stats.prefetchWasted.Add(int64(wasted))
+	}
+}

@@ -14,9 +14,13 @@ import (
 	"scidb/internal/rtree"
 )
 
-// Stats is a snapshot of storage activity for the STORE experiment.
-// BucketsRead/BytesRead count actual disk reads: a bucket served from the
-// buffer pool does not increment them.
+// Stats is a snapshot of storage activity for the STORE and ENC
+// experiments. BucketsRead/BytesRead count actual disk reads: a bucket
+// served from the buffer pool does not increment them. The three byte
+// counters for written buckets measure the encoding pipeline stage by
+// stage: BytesRaw is the verbatim (legacy-layout) size, BytesEncoded the
+// size after the lightweight per-column encodings, BytesWritten the
+// on-disk size after the bucket codec.
 type Stats struct {
 	BucketsWritten int64
 	BucketsMerged  int64
@@ -24,6 +28,50 @@ type Stats struct {
 	BytesWritten   int64
 	BytesRead      int64
 	Flushes        int64
+	BytesRaw       int64
+	BytesEncoded   int64
+	// Prefetch counters for the scan readahead pipeline: Issued loads were
+	// started ahead of the scan; Hits are issued buckets the scan went on
+	// to consume; Wasted are issued buckets it never consumed (early stop).
+	PrefetchIssued int64
+	PrefetchHits   int64
+	PrefetchWasted int64
+}
+
+// EncodingRatio returns BytesRaw / BytesEncoded (the lightweight-encoding
+// win alone), or 1 before any write.
+func (s Stats) EncodingRatio() float64 {
+	if s.BytesEncoded == 0 {
+		return 1
+	}
+	return float64(s.BytesRaw) / float64(s.BytesEncoded)
+}
+
+// CompressionRatio returns BytesRaw / BytesWritten (lightweight encodings
+// plus the bucket codec), or 1 before any write.
+func (s Stats) CompressionRatio() float64 {
+	if s.BytesWritten == 0 {
+		return 1
+	}
+	return float64(s.BytesRaw) / float64(s.BytesWritten)
+}
+
+// Add returns the field-wise sum of two snapshots (aggregating the stores
+// of one node for the cachestats cluster op).
+func (s Stats) Add(o Stats) Stats {
+	return Stats{
+		BucketsWritten: s.BucketsWritten + o.BucketsWritten,
+		BucketsMerged:  s.BucketsMerged + o.BucketsMerged,
+		BucketsRead:    s.BucketsRead + o.BucketsRead,
+		BytesWritten:   s.BytesWritten + o.BytesWritten,
+		BytesRead:      s.BytesRead + o.BytesRead,
+		Flushes:        s.Flushes + o.Flushes,
+		BytesRaw:       s.BytesRaw + o.BytesRaw,
+		BytesEncoded:   s.BytesEncoded + o.BytesEncoded,
+		PrefetchIssued: s.PrefetchIssued + o.PrefetchIssued,
+		PrefetchHits:   s.PrefetchHits + o.PrefetchHits,
+		PrefetchWasted: s.PrefetchWasted + o.PrefetchWasted,
+	}
 }
 
 // statCounters is the store's live counter set. Counters are atomics so a
@@ -36,6 +84,11 @@ type statCounters struct {
 	bytesWritten   atomic.Int64
 	bytesRead      atomic.Int64
 	flushes        atomic.Int64
+	bytesRaw       atomic.Int64
+	bytesEncoded   atomic.Int64
+	prefetchIssued atomic.Int64
+	prefetchHits   atomic.Int64
+	prefetchWasted atomic.Int64
 }
 
 func (c *statCounters) snapshot() Stats {
@@ -46,6 +99,11 @@ func (c *statCounters) snapshot() Stats {
 		BytesWritten:   c.bytesWritten.Load(),
 		BytesRead:      c.bytesRead.Load(),
 		Flushes:        c.flushes.Load(),
+		BytesRaw:       c.bytesRaw.Load(),
+		BytesEncoded:   c.bytesEncoded.Load(),
+		PrefetchIssued: c.prefetchIssued.Load(),
+		PrefetchHits:   c.prefetchHits.Load(),
+		PrefetchWasted: c.prefetchWasted.Load(),
 	}
 }
 
@@ -72,6 +130,16 @@ type Options struct {
 	// store uncached (every read pays disk + decode, the pre-pool
 	// behaviour).
 	CacheBytes int64
+	// Readahead is the scan prefetch depth: while a scan iterates bucket i,
+	// up to Readahead upcoming buckets are read and decoded asynchronously
+	// into the buffer pool, overlapping I/O + decode with the caller's
+	// compute. Zero disables prefetch; it also requires a pool (Cache or
+	// CacheBytes) to hold the prefetched chunks.
+	Readahead int
+	// RawEncoding forces the legacy verbatim chunk layout instead of the
+	// lightweight per-column encodings — the measured baseline for the ENC
+	// experiment. Decode accepts both layouts either way.
+	RawEncoding bool
 }
 
 type bucketMeta struct {
@@ -264,11 +332,17 @@ func (s *Store) flushLocked() error {
 }
 
 func (s *Store) writeBucketLocked(ch *array.Chunk) error {
-	raw, err := EncodeChunk(s.schema, ch)
+	encodeChunk := EncodeChunk
+	if s.opts.RawEncoding {
+		encodeChunk = EncodeChunkRaw
+	}
+	raw, err := encodeChunk(s.schema, ch)
 	if err != nil {
 		return err
 	}
 	enc := s.codec.Encode(raw)
+	s.stats.bytesRaw.Add(RawChunkSize(s.schema, ch))
+	s.stats.bytesEncoded.Add(int64(len(raw)))
 	id := s.nextID
 	s.nextID++
 	meta := &bucketMeta{id: id, box: ch.Box(), bytes: int64(len(enc)), cells: ch.CellsPresent()}
@@ -297,9 +371,13 @@ func (s *Store) cacheKey(id int64) bufcache.Key {
 	return bufcache.Key{Store: s.cacheID, Bucket: id}
 }
 
-// loadBucketLocked reads a bucket from disk (or the in-memory payload) and
+// loadBucket reads a bucket from disk (or the in-memory payload) and
 // decodes it, counting the read. This is the path the buffer pool avoids.
-func (s *Store) loadBucketLocked(meta *bucketMeta) (*array.Chunk, error) {
+// It needs no lock: bucket metadata is immutable once inserted, the codec
+// is fixed at construction, and the stat counters are atomics — which is
+// what lets the scan prefetcher run it concurrently with a scan that holds
+// s.mu.
+func (s *Store) loadBucket(meta *bucketMeta) (*array.Chunk, error) {
 	var enc []byte
 	var err error
 	if meta.path != "" {
@@ -326,11 +404,11 @@ func (s *Store) loadBucketLocked(meta *bucketMeta) (*array.Chunk, error) {
 // and must be treated as read-only.
 func (s *Store) readBucketLocked(meta *bucketMeta) (*array.Chunk, func(), error) {
 	if s.cache == nil {
-		ch, err := s.loadBucketLocked(meta)
+		ch, err := s.loadBucket(meta)
 		return ch, func() {}, err
 	}
 	h, err := s.cache.GetOrLoad(s.cacheKey(meta.id), func() (*array.Chunk, error) {
-		return s.loadBucketLocked(meta)
+		return s.loadBucket(meta)
 	})
 	if err != nil {
 		return nil, nil, err
@@ -415,7 +493,14 @@ func (s *Store) Scan(q array.Box, fn func(array.Coord, array.Cell) bool) error {
 			}
 		}
 	}
-	for _, m := range metas {
+	// Readahead: warm the pool with upcoming buckets (in the scan's
+	// consumption order) while the current bucket's cells are being
+	// iterated, so disk read + decode overlap the caller's compute.
+	pf := s.newPrefetcher(metas)
+	defer pf.stop()
+	for i, m := range metas {
+		pf.advance(i)
+		pf.consume(m.id)
 		// The chunk stays pinned in the pool for the whole iteration, so
 		// concurrent eviction pressure can never yank it mid-scan.
 		ch, release, err := s.readBucketLocked(m)

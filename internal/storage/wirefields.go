@@ -1,6 +1,7 @@
 package storage
 
 import (
+	"bytes"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -97,16 +98,48 @@ func (w *FieldWriter) I64s(vs []int64) {
 
 // FieldReader mirrors FieldWriter on the decode side, accumulating the
 // first error (including short reads) and bounding length-prefixed fields.
+// When built over a byte slice (NewFieldReaderBytes) it also knows how many
+// bytes remain, so decode paths can reject a corrupt count or length before
+// allocating for it.
 type FieldReader struct {
 	r   io.Reader
 	err error
+	// rem reports the unread byte count, or nil when the source length is
+	// unknown (a streaming reader).
+	rem func() int
 }
 
 // NewFieldReader wraps r.
 func NewFieldReader(r io.Reader) *FieldReader { return &FieldReader{r: r} }
 
+// NewFieldReaderBytes reads from data and tracks the remaining length, which
+// arms the Need bound checks on every size-prefixed decode.
+func NewFieldReaderBytes(data []byte) *FieldReader {
+	br := bytes.NewReader(data)
+	return &FieldReader{r: br, rem: br.Len}
+}
+
 // Err returns the first error any read encountered.
 func (r *FieldReader) Err() error { return r.err }
+
+// Need reports whether at least n more bytes remain, recording an error when
+// they provably do not. Readers with unknown length always report true; the
+// subsequent reads then fail with a short-read error instead, just without
+// the pre-allocation guarantee.
+func (r *FieldReader) Need(n int64) bool {
+	if r.err != nil {
+		return false
+	}
+	if n < 0 {
+		r.err = fmt.Errorf("storage: negative field size %d", n)
+		return false
+	}
+	if r.rem != nil && int64(r.rem()) < n {
+		r.err = fmt.Errorf("storage: field claims %d bytes, only %d remain", n, r.rem())
+		return false
+	}
+	return true
+}
 
 // Raw fills p, recording io.ReadFull's error on a short read.
 func (r *FieldReader) Raw(p []byte) {
@@ -161,7 +194,7 @@ func (r *FieldReader) length() int {
 // Bytes reads a u32-length-prefixed byte blob. A zero length returns nil.
 func (r *FieldReader) Bytes() []byte {
 	n := r.length()
-	if n == 0 {
+	if n == 0 || !r.Need(int64(n)) {
 		return nil
 	}
 	p := make([]byte, n)
@@ -177,10 +210,11 @@ func (r *FieldReader) String() string {
 	return string(r.Bytes())
 }
 
-// Strings reads a u32-count-prefixed string slice.
+// Strings reads a u32-count-prefixed string slice. Each string costs at
+// least its own length prefix, which bounds the slice allocation.
 func (r *FieldReader) Strings() []string {
 	n := r.length()
-	if n == 0 {
+	if n == 0 || !r.Need(int64(n)*4) {
 		return nil
 	}
 	out := make([]string, n)
@@ -196,7 +230,7 @@ func (r *FieldReader) Strings() []string {
 // I64s reads a u32-count-prefixed int64 slice.
 func (r *FieldReader) I64s() []int64 {
 	n := r.length()
-	if n == 0 {
+	if n == 0 || !r.Need(int64(n)*8) {
 		return nil
 	}
 	out := make([]int64, n)
