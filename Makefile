@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race bench experiments
+.PHONY: all build test vet race bench experiments obs profile
 
 all: build test vet race fuzz
 
@@ -17,7 +17,7 @@ vet:
 # runs this alongside `test`; the full -race ./... sweep is `race-all`).
 # ./internal/storage includes the scan-prefetcher stress tests.
 race:
-	$(GO) test -race ./internal/exec ./internal/ops ./internal/bufcache ./internal/storage ./internal/cluster
+	$(GO) test -race ./internal/exec ./internal/ops ./internal/bufcache ./internal/storage ./internal/cluster ./internal/obs
 
 # Short fuzz smoke over the chunk/array decoders. Each target must be
 # invoked separately: `go test -fuzz` refuses a pattern matching more
@@ -37,3 +37,14 @@ bench:
 
 experiments:
 	$(GO) run ./cmd/scidb-bench -quick
+
+# Telemetry checks: the OBS experiment plus the traced/untraced benchmark
+# pair that substantiates the "<3% traced, ~0% off" overhead claim.
+obs:
+	$(GO) run ./cmd/scidb-bench -exp OBS
+	$(GO) test -run=NONE -bench 'BenchmarkParallelFilter' -benchmem ./internal/ops
+
+# Run the experiment suite with a live /metrics + pprof endpoint; point a
+# profiler at http://127.0.0.1:9090/debug/pprof/ while it runs.
+profile:
+	$(GO) run ./cmd/scidb-bench -metrics-addr 127.0.0.1:9090

@@ -14,6 +14,7 @@ import (
 
 	"scidb/internal/exec"
 	"scidb/internal/experiments"
+	"scidb/internal/obs"
 )
 
 func main() {
@@ -26,7 +27,17 @@ func main() {
 	wireCompress := flag.String("wire-compress", "", "wire codec for the NET experiment's compressed row (default gzip)")
 	callTimeout := flag.Duration("call-timeout", 0, "per-call deadline for NET transports (0 = none)")
 	netAddrs := flag.String("net-addrs", "", "comma-separated scidb-server addresses: run NET against real sockets instead of in-process listeners")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics and /debug/pprof while experiments run (profile the suite live)")
 	flag.Parse()
+
+	if *metricsAddr != "" {
+		obs.RegisterProcessMetrics(obs.Default())
+		if _, err := obs.Serve(*metricsAddr, obs.Default()); err != nil {
+			fmt.Fprintln(os.Stderr, "metrics listen:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("metrics on http://%s/metrics (pprof under /debug/pprof/)\n", *metricsAddr)
+	}
 
 	experiments.SetCacheBytes(*cacheBytes)
 	experiments.SetReadahead(*readahead)

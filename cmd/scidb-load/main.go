@@ -27,6 +27,7 @@ func main() {
 	arrayName := flag.String("array", "", "grid load: target array name")
 	nodes := flag.String("nodes", "", "grid load: comma-separated worker addresses")
 	splitDim := flag.Int("splitdim", 0, "grid load: dimension index to block-partition on")
+	wireStats := flag.Bool("wire-stats", false, "grid load: print transport wire counters after the load")
 	flag.Parse()
 
 	if *in == "" {
@@ -86,6 +87,12 @@ func main() {
 		}
 		fmt.Printf("loaded %d cells into %s across %d nodes (per-site: %v)\n",
 			stats.Records, *arrayName, len(addrs), stats.PerSite)
+		if *wireStats {
+			if ts, ok := co.TransportStats(); ok {
+				fmt.Printf("wire: %d calls, %d frames out / %d in, %d bytes out / %d in, round-trip %v\n",
+					ts.Calls, ts.FramesOut, ts.FramesIn, ts.BytesOut, ts.BytesIn, ts.RoundTrip())
+			}
+		}
 	default:
 		fail("need -out (convert) or -nodes (grid load)")
 	}

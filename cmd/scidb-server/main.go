@@ -7,6 +7,7 @@
 //	scidb-server -listen 127.0.0.1:7101 -id 0
 //	scidb-server -listen 127.0.0.1:7101 -id 0 -persist -data-dir /var/scidb -cache-bytes 268435456 -readahead 4
 //	scidb-server -listen 127.0.0.1:7101 -id 0 -parallelism 8 -wire-compress gzip -call-timeout 30s
+//	scidb-server -listen 127.0.0.1:7101 -id 0 -metrics-addr 127.0.0.1:9101 -slow-query 250ms
 package main
 
 import (
@@ -19,6 +20,7 @@ import (
 
 	"scidb/internal/cluster"
 	"scidb/internal/exec"
+	"scidb/internal/obs"
 )
 
 func main() {
@@ -31,6 +33,8 @@ func main() {
 	parallelism := flag.Int("parallelism", 0, "chunk-parallel worker bound (1 = serial, 0 = NumCPU)")
 	wireCompress := flag.String("wire-compress", "", "response-frame codec (none|rle|delta|gzip|auto; empty mirrors each client)")
 	callTimeout := flag.Duration("call-timeout", 0, "per-connection I/O deadline for hello reads and response writes (0 = none)")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /healthz, /debug/pprof on this address (empty disables)")
+	slowQuery := flag.Duration("slow-query", 0, "log the profile tree of requests slower than this (0 disables)")
 	flag.Parse()
 
 	exec.SetParallelism(*parallelism)
@@ -45,10 +49,24 @@ func main() {
 		opts = cluster.WorkerOptions{Persist: true, Dir: *dataDir, CacheBytes: *cacheBytes, Readahead: *readahead}
 	}
 	w := cluster.NewWorkerWithOptions(*id, opts)
+	if *slowQuery > 0 {
+		w.SetSlowQuery(*slowQuery, os.Stderr)
+	}
 	srv, err := cluster.NewServer(w, cluster.ServeOptions{Codec: *wireCompress, IOTimeout: *callTimeout})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "server:", err)
 		os.Exit(1)
+	}
+	var metricsSrv interface{ Close() error }
+	if *metricsAddr != "" {
+		obs.RegisterProcessMetrics(w.Registry())
+		ms, err := obs.Serve(*metricsAddr, w.Registry())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "metrics listen:", err)
+			os.Exit(1)
+		}
+		metricsSrv = ms
+		fmt.Printf("scidb-server node %d metrics on http://%s/metrics (pprof under /debug/pprof/)\n", *id, *metricsAddr)
 	}
 	mode := "array partitions"
 	if *persist {
@@ -72,6 +90,9 @@ func main() {
 	if err := srv.Serve(ln); err != nil {
 		fmt.Fprintln(os.Stderr, "serve:", err)
 		os.Exit(1)
+	}
+	if metricsSrv != nil {
+		metricsSrv.Close()
 	}
 	if err := w.Close(); err != nil {
 		fmt.Fprintln(os.Stderr, "close:", err)

@@ -3,9 +3,11 @@
 //	scidb                 # REPL on stdin
 //	scidb -c 'statement'  # run one statement
 //	scidb -f script.aql   # run a statement-per-line script
+//	scidb -grid 2         # attach a 2-node in-process cluster (EXPLAIN
+//	                      # ANALYZE then shows per-node breakdowns)
 //
 // Shell commands: \l lists arrays, \d NAME describes one, \prov shows the
-// provenance log, \q quits.
+// provenance log, \metrics dumps the metrics registry, \q quits.
 package main
 
 import (
@@ -16,14 +18,34 @@ import (
 	"strings"
 
 	"scidb"
+	"scidb/internal/cluster"
+	"scidb/internal/obs"
 )
 
 func main() {
 	cmd := flag.String("c", "", "execute one statement and exit")
 	file := flag.String("f", "", "execute a script file (one statement per line)")
+	grid := flag.Int("grid", 0, "attach an in-process shared-nothing grid of N worker nodes (0 = none)")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /healthz, /debug/pprof on this address (empty disables)")
+	slowQuery := flag.Duration("slow-query", 0, "print the profile tree of statements slower than this (0 disables)")
 	flag.Parse()
 
 	db := scidb.Open()
+	if *grid > 0 {
+		tr := cluster.NewLocal(*grid)
+		defer tr.Close()
+		db.AttachCluster(cluster.NewCoordinator(tr, 0))
+	}
+	if *slowQuery > 0 {
+		db.SetSlowQuery(*slowQuery, os.Stderr)
+	}
+	if *metricsAddr != "" {
+		obs.RegisterProcessMetrics(scidb.Metrics())
+		if _, err := obs.Serve(*metricsAddr, scidb.Metrics()); err != nil {
+			fmt.Fprintln(os.Stderr, "metrics listen:", err)
+			os.Exit(1)
+		}
+	}
 	switch {
 	case *cmd != "":
 		if err := run(db, *cmd); err != nil {
@@ -56,7 +78,7 @@ func main() {
 }
 
 func repl(db *scidb.DB) {
-	fmt.Println("SciDB-Go shell — AQL statements, \\l, \\d NAME, \\df, \\prov, \\q")
+	fmt.Println("SciDB-Go shell — AQL statements, \\l, \\d NAME, \\df, \\prov, \\metrics, \\q")
 	sc := bufio.NewScanner(os.Stdin)
 	for {
 		fmt.Print("scidb> ")
@@ -98,6 +120,9 @@ func repl(db *scidb.DB) {
 				fmt.Printf("  [%d] %s\n", c.id, c.text)
 			}
 			continue
+		case line == "\\metrics":
+			printMetrics(db)
+			continue
 		}
 		if err := run(db, line); err != nil {
 			fmt.Println("error:", err)
@@ -120,6 +145,25 @@ func provCommands(db *scidb.DB) []provLine {
 		out = append(out, provLine{id: c.ID, text: c.Text})
 	}
 	return out
+}
+
+// printMetrics dumps this process's registry in Prometheus text form; on a
+// grid it additionally fans the "metrics" op out and prints every node's
+// samples with their node labels (the cluster-wide aggregation).
+func printMetrics(db *scidb.DB) {
+	scidb.Metrics().WriteProm(os.Stdout)
+	co := db.Cluster()
+	if co == nil {
+		return
+	}
+	samples, err := co.Metrics()
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	for _, s := range samples {
+		fmt.Printf("%s{%s} %g\n", s.Name, s.Label, s.Value)
+	}
 }
 
 func run(db *scidb.DB, stmt string) error {

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -9,6 +10,7 @@ import (
 	"scidb/internal/array"
 	"scidb/internal/bufcache"
 	"scidb/internal/exec"
+	"scidb/internal/obs"
 	"scidb/internal/partition"
 	"scidb/internal/storage"
 )
@@ -166,31 +168,62 @@ func (co *Coordinator) flushLocked(da *DistArray) error {
 	return nil
 }
 
+// graftRemote attaches per-node span trees to the coordinator-side span in
+// node order (fan-out completion order is nondeterministic; grafting after
+// the barrier keeps profile trees identical from run to run).
+func graftRemote(span *obs.Span, remote []*obs.Span) {
+	if span == nil {
+		return
+	}
+	for _, r := range remote {
+		span.Graft(r)
+	}
+}
+
 // Count sums cell counts across nodes.
 func (co *Coordinator) Count(name string) (int64, error) {
+	return co.CountCtx(context.Background(), name)
+}
+
+// CountCtx is Count under a context; a traced query's span collects the
+// per-node worker spans.
+func (co *Coordinator) CountCtx(ctx context.Context, name string) (int64, error) {
 	co.mu.Lock()
 	da, err := co.dist(name)
 	co.mu.Unlock()
 	if err != nil {
 		return 0, err
 	}
-	req := &Message{Op: "count", Array: da.Name}
+	span := obs.SpanFromContext(ctx)
+	req := &Message{Op: "count", Array: da.Name, TraceID: span.TraceID()}
+	nodes := allNodes(co.t.NumNodes())
+	remote := make([]*obs.Span, len(nodes))
 	var total atomic.Int64
-	if err := fanout(allNodes(co.t.NumNodes()), func(_, n int) error {
+	if err := fanout(nodes, func(i, n int) error {
 		resp, err := co.t.Call(n, req)
 		if err != nil {
 			return err
 		}
 		total.Add(resp.Cells)
+		if len(resp.Spans) > 0 {
+			remote[i] = obs.Rebuild(resp.Spans)
+		}
 		return nil
 	}); err != nil {
 		return 0, err
 	}
+	graftRemote(span, remote)
 	return total.Load(), nil
 }
 
 // Scan gathers every cell intersecting the box into one local array.
 func (co *Coordinator) Scan(name string, box array.Box) (*array.Array, error) {
+	return co.ScanCtx(context.Background(), name, box)
+}
+
+// ScanCtx is Scan under a context: a traced query's span records the nodes
+// visited and payload bytes gathered, and adopts each worker's span tree.
+func (co *Coordinator) ScanCtx(ctx context.Context, name string, box array.Box) (*array.Array, error) {
 	co.mu.Lock()
 	da, err := co.dist(name)
 	co.mu.Unlock()
@@ -214,12 +247,20 @@ func (co *Coordinator) Scan(name string, box array.Box) (*array.Array, error) {
 	// merged content, and a grid-aligned chunk whose region no other node
 	// has touched is adopted wholesale (MergeChunk) instead of re-setting
 	// every cell through the coordinator's write path.
-	req := &Message{Op: "scan", Array: name, BoxLo: box.Lo, BoxHi: box.Hi}
+	span := obs.SpanFromContext(ctx)
+	req := &Message{Op: "scan", Array: name, BoxLo: box.Lo, BoxHi: box.Hi, TraceID: span.TraceID()}
+	nodes := co.nodesFor(da, box)
+	remote := make([]*obs.Span, len(nodes))
+	var bytesIn atomic.Int64
 	var mu sync.Mutex
-	if err := fanout(co.nodesFor(da, box), func(_, n int) error {
+	if err := fanout(nodes, func(i, n int) error {
 		resp, err := co.t.Call(n, req)
 		if err != nil {
 			return err
+		}
+		bytesIn.Add(int64(len(resp.Payload)))
+		if len(resp.Spans) > 0 {
+			remote[i] = obs.Rebuild(resp.Spans)
 		}
 		part, err := storage.DecodeArray(s.Clone(), resp.Payload)
 		if err != nil {
@@ -236,6 +277,9 @@ func (co *Coordinator) Scan(name string, box array.Box) (*array.Array, error) {
 	}); err != nil {
 		return nil, err
 	}
+	span.Add("nodes", int64(len(nodes)))
+	span.Add("bytes_gathered", bytesIn.Load())
+	graftRemote(span, remote)
 	return out, nil
 }
 
@@ -257,18 +301,25 @@ func (co *Coordinator) nodesFor(da *DistArray, box array.Box) []int {
 // combinable partials and merges them, returning a result array with one
 // dimension per grouping dimension (or a single cell for a grand total).
 func (co *Coordinator) Aggregate(name string, box array.Box, agg, attr string, groupDims []string) (*array.Array, error) {
+	return co.AggregateCtx(context.Background(), name, box, agg, attr, groupDims)
+}
+
+// AggregateCtx is Aggregate under a context (traced queries adopt each
+// worker's span tree and record the nodes visited).
+func (co *Coordinator) AggregateCtx(ctx context.Context, name string, box array.Box, agg, attr string, groupDims []string) (*array.Array, error) {
 	co.mu.Lock()
 	da, err := co.dist(name)
 	co.mu.Unlock()
 	if err != nil {
 		return nil, err
 	}
+	span := obs.SpanFromContext(ctx)
 	// All nodes compute their partials concurrently; the merge happens at
 	// the barrier in node order so the floating-point fold is identical
 	// from run to run (partial merging is associative but not exactly
 	// commutative in float arithmetic).
 	req := &Message{Op: "agg", Array: name, Agg: agg, Attr: attr, GroupDims: groupDims,
-		BoxLo: box.Lo, BoxHi: box.Hi}
+		BoxLo: box.Lo, BoxHi: box.Hi, TraceID: span.TraceID()}
 	nodes := co.nodesFor(da, box)
 	resps := make([]*Message, len(nodes))
 	if err := fanout(nodes, func(i, n int) error {
@@ -280,6 +331,12 @@ func (co *Coordinator) Aggregate(name string, box array.Box, agg, attr string, g
 		return nil
 	}); err != nil {
 		return nil, err
+	}
+	span.Add("nodes", int64(len(nodes)))
+	for _, resp := range resps {
+		if len(resp.Spans) > 0 {
+			span.Graft(obs.Rebuild(resp.Spans))
+		}
 	}
 	merged := map[string]*Partial{}
 	for _, resp := range resps {
@@ -427,6 +484,12 @@ func (co *Coordinator) Repartition(name string, newScheme partition.Scheme) erro
 // array is first repartitioned to match the left's scheme, and the moved
 // bytes are charged to BytesMoved.
 func (co *Coordinator) Sjoin(left, right string, onL, onR []string) (*array.Array, error) {
+	return co.SjoinCtx(context.Background(), left, right, onL, onR)
+}
+
+// SjoinCtx is Sjoin under a context (traced queries adopt each worker's
+// span tree).
+func (co *Coordinator) SjoinCtx(ctx context.Context, left, right string, onL, onR []string) (*array.Array, error) {
 	co.mu.Lock()
 	la, err := co.dist(left)
 	if err != nil {
@@ -460,13 +523,18 @@ func (co *Coordinator) Sjoin(left, right string, onL, onR []string) (*array.Arra
 	// of the left array, so the join outputs are disjoint too); the decoded
 	// pieces are unioned at the barrier in node order via whole-chunk
 	// adoption.
-	req := &Message{Op: "sjoin", Array: left, Array2: right, OnL: onL, OnR: onR}
+	span := obs.SpanFromContext(ctx)
+	req := &Message{Op: "sjoin", Array: left, Array2: right, OnL: onL, OnR: onR, TraceID: span.TraceID()}
 	nodes := allNodes(co.t.NumNodes())
 	parts := make([]*array.Array, len(nodes))
+	remote := make([]*obs.Span, len(nodes))
 	if err := fanout(nodes, func(i, n int) error {
 		resp, err := co.t.Call(n, req)
 		if err != nil {
 			return err
+		}
+		if len(resp.Spans) > 0 {
+			remote[i] = obs.Rebuild(resp.Spans)
 		}
 		s := resp.Schema.Clone()
 		for i := range s.Dims {
@@ -484,6 +552,8 @@ func (co *Coordinator) Sjoin(left, right string, onL, onR []string) (*array.Arra
 	}); err != nil {
 		return nil, err
 	}
+	span.Add("nodes", int64(len(nodes)))
+	graftRemote(span, remote)
 	var out *array.Array
 	for _, part := range parts {
 		if out == nil {
@@ -504,40 +574,56 @@ func (co *Coordinator) Sjoin(left, right string, onL, onR []string) (*array.Arra
 
 // CacheStats gathers every node's buffer-pool counters. With an in-process
 // grid all nodes share one pool, so node 0's snapshot is the whole story;
-// over TCP each node reports its own process-local pool.
+// over TCP each node reports its own process-local pool. It is a thin
+// adapter over the unified registry read (the "metrics" op); the legacy
+// "cachestats" wire op remains answered for old coordinators.
 func (co *Coordinator) CacheStats() ([]bufcache.Stats, error) {
-	out := make([]bufcache.Stats, co.t.NumNodes())
-	if err := fanout(allNodes(len(out)), func(_, n int) error {
-		resp, err := co.t.Call(n, &Message{Op: "cachestats"})
-		if err != nil {
-			return err
-		}
-		if resp.Cache != nil {
-			out[n] = *resp.Cache
-		}
-		return nil
-	}); err != nil {
+	per, err := co.metricsPerNode()
+	if err != nil {
 		return nil, err
+	}
+	out := make([]bufcache.Stats, len(per))
+	for n, samples := range per {
+		out[n] = bufcache.Stats{
+			Hits:          sampleValue(samples, "scidb_cache_hits_total"),
+			Misses:        sampleValue(samples, "scidb_cache_misses_total"),
+			Loads:         sampleValue(samples, "scidb_cache_loads_total"),
+			Evictions:     sampleValue(samples, "scidb_cache_evictions_total"),
+			Invalidations: sampleValue(samples, "scidb_cache_invalidations_total"),
+			Entries:       sampleValue(samples, "scidb_cache_entries"),
+			BytesResident: sampleValue(samples, "scidb_cache_resident_bytes"),
+			PinnedBytes:   sampleValue(samples, "scidb_cache_pinned_bytes"),
+			Budget:        sampleValue(samples, "scidb_cache_budget_bytes"),
+		}
 	}
 	return out, nil
 }
 
 // StorageStats gathers every node's storage counters (disk traffic,
 // encoding ratios, prefetch hits), summed over the node's store-backed
-// partitions. Array-backed nodes report zeros.
+// partitions. Array-backed nodes report zeros (their registries carry no
+// nonzero scidb_store_* samples). Like CacheStats, it reads through the
+// unified registry.
 func (co *Coordinator) StorageStats() ([]storage.Stats, error) {
-	out := make([]storage.Stats, co.t.NumNodes())
-	if err := fanout(allNodes(len(out)), func(_, n int) error {
-		resp, err := co.t.Call(n, &Message{Op: "cachestats"})
-		if err != nil {
-			return err
-		}
-		if resp.Store != nil {
-			out[n] = *resp.Store
-		}
-		return nil
-	}); err != nil {
+	per, err := co.metricsPerNode()
+	if err != nil {
 		return nil, err
+	}
+	out := make([]storage.Stats, len(per))
+	for n, samples := range per {
+		out[n] = storage.Stats{
+			BucketsWritten: sampleValue(samples, "scidb_store_buckets_written_total"),
+			BucketsMerged:  sampleValue(samples, "scidb_store_buckets_merged_total"),
+			BucketsRead:    sampleValue(samples, "scidb_store_buckets_read_total"),
+			BytesWritten:   sampleValue(samples, "scidb_store_bytes_written_total"),
+			BytesRead:      sampleValue(samples, "scidb_store_bytes_read_total"),
+			Flushes:        sampleValue(samples, "scidb_store_flushes_total"),
+			BytesRaw:       sampleValue(samples, "scidb_store_bytes_raw_total"),
+			BytesEncoded:   sampleValue(samples, "scidb_store_bytes_encoded_total"),
+			PrefetchIssued: sampleValue(samples, "scidb_store_prefetch_issued_total"),
+			PrefetchHits:   sampleValue(samples, "scidb_store_prefetch_hits_total"),
+			PrefetchWasted: sampleValue(samples, "scidb_store_prefetch_wasted_total"),
+		}
 	}
 	return out, nil
 }
@@ -562,20 +648,23 @@ func (co *Coordinator) NodeStats() ([]WorkerStats, error) {
 
 // ExecStats gathers every node's worker-pool counters. With an in-process
 // grid all nodes share one process-wide pool, so node 0's snapshot is the
-// whole story; over TCP each node reports its own pool.
+// whole story; over TCP each node reports its own pool. Like CacheStats,
+// it is a thin adapter over the unified registry read.
 func (co *Coordinator) ExecStats() ([]exec.Stats, error) {
-	out := make([]exec.Stats, co.t.NumNodes())
-	if err := fanout(allNodes(len(out)), func(_, n int) error {
-		resp, err := co.t.Call(n, &Message{Op: "execstats"})
-		if err != nil {
-			return err
-		}
-		if resp.Exec != nil {
-			out[n] = *resp.Exec
-		}
-		return nil
-	}); err != nil {
+	per, err := co.metricsPerNode()
+	if err != nil {
 		return nil, err
+	}
+	out := make([]exec.Stats, len(per))
+	for n, samples := range per {
+		out[n] = exec.Stats{
+			Parallelism:     int(sampleValue(samples, "scidb_exec_parallelism")),
+			TasksRun:        sampleValue(samples, "scidb_exec_tasks_total"),
+			ChunksProcessed: sampleValue(samples, "scidb_exec_chunks_total"),
+			ParallelRuns:    sampleValue(samples, "scidb_exec_parallel_runs_total"),
+			SerialRuns:      sampleValue(samples, "scidb_exec_serial_runs_total"),
+			Saturation:      sampleValue(samples, "scidb_exec_saturation_total"),
+		}
 	}
 	return out, nil
 }
@@ -600,4 +689,112 @@ func (co *Coordinator) Scheme(name string) (partition.Scheme, error) {
 		return nil, err
 	}
 	return da.Scheme, nil
+}
+
+// metricsPerNode fans the "metrics" op to every node and returns each
+// node's raw registry snapshot, indexed by node. This is the one unified
+// read path; Metrics and the typed stats adapters all go through it.
+func (co *Coordinator) metricsPerNode() ([][]obs.Sample, error) {
+	nodes := allNodes(co.t.NumNodes())
+	per := make([][]obs.Sample, len(nodes))
+	if err := fanout(nodes, func(i, n int) error {
+		resp, err := co.t.Call(n, &Message{Op: "metrics"})
+		if err != nil {
+			return err
+		}
+		per[i] = resp.Metrics
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	return per, nil
+}
+
+// sampleValue returns the named sample's value, or 0 when the node's
+// registry doesn't carry it (e.g. cache families on array-backed nodes).
+func sampleValue(samples []obs.Sample, name string) int64 {
+	for _, s := range samples {
+		if s.Name == name {
+			return int64(s.Value)
+		}
+	}
+	return 0
+}
+
+// Metrics fans the "metrics" op to every node and returns the union of
+// their registry snapshots, each sample tagged with a node label — the
+// cluster-wide aggregation of per-node registries.
+func (co *Coordinator) Metrics() ([]obs.Sample, error) {
+	per, err := co.metricsPerNode()
+	if err != nil {
+		return nil, err
+	}
+	var out []obs.Sample
+	for i, samples := range per {
+		node := fmt.Sprintf("node=%q", fmt.Sprint(i))
+		for _, s := range samples {
+			label := node
+			if s.Label != "" {
+				label = s.Label + "," + node
+			}
+			out = append(out, obs.Sample{Name: s.Name, Label: label, Value: s.Value})
+		}
+	}
+	return out, nil
+}
+
+// NumNodes reports the transport's node count.
+func (co *Coordinator) NumNodes() int { return co.t.NumNodes() }
+
+// Has reports whether name is a distributed array on this coordinator.
+func (co *Coordinator) Has(name string) bool {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	_, ok := co.arrays[name]
+	return ok
+}
+
+// Names lists the coordinator's distributed arrays in sorted order.
+func (co *Coordinator) Names() []string {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	out := make([]string, 0, len(co.arrays))
+	for name := range co.arrays {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ArraySchema returns the declared (coordinator-side) schema of a
+// distributed array.
+func (co *Coordinator) ArraySchema(name string) (*array.Schema, error) {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	da, err := co.dist(name)
+	if err != nil {
+		return nil, err
+	}
+	return da.Schema, nil
+}
+
+// Drop removes a distributed array from every node and the coordinator's
+// catalog.
+func (co *Coordinator) Drop(name string) error {
+	co.mu.Lock()
+	_, err := co.dist(name)
+	co.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	if err := fanout(allNodes(co.t.NumNodes()), func(_, n int) error {
+		_, cerr := co.t.Call(n, &Message{Op: "drop", Array: name})
+		return cerr
+	}); err != nil {
+		return err
+	}
+	co.mu.Lock()
+	delete(co.arrays, name)
+	co.mu.Unlock()
+	return nil
 }

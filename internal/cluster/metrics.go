@@ -1,0 +1,30 @@
+package cluster
+
+import "scidb/internal/obs"
+
+// RegisterTransportMetrics exposes a client-side transport's wire counters
+// (Coordinator.TransportStats, or any StatsSource) in a metrics registry.
+// The source returns ok=false when no networked transport is attached —
+// e.g. a Local coordinator — in which case nothing is emitted, so the
+// family simply stays absent rather than reporting zeros that look like a
+// dead link.
+func RegisterTransportMetrics(r *obs.Registry, label string, src func() (TransportStats, bool)) {
+	r.RegisterFunc("scidb_transport_client", "Client-side wire transport counters.", obs.KindGauge,
+		func(emit func(obs.Sample)) {
+			s, ok := src()
+			if !ok {
+				return
+			}
+			emit(obs.Sample{Name: "scidb_transport_client_calls_total", Label: label, Value: float64(s.Calls)})
+			emit(obs.Sample{Name: "scidb_transport_client_frames_out_total", Label: label, Value: float64(s.FramesOut)})
+			emit(obs.Sample{Name: "scidb_transport_client_frames_in_total", Label: label, Value: float64(s.FramesIn)})
+			emit(obs.Sample{Name: "scidb_transport_client_bytes_out_total", Label: label, Value: float64(s.BytesOut)})
+			emit(obs.Sample{Name: "scidb_transport_client_bytes_in_total", Label: label, Value: float64(s.BytesIn)})
+			emit(obs.Sample{Name: "scidb_transport_client_compressed_out_total", Label: label, Value: float64(s.CompressedOut)})
+			emit(obs.Sample{Name: "scidb_transport_client_compressed_in_total", Label: label, Value: float64(s.CompressedIn)})
+			emit(obs.Sample{Name: "scidb_transport_client_in_flight", Label: label, Value: float64(s.InFlight)})
+			emit(obs.Sample{Name: "scidb_transport_client_in_flight_hwm", Label: label, Value: float64(s.InFlightHWM)})
+			emit(obs.Sample{Name: "scidb_transport_client_round_trip_seconds_total", Label: label, Value: s.RoundTrip().Seconds()})
+			emit(obs.Sample{Name: "scidb_transport_client_timeouts_total", Label: label, Value: float64(s.Timeouts)})
+		})
+}

@@ -8,6 +8,8 @@ import (
 
 	"scidb/internal/array"
 	"scidb/internal/bufcache"
+	"scidb/internal/exec"
+	"scidb/internal/obs"
 	"scidb/internal/storage"
 )
 
@@ -46,6 +48,35 @@ func NewWorkerWithOptions(id int, opts WorkerOptions) *Worker {
 	} else if opts.CacheBytes > 0 {
 		w.cache = bufcache.New(opts.CacheBytes)
 	}
+	// Every node carries its own registry so the "metrics" op (and a
+	// scidb-server's /metrics endpoint) exposes one coherent per-node view:
+	// request counters, the cache pool, summed store counters, and the
+	// process-wide exec pool.
+	w.reg = obs.NewRegistry()
+	w.reqHist = w.reg.Histogram("scidb_worker_request_seconds", "Worker request latency in seconds.", nil)
+	w.reg.RegisterFunc("scidb_worker", "Per-node request and data-movement counters.", obs.KindGauge,
+		func(emit func(obs.Sample)) {
+			s := w.Stats()
+			emit(obs.Sample{Name: "scidb_worker_cells_held", Value: float64(s.CellsHeld)})
+			emit(obs.Sample{Name: "scidb_worker_cells_scanned_total", Value: float64(s.CellsScanned)})
+			emit(obs.Sample{Name: "scidb_worker_bytes_in_total", Value: float64(s.BytesIn)})
+			emit(obs.Sample{Name: "scidb_worker_bytes_out_total", Value: float64(s.BytesOut)})
+			emit(obs.Sample{Name: "scidb_worker_requests_total", Value: float64(s.Requests)})
+		})
+	if w.cache != nil {
+		w.cache.RegisterMetrics(w.reg, "")
+	}
+	storage.RegisterMetrics(w.reg, "", w.StoreStats)
+	w.reg.RegisterFunc("scidb_exec", "Process-wide worker pool scheduling counters.", obs.KindGauge,
+		func(emit func(obs.Sample)) {
+			s := exec.Default().Stats()
+			emit(obs.Sample{Name: "scidb_exec_parallelism", Value: float64(s.Parallelism)})
+			emit(obs.Sample{Name: "scidb_exec_tasks_total", Value: float64(s.TasksRun)})
+			emit(obs.Sample{Name: "scidb_exec_chunks_total", Value: float64(s.ChunksProcessed)})
+			emit(obs.Sample{Name: "scidb_exec_parallel_runs_total", Value: float64(s.ParallelRuns)})
+			emit(obs.Sample{Name: "scidb_exec_serial_runs_total", Value: float64(s.SerialRuns)})
+			emit(obs.Sample{Name: "scidb_exec_saturation_total", Value: float64(s.Saturation)})
+		})
 	return w
 }
 

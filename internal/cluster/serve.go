@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"scidb/internal/compress"
+	"scidb/internal/obs"
 )
 
 // ServeOptions tunes a worker server.
@@ -40,15 +41,37 @@ type Server struct {
 	conns  map[net.Conn]struct{}
 	closed bool
 	reqs   sync.WaitGroup
+
+	wire serverWireStats
+}
+
+// serverWireStats counts the server side of the wire protocol, mirroring
+// the client's TransportStats so a scidb-server's /metrics covers
+// transport traffic without a coordinator in the process.
+type serverWireStats struct {
+	framesIn, framesOut atomic.Int64
+	bytesIn, bytesOut   atomic.Int64
+	wireConns, gobConns atomic.Int64
 }
 
 // NewServer wraps a worker. The codec override is validated here so a
-// misconfigured server fails at startup, not per connection.
+// misconfigured server fails at startup, not per connection. The server's
+// wire counters register into the worker's metrics registry.
 func NewServer(w *Worker, opts ServeOptions) (*Server, error) {
 	if _, err := codecByName(opts.Codec); err != nil {
 		return nil, err
 	}
-	return &Server{w: w, opts: opts, conns: map[net.Conn]struct{}{}}, nil
+	s := &Server{w: w, opts: opts, conns: map[net.Conn]struct{}{}}
+	w.reg.RegisterFunc("scidb_transport", "Server-side wire protocol counters.", obs.KindGauge,
+		func(emit func(obs.Sample)) {
+			emit(obs.Sample{Name: "scidb_transport_frames_in_total", Value: float64(s.wire.framesIn.Load())})
+			emit(obs.Sample{Name: "scidb_transport_frames_out_total", Value: float64(s.wire.framesOut.Load())})
+			emit(obs.Sample{Name: "scidb_transport_bytes_in_total", Value: float64(s.wire.bytesIn.Load())})
+			emit(obs.Sample{Name: "scidb_transport_bytes_out_total", Value: float64(s.wire.bytesOut.Load())})
+			emit(obs.Sample{Name: "scidb_transport_wire_conns_total", Value: float64(s.wire.wireConns.Load())})
+			emit(obs.Sample{Name: "scidb_transport_gob_conns_total", Value: float64(s.wire.gobConns.Load())})
+		})
+	return s, nil
 }
 
 // Serve accepts connections until the listener closes. A closed listener
@@ -181,12 +204,15 @@ func (s *Server) serveWire(conn net.Conn, br *bufio.Reader) {
 	if s.opts.IOTimeout > 0 {
 		_ = conn.SetReadDeadline(time.Time{})
 	}
-	wr := &connWriter{conn: conn, bw: bufio.NewWriterSize(conn, 64<<10), timeout: s.opts.IOTimeout}
+	s.wire.wireConns.Add(1)
+	wr := &connWriter{conn: conn, bw: bufio.NewWriterSize(conn, 64<<10), timeout: s.opts.IOTimeout, stats: &s.wire}
 	for {
 		id, flags, body, err := readFrame(br)
 		if err != nil {
 			return
 		}
+		s.wire.framesIn.Add(1)
+		s.wire.bytesIn.Add(int64(frameHeaderLen + len(body)))
 		raw, err := decodeFrameBody(body, flags, clientCodec)
 		if err != nil {
 			return
@@ -229,6 +255,7 @@ type connWriter struct {
 	timeout time.Duration
 	writers atomic.Int32
 	mu      sync.Mutex
+	stats   *serverWireStats // nil in tests that build a bare writer
 }
 
 func (w *connWriter) write(id uint64, flags uint8, body []byte) error {
@@ -239,6 +266,10 @@ func (w *connWriter) write(id uint64, flags uint8, body []byte) error {
 		_ = w.conn.SetWriteDeadline(time.Now().Add(w.timeout))
 	}
 	err := writeFrame(w.bw, id, flags, body)
+	if err == nil && w.stats != nil {
+		w.stats.framesOut.Add(1)
+		w.stats.bytesOut.Add(int64(frameHeaderLen + len(body)))
+	}
 	if w.writers.Add(-1) == 0 && err == nil {
 		err = w.bw.Flush()
 	}
@@ -253,6 +284,7 @@ func (w *connWriter) write(id uint64, flags uint8, body []byte) error {
 // serveGob handles one legacy connection: gob-framed request/response,
 // strictly one at a time, exactly the pre-wire-protocol behaviour.
 func (s *Server) serveGob(conn net.Conn, br *bufio.Reader) {
+	s.wire.gobConns.Add(1)
 	if s.opts.IOTimeout > 0 {
 		_ = conn.SetReadDeadline(time.Time{})
 	}

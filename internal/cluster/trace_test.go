@@ -1,0 +1,260 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"reflect"
+	"strings"
+	"testing"
+
+	"scidb/internal/array"
+	"scidb/internal/obs"
+	"scidb/internal/partition"
+)
+
+// traceShape strips timings from a flattened span tree so profile trees can
+// be compared across transports: structure, names, node tags, and counters
+// must agree exactly; only wall times may differ.
+func traceShape(root *obs.Span) []obs.SpanData {
+	flat := root.Flatten()
+	for i := range flat {
+		flat[i].DurNanos = 0
+	}
+	return flat
+}
+
+// runTracedScenario loads a 9x9 block-partitioned grid plus a co-partitioned
+// sibling, then runs count, pruned scan, grouped aggregate, and sjoin under
+// one trace (each call inside its own child span). Returns the profile shape.
+func runTracedScenario(t *testing.T, tr Transport) []obs.SpanData {
+	t.Helper()
+	co := NewCoordinator(tr, 0)
+	scheme := partition.Block{Nodes: 3, SplitDim: 0, High: 9}
+	for name, mk := range map[string]func(i, j int64) array.Cell{
+		"tleft":  func(i, j int64) array.Cell { return array.Cell{array.Float64(float64(i*10 + j))} },
+		"tright": func(i, j int64) array.Cell { return array.Cell{array.Float64(float64(i - j))} },
+	} {
+		schema := &array.Schema{
+			Name:  name,
+			Dims:  []array.Dimension{{Name: "x", High: 9}, {Name: "y", High: 9}},
+			Attrs: []array.Attribute{{Name: "v", Type: array.TFloat64}},
+		}
+		if err := co.Create(name, schema, scheme); err != nil {
+			t.Fatal(err)
+		}
+		for i := int64(1); i <= 9; i++ {
+			for j := int64(1); j <= 9; j++ {
+				if err := co.Put(name, array.Coord{i, j}, mk(i, j)); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		if err := co.Flush(name); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	trc := obs.NewTrace("query")
+	root := trc.Root()
+	ctx := obs.ContextWithSpan(context.Background(), root)
+
+	sp, cctx := obs.StartSpan(ctx, "count")
+	if n, err := co.CountCtx(cctx, "tleft"); err != nil || n != 81 {
+		t.Fatalf("count = %d, %v", n, err)
+	}
+	sp.End()
+	// The box stays inside nodes 0-1, so the pruned fan-out (and therefore
+	// the profile tree) must show 2 grafted worker spans, not 3.
+	sp, cctx = obs.StartSpan(ctx, "scan")
+	if _, err := co.ScanCtx(cctx, "tleft", array.NewBox(array.Coord{1, 1}, array.Coord{5, 9})); err != nil {
+		t.Fatal(err)
+	}
+	sp.End()
+	sp, cctx = obs.StartSpan(ctx, "agg")
+	if _, err := co.AggregateCtx(cctx, "tleft", array.NewBox(array.Coord{1, 1}, array.Coord{9, 9}), "sum", "v", []string{"x"}); err != nil {
+		t.Fatal(err)
+	}
+	sp.End()
+	sp, cctx = obs.StartSpan(ctx, "join")
+	if _, err := co.SjoinCtx(cctx, "tleft", "tright", []string{"x", "y"}, []string{"x", "y"}); err != nil {
+		t.Fatal(err)
+	}
+	sp.End()
+	root.End()
+	return traceShape(root)
+}
+
+// TestTraceConformanceAcrossTransports pins the traced profile tree produced
+// over every network transport to the Local reference: same spans, same
+// parent structure, same node tags, same counters — timings aside, a user
+// must not be able to tell which transport ran their query.
+func TestTraceConformanceAcrossTransports(t *testing.T) {
+	factories := transportFactories(t)
+	refTr, refStop := factories["local"](t)
+	ref := runTracedScenario(t, refTr)
+	refStop()
+	if len(ref) < 10 {
+		t.Fatalf("reference trace has %d spans; want the full fan-out tree", len(ref))
+	}
+	var workers int
+	for _, s := range ref {
+		if s.Node >= 0 {
+			workers++
+		}
+	}
+	if workers < 3+2+3+3 {
+		t.Fatalf("reference trace has %d worker spans; want at least 11 (3 count + 2 pruned scan + 3 agg + 3 sjoin)", workers)
+	}
+	for name, mk := range factories {
+		if name == "local" {
+			continue
+		}
+		t.Run(name, func(t *testing.T) {
+			tr, stop := mk(t)
+			defer stop()
+			got := runTracedScenario(t, tr)
+			if !reflect.DeepEqual(got, ref) {
+				t.Errorf("profile tree shape diverges from local reference:\n got: %+v\nwant: %+v", got, ref)
+			}
+		})
+	}
+}
+
+// TestUntracedRequestsCarryNoSpans: a plain (no TraceID) call must come back
+// without trace baggage — the tracing machinery is strictly opt-in.
+func TestUntracedRequestsCarryNoSpans(t *testing.T) {
+	w := NewWorker(0)
+	resp := w.Handle(&Message{Op: "ping"})
+	if resp.TraceID != 0 || len(resp.Spans) != 0 {
+		t.Fatalf("untraced ping returned TraceID=%d Spans=%d; want zero", resp.TraceID, len(resp.Spans))
+	}
+}
+
+// TestLegacyPeerWireCompat pins the two properties that let old and new
+// peers interoperate on the binary wire: (a) a message without trace data
+// sets no new presence bits, so its encoding is byte-identical to what an
+// old encoder produces; (b) the decoder ignores bytes after the blocks it
+// understands, so a frame from a *newer* peer (with trailing blocks this
+// build has never heard of) still decodes cleanly.
+func TestLegacyPeerWireCompat(t *testing.T) {
+	plain := &Message{Op: "scan", Array: "a", BoxLo: []int64{1}, BoxHi: []int64{9}}
+	enc, err := encodeMessage(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := decodeMessage(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.TraceID != 0 || got.Spans != nil || got.Metrics != nil {
+		t.Fatalf("plain message decoded with trace fields: %+v", got)
+	}
+
+	// Future-peer simulation: trailing bytes beyond the known blocks must be
+	// ignored, not rejected — that is exactly how a legacy decoder survives
+	// the trace and metrics blocks this PR appended.
+	future := append(append([]byte(nil), enc...), 0xca, 0xfe, 0x00, 0x42)
+	got2, err := decodeMessage(future)
+	if err != nil {
+		t.Fatalf("decode with unknown trailing bytes: %v", err)
+	}
+	if !reflect.DeepEqual(got, got2) {
+		t.Errorf("trailing bytes changed the decoded message:\n got: %+v\nwant: %+v", got2, got)
+	}
+
+	// Traced messages round-trip their spans and metrics in full.
+	traced := &Message{
+		Op: "count", Array: "a", TraceID: 99,
+		Spans: []obs.SpanData{
+			{Parent: -1, Node: 1, DurNanos: 10, Name: "count",
+				Keys: []string{"cells_scanned"}, Vals: []int64{81}},
+		},
+		Metrics: []obs.Sample{{Name: "scidb_worker_requests_total", Value: 5}},
+	}
+	enc2, err := encodeMessage(traced)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got3, err := decodeMessage(enc2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(traced, got3) {
+		t.Errorf("traced round trip mismatch:\n got: %+v\nwant: %+v", got3, traced)
+	}
+}
+
+// TestMetricsOpAndCoordinatorMerge drives the "metrics" op over a live
+// cluster and checks the coordinator's merged, node-labelled view.
+func TestMetricsOpAndCoordinatorMerge(t *testing.T) {
+	tr := NewLocal(2)
+	defer tr.Close()
+	co := NewCoordinator(tr, 0)
+	schema := &array.Schema{
+		Name:  "m",
+		Dims:  []array.Dimension{{Name: "x", High: 8}},
+		Attrs: []array.Attribute{{Name: "v", Type: array.TFloat64}},
+	}
+	if err := co.Create("m", schema, partition.Block{Nodes: 2, SplitDim: 0, High: 8}); err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(1); i <= 8; i++ {
+		if err := co.Put("m", array.Coord{i}, array.Cell{array.Float64(1)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := co.Flush("m"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := co.Count("m"); err != nil {
+		t.Fatal(err)
+	}
+	samples, err := co.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes := map[string]bool{}
+	var sawRequests bool
+	for _, s := range samples {
+		if !strings.Contains(s.Label, "node=") {
+			t.Fatalf("sample %q lacks a node label: %q", s.Name, s.Label)
+		}
+		for _, part := range strings.Split(s.Label, ",") {
+			if strings.HasPrefix(part, "node=") {
+				nodes[part] = true
+			}
+		}
+		if s.Name == "scidb_worker_requests_total" && s.Value > 0 {
+			sawRequests = true
+		}
+	}
+	if len(nodes) != 2 {
+		t.Errorf("metrics cover %d nodes, want 2: %v", len(nodes), nodes)
+	}
+	if !sawRequests {
+		t.Error("no nonzero scidb_worker_requests_total in merged metrics")
+	}
+}
+
+// TestSlowQueryLog arms a worker's slow-request log with a zero-distance
+// threshold so every request is an offender, and checks the rendered tree.
+func TestSlowQueryLog(t *testing.T) {
+	w := NewWorker(3)
+	var buf bytes.Buffer
+	w.SetSlowQuery(1, &buf) // 1ns: everything is slow
+	resp := w.Handle(&Message{Op: "ping"})
+	if resp.Err != "" {
+		t.Fatal(resp.Err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "slow request: node 3") || !strings.Contains(out, "ping") {
+		t.Fatalf("slow log missing header/tree:\n%s", out)
+	}
+	// Disarmed, nothing further is logged.
+	w.SetSlowQuery(0, nil)
+	buf.Reset()
+	w.Handle(&Message{Op: "ping"})
+	if buf.Len() != 0 {
+		t.Fatalf("disarmed slow log still wrote: %q", buf.String())
+	}
+}

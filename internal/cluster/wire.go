@@ -36,6 +36,7 @@ import (
 	"scidb/internal/bufcache"
 	"scidb/internal/compress"
 	"scidb/internal/exec"
+	"scidb/internal/obs"
 	"scidb/internal/storage"
 )
 
@@ -198,13 +199,18 @@ func decodeFrameBody(body []byte, flags uint8, codec compress.Codec) ([]byte, er
 	return codec.Decode(body)
 }
 
-// Message presence bits for the optional pointer fields.
+// Message presence bits for the optional pointer fields. Bits are only
+// ever appended (with their guarded blocks written after all earlier
+// blocks), so a legacy decoder that predates a bit simply never reads the
+// trailing bytes — decodeMessage has always ignored unread remainder.
 const (
-	msgHasSchema = 1 << 0
-	msgHasStats  = 1 << 1
-	msgHasCache  = 1 << 2
-	msgHasExec   = 1 << 3
-	msgHasStore  = 1 << 4
+	msgHasSchema  = 1 << 0
+	msgHasStats   = 1 << 1
+	msgHasCache   = 1 << 2
+	msgHasExec    = 1 << 3
+	msgHasStore   = 1 << 4
+	msgHasTrace   = 1 << 5 // TraceID + Spans (PR 5 telemetry)
+	msgHasMetrics = 1 << 6 // Metrics registry samples
 )
 
 // encodeMessage hand-rolls a Message to its wire form. Field order is
@@ -253,6 +259,12 @@ func encodeMessage(m *Message) ([]byte, error) {
 	if m.Store != nil {
 		present |= msgHasStore
 	}
+	if m.TraceID != 0 || len(m.Spans) > 0 {
+		present |= msgHasTrace
+	}
+	if len(m.Metrics) > 0 {
+		present |= msgHasMetrics
+	}
 	w.U8(present)
 	if m.Schema != nil {
 		encodeSchema(w, m.Schema)
@@ -298,6 +310,28 @@ func encodeMessage(m *Message) ([]byte, error) {
 		w.I64(st.PrefetchIssued)
 		w.I64(st.PrefetchHits)
 		w.I64(st.PrefetchWasted)
+	}
+	if present&msgHasTrace != 0 {
+		w.I64(int64(m.TraceID))
+		w.U32(uint32(len(m.Spans)))
+		for i := range m.Spans {
+			sp := &m.Spans[i]
+			w.I64(int64(sp.Parent))
+			w.I64(int64(sp.Node))
+			w.I64(sp.DurNanos)
+			w.String(sp.Name)
+			w.Strings(sp.Keys)
+			w.I64s(sp.Vals)
+		}
+	}
+	if present&msgHasMetrics != 0 {
+		w.U32(uint32(len(m.Metrics)))
+		for i := range m.Metrics {
+			s := &m.Metrics[i]
+			w.String(s.Name)
+			w.String(s.Label)
+			w.F64(s.Value)
+		}
 	}
 	if w.Err() != nil {
 		return nil, w.Err()
@@ -393,6 +427,42 @@ func decodeMessage(data []byte) (*Message, error) {
 			PrefetchIssued: r.I64(),
 			PrefetchHits:   r.I64(),
 			PrefetchWasted: r.I64(),
+		}
+	}
+	if present&msgHasTrace != 0 {
+		m.TraceID = uint64(r.I64())
+		n := int(r.U32())
+		if r.Err() != nil {
+			return nil, fmt.Errorf("cluster: corrupt message: %w", r.Err())
+		}
+		if n > maxFrameBody/16 {
+			return nil, fmt.Errorf("cluster: message has %d spans", n)
+		}
+		m.Spans = make([]obs.SpanData, n)
+		for i := range m.Spans {
+			sp := &m.Spans[i]
+			sp.Parent = int32(r.I64())
+			sp.Node = int32(r.I64())
+			sp.DurNanos = r.I64()
+			sp.Name = r.String()
+			sp.Keys = r.Strings()
+			sp.Vals = r.I64s()
+		}
+	}
+	if present&msgHasMetrics != 0 {
+		n := int(r.U32())
+		if r.Err() != nil {
+			return nil, fmt.Errorf("cluster: corrupt message: %w", r.Err())
+		}
+		if n > maxFrameBody/16 {
+			return nil, fmt.Errorf("cluster: message has %d metric samples", n)
+		}
+		m.Metrics = make([]obs.Sample, n)
+		for i := range m.Metrics {
+			s := &m.Metrics[i]
+			s.Name = r.String()
+			s.Label = r.String()
+			s.Value = r.F64()
 		}
 	}
 	if r.Err() != nil {

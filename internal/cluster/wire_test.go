@@ -9,6 +9,7 @@ import (
 	"scidb/internal/bufcache"
 	"scidb/internal/compress"
 	"scidb/internal/exec"
+	"scidb/internal/obs"
 )
 
 func wireTestMessage() *Message {
@@ -48,6 +49,16 @@ func wireTestMessage() *Message {
 			Entries: 4, BytesResident: 3, PinnedBytes: 2, Budget: 1},
 		Exec: &exec.Stats{Parallelism: 4, TasksRun: 10, ChunksProcessed: 20,
 			ParallelRuns: 3, SerialRuns: 2, Saturation: 1},
+		TraceID: 0xfeedbeef,
+		Spans: []obs.SpanData{
+			{Parent: -1, Node: 2, DurNanos: 1500, Name: "scan",
+				Keys: []string{"cells_scanned", "chunks"}, Vals: []int64{128, 4}},
+			{Parent: 0, Node: 2, DurNanos: 700, Name: "decode"},
+		},
+		Metrics: []obs.Sample{
+			{Name: "scidb_cache_hits_total", Value: 12},
+			{Name: "scidb_worker_request_seconds_count", Label: `le="0.01"`, Value: 3},
+		},
 	}
 }
 

@@ -16,16 +16,20 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
+	"io"
 	"math"
 	"os"
 	"path/filepath"
 	"sort"
 	"sync"
+	"time"
 
 	"scidb/internal/array"
 	"scidb/internal/bufcache"
 	"scidb/internal/exec"
+	"scidb/internal/obs"
 	"scidb/internal/ops"
 	"scidb/internal/storage"
 )
@@ -59,6 +63,15 @@ type Message struct {
 	// counters summed over its store-backed partitions (encoding ratios,
 	// prefetch hit/wasted counts, disk traffic).
 	Store *storage.Stats
+	// TraceID, when nonzero on a request, asks the worker to trace its
+	// execution; the response echoes it and carries the worker-side span
+	// tree in Spans for the coordinator to graft into the query profile.
+	// Both ride a new presence bit, so legacy peers (which ignore trailing
+	// message bytes and never set the bit) interoperate unchanged.
+	TraceID uint64
+	Spans   []obs.SpanData
+	// Metrics is the "metrics" response: the node's registry snapshot.
+	Metrics []obs.Sample
 }
 
 // Partial is a combinable aggregate fragment computed by one worker for one
@@ -136,6 +149,19 @@ type Worker struct {
 	arrays map[string]*array.Array
 	stores map[string]*storage.Store
 	stats  WorkerStats
+
+	// reg is the node's metrics registry: worker/cache/store collectors
+	// plus the request-latency histogram. The "metrics" op snapshots it so
+	// a coordinator can aggregate registries cluster-wide.
+	reg     *obs.Registry
+	reqHist *obs.Histogram
+
+	// Slow-request log (scidb-server -slow-query): when the threshold is
+	// set, every request is traced and offenders get their profile tree
+	// written to slowW.
+	slowMu     sync.Mutex
+	slowThresh time.Duration
+	slowW      io.Writer
 }
 
 // WorkerStats counts per-node activity for the load-balance experiments.
@@ -159,23 +185,90 @@ func (w *Worker) Stats() WorkerStats {
 	return w.stats
 }
 
+// SetSlowQuery enables the worker's slow-request log: every request is
+// traced and any whose wall time reaches threshold gets its profile tree
+// written to out. A zero threshold disables both.
+func (w *Worker) SetSlowQuery(threshold time.Duration, out io.Writer) {
+	w.slowMu.Lock()
+	defer w.slowMu.Unlock()
+	w.slowThresh, w.slowW = threshold, out
+}
+
+func (w *Worker) slowThreshold() time.Duration {
+	w.slowMu.Lock()
+	defer w.slowMu.Unlock()
+	return w.slowThresh
+}
+
+func (w *Worker) logSlow(op string, d time.Duration, root *obs.Span) {
+	w.slowMu.Lock()
+	defer w.slowMu.Unlock()
+	if w.slowW == nil {
+		return
+	}
+	fmt.Fprintf(w.slowW, "slow request: node %d op %q took %s\n", w.ID, op, d)
+	root.Render(w.slowW)
+}
+
+// Registry returns the node's metrics registry.
+func (w *Worker) Registry() *obs.Registry { return w.reg }
+
 // Handle processes one request message and returns the response. This is
 // the single entry point used by both transports.
+//
+// A request carrying a nonzero TraceID (or any request while the
+// slow-query log is armed) runs under a worker-side trace: the root span
+// is tagged with this node's id and collects the request's stat deltas
+// (cells scanned, bytes moved, cache hits). Traced responses echo the id
+// and return the flattened span tree for the coordinator to graft.
 func (w *Worker) Handle(req *Message) *Message {
 	w.mu.Lock()
 	w.stats.Requests++
 	w.mu.Unlock()
-	resp, err := w.handle(req)
-	if err != nil {
-		return &Message{Op: req.Op, Err: err.Error()}
+	start := time.Now()
+	ctx := context.Background()
+	var root *obs.Span
+	slow := w.slowThreshold()
+	if req.TraceID != 0 || slow > 0 {
+		tr := obs.NewTrace(req.Op)
+		root = tr.Root()
+		root.SetNode(w.ID)
+		ctx = obs.ContextWithSpan(ctx, root)
 	}
-	if resp == nil {
+	var before WorkerStats
+	var cacheBefore bufcache.Stats
+	if root != nil {
+		before, cacheBefore = w.Stats(), w.CacheStats()
+	}
+	resp, err := w.handle(ctx, req)
+	if err != nil {
+		resp = &Message{Op: req.Op, Err: err.Error()}
+	} else if resp == nil {
 		resp = &Message{Op: req.Op}
+	}
+	if root != nil {
+		after, cacheAfter := w.Stats(), w.CacheStats()
+		root.Add("cells_scanned", after.CellsScanned-before.CellsScanned)
+		root.Add("bytes_in", after.BytesIn-before.BytesIn)
+		root.Add("bytes_out", after.BytesOut-before.BytesOut)
+		root.Add("cache_hits", cacheAfter.Hits-cacheBefore.Hits)
+		root.Add("cache_misses", cacheAfter.Misses-cacheBefore.Misses)
+		root.End()
+		if req.TraceID != 0 {
+			resp.TraceID = req.TraceID
+			resp.Spans = root.Flatten()
+		}
+		if d := time.Since(start); slow > 0 && d >= slow {
+			w.logSlow(req.Op, d, root)
+		}
+	}
+	if w.reqHist != nil {
+		w.reqHist.Observe(time.Since(start).Seconds())
 	}
 	return resp
 }
 
-func (w *Worker) handle(req *Message) (*Message, error) {
+func (w *Worker) handle(ctx context.Context, req *Message) (*Message, error) {
 	switch req.Op {
 	case "ping":
 		return &Message{Op: "ping"}, nil
@@ -196,7 +289,7 @@ func (w *Worker) handle(req *Message) (*Message, error) {
 	case "replace":
 		return w.replace(req)
 	case "sjoin":
-		return w.sjoin(req)
+		return w.sjoin(ctx, req)
 	case "stats":
 		s := w.Stats()
 		return &Message{Op: "stats", Stats: &s}, nil
@@ -207,6 +300,8 @@ func (w *Worker) handle(req *Message) (*Message, error) {
 	case "execstats":
 		s := exec.Default().Stats()
 		return &Message{Op: "execstats", Exec: &s}, nil
+	case "metrics":
+		return &Message{Op: "metrics", Metrics: w.reg.Snapshot().Samples}, nil
 	}
 	return nil, fmt.Errorf("cluster: unknown op %q", req.Op)
 }
@@ -236,7 +331,7 @@ func (w *Worker) replace(req *Message) (*Message, error) {
 // sjoin runs a local structured join between two partitions held on this
 // node (the co-partitioned fast path: "comparison operations including
 // joins do not require data movement").
-func (w *Worker) sjoin(req *Message) (*Message, error) {
+func (w *Worker) sjoin(ctx context.Context, req *Message) (*Message, error) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	a, err := w.materializeLocked(req.Array)
@@ -254,7 +349,7 @@ func (w *Worker) sjoin(req *Message) (*Message, error) {
 	for i := range req.OnL {
 		pairs[i] = ops.DimPair{LDim: req.OnL[i], RDim: req.OnR[i]}
 	}
-	res, err := ops.Sjoin(a, b, pairs)
+	res, err := ops.SjoinCtx(ctx, a, b, pairs)
 	if err != nil {
 		return nil, err
 	}

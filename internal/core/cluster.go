@@ -1,0 +1,120 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"strings"
+
+	"scidb/internal/array"
+	"scidb/internal/cluster"
+	"scidb/internal/parser"
+	"scidb/internal/partition"
+)
+
+// AttachCluster routes this database's DDL, DML, and queries over
+// distributed arrays through a coordinator. Non-updatable CREATEs become
+// cluster-wide block-partitioned arrays, INSERTs go to the owning node,
+// references gather through ScanCtx, and single-aggregate queries push
+// down to per-node partials. Local arrays (updatable, attached, stored)
+// are untouched; names resolve local-first.
+func (db *Database) AttachCluster(co *cluster.Coordinator) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.cluster = co
+}
+
+// Cluster returns the attached coordinator, or nil.
+func (db *Database) Cluster() *cluster.Coordinator {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.cluster
+}
+
+// fullClusterBox is the everything-box for an nd-dimensional distributed
+// array (partitions are unbounded; mirrors the worker-side scan extent).
+func fullClusterBox(nd int) array.Box {
+	lo := make(array.Coord, nd)
+	hi := make(array.Coord, nd)
+	for i := range lo {
+		lo[i] = 1
+		hi[i] = math.MaxInt64 / 4
+	}
+	return array.Box{Lo: lo, Hi: hi}
+}
+
+// clusterScan resolves a name against the attached cluster; ok reports
+// whether the name was a cluster array (in which case the gather result or
+// its error is final).
+func (db *Database) clusterScan(ctx context.Context, name string) (*array.Array, bool, error) {
+	co := db.Cluster()
+	if co == nil || !co.Has(name) {
+		return nil, false, nil
+	}
+	sch, err := co.ArraySchema(name)
+	if err != nil {
+		return nil, true, err
+	}
+	a, err := co.ScanCtx(ctx, name, fullClusterBox(len(sch.Dims)))
+	return a, true, err
+}
+
+// clusterAggregate pushes a single distributable aggregate over a direct
+// cluster-array reference down to per-node partials; done reports whether
+// the pushdown applied. Anything else (multiple aggregates, computed
+// inputs, local arrays) falls back to gather-then-aggregate.
+func (db *Database) clusterAggregate(ctx context.Context, n *parser.AggregateExpr) (*array.Array, bool, error) {
+	co := db.Cluster()
+	if co == nil || len(n.Aggs) != 1 {
+		return nil, false, nil
+	}
+	ref, ok := n.In.(*parser.Ref)
+	if !ok || !co.Has(ref.Name) {
+		return nil, false, nil
+	}
+	agg := strings.ToLower(n.Aggs[0].Func)
+	switch agg {
+	case "sum", "count", "avg", "min", "max", "stdev":
+	default:
+		return nil, false, nil
+	}
+	sch, err := co.ArraySchema(ref.Name)
+	if err != nil {
+		return nil, true, err
+	}
+	attr := n.Aggs[0].Attr
+	if attr == "" || attr == "*" {
+		attr = sch.Attrs[0].Name
+	}
+	a, err := co.AggregateCtx(ctx, ref.Name, fullClusterBox(len(sch.Dims)), agg, attr, n.GroupDims)
+	return a, true, err
+}
+
+// createOnCluster distributes a new non-updatable array, block-partitioned
+// on its first bounded dimension. An all-unbounded schema has no split key
+// and stays local (empty message). Called with db.mu held.
+func (db *Database) createOnCluster(name string, schema *array.Schema) (string, error) {
+	split := -1
+	for i, d := range schema.Dims {
+		if d.High != array.Unbounded {
+			split = i
+			break
+		}
+	}
+	if split < 0 {
+		return "", nil
+	}
+	if db.cluster.Has(name) {
+		return "", fmt.Errorf("core: cluster array %q already exists", name)
+	}
+	scheme := partition.Block{
+		Nodes:    db.cluster.NumNodes(),
+		SplitDim: split,
+		High:     schema.Dims[split].High,
+	}
+	if err := db.cluster.Create(name, schema, scheme); err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("created array %s across %d nodes (block-partitioned on %s)",
+		name, db.cluster.NumNodes(), schema.Dims[split].Name), nil
+}

@@ -5,7 +5,9 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"strings"
@@ -13,8 +15,10 @@ import (
 	"time"
 
 	"scidb/internal/array"
+	"scidb/internal/cluster"
 	execpkg "scidb/internal/exec"
 	"scidb/internal/insitu"
+	"scidb/internal/obs"
 	"scidb/internal/parser"
 	"scidb/internal/provenance"
 	"scidb/internal/storage"
@@ -51,7 +55,22 @@ type Database struct {
 	reruns *reruns
 	// now supplies commit timestamps; injectable for tests.
 	now func() int64
+
+	// cluster, when attached, routes references to distributed arrays
+	// through the coordinator (scan gather, aggregate pushdown, DDL/DML).
+	cluster *cluster.Coordinator
+
+	// Slow-statement log: when armed, every statement runs traced and any
+	// whose wall time reaches the threshold gets its profile tree written.
+	slowMu     sync.Mutex
+	slowThresh time.Duration
+	slowW      io.Writer
 }
+
+// queryHist is the process-wide statement-latency histogram, exported at
+// /metrics as scidb_query_seconds.
+var queryHist = obs.Default().Histogram("scidb_query_seconds",
+	"Statement execution latency in seconds.", nil)
 
 // Open creates an empty database.
 func Open() *Database {
@@ -101,9 +120,62 @@ func (db *Database) Exec(src string) (*Result, error) {
 	return db.Run(stmt)
 }
 
+// SetSlowQuery arms the slow-statement log: every statement is traced and
+// any whose wall time reaches threshold gets its profile tree written to
+// out. A zero threshold disables both.
+func (db *Database) SetSlowQuery(threshold time.Duration, out io.Writer) {
+	db.slowMu.Lock()
+	defer db.slowMu.Unlock()
+	db.slowThresh, db.slowW = threshold, out
+}
+
+func (db *Database) slowThreshold() time.Duration {
+	db.slowMu.Lock()
+	defer db.slowMu.Unlock()
+	return db.slowThresh
+}
+
 // Run executes a parse tree (the shared representation all language
 // bindings map to).
 func (db *Database) Run(stmt parser.Stmt) (*Result, error) {
+	return db.RunCtx(context.Background(), stmt)
+}
+
+// RunCtx executes a parse tree under a context. A context carrying a span
+// (obs.ContextWithSpan) traces the statement's whole operator tree; every
+// statement, traced or not, feeds the scidb_query_seconds histogram.
+func (db *Database) RunCtx(ctx context.Context, stmt parser.Stmt) (*Result, error) {
+	start := time.Now()
+	var root *obs.Span
+	slow := db.slowThreshold()
+	if slow > 0 && obs.SpanFromContext(ctx) == nil {
+		tr := obs.NewTrace(parser.Format(stmt))
+		root = tr.Root()
+		ctx = obs.ContextWithSpan(ctx, root)
+	}
+	res, err := db.run(ctx, stmt)
+	d := time.Since(start)
+	queryHist.Observe(d.Seconds())
+	if root != nil {
+		root.End()
+		if d >= slow {
+			db.logSlow(stmt, d, root)
+		}
+	}
+	return res, err
+}
+
+func (db *Database) logSlow(stmt parser.Stmt, d time.Duration, root *obs.Span) {
+	db.slowMu.Lock()
+	defer db.slowMu.Unlock()
+	if db.slowW == nil {
+		return
+	}
+	fmt.Fprintf(db.slowW, "slow statement (%s): %s\n", d, parser.Format(stmt))
+	root.Render(db.slowW)
+}
+
+func (db *Database) run(ctx context.Context, stmt parser.Stmt) (*Result, error) {
 	switch s := stmt.(type) {
 	case *parser.DefineArray:
 		return db.runDefine(s)
@@ -126,15 +198,109 @@ func (db *Database) Run(stmt parser.Stmt) (*Result, error) {
 	case *parser.Attach:
 		return db.runAttach(s)
 	case *parser.Store:
-		return db.runStore(s)
+		return db.runStore(ctx, s)
 	case *parser.Query:
-		a, err := db.eval(s.Expr)
+		a, err := db.eval(ctx, s.Expr)
 		if err != nil {
 			return nil, err
 		}
 		return &Result{Array: a}, nil
+	case *parser.Explain:
+		return db.runExplain(ctx, s)
 	}
 	return nil, fmt.Errorf("core: unsupported statement %T", stmt)
+}
+
+// runExplain handles EXPLAIN and EXPLAIN ANALYZE. Plain EXPLAIN renders
+// the operator tree without running anything; ANALYZE runs the statement
+// under a fresh trace and renders the as-executed profile — per-operator
+// wall time and counters, with per-node subtrees when a cluster ran parts
+// of the query.
+func (db *Database) runExplain(ctx context.Context, s *parser.Explain) (*Result, error) {
+	if !s.Analyze {
+		return &Result{Msg: planString(s.Stmt)}, nil
+	}
+	tr := obs.NewTrace(parser.Format(s.Stmt))
+	root := tr.Root()
+	ctx = obs.ContextWithSpan(ctx, root)
+	res, err := db.run(ctx, s.Stmt)
+	root.End()
+	if err != nil {
+		return nil, err
+	}
+	msg := strings.TrimRight(root.RenderString(), "\n")
+	if res != nil && res.Msg != "" {
+		msg = res.Msg + "\n" + msg
+	}
+	return &Result{Msg: msg}, nil
+}
+
+// planString renders the statement's operator tree without executing it.
+func planString(stmt parser.Stmt) string {
+	var e parser.ArrayExpr
+	switch n := stmt.(type) {
+	case *parser.Query:
+		e = n.Expr
+	case *parser.Store:
+		e = n.Expr
+	default:
+		return parser.Format(stmt)
+	}
+	var b strings.Builder
+	planTree(&b, e, "", "")
+	if st, ok := stmt.(*parser.Store); ok {
+		fmt.Fprintf(&b, "store into %s\n", st.Target)
+	}
+	return strings.TrimRight(b.String(), "\n")
+}
+
+func planTree(b *strings.Builder, e parser.ArrayExpr, selfPrefix, childPrefix string) {
+	b.WriteString(selfPrefix)
+	b.WriteString(exprName(e))
+	b.WriteByte('\n')
+	kids := exprChildren(e)
+	for i, k := range kids {
+		if i == len(kids)-1 {
+			planTree(b, k, childPrefix+"└─ ", childPrefix+"   ")
+		} else {
+			planTree(b, k, childPrefix+"├─ ", childPrefix+"│  ")
+		}
+	}
+}
+
+// exprChildren lists an expression node's input subexpressions.
+func exprChildren(e parser.ArrayExpr) []parser.ArrayExpr {
+	switch n := e.(type) {
+	case *parser.SubsampleExpr:
+		return []parser.ArrayExpr{n.In}
+	case *parser.FilterExpr:
+		return []parser.ArrayExpr{n.In}
+	case *parser.AggregateExpr:
+		return []parser.ArrayExpr{n.In}
+	case *parser.ApplyExpr:
+		return []parser.ArrayExpr{n.In}
+	case *parser.ProjectExpr:
+		return []parser.ArrayExpr{n.In}
+	case *parser.ReshapeExpr:
+		return []parser.ArrayExpr{n.In}
+	case *parser.RegridExpr:
+		return []parser.ArrayExpr{n.In}
+	case *parser.WindowExpr:
+		return []parser.ArrayExpr{n.In}
+	case *parser.AddDimExpr:
+		return []parser.ArrayExpr{n.In}
+	case *parser.RemDimExpr:
+		return []parser.ArrayExpr{n.In}
+	case *parser.SjoinExpr:
+		return []parser.ArrayExpr{n.L, n.R}
+	case *parser.CjoinExpr:
+		return []parser.ArrayExpr{n.L, n.R}
+	case *parser.CrossExpr:
+		return []parser.ArrayExpr{n.L, n.R}
+	case *parser.ConcatExpr:
+		return []parser.ArrayExpr{n.L, n.R}
+	}
+	return nil
 }
 
 func (db *Database) runDefine(s *parser.DefineArray) (*Result, error) {
@@ -234,6 +400,13 @@ func (db *Database) runCreate(s *parser.CreateArray) (*Result, error) {
 		}
 		schema.Attrs = append(schema.Attrs, array.Attribute{Name: a.Name, Type: at, Uncertain: a.Uncertain})
 	}
+	if db.cluster != nil && !t.Updatable {
+		if msg, err := db.createOnCluster(s.Name, schema); err != nil {
+			return nil, err
+		} else if msg != "" {
+			return &Result{Msg: msg}, nil
+		}
+	}
 	if t.Updatable {
 		u, err := version.NewUpdatable(schema)
 		if err != nil {
@@ -332,6 +505,15 @@ func (db *Database) runInsert(s *parser.Insert) (*Result, error) {
 		cell[i] = scalarToValue(v)
 	}
 	coord := array.Coord(s.Coord)
+	if db.cluster != nil && db.cluster.Has(s.Array) {
+		if err := db.cluster.Put(s.Array, coord, cell); err != nil {
+			return nil, err
+		}
+		if err := db.cluster.Flush(s.Array); err != nil {
+			return nil, err
+		}
+		return &Result{Msg: "1 cell written (cluster)"}, nil
+	}
 	if a, ok := db.arrays[s.Array]; ok {
 		// Coerce nulls to the attribute types.
 		for i := range cell {
@@ -417,8 +599,8 @@ func (db *Database) runLoad(s *parser.Load) (*Result, error) {
 	return &Result{Msg: fmt.Sprintf("loaded %d cells into %s", a.Count(), s.Array)}, nil
 }
 
-func (db *Database) runStore(s *parser.Store) (*Result, error) {
-	a, err := db.eval(s.Expr)
+func (db *Database) runStore(ctx context.Context, s *parser.Store) (*Result, error) {
+	a, err := db.eval(ctx, s.Expr)
 	if err != nil {
 		return nil, err
 	}
@@ -499,6 +681,9 @@ func (db *Database) Drop(name string) error {
 		delete(db.trees, name)
 		return nil
 	}
+	if db.cluster != nil && db.cluster.Has(name) {
+		return db.cluster.Drop(name)
+	}
 	return fmt.Errorf("core: unknown array %q", name)
 }
 
@@ -518,6 +703,9 @@ func (db *Database) Names() []string {
 	}
 	for n := range db.stores {
 		out = append(out, n)
+	}
+	if db.cluster != nil {
+		out = append(out, db.cluster.Names()...)
 	}
 	sort.Strings(out)
 	return out

@@ -1,22 +1,79 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"scidb/internal/array"
+	"scidb/internal/obs"
 	"scidb/internal/ops"
 	"scidb/internal/parser"
 	"scidb/internal/provenance"
 )
 
-// eval executes an array expression tree against the catalog.
-func (db *Database) eval(e parser.ArrayExpr) (*array.Array, error) {
+// eval executes an array expression tree against the catalog. Every
+// operator node runs under its own span when the context carries a trace,
+// so EXPLAIN ANALYZE renders the plan exactly as executed; an untraced
+// query pays one nil context lookup per node.
+func (db *Database) eval(ctx context.Context, e parser.ArrayExpr) (*array.Array, error) {
+	sp, ctx := obs.StartSpan(ctx, exprName(e))
+	a, err := db.evalNode(ctx, e)
+	if err == nil && a != nil {
+		sp.Add("cells_out", a.Count())
+	}
+	sp.End()
+	return a, err
+}
+
+// exprName labels an expression node for its profile span.
+func exprName(e parser.ArrayExpr) string {
 	switch n := e.(type) {
 	case *parser.Ref:
-		return db.resolveRef(n.Name)
+		return "scan " + n.Name
 	case *parser.ExistsExpr:
-		a, err := db.resolveRef(n.Array)
+		return "exists " + n.Array
+	case *parser.VersionExpr:
+		return "version " + n.Array + "@" + n.Name
+	case *parser.SubsampleExpr:
+		return "subsample"
+	case *parser.FilterExpr:
+		return "filter"
+	case *parser.AggregateExpr:
+		return "aggregate"
+	case *parser.SjoinExpr:
+		return "sjoin"
+	case *parser.CjoinExpr:
+		return "cjoin"
+	case *parser.ApplyExpr:
+		return "apply"
+	case *parser.ProjectExpr:
+		return "project"
+	case *parser.ReshapeExpr:
+		return "reshape"
+	case *parser.RegridExpr:
+		return "regrid"
+	case *parser.WindowExpr:
+		return "window"
+	case *parser.CrossExpr:
+		return "cross"
+	case *parser.ConcatExpr:
+		return "concat"
+	case *parser.AddDimExpr:
+		return "adddim"
+	case *parser.RemDimExpr:
+		return "remdim"
+	default:
+		return fmt.Sprintf("%T", e)
+	}
+}
+
+func (db *Database) evalNode(ctx context.Context, e parser.ArrayExpr) (*array.Array, error) {
+	switch n := e.(type) {
+	case *parser.Ref:
+		return db.resolveRef(ctx, n.Name)
+	case *parser.ExistsExpr:
+		a, err := db.resolveRef(ctx, n.Array)
 		if err != nil {
 			return nil, err
 		}
@@ -62,7 +119,7 @@ func (db *Database) eval(e parser.ArrayExpr) (*array.Array, error) {
 				return res, nil
 			}
 		}
-		in, err := db.eval(n.In)
+		in, err := db.eval(ctx, n.In)
 		if err != nil {
 			return nil, err
 		}
@@ -70,9 +127,9 @@ func (db *Database) eval(e parser.ArrayExpr) (*array.Array, error) {
 		if err != nil {
 			return nil, err
 		}
-		return ops.Subsample(in, conds)
+		return ops.SubsampleCtx(ctx, in, conds)
 	case *parser.FilterExpr:
-		in, err := db.eval(n.In)
+		in, err := db.eval(ctx, n.In)
 		if err != nil {
 			return nil, err
 		}
@@ -80,9 +137,14 @@ func (db *Database) eval(e parser.ArrayExpr) (*array.Array, error) {
 		if err != nil {
 			return nil, err
 		}
-		return ops.Filter(in, pred, db.reg)
+		return ops.FilterCtx(ctx, in, pred, db.reg)
 	case *parser.AggregateExpr:
-		in, err := db.eval(n.In)
+		// Cluster pushdown: a single distributable aggregate over a direct
+		// distributed-array reference ships per-node partials, not cells.
+		if res, done, err := db.clusterAggregate(ctx, n); done {
+			return res, err
+		}
+		in, err := db.eval(ctx, n.In)
 		if err != nil {
 			return nil, err
 		}
@@ -90,13 +152,13 @@ func (db *Database) eval(e parser.ArrayExpr) (*array.Array, error) {
 		for i, a := range n.Aggs {
 			specs[i] = ops.AggSpec{Agg: a.Func, Attr: a.Attr, As: a.As}
 		}
-		return ops.Aggregate(in, n.GroupDims, specs, db.reg)
+		return ops.AggregateCtx(ctx, in, n.GroupDims, specs, db.reg)
 	case *parser.SjoinExpr:
-		l, err := db.eval(n.L)
+		l, err := db.eval(ctx, n.L)
 		if err != nil {
 			return nil, err
 		}
-		r, err := db.eval(n.R)
+		r, err := db.eval(ctx, n.R)
 		if err != nil {
 			return nil, err
 		}
@@ -104,13 +166,13 @@ func (db *Database) eval(e parser.ArrayExpr) (*array.Array, error) {
 		for i, p := range n.On {
 			pairs[i] = ops.DimPair{LDim: p.Left, RDim: p.Right}
 		}
-		return ops.Sjoin(l, r, pairs)
+		return ops.SjoinCtx(ctx, l, r, pairs)
 	case *parser.CjoinExpr:
-		l, err := db.eval(n.L)
+		l, err := db.eval(ctx, n.L)
 		if err != nil {
 			return nil, err
 		}
-		r, err := db.eval(n.R)
+		r, err := db.eval(ctx, n.R)
 		if err != nil {
 			return nil, err
 		}
@@ -120,7 +182,7 @@ func (db *Database) eval(e parser.ArrayExpr) (*array.Array, error) {
 		}
 		return ops.Cjoin(l, r, pred, db.reg)
 	case *parser.ApplyExpr:
-		in, err := db.eval(n.In)
+		in, err := db.eval(ctx, n.In)
 		if err != nil {
 			return nil, err
 		}
@@ -132,15 +194,15 @@ func (db *Database) eval(e parser.ArrayExpr) (*array.Array, error) {
 			}
 			specs[i] = ops.ApplySpec{Name: n.Names[i], Expr: ex}
 		}
-		return ops.Apply(in, specs, db.reg)
+		return ops.ApplyCtx(ctx, in, specs, db.reg)
 	case *parser.ProjectExpr:
-		in, err := db.eval(n.In)
+		in, err := db.eval(ctx, n.In)
 		if err != nil {
 			return nil, err
 		}
 		return ops.Project(in, n.Attrs)
 	case *parser.ReshapeExpr:
-		in, err := db.eval(n.In)
+		in, err := db.eval(ctx, n.In)
 		if err != nil {
 			return nil, err
 		}
@@ -150,45 +212,45 @@ func (db *Database) eval(e parser.ArrayExpr) (*array.Array, error) {
 		}
 		return ops.Reshape(in, n.Order, dims)
 	case *parser.RegridExpr:
-		in, err := db.eval(n.In)
+		in, err := db.eval(ctx, n.In)
 		if err != nil {
 			return nil, err
 		}
-		return ops.Regrid(in, n.Strides, ops.AggSpec{Agg: n.Agg.Func, Attr: n.Agg.Attr, As: n.Agg.As}, db.reg)
+		return ops.RegridCtx(ctx, in, n.Strides, ops.AggSpec{Agg: n.Agg.Func, Attr: n.Agg.Attr, As: n.Agg.As}, db.reg)
 	case *parser.WindowExpr:
-		in, err := db.eval(n.In)
+		in, err := db.eval(ctx, n.In)
 		if err != nil {
 			return nil, err
 		}
 		return ops.Window(in, n.Radius, ops.AggSpec{Agg: n.Agg.Func, Attr: n.Agg.Attr, As: n.Agg.As}, db.reg)
 	case *parser.CrossExpr:
-		l, err := db.eval(n.L)
+		l, err := db.eval(ctx, n.L)
 		if err != nil {
 			return nil, err
 		}
-		r, err := db.eval(n.R)
+		r, err := db.eval(ctx, n.R)
 		if err != nil {
 			return nil, err
 		}
 		return ops.CrossProduct(l, r)
 	case *parser.ConcatExpr:
-		l, err := db.eval(n.L)
+		l, err := db.eval(ctx, n.L)
 		if err != nil {
 			return nil, err
 		}
-		r, err := db.eval(n.R)
+		r, err := db.eval(ctx, n.R)
 		if err != nil {
 			return nil, err
 		}
 		return ops.Concat(l, r, n.Dim)
 	case *parser.AddDimExpr:
-		in, err := db.eval(n.In)
+		in, err := db.eval(ctx, n.In)
 		if err != nil {
 			return nil, err
 		}
 		return ops.AddDim(in, n.Name)
 	case *parser.RemDimExpr:
-		in, err := db.eval(n.In)
+		in, err := db.eval(ctx, n.In)
 		if err != nil {
 			return nil, err
 		}
@@ -198,7 +260,7 @@ func (db *Database) eval(e parser.ArrayExpr) (*array.Array, error) {
 }
 
 // resolveRef returns a plain array, or the latest snapshot of an updatable.
-func (db *Database) resolveRef(name string) (*array.Array, error) {
+func (db *Database) resolveRef(ctx context.Context, name string) (*array.Array, error) {
 	db.mu.RLock()
 	a, okA := db.arrays[name]
 	u, okU := db.updatables[name]
@@ -220,6 +282,11 @@ func (db *Database) resolveRef(name string) (*array.Array, error) {
 	if okSt {
 		// A store-backed reference scans the full extent through the pool.
 		return db.materializeStore(st)
+	}
+	// A distributed reference gathers through the coordinator (the node
+	// fan-out lands under the current span when the query is traced).
+	if res, ok, err := db.clusterScan(ctx, name); ok {
+		return res, err
 	}
 	return nil, fmt.Errorf("core: unknown array %q", name)
 }
@@ -383,7 +450,7 @@ func (db *Database) logExpr(e parser.ArrayExpr, target, prefix string) string {
 			Kind: provenance.KindElementwise, Input: in, Output: target, Time: now,
 			Text: parser.Format(&parser.Store{Expr: n, Target: target}),
 		})
-		if src, err := db.resolveRef(in); err == nil {
+		if src, err := db.resolveRef(context.Background(), in); err == nil {
 			idxs := make([]int, 0, len(n.Attrs))
 			okAll := true
 			for _, a := range n.Attrs {
@@ -405,7 +472,7 @@ func (db *Database) logExpr(e parser.ArrayExpr, target, prefix string) string {
 			Strides: n.Strides,
 			Text:    parser.Format(&parser.Store{Expr: n, Target: target}),
 		}
-		if src, err := db.resolveRef(in); err == nil {
+		if src, err := db.resolveRef(context.Background(), in); err == nil {
 			cmd.InBounds = src.Bounds()
 			cmd.InDims = len(src.Schema.Dims)
 		}
@@ -418,7 +485,7 @@ func (db *Database) logExpr(e parser.ArrayExpr, target, prefix string) string {
 			Kind: provenance.KindAggregate, Input: in, Output: target, Time: now,
 			Text: parser.Format(&parser.Store{Expr: n, Target: target}),
 		}
-		if src, err := db.resolveRef(in); err == nil {
+		if src, err := db.resolveRef(context.Background(), in); err == nil {
 			cmd.InBounds = src.Bounds()
 			cmd.InDims = len(src.Schema.Dims)
 			for _, g := range n.GroupDims {
@@ -439,7 +506,7 @@ func (db *Database) logExpr(e parser.ArrayExpr, target, prefix string) string {
 			Kind: provenance.KindSubsample, Input: in, Output: target, Time: now,
 			Text: parser.Format(&parser.Store{Expr: n, Target: target}),
 		}
-		if src, err := db.resolveRef(in); err == nil {
+		if src, err := db.resolveRef(context.Background(), in); err == nil {
 			if conds, err := dimConds(n.Pred); err == nil {
 				cmd.Sel = selectedIndices(src, conds)
 			}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -79,7 +80,7 @@ func (db *Database) ReDerive(ref provenance.CellRef) ([]provenance.CellRef, erro
 func (db *Database) registerRerun(cmd *provenance.Command, node interface{}) {
 	inName, outName := cmd.Input, cmd.Output
 	resolve := func() (*array.Array, *array.Array, error) {
-		in, err := db.resolveRef(inName)
+		in, err := db.resolveRef(context.Background(), inName)
 		if err != nil {
 			return nil, nil, err
 		}

@@ -18,6 +18,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"scidb/internal/obs"
 )
 
 // Pool is a bounded worker pool. The zero Parallelism means
@@ -94,8 +96,13 @@ func (p *Pool) Map(ctx context.Context, n int, fn func(i int) error) error {
 	if n <= 0 {
 		return ctx.Err()
 	}
+	// span is nil unless this query is traced; every method on a nil span
+	// is a no-op, so the untraced cost is this one context lookup.
+	span := obs.SpanFromContext(ctx)
 	if p.par <= 1 || n == 1 {
 		p.serialRuns.Add(1)
+		span.Add("pool_tasks", int64(n))
+		span.Add("pool_serial_runs", 1)
 		for i := 0; i < n; i++ {
 			if err := ctx.Err(); err != nil {
 				return err
@@ -108,6 +115,8 @@ func (p *Pool) Map(ctx context.Context, n int, fn func(i int) error) error {
 		return nil
 	}
 	p.parRuns.Add(1)
+	span.Add("pool_tasks", int64(n))
+	span.Add("pool_parallel_runs", 1)
 
 	var (
 		next   atomic.Int64
@@ -156,8 +165,11 @@ func (p *Pool) Map(ctx context.Context, n int, fn func(i int) error) error {
 			}()
 		default:
 			// Every slot is busy serving other Map calls; the caller still
-			// guarantees progress.
+			// guarantees progress. Saturation is the never-blocking pool's
+			// analogue of queue wait: work that wanted a worker and ran on
+			// the caller instead.
 			p.saturated.Add(1)
+			span.Add("pool_saturated", 1)
 		}
 	}
 	run()
@@ -176,7 +188,22 @@ func (p *Pool) Map(ctx context.Context, n int, fn func(i int) error) error {
 // SetParallelism (cmd flags, core.Database.SetParallelism).
 var def atomic.Pointer[Pool]
 
-func init() { def.Store(New(0)) }
+func init() {
+	def.Store(New(0))
+	// The process-wide pool exports through the unified registry. The
+	// collector re-reads Default() per scrape, so SetParallelism swaps
+	// (which reset the counters) are reflected immediately.
+	obs.Default().RegisterFunc("scidb_exec", "Process-wide worker pool scheduling counters.", obs.KindGauge,
+		func(emit func(obs.Sample)) {
+			s := Default().Stats()
+			emit(obs.Sample{Name: "scidb_exec_parallelism", Value: float64(s.Parallelism)})
+			emit(obs.Sample{Name: "scidb_exec_tasks_total", Value: float64(s.TasksRun)})
+			emit(obs.Sample{Name: "scidb_exec_chunks_total", Value: float64(s.ChunksProcessed)})
+			emit(obs.Sample{Name: "scidb_exec_parallel_runs_total", Value: float64(s.ParallelRuns)})
+			emit(obs.Sample{Name: "scidb_exec_serial_runs_total", Value: float64(s.SerialRuns)})
+			emit(obs.Sample{Name: "scidb_exec_saturation_total", Value: float64(s.Saturation)})
+		})
+}
 
 // Default returns the process-wide pool.
 func Default() *Pool { return def.Load() }

@@ -1,0 +1,132 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"time"
+
+	"scidb/internal/array"
+	"scidb/internal/obs"
+	"scidb/internal/ops"
+	"scidb/internal/udf"
+)
+
+// OBS measures what the unified telemetry layer costs. The same
+// chunk-parallel filter runs three ways: untraced (the production default
+// — tracing machinery present but dormant), traced (a live span tree
+// collecting per-operator counters), and traced+rendered (EXPLAIN
+// ANALYZE's full path). The claim: tracing off is free to within noise,
+// tracing on stays under a few percent, because the untraced path pays
+// exactly one nil context lookup per operator and the traced path only
+// atomic counter adds. Registry scrape cost is reported alongside, using
+// consistent Snapshot deltas (never counter resets).
+func init() {
+	register(&Experiment{
+		ID:    "OBS",
+		Title: "telemetry: tracing overhead on a chunk-parallel filter",
+		Run: func(w io.Writer, quick bool) error {
+			header(w, "OBS", "tracing off vs on vs rendered; registry scrape cost")
+			side, chunk := int64(1024), int64(128)
+			minDur := 300 * time.Millisecond
+			if quick {
+				side, chunk = 256, 64
+				minDur = 30 * time.Millisecond
+			}
+			s := &array.Schema{
+				Name: "grid",
+				Dims: []array.Dimension{
+					{Name: "x", High: side, ChunkLen: chunk},
+					{Name: "y", High: side, ChunkLen: chunk},
+				},
+				Attrs: []array.Attribute{{Name: "v", Type: array.TFloat64}},
+			}
+			a, err := array.New(s)
+			if err != nil {
+				return err
+			}
+			for i := int64(1); i <= side; i++ {
+				for j := int64(1); j <= side; j++ {
+					if err := a.Set(array.Coord{i, j}, array.Cell{array.Float64(float64((i*31 + j) % 997))}); err != nil {
+						return err
+					}
+				}
+			}
+			reg := udf.NewRegistry()
+			pred := ops.Binary{Op: ops.OpGt, L: ops.AttrRef{Name: "v"}, R: ops.Const{V: array.Float64(500)}}
+
+			filterWith := func(ctx context.Context) error {
+				_, err := ops.FilterCtx(ctx, a, pred, reg)
+				return err
+			}
+			off, err := timeIt(minDur, func() error {
+				return filterWith(context.Background())
+			})
+			if err != nil {
+				return err
+			}
+			on, err := timeIt(minDur, func() error {
+				root := obs.NewTrace("filter").Root()
+				err := filterWith(obs.ContextWithSpan(context.Background(), root))
+				root.End()
+				return err
+			})
+			if err != nil {
+				return err
+			}
+			rendered, err := timeIt(minDur, func() error {
+				root := obs.NewTrace("filter").Root()
+				err := filterWith(obs.ContextWithSpan(context.Background(), root))
+				root.End()
+				_ = root.RenderString()
+				return err
+			})
+			if err != nil {
+				return err
+			}
+
+			// Registry scrape: consistent Snapshot delta over a live,
+			// collector-backed registry (the pattern experiments use instead
+			// of racy counter resets).
+			r := obs.NewRegistry()
+			h := r.Histogram("scidb_query_seconds", "q", nil)
+			for i := 0; i < 1000; i++ {
+				h.Observe(float64(i) / 1000)
+			}
+			before := r.Snapshot()
+			scrape, err := timeIt(minDur/10, func() error {
+				_ = r.Snapshot()
+				return nil
+			})
+			if err != nil {
+				return err
+			}
+			after := r.Snapshot()
+			bc, _ := before.Get("scidb_query_seconds_count")
+			ac, _ := after.Get("scidb_query_seconds_count")
+
+			fmt.Fprintf(w, "%-26s %14s %10s\n", "mode", "time/query", "vs off")
+			fmt.Fprintf(w, "%-26s %14v %9.3fx\n", "tracing off", off, 1.0)
+			fmt.Fprintf(w, "%-26s %14v %9.3fx\n", "tracing on", on, ratio(on, off))
+			fmt.Fprintf(w, "%-26s %14v %9.3fx\n", "tracing on + render", rendered, ratio(rendered, off))
+			fmt.Fprintf(w, "%-26s %14v\n", "registry snapshot", scrape)
+			fmt.Fprintln(w, "claim shape: the untraced path pays one nil context check per")
+			fmt.Fprintln(w, "operator (~0%); a live trace stays within a few percent; snapshots")
+			fmt.Fprintln(w, "are consistent reads, so experiment deltas never reset counters.")
+			if bc != ac {
+				return fmt.Errorf("OBS: snapshot mutated the histogram count (%v -> %v)", bc, ac)
+			}
+			// Generous sanity bound: a traced run must not approach 2x. The
+			// <3% claim is measured by the BenchmarkParallelFilter /
+			// BenchmarkParallelFilterTraced pair in internal/ops;
+			// wall-clock CI boxes are too noisy for a tight bound here.
+			if quick {
+				return nil
+			}
+			if ratio(on, off) > 1.5 {
+				return fmt.Errorf("OBS: tracing overhead %.2fx exceeds sanity bound", ratio(on, off))
+			}
+			return nil
+		},
+	})
+}

@@ -145,13 +145,15 @@ func init() {
 				}
 				_ = co.Flush("A")
 				_ = co.Flush("B")
-				co.ResetBytesMoved()
+				// Delta, not reset: a reset races any concurrent reader of
+				// the counter; a before/after read is consistent.
+				before := co.BytesMoved()
 				start := time.Now()
 				res, err := co.Sjoin("A", "B", []string{"x"}, []string{"x"})
 				if err != nil {
 					return 0, 0, 0, err
 				}
-				return co.BytesMoved(), time.Since(start), res.Count(), nil
+				return co.BytesMoved() - before, time.Since(start), res.Count(), nil
 			}
 			coMoved, coDur, coCells, err := run(true)
 			if err != nil {

@@ -1,0 +1,350 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// A Trace records one query execution as a tree of spans. Traces are
+// created per query (EXPLAIN ANALYZE, the slow-query log) and carried
+// through the planner and operators via context. When no trace is active
+// every Span method is called on a nil receiver and returns immediately,
+// so tracing-off overhead is a single nil/context check per operator.
+type Trace struct {
+	ID   uint64
+	root *Span
+
+	mu    sync.Mutex
+	next  uint64 // span id allocator
+	nowFn func() time.Time
+}
+
+var traceIDs atomic.Uint64
+
+// NewTrace starts a trace with a root span named name.
+func NewTrace(name string) *Trace {
+	t := &Trace{ID: traceIDs.Add(1) + 1, nowFn: time.Now}
+	t.root = &Span{tr: t, id: t.nextID(), Name: name, start: t.nowFn()}
+	return t
+}
+
+func (t *Trace) nextID() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.next++
+	return t.next
+}
+
+func (t *Trace) now() time.Time {
+	if t == nil || t.nowFn == nil {
+		return time.Now()
+	}
+	return t.nowFn()
+}
+
+// Root returns the trace's root span (nil on a nil trace).
+func (t *Trace) Root() *Span {
+	if t == nil {
+		return nil
+	}
+	return t.root
+}
+
+// A Span is one timed node in a trace: an operator, a per-node cluster
+// call, or a remote worker request. Counters (chunks, cells, bytes, cache
+// hits, pool saturation) accumulate under short keys via Add. All methods
+// are nil-safe so untraced paths pay only the receiver check.
+type Span struct {
+	tr   *Trace
+	id   uint64
+	Name string // operator or phase, e.g. "filter", "scan node 1"
+	Node int    // owning node id; -1 = coordinator/local
+
+	start time.Time
+	dur   atomic.Int64 // nanoseconds, set by End
+
+	mu       sync.Mutex
+	counters map[string]int64
+	children []*Span
+	remote   []*Span // grafted worker-side subtrees
+}
+
+// StartSpan begins a child span under parent. A nil parent returns nil, so
+// callers never branch on tracing being enabled.
+func (s *Span) StartSpan(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	c := &Span{tr: s.tr, id: s.tr.nextID(), Name: name, Node: -1, start: s.tr.now()}
+	s.mu.Lock()
+	s.children = append(s.children, c)
+	s.mu.Unlock()
+	return c
+}
+
+// End stamps the span's duration (idempotent: first call wins).
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	if s.dur.Load() == 0 {
+		s.dur.Store(int64(s.tr.now().Sub(s.start)) | 1) // |1: distinguish "ended instantly" from "running"
+	}
+}
+
+// Add accumulates a named counter on the span.
+func (s *Span) Add(key string, n int64) {
+	if s == nil || n == 0 {
+		return
+	}
+	s.mu.Lock()
+	if s.counters == nil {
+		s.counters = map[string]int64{}
+	}
+	s.counters[key] += n
+	s.mu.Unlock()
+}
+
+// SetNode tags the span with the executing node id.
+func (s *Span) SetNode(node int) {
+	if s == nil {
+		return
+	}
+	s.Node = node
+}
+
+// TraceID returns the owning trace's id (0 for nil or rebuilt spans) — the
+// value a coordinator puts on the wire so workers know to trace a request.
+func (s *Span) TraceID() uint64 {
+	if s == nil || s.tr == nil {
+		return 0
+	}
+	return s.tr.ID
+}
+
+// Duration returns the span's recorded wall time (0 while running).
+func (s *Span) Duration() time.Duration {
+	if s == nil {
+		return 0
+	}
+	return time.Duration(s.dur.Load() &^ 1)
+}
+
+// Graft attaches a remote subtree (rebuilt from SpanData) under s; the
+// coordinator uses it to stitch worker-side spans below the per-node call
+// span that produced them.
+func (s *Span) Graft(remote *Span) {
+	if s == nil || remote == nil {
+		return
+	}
+	s.mu.Lock()
+	s.remote = append(s.remote, remote)
+	s.mu.Unlock()
+}
+
+type ctxKey struct{}
+
+// ContextWithSpan returns ctx carrying s as the current span.
+func ContextWithSpan(ctx context.Context, s *Span) context.Context {
+	if s == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, s)
+}
+
+// SpanFromContext returns the current span, or nil when the query is not
+// being traced. The nil result flows straight into the nil-safe Span API.
+func SpanFromContext(ctx context.Context) *Span {
+	if ctx == nil {
+		return nil
+	}
+	s, _ := ctx.Value(ctxKey{}).(*Span)
+	return s
+}
+
+// StartSpan opens a child of the context's current span and returns the
+// child plus a context carrying it. With no active trace it returns
+// (nil, ctx) — zero allocations.
+func StartSpan(ctx context.Context, name string) (*Span, context.Context) {
+	parent := SpanFromContext(ctx)
+	if parent == nil {
+		return nil, ctx
+	}
+	c := parent.StartSpan(name)
+	return c, ContextWithSpan(ctx, c)
+}
+
+// SpanData is a span flattened for the wire: Parent is the index of the
+// parent within the same slice (-1 for the subtree root). Counter keys and
+// values are parallel slices so the codec stays a plain field list.
+type SpanData struct {
+	Parent   int32
+	Node     int32
+	DurNanos int64
+	Name     string
+	Keys     []string
+	Vals     []int64
+}
+
+// Flatten serializes the subtree rooted at s (remote grafts included) in
+// parent-before-child order.
+func (s *Span) Flatten() []SpanData {
+	if s == nil {
+		return nil
+	}
+	var out []SpanData
+	var walk func(sp *Span, parent int32)
+	walk = func(sp *Span, parent int32) {
+		sp.mu.Lock()
+		keys := make([]string, 0, len(sp.counters))
+		for k := range sp.counters {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		vals := make([]int64, len(keys))
+		for i, k := range keys {
+			vals[i] = sp.counters[k]
+		}
+		children := append([]*Span(nil), sp.children...)
+		remote := append([]*Span(nil), sp.remote...)
+		sp.mu.Unlock()
+		idx := int32(len(out))
+		out = append(out, SpanData{
+			Parent: parent, Node: int32(sp.Node), DurNanos: int64(sp.Duration()),
+			Name: sp.Name, Keys: keys, Vals: vals,
+		})
+		for _, c := range children {
+			walk(c, idx)
+		}
+		for _, r := range remote {
+			walk(r, idx)
+		}
+	}
+	walk(s, -1)
+	return out
+}
+
+// Rebuild reconstructs a span tree from flattened SpanData and returns the
+// root (nil for empty or malformed input). The rebuilt spans carry no
+// trace and are used only for grafting/rendering.
+func Rebuild(data []SpanData) *Span {
+	if len(data) == 0 {
+		return nil
+	}
+	spans := make([]*Span, len(data))
+	var root *Span
+	for i, d := range data {
+		sp := &Span{Name: d.Name, Node: int(d.Node)}
+		sp.dur.Store(d.DurNanos | boolBit(d.DurNanos == 0))
+		if len(d.Keys) > 0 {
+			sp.counters = make(map[string]int64, len(d.Keys))
+			for j, k := range d.Keys {
+				if j < len(d.Vals) {
+					sp.counters[k] = d.Vals[j]
+				}
+			}
+		}
+		spans[i] = sp
+		switch {
+		case d.Parent < 0:
+			if root == nil {
+				root = sp
+			}
+		case int(d.Parent) < i:
+			p := spans[d.Parent]
+			p.children = append(p.children, sp)
+		}
+	}
+	return root
+}
+
+func boolBit(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// Render writes the profile tree rooted at s in EXPLAIN ANALYZE style:
+//
+//	query                               12.4ms
+//	└─ filter                            9.1ms  chunks=16 cells=65536 mode=parallel
+//	   └─ node 1: scan                   3.0ms  cells=32768 bytes_out=262144
+func (s *Span) Render(w io.Writer) {
+	if s == nil {
+		fmt.Fprintln(w, "(no profile)")
+		return
+	}
+	var walk func(sp *Span, prefix string, last bool, depth int)
+	walk = func(sp *Span, prefix string, last bool, depth int) {
+		branch, childPrefix := "", ""
+		if depth > 0 {
+			if last {
+				branch, childPrefix = prefix+"└─ ", prefix+"   "
+			} else {
+				branch, childPrefix = prefix+"├─ ", prefix+"│  "
+			}
+		}
+		name := sp.Name
+		if sp.Node >= 0 {
+			name = fmt.Sprintf("node %d: %s", sp.Node, name)
+		}
+		label := branch + name
+		line := fmt.Sprintf("%-44s %10s", label, fmtDur(sp.Duration()))
+		if cs := sp.counterString(); cs != "" {
+			line += "  " + cs
+		}
+		fmt.Fprintln(w, strings.TrimRight(line, " "))
+		sp.mu.Lock()
+		kids := append(append([]*Span(nil), sp.children...), sp.remote...)
+		sp.mu.Unlock()
+		for i, c := range kids {
+			walk(c, childPrefix, i == len(kids)-1, depth+1)
+		}
+	}
+	walk(s, "", true, 0)
+}
+
+func (s *Span) counterString() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.counters) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(s.counters))
+	for k := range s.counters {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = fmt.Sprintf("%s=%d", k, s.counters[k])
+	}
+	return strings.Join(parts, " ")
+}
+
+func fmtDur(d time.Duration) string {
+	switch {
+	case d == 0:
+		return "-"
+	case d < time.Millisecond:
+		return fmt.Sprintf("%.1fµs", float64(d.Nanoseconds())/1e3)
+	case d < time.Second:
+		return fmt.Sprintf("%.1fms", float64(d.Nanoseconds())/1e6)
+	default:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	}
+}
+
+// RenderString is Render into a string.
+func (s *Span) RenderString() string {
+	var b strings.Builder
+	s.Render(&b)
+	return b.String()
+}

@@ -1,0 +1,134 @@
+package obs
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestNilSpanSafe: every Span method must be a no-op on nil, and the
+// context helpers must return nil without allocating a trace — this is the
+// tracing-off fast path the operators rely on.
+func TestNilSpanSafe(t *testing.T) {
+	var s *Span
+	s.Add("cells", 5)
+	s.End()
+	s.SetNode(3)
+	s.Graft(nil)
+	if c := s.StartSpan("child"); c != nil {
+		t.Fatal("nil span spawned a child")
+	}
+	if d := s.Duration(); d != 0 {
+		t.Fatal("nil span has duration")
+	}
+	if s.Flatten() != nil {
+		t.Fatal("nil span flattened to data")
+	}
+	ctx := context.Background()
+	if got := SpanFromContext(ctx); got != nil {
+		t.Fatal("SpanFromContext on bare ctx != nil")
+	}
+	sp, ctx2 := StartSpan(ctx, "op")
+	if sp != nil || ctx2 != ctx {
+		t.Fatal("StartSpan without a trace must return (nil, same ctx)")
+	}
+}
+
+func TestTraceFlattenRebuild(t *testing.T) {
+	tr := NewTrace("query")
+	root := tr.Root()
+	f := root.StartSpan("filter")
+	f.Add("chunks", 4)
+	f.Add("cells", 1024)
+	f.End()
+	agg := root.StartSpan("aggregate")
+	aggChild := agg.StartSpan("merge")
+	aggChild.End()
+	agg.End()
+	root.End()
+
+	data := root.Flatten()
+	if len(data) != 4 {
+		t.Fatalf("flattened to %d spans, want 4", len(data))
+	}
+	rb := Rebuild(data)
+	if rb == nil || rb.Name != "query" {
+		t.Fatalf("rebuild root = %+v", rb)
+	}
+	if got := shape(rb); got != shape(root) {
+		t.Fatalf("rebuilt shape %q != original %q", got, shape(root))
+	}
+	// Counters survive the round trip.
+	rf := rb.children[0]
+	if rf.counters["cells"] != 1024 || rf.counters["chunks"] != 4 {
+		t.Fatalf("rebuilt counters = %v", rf.counters)
+	}
+}
+
+// shape renders a span tree as names/nodes/counters only (no timings) —
+// the equality the cross-transport conformance test needs.
+func shape(s *Span) string {
+	var b strings.Builder
+	var walk func(sp *Span, depth int)
+	walk = func(sp *Span, depth int) {
+		b.WriteString(strings.Repeat(" ", depth))
+		b.WriteString(sp.Name)
+		if sp.Node >= 0 {
+			b.WriteString("@")
+		}
+		b.WriteString(" " + sp.counterString() + "\n")
+		sp.mu.Lock()
+		kids := append(append([]*Span(nil), sp.children...), sp.remote...)
+		sp.mu.Unlock()
+		for _, c := range kids {
+			walk(c, depth+1)
+		}
+	}
+	walk(s, 0)
+	return b.String()
+}
+
+func TestGraftRender(t *testing.T) {
+	tr := NewTrace("query")
+	root := tr.Root()
+	call := root.StartSpan("scan")
+	call.End()
+	remoteTr := NewTrace("scan")
+	rr := remoteTr.Root()
+	rr.SetNode(1)
+	rr.Add("cells_scanned", 32768)
+	rr.End()
+	call.Graft(Rebuild(rr.Flatten()))
+	root.End()
+
+	out := root.RenderString()
+	if !strings.Contains(out, "node 1: scan") {
+		t.Fatalf("render missing grafted node span:\n%s", out)
+	}
+	if !strings.Contains(out, "cells_scanned=32768") {
+		t.Fatalf("render missing remote counters:\n%s", out)
+	}
+	if !strings.Contains(out, "└─") {
+		t.Fatalf("render missing tree branches:\n%s", out)
+	}
+}
+
+func TestSpanDuration(t *testing.T) {
+	tr := NewTrace("q")
+	base := time.Unix(0, 0)
+	now := base
+	tr.nowFn = func() time.Time { return now }
+	s := tr.Root().StartSpan("op")
+	now = base.Add(250 * time.Millisecond)
+	s.End()
+	if d := s.Duration(); d < 249*time.Millisecond || d > 251*time.Millisecond {
+		t.Fatalf("duration = %v", d)
+	}
+	// End is idempotent.
+	now = base.Add(time.Hour)
+	s.End()
+	if d := s.Duration(); d > 251*time.Millisecond {
+		t.Fatalf("second End overwrote duration: %v", d)
+	}
+}

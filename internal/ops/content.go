@@ -1,6 +1,7 @@
 package ops
 
 import (
+	"context"
 	"fmt"
 
 	"scidb/internal/array"
@@ -12,9 +13,18 @@ import (
 // holds the cell keeps its value, otherwise the result "will contain NULL".
 // Absent cells stay absent.
 func Filter(a *array.Array, pred Expr, reg *udf.Registry) (*array.Array, error) {
+	return FilterCtx(context.Background(), a, pred, reg)
+}
+
+// FilterCtx is Filter under a context: cancellation stops the chunk fan-out
+// and, when the query is traced, the operator's footprint lands on the
+// context's span.
+func FilterCtx(ctx context.Context, a *array.Array, pred Expr, reg *udf.Registry) (*array.Array, error) {
 	if pool, work := parChunks(a); pool != nil {
-		return parallelFilter(a, pred, reg, pool, work)
+		spanChunks(ctx, work, true)
+		return parallelFilter(ctx, a, pred, reg, pool, work)
 	}
+	spanArray(ctx, a, false)
 	out := &array.Schema{Name: a.Schema.Name + "_filter", Dims: dimsWithHwm(a), Attrs: a.Schema.Attrs}
 	res, err := array.New(out)
 	if err != nil {
@@ -24,11 +34,11 @@ func Filter(a *array.Array, pred Expr, reg *udf.Registry) (*array.Array, error) 
 	for i, at := range a.Schema.Attrs {
 		nullCell[i] = array.NullValue(at.Type)
 	}
-	ctx := &EvalCtx{Schema: a.Schema, Reg: reg}
+	ec := &EvalCtx{Schema: a.Schema, Reg: reg}
 	var evalErr error
 	a.IterReuse(func(c array.Coord, cell array.Cell) bool {
-		ctx.Coord, ctx.Cell = c, cell
-		keep, err := Truthy(pred, ctx)
+		ec.Coord, ec.Cell = c, cell
+		keep, err := Truthy(pred, ec)
 		if err != nil {
 			evalErr = err
 			return false
@@ -72,6 +82,11 @@ type aggCol struct {
 // The output is a k-dimensional array whose dimensions retain the grouping
 // dimensions' index values. Data attributes cannot be used for grouping.
 func Aggregate(a *array.Array, groupDims []string, specs []AggSpec, reg *udf.Registry) (*array.Array, error) {
+	return AggregateCtx(context.Background(), a, groupDims, specs, reg)
+}
+
+// AggregateCtx is Aggregate under a context (cancellation + span counters).
+func AggregateCtx(ctx context.Context, a *array.Array, groupDims []string, specs []AggSpec, reg *udf.Registry) (*array.Array, error) {
 	s := a.Schema
 	if len(specs) == 0 {
 		return nil, fmt.Errorf("ops: aggregate requires at least one aggregate spec")
@@ -126,8 +141,10 @@ func Aggregate(a *array.Array, groupDims []string, specs []AggSpec, reg *udf.Reg
 		out.Attrs = append(out.Attrs, array.Attribute{Name: name, Type: t, Uncertain: s.Attrs[attr].Uncertain})
 	}
 	if pool, work := parChunks(a); pool != nil && aggsMergeable(cols) {
-		return parallelAggregate(a, gidx, cols, out, pool, work)
+		spanChunks(ctx, work, true)
+		return parallelAggregate(ctx, a, gidx, cols, out, pool, work)
 	}
+	spanArray(ctx, a, false)
 	res, err := array.New(out)
 	if err != nil {
 		return nil, err
@@ -261,13 +278,20 @@ type ApplySpec struct {
 // Apply (§2.2.2) computes new attributes per cell from expressions over the
 // existing record (and the coordinate), appending them to the cell.
 func Apply(a *array.Array, specs []ApplySpec, reg *udf.Registry) (*array.Array, error) {
+	return ApplyCtx(context.Background(), a, specs, reg)
+}
+
+// ApplyCtx is Apply under a context (cancellation + span counters).
+func ApplyCtx(ctx context.Context, a *array.Array, specs []ApplySpec, reg *udf.Registry) (*array.Array, error) {
 	if pool, work := parChunks(a); pool != nil {
-		return parallelApply(a, specs, reg, pool, work)
+		spanChunks(ctx, work, true)
+		return parallelApply(ctx, a, specs, reg, pool, work)
 	}
+	spanArray(ctx, a, false)
 	s := a.Schema
 	out := &array.Schema{Name: s.Name + "_apply", Dims: dimsWithHwm(a)}
 	out.Attrs = append([]array.Attribute(nil), s.Attrs...)
-	ctx := &EvalCtx{Schema: s, Reg: reg}
+	ec := &EvalCtx{Schema: s, Reg: reg}
 	// Infer output types from a probe evaluation lazily; default float.
 	// Computed attributes are marked Uncertain so error bars propagated by
 	// the expression arithmetic survive storage (§2.13).
@@ -281,10 +305,10 @@ func Apply(a *array.Array, specs []ApplySpec, reg *udf.Registry) (*array.Array, 
 	typed := false
 	var evalErr error
 	a.IterReuse(func(c array.Coord, cell array.Cell) bool {
-		ctx.Coord, ctx.Cell = c, cell
+		ec.Coord, ec.Cell = c, cell
 		newCell := cell.Clone()
 		for i, sp := range specs {
-			v, err := sp.Expr.Eval(ctx)
+			v, err := sp.Expr.Eval(ec)
 			if err != nil {
 				evalErr = err
 				return false
@@ -344,6 +368,11 @@ func Project(a *array.Array, attrs []string) (*array.Array, error) {
 // users wish to regrid arrays"): it coarsens the array by an integer stride
 // per dimension, aggregating each block into one output cell.
 func Regrid(a *array.Array, strides []int64, spec AggSpec, reg *udf.Registry) (*array.Array, error) {
+	return RegridCtx(context.Background(), a, strides, spec, reg)
+}
+
+// RegridCtx is Regrid under a context (cancellation + span counters).
+func RegridCtx(ctx context.Context, a *array.Array, strides []int64, spec AggSpec, reg *udf.Registry) (*array.Array, error) {
 	s := a.Schema
 	if len(strides) != len(s.Dims) {
 		return nil, fmt.Errorf("ops: regrid needs one stride per dimension")
@@ -383,9 +412,11 @@ func Regrid(a *array.Array, strides []int64, spec AggSpec, reg *udf.Registry) (*
 	out.Attrs = []array.Attribute{{Name: name, Type: t, Uncertain: s.Attrs[attr].Uncertain}}
 	if pool, work := parChunks(a); pool != nil {
 		if _, ok := fac().(udf.MergeableAggregate); ok {
-			return parallelRegrid(a, strides, attr, fac, out, pool, work)
+			spanChunks(ctx, work, true)
+			return parallelRegrid(ctx, a, strides, attr, fac, out, pool, work)
 		}
 	}
+	spanArray(ctx, a, false)
 	res, err := array.New(out)
 	if err != nil {
 		return nil, err

@@ -389,14 +389,14 @@ func vecPred(pred Expr, s *array.Schema, ch *array.Chunk) func(idx int64) bool {
 // ---------------------------------------------------------------------------
 // Operators
 
-func parallelFilter(a *array.Array, pred Expr, reg *udf.Registry, pool *exec.Pool, work []*array.Chunk) (*array.Array, error) {
+func parallelFilter(ctx context.Context, a *array.Array, pred Expr, reg *udf.Registry, pool *exec.Pool, work []*array.Chunk) (*array.Array, error) {
 	out := &array.Schema{Name: a.Schema.Name + "_filter", Dims: parOutDims(a), Attrs: a.Schema.Attrs}
 	res, err := array.New(out)
 	if err != nil {
 		return nil, err
 	}
 	outCh := make([]*array.Chunk, len(work))
-	err = pool.Map(context.Background(), len(work), func(i int) error {
+	err = pool.Map(ctx, len(work), func(i int) error {
 		ch := work[i]
 		oc := array.NewChunk(res.Schema, ch.Origin, res.GridShape(ch.Origin))
 		same := shapeEq(ch.Shape, oc.Shape)
@@ -466,7 +466,7 @@ func parallelFilter(a *array.Array, pred Expr, reg *udf.Registry, pool *exec.Poo
 	return res, nil
 }
 
-func parallelApply(a *array.Array, specs []ApplySpec, reg *udf.Registry, pool *exec.Pool, work []*array.Chunk) (*array.Array, error) {
+func parallelApply(ctx context.Context, a *array.Array, specs []ApplySpec, reg *udf.Registry, pool *exec.Pool, work []*array.Chunk) (*array.Array, error) {
 	s := a.Schema
 	out := &array.Schema{Name: s.Name + "_apply", Dims: parOutDims(a)}
 	out.Attrs = append([]array.Attribute(nil), s.Attrs...)
@@ -503,7 +503,7 @@ func parallelApply(a *array.Array, specs []ApplySpec, reg *udf.Registry, pool *e
 	}
 	base := len(s.Attrs)
 	outCh := make([]*array.Chunk, len(work))
-	err = pool.Map(context.Background(), len(work), func(i int) error {
+	err = pool.Map(ctx, len(work), func(i int) error {
 		ch := work[i]
 		oc := array.NewChunk(res.Schema, ch.Origin, res.GridShape(ch.Origin))
 		same := shapeEq(ch.Shape, oc.Shape)
@@ -586,7 +586,7 @@ func aggsMergeable(cols []aggCol) bool {
 	return true
 }
 
-func parallelAggregate(a *array.Array, gidx []int, cols []aggCol, out *array.Schema, pool *exec.Pool, work []*array.Chunk) (*array.Array, error) {
+func parallelAggregate(ctx context.Context, a *array.Array, gidx []int, cols []aggCol, out *array.Schema, pool *exec.Pool, work []*array.Chunk) (*array.Array, error) {
 	res, err := array.New(out)
 	if err != nil {
 		return nil, err
@@ -601,7 +601,7 @@ func parallelAggregate(a *array.Array, gidx []int, cols []aggCol, out *array.Sch
 	}
 	// One sparse partial-state map per chunk, merged at the barrier below.
 	locals := make([]map[int64][]udf.Aggregate, len(work))
-	err = pool.Map(context.Background(), len(work), func(i int) error {
+	err = pool.Map(ctx, len(work), func(i int) error {
 		ch := work[i]
 		local := map[int64][]udf.Aggregate{}
 		gc := make(array.Coord, maxInt(len(gidx), 1))
@@ -669,7 +669,7 @@ func parallelAggregate(a *array.Array, gidx []int, cols []aggCol, out *array.Sch
 	return res, nil
 }
 
-func parallelRegrid(a *array.Array, strides []int64, attr int, fac udf.AggregateFactory, out *array.Schema, pool *exec.Pool, work []*array.Chunk) (*array.Array, error) {
+func parallelRegrid(ctx context.Context, a *array.Array, strides []int64, attr int, fac udf.AggregateFactory, out *array.Schema, pool *exec.Pool, work []*array.Chunk) (*array.Array, error) {
 	res, err := array.New(out)
 	if err != nil {
 		return nil, err
@@ -683,7 +683,7 @@ func parallelRegrid(a *array.Array, strides []int64, attr int, fac udf.Aggregate
 		slots *= d.High
 	}
 	locals := make([]map[int64]udf.Aggregate, len(work))
-	err = pool.Map(context.Background(), len(work), func(i int) error {
+	err = pool.Map(ctx, len(work), func(i int) error {
 		ch := work[i]
 		local := map[int64]udf.Aggregate{}
 		gc := make(array.Coord, len(a.Schema.Dims))
@@ -738,7 +738,7 @@ func parallelRegrid(a *array.Array, strides []int64, attr int, fac udf.Aggregate
 // adopts the input's effective chunk strides and one task fills each output
 // grid chunk, copying columns directly. Returns (nil, nil) when the serial
 // path should run instead.
-func parallelSubsample(a *array.Array, sel [][]int64, out *array.Schema) (*array.Array, error) {
+func parallelSubsample(ctx context.Context, a *array.Array, sel [][]int64, out *array.Schema) (*array.Array, error) {
 	pool := exec.Default()
 	if pool.Parallelism() <= 1 {
 		return nil, nil
@@ -763,7 +763,7 @@ func parallelSubsample(a *array.Array, sel [][]int64, out *array.Schema) (*array
 	origins := gridOrigins(res)
 	outCh := make([]*array.Chunk, len(origins))
 	nd := len(dims)
-	err = pool.Map(context.Background(), len(origins), func(i int) error {
+	err = pool.Map(ctx, len(origins), func(i int) error {
 		oc := array.NewChunk(sch, origins[i], res.GridShape(origins[i]))
 		pk := peeker{a: a}
 		src := make(array.Coord, nd)
@@ -817,7 +817,7 @@ func parallelSubsample(a *array.Array, sel [][]int64, out *array.Schema) (*array
 // the output's A dimensions adopt A's chunk strides and its free B
 // dimensions span the full extent, so each A chunk maps to exactly one
 // disjoint output chunk. Returns (nil, nil) when the serial path should run.
-func parallelSjoin(a, b *array.Array, lidx, ridx, bFree []int, out *array.Schema) (*array.Array, error) {
+func parallelSjoin(ctx context.Context, a, b *array.Array, lidx, ridx, bFree []int, out *array.Schema) (*array.Array, error) {
 	pool, work := parChunks(a)
 	if pool == nil {
 		return nil, nil
@@ -834,7 +834,7 @@ func parallelSjoin(a, b *array.Array, lidx, ridx, bFree []int, out *array.Schema
 	na := len(a.Schema.Dims)
 	naAttrs := len(a.Schema.Attrs)
 	outCh := make([]*array.Chunk, len(work))
-	err = pool.Map(context.Background(), len(work), func(i int) error {
+	err = pool.Map(ctx, len(work), func(i int) error {
 		ch := work[i]
 		ocOrigin := make(array.Coord, len(dims))
 		copy(ocOrigin, ch.Origin)

@@ -1,12 +1,14 @@
 package ops
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"testing"
 
 	"scidb/internal/array"
 	"scidb/internal/exec"
+	"scidb/internal/obs"
 	"scidb/internal/udf"
 )
 
@@ -63,6 +65,22 @@ func BenchmarkParallelFilter(b *testing.B) {
 		if _, err := Filter(a, pred, reg); err != nil {
 			b.Fatal(err)
 		}
+	})
+}
+
+// BenchmarkParallelFilterTraced is BenchmarkParallelFilter with a live
+// span tree attached; comparing the two pairs substantiates the telemetry
+// overhead claim (tracing off ~0%, on <3%) made by the OBS experiment.
+func BenchmarkParallelFilterTraced(b *testing.B) {
+	reg := udf.NewRegistry()
+	pred := Binary{Op: OpGt, L: AttrRef{Name: "v"}, R: Const{V: array.Float64(500)}}
+	benchPar(b, func(b *testing.B, a *array.Array) {
+		root := obs.NewTrace("filter").Root()
+		ctx := obs.ContextWithSpan(context.Background(), root)
+		if _, err := FilterCtx(ctx, a, pred, reg); err != nil {
+			b.Fatal(err)
+		}
+		root.End()
 	})
 }
 

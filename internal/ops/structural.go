@@ -1,6 +1,7 @@
 package ops
 
 import (
+	"context"
 	"fmt"
 
 	"scidb/internal/array"
@@ -69,6 +70,11 @@ func DimOdd(dim string) DimCond {
 //
 // Subsample is data-agnostic: it copies whole slices without reading values.
 func Subsample(a *array.Array, conds []DimCond) (*array.Array, error) {
+	return SubsampleCtx(context.Background(), a, conds)
+}
+
+// SubsampleCtx is Subsample under a context (cancellation + span counters).
+func SubsampleCtx(ctx context.Context, a *array.Array, conds []DimCond) (*array.Array, error) {
 	s := a.Schema
 	// Selected original indices per dimension.
 	sel := make([][]int64, len(s.Dims))
@@ -100,11 +106,15 @@ func Subsample(a *array.Array, conds []DimCond) (*array.Array, error) {
 	for d, dim := range s.Dims {
 		out.Dims = append(out.Dims, array.Dimension{Name: dim.Name, High: max64(int64(len(sel[d])), 1)})
 	}
-	res, err := parallelSubsample(a, sel, out)
+	res, err := parallelSubsample(ctx, a, sel, out)
 	if err != nil {
 		return nil, err
 	}
+	if res != nil {
+		spanArray(ctx, res, true)
+	}
 	if res == nil {
+		spanArray(ctx, a, false)
 		if res, err = array.New(out); err != nil {
 			return nil, err
 		}
@@ -262,6 +272,11 @@ type DimPair struct{ LDim, RDim string }
 // (m + n − k)-dimensional array with concatenated cell tuples wherever the
 // predicate holds.
 func Sjoin(a, b *array.Array, on []DimPair) (*array.Array, error) {
+	return SjoinCtx(context.Background(), a, b, on)
+}
+
+// SjoinCtx is Sjoin under a context (cancellation + span counters).
+func SjoinCtx(ctx context.Context, a, b *array.Array, on []DimPair) (*array.Array, error) {
 	sa, sb := a.Schema, b.Schema
 	if len(on) == 0 {
 		return nil, fmt.Errorf("ops: sjoin requires at least one dimension pair")
@@ -295,9 +310,13 @@ func Sjoin(a, b *array.Array, on []DimPair) (*array.Array, error) {
 		out.Dims = append(out.Dims, array.Dimension{Name: name, High: b.Hwm(d)})
 	}
 	out.Attrs = concatAttrs(sa, sb)
-	if res, err := parallelSjoin(a, b, lidx, ridx, bFree, out); err != nil || res != nil {
+	if res, err := parallelSjoin(ctx, a, b, lidx, ridx, bFree, out); err != nil || res != nil {
+		if res != nil {
+			spanArray(ctx, a, true)
+		}
 		return res, err
 	}
+	spanArray(ctx, a, false)
 	res, err := array.New(out)
 	if err != nil {
 		return nil, err

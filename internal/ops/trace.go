@@ -1,0 +1,39 @@
+package ops
+
+import (
+	"context"
+
+	"scidb/internal/array"
+	"scidb/internal/obs"
+)
+
+// spanChunks records an operator's input footprint — chunk count, present
+// cells, execution mode — on the query's current span. Untraced queries
+// pay one context lookup; the cell totals reuse the presence counts the
+// parallel drivers warm anyway. Callers must invoke it from the serial
+// driver goroutine (CellsPresent trims bitmaps in place).
+func spanChunks(ctx context.Context, work []*array.Chunk, parallel bool) {
+	span := obs.SpanFromContext(ctx)
+	if span == nil {
+		return
+	}
+	var cells int64
+	for _, ch := range work {
+		cells += ch.CellsPresent()
+	}
+	span.Add("chunks", int64(len(work)))
+	span.Add("cells_in", cells)
+	if parallel {
+		span.Add("parallel", 1)
+	} else {
+		span.Add("serial", 1)
+	}
+}
+
+// spanArray is spanChunks over all of a's chunks (serial operator paths).
+func spanArray(ctx context.Context, a *array.Array, parallel bool) {
+	if obs.SpanFromContext(ctx) == nil {
+		return
+	}
+	spanChunks(ctx, a.Chunks(), parallel)
+}

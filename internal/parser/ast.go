@@ -135,6 +135,17 @@ type Query struct {
 
 func (*Query) stmtNode() {}
 
+// Explain is "EXPLAIN [ANALYZE] <stmt>". Plain EXPLAIN prints the plan
+// tree without running the statement; EXPLAIN ANALYZE runs it under a
+// trace and prints the per-operator profile (with per-node breakdown on a
+// cluster).
+type Explain struct {
+	Analyze bool
+	Stmt    Stmt
+}
+
+func (*Explain) stmtNode() {}
+
 // CreateVersion is "CREATE VERSION v FROM a [PARENT p]".
 type CreateVersion struct {
 	Name   string

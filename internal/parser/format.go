@@ -75,6 +75,11 @@ func Format(s Stmt) string {
 		return fmt.Sprintf("store %s into %s", FormatArrayExpr(n.Expr), n.Target)
 	case *Query:
 		return FormatArrayExpr(n.Expr)
+	case *Explain:
+		if n.Analyze {
+			return "explain analyze " + Format(n.Stmt)
+		}
+		return "explain " + Format(n.Stmt)
 	}
 	return fmt.Sprintf("<unprintable %T>", s)
 }

@@ -112,6 +112,8 @@ func (p *parser) expectInt() (int64, error) {
 
 func (p *parser) parseStmt() (Stmt, error) {
 	switch {
+	case p.isKeyword("explain"):
+		return p.parseExplain()
 	case p.isKeyword("define"):
 		return p.parseDefine()
 	case p.isKeyword("create"):
@@ -137,6 +139,20 @@ func (p *parser) parseStmt() (Stmt, error) {
 		}
 		return &Query{Expr: e}, nil
 	}
+}
+
+// EXPLAIN [ANALYZE] <stmt>
+func (p *parser) parseExplain() (Stmt, error) {
+	p.advance() // explain
+	analyze := p.acceptKeyword("analyze")
+	if p.isKeyword("explain") {
+		return nil, p.errf("explain cannot nest")
+	}
+	inner, err := p.parseStmt()
+	if err != nil {
+		return nil, err
+	}
+	return &Explain{Analyze: analyze, Stmt: inner}, nil
 }
 
 // DEFINE [UPDATABLE] ARRAY name (a = type, ...) [d1, d2]

@@ -331,17 +331,17 @@ func TestLegacyChunkFormatPinned(t *testing.T) {
 	var b bytes.Buffer
 	put32 := func(v uint32) { _ = binary.Write(&b, binary.LittleEndian, v) }
 	put64 := func(v uint64) { _ = binary.Write(&b, binary.LittleEndian, v) }
-	put32(0x53434442)      // magic "SCDB"
-	b.WriteByte(1)         // nd
-	put64(1)               // origin
-	put64(2)               // shape -> 2 slots
-	put32(1)               // presence bitmap: 1 word
-	put64(0b11)            // both slots present
-	b.WriteByte(0)         // column flags: v0, no sigma
-	put32(1)               // null bitmap: 1 word
-	put64(0)               // no nulls
-	put64(123)             // slot 0 value, verbatim
-	put64(456)             // slot 1 value, verbatim
+	put32(0x53434442) // magic "SCDB"
+	b.WriteByte(1)    // nd
+	put64(1)          // origin
+	put64(2)          // shape -> 2 slots
+	put32(1)          // presence bitmap: 1 word
+	put64(0b11)       // both slots present
+	b.WriteByte(0)    // column flags: v0, no sigma
+	put32(1)          // null bitmap: 1 word
+	put64(0)          // no nulls
+	put64(123)        // slot 0 value, verbatim
+	put64(456)        // slot 1 value, verbatim
 	ch, err := DecodeChunk(s, b.Bytes())
 	if err != nil {
 		t.Fatalf("legacy chunk rejected: %v", err)
@@ -409,7 +409,7 @@ func TestUncertainColumnsStillEncoded(t *testing.T) {
 		Attrs: []array.Attribute{{Name: "x", Type: array.TFloat64, Uncertain: true}},
 	}
 	ch := fillChunk(s, 32, func(i int64) array.Cell {
-		return array.Cell{array.UncertainFloat(1.5, float64(i) * 0.125)}
+		return array.Cell{array.UncertainFloat(1.5, float64(i)*0.125)}
 	})
 	enc, err := EncodeChunk(s, ch)
 	if err != nil {

@@ -1,0 +1,32 @@
+package storage
+
+import "scidb/internal/obs"
+
+// RegisterMetrics exports stats (a snapshot source, usually a closure over
+// one or more Stores) into r under the scidb_store_* family. Collection
+// happens only at scrape time; the Store's own atomic counters remain the
+// source of truth.
+func RegisterMetrics(r *obs.Registry, label string, stats func() Stats) {
+	r.RegisterFunc("scidb_store", "Bucket store I/O and encoding counters.", obs.KindGauge,
+		func(emit func(obs.Sample)) {
+			s := stats()
+			for _, m := range []struct {
+				name string
+				v    int64
+			}{
+				{"scidb_store_buckets_written_total", s.BucketsWritten},
+				{"scidb_store_buckets_merged_total", s.BucketsMerged},
+				{"scidb_store_buckets_read_total", s.BucketsRead},
+				{"scidb_store_bytes_written_total", s.BytesWritten},
+				{"scidb_store_bytes_read_total", s.BytesRead},
+				{"scidb_store_flushes_total", s.Flushes},
+				{"scidb_store_bytes_raw_total", s.BytesRaw},
+				{"scidb_store_bytes_encoded_total", s.BytesEncoded},
+				{"scidb_store_prefetch_issued_total", s.PrefetchIssued},
+				{"scidb_store_prefetch_hits_total", s.PrefetchHits},
+				{"scidb_store_prefetch_wasted_total", s.PrefetchWasted},
+			} {
+				emit(obs.Sample{Name: m.name, Label: label, Value: float64(m.v)})
+			}
+		})
+}

@@ -19,9 +19,12 @@ package scidb
 
 import (
 	"io"
+	"time"
 
 	"scidb/internal/array"
+	"scidb/internal/cluster"
 	"scidb/internal/core"
+	"scidb/internal/obs"
 	"scidb/internal/parser"
 	"scidb/internal/provenance"
 	"scidb/internal/udf"
@@ -175,6 +178,24 @@ func (db *DB) ReDerive(ref CellRef) ([]CellRef, error) { return db.core.ReDerive
 
 // SetClock overrides commit timestamps (deterministic tests/benches).
 func (db *DB) SetClock(now func() int64) { db.core.SetClock(now) }
+
+// AttachCluster routes distributed-array DDL, DML, and queries through a
+// shared-nothing coordinator (§2.6): non-updatable CREATEs partition
+// across the grid, references gather, single aggregates push down.
+func (db *DB) AttachCluster(co *cluster.Coordinator) { db.core.AttachCluster(co) }
+
+// Cluster returns the attached coordinator, or nil.
+func (db *DB) Cluster() *cluster.Coordinator { return db.core.Cluster() }
+
+// SetSlowQuery arms the slow-statement log: every statement runs traced
+// and offenders get their per-operator profile tree written to out.
+func (db *DB) SetSlowQuery(threshold time.Duration, out io.Writer) {
+	db.core.SetSlowQuery(threshold, out)
+}
+
+// Metrics returns the process-default metrics registry (query-latency
+// histogram, exec-pool counters, process gauges) for /metrics exporters.
+func Metrics() *obs.Registry { return obs.Default() }
 
 // Render draws an array the way the paper's figures do.
 func Render(a *Array) string { return array.Render(a) }
