@@ -4,6 +4,8 @@
 //
 //	scidb-bench [-exp ID[,ID...]] [-quick] [-list] [-cache-bytes N] [-parallelism N] [-readahead N]
 //	scidb-bench -exp NET [-wire-compress gzip] [-call-timeout 30s] [-net-addrs host1:7101,host2:7101,host3:7101]
+//	scidb-bench -serve-addr host:port -serve-clients 256   # open-loop load against a live session server
+//	scidb-bench -serve-addr host:port -serve-smoke 8       # CI: scripted concurrent client sessions
 package main
 
 import (
@@ -11,6 +13,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"scidb/internal/exec"
 	"scidb/internal/experiments"
@@ -28,6 +31,11 @@ func main() {
 	callTimeout := flag.Duration("call-timeout", 0, "per-call deadline for NET transports (0 = none)")
 	netAddrs := flag.String("net-addrs", "", "comma-separated scidb-server addresses: run NET against real sockets instead of in-process listeners")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics and /debug/pprof while experiments run (profile the suite live)")
+	serveAddr := flag.String("serve-addr", "", "session-server address for -serve-clients / -serve-smoke")
+	serveClients := flag.Int("serve-clients", 0, "open-loop load: this many concurrent client sessions against -serve-addr")
+	serveStmts := flag.Int("serve-stmts", 2048, "open-loop load: total statements to offer")
+	serveGap := flag.Duration("serve-gap", time.Millisecond, "open-loop load: arrival spacing")
+	serveSmoke := flag.Int("serve-smoke", 0, "run this many scripted concurrent clients against -serve-addr and exit")
 	flag.Parse()
 
 	if *metricsAddr != "" {
@@ -54,6 +62,26 @@ func main() {
 			}
 		}
 		experiments.SetNetAddrs(addrs)
+	}
+
+	if *serveSmoke > 0 || *serveClients > 0 {
+		if *serveAddr == "" {
+			fmt.Fprintln(os.Stderr, "-serve-clients/-serve-smoke need -serve-addr host:port")
+			os.Exit(2)
+		}
+		if *serveSmoke > 0 {
+			if err := experiments.ServeSmoke(os.Stdout, *serveAddr, *serveSmoke); err != nil {
+				fmt.Fprintln(os.Stderr, "serve-smoke failed:", err)
+				os.Exit(1)
+			}
+		}
+		if *serveClients > 0 {
+			if err := experiments.ServeLoad(os.Stdout, *serveAddr, *serveClients, *serveStmts, *serveGap); err != nil {
+				fmt.Fprintln(os.Stderr, "serve-load failed:", err)
+				os.Exit(1)
+			}
+		}
+		return
 	}
 
 	if *list {

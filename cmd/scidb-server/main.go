@@ -1,13 +1,16 @@
-// Command scidb-server runs one shared-nothing grid worker (§2.7). A
-// coordinator (cmd/scidb-load, the examples, or library users via
-// cluster.DialTCP) connects over TCP and drives it with the multiplexed
-// binary wire protocol; legacy gob clients are still accepted (the server
+// Command scidb-server runs one shared-nothing grid worker (§2.7) and the
+// multi-tenant session front end on the same listener. A coordinator
+// (cmd/scidb-load, the examples, or library users via cluster.DialTCP)
+// connects over TCP and drives it with the multiplexed binary wire
+// protocol; client sessions (cmd/scidb -connect, session.Dial) speak the
+// session protocol; legacy gob clients are still accepted (the server
 // sniffs the protocol per connection).
 //
 //	scidb-server -listen 127.0.0.1:7101 -id 0
 //	scidb-server -listen 127.0.0.1:7101 -id 0 -persist -data-dir /var/scidb -cache-bytes 268435456 -readahead 4
 //	scidb-server -listen 127.0.0.1:7101 -id 0 -parallelism 8 -wire-compress gzip -call-timeout 30s
 //	scidb-server -listen 127.0.0.1:7101 -id 0 -metrics-addr 127.0.0.1:9101 -slow-query 250ms
+//	scidb-server -listen 127.0.0.1:7101 -slots 8 -queue-depth 64 -idle-timeout 5m -drain-timeout 30s
 package main
 
 import (
@@ -17,10 +20,12 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"scidb/internal/cluster"
 	"scidb/internal/exec"
 	"scidb/internal/obs"
+	"scidb/internal/session"
 )
 
 func main() {
@@ -35,6 +40,10 @@ func main() {
 	callTimeout := flag.Duration("call-timeout", 0, "per-connection I/O deadline for hello reads and response writes (0 = none)")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /healthz, /debug/pprof on this address (empty disables)")
 	slowQuery := flag.Duration("slow-query", 0, "log the profile tree of requests slower than this (0 disables)")
+	slots := flag.Int("slots", 8, "session statements executing concurrently")
+	queueDepth := flag.Int("queue-depth", 64, "queued session statements per priority class before busy rejection")
+	idleTimeout := flag.Duration("idle-timeout", 0, "close client sessions idle this long (0 = never)")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "SIGTERM: wait this long for in-flight session statements before canceling them")
 	flag.Parse()
 
 	exec.SetParallelism(*parallelism)
@@ -52,7 +61,17 @@ func main() {
 	if *slowQuery > 0 {
 		w.SetSlowQuery(*slowQuery, os.Stderr)
 	}
-	srv, err := cluster.NewServer(w, cluster.ServeOptions{Codec: *wireCompress, IOTimeout: *callTimeout})
+	sess := session.NewServer(session.ServerOptions{
+		Slots:       *slots,
+		QueueDepth:  *queueDepth,
+		IdleTimeout: *idleTimeout,
+		Registry:    w.Registry(),
+	})
+	srv, err := cluster.NewServer(w, cluster.ServeOptions{
+		Codec:     *wireCompress,
+		IOTimeout: *callTimeout,
+		Session:   sess.ServeConn,
+	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "server:", err)
 		os.Exit(1)
@@ -78,11 +97,20 @@ func main() {
 	}
 	fmt.Printf("scidb-server node %d listening on %s, %s, parallelism %d, wire codec %s\n",
 		*id, ln.Addr(), mode, exec.Parallelism(), codec)
+	fmt.Printf("scidb-server sessions: %d slots, queue depth %d, idle timeout %v\n",
+		*slots, *queueDepth, *idleTimeout)
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	go func() {
 		<-sig
-		fmt.Println("scidb-server: shutting down, draining in-flight requests")
+		fmt.Println("scidb-server: shutting down, draining client sessions and in-flight requests")
+		// Client sessions drain first: no new sessions, in-flight
+		// statements get -drain-timeout, stragglers are canceled.
+		if sess.Shutdown(*drainTimeout) {
+			fmt.Println("scidb-server: session drain clean")
+		} else {
+			fmt.Println("scidb-server: session drain forced (canceled stragglers)")
+		}
 		srv.Shutdown() // close listener, wait for in-flight requests, drop conns
 	}()
 	// Serve returns nil once Shutdown closes the listener; every in-flight

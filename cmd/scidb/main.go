@@ -1,10 +1,13 @@
-// Command scidb is an interactive AQL shell over an in-process engine.
+// Command scidb is an interactive AQL shell over an in-process engine or a
+// remote session server.
 //
-//	scidb                 # REPL on stdin
-//	scidb -c 'statement'  # run one statement
-//	scidb -f script.aql   # run a statement-per-line script
-//	scidb -grid 2         # attach a 2-node in-process cluster (EXPLAIN
-//	                      # ANALYZE then shows per-node breakdowns)
+//	scidb                         # REPL on stdin
+//	scidb -c 'statement'          # run one statement
+//	scidb -f script.aql           # run a statement-per-line script
+//	scidb -grid 2                 # attach a 2-node in-process cluster (EXPLAIN
+//	                              # ANALYZE then shows per-node breakdowns)
+//	scidb -connect 127.0.0.1:7101 # client session against scidb-server
+//	scidb -connect 127.0.0.1:7101 -namespace lsst -batch
 //
 // Shell commands: \l lists arrays, \d NAME describes one, \prov shows the
 // provenance log, \metrics dumps the metrics registry, \q quits.
@@ -12,6 +15,7 @@ package main
 
 import (
 	"bufio"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -20,6 +24,7 @@ import (
 	"scidb"
 	"scidb/internal/cluster"
 	"scidb/internal/obs"
+	"scidb/internal/session"
 )
 
 func main() {
@@ -28,7 +33,23 @@ func main() {
 	grid := flag.Int("grid", 0, "attach an in-process shared-nothing grid of N worker nodes (0 = none)")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /healthz, /debug/pprof on this address (empty disables)")
 	slowQuery := flag.Duration("slow-query", 0, "print the profile tree of statements slower than this (0 disables)")
+	connect := flag.String("connect", "", "run against a scidb-server session endpoint (host:port) instead of in-process")
+	namespace := flag.String("namespace", "", "tenant namespace for -connect (empty: the server default)")
+	batch := flag.Bool("batch", false, "submit -connect statements at batch priority (default interactive)")
 	flag.Parse()
+
+	if *connect != "" {
+		pr := session.Interactive
+		if *batch {
+			pr = session.Batch
+		}
+		r := &remote{addr: *connect, opts: session.ClientOptions{
+			Name: "scidb-shell", Namespace: *namespace, Priority: pr,
+		}}
+		defer r.close()
+		runMain(*cmd, *file, nil, r.exec)
+		return
+	}
 
 	db := scidb.Open()
 	if *grid > 0 {
@@ -46,14 +67,20 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	runMain(*cmd, *file, db, func(stmt string) error { return run(db, stmt) })
+}
+
+// runMain dispatches -c / -f / REPL over either execution path. db is nil
+// in -connect mode (shell introspection commands need the local engine).
+func runMain(cmd, file string, db *scidb.DB, exec func(string) error) {
 	switch {
-	case *cmd != "":
-		if err := run(db, *cmd); err != nil {
+	case cmd != "":
+		if err := exec(cmd); err != nil {
 			fmt.Fprintln(os.Stderr, "error:", err)
 			os.Exit(1)
 		}
-	case *file != "":
-		f, err := os.Open(*file)
+	case file != "":
+		f, err := os.Open(file)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "error:", err)
 			os.Exit(1)
@@ -67,17 +94,68 @@ func main() {
 			if stmt == "" || strings.HasPrefix(stmt, "--") {
 				continue
 			}
-			if err := run(db, stmt); err != nil {
-				fmt.Fprintf(os.Stderr, "%s:%d: %v\n", *file, line, err)
+			if err := exec(stmt); err != nil {
+				fmt.Fprintf(os.Stderr, "%s:%d: %v\n", file, line, err)
 				os.Exit(1)
 			}
 		}
 	default:
-		repl(db)
+		repl(db, exec)
 	}
 }
 
-func repl(db *scidb.DB) {
+// remote runs statements through a session client, redialing once per
+// statement when the connection drops (server restart, drain, network).
+type remote struct {
+	addr string
+	opts session.ClientOptions
+	c    *session.Client
+}
+
+func (r *remote) client() (*session.Client, error) {
+	if r.c != nil {
+		return r.c, nil
+	}
+	c, err := session.Dial(r.addr, r.opts)
+	if err != nil {
+		return nil, err
+	}
+	r.c = c
+	return c, nil
+}
+
+func (r *remote) close() {
+	if r.c != nil {
+		r.c.Close()
+	}
+}
+
+func (r *remote) exec(stmt string) error {
+	for attempt := 0; ; attempt++ {
+		c, err := r.client()
+		if err != nil {
+			return fmt.Errorf("connect %s: %w", r.addr, err)
+		}
+		res, err := c.Exec(stmt)
+		if err == nil {
+			if res.Array != nil {
+				fmt.Print(scidb.Render(res.Array))
+				fmt.Printf("(%d cells)\n", res.Array.Count())
+			} else {
+				fmt.Println(res.Msg)
+			}
+			return nil
+		}
+		if errors.Is(err, session.ErrConnClosed) && attempt == 0 {
+			fmt.Fprintf(os.Stderr, "scidb: connection to %s lost; reconnecting\n", r.addr)
+			r.c = nil
+			continue
+		}
+		return err
+	}
+}
+
+func repl(db *scidb.DB, exec func(string) error) {
 	fmt.Println("SciDB-Go shell — AQL statements, \\l, \\d NAME, \\df, \\prov, \\metrics, \\q")
 	sc := bufio.NewScanner(os.Stdin)
 	for {
@@ -87,6 +165,12 @@ func repl(db *scidb.DB) {
 			return
 		}
 		line := strings.TrimSpace(sc.Text())
+		if db == nil && strings.HasPrefix(line, "\\") && line != "\\q" {
+			// Introspection commands read the in-process engine; over
+			// -connect, use AQL statements instead.
+			fmt.Println("shell commands are not available over -connect")
+			continue
+		}
 		switch {
 		case line == "":
 			continue
@@ -124,7 +208,7 @@ func repl(db *scidb.DB) {
 			printMetrics(db)
 			continue
 		}
-		if err := run(db, line); err != nil {
+		if err := exec(line); err != nil {
 			fmt.Println("error:", err)
 		}
 	}

@@ -24,6 +24,12 @@ type ServeOptions struct {
 	// stalled peer cannot wedge a connection goroutine forever. Zero
 	// means no deadlines.
 	IOTimeout time.Duration
+	// Session, when set, receives connections whose first four bytes are
+	// SessionMagic: the client-facing session protocol served on the same
+	// listener. The handler owns the connection until it returns (the
+	// server closes the conn afterwards); it must manage its own read
+	// deadlines. Nil rejects session connections.
+	Session func(conn net.Conn, br *bufio.Reader)
 }
 
 // Server runs one worker behind a listener, speaking the multiplexed
@@ -164,9 +170,15 @@ func (s *Server) serveConn(conn net.Conn) {
 	if err != nil {
 		return
 	}
-	if binary.LittleEndian.Uint32(head) == wireMagic {
+	switch binary.LittleEndian.Uint32(head) {
+	case wireMagic:
 		s.serveWire(conn, br)
-	} else {
+	case SessionMagic:
+		if s.opts.Session != nil {
+			_ = conn.SetReadDeadline(time.Time{})
+			s.opts.Session(conn, br)
+		}
+	default:
 		s.serveGob(conn, br)
 	}
 }
@@ -207,12 +219,12 @@ func (s *Server) serveWire(conn net.Conn, br *bufio.Reader) {
 	s.wire.wireConns.Add(1)
 	wr := &connWriter{conn: conn, bw: bufio.NewWriterSize(conn, 64<<10), timeout: s.opts.IOTimeout, stats: &s.wire}
 	for {
-		id, flags, body, err := readFrame(br)
+		id, flags, body, err := ReadFrame(br)
 		if err != nil {
 			return
 		}
 		s.wire.framesIn.Add(1)
-		s.wire.bytesIn.Add(int64(frameHeaderLen + len(body)))
+		s.wire.bytesIn.Add(int64(FrameHeaderLen + len(body)))
 		raw, err := decodeFrameBody(body, flags, clientCodec)
 		if err != nil {
 			return
@@ -265,10 +277,10 @@ func (w *connWriter) write(id uint64, flags uint8, body []byte) error {
 	if w.timeout > 0 {
 		_ = w.conn.SetWriteDeadline(time.Now().Add(w.timeout))
 	}
-	err := writeFrame(w.bw, id, flags, body)
+	err := WriteFrame(w.bw, id, flags, body)
 	if err == nil && w.stats != nil {
 		w.stats.framesOut.Add(1)
-		w.stats.bytesOut.Add(int64(frameHeaderLen + len(body)))
+		w.stats.bytesOut.Add(int64(FrameHeaderLen + len(body)))
 	}
 	if w.writers.Add(-1) == 0 && err == nil {
 		err = w.bw.Flush()

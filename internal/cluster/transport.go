@@ -311,7 +311,7 @@ func dialWire(addr string, opts DialOptions, counters *transportCounters) (*wire
 func (c *wireConn) send(id uint64, flags uint8, body []byte) error {
 	c.writers.Add(1)
 	c.wmu.Lock()
-	err := writeFrame(c.bw, id, flags, body)
+	err := WriteFrame(c.bw, id, flags, body)
 	last := c.writers.Add(-1) == 0
 	if err == nil && last {
 		err = c.bw.Flush()
@@ -319,7 +319,7 @@ func (c *wireConn) send(id uint64, flags uint8, body []byte) error {
 	c.wmu.Unlock()
 	if err == nil {
 		c.counters.framesOut.Add(1)
-		c.counters.bytesOut.Add(int64(frameHeaderLen + len(body)))
+		c.counters.bytesOut.Add(int64(FrameHeaderLen + len(body)))
 		if flags&flagCompressed != 0 {
 			c.counters.compressedOut.Add(1)
 		}
@@ -332,13 +332,13 @@ func (c *wireConn) send(id uint64, flags uint8, body []byte) error {
 // that already timed out have no waiter and are dropped.
 func (c *wireConn) readLoop(br *bufio.Reader) {
 	for {
-		id, flags, body, err := readFrame(br)
+		id, flags, body, err := ReadFrame(br)
 		if err != nil {
 			c.fail(err)
 			return
 		}
 		c.counters.framesIn.Add(1)
-		c.counters.bytesIn.Add(int64(frameHeaderLen + len(body)))
+		c.counters.bytesIn.Add(int64(FrameHeaderLen + len(body)))
 		if flags&flagCompressed != 0 {
 			c.counters.compressedIn.Add(1)
 		}

@@ -44,12 +44,19 @@ const (
 	wireMagic   = 0x53435750 // "SCWP"
 	wireVersion = 1
 
-	// frameHeaderLen is u32 length + u64 request id + u8 flags.
-	frameHeaderLen = 4 + 8 + 1
+	// SessionMagic opens the client-facing session protocol
+	// (internal/session). It shares the cluster listener: Server sniffs the
+	// first four bytes of each connection and hands session connections to
+	// ServeOptions.Session, so one port serves cluster peers, legacy gob
+	// clients, and interactive sessions.
+	SessionMagic = 0x53435345 // "SCSE"
 
-	// maxFrameBody caps a single frame so a corrupt length prefix cannot
+	// FrameHeaderLen is u32 length + u64 request id + u8 flags.
+	FrameHeaderLen = 4 + 8 + 1
+
+	// MaxFrameBody caps a single frame so a corrupt length prefix cannot
 	// force a huge allocation.
-	maxFrameBody = 1 << 30
+	MaxFrameBody = 1 << 30
 
 	// compressThreshold is the smallest body worth running through the
 	// negotiated codec; control messages stay raw.
@@ -156,9 +163,9 @@ func encodeFrameBody(enc []byte, codec compress.Codec) ([]byte, uint8) {
 	return packed, flagCompressed
 }
 
-// writeFrame writes one frame. The caller owns any locking around w.
-func writeFrame(w io.Writer, id uint64, flags uint8, body []byte) error {
-	var hdr [frameHeaderLen]byte
+// WriteFrame writes one frame. The caller owns any locking around w.
+func WriteFrame(w io.Writer, id uint64, flags uint8, body []byte) error {
+	var hdr [FrameHeaderLen]byte
 	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(body)))
 	binary.LittleEndian.PutUint64(hdr[4:12], id)
 	hdr[12] = flags
@@ -169,16 +176,16 @@ func writeFrame(w io.Writer, id uint64, flags uint8, body []byte) error {
 	return err
 }
 
-// readFrame reads one frame header + body.
-func readFrame(r io.Reader) (id uint64, flags uint8, body []byte, err error) {
-	var hdr [frameHeaderLen]byte
+// ReadFrame reads one frame header + body.
+func ReadFrame(r io.Reader) (id uint64, flags uint8, body []byte, err error) {
+	var hdr [FrameHeaderLen]byte
 	if _, err = io.ReadFull(r, hdr[:]); err != nil {
 		return 0, 0, nil, err
 	}
 	n := binary.LittleEndian.Uint32(hdr[0:4])
 	id = binary.LittleEndian.Uint64(hdr[4:12])
 	flags = hdr[12]
-	if n > maxFrameBody {
+	if n > MaxFrameBody {
 		return 0, 0, nil, fmt.Errorf("cluster: frame body %d bytes exceeds limit", n)
 	}
 	body = make([]byte, n)
@@ -267,7 +274,7 @@ func encodeMessage(m *Message) ([]byte, error) {
 	}
 	w.U8(present)
 	if m.Schema != nil {
-		encodeSchema(w, m.Schema)
+		EncodeSchema(w, m.Schema)
 	}
 	if m.Stats != nil {
 		w.I64(m.Stats.CellsHeld)
@@ -357,7 +364,7 @@ func decodeMessage(data []byte) (*Message, error) {
 	m.BoxHi = r.I64s()
 	m.Payload = r.Bytes()
 	if n := int(r.U32()); n > 0 && r.Err() == nil {
-		if n > maxFrameBody/8 {
+		if n > MaxFrameBody/8 {
 			return nil, fmt.Errorf("cluster: message has %d partials", n)
 		}
 		m.Partials = make([]Partial, n)
@@ -376,7 +383,7 @@ func decodeMessage(data []byte) (*Message, error) {
 		return nil, fmt.Errorf("cluster: corrupt message: %w", r.Err())
 	}
 	if present&msgHasSchema != 0 {
-		s, err := decodeSchema(r)
+		s, err := DecodeSchema(r)
 		if err != nil {
 			return nil, err
 		}
@@ -435,7 +442,7 @@ func decodeMessage(data []byte) (*Message, error) {
 		if r.Err() != nil {
 			return nil, fmt.Errorf("cluster: corrupt message: %w", r.Err())
 		}
-		if n > maxFrameBody/16 {
+		if n > MaxFrameBody/16 {
 			return nil, fmt.Errorf("cluster: message has %d spans", n)
 		}
 		m.Spans = make([]obs.SpanData, n)
@@ -454,7 +461,7 @@ func decodeMessage(data []byte) (*Message, error) {
 		if r.Err() != nil {
 			return nil, fmt.Errorf("cluster: corrupt message: %w", r.Err())
 		}
-		if n > maxFrameBody/16 {
+		if n > MaxFrameBody/16 {
 			return nil, fmt.Errorf("cluster: message has %d metric samples", n)
 		}
 		m.Metrics = make([]obs.Sample, n)
@@ -471,8 +478,8 @@ func decodeMessage(data []byte) (*Message, error) {
 	return m, nil
 }
 
-// encodeSchema writes a schema, recursing into nested-array attributes.
-func encodeSchema(w *storage.FieldWriter, s *array.Schema) {
+// EncodeSchema writes a schema, recursing into nested-array attributes.
+func EncodeSchema(w *storage.FieldWriter, s *array.Schema) {
 	w.String(s.Name)
 	w.Bool(s.Updatable)
 	w.U32(uint32(len(s.Dims)))
@@ -488,13 +495,13 @@ func encodeSchema(w *storage.FieldWriter, s *array.Schema) {
 		w.Bool(a.Uncertain)
 		w.Bool(a.Nested != nil)
 		if a.Nested != nil {
-			encodeSchema(w, a.Nested)
+			EncodeSchema(w, a.Nested)
 		}
 	}
 }
 
-// decodeSchema reverses encodeSchema.
-func decodeSchema(r *storage.FieldReader) (*array.Schema, error) {
+// DecodeSchema reverses EncodeSchema.
+func DecodeSchema(r *storage.FieldReader) (*array.Schema, error) {
 	s := &array.Schema{}
 	s.Name = r.String()
 	s.Updatable = r.Bool()
@@ -524,7 +531,7 @@ func decodeSchema(r *storage.FieldReader) (*array.Schema, error) {
 		s.Attrs[i].Type = array.Type(r.U8())
 		s.Attrs[i].Uncertain = r.Bool()
 		if r.Bool() {
-			nested, err := decodeSchema(r)
+			nested, err := DecodeSchema(r)
 			if err != nil {
 				return nil, err
 			}

@@ -105,10 +105,10 @@ func TestMessageCodecRejectsCorruptInput(t *testing.T) {
 func TestFrameRoundTrip(t *testing.T) {
 	var buf bytes.Buffer
 	body := bytes.Repeat([]byte("scidb"), 100)
-	if err := writeFrame(&buf, 77, flagCompressed, body); err != nil {
+	if err := WriteFrame(&buf, 77, flagCompressed, body); err != nil {
 		t.Fatal(err)
 	}
-	id, flags, got, err := readFrame(&buf)
+	id, flags, got, err := ReadFrame(&buf)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -117,12 +117,12 @@ func TestFrameRoundTrip(t *testing.T) {
 	}
 	// Oversized length prefix is refused.
 	var hdr bytes.Buffer
-	if err := writeFrame(&hdr, 1, 0, nil); err != nil {
+	if err := WriteFrame(&hdr, 1, 0, nil); err != nil {
 		t.Fatal(err)
 	}
 	raw := hdr.Bytes()
 	raw[0], raw[1], raw[2], raw[3] = 0xff, 0xff, 0xff, 0xff
-	if _, _, _, err := readFrame(bytes.NewReader(raw)); err == nil {
+	if _, _, _, err := ReadFrame(bytes.NewReader(raw)); err == nil {
 		t.Error("oversized frame accepted")
 	}
 }

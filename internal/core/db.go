@@ -65,6 +65,11 @@ type Database struct {
 	slowMu     sync.Mutex
 	slowThresh time.Duration
 	slowW      io.Writer
+
+	// def is the database's default Executor — the statement-execution
+	// object (executor.go) the in-process paths share. Sessions get their
+	// own so prepared statements stay per-connection.
+	def *Executor
 }
 
 // queryHist is the process-wide statement-latency histogram, exported at
@@ -74,7 +79,7 @@ var queryHist = obs.Default().Histogram("scidb_query_seconds",
 
 // Open creates an empty database.
 func Open() *Database {
-	return &Database{
+	db := &Database{
 		types:      map[string]*parser.DefineArray{},
 		arrays:     map[string]*array.Array{},
 		updatables: map[string]*version.Updatable{},
@@ -86,6 +91,8 @@ func Open() *Database {
 		reruns:     newReruns(),
 		now:        func() int64 { return time.Now().UnixNano() },
 	}
+	db.def = NewExecutor(db)
+	return db
 }
 
 // SetClock overrides the commit clock (tests, deterministic benches).
@@ -113,11 +120,7 @@ func (db *Database) Provenance() *provenance.Log { return db.log }
 
 // Exec parses and executes one AQL statement.
 func (db *Database) Exec(src string) (*Result, error) {
-	stmt, err := parser.Parse(src)
-	if err != nil {
-		return nil, err
-	}
-	return db.Run(stmt)
+	return db.def.Exec(src)
 }
 
 // SetSlowQuery arms the slow-statement log: every statement is traced and
@@ -141,28 +144,11 @@ func (db *Database) Run(stmt parser.Stmt) (*Result, error) {
 	return db.RunCtx(context.Background(), stmt)
 }
 
-// RunCtx executes a parse tree under a context. A context carrying a span
-// (obs.ContextWithSpan) traces the statement's whole operator tree; every
-// statement, traced or not, feeds the scidb_query_seconds histogram.
+// RunCtx executes a parse tree through the default executor (see
+// Executor.RunCtx for tracing, latency accounting, and cancellation
+// semantics).
 func (db *Database) RunCtx(ctx context.Context, stmt parser.Stmt) (*Result, error) {
-	start := time.Now()
-	var root *obs.Span
-	slow := db.slowThreshold()
-	if slow > 0 && obs.SpanFromContext(ctx) == nil {
-		tr := obs.NewTrace(parser.Format(stmt))
-		root = tr.Root()
-		ctx = obs.ContextWithSpan(ctx, root)
-	}
-	res, err := db.run(ctx, stmt)
-	d := time.Since(start)
-	queryHist.Observe(d.Seconds())
-	if root != nil {
-		root.End()
-		if d >= slow {
-			db.logSlow(stmt, d, root)
-		}
-	}
-	return res, err
+	return db.def.RunCtx(ctx, stmt)
 }
 
 func (db *Database) logSlow(stmt parser.Stmt, d time.Duration, root *obs.Span) {

@@ -1,0 +1,116 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"scidb/internal/array"
+	"scidb/internal/parser"
+)
+
+func seedExecDB(t *testing.T) *Database {
+	t.Helper()
+	db := testDB()
+	exec(t, db, "define array T (v = float) (x, y)")
+	exec(t, db, "create array M as T [4, 4]")
+	for x := 1; x <= 4; x++ {
+		for y := 1; y <= 4; y++ {
+			exec(t, db, fmt.Sprintf("insert into M [%d, %d] values (%d)", x, y, (x-1)*4+y-1))
+		}
+	}
+	return db
+}
+
+func nonNullCells(r *Result) int {
+	n := 0
+	r.Array.Iter(func(_ array.Coord, cell array.Cell) bool {
+		if !cell[0].Null {
+			n++
+		}
+		return true
+	})
+	return n
+}
+
+func TestExecutorPreparedLifecycle(t *testing.T) {
+	db := seedExecDB(t)
+	e := db.Executor()
+
+	p, err := e.Prepare("pick", "filter(M, v > $1)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumParams != 1 || p.Name != "pick" {
+		t.Fatalf("prepared = %+v", p)
+	}
+	ctx := context.Background()
+	for cut, want := range map[float64]int{7.5: 8, 11.5: 4, 100: 0} {
+		r, err := e.ExecPrepared(ctx, "pick", []parser.Scalar{{Num: cut}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := nonNullCells(r); got != want {
+			t.Errorf("cut %v: %d surviving cells, want %d", cut, got, want)
+		}
+	}
+	// Wrong arity and unknown handles fail loudly.
+	if _, err := e.ExecPrepared(ctx, "pick", nil); err == nil {
+		t.Error("unbound execute succeeded")
+	}
+	if _, err := e.ExecPrepared(ctx, "ghost", nil); err == nil {
+		t.Error("unknown prepared name succeeded")
+	}
+	// Re-preparing a taken name replaces it.
+	if _, err := e.Prepare("pick", "filter(M, v < $1)"); err != nil {
+		t.Fatal(err)
+	}
+	r, err := e.ExecPrepared(ctx, "pick", []parser.Scalar{{Num: 4.5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := nonNullCells(r); got != 5 {
+		t.Errorf("replaced template: %d cells, want 5 (v < 4.5)", got)
+	}
+	if names := e.PreparedNames(); len(names) != 1 || names[0] != "pick" {
+		t.Errorf("PreparedNames = %v", names)
+	}
+	if err := e.ClosePrepared("pick"); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.ClosePrepared("pick"); err == nil {
+		t.Error("double close succeeded")
+	}
+}
+
+func TestExecutorRejectsUnboundParams(t *testing.T) {
+	db := seedExecDB(t)
+	_, err := db.Exec("filter(M, v > $1)")
+	if err == nil {
+		t.Fatal("direct execution of parameterized statement succeeded")
+	}
+}
+
+func TestExecutorPerSessionNamespaces(t *testing.T) {
+	db := seedExecDB(t)
+	a, b := NewExecutor(db), NewExecutor(db)
+	if _, err := a.Prepare("q", "filter(M, v > $1)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := b.Prepared("q"); ok {
+		t.Error("prepared statement leaked across executors")
+	}
+	// Both executors share the same catalog underneath.
+	if _, err := b.Exec("aggregate(M, {}, sum(v))"); err != nil {
+		t.Fatalf("second executor cannot see shared catalog: %v", err)
+	}
+}
+
+func TestExecutorCtxCancel(t *testing.T) {
+	db := seedExecDB(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := db.Executor().ExecCtx(ctx, "M"); err == nil {
+		t.Error("canceled context executed anyway")
+	}
+}

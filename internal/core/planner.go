@@ -17,6 +17,11 @@ import (
 // so EXPLAIN ANALYZE renders the plan exactly as executed; an untraced
 // query pays one nil context lookup per node.
 func (db *Database) eval(ctx context.Context, e parser.ArrayExpr) (*array.Array, error) {
+	// Cancellation (session cancel, client disconnect) aborts between
+	// operators; the exec pool additionally aborts between chunks.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	sp, ctx := obs.StartSpan(ctx, exprName(e))
 	a, err := db.evalNode(ctx, e)
 	if err == nil && a != nil {

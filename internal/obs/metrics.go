@@ -153,6 +153,67 @@ func (h *Histogram) Snapshot() HistSnapshot {
 	return s
 }
 
+// Quantile estimates the q-th quantile (0 <= q <= 1) from the bucket
+// counts by linear interpolation inside the bucket the rank lands in —
+// the same estimate Prometheus's histogram_quantile computes, so load
+// generators and the slow-query log no longer hand-roll percentiles from
+// recorded samples. The lowest bucket interpolates from zero, and a rank
+// landing in the +Inf overflow bucket reports the highest finite bound (a
+// bounded histogram cannot see past it). An empty histogram reports NaN.
+func (s HistSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 || math.IsNaN(q) {
+		return math.NaN()
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	cum := int64(0)
+	for i, b := range s.Buckets {
+		if b == 0 {
+			continue
+		}
+		below := cum
+		cum += b
+		if float64(cum) < rank {
+			continue
+		}
+		if i >= len(s.Bounds) {
+			// Overflow bucket: unbounded above, clamp to the last bound.
+			if len(s.Bounds) == 0 {
+				return math.NaN()
+			}
+			return s.Bounds[len(s.Bounds)-1]
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = s.Bounds[i-1]
+		}
+		hi := s.Bounds[i]
+		frac := (rank - float64(below)) / float64(b)
+		if frac < 0 {
+			frac = 0
+		}
+		return lo + (hi-lo)*frac
+	}
+	if len(s.Bounds) == 0 {
+		return math.NaN()
+	}
+	return s.Bounds[len(s.Bounds)-1]
+}
+
+// Quantiles estimates several quantiles in one pass over the snapshot.
+func (s HistSnapshot) Quantiles(qs ...float64) []float64 {
+	out := make([]float64, len(qs))
+	for i, q := range qs {
+		out[i] = s.Quantile(q)
+	}
+	return out
+}
+
 // Sample is one exported value: a metric family name, an optional rendered
 // label set (e.g. `node="0"`, without braces), and the value.
 type Sample struct {

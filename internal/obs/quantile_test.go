@@ -1,0 +1,79 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+func TestQuantileInterpolation(t *testing.T) {
+	h := newHistogram([]float64{1, 2, 4, 8})
+	// 10 observations uniformly in (0,1]: all land in the first bucket.
+	for i := 1; i <= 10; i++ {
+		h.Observe(float64(i) / 10)
+	}
+	s := h.Snapshot()
+	// Rank q*10 lands in bucket (0,1]; interpolation from zero gives q.
+	for _, q := range []float64{0.1, 0.5, 0.9} {
+		if got := s.Quantile(q); math.Abs(got-q) > 1e-9 {
+			t.Errorf("Quantile(%v) = %v, want %v", q, got, q)
+		}
+	}
+}
+
+func TestQuantileAcrossBuckets(t *testing.T) {
+	h := newHistogram([]float64{1, 2, 4, 8})
+	// 50 obs in (0,1], 30 in (1,2], 15 in (2,4], 5 in (4,8].
+	counts := []struct {
+		n int
+		v float64
+	}{{50, 0.5}, {30, 1.5}, {15, 3}, {5, 6}}
+	for _, c := range counts {
+		for i := 0; i < c.n; i++ {
+			h.Observe(c.v)
+		}
+	}
+	s := h.Snapshot()
+	if s.Count != 100 {
+		t.Fatalf("Count = %d", s.Count)
+	}
+	// p50 is the midpoint rank 50 — exactly the top of the first bucket.
+	if got := s.Quantile(0.50); math.Abs(got-1.0) > 1e-9 {
+		t.Errorf("p50 = %v, want 1.0", got)
+	}
+	// p99: rank 99 is the 4th of 5 obs in (4,8] → 4 + (99-95)/5 * 4.
+	want := 4 + (99.0-95.0)/5.0*4.0
+	if got := s.Quantile(0.99); math.Abs(got-want) > 1e-9 {
+		t.Errorf("p99 = %v, want %v", got, want)
+	}
+	// Monotone in q.
+	qs := s.Quantiles(0.1, 0.5, 0.9, 0.99, 0.999)
+	for i := 1; i < len(qs); i++ {
+		if qs[i] < qs[i-1] {
+			t.Errorf("quantiles not monotone: %v", qs)
+		}
+	}
+}
+
+func TestQuantileEdgeCases(t *testing.T) {
+	h := newHistogram([]float64{1, 2})
+	if got := h.Snapshot().Quantile(0.5); !math.IsNaN(got) {
+		t.Errorf("empty histogram Quantile = %v, want NaN", got)
+	}
+	// Everything in the +Inf overflow bucket clamps to the last bound.
+	h.Observe(100)
+	h.Observe(200)
+	s := h.Snapshot()
+	if got := s.Quantile(0.5); got != 2 {
+		t.Errorf("overflow-bucket Quantile = %v, want clamp to 2", got)
+	}
+	// Out-of-range q clamps instead of exploding.
+	if got := s.Quantile(-1); got != s.Quantile(0) {
+		t.Errorf("Quantile(-1) = %v, want Quantile(0) = %v", got, s.Quantile(0))
+	}
+	if got := s.Quantile(2); got != s.Quantile(1) {
+		t.Errorf("Quantile(2) = %v, want Quantile(1) = %v", got, s.Quantile(1))
+	}
+	if got := s.Quantile(math.NaN()); !math.IsNaN(got) {
+		t.Errorf("Quantile(NaN) = %v, want NaN", got)
+	}
+}

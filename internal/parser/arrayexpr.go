@@ -691,7 +691,7 @@ func (p *parser) parseMul() (ValExpr, error) {
 func (p *parser) parsePrimary() (ValExpr, error) {
 	t := p.peek()
 	switch {
-	case t.kind == tokNumber, t.kind == tokString,
+	case t.kind == tokNumber, t.kind == tokString, t.kind == tokParam,
 		p.isKeyword("null"), p.isKeyword("true"), p.isKeyword("false"):
 		s, err := p.parseScalar()
 		if err != nil {

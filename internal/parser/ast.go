@@ -155,7 +155,9 @@ type CreateVersion struct {
 
 func (*CreateVersion) stmtNode() {}
 
-// Scalar is a literal.
+// Scalar is a literal, or a statement parameter placeholder ($1, $2, ...)
+// awaiting a value at bind time (prepared statements parse once and bind
+// per execution — see Bind).
 type Scalar struct {
 	IsString bool
 	IsNull   bool
@@ -164,6 +166,10 @@ type Scalar struct {
 	IsInt    bool
 	Int      int64
 	Sigma    float64 // error bar: 3.5 +- 0.2
+
+	// IsParam marks a $N placeholder; ParamIdx is its 1-based index.
+	IsParam  bool
+	ParamIdx int
 }
 
 // --- array expressions ----------------------------------------------------

@@ -1,0 +1,356 @@
+package parser
+
+import "fmt"
+
+// Prepared-statement binding. A statement parsed with $N placeholders is
+// parsed exactly once; Bind substitutes the parameter values into a rebuilt
+// copy of the tree, so concurrent executions of one prepared statement never
+// share mutable state. Only the spine that actually contains parameters is
+// rebuilt — parameter-free subtrees are shared, which is safe because the
+// executor treats parse trees as read-only.
+
+// MaxParam returns the highest $N index anywhere in the statement (0 when
+// the statement has no parameters).
+func MaxParam(stmt Stmt) int {
+	max := 0
+	walkScalars(stmt, func(s Scalar) {
+		if s.IsParam && s.ParamIdx > max {
+			max = s.ParamIdx
+		}
+	})
+	return max
+}
+
+// walkScalars visits every Scalar in the statement.
+func walkScalars(stmt Stmt, fn func(Scalar)) {
+	switch n := stmt.(type) {
+	case *Insert:
+		for _, v := range n.Values {
+			fn(v)
+		}
+	case *Query:
+		walkExprScalars(n.Expr, fn)
+	case *Store:
+		walkExprScalars(n.Expr, fn)
+	case *Explain:
+		walkScalars(n.Stmt, fn)
+	}
+}
+
+func walkExprScalars(e ArrayExpr, fn func(Scalar)) {
+	switch n := e.(type) {
+	case *FilterExpr:
+		walkValScalars(n.Pred, fn)
+		walkExprScalars(n.In, fn)
+	case *CjoinExpr:
+		walkValScalars(n.Pred, fn)
+		walkExprScalars(n.L, fn)
+		walkExprScalars(n.R, fn)
+	case *ApplyExpr:
+		for _, ve := range n.Exprs {
+			walkValScalars(ve, fn)
+		}
+		walkExprScalars(n.In, fn)
+	case *SubsampleExpr:
+		walkExprScalars(n.In, fn)
+	case *AggregateExpr:
+		walkExprScalars(n.In, fn)
+	case *ProjectExpr:
+		walkExprScalars(n.In, fn)
+	case *ReshapeExpr:
+		walkExprScalars(n.In, fn)
+	case *RegridExpr:
+		walkExprScalars(n.In, fn)
+	case *WindowExpr:
+		walkExprScalars(n.In, fn)
+	case *AddDimExpr:
+		walkExprScalars(n.In, fn)
+	case *RemDimExpr:
+		walkExprScalars(n.In, fn)
+	case *SjoinExpr:
+		walkExprScalars(n.L, fn)
+		walkExprScalars(n.R, fn)
+	case *CrossExpr:
+		walkExprScalars(n.L, fn)
+		walkExprScalars(n.R, fn)
+	case *ConcatExpr:
+		walkExprScalars(n.L, fn)
+		walkExprScalars(n.R, fn)
+	}
+}
+
+func walkValScalars(e ValExpr, fn func(Scalar)) {
+	switch n := e.(type) {
+	case *Lit:
+		fn(n.V)
+	case *BinExpr:
+		walkValScalars(n.L, fn)
+		walkValScalars(n.R, fn)
+	case *NotExpr:
+		walkValScalars(n.E, fn)
+	case *CallExpr:
+		for _, a := range n.Args {
+			walkValScalars(a, fn)
+		}
+	}
+}
+
+// Bind substitutes params (params[0] is $1) into the statement, returning a
+// rebuilt tree. The input tree is never mutated. Every placeholder must have
+// a value and the statement must not demand more parameters than supplied;
+// surplus values are an error too, so a miscounted bind fails loudly.
+func Bind(stmt Stmt, params []Scalar) (Stmt, error) {
+	need := MaxParam(stmt)
+	if need != len(params) {
+		return nil, fmt.Errorf("parser: statement wants %d parameters, bind got %d", need, len(params))
+	}
+	if need == 0 {
+		return stmt, nil
+	}
+	for i, p := range params {
+		if p.IsParam {
+			return nil, fmt.Errorf("parser: bind value for $%d is itself a parameter", i+1)
+		}
+	}
+	out, _, err := bindStmt(stmt, params)
+	return out, err
+}
+
+func bindScalar(s Scalar, params []Scalar) (Scalar, bool, error) {
+	if !s.IsParam {
+		return s, false, nil
+	}
+	if s.ParamIdx < 1 || s.ParamIdx > len(params) {
+		return Scalar{}, false, fmt.Errorf("parser: no value bound for $%d", s.ParamIdx)
+	}
+	return params[s.ParamIdx-1], true, nil
+}
+
+func bindStmt(stmt Stmt, params []Scalar) (Stmt, bool, error) {
+	switch n := stmt.(type) {
+	case *Insert:
+		changed := false
+		vals := make([]Scalar, len(n.Values))
+		for i, v := range n.Values {
+			bv, ch, err := bindScalar(v, params)
+			if err != nil {
+				return nil, false, err
+			}
+			vals[i] = bv
+			changed = changed || ch
+		}
+		if !changed {
+			return n, false, nil
+		}
+		cp := *n
+		cp.Values = vals
+		return &cp, true, nil
+	case *Query:
+		e, ch, err := bindArrayExpr(n.Expr, params)
+		if err != nil || !ch {
+			return n, false, err
+		}
+		return &Query{Expr: e}, true, nil
+	case *Store:
+		e, ch, err := bindArrayExpr(n.Expr, params)
+		if err != nil || !ch {
+			return n, false, err
+		}
+		return &Store{Expr: e, Target: n.Target}, true, nil
+	case *Explain:
+		s, ch, err := bindStmt(n.Stmt, params)
+		if err != nil || !ch {
+			return n, false, err
+		}
+		return &Explain{Analyze: n.Analyze, Stmt: s}, true, nil
+	}
+	return stmt, false, nil
+}
+
+func bindArrayExpr(e ArrayExpr, params []Scalar) (ArrayExpr, bool, error) {
+	switch n := e.(type) {
+	case *FilterExpr:
+		in, chIn, err := bindArrayExpr(n.In, params)
+		if err != nil {
+			return nil, false, err
+		}
+		pred, chP, err := bindValExpr(n.Pred, params)
+		if err != nil {
+			return nil, false, err
+		}
+		if !chIn && !chP {
+			return n, false, nil
+		}
+		return &FilterExpr{In: in, Pred: pred}, true, nil
+	case *CjoinExpr:
+		l, chL, err := bindArrayExpr(n.L, params)
+		if err != nil {
+			return nil, false, err
+		}
+		r, chR, err := bindArrayExpr(n.R, params)
+		if err != nil {
+			return nil, false, err
+		}
+		pred, chP, err := bindValExpr(n.Pred, params)
+		if err != nil {
+			return nil, false, err
+		}
+		if !chL && !chR && !chP {
+			return n, false, nil
+		}
+		return &CjoinExpr{L: l, R: r, Pred: pred}, true, nil
+	case *ApplyExpr:
+		in, chIn, err := bindArrayExpr(n.In, params)
+		if err != nil {
+			return nil, false, err
+		}
+		changed := chIn
+		exprs := make([]ValExpr, len(n.Exprs))
+		for i, ve := range n.Exprs {
+			bv, ch, err := bindValExpr(ve, params)
+			if err != nil {
+				return nil, false, err
+			}
+			exprs[i] = bv
+			changed = changed || ch
+		}
+		if !changed {
+			return n, false, nil
+		}
+		return &ApplyExpr{In: in, Names: n.Names, Exprs: exprs}, true, nil
+	case *SubsampleExpr:
+		in, ch, err := bindArrayExpr(n.In, params)
+		if err != nil || !ch {
+			return n, false, err
+		}
+		return &SubsampleExpr{In: in, Pred: n.Pred}, true, nil
+	case *AggregateExpr:
+		in, ch, err := bindArrayExpr(n.In, params)
+		if err != nil || !ch {
+			return n, false, err
+		}
+		return &AggregateExpr{In: in, GroupDims: n.GroupDims, Aggs: n.Aggs}, true, nil
+	case *ProjectExpr:
+		in, ch, err := bindArrayExpr(n.In, params)
+		if err != nil || !ch {
+			return n, false, err
+		}
+		return &ProjectExpr{In: in, Attrs: n.Attrs}, true, nil
+	case *ReshapeExpr:
+		in, ch, err := bindArrayExpr(n.In, params)
+		if err != nil || !ch {
+			return n, false, err
+		}
+		return &ReshapeExpr{In: in, Order: n.Order, NewDims: n.NewDims}, true, nil
+	case *RegridExpr:
+		in, ch, err := bindArrayExpr(n.In, params)
+		if err != nil || !ch {
+			return n, false, err
+		}
+		return &RegridExpr{In: in, Strides: n.Strides, Agg: n.Agg}, true, nil
+	case *WindowExpr:
+		in, ch, err := bindArrayExpr(n.In, params)
+		if err != nil || !ch {
+			return n, false, err
+		}
+		return &WindowExpr{In: in, Radius: n.Radius, Agg: n.Agg}, true, nil
+	case *AddDimExpr:
+		in, ch, err := bindArrayExpr(n.In, params)
+		if err != nil || !ch {
+			return n, false, err
+		}
+		return &AddDimExpr{In: in, Name: n.Name}, true, nil
+	case *RemDimExpr:
+		in, ch, err := bindArrayExpr(n.In, params)
+		if err != nil || !ch {
+			return n, false, err
+		}
+		return &RemDimExpr{In: in, Name: n.Name}, true, nil
+	case *SjoinExpr:
+		l, chL, err := bindArrayExpr(n.L, params)
+		if err != nil {
+			return nil, false, err
+		}
+		r, chR, err := bindArrayExpr(n.R, params)
+		if err != nil {
+			return nil, false, err
+		}
+		if !chL && !chR {
+			return n, false, nil
+		}
+		return &SjoinExpr{L: l, R: r, On: n.On}, true, nil
+	case *CrossExpr:
+		l, chL, err := bindArrayExpr(n.L, params)
+		if err != nil {
+			return nil, false, err
+		}
+		r, chR, err := bindArrayExpr(n.R, params)
+		if err != nil {
+			return nil, false, err
+		}
+		if !chL && !chR {
+			return n, false, nil
+		}
+		return &CrossExpr{L: l, R: r}, true, nil
+	case *ConcatExpr:
+		l, chL, err := bindArrayExpr(n.L, params)
+		if err != nil {
+			return nil, false, err
+		}
+		r, chR, err := bindArrayExpr(n.R, params)
+		if err != nil {
+			return nil, false, err
+		}
+		if !chL && !chR {
+			return n, false, nil
+		}
+		return &ConcatExpr{L: l, R: r, Dim: n.Dim}, true, nil
+	}
+	return e, false, nil
+}
+
+func bindValExpr(e ValExpr, params []Scalar) (ValExpr, bool, error) {
+	switch n := e.(type) {
+	case *Lit:
+		v, ch, err := bindScalar(n.V, params)
+		if err != nil || !ch {
+			return n, false, err
+		}
+		return &Lit{V: v}, true, nil
+	case *BinExpr:
+		l, chL, err := bindValExpr(n.L, params)
+		if err != nil {
+			return nil, false, err
+		}
+		r, chR, err := bindValExpr(n.R, params)
+		if err != nil {
+			return nil, false, err
+		}
+		if !chL && !chR {
+			return n, false, nil
+		}
+		return &BinExpr{Op: n.Op, L: l, R: r}, true, nil
+	case *NotExpr:
+		in, ch, err := bindValExpr(n.E, params)
+		if err != nil || !ch {
+			return n, false, err
+		}
+		return &NotExpr{E: in}, true, nil
+	case *CallExpr:
+		changed := false
+		args := make([]ValExpr, len(n.Args))
+		for i, a := range n.Args {
+			ba, ch, err := bindValExpr(a, params)
+			if err != nil {
+				return nil, false, err
+			}
+			args[i] = ba
+			changed = changed || ch
+		}
+		if !changed {
+			return n, false, nil
+		}
+		return &CallExpr{Name: n.Name, Args: args}, true, nil
+	}
+	return e, false, nil
+}

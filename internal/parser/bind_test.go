@@ -1,0 +1,103 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestMaxParam(t *testing.T) {
+	cases := []struct {
+		src  string
+		want int
+	}{
+		{"filter(M, v > 3)", 0},
+		{"filter(M, v > $1)", 1},
+		{"filter(M, v > $2 and v < $1)", 2},
+		{"insert into M [1, 2] values ($1, $3)", 3},
+		{"store filter(M, v > $1) into F", 1},
+		{"apply(M, t = v * $1 + $2)", 2},
+	}
+	for _, c := range cases {
+		if got := MaxParam(mustParse(t, c.src)); got != c.want {
+			t.Errorf("MaxParam(%q) = %d, want %d", c.src, got, c.want)
+		}
+	}
+}
+
+func TestBindSubstitutes(t *testing.T) {
+	stmt := mustParse(t, "filter(M, v > $1)")
+	bound, err := Bind(stmt, []Scalar{{Num: 2.5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred := bound.(*Query).Expr.(*FilterExpr).Pred.(*BinExpr)
+	lit, ok := pred.R.(*Lit)
+	if !ok || lit.V.IsParam || lit.V.Num != 2.5 {
+		t.Fatalf("bound predicate RHS = %#v, want literal 2.5", pred.R)
+	}
+	// The original tree is untouched: rebinding with a different value
+	// must not see the first bind.
+	orig := stmt.(*Query).Expr.(*FilterExpr).Pred.(*BinExpr).R.(*Lit)
+	if !orig.V.IsParam || orig.V.ParamIdx != 1 {
+		t.Fatalf("original tree mutated by Bind: %#v", orig.V)
+	}
+	again, err := Bind(stmt, []Scalar{{Num: 9}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lit2 := again.(*Query).Expr.(*FilterExpr).Pred.(*BinExpr).R.(*Lit)
+	if lit2.V.Num != 9 {
+		t.Fatalf("second bind saw first bind's value: %v", lit2.V.Num)
+	}
+}
+
+func TestBindInsertValues(t *testing.T) {
+	stmt := mustParse(t, "insert into M [1, 2] values ($1, $2)")
+	bound, err := Bind(stmt, []Scalar{
+		{IsInt: true, Int: 7, Num: 7},
+		{IsString: true, Str: "hot"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins := bound.(*Insert)
+	if ins.Values[0].Int != 7 || ins.Values[1].Str != "hot" {
+		t.Fatalf("bound insert values = %+v", ins.Values)
+	}
+	// Parameter-free statements pass through unchanged (same pointer).
+	plain := mustParse(t, "insert into M [1, 2] values (3)")
+	same, err := Bind(plain, nil)
+	if err != nil || same != plain {
+		t.Fatalf("param-free bind rebuilt the tree: %v %v", same, err)
+	}
+}
+
+func TestBindArityErrors(t *testing.T) {
+	stmt := mustParse(t, "filter(M, v > $1 and v < $2)")
+	if _, err := Bind(stmt, []Scalar{{Num: 1}}); err == nil {
+		t.Error("underbinding succeeded, want arity error")
+	}
+	if _, err := Bind(stmt, []Scalar{{Num: 1}, {Num: 2}, {Num: 3}}); err == nil {
+		t.Error("overbinding succeeded, want arity error")
+	}
+	if _, err := Bind(stmt, []Scalar{{Num: 1}, {IsParam: true, ParamIdx: 1}}); err == nil {
+		t.Error("binding a placeholder as a value succeeded, want error")
+	}
+	if _, err := Bind(stmt, []Scalar{{Num: 1}, {Num: 2}}); err != nil {
+		t.Errorf("exact-arity bind failed: %v", err)
+	}
+}
+
+func TestParsePlaceholderErrors(t *testing.T) {
+	mustFail(t, "filter(M, v > $0)")
+	mustFail(t, "filter(M, v > $)")
+	s, err := Parse("filter(M, v > $1)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Placeholders format back as $N so prepared statements survive a
+	// format/parse round trip.
+	if f := Format(s); !strings.Contains(f, "$1") {
+		t.Errorf("Format(%q) = %q, lost the placeholder", "filter(M, v > $1)", f)
+	}
+}

@@ -188,6 +188,8 @@ func formatAggSpec(a AggSpec) string {
 
 func formatScalar(v Scalar) string {
 	switch {
+	case v.IsParam:
+		return fmt.Sprintf("$%d", v.ParamIdx)
 	case v.IsNull:
 		return "NULL"
 	case v.IsString:

@@ -13,6 +13,7 @@ const (
 	tokNumber
 	tokString
 	tokPunct // single/multi char punctuation: ( ) [ ] { } , = < > <= >= != . : * ±
+	tokParam // $N statement parameter placeholder; text holds the digits
 )
 
 type token struct {
@@ -82,6 +83,16 @@ func (l *lexer) next() (token, error) {
 			l.pos++
 		}
 		return token{kind: tokNumber, text: l.src[start:l.pos], pos: start}, nil
+	case c == '$':
+		l.pos++
+		ds := l.pos
+		for l.pos < len(l.src) && l.src[l.pos] >= '0' && l.src[l.pos] <= '9' {
+			l.pos++
+		}
+		if l.pos == ds {
+			return token{}, &Error{Pos: start, Msg: "expected digits after $ (parameters are $1, $2, ...)"}
+		}
+		return token{kind: tokParam, text: l.src[ds:l.pos], pos: start}, nil
 	case c == '\'':
 		l.pos++
 		var b strings.Builder

@@ -529,6 +529,13 @@ func (p *parser) parseStore() (Stmt, error) {
 func (p *parser) parseScalar() (Scalar, error) {
 	t := p.peek()
 	switch {
+	case t.kind == tokParam:
+		p.advance()
+		idx, err := strconv.Atoi(t.text)
+		if err != nil || idx < 1 {
+			return Scalar{}, p.errf("bad parameter $%s (parameters are $1, $2, ...)", t.text)
+		}
+		return Scalar{IsParam: true, ParamIdx: idx}, nil
 	case t.kind == tokString:
 		p.advance()
 		return Scalar{IsString: true, Str: t.text}, nil

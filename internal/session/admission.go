@@ -1,0 +1,183 @@
+package session
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"scidb/internal/obs"
+)
+
+// ErrServerBusy is the typed overload rejection: every admission queue for
+// the statement's class is full, so the server sheds the statement instead
+// of queuing unboundedly (the client sees statusBusy and can back off).
+var ErrServerBusy = errors.New("session: server busy (admission queues full)")
+
+// Admission is a bounded concurrent-statement controller: at most slots
+// statements execute at once, and at most queueDepth more wait per
+// priority class. Interactive waiters always overtake batch waiters at a
+// slot handoff — the paper's mixed workload (§2.14: analysts steering
+// ad-hoc queries while pipelines load and cook data in the background)
+// needs interactive latency insulated from batch pressure, not a single
+// FIFO that lets one loader convoy every human.
+type Admission struct {
+	mu    sync.Mutex
+	free  int // idle slots
+	depth int // per-class queue bound
+
+	// queues[Interactive] and queues[Batch], FIFO within a class. A
+	// waiter that wins a slot receives directly on its channel — the
+	// slot is handed off, never returned to free, so a late-arriving
+	// batch statement cannot steal it from a queued interactive one.
+	queues [2][]chan struct{}
+
+	waitHist [2]*obs.Histogram
+	queued   [2]*obs.Gauge
+	rejected *obs.Counter
+	admitted *obs.Counter
+}
+
+// NewAdmission builds a controller with the given slot count and per-class
+// queue depth, registering its metrics on reg (nil uses the default
+// registry).
+func NewAdmission(slots, queueDepth int, reg *obs.Registry) *Admission {
+	if slots < 1 {
+		slots = 1
+	}
+	if queueDepth < 0 {
+		queueDepth = 0
+	}
+	if reg == nil {
+		reg = obs.Default()
+	}
+	return &Admission{
+		free:  slots,
+		depth: queueDepth,
+		waitHist: [2]*obs.Histogram{
+			reg.Histogram("scidb_admission_wait_seconds_interactive",
+				"Queue wait before an interactive statement got an execution slot.", nil),
+			reg.Histogram("scidb_admission_wait_seconds_batch",
+				"Queue wait before a batch statement got an execution slot.", nil),
+		},
+		queued: [2]*obs.Gauge{
+			reg.Gauge("scidb_admission_queued_interactive",
+				"Interactive statements waiting for an execution slot."),
+			reg.Gauge("scidb_admission_queued_batch",
+				"Batch statements waiting for an execution slot."),
+		},
+		rejected: reg.Counter("scidb_admission_rejected_total",
+			"Statements shed with a server-busy rejection."),
+		admitted: reg.Counter("scidb_admission_admitted_total",
+			"Statements granted an execution slot."),
+	}
+}
+
+// Acquire blocks until the statement gets an execution slot, its class
+// queue overflows (ErrServerBusy), or ctx is canceled. On success the
+// caller must Release exactly once. Queue wait is recorded in the class's
+// wait histogram either way — shed and canceled waits are the interesting
+// tail.
+func (a *Admission) Acquire(ctx context.Context, pr Priority) error {
+	cls := int(pr)
+	if cls > int(Batch) {
+		cls = int(Batch)
+	}
+	a.mu.Lock()
+	if a.free > 0 && len(a.queues[Interactive]) == 0 && len(a.queues[Batch]) == 0 {
+		a.free--
+		a.mu.Unlock()
+		a.admitted.Inc()
+		a.waitHist[cls].Observe(0)
+		return nil
+	}
+	if len(a.queues[cls]) >= a.depth {
+		a.mu.Unlock()
+		a.rejected.Inc()
+		return ErrServerBusy
+	}
+	grant := make(chan struct{})
+	a.queues[cls] = append(a.queues[cls], grant)
+	a.queued[cls].Add(1)
+	// A slot may be free with a non-empty queue only transiently (Release
+	// hands off under the same lock), but an Acquire racing a Release can
+	// observe free>0 with this waiter just queued; drain eagerly.
+	a.dispatchLocked()
+	a.mu.Unlock()
+
+	start := time.Now()
+	select {
+	case <-grant:
+		a.queued[cls].Add(-1)
+		a.waitHist[cls].Observe(time.Since(start).Seconds())
+		a.admitted.Inc()
+		return nil
+	case <-ctx.Done():
+		a.mu.Lock()
+		// Remove ourselves unless the grant already fired.
+		select {
+		case <-grant:
+			// Slot was handed to us after ctx fired; give it back.
+			a.free++
+			a.dispatchLocked()
+			a.mu.Unlock()
+			a.queued[cls].Add(-1)
+			a.waitHist[cls].Observe(time.Since(start).Seconds())
+			return ctx.Err()
+		default:
+		}
+		for i, ch := range a.queues[cls] {
+			if ch == grant {
+				a.queues[cls] = append(a.queues[cls][:i], a.queues[cls][i+1:]...)
+				break
+			}
+		}
+		a.mu.Unlock()
+		a.queued[cls].Add(-1)
+		a.waitHist[cls].Observe(time.Since(start).Seconds())
+		return ctx.Err()
+	}
+}
+
+// Release returns a slot, handing it straight to the longest-waiting
+// interactive statement, then the longest-waiting batch one.
+func (a *Admission) Release() {
+	a.mu.Lock()
+	a.free++
+	a.dispatchLocked()
+	a.mu.Unlock()
+}
+
+// dispatchLocked hands free slots to waiters, interactive first.
+func (a *Admission) dispatchLocked() {
+	for a.free > 0 {
+		var grant chan struct{}
+		for cls := range a.queues {
+			if len(a.queues[cls]) > 0 {
+				grant = a.queues[cls][0]
+				a.queues[cls] = a.queues[cls][1:]
+				break
+			}
+		}
+		if grant == nil {
+			return
+		}
+		a.free--
+		close(grant)
+	}
+}
+
+// Stats reports the controller's instantaneous state (tests and /metrics
+// cross-checks).
+func (a *Admission) Stats() (free, queuedInteractive, queuedBatch int) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.free, len(a.queues[Interactive]), len(a.queues[Batch])
+}
+
+// String describes the configuration.
+func (a *Admission) String() string {
+	free, qi, qb := a.Stats()
+	return fmt.Sprintf("admission{free=%d queued=%d/%d depth=%d}", free, qi, qb, a.depth)
+}

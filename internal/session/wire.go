@@ -1,0 +1,388 @@
+// Package session is the multi-tenant serving front end: the client-facing
+// protocol layer the paper's community-of-users story needs (§1, §2.14 —
+// science databases serve many concurrent analysts steering ad-hoc queries
+// at shared arrays), built on the same length-prefixed binary framing as
+// the coordinator↔worker wire protocol (internal/cluster, PR 3).
+//
+// A connection opens with a session hello (client name + namespace +
+// default priority) answered with a session id; after that, both
+// directions carry cluster-framed messages (u32 len | u64 request id |
+// u8 flags | body) so many statements pipeline concurrently over one
+// connection. Each namespace maps to its own core.Database — tenant
+// isolation by construction — and each session gets its own
+// core.Executor, so prepared statements never collide across connections.
+//
+// Three properties distinguish the session protocol from the cluster one:
+//
+//   - Admission control: statements pass a bounded slot pool with
+//     class-priority queues (interactive ahead of batch) and a typed
+//     "server busy" rejection instead of unbounded queuing (admission.go).
+//   - Prepared statements: parse once ($N placeholders), bind values per
+//     execution (core.Executor / parser.Bind).
+//   - Incremental result streaming: a query may return a cursor instead of
+//     a materialized payload; the client drives chunk-at-a-time fetches and
+//     the server encodes one page at a time, never the whole result.
+package session
+
+import (
+	"fmt"
+	"io"
+
+	"scidb/internal/array"
+	"scidb/internal/cluster"
+	"scidb/internal/parser"
+	"scidb/internal/storage"
+)
+
+const (
+	// sessionVersion pins the session protocol; bump on incompatible
+	// change.
+	sessionVersion = 1
+
+	// maxSQLLen bounds one statement's text.
+	maxSQLLen = 1 << 20
+	// maxParams bounds one bind's parameter count.
+	maxParams = 1 << 16
+	// maxChunksPerFrame bounds a result/page chunk count before
+	// allocation.
+	maxChunksPerFrame = 1 << 20
+)
+
+// Priority classes. Interactive statements overtake queued batch
+// statements at every slot handoff.
+type Priority uint8
+
+const (
+	Interactive Priority = 0
+	Batch       Priority = 1
+)
+
+func (p Priority) String() string {
+	if p == Batch {
+		return "batch"
+	}
+	return "interactive"
+}
+
+// Request ops.
+const (
+	opExec         = 1 // run one statement
+	opPrepare      = 2 // parse + store a template
+	opExecPrepared = 3 // bind + run a template
+	opFetch        = 4 // next page of a cursor
+	opCloseCursor  = 5 // drop a cursor early
+	opCancel       = 6 // cancel an in-flight or queued statement
+	opPing         = 7 // liveness probe
+	opClosePrep    = 8 // drop a prepared template
+)
+
+// Response statuses.
+const (
+	statusOK   = 0
+	statusErr  = 1
+	statusBusy = 2 // admission queue full — the typed overload rejection
+)
+
+// Response kinds (valid when status == statusOK).
+const (
+	kindAck    = 0 // bare acknowledgement (ping, cancel, close, prepare)
+	kindMsg    = 1 // DDL/DML message
+	kindResult = 2 // array result: materialized chunks or a cursor
+	kindPage   = 3 // one cursor page
+)
+
+// request is one client→server session frame body.
+type request struct {
+	Op       uint8
+	Priority uint8
+	Stream   bool   // opExec/opExecPrepared: return a cursor, not chunks
+	SQL      string // opExec, opPrepare
+	Name     string // opPrepare, opExecPrepared, opClosePrep
+	Cursor   uint64 // opFetch, opCloseCursor
+	Target   uint64 // opCancel: request id of the statement to cancel
+	Fetch    uint32 // opFetch page size in chunks (0 = server default)
+	Params   []parser.Scalar
+}
+
+// response is one server→client session frame body.
+type response struct {
+	Status uint8
+	Err    string
+	Kind   uint8
+	Msg    string
+
+	// Result fields.
+	Schema   *array.Schema
+	Streamed bool
+	Cursor   uint64
+	Done     bool
+	Chunks   [][]byte // storage.EncodeChunk payloads
+
+	// Prepare acknowledgement.
+	NumParams uint32
+}
+
+// encodeScalar writes one literal (or bind value).
+func encodeScalar(w *storage.FieldWriter, s parser.Scalar) {
+	var bits uint8
+	if s.IsString {
+		bits |= 1
+	}
+	if s.IsNull {
+		bits |= 2
+	}
+	if s.IsInt {
+		bits |= 4
+	}
+	if s.IsParam {
+		bits |= 8
+	}
+	w.U8(bits)
+	w.I64(s.Int)
+	w.F64(s.Num)
+	w.F64(s.Sigma)
+	w.U32(uint32(s.ParamIdx))
+	w.String(s.Str)
+}
+
+func decodeScalar(r *storage.FieldReader) parser.Scalar {
+	bits := r.U8()
+	s := parser.Scalar{
+		IsString: bits&1 != 0,
+		IsNull:   bits&2 != 0,
+		IsInt:    bits&4 != 0,
+		IsParam:  bits&8 != 0,
+	}
+	s.Int = r.I64()
+	s.Num = r.F64()
+	s.Sigma = r.F64()
+	s.ParamIdx = int(r.U32())
+	s.Str = r.String()
+	return s
+}
+
+// encodeRequest hand-rolls a request to its frame body.
+func encodeRequest(q *request) ([]byte, error) {
+	var b writerBuf
+	w := storage.NewFieldWriter(&b)
+	w.U8(q.Op)
+	w.U8(q.Priority)
+	w.Bool(q.Stream)
+	w.String(q.SQL)
+	w.String(q.Name)
+	w.U64(q.Cursor)
+	w.U64(q.Target)
+	w.U32(q.Fetch)
+	w.U32(uint32(len(q.Params)))
+	for _, p := range q.Params {
+		encodeScalar(w, p)
+	}
+	if w.Err() != nil {
+		return nil, w.Err()
+	}
+	return b.bytes, nil
+}
+
+// decodeRequest reverses encodeRequest, bounding every count and length
+// against the remaining buffer before allocating (mirrors the
+// fuzz-hardened chunk decoders of PR 4; FuzzDecodeSessionFrame drives it).
+func decodeRequest(data []byte) (*request, error) {
+	r := storage.NewFieldReaderBytes(data)
+	q := &request{}
+	q.Op = r.U8()
+	q.Priority = r.U8()
+	q.Stream = r.Bool()
+	q.SQL = r.String()
+	q.Name = r.String()
+	q.Cursor = r.U64()
+	q.Target = r.U64()
+	q.Fetch = r.U32()
+	if r.Err() != nil {
+		return nil, fmt.Errorf("session: corrupt request: %w", r.Err())
+	}
+	if len(q.SQL) > maxSQLLen || len(q.Name) > maxSQLLen {
+		return nil, fmt.Errorf("session: statement text too long")
+	}
+	n := int(r.U32())
+	if r.Err() != nil {
+		return nil, fmt.Errorf("session: corrupt request: %w", r.Err())
+	}
+	if n > maxParams {
+		return nil, fmt.Errorf("session: request has %d parameters", n)
+	}
+	// Every scalar costs at least its fixed fields plus the string length
+	// prefix.
+	if n > 0 && !r.Need(int64(n)*(1+8+8+8+4+4)) {
+		return nil, fmt.Errorf("session: corrupt request: %w", r.Err())
+	}
+	if n > 0 {
+		q.Params = make([]parser.Scalar, n)
+		for i := range q.Params {
+			q.Params[i] = decodeScalar(r)
+			if r.Err() != nil {
+				return nil, fmt.Errorf("session: corrupt request: %w", r.Err())
+			}
+		}
+	}
+	if r.Err() != nil {
+		return nil, fmt.Errorf("session: corrupt request: %w", r.Err())
+	}
+	if q.Priority > uint8(Batch) {
+		q.Priority = uint8(Batch)
+	}
+	return q, nil
+}
+
+// encodeResponse hand-rolls a response to its frame body.
+func encodeResponse(p *response) ([]byte, error) {
+	var b writerBuf
+	w := storage.NewFieldWriter(&b)
+	w.U8(p.Status)
+	w.String(p.Err)
+	w.U8(p.Kind)
+	w.String(p.Msg)
+	w.Bool(p.Schema != nil)
+	if p.Schema != nil {
+		cluster.EncodeSchema(w, p.Schema)
+	}
+	w.Bool(p.Streamed)
+	w.U64(p.Cursor)
+	w.Bool(p.Done)
+	w.U32(p.NumParams)
+	w.U32(uint32(len(p.Chunks)))
+	for _, ch := range p.Chunks {
+		w.Bytes(ch)
+	}
+	if w.Err() != nil {
+		return nil, w.Err()
+	}
+	return b.bytes, nil
+}
+
+// decodeResponse reverses encodeResponse.
+func decodeResponse(data []byte) (*response, error) {
+	r := storage.NewFieldReaderBytes(data)
+	p := &response{}
+	p.Status = r.U8()
+	p.Err = r.String()
+	p.Kind = r.U8()
+	p.Msg = r.String()
+	if r.Bool() && r.Err() == nil {
+		s, err := cluster.DecodeSchema(r)
+		if err != nil {
+			return nil, fmt.Errorf("session: corrupt response schema: %w", err)
+		}
+		p.Schema = s
+	}
+	p.Streamed = r.Bool()
+	p.Cursor = r.U64()
+	p.Done = r.Bool()
+	p.NumParams = r.U32()
+	n := int(r.U32())
+	if r.Err() != nil {
+		return nil, fmt.Errorf("session: corrupt response: %w", r.Err())
+	}
+	if n > maxChunksPerFrame {
+		return nil, fmt.Errorf("session: response carries %d chunks", n)
+	}
+	// Every chunk costs at least its u32 length prefix.
+	if n > 0 && !r.Need(int64(n)*4) {
+		return nil, fmt.Errorf("session: corrupt response: %w", r.Err())
+	}
+	if n > 0 {
+		p.Chunks = make([][]byte, n)
+		for i := range p.Chunks {
+			p.Chunks[i] = r.Bytes()
+			if r.Err() != nil {
+				return nil, fmt.Errorf("session: corrupt response: %w", r.Err())
+			}
+		}
+	}
+	if r.Err() != nil {
+		return nil, fmt.Errorf("session: corrupt response: %w", r.Err())
+	}
+	return p, nil
+}
+
+// writeSessionHello sends the client half of the session handshake.
+func writeSessionHello(w io.Writer, clientName, namespace string, pr Priority) error {
+	fw := storage.NewFieldWriter(w)
+	fw.U32(cluster.SessionMagic)
+	fw.U8(sessionVersion)
+	fw.String(clientName)
+	fw.String(namespace)
+	fw.U8(uint8(pr))
+	return fw.Err()
+}
+
+// readSessionHello consumes a client hello after the magic has been
+// sniffed and discarded.
+func readSessionHello(r io.Reader) (clientName, namespace string, pr Priority, err error) {
+	fr := storage.NewFieldReader(r)
+	if v := fr.U8(); fr.Err() == nil && v != sessionVersion {
+		return "", "", 0, fmt.Errorf("session: protocol version %d, want %d", v, sessionVersion)
+	}
+	clientName = fr.String()
+	namespace = fr.String()
+	p := fr.U8()
+	if fr.Err() != nil {
+		return "", "", 0, fr.Err()
+	}
+	if len(clientName) > 256 || len(namespace) > 256 {
+		return "", "", 0, fmt.Errorf("session: hello names too long")
+	}
+	if p > uint8(Batch) {
+		p = uint8(Batch)
+	}
+	return clientName, namespace, Priority(p), nil
+}
+
+// writeSessionHelloReply sends the server half: a session id, or an error.
+func writeSessionHelloReply(w io.Writer, sessionID uint64, helloErr error) error {
+	fw := storage.NewFieldWriter(w)
+	fw.U32(cluster.SessionMagic)
+	fw.U8(sessionVersion)
+	if helloErr != nil {
+		fw.U8(1)
+		fw.U64(0)
+		fw.String(helloErr.Error())
+	} else {
+		fw.U8(0)
+		fw.U64(sessionID)
+	}
+	return fw.Err()
+}
+
+// readSessionHelloReply consumes the server hello and returns the session
+// id.
+func readSessionHelloReply(r io.Reader) (uint64, error) {
+	fr := storage.NewFieldReader(r)
+	if m := fr.U32(); fr.Err() == nil && m != cluster.SessionMagic {
+		return 0, fmt.Errorf("session: bad hello magic %#x (not a scidb session server?)", m)
+	}
+	if v := fr.U8(); fr.Err() == nil && v != sessionVersion {
+		return 0, fmt.Errorf("session: server speaks protocol version %d, want %d", v, sessionVersion)
+	}
+	status := fr.U8()
+	id := fr.U64()
+	if fr.Err() != nil {
+		return 0, fr.Err()
+	}
+	if status != 0 {
+		msg := fr.String()
+		if fr.Err() != nil {
+			return 0, fr.Err()
+		}
+		return 0, fmt.Errorf("session: server rejected hello: %s", msg)
+	}
+	return id, nil
+}
+
+// writerBuf is a minimal append-only byte sink for the encoders (avoids
+// bytes.Buffer's bookkeeping on these small bodies).
+type writerBuf struct{ bytes []byte }
+
+func (b *writerBuf) Write(p []byte) (int, error) {
+	b.bytes = append(b.bytes, p...)
+	return len(p), nil
+}

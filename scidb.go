@@ -54,6 +54,10 @@ type (
 	Type = array.Type
 	// Result is a statement outcome.
 	Result = core.Result
+	// Executor is the reusable statement-execution object (prepared
+	// statements, cancellation-aware execution) that the REPL, the Go
+	// binding, and the session server all share.
+	Executor = core.Executor
 	// UDF is a registered user-defined function.
 	UDF = udf.Func
 	// Aggregate is the accumulator interface user-defined aggregates
@@ -119,6 +123,14 @@ func (db *DB) Run(q Query) (*Result, error) {
 	}
 	return db.core.Run(stmt)
 }
+
+// Executor returns the database's default statement executor. NewExecutor
+// creates a private one (its prepared statements are invisible to other
+// executors — what the session server gives each connection).
+func (db *DB) Executor() *Executor { return db.core.Executor() }
+
+// NewExecutor creates a fresh executor over this database.
+func (db *DB) NewExecutor() *Executor { return core.NewExecutor(db.core) }
 
 // Array fetches a stored plain array.
 func (db *DB) Array(name string) (*Array, error) { return db.core.Array(name) }
