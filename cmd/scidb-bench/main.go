@@ -36,6 +36,7 @@ func main() {
 	serveStmts := flag.Int("serve-stmts", 2048, "open-loop load: total statements to offer")
 	serveGap := flag.Duration("serve-gap", time.Millisecond, "open-loop load: arrival spacing")
 	serveSmoke := flag.Int("serve-smoke", 0, "run this many scripted concurrent clients against -serve-addr and exit")
+	benchJSON := flag.String("bench-json", "", "directory to write BENCH_<ID>.json snapshots (wall time, bytes, metric deltas) per experiment")
 	flag.Parse()
 
 	if *metricsAddr != "" {
@@ -104,8 +105,20 @@ func main() {
 			runs = append(runs, e)
 		}
 	}
+	if *benchJSON != "" {
+		if err := os.MkdirAll(*benchJSON, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "bench-json:", err)
+			os.Exit(1)
+		}
+	}
 	for _, e := range runs {
-		if err := e.Run(os.Stdout, *quick); err != nil {
+		var err error
+		if *benchJSON != "" {
+			err = experiments.RunJSON(os.Stdout, e, *quick, *benchJSON)
+		} else {
+			err = e.Run(os.Stdout, *quick)
+		}
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s failed: %v\n", e.ID, err)
 			os.Exit(1)
 		}

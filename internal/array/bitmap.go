@@ -43,6 +43,90 @@ func (b *Bitmap) Count() int64 {
 	return int64(n)
 }
 
+// CountRange returns the number of set bits in [lo, hi), clamped to the
+// bitmap's length. It is the ranged popcount the run-at-a-time operators
+// use to count present cells per RLE run.
+func (b *Bitmap) CountRange(lo, hi int64) int64 {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > b.n {
+		hi = b.n
+	}
+	if lo >= hi {
+		return 0
+	}
+	// No trim here: the hi mask already excludes bits past hi-1, and
+	// trimming would mutate a bitmap shared by parallel workers.
+	w0, w1 := lo>>6, (hi-1)>>6
+	loMask := ^uint64(0) << uint(lo&63)
+	hiMask := ^uint64(0) >> uint(63-(hi-1)&63)
+	if w0 == w1 {
+		return int64(bits.OnesCount64(b.words[w0] & loMask & hiMask))
+	}
+	n := bits.OnesCount64(b.words[w0] & loMask)
+	for w := w0 + 1; w < w1; w++ {
+		n += bits.OnesCount64(b.words[w])
+	}
+	n += bits.OnesCount64(b.words[w1] & hiMask)
+	return int64(n)
+}
+
+// SetRange sets every bit in [lo, hi), clamped to the bitmap's length.
+func (b *Bitmap) SetRange(lo, hi int64) {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > b.n {
+		hi = b.n
+	}
+	if lo >= hi {
+		return
+	}
+	w0, w1 := lo>>6, (hi-1)>>6
+	loMask := ^uint64(0) << uint(lo&63)
+	hiMask := ^uint64(0) >> uint(63-(hi-1)&63)
+	if w0 == w1 {
+		b.words[w0] |= loMask & hiMask
+		return
+	}
+	b.words[w0] |= loMask
+	for w := w0 + 1; w < w1; w++ {
+		b.words[w] = ^uint64(0)
+	}
+	b.words[w1] |= hiMask
+}
+
+// CountPresentNotNull returns the number of slots in [lo, hi) that are set
+// in present and clear in nulls — the cells an aggregate actually steps.
+func CountPresentNotNull(present, nulls *Bitmap, lo, hi int64) int64 {
+	n := present.n
+	if nulls.n < n {
+		n = nulls.n
+	}
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > n {
+		hi = n
+	}
+	if lo >= hi {
+		return 0
+	}
+	w0, w1 := lo>>6, (hi-1)>>6
+	loMask := ^uint64(0) << uint(lo&63)
+	hiMask := ^uint64(0) >> uint(63-(hi-1)&63)
+	if w0 == w1 {
+		return int64(bits.OnesCount64(present.words[w0] &^ nulls.words[w0] & loMask & hiMask))
+	}
+	c := bits.OnesCount64(present.words[w0] &^ nulls.words[w0] & loMask)
+	for w := w0 + 1; w < w1; w++ {
+		c += bits.OnesCount64(present.words[w] &^ nulls.words[w])
+	}
+	c += bits.OnesCount64(present.words[w1] &^ nulls.words[w1] & hiMask)
+	return int64(c)
+}
+
 // Clone copies the bitmap.
 func (b *Bitmap) Clone() *Bitmap {
 	out := &Bitmap{n: b.n, words: append([]uint64(nil), b.words...)}

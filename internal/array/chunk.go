@@ -18,6 +18,14 @@ type Column struct {
 	Sigma       []float64
 	SharedSigma float64
 	HasShared   bool
+
+	// Zone and Enc are advisory views attached by the storage decoder:
+	// Zone summarizes the present, non-null values for chunk skipping and
+	// Enc retains the encoded structure (RLE runs, dictionary codes) for
+	// run-at-a-time execution. Both describe the column only while it is
+	// unmodified — Set and CopyFrom drop them.
+	Zone *ZoneMap
+	Enc  *ColEnc
 }
 
 // NewColumn allocates a column of n slots for attribute a.
@@ -71,6 +79,7 @@ func (c *Column) Get(i int64) Value {
 
 // Set stores the value at slot i, converting numerics as needed.
 func (c *Column) Set(i int64, v Value) {
+	c.Zone, c.Enc = nil, nil
 	if v.Null {
 		c.Nulls.Set(i)
 		return
@@ -98,6 +107,7 @@ func (c *Column) Set(i int64, v Value) {
 // primitive the chunk-parallel operators use instead of boxing each cell
 // into a Value and back.
 func (c *Column) CopyFrom(o *Column, dst, src int64) {
+	c.Zone, c.Enc = nil, nil
 	if o.Nulls.Get(src) {
 		c.Nulls.Set(dst)
 		return
@@ -132,7 +142,8 @@ func (c *Column) Len() int64 { return c.Nulls.Len() }
 
 // Clone deep-copies the column (nested arrays are shared).
 func (c *Column) Clone() *Column {
-	out := &Column{Type: c.Type, Nulls: c.Nulls.Clone(), SharedSigma: c.SharedSigma, HasShared: c.HasShared}
+	out := &Column{Type: c.Type, Nulls: c.Nulls.Clone(), SharedSigma: c.SharedSigma, HasShared: c.HasShared,
+		Zone: c.Zone, Enc: c.Enc} // views stay valid for an identical copy
 	out.Ints = append([]int64(nil), c.Ints...)
 	out.Floats = append([]float64(nil), c.Floats...)
 	out.Strs = append([]string(nil), c.Strs...)

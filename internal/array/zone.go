@@ -1,0 +1,367 @@
+package array
+
+import "math"
+
+// ZoneMap summarizes one column of one chunk for predicate pruning: the
+// min/max over present non-null values, the null count, and a capped
+// distinct-count hint. Zone maps are computed by the storage encoder at
+// bucket-write time (the paper's §2.8 bet that scan-heavy science
+// workloads win when the executor can reason about compressed chunks
+// without decoding them) and ride beside the chunk so Filter/Aggregate
+// can skip whole chunks whose value range cannot satisfy a predicate.
+type ZoneMap struct {
+	Kind Type // TInt64, TFloat64, TString, or TBool
+
+	// HasRange is false when the chunk holds no present, non-null (and
+	// for floats, non-NaN) value: min/max are then meaningless.
+	HasRange bool
+	// HasNaN records that a float column contains NaN values, which
+	// satisfy "!=", "<=" and ">=" under the engine's comparison
+	// semantics and so block pruning for those operators.
+	HasNaN bool
+
+	MinInt   int64 // TInt64 and TBool (0/1) bounds
+	MaxInt   int64
+	MinFloat float64 // TFloat64 bounds over non-NaN values
+	MaxFloat float64
+	MinStr   string // TString bounds
+	MaxStr   string
+
+	// Nulls counts present cells whose value is null.
+	Nulls int64
+	// Distinct is a capped distinct-count hint over non-null values:
+	// an exact count when positive, 0 when unknown (over the cap).
+	Distinct int64
+}
+
+// zoneDistinctCap bounds the per-column distinct tracking during zone
+// computation; columns with more distinct values report Distinct == 0.
+const zoneDistinctCap = 256
+
+// ComputeZone builds a zone map for col restricted to the slots marked in
+// present. Nested-array columns have no useful ordering and return nil.
+func ComputeZone(col *Column, present *Bitmap) *ZoneMap {
+	switch col.Type {
+	case TInt64, TFloat64, TString, TBool:
+	default:
+		return nil
+	}
+	z := &ZoneMap{Kind: col.Type}
+	n := col.Len()
+	switch col.Type {
+	case TInt64:
+		distinct := make(map[int64]struct{}, 16)
+		for i := int64(0); i < n; i++ {
+			if !present.Get(i) {
+				continue
+			}
+			if col.Nulls.Get(i) {
+				z.Nulls++
+				continue
+			}
+			v := col.Ints[i]
+			if !z.HasRange {
+				z.HasRange, z.MinInt, z.MaxInt = true, v, v
+			} else if v < z.MinInt {
+				z.MinInt = v
+			} else if v > z.MaxInt {
+				z.MaxInt = v
+			}
+			if distinct != nil {
+				if distinct[v] = struct{}{}; len(distinct) > zoneDistinctCap {
+					distinct = nil
+				}
+			}
+		}
+		if distinct != nil {
+			z.Distinct = int64(len(distinct))
+		}
+	case TFloat64:
+		distinct := make(map[float64]struct{}, 16)
+		for i := int64(0); i < n; i++ {
+			if !present.Get(i) {
+				continue
+			}
+			if col.Nulls.Get(i) {
+				z.Nulls++
+				continue
+			}
+			v := col.Floats[i]
+			if math.IsNaN(v) {
+				z.HasNaN = true
+				continue
+			}
+			if !z.HasRange {
+				z.HasRange, z.MinFloat, z.MaxFloat = true, v, v
+			} else if v < z.MinFloat {
+				z.MinFloat = v
+			} else if v > z.MaxFloat {
+				z.MaxFloat = v
+			}
+			if distinct != nil {
+				if distinct[v] = struct{}{}; len(distinct) > zoneDistinctCap {
+					distinct = nil
+				}
+			}
+		}
+		if distinct != nil {
+			z.Distinct = int64(len(distinct))
+		}
+	case TString:
+		distinct := make(map[string]struct{}, 16)
+		for i := int64(0); i < n; i++ {
+			if !present.Get(i) {
+				continue
+			}
+			if col.Nulls.Get(i) {
+				z.Nulls++
+				continue
+			}
+			v := col.Strs[i]
+			if !z.HasRange {
+				z.HasRange, z.MinStr, z.MaxStr = true, v, v
+			} else if v < z.MinStr {
+				z.MinStr = v
+			} else if v > z.MaxStr {
+				z.MaxStr = v
+			}
+			if distinct != nil {
+				if distinct[v] = struct{}{}; len(distinct) > zoneDistinctCap {
+					distinct = nil
+				}
+			}
+		}
+		if distinct != nil {
+			z.Distinct = int64(len(distinct))
+		}
+	case TBool:
+		var seenTrue, seenFalse bool
+		for i := int64(0); i < n; i++ {
+			if !present.Get(i) {
+				continue
+			}
+			if col.Nulls.Get(i) {
+				z.Nulls++
+				continue
+			}
+			if col.Bools[i] {
+				seenTrue = true
+			} else {
+				seenFalse = true
+			}
+		}
+		if seenTrue || seenFalse {
+			z.HasRange = true
+			if seenTrue {
+				z.MaxInt = 1
+			}
+			if !seenFalse {
+				z.MinInt = 1
+			}
+			z.Distinct = 1
+			if seenTrue && seenFalse {
+				z.Distinct = 2
+			}
+		}
+	}
+	return z
+}
+
+// Clone returns a copy of z (nil-safe).
+func (z *ZoneMap) Clone() *ZoneMap {
+	if z == nil {
+		return nil
+	}
+	out := *z
+	return &out
+}
+
+// Union widens z to also cover everything o covers, returning the merged
+// map. Either side nil (an unzoned chunk) makes the union unknown: a
+// merged summary must never claim bounds it cannot prove.
+func (z *ZoneMap) Union(o *ZoneMap) *ZoneMap {
+	if z == nil || o == nil || z.Kind != o.Kind {
+		return nil
+	}
+	out := z.Clone()
+	out.HasNaN = z.HasNaN || o.HasNaN
+	out.Nulls = z.Nulls + o.Nulls
+	out.Distinct = 0 // distinct counts do not add across chunks
+	if !o.HasRange {
+		return out
+	}
+	if !z.HasRange {
+		out.HasRange = true
+		out.MinInt, out.MaxInt = o.MinInt, o.MaxInt
+		out.MinFloat, out.MaxFloat = o.MinFloat, o.MaxFloat
+		out.MinStr, out.MaxStr = o.MinStr, o.MaxStr
+		return out
+	}
+	switch z.Kind {
+	case TFloat64:
+		out.MinFloat = math.Min(z.MinFloat, o.MinFloat)
+		out.MaxFloat = math.Max(z.MaxFloat, o.MaxFloat)
+	case TString:
+		if o.MinStr < out.MinStr {
+			out.MinStr = o.MinStr
+		}
+		if o.MaxStr > out.MaxStr {
+			out.MaxStr = o.MaxStr
+		}
+	default:
+		if o.MinInt < out.MinInt {
+			out.MinInt = o.MinInt
+		}
+		if o.MaxInt > out.MaxInt {
+			out.MaxInt = o.MaxInt
+		}
+	}
+	return out
+}
+
+// CanMatch reports whether some present, non-null value summarized by z
+// could satisfy `value op cv` under the engine's comparison semantics
+// (exact int64 for int = int, float64 conversion for ordered numeric
+// comparisons, lexicographic for strings). It is conservative: anything
+// it cannot reason about returns true, and a false return is a proof
+// that the predicate is false-or-NULL for every cell of the chunk.
+func (z *ZoneMap) CanMatch(op string, cv Value) bool {
+	if z == nil {
+		return true
+	}
+	if cv.Null {
+		return false // comparing with NULL yields NULL, never true
+	}
+	switch z.Kind {
+	case TInt64, TFloat64, TBool:
+		if !isNumeric(cv.Type) {
+			return true
+		}
+		return z.numericCanMatch(op, cv)
+	case TString:
+		if cv.Type != TString {
+			return true
+		}
+		return z.stringCanMatch(op, cv.Str)
+	}
+	return true
+}
+
+func (z *ZoneMap) numericCanMatch(op string, cv Value) bool {
+	// int64→float64 conversion is monotone, so the float images of the
+	// int bounds still bound every converted cell value.
+	var lo, hi float64
+	hasNaN := false
+	switch z.Kind {
+	case TInt64, TBool:
+		lo, hi = float64(z.MinInt), float64(z.MaxInt)
+	case TFloat64:
+		lo, hi = z.MinFloat, z.MaxFloat
+		hasNaN = z.HasNaN
+	}
+	cf := cv.AsFloat()
+	if math.IsNaN(cf) {
+		// value op NaN: =, <, > are always false; != is true for any
+		// non-null cell; <= and >= evaluate as "not >" / "not <" which
+		// NaN renders vacuously true.
+		switch op {
+		case "!=", "<=", ">=":
+			return z.HasRange || hasNaN
+		}
+		return false
+	}
+	if hasNaN {
+		switch op {
+		case "!=", "<=", ">=":
+			return true // NaN cells satisfy these against any constant
+		}
+	}
+	if !z.HasRange {
+		return false // every present cell is null (or NaN, handled above)
+	}
+	switch op {
+	case "=":
+		if z.Kind == TInt64 && cv.Type == TInt64 {
+			return cv.Int >= z.MinInt && cv.Int <= z.MaxInt
+		}
+		return cf >= lo && cf <= hi
+	case "!=":
+		if z.Kind == TInt64 && cv.Type == TInt64 {
+			return !(z.MinInt == z.MaxInt && z.MinInt == cv.Int)
+		}
+		return !(lo == hi && lo == cf)
+	case "<":
+		return lo < cf
+	case "<=":
+		return !(lo > cf)
+	case ">":
+		return hi > cf
+	case ">=":
+		return !(hi < cf)
+	}
+	return true
+}
+
+func (z *ZoneMap) stringCanMatch(op, cs string) bool {
+	if !z.HasRange {
+		return false
+	}
+	switch op {
+	case "=":
+		return cs >= z.MinStr && cs <= z.MaxStr
+	case "!=":
+		return !(z.MinStr == z.MaxStr && z.MinStr == cs)
+	case "<":
+		return z.MinStr < cs
+	case "<=":
+		return z.MinStr <= cs
+	case ">":
+		return z.MaxStr > cs
+	case ">=":
+		return z.MaxStr >= cs
+	}
+	return true
+}
+
+// ZonePred is a predicate in zone-map terms: an attribute index, a
+// comparison op ("=", "!=", "<", "<=", ">", ">="), and a constant. A
+// conjunction of ZonePreds prunes a chunk when any single member cannot
+// match — the chunk then contains no cell for which the full predicate
+// evaluates to true.
+type ZonePred struct {
+	Attr int
+	Op   string
+	Val  Value
+}
+
+// CanMatchAll reports whether a chunk with the given per-attribute zone
+// maps could contain a cell satisfying every pred. Missing zones (nil
+// entries, out-of-range attrs) are conservative matches.
+func CanMatchAll(zones []*ZoneMap, preds []ZonePred) bool {
+	for _, p := range preds {
+		if p.Attr < 0 || p.Attr >= len(zones) {
+			continue
+		}
+		if z := zones[p.Attr]; z != nil && !z.CanMatch(p.Op, p.Val) {
+			return false
+		}
+	}
+	return true
+}
+
+// ColEnc is the encoded-structure view the storage decoder retains beside
+// a materialized column so operators can execute run-at-a-time or on
+// dictionary codes without re-deriving the structure. It is advisory and
+// describes the column only until the column is mutated (Set/CopyFrom
+// drop it).
+type ColEnc struct {
+	// RunLens, when non-nil, is the RLE view: run k covers RunLens[k]
+	// consecutive slots, the lengths sum to the column's slot count, and
+	// every slot in a run holds the same value (read it from the
+	// materialized vector at the run's first slot).
+	RunLens []int64
+	// Dict and Codes, when non-nil, are the dictionary view for string
+	// columns: Codes[i] indexes Dict and Strs[i] == Dict[Codes[i]].
+	Dict  []string
+	Codes []uint32
+}

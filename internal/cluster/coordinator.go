@@ -11,6 +11,7 @@ import (
 	"scidb/internal/bufcache"
 	"scidb/internal/exec"
 	"scidb/internal/obs"
+	"scidb/internal/ops"
 	"scidb/internal/partition"
 	"scidb/internal/storage"
 )
@@ -224,11 +225,25 @@ func (co *Coordinator) Scan(name string, box array.Box) (*array.Array, error) {
 // ScanCtx is Scan under a context: a traced query's span records the nodes
 // visited and payload bytes gathered, and adopts each worker's span tree.
 func (co *Coordinator) ScanCtx(ctx context.Context, name string, box array.Box) (*array.Array, error) {
+	a, _, err := co.scanGather(ctx, name, box, nil)
+	return a, err
+}
+
+// ScanPruned gathers only the cells satisfying every pred, letting each
+// worker skip buckets whose zone maps refute the conjuncts before reading
+// them — the cluster half of compressed execution ("prune before shipping
+// bytes"). skipped totals the buckets no worker had to read. Array-backed
+// partitions filter cell-by-cell and report zero skips.
+func (co *Coordinator) ScanPruned(ctx context.Context, name string, box array.Box, preds []array.ZonePred) (a *array.Array, skipped int64, err error) {
+	return co.scanGather(ctx, name, box, preds)
+}
+
+func (co *Coordinator) scanGather(ctx context.Context, name string, box array.Box, preds []array.ZonePred) (*array.Array, int64, error) {
 	co.mu.Lock()
 	da, err := co.dist(name)
 	co.mu.Unlock()
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	s := da.Schema.Clone()
 	for i := range s.Dims {
@@ -239,7 +254,7 @@ func (co *Coordinator) ScanCtx(ctx context.Context, name string, box array.Box) 
 	}
 	out, err := array.New(s)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	// Nodes are queried and their payloads decoded concurrently; each
 	// decoded partition merges into the result as it arrives, chunk by
@@ -248,10 +263,10 @@ func (co *Coordinator) ScanCtx(ctx context.Context, name string, box array.Box) 
 	// has touched is adopted wholesale (MergeChunk) instead of re-setting
 	// every cell through the coordinator's write path.
 	span := obs.SpanFromContext(ctx)
-	req := &Message{Op: "scan", Array: name, BoxLo: box.Lo, BoxHi: box.Hi, TraceID: span.TraceID()}
+	req := &Message{Op: "scan", Array: name, BoxLo: box.Lo, BoxHi: box.Hi, TraceID: span.TraceID(), Preds: preds}
 	nodes := co.nodesFor(da, box)
 	remote := make([]*obs.Span, len(nodes))
-	var bytesIn atomic.Int64
+	var bytesIn, skipped atomic.Int64
 	var mu sync.Mutex
 	if err := fanout(nodes, func(i, n int) error {
 		resp, err := co.t.Call(n, req)
@@ -259,6 +274,7 @@ func (co *Coordinator) ScanCtx(ctx context.Context, name string, box array.Box) 
 			return err
 		}
 		bytesIn.Add(int64(len(resp.Payload)))
+		skipped.Add(resp.Skipped)
 		if len(resp.Spans) > 0 {
 			remote[i] = obs.Rebuild(resp.Spans)
 		}
@@ -275,12 +291,15 @@ func (co *Coordinator) ScanCtx(ctx context.Context, name string, box array.Box) 
 		}
 		return nil
 	}); err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	span.Add("nodes", int64(len(nodes)))
 	span.Add("bytes_gathered", bytesIn.Load())
+	if n := skipped.Load(); n > 0 {
+		ops.NoteEncChunksSkipped(ctx, n)
+	}
 	graftRemote(span, remote)
-	return out, nil
+	return out, skipped.Load(), nil
 }
 
 // nodesFor returns the nodes a box query must visit: all of them, unless

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"testing"
 
 	"scidb/internal/array"
@@ -190,5 +191,57 @@ func TestCacheStatsOpUncached(t *testing.T) {
 	}
 	if stats[0].Budget != 0 || stats[0].Hits != 0 {
 		t.Errorf("uncached node reported %+v, want zero value", stats[0])
+	}
+}
+
+// TestClusterScanPruned exercises the predicated scan fan-out: workers
+// skip whole buckets whose zone maps refute the conjuncts, filter the
+// survivors cell-by-cell, and report how many buckets were never read.
+func TestClusterScanPruned(t *testing.T) {
+	_, co := persistGrid(t, 4)
+	scheme := partition.Block{Nodes: 4, SplitDim: 0, High: 16}
+	if err := co.Create("sky", gridSchema(), scheme); err != nil {
+		t.Fatal(err)
+	}
+	loadGrid(t, co, "sky", 16) // flux = x + y, so per-bucket ranges differ
+
+	// flux > 24 holds only in the high-x, high-y corner: of the eight
+	// 8x8-stride buckets (two per node), six have max <= 24 and are
+	// skipped; the two survivors are filtered cell-by-cell.
+	box := array.NewBox(array.Coord{1, 1}, array.Coord{16, 16})
+	preds := []array.ZonePred{{Attr: 0, Op: ">", Val: array.Float64(24)}}
+	res, skipped, err := co.ScanPruned(context.Background(), "sky", box, preds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count() != 36 { // pairs (i,j) in [9,16]^2 with i+j > 24
+		t.Errorf("pruned scan cells = %d, want 36", res.Count())
+	}
+	if skipped != 6 {
+		t.Errorf("buckets skipped = %d, want 6", skipped)
+	}
+	res.Iter(func(c array.Coord, cell array.Cell) bool {
+		if cell[0].Float != float64(c[0]+c[1]) || cell[0].Float <= 24 {
+			t.Errorf("cell %v = %v violates predicate", c, cell[0])
+			return false
+		}
+		return true
+	})
+
+	// Array-backed partitions take the same wire path: per-cell filtering,
+	// nothing to skip.
+	tr2 := NewLocal(2)
+	defer tr2.Close()
+	co2 := NewCoordinator(tr2, 0)
+	if err := co2.Create("sky", gridSchema(), partition.Block{Nodes: 2, SplitDim: 0, High: 16}); err != nil {
+		t.Fatal(err)
+	}
+	loadGrid(t, co2, "sky", 16)
+	res, skipped, err = co2.ScanPruned(context.Background(), "sky", box, preds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count() != 36 || skipped != 0 {
+		t.Errorf("array-backed pruned scan = %d cells, %d skipped; want 36, 0", res.Count(), skipped)
 	}
 }

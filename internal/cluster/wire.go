@@ -218,7 +218,32 @@ const (
 	msgHasStore   = 1 << 4
 	msgHasTrace   = 1 << 5 // TraceID + Spans (PR 5 telemetry)
 	msgHasMetrics = 1 << 6 // Metrics registry samples
+	msgHasPreds   = 1 << 7 // Preds + Skipped (compressed-execution pruning)
 )
+
+// encodePredValue writes one predicate constant. Preds are scalar
+// comparisons, so the nested-array field never travels.
+func encodePredValue(w *storage.FieldWriter, v array.Value) {
+	w.U8(uint8(v.Type))
+	w.Bool(v.Null)
+	w.I64(v.Int)
+	w.F64(v.Float)
+	w.String(v.Str)
+	w.Bool(v.Bool)
+	w.F64(v.Sigma)
+}
+
+func decodePredValue(r *storage.FieldReader) array.Value {
+	return array.Value{
+		Type:  array.Type(r.U8()),
+		Null:  r.Bool(),
+		Int:   r.I64(),
+		Float: r.F64(),
+		Str:   r.String(),
+		Bool:  r.Bool(),
+		Sigma: r.F64(),
+	}
+}
 
 // encodeMessage hand-rolls a Message to its wire form. Field order is
 // fixed; Payload is carried verbatim (it is already the binary
@@ -271,6 +296,9 @@ func encodeMessage(m *Message) ([]byte, error) {
 	}
 	if len(m.Metrics) > 0 {
 		present |= msgHasMetrics
+	}
+	if len(m.Preds) > 0 || m.Skipped != 0 {
+		present |= msgHasPreds
 	}
 	w.U8(present)
 	if m.Schema != nil {
@@ -339,6 +367,16 @@ func encodeMessage(m *Message) ([]byte, error) {
 			w.String(s.Label)
 			w.F64(s.Value)
 		}
+	}
+	if present&msgHasPreds != 0 {
+		w.U32(uint32(len(m.Preds)))
+		for i := range m.Preds {
+			p := &m.Preds[i]
+			w.I64(int64(p.Attr))
+			w.String(p.Op)
+			encodePredValue(w, p.Val)
+		}
+		w.I64(m.Skipped)
 	}
 	if w.Err() != nil {
 		return nil, w.Err()
@@ -471,6 +509,23 @@ func decodeMessage(data []byte) (*Message, error) {
 			s.Label = r.String()
 			s.Value = r.F64()
 		}
+	}
+	if present&msgHasPreds != 0 {
+		n := int(r.U32())
+		if r.Err() != nil {
+			return nil, fmt.Errorf("cluster: corrupt message: %w", r.Err())
+		}
+		if n > MaxFrameBody/16 {
+			return nil, fmt.Errorf("cluster: message has %d predicates", n)
+		}
+		m.Preds = make([]array.ZonePred, n)
+		for i := range m.Preds {
+			p := &m.Preds[i]
+			p.Attr = int(r.I64())
+			p.Op = r.String()
+			p.Val = decodePredValue(r)
+		}
+		m.Skipped = r.I64()
 	}
 	if r.Err() != nil {
 		return nil, fmt.Errorf("cluster: corrupt message: %w", r.Err())

@@ -59,6 +59,12 @@ func wireTestMessage() *Message {
 			{Name: "scidb_cache_hits_total", Value: 12},
 			{Name: "scidb_worker_request_seconds_count", Label: `le="0.01"`, Value: 3},
 		},
+		Preds: []array.ZonePred{
+			{Attr: 0, Op: ">", Val: array.Float64(1.5)},
+			{Attr: 1, Op: "=", Val: array.String64("hot")},
+			{Attr: 2, Op: "!=", Val: array.NullValue(array.TInt64)},
+		},
+		Skipped: 11,
 	}
 }
 

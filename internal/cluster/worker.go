@@ -72,6 +72,14 @@ type Message struct {
 	Spans   []obs.SpanData
 	// Metrics is the "metrics" response: the node's registry snapshot.
 	Metrics []obs.Sample
+	// Preds, on a "scan" request, ships zone-map conjuncts: the worker
+	// skips whole buckets whose zone maps refute them and filters the
+	// surviving cells before shipping bytes. The response's Skipped
+	// reports how many buckets were pruned without being read. Both ride
+	// one presence bit, so legacy peers interoperate unchanged (they never
+	// set it and ignore trailing bytes).
+	Preds   []array.ZonePred
+	Skipped int64
 }
 
 // Partial is a combinable aggregate fragment computed by one worker for one
@@ -431,16 +439,28 @@ func (w *Worker) scan(req *Message) (*Message, error) {
 		return nil, err
 	}
 	box := boxFrom(req, len(s.Dims))
-	var n int64
+	var n, skipped int64
 	var werr error
-	if err := iter(box, func(c array.Coord, cell array.Cell) bool {
+	visit := func(c array.Coord, cell array.Cell) bool {
+		if len(req.Preds) > 0 && !ops.CellMatchesPreds(req.Preds, cell) {
+			return true
+		}
 		if err := out.Set(c.Clone(), cell); err != nil {
 			werr = err
 			return false
 		}
 		n++
 		return true
-	}); err != nil {
+	}
+	// A predicated scan over a store-backed partition prunes whole buckets
+	// by zone map before reading them — cells the coordinator would have
+	// paid to ship, decode, and discard.
+	if st, ok := w.stores[req.Array]; ok && len(req.Preds) > 0 {
+		skipped, err = st.ScanPruned(box, req.Preds, visit)
+	} else {
+		err = iter(box, visit)
+	}
+	if err != nil {
 		return nil, err
 	}
 	if werr != nil {
@@ -452,7 +472,7 @@ func (w *Worker) scan(req *Message) (*Message, error) {
 	}
 	w.stats.CellsScanned += n
 	w.stats.BytesOut += int64(len(payload))
-	return &Message{Op: "scan", Payload: payload, Cells: n}, nil
+	return &Message{Op: "scan", Payload: payload, Cells: n, Skipped: skipped}, nil
 }
 
 func (w *Worker) agg(req *Message) (*Message, error) {

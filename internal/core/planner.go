@@ -142,12 +142,26 @@ func (db *Database) evalNode(ctx context.Context, e parser.ArrayExpr) (*array.Ar
 		if err != nil {
 			return nil, err
 		}
-		return ops.FilterCtx(ctx, in, pred, db.reg)
+		return ops.FilterCtx(ctx, in, lowerRefs(pred, in.Schema), db.reg)
 	case *parser.AggregateExpr:
 		// Cluster pushdown: a single distributable aggregate over a direct
 		// distributed-array reference ships per-node partials, not cells.
 		if res, done, err := db.clusterAggregate(ctx, n); done {
 			return res, err
+		}
+		// Store pushdown: a grand-total aggregate over a filtered
+		// store-backed array prunes buckets by zone map before reading.
+		if res, done, err := db.evalStoreFilterAggregate(ctx, n); err != nil {
+			return nil, err
+		} else if done {
+			return res, nil
+		}
+		// Cluster pushdown, filtered form: workers prune buckets by zone
+		// map and filter cells before shipping; aggregation stays local.
+		if res, done, err := db.evalClusterFilterAggregate(ctx, n); err != nil {
+			return nil, err
+		} else if done {
+			return res, nil
 		}
 		in, err := db.eval(ctx, n.In)
 		if err != nil {
@@ -357,6 +371,50 @@ func (r nameRef) Eval(ctx *ops.EvalCtx) (array.Value, error) {
 
 // String implements ops.Expr.
 func (r nameRef) String() string { return r.name }
+
+// lowerRefs rewrites name-based references into ops.AttrRef / ops.DimRef
+// against a concrete schema. The operators' vectorized and encoded fast
+// paths pattern-match on those node types, so without lowering a parsed
+// predicate always falls back to boxed evaluation. Resolution order
+// mirrors nameRef / qualifiedRef Eval exactly; unresolvable names are
+// left alone so evaluation reports the usual error.
+func lowerRefs(e ops.Expr, s *array.Schema) ops.Expr {
+	switch n := e.(type) {
+	case nameRef:
+		if s.AttrIndex(n.name) >= 0 {
+			return ops.AttrRef{Name: n.name}
+		}
+		if s.DimIndex(n.name) >= 0 {
+			return ops.DimRef{Name: n.name}
+		}
+		return n
+	case qualifiedRef:
+		if s.AttrIndex(n.qual+"_"+n.name) >= 0 {
+			return ops.AttrRef{Name: n.qual + "_" + n.name}
+		}
+		if s.AttrIndex(n.name) >= 0 {
+			return ops.AttrRef{Name: n.name}
+		}
+		if s.DimIndex(n.name) >= 0 {
+			return ops.DimRef{Name: n.name}
+		}
+		return n
+	case ops.Binary:
+		n.L, n.R = lowerRefs(n.L, s), lowerRefs(n.R, s)
+		return n
+	case ops.Not:
+		n.E = lowerRefs(n.E, s)
+		return n
+	case ops.Call:
+		args := make([]ops.Expr, len(n.Args))
+		for i, a := range n.Args {
+			args[i] = lowerRefs(a, s)
+		}
+		return ops.Call{Name: n.Name, Args: args}
+	default:
+		return e
+	}
+}
 
 // valExpr converts a parsed value expression into an executable one.
 func valExpr(e parser.ValExpr) (ops.Expr, error) {

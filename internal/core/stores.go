@@ -99,8 +99,30 @@ func scanStoreBox(st *storage.Store, box array.Box) (*array.Array, error) {
 // array-level cache on purpose: the chunk pool already makes repeat reads
 // memory-resident, and staying pool-backed keeps results consistent with
 // later writes to the store.
+//
+// It first tries chunk-at-a-time delivery: whole decoded buckets are
+// cloned out of the shared pool and adopted, which both skips the
+// cell-by-cell rebuild and — because Clone preserves the decoder's
+// advisory views — hands the operators zone maps and RLE/dictionary
+// structure for compressed execution. The store refuses chunk delivery
+// when shadowing is in play (pending memory-buffer cells, overlapping
+// buckets); the cell-level scan then rebuilds the array exactly.
 func (db *Database) materializeStore(st *storage.Store) (*array.Array, error) {
-	return scanStoreBox(st, storeBox(st.Schema()))
+	box := storeBox(st.Schema())
+	out, err := array.New(st.Schema().Clone())
+	if err != nil {
+		return nil, err
+	}
+	_, _, ok, err := st.ScanEncodedChunks(box, nil, func(ch *array.Chunk) error {
+		return out.MergeChunk(ch.Clone())
+	})
+	if err != nil {
+		return nil, err
+	}
+	if ok {
+		return out, nil
+	}
+	return scanStoreBox(st, box)
 }
 
 // evalStoreSubsample is the store pushdown twin of evalAttachedSubsample:

@@ -96,6 +96,58 @@ func TestStoreSubsamplePushdownUsesBox(t *testing.T) {
 	}
 }
 
+func TestStoreFilterAggregatePushdownPrunes(t *testing.T) {
+	db := testDB()
+	st := storeBacked(t, db, "G")
+
+	// v = x*10+y over four 4x4 buckets: the two x<=4 buckets max out at
+	// 48, so v > 50 prunes exactly those two by zone map.
+	before := st.Stats()
+	r := exec(t, db, "aggregate(filter(G, v > 50), {}, sum(v), count(v))")
+	cell, ok := r.Array.At(array.Coord{1})
+	if !ok {
+		t.Fatal("missing grand-total row")
+	}
+	if cell[0].Float != 2224 { // sum of x*10+y, x in 5..8, y in 1..8
+		t.Errorf("sum = %v, want 2224", cell[0])
+	}
+	if cell[1].Int != 32 {
+		t.Errorf("count = %v, want 32", cell[1])
+	}
+	d := st.Stats()
+	if got := d.ChunksSkipped - before.ChunksSkipped; got != 2 {
+		t.Errorf("chunks skipped = %d, want 2", got)
+	}
+	if got := d.ChunksVisited - before.ChunksVisited; got != 2 {
+		t.Errorf("chunks visited = %d, want 2", got)
+	}
+
+	// Impossible predicate: every bucket pruned, yet the result row must
+	// stay occupied (NULL sum, zero count) exactly like the unfused plan.
+	before = st.Stats()
+	r = exec(t, db, "aggregate(filter(G, v > 1000), {}, sum(v), count(v))")
+	cell, ok = r.Array.At(array.Coord{1})
+	if !ok {
+		t.Fatal("all-pruned aggregate lost its result row")
+	}
+	if !cell[0].Null {
+		t.Errorf("all-pruned sum = %v, want NULL", cell[0])
+	}
+	if cell[1].Null || cell[1].Int != 0 {
+		t.Errorf("all-pruned count = %v, want 0", cell[1])
+	}
+	if got := st.Stats().ChunksSkipped - before.ChunksSkipped; got != 4 {
+		t.Errorf("chunks skipped = %d, want 4", got)
+	}
+
+	// Grouped aggregates must not take the pruned path (group coords need
+	// every cell); the answer still comes out right via the generic plan.
+	r = exec(t, db, "aggregate(filter(G, v > 50), {x}, count(v))")
+	if cell, ok := r.Array.At(array.Coord{6}); !ok || cell[0].Int != 8 {
+		t.Errorf("grouped count(x=6) = %v,%v; want 8", cell, ok)
+	}
+}
+
 func TestStoreBackedCatalog(t *testing.T) {
 	db := testDB()
 	storeBacked(t, db, "G")

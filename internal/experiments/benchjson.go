@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"scidb/internal/obs"
+)
+
+// BenchResult is one experiment's machine-readable snapshot, written as
+// BENCH_<ID>.json by scidb-bench -bench-json. It carries what the text
+// table shows — which run, at what tier, how long — plus the per-run
+// metric deltas, so CI can track cache hit rates, bytes read, and
+// compressed-execution skip counters across commits without scraping
+// stdout.
+type BenchResult struct {
+	Experiment string  `json:"experiment"`
+	Title      string  `json:"title"`
+	Tier       string  `json:"tier"` // "quick" or "full"
+	When       string  `json:"when"` // RFC 3339
+	WallMillis float64 `json:"wall_ms"`
+	BytesRead  float64 `json:"bytes_read"`
+	// Counters holds the per-run delta of every sample in the default
+	// registry that moved during the run (scidb_enc_*, scidb_cache_*,
+	// scidb_store_*, ...), keyed name{label}.
+	Counters map[string]float64 `json:"counters,omitempty"`
+	// Output is the experiment's printed table, line by line.
+	Output []string `json:"output"`
+}
+
+// sampleKey renders a registry sample name with its label, matching the
+// exposition format ("name{label}").
+func sampleKey(s obs.Sample) string {
+	if s.Label == "" {
+		return s.Name
+	}
+	return s.Name + "{" + s.Label + "}"
+}
+
+// RunJSON runs one experiment, tees its table to w, and writes a
+// BENCH_<ID>.json snapshot into dir. The run's error (if any) is returned
+// after the snapshot is attempted, so a failing experiment still leaves
+// its partial output on disk for the CI artifact.
+func RunJSON(w io.Writer, e *Experiment, quick bool, dir string) error {
+	before := obs.Default().Snapshot()
+	var buf bytes.Buffer
+	start := time.Now()
+	runErr := e.Run(io.MultiWriter(w, &buf), quick)
+	wall := time.Since(start)
+	delta := obs.Default().Snapshot().Delta(before)
+	counters := map[string]float64{}
+	var bytesRead float64
+	for _, s := range delta.Samples {
+		if s.Value == 0 {
+			continue
+		}
+		counters[sampleKey(s)] = s.Value
+		if s.Name == "scidb_store_bytes_read_total" {
+			bytesRead += s.Value
+		}
+	}
+	tier := "full"
+	if quick {
+		tier = "quick"
+	}
+	res := BenchResult{
+		Experiment: e.ID,
+		Title:      e.Title,
+		Tier:       tier,
+		When:       start.UTC().Format(time.RFC3339),
+		WallMillis: float64(wall) / float64(time.Millisecond),
+		BytesRead:  bytesRead,
+		Counters:   counters,
+		Output:     strings.Split(strings.TrimRight(buf.String(), "\n"), "\n"),
+	}
+	data, err := json.MarshalIndent(&res, "", "  ")
+	if err == nil {
+		err = os.WriteFile(filepath.Join(dir, "BENCH_"+e.ID+".json"), append(data, '\n'), 0o644)
+	}
+	if runErr != nil {
+		return runErr
+	}
+	if err != nil {
+		return fmt.Errorf("bench-json: %w", err)
+	}
+	return nil
+}

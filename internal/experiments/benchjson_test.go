@@ -1,0 +1,49 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// RunJSON must write a decodable BENCH_<ID>.json snapshot carrying the
+// experiment id, tier, wall time, and the metric deltas of the run. The CE
+// experiment is the richest probe: its run moves the compressed-execution
+// counters, which must show up in the snapshot.
+func TestRunJSONWritesSnapshot(t *testing.T) {
+	e, ok := ByID("CE")
+	if !ok {
+		t.Fatal("CE experiment missing")
+	}
+	dir := t.TempDir()
+	var buf bytes.Buffer
+	if err := RunJSON(&buf, e, true, dir); err != nil {
+		t.Fatalf("RunJSON: %v\noutput:\n%s", err, buf.String())
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "BENCH_CE.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res BenchResult
+	if err := json.Unmarshal(data, &res); err != nil {
+		t.Fatalf("snapshot is not valid JSON: %v", err)
+	}
+	if res.Experiment != "CE" || res.Tier != "quick" {
+		t.Errorf("snapshot header = %q/%q, want CE/quick", res.Experiment, res.Tier)
+	}
+	if res.WallMillis <= 0 {
+		t.Errorf("wall_ms = %v, want > 0", res.WallMillis)
+	}
+	if len(res.Output) == 0 {
+		t.Error("snapshot carries no output lines")
+	}
+	if res.Counters["scidb_enc_chunks_skipped"] <= 0 {
+		t.Errorf("counters missing skip delta: %v", res.Counters)
+	}
+	// The teed writer must match what the snapshot recorded.
+	if buf.Len() == 0 {
+		t.Error("RunJSON suppressed the experiment's table")
+	}
+}

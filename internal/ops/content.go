@@ -35,29 +35,61 @@ func FilterCtx(ctx context.Context, a *array.Array, pred Expr, reg *udf.Registry
 		nullCell[i] = array.NullValue(at.Type)
 	}
 	ec := &EvalCtx{Schema: a.Schema, Reg: reg}
-	var evalErr error
-	a.IterReuse(func(c array.Coord, cell array.Cell) bool {
-		ec.Coord, ec.Cell = c, cell
-		keep, err := Truthy(pred, ec)
+	preds := zonePreds(pred, a.Schema)
+	pure := predPure(pred, a.Schema)
+	var st encStats
+	cell := make(array.Cell, len(a.Schema.Attrs))
+	// Chunk-major walk over present cells: the same order IterReuse takes,
+	// but with the chunk in hand so the compressed-execution planner can
+	// skip or run-evaluate it.
+	for _, ch := range a.Chunks() {
+		if ch.CellsPresent() == 0 {
+			continue
+		}
+		plan := planEncFilter(pred, a.Schema, ch, preds, pure)
+		if plan == nil && chunkHasEncViews(ch) {
+			st.fallbacks++
+		}
+		if plan != nil && plan.skip {
+			st.skipped++
+			if err := eachPresent(ch, func(idx int64, c array.Coord) error {
+				return res.Set(c.Clone(), nullCell)
+			}); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		err := eachPresent(ch, func(idx int64, c array.Coord) error {
+			var keep bool
+			if plan != nil {
+				keep = plan.keep(idx)
+			} else {
+				for ai, col := range ch.Cols {
+					cell[ai] = col.Get(idx)
+				}
+				ec.Coord, ec.Cell = c, cell
+				k, err := Truthy(pred, ec)
+				if err != nil {
+					return err
+				}
+				keep = k
+			}
+			if !keep {
+				return res.Set(c.Clone(), nullCell)
+			}
+			for ai, col := range ch.Cols {
+				cell[ai] = col.Get(idx)
+			}
+			return res.Set(c.Clone(), cell)
+		})
 		if err != nil {
-			evalErr = err
-			return false
+			return nil, err
 		}
-		var werr error
-		if keep {
-			werr = res.Set(c.Clone(), cell)
-		} else {
-			werr = res.Set(c.Clone(), nullCell)
+		if plan != nil && plan.runs != nil {
+			st.runs += *plan.runs
 		}
-		if werr != nil {
-			evalErr = werr
-			return false
-		}
-		return true
-	})
-	if evalErr != nil {
-		return nil, evalErr
 	}
+	st.publish(ctx)
 	return res, nil
 }
 
@@ -148,6 +180,53 @@ func AggregateCtx(ctx context.Context, a *array.Array, groupDims []string, specs
 	res, err := array.New(out)
 	if err != nil {
 		return nil, err
+	}
+	if len(groupDims) == 0 {
+		// Grand total: one accumulator set, fed chunk by chunk so the
+		// compressed-execution paths (zone all-NULL skip, run-at-a-time
+		// RunAggregates) can handle whole columns. Per accumulator the
+		// step order is identical to the cell-major walk: chunks in sorted
+		// order, slots ascending within each chunk.
+		var accs []udf.Aggregate
+		var st encStats
+		for _, ch := range a.Chunks() {
+			if ch.CellsPresent() == 0 {
+				continue
+			}
+			if accs == nil {
+				accs = make([]udf.Aggregate, len(cols))
+				for i, col := range cols {
+					accs[i] = col.fac()
+				}
+			}
+			var pend []int
+			for k, col := range cols {
+				if !encAggColumn(ch, col.attr, accs[k], &st) {
+					pend = append(pend, k)
+				}
+			}
+			if len(pend) > 0 {
+				if err := eachPresent(ch, func(idx int64, _ array.Coord) error {
+					for _, k := range pend {
+						accs[k].Step(ch.Cols[cols[k].attr].Get(idx))
+					}
+					return nil
+				}); err != nil {
+					return nil, err
+				}
+			}
+		}
+		st.publish(ctx)
+		if accs != nil {
+			outCell := make(array.Cell, len(accs))
+			for i, acc := range accs {
+				outCell[i] = acc.Result()
+			}
+			if err := res.Set(array.Coord{1}, outCell); err != nil {
+				return nil, err
+			}
+		}
+		return res, nil
 	}
 
 	// One accumulator set per group, held in a flat slice indexed by the

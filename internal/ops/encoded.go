@@ -1,0 +1,409 @@
+package ops
+
+// Compressed execution (§2.8): operators consult the advisory views the
+// storage decoder leaves on chunk columns — zone maps and encoded
+// structure (RLE runs, dictionary codes) — to do less work per chunk.
+// Three escalating paths, all producing cell-identical results to the
+// decoded operators:
+//
+//   - Zone skip: a chunk whose zone maps prove the Filter predicate false
+//     for every cell emits its all-NULL output without evaluating a
+//     single cell. Aggregates skip chunks whose aggregated column holds
+//     only NULLs.
+//   - Dictionary codes: a string comparison is evaluated once per
+//     dictionary entry instead of once per cell; cells then select by
+//     code.
+//   - Run-at-a-time: an RLE column evaluates the predicate (or feeds a
+//     RunAggregate) once per run instead of once per cell, gated by a
+//     run-density cost check.
+//
+// Everything here is advisory: a nil plan means "no encoded path
+// applies" and the caller runs the decoded path it always had.
+
+import (
+	"context"
+
+	"scidb/internal/array"
+	"scidb/internal/obs"
+	"scidb/internal/udf"
+)
+
+// Process-wide compressed-execution counters, also mirrored onto the
+// query span (EXPLAIN ANALYZE) by encStats.publish.
+var (
+	encChunksSkipped   = obs.Default().Counter("scidb_enc_chunks_skipped", "Chunks whole-skipped by zone maps during operator execution.")
+	encRunsEvaluated   = obs.Default().Counter("scidb_enc_runs_evaluated", "RLE runs evaluated run-at-a-time instead of cell-at-a-time.")
+	encFallbackDecodes = obs.Default().Counter("scidb_enc_fallback_decodes", "Chunks carrying encoded views that still took the decoded path.")
+)
+
+// encRunDensityMin is the cost-model threshold for the run-at-a-time
+// paths: they engage only when the average run covers at least this many
+// slots, below which per-run bookkeeping costs more than it saves.
+const encRunDensityMin = 2
+
+// encStats accumulates one operator run's compressed-execution activity.
+type encStats struct {
+	skipped   int64 // chunks zone-skipped
+	runs      int64 // RLE runs evaluated run-at-a-time
+	fallbacks int64 // chunks with encoded views that went decoded
+}
+
+func (e *encStats) add(o encStats) {
+	e.skipped += o.skipped
+	e.runs += o.runs
+	e.fallbacks += o.fallbacks
+}
+
+// publish flushes the stats to the process counters and, when the query
+// is traced, onto the current span. Call once per operator run from the
+// serial driver goroutine.
+func (e encStats) publish(ctx context.Context) {
+	if e == (encStats{}) {
+		return
+	}
+	encChunksSkipped.Add(e.skipped)
+	encRunsEvaluated.Add(e.runs)
+	encFallbackDecodes.Add(e.fallbacks)
+	if span := obs.SpanFromContext(ctx); span != nil {
+		span.Add("enc_chunks_skipped", e.skipped)
+		span.Add("enc_runs_evaluated", e.runs)
+		span.Add("enc_fallback_decodes", e.fallbacks)
+	}
+}
+
+// ZonePreds exposes the predicate's zone-map conjuncts to the planner,
+// which pushes them down to storage-level bucket pruning.
+func ZonePreds(pred Expr, s *array.Schema) []array.ZonePred { return zonePreds(pred, s) }
+
+// PredPure exposes the error-freeness check to the planner: only pure
+// predicates may have their evaluation skipped wholesale.
+func PredPure(pred Expr, s *array.Schema) bool { return predPure(pred, s) }
+
+// NoteEncChunksSkipped records n chunks skipped before decode — the
+// storage-level half of compressed execution, called by the planner's
+// pruned-scan pushdowns so the process counter and the query span (EXPLAIN
+// ANALYZE) agree no matter which layer did the skipping.
+func NoteEncChunksSkipped(ctx context.Context, n int64) {
+	if n <= 0 {
+		return
+	}
+	encChunksSkipped.Add(n)
+	if span := obs.SpanFromContext(ctx); span != nil {
+		span.Add("enc_chunks_skipped", n)
+	}
+}
+
+// CellMatchesPreds applies zone-map conjuncts to one boxed cell with the
+// engine's comparison semantics (evalCmp): a NULL attribute never
+// matches, and every pred must hold. Cluster workers use it to filter
+// cells out of a pruned scan before shipping them.
+func CellMatchesPreds(preds []array.ZonePred, cell array.Cell) bool {
+	for _, p := range preds {
+		if p.Attr < 0 || p.Attr >= len(cell) {
+			return false
+		}
+		v := evalCmp(BinOp(p.Op), cell[p.Attr], p.Val)
+		if v.Null || !v.Bool {
+			return false
+		}
+	}
+	return true
+}
+
+// attrCmpConst recognizes `attr op const` (either operand order) and
+// returns the comparison normalized to attribute-on-the-left. Ordered
+// mirrors swap direction; =/!= are symmetric. The swap is sound under
+// evalCmp even for NaN constants: Compare returns 0 whenever either side
+// is NaN, symmetrically.
+func attrCmpConst(e Expr, s *array.Schema) (attr int, op string, cv array.Value, ok bool) {
+	b, isBin := e.(Binary)
+	if !isBin {
+		return 0, "", array.Value{}, false
+	}
+	switch b.Op {
+	case OpEq, OpNe, OpLt, OpLe, OpGt, OpGe:
+	default:
+		return 0, "", array.Value{}, false
+	}
+	if ar, lok := b.L.(AttrRef); lok {
+		if co, rok := b.R.(Const); rok {
+			if ai := s.AttrIndex(ar.Name); ai >= 0 {
+				return ai, string(b.Op), co.V, true
+			}
+		}
+	}
+	if co, lok := b.L.(Const); lok {
+		if ar, rok := b.R.(AttrRef); rok {
+			if ai := s.AttrIndex(ar.Name); ai >= 0 {
+				return ai, mirrorCmp(string(b.Op)), co.V, true
+			}
+		}
+	}
+	return 0, "", array.Value{}, false
+}
+
+func mirrorCmp(op string) string {
+	switch op {
+	case "<":
+		return ">"
+	case "<=":
+		return ">="
+	case ">":
+		return "<"
+	case ">=":
+		return "<="
+	}
+	return op // = and != are symmetric
+}
+
+// zonePreds extracts the attr-cmp-const members of pred's top-level AND
+// conjunction. If any one of them cannot match a chunk's zone maps, the
+// whole conjunction is false (or NULL) for every cell — evalLogic's
+// three-valued AND returns false whenever one side is false — so Filter
+// would NULL the entire chunk.
+func zonePreds(pred Expr, s *array.Schema) []array.ZonePred {
+	var out []array.ZonePred
+	var walk func(e Expr)
+	walk = func(e Expr) {
+		if b, ok := e.(Binary); ok && b.Op == OpAnd {
+			walk(b.L)
+			walk(b.R)
+			return
+		}
+		if ai, op, cv, ok := attrCmpConst(e, s); ok {
+			out = append(out, array.ZonePred{Attr: ai, Op: op, Val: cv})
+		}
+	}
+	walk(pred)
+	return out
+}
+
+// predPure reports whether evaluating pred can never return an error:
+// every leaf resolves and every operator is total. Zone-skipping a chunk
+// skips per-cell evaluation, which must not swallow evaluation errors —
+// so only pure predicates are eligible. OpMod (errors on non-integers)
+// and Call (arbitrary UDF errors) are excluded.
+func predPure(pred Expr, s *array.Schema) bool {
+	switch n := pred.(type) {
+	case Const:
+		return true
+	case AttrRef:
+		return s.AttrIndex(n.Name) >= 0
+	case DimRef:
+		return s.DimIndex(n.Name) >= 0
+	case Not:
+		return predPure(n.E, s)
+	case Binary:
+		switch n.Op {
+		case OpAdd, OpSub, OpMul, OpDiv, OpEq, OpNe, OpLt, OpLe, OpGt, OpGe, OpAnd, OpOr:
+			return predPure(n.L, s) && predPure(n.R, s)
+		}
+	}
+	return false
+}
+
+// chunkZones assembles the per-attribute zone-map view of ch; nil when no
+// column carries one.
+func chunkZones(ch *array.Chunk) []*array.ZoneMap {
+	var zones []*array.ZoneMap
+	for i, col := range ch.Cols {
+		if col.Zone != nil {
+			if zones == nil {
+				zones = make([]*array.ZoneMap, len(ch.Cols))
+			}
+			zones[i] = col.Zone
+		}
+	}
+	return zones
+}
+
+// chunkHasEncViews reports whether any column of ch carries an encoded
+// view an operator could have exploited.
+func chunkHasEncViews(ch *array.Chunk) bool {
+	for _, col := range ch.Cols {
+		if col.Zone != nil || col.Enc != nil {
+			return true
+		}
+	}
+	return false
+}
+
+// rawColValue reads the stored value at slot idx ignoring the null bit —
+// the RLE paths use it to read a run's representative value, which is
+// well-defined for every slot of the run regardless of per-slot nullness.
+// Construction mirrors compileExpr's column leaves (sigma included, which
+// evalCmp ignores but keeps the Values interchangeable).
+func rawColValue(col *array.Column, idx int64) array.Value {
+	v := array.Value{Type: col.Type, Sigma: colSigma(col, idx)}
+	switch col.Type {
+	case array.TInt64:
+		v.Int = col.Ints[idx]
+	case array.TFloat64:
+		v.Float = col.Floats[idx]
+	case array.TString:
+		v.Str = col.Strs[idx]
+	case array.TBool:
+		v.Bool = col.Bools[idx]
+	}
+	return v
+}
+
+// encFilterPlan is the compressed-execution plan for one chunk of a
+// Filter: either skip (the predicate is provably false for every cell —
+// emit the all-NULL output without evaluating anything) or keep, a
+// decider equivalent to Truthy(pred) that reads the encoded view. The
+// keep decider must be called with ascending slot indices (it carries an
+// RLE run cursor) and only from one goroutine.
+type encFilterPlan struct {
+	skip bool
+	keep func(idx int64) bool
+	runs *int64 // runs evaluated by the keep decider, for stats
+}
+
+// planEncFilter builds the compressed-execution plan for pred over ch,
+// or returns nil when no encoded path applies and the caller should run
+// its decoded path. preds and pure are precomputed by the driver (they
+// depend only on the predicate and schema, not the chunk).
+func planEncFilter(pred Expr, s *array.Schema, ch *array.Chunk, preds []array.ZonePred, pure bool) *encFilterPlan {
+	if pure && len(preds) > 0 {
+		if zones := chunkZones(ch); zones != nil && !array.CanMatchAll(zones, preds) {
+			return &encFilterPlan{skip: true}
+		}
+	}
+	// The per-cell encoded deciders require the predicate to be exactly
+	// one attr-cmp-const comparison, so keep == Truthy(pred).
+	ai, op, cv, ok := attrCmpConst(pred, s)
+	if !ok || ai >= len(ch.Cols) {
+		return nil
+	}
+	col := ch.Cols[ai]
+	enc := col.Enc
+	if enc == nil {
+		return nil
+	}
+	nulls := col.Nulls
+	if enc.Dict != nil && enc.Codes != nil && col.Type == array.TString {
+		// Evaluate the comparison once per dictionary entry; cells then
+		// select by code. evalCmp on the dictionary string is exactly what
+		// the boxed path computes per cell (NULL handled by the null bit).
+		match := make([]bool, len(enc.Dict))
+		for k, s := range enc.Dict {
+			v := evalCmp(BinOp(op), array.Value{Type: array.TString, Str: s}, cv)
+			match[k] = !v.Null && v.Bool
+		}
+		codes := enc.Codes
+		return &encFilterPlan{keep: func(idx int64) bool {
+			return !nulls.Get(idx) && match[codes[idx]]
+		}}
+	}
+	if enc.RunLens != nil {
+		slots := col.Len()
+		if int64(len(enc.RunLens))*encRunDensityMin > slots {
+			return nil // runs too short to pay for themselves
+		}
+		runs := enc.RunLens
+		runsEvaluated := new(int64)
+		ri, runEnd := 0, runs[0]
+		evaluated, runKeep := false, false
+		return &encFilterPlan{runs: runsEvaluated, keep: func(idx int64) bool {
+			for idx >= runEnd {
+				ri++
+				runEnd += runs[ri]
+				evaluated = false
+			}
+			if !evaluated {
+				// Any slot of the run holds the run's stored value; idx is in
+				// this run, so read it right here.
+				v := evalCmp(BinOp(op), rawColValue(col, idx), cv)
+				runKeep = !v.Null && v.Bool
+				evaluated = true
+				*runsEvaluated++
+			}
+			return runKeep && !nulls.Get(idx)
+		}}
+	}
+	return nil
+}
+
+// emitNullChunk fills oc — the output chunk for a zone-skipped input
+// chunk — with ch's presence pattern and all-NULL attributes, exactly
+// what the decoded Filter emits for a predicate-false cell. When the
+// shapes coincide this is a handful of bitmap clones.
+func emitNullChunk(ch, oc *array.Chunk, same bool) {
+	if same {
+		oc.Present = ch.Present.Clone()
+		for _, col := range oc.Cols {
+			col.Nulls = ch.Present.Clone()
+		}
+		return
+	}
+	_ = eachPresent(ch, func(idx int64, c array.Coord) error {
+		oidx := oc.Index(c)
+		oc.Present.Set(oidx)
+		for _, col := range oc.Cols {
+			col.Nulls.Set(oidx)
+		}
+		return nil
+	})
+}
+
+// firstPresentNonNull returns the first slot in [lo, hi) that is present
+// and non-null, or -1.
+func firstPresentNonNull(present, nulls *array.Bitmap, lo, hi int64) int64 {
+	for i := lo; i < hi; i++ {
+		if present.Get(i) && !nulls.Get(i) {
+			return i
+		}
+	}
+	return -1
+}
+
+// encAggColumn aggregates one chunk's column into acc using its encoded
+// views, returning false when the caller must fall back to per-cell
+// Steps. Only RunAggregates qualify: their contract (ignore NULLs, exact
+// batched Steps) is what makes dropping null cells and stepping runs
+// wholesale produce bit-identical results. Serial step order over the
+// non-null cells is preserved: runs are walked in slot order and each
+// run's representative is its first stepped cell.
+func encAggColumn(ch *array.Chunk, attr int, acc udf.Aggregate, st *encStats) bool {
+	ra, ok := acc.(udf.RunAggregate)
+	if !ok || attr >= len(ch.Cols) {
+		return false
+	}
+	col := ch.Cols[attr]
+	if z := col.Zone; z != nil && !z.HasRange && !z.HasNaN {
+		// Every present cell is NULL: all Steps are no-ops.
+		st.skipped++
+		return true
+	}
+	enc := col.Enc
+	if enc == nil || enc.RunLens == nil {
+		return false
+	}
+	slots := col.Len()
+	if int64(len(enc.RunLens))*encRunDensityMin > slots {
+		return false
+	}
+	lo := int64(0)
+	for _, rl := range enc.RunLens {
+		hi := lo + rl
+		n := array.CountPresentNotNull(ch.Present, col.Nulls, lo, hi)
+		if n > 0 {
+			idx0 := firstPresentNonNull(ch.Present, col.Nulls, lo, hi)
+			v := rawColValue(col, idx0)
+			if ra.StepRun(v, n) {
+				st.runs++
+			} else {
+				// Batched update refused (e.g. float sum): step the run's
+				// non-null cells individually, in slot order.
+				for i := idx0; i < hi; i++ {
+					if ch.Present.Get(i) && !col.Nulls.Get(i) {
+						acc.Step(rawColValue(col, i))
+					}
+				}
+			}
+		}
+		lo = hi
+	}
+	return true
+}

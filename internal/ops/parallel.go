@@ -395,16 +395,31 @@ func parallelFilter(ctx context.Context, a *array.Array, pred Expr, reg *udf.Reg
 	if err != nil {
 		return nil, err
 	}
+	preds := zonePreds(pred, a.Schema)
+	pure := predPure(pred, a.Schema)
+	stats := make([]encStats, len(work))
 	outCh := make([]*array.Chunk, len(work))
 	err = pool.Map(ctx, len(work), func(i int) error {
 		ch := work[i]
 		oc := array.NewChunk(res.Schema, ch.Origin, res.GridShape(ch.Origin))
 		same := shapeEq(ch.Shape, oc.Shape)
-		vec := vecPred(pred, a.Schema, ch)
+		plan := planEncFilter(pred, a.Schema, ch, preds, pure)
+		if plan == nil && chunkHasEncViews(ch) {
+			stats[i].fallbacks++
+		}
+		if plan != nil && plan.skip {
+			stats[i].skipped++
+			emitNullChunk(ch, oc, same)
+			outCh[i] = oc
+			return nil
+		}
+		var vec func(int64) bool
 		var eval colEval
 		var ctx *EvalCtx
 		var cell array.Cell
-		if vec == nil {
+		if plan != nil {
+			vec = plan.keep
+		} else if vec = vecPred(pred, a.Schema, ch); vec == nil {
 			if eval = compileExpr(pred, a.Schema, ch); eval == nil {
 				ctx = &EvalCtx{Schema: a.Schema, Reg: reg}
 				cell = make(array.Cell, len(ch.Cols))
@@ -451,6 +466,9 @@ func parallelFilter(ctx context.Context, a *array.Array, pred Expr, reg *udf.Reg
 		if werr != nil {
 			return werr
 		}
+		if plan != nil && plan.runs != nil {
+			stats[i].runs = *plan.runs
+		}
 		outCh[i] = oc
 		return nil
 	})
@@ -458,6 +476,11 @@ func parallelFilter(ctx context.Context, a *array.Array, pred Expr, reg *udf.Reg
 		return nil, err
 	}
 	pool.NoteChunks(int64(len(work)))
+	var st encStats
+	for i := range stats {
+		st.add(stats[i])
+	}
+	st.publish(ctx)
 	for _, oc := range outCh {
 		if oc != nil {
 			res.PutChunk(oc)
@@ -601,9 +624,37 @@ func parallelAggregate(ctx context.Context, a *array.Array, gidx []int, cols []a
 	}
 	// One sparse partial-state map per chunk, merged at the barrier below.
 	locals := make([]map[int64][]udf.Aggregate, len(work))
+	stats := make([]encStats, len(work))
 	err = pool.Map(ctx, len(work), func(i int) error {
 		ch := work[i]
 		local := map[int64][]udf.Aggregate{}
+		if len(gidx) == 0 {
+			// Grand total: every cell lands in group slot 0, so the whole
+			// chunk can go through the compressed-execution column paths.
+			accs := make([]udf.Aggregate, len(cols))
+			for k, col := range cols {
+				accs[k] = col.fac()
+			}
+			local[0] = accs
+			var pend []int
+			for k, col := range cols {
+				if !encAggColumn(ch, col.attr, accs[k], &stats[i]) {
+					pend = append(pend, k)
+				}
+			}
+			if len(pend) > 0 {
+				if werr := eachPresent(ch, func(idx int64, _ array.Coord) error {
+					for _, k := range pend {
+						accs[k].Step(ch.Cols[cols[k].attr].Get(idx))
+					}
+					return nil
+				}); werr != nil {
+					return werr
+				}
+			}
+			locals[i] = local
+			return nil
+		}
 		gc := make(array.Coord, maxInt(len(gidx), 1))
 		werr := eachPresent(ch, func(idx int64, c array.Coord) error {
 			if len(gidx) == 0 {
@@ -637,6 +688,11 @@ func parallelAggregate(ctx context.Context, a *array.Array, gidx []int, cols []a
 		return nil, err
 	}
 	pool.NoteChunks(int64(len(work)))
+	var st encStats
+	for i := range stats {
+		st.add(stats[i])
+	}
+	st.publish(ctx)
 	// Merge partials in chunk order: serial iteration is chunk-major, so for
 	// any one group the per-chunk partials fold in exactly the order the
 	// serial accumulator saw its inputs.

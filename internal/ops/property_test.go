@@ -1,10 +1,14 @@
 package ops
 
 import (
+	"fmt"
+	"math"
 	"testing"
 	"testing/quick"
 
 	"scidb/internal/array"
+	"scidb/internal/exec"
+	"scidb/internal/storage"
 	"scidb/internal/udf"
 )
 
@@ -222,6 +226,152 @@ func TestPropertyFilterPartition(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
 		t.Error(err)
+	}
+}
+
+// encParityGrid builds a plain array whose columns compress well: v carries
+// the raw seed stream (delta- and zone-friendly), level repeats per row
+// (run-length-friendly), and tag draws from two values (dictionary-friendly).
+func encParityGrid(vals []int16, rows, cols int64) *array.Array {
+	s := &array.Schema{
+		Name: "EP",
+		Dims: []array.Dimension{{Name: "x", High: rows}, {Name: "y", High: cols}},
+		Attrs: []array.Attribute{
+			{Name: "v", Type: array.TInt64},
+			{Name: "level", Type: array.TFloat64},
+			{Name: "tag", Type: array.TString},
+		},
+	}
+	a := array.MustNew(s)
+	k := 0
+	for i := int64(1); i <= rows; i++ {
+		for j := int64(1); j <= cols; j++ {
+			if len(vals) == 0 {
+				continue
+			}
+			v := vals[k%len(vals)]
+			k++
+			if v%5 == 0 {
+				continue // keep some cells absent
+			}
+			_ = a.Set(array.Coord{i, j}, array.Cell{
+				array.Int64(int64(v)),
+				array.Float64(float64(i)),
+				array.String64([]string{"aa", "bb"}[(i+j)%2]),
+			})
+		}
+	}
+	return a
+}
+
+// encodedTwin round-trips every chunk of a through the storage codec so the
+// copy carries zone-map and encoded-structure views while the original stays
+// plain. A non-empty twin with no views would make the parity check vacuous,
+// so that is an error.
+func encodedTwin(a *array.Array) (*array.Array, error) {
+	b := array.MustNew(a.Schema.Clone())
+	viewed := false
+	for _, ch := range a.Chunks() {
+		data, err := storage.EncodeChunk(a.Schema, ch)
+		if err != nil {
+			return nil, err
+		}
+		dec, err := storage.DecodeChunk(a.Schema, data)
+		if err != nil {
+			return nil, err
+		}
+		for _, col := range dec.Cols {
+			if col.Zone != nil || col.Enc != nil {
+				viewed = true
+			}
+		}
+		b.PutChunk(dec)
+	}
+	if a.Count() > 0 && !viewed {
+		return nil, fmt.Errorf("storage round trip attached no views")
+	}
+	return b, nil
+}
+
+// sameCells reports whether two arrays hold bit-identical cells at identical
+// coordinates (types, null bits, and float bit patterns included).
+func sameCells(x, y *array.Array) bool {
+	if x.Count() != y.Count() {
+		return false
+	}
+	same := true
+	x.Iter(func(c array.Coord, cell array.Cell) bool {
+		other, ok := y.At(c)
+		if !ok || len(cell) != len(other) {
+			same = false
+			return false
+		}
+		for i := range cell {
+			a, b := cell[i], other[i]
+			if a.Type != b.Type || a.Null != b.Null {
+				same = false
+				return false
+			}
+			if a.Null {
+				continue
+			}
+			if a.Int != b.Int || a.Str != b.Str || a.Bool != b.Bool ||
+				math.Float64bits(a.Float) != math.Float64bits(b.Float) ||
+				math.Float64bits(a.Sigma) != math.Float64bits(b.Sigma) {
+				same = false
+				return false
+			}
+		}
+		return true
+	})
+	return same
+}
+
+// The encoded fast paths must be invisible: Filter (numeric and dictionary
+// predicates), grand-total Aggregate, and Regrid produce bit-identical
+// results on a view-bearing array and its plain twin, serial and
+// chunk-parallel alike.
+func TestPropertyEncodedDecodedParity(t *testing.T) {
+	reg := udf.NewRegistry()
+	for _, par := range []int{1, 4} {
+		par := par
+		t.Run(fmt.Sprintf("parallelism=%d", par), func(t *testing.T) {
+			exec.SetParallelism(par)
+			defer exec.SetParallelism(0)
+			f := func(vals []int16, threshold int16, strideSeed uint8) bool {
+				rows, cols := dims(vals)
+				plain := encParityGrid(vals, rows, cols)
+				enc, err := encodedTwin(plain)
+				if err != nil {
+					return false
+				}
+				preds := []Expr{
+					Binary{Op: OpGt, L: AttrRef{Name: "v"}, R: Const{V: array.Int64(int64(threshold))}},
+					Binary{Op: OpEq, L: AttrRef{Name: "tag"}, R: Const{V: array.String64("aa")}},
+				}
+				for _, pred := range preds {
+					fp, err1 := Filter(plain, pred, reg)
+					fe, err2 := Filter(enc, pred, reg)
+					if err1 != nil || err2 != nil || !sameCells(fp, fe) {
+						return false
+					}
+				}
+				specs := []AggSpec{{Agg: "sum", Attr: "v"}, {Agg: "count", Attr: "v"},
+					{Agg: "min", Attr: "level"}, {Agg: "max", Attr: "level"}}
+				gp, err1 := Aggregate(plain, nil, specs, reg)
+				ge, err2 := Aggregate(enc, nil, specs, reg)
+				if err1 != nil || err2 != nil || !sameCells(gp, ge) {
+					return false
+				}
+				stride := int64(strideSeed%3) + 1
+				rp, err1 := Regrid(plain, []int64{stride, stride}, AggSpec{Agg: "sum", Attr: "v"}, reg)
+				re, err2 := Regrid(enc, []int64{stride, stride}, AggSpec{Agg: "sum", Attr: "v"}, reg)
+				return err1 == nil && err2 == nil && sameCells(rp, re)
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+				t.Error(err)
+			}
+		})
 	}
 }
 

@@ -25,6 +25,8 @@ import (
 	"fmt"
 	"math"
 	"math/bits"
+
+	"scidb/internal/array"
 )
 
 // Column-encoding tags (format v1, columns flagged colFlagEncV1).
@@ -181,56 +183,60 @@ func encodeIntValues(w *FieldWriter, vals []int64) {
 	}
 }
 
-// decodeIntValues reverses encodeIntValues into a slots-sized vector.
-func decodeIntValues(r *FieldReader, slots int64) ([]int64, error) {
+// decodeIntValues reverses encodeIntValues into a slots-sized vector. The
+// second result is the retained RLE view (run lengths) when the column was
+// constant- or run-encoded, so operators can execute run-at-a-time.
+func decodeIntValues(r *FieldReader, slots int64) ([]int64, []int64, error) {
 	tag := r.U8()
 	if slots == 0 {
-		return nil, r.Err()
+		return nil, nil, r.Err()
 	}
 	switch tag {
 	case encRaw:
 		if !r.Need(slots * 8) {
-			return nil, r.Err()
+			return nil, nil, r.Err()
 		}
 		out := make([]int64, slots)
 		for i := range out {
 			out[i] = r.I64()
 		}
-		return out, r.Err()
+		return out, nil, r.Err()
 	case encConst:
 		v := r.I64()
 		if r.Err() != nil {
-			return nil, r.Err()
+			return nil, nil, r.Err()
 		}
 		out := make([]int64, slots)
 		for i := range out {
 			out[i] = v
 		}
-		return out, nil
+		return out, []int64{slots}, nil
 	case encRLE:
 		out := make([]int64, 0, slots)
+		var runLens []int64
 		if err := decodeRuns(r, slots, func(runLen int64) error {
 			v := r.I64()
+			runLens = append(runLens, runLen)
 			for k := int64(0); k < runLen; k++ {
 				out = append(out, v)
 			}
 			return r.Err()
 		}); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		return out, nil
+		return out, runLens, nil
 	case encDelta:
 		first := r.I64()
 		width := uint(r.U8())
 		if r.Err() != nil {
-			return nil, r.Err()
+			return nil, nil, r.Err()
 		}
 		if width > 64 {
-			return nil, fmt.Errorf("storage: delta column bit width %d", width)
+			return nil, nil, fmt.Errorf("storage: delta column bit width %d", width)
 		}
 		words, err := readPackedWords(r, slots-1, width)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		out := make([]int64, slots)
 		out[0] = first
@@ -239,9 +245,9 @@ func decodeIntValues(r *FieldReader, slots int64) ([]int64, error) {
 			prev += unzigzag(z)
 			out[i+1] = prev
 		}
-		return out, nil
+		return out, nil, nil
 	}
-	return nil, fmt.Errorf("storage: unknown int column encoding %d", tag)
+	return nil, nil, fmt.Errorf("storage: unknown int column encoding %d", tag)
 }
 
 // encodeFloatValues picks const, RLE, or raw for a float vector. Run
@@ -283,46 +289,48 @@ func encodeFloatValues(w *FieldWriter, vals []float64) {
 	}
 }
 
-// decodeFloatValues reverses encodeFloatValues.
-func decodeFloatValues(r *FieldReader, slots int64) ([]float64, error) {
+// decodeFloatValues reverses encodeFloatValues, retaining the RLE view.
+func decodeFloatValues(r *FieldReader, slots int64) ([]float64, []int64, error) {
 	tag := r.U8()
 	if slots == 0 {
-		return nil, r.Err()
+		return nil, nil, r.Err()
 	}
 	switch tag {
 	case encRaw:
 		if !r.Need(slots * 8) {
-			return nil, r.Err()
+			return nil, nil, r.Err()
 		}
 		out := make([]float64, slots)
 		for i := range out {
 			out[i] = r.F64()
 		}
-		return out, r.Err()
+		return out, nil, r.Err()
 	case encConst:
 		v := r.F64()
 		if r.Err() != nil {
-			return nil, r.Err()
+			return nil, nil, r.Err()
 		}
 		out := make([]float64, slots)
 		for i := range out {
 			out[i] = v
 		}
-		return out, nil
+		return out, []int64{slots}, nil
 	case encRLE:
 		out := make([]float64, 0, slots)
+		var runLens []int64
 		if err := decodeRuns(r, slots, func(runLen int64) error {
 			v := r.F64()
+			runLens = append(runLens, runLen)
 			for k := int64(0); k < runLen; k++ {
 				out = append(out, v)
 			}
 			return r.Err()
 		}); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		return out, nil
+		return out, runLens, nil
 	}
-	return nil, fmt.Errorf("storage: unknown float column encoding %d", tag)
+	return nil, nil, fmt.Errorf("storage: unknown float column encoding %d", tag)
 }
 
 // encodeBoolValues picks const, RLE, or raw for a bool vector.
@@ -362,46 +370,48 @@ func encodeBoolValues(w *FieldWriter, vals []bool) {
 	}
 }
 
-// decodeBoolValues reverses encodeBoolValues.
-func decodeBoolValues(r *FieldReader, slots int64) ([]bool, error) {
+// decodeBoolValues reverses encodeBoolValues, retaining the RLE view.
+func decodeBoolValues(r *FieldReader, slots int64) ([]bool, []int64, error) {
 	tag := r.U8()
 	if slots == 0 {
-		return nil, r.Err()
+		return nil, nil, r.Err()
 	}
 	switch tag {
 	case encRaw:
 		if !r.Need(slots) {
-			return nil, r.Err()
+			return nil, nil, r.Err()
 		}
 		out := make([]bool, slots)
 		for i := range out {
 			out[i] = r.Bool()
 		}
-		return out, r.Err()
+		return out, nil, r.Err()
 	case encConst:
 		v := r.Bool()
 		if r.Err() != nil {
-			return nil, r.Err()
+			return nil, nil, r.Err()
 		}
 		out := make([]bool, slots)
 		for i := range out {
 			out[i] = v
 		}
-		return out, nil
+		return out, []int64{slots}, nil
 	case encRLE:
 		out := make([]bool, 0, slots)
+		var runLens []int64
 		if err := decodeRuns(r, slots, func(runLen int64) error {
 			v := r.Bool()
+			runLens = append(runLens, runLen)
 			for k := int64(0); k < runLen; k++ {
 				out = append(out, v)
 			}
 			return r.Err()
 		}); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		return out, nil
+		return out, runLens, nil
 	}
-	return nil, fmt.Errorf("storage: unknown bool column encoding %d", tag)
+	return nil, nil, fmt.Errorf("storage: unknown bool column encoding %d", tag)
 }
 
 // encodeStringValues picks const, dict, RLE, or raw for a string vector.
@@ -486,81 +496,229 @@ func encodeStringValues(w *FieldWriter, vals []string) {
 	}
 }
 
-// decodeStringValues reverses encodeStringValues.
-func decodeStringValues(r *FieldReader, slots int64) ([]string, error) {
+// decodeStringValues reverses encodeStringValues. The second result is the
+// retained encoded-structure view: run lengths for const/RLE columns, the
+// dictionary plus per-slot codes for dict columns.
+func decodeStringValues(r *FieldReader, slots int64) ([]string, *array.ColEnc, error) {
 	tag := r.U8()
 	if slots == 0 {
-		return nil, r.Err()
+		return nil, nil, r.Err()
 	}
 	switch tag {
 	case encRaw:
 		// Every string costs at least its 4-byte length prefix.
 		if !r.Need(slots * 4) {
-			return nil, r.Err()
+			return nil, nil, r.Err()
 		}
 		out := make([]string, slots)
 		for i := range out {
 			out[i] = r.String()
 			if r.Err() != nil {
-				return nil, r.Err()
+				return nil, nil, r.Err()
 			}
 		}
-		return out, nil
+		return out, nil, nil
 	case encConst:
 		v := r.String()
 		if r.Err() != nil {
-			return nil, r.Err()
+			return nil, nil, r.Err()
 		}
 		out := make([]string, slots)
 		for i := range out {
 			out[i] = v
 		}
-		return out, nil
+		return out, &array.ColEnc{RunLens: []int64{slots}}, nil
 	case encRLE:
 		out := make([]string, 0, slots)
+		var runLens []int64
 		if err := decodeRuns(r, slots, func(runLen int64) error {
 			v := r.String()
+			runLens = append(runLens, runLen)
 			for k := int64(0); k < runLen; k++ {
 				out = append(out, v)
 			}
 			return r.Err()
 		}); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		return out, nil
+		return out, &array.ColEnc{RunLens: runLens}, nil
 	case encDict:
 		dictLen := int64(r.U32())
 		if dictLen <= 0 || !r.Need(dictLen*4) {
 			if r.Err() == nil {
-				return nil, fmt.Errorf("storage: dict column with empty dictionary")
+				return nil, nil, fmt.Errorf("storage: dict column with empty dictionary")
 			}
-			return nil, r.Err()
+			return nil, nil, r.Err()
 		}
 		dict := make([]string, dictLen)
 		for i := range dict {
 			dict[i] = r.String()
 			if r.Err() != nil {
-				return nil, r.Err()
+				return nil, nil, r.Err()
 			}
 		}
 		width := uint(r.U8())
 		if width > 64 {
-			return nil, fmt.Errorf("storage: dict column bit width %d", width)
+			return nil, nil, fmt.Errorf("storage: dict column bit width %d", width)
 		}
 		words, err := readPackedWords(r, slots, width)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		out := make([]string, slots)
+		codes := make([]uint32, slots)
 		for i, idx := range unpackBits(words, width, slots) {
 			if idx >= uint64(dictLen) {
-				return nil, fmt.Errorf("storage: dict index %d out of range %d", idx, dictLen)
+				return nil, nil, fmt.Errorf("storage: dict index %d out of range %d", idx, dictLen)
 			}
 			out[i] = dict[idx]
+			codes[i] = uint32(idx)
 		}
-		return out, nil
+		return out, &array.ColEnc{Dict: dict, Codes: codes}, nil
 	}
-	return nil, fmt.Errorf("storage: unknown string column encoding %d", tag)
+	return nil, nil, fmt.Errorf("storage: unknown string column encoding %d", tag)
+}
+
+// Zone-map kind tags (serialized behind colFlagZone, see encode.go).
+const (
+	zoneInt    = 1
+	zoneFloat  = 2
+	zoneString = 3
+	zoneBool   = 4
+)
+
+// Zone-map flag bits.
+const (
+	zoneHasRange = 1 << 0
+	zoneHasNaN   = 1 << 1
+
+	zoneFlagsKnown = zoneHasRange | zoneHasNaN
+)
+
+// encodeZoneMap serializes a per-column zone map: kind tag, flags, null
+// count, distinct hint, then the min/max pair when a range exists.
+func encodeZoneMap(w *FieldWriter, z *array.ZoneMap) {
+	var kind uint8
+	switch z.Kind {
+	case array.TInt64:
+		kind = zoneInt
+	case array.TFloat64:
+		kind = zoneFloat
+	case array.TString:
+		kind = zoneString
+	case array.TBool:
+		kind = zoneBool
+	}
+	w.U8(kind)
+	var fl uint8
+	if z.HasRange {
+		fl |= zoneHasRange
+	}
+	if z.HasNaN {
+		fl |= zoneHasNaN
+	}
+	w.U8(fl)
+	w.I64(z.Nulls)
+	w.I64(z.Distinct)
+	if !z.HasRange {
+		return
+	}
+	switch z.Kind {
+	case array.TInt64, array.TBool:
+		w.I64(z.MinInt)
+		w.I64(z.MaxInt)
+	case array.TFloat64:
+		w.F64(z.MinFloat)
+		w.F64(z.MaxFloat)
+	case array.TString:
+		w.String(z.MinStr)
+		w.String(z.MaxStr)
+	}
+}
+
+// decodeZoneMap reverses encodeZoneMap, validating every field against the
+// column it describes: the kind must match the attribute type, counts must
+// fit in the slot budget, and bounds must be ordered (and, for floats,
+// non-NaN — NaN presence travels in the flag, never in the range). A zone
+// map that fails validation poisons the chunk decode; pruning on a corrupt
+// range would silently drop cells.
+func decodeZoneMap(r *FieldReader, want array.Type, slots int64) (*array.ZoneMap, error) {
+	kind := r.U8()
+	fl := r.U8()
+	nulls := r.I64()
+	distinct := r.I64()
+	if r.Err() != nil {
+		return nil, r.Err()
+	}
+	if fl&^uint8(zoneFlagsKnown) != 0 {
+		return nil, fmt.Errorf("storage: unknown zone-map flags %#x", fl)
+	}
+	if nulls < 0 || nulls > slots {
+		return nil, fmt.Errorf("storage: zone-map null count %d outside %d slots", nulls, slots)
+	}
+	if distinct < 0 || distinct > slots {
+		return nil, fmt.Errorf("storage: zone-map distinct hint %d outside %d slots", distinct, slots)
+	}
+	z := &array.ZoneMap{
+		HasRange: fl&zoneHasRange != 0,
+		HasNaN:   fl&zoneHasNaN != 0,
+		Nulls:    nulls,
+		Distinct: distinct,
+	}
+	var wantKind uint8
+	switch want {
+	case array.TInt64:
+		wantKind = zoneInt
+	case array.TFloat64:
+		wantKind = zoneFloat
+	case array.TString:
+		wantKind = zoneString
+	case array.TBool:
+		wantKind = zoneBool
+	}
+	if kind != wantKind {
+		return nil, fmt.Errorf("storage: zone-map kind %d for column type %v", kind, want)
+	}
+	if z.HasNaN && kind != zoneFloat {
+		return nil, fmt.Errorf("storage: zone-map NaN flag on non-float column")
+	}
+	z.Kind = want
+	if !z.HasRange {
+		return z, r.Err()
+	}
+	switch kind {
+	case zoneInt, zoneBool:
+		z.MinInt = r.I64()
+		z.MaxInt = r.I64()
+		if r.Err() != nil {
+			return nil, r.Err()
+		}
+		if z.MinInt > z.MaxInt {
+			return nil, fmt.Errorf("storage: zone-map int bounds inverted [%d,%d]", z.MinInt, z.MaxInt)
+		}
+		if kind == zoneBool && (z.MinInt < 0 || z.MaxInt > 1) {
+			return nil, fmt.Errorf("storage: zone-map bool bounds [%d,%d]", z.MinInt, z.MaxInt)
+		}
+	case zoneFloat:
+		z.MinFloat = r.F64()
+		z.MaxFloat = r.F64()
+		if r.Err() != nil {
+			return nil, r.Err()
+		}
+		if math.IsNaN(z.MinFloat) || math.IsNaN(z.MaxFloat) || z.MinFloat > z.MaxFloat {
+			return nil, fmt.Errorf("storage: zone-map float bounds inverted [%v,%v]", z.MinFloat, z.MaxFloat)
+		}
+	case zoneString:
+		z.MinStr = r.String()
+		z.MaxStr = r.String()
+		if r.Err() != nil {
+			return nil, r.Err()
+		}
+		if z.MinStr > z.MaxStr {
+			return nil, fmt.Errorf("storage: zone-map string bounds inverted [%q,%q]", z.MinStr, z.MaxStr)
+		}
+	}
+	return z, r.Err()
 }
 
 // decodeRuns drives an RLE decode: it reads the run count, validates it

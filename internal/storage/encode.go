@@ -22,9 +22,14 @@ const chunkMagic = 0x53434442 // "SCDB"
 const (
 	colFlagSigma  = 1 << 0
 	colFlagShared = 1 << 1
-	colFlagEncV1  = 1 << 7
+	// colFlagZone marks a column that carries a serialized zone map
+	// (min/max, null count, distinct hint; see colenc.go) between the
+	// null bitmap and the values. v1 columns written since the
+	// compressed-execution layer always set it for zone-mappable types.
+	colFlagZone  = 1 << 6
+	colFlagEncV1 = 1 << 7
 
-	colFlagsKnown = colFlagSigma | colFlagShared | colFlagEncV1
+	colFlagsKnown = colFlagSigma | colFlagShared | colFlagZone | colFlagEncV1
 )
 
 // EncodeChunk serializes a chunk of the given schema to a portable binary
@@ -33,6 +38,15 @@ const (
 // string dictionary) from cheap column stats. Nested-array attributes are
 // encoded recursively using the attribute's element schema.
 func EncodeChunk(s *array.Schema, ch *array.Chunk) ([]byte, error) {
+	data, _, err := encodeChunk(s, ch, false)
+	return data, err
+}
+
+// EncodeChunkZones is EncodeChunk plus the per-column zone maps computed
+// during encoding (nil entries for nested-array columns). The store keeps
+// them in its bucket metadata so scans can prune buckets before reading
+// them back from disk.
+func EncodeChunkZones(s *array.Schema, ch *array.Chunk) ([]byte, []*array.ZoneMap, error) {
 	return encodeChunk(s, ch, false)
 }
 
@@ -40,10 +54,11 @@ func EncodeChunk(s *array.Schema, ch *array.Chunk) ([]byte, error) {
 // no per-column encodings. It is retained as the measured baseline for the
 // ENC experiment and for compatibility tests; DecodeChunk reads both forms.
 func EncodeChunkRaw(s *array.Schema, ch *array.Chunk) ([]byte, error) {
-	return encodeChunk(s, ch, true)
+	data, _, err := encodeChunk(s, ch, true)
+	return data, err
 }
 
-func encodeChunk(s *array.Schema, ch *array.Chunk, raw bool) ([]byte, error) {
+func encodeChunk(s *array.Schema, ch *array.Chunk, raw bool) ([]byte, []*array.ZoneMap, error) {
 	var b bytes.Buffer
 	w := NewFieldWriter(&b)
 	w.U32(chunkMagic)
@@ -54,17 +69,25 @@ func encodeChunk(s *array.Schema, ch *array.Chunk, raw bool) ([]byte, error) {
 	}
 	writeBitmap(w, ch.Present)
 	if len(ch.Cols) != len(s.Attrs) {
-		return nil, fmt.Errorf("storage: chunk has %d columns, schema %d", len(ch.Cols), len(s.Attrs))
+		return nil, nil, fmt.Errorf("storage: chunk has %d columns, schema %d", len(ch.Cols), len(s.Attrs))
+	}
+	var zones []*array.ZoneMap
+	if !raw {
+		zones = make([]*array.ZoneMap, len(ch.Cols))
 	}
 	for ai, col := range ch.Cols {
-		if err := encodeColumn(w, s.Attrs[ai], col, raw); err != nil {
-			return nil, err
+		z, err := encodeColumn(w, s.Attrs[ai], col, ch.Present, raw)
+		if err != nil {
+			return nil, nil, err
+		}
+		if zones != nil {
+			zones[ai] = z
 		}
 	}
 	if w.Err() != nil {
-		return nil, w.Err()
+		return nil, nil, w.Err()
 	}
-	return b.Bytes(), nil
+	return b.Bytes(), zones, nil
 }
 
 // DecodeChunk reverses EncodeChunk (and EncodeChunkRaw: the column flag
@@ -162,11 +185,13 @@ func DecodeArray(s *array.Schema, data []byte) (*array.Array, error) {
 	return a, nil
 }
 
-// encodeColumn writes one column: flag byte, null bitmap, values (encoded
-// per colenc.go unless raw), then the uncertainty tail. Nested-array
-// columns always use the raw layout — their payloads are recursively
-// encoded arrays, which compress internally.
-func encodeColumn(w *FieldWriter, at array.Attribute, col *array.Column, raw bool) error {
+// encodeColumn writes one column: flag byte, null bitmap, zone map (v1
+// columns of zone-mappable types), values (encoded per colenc.go unless
+// raw), then the uncertainty tail. Nested-array columns always use the raw
+// layout — their payloads are recursively encoded arrays, which compress
+// internally. It returns the zone map it computed (nil in raw mode and for
+// nested columns) so the caller can index the chunk without re-scanning.
+func encodeColumn(w *FieldWriter, at array.Attribute, col *array.Column, present *array.Bitmap, raw bool) (*array.ZoneMap, error) {
 	var flags uint8
 	if col.Sigma != nil {
 		flags |= colFlagSigma
@@ -174,11 +199,18 @@ func encodeColumn(w *FieldWriter, at array.Attribute, col *array.Column, raw boo
 	if col.HasShared {
 		flags |= colFlagShared
 	}
+	var zone *array.ZoneMap
 	if !raw {
 		flags |= colFlagEncV1
+		if zone = array.ComputeZone(col, present); zone != nil {
+			flags |= colFlagZone
+		}
 	}
 	w.U8(flags)
 	writeBitmap(w, col.Nulls)
+	if zone != nil {
+		encodeZoneMap(w, zone)
+	}
 	switch at.Type {
 	case array.TInt64:
 		if raw {
@@ -224,12 +256,12 @@ func encodeColumn(w *FieldWriter, at array.Attribute, col *array.Column, raw boo
 			w.U8(1)
 			payload, err := EncodeArray(nested)
 			if err != nil {
-				return err
+				return nil, err
 			}
 			w.Bytes(payload)
 		}
 	default:
-		return fmt.Errorf("storage: cannot encode attribute type %v", at.Type)
+		return nil, fmt.Errorf("storage: cannot encode attribute type %v", at.Type)
 	}
 	if col.Sigma != nil {
 		for _, v := range col.Sigma {
@@ -239,7 +271,7 @@ func encodeColumn(w *FieldWriter, at array.Attribute, col *array.Column, raw boo
 	if col.HasShared {
 		w.F64(col.SharedSigma)
 	}
-	return nil
+	return zone, nil
 }
 
 func decodeColumn(r *FieldReader, at array.Attribute, slots int64) (*array.Column, error) {
@@ -256,10 +288,20 @@ func decodeColumn(r *FieldReader, at array.Attribute, slots int64) (*array.Colum
 	}
 	encoded := flags&colFlagEncV1 != 0
 	col := &array.Column{Type: at.Type, Nulls: nulls}
+	if flags&colFlagZone != 0 {
+		if !encoded || at.Type == array.TArray {
+			return nil, fmt.Errorf("storage: zone map on %v column without v1 encoding", at.Type)
+		}
+		col.Zone, err = decodeZoneMap(r, at.Type, slots)
+		if err != nil {
+			return nil, err
+		}
+	}
+	var runLens []int64
 	switch at.Type {
 	case array.TInt64:
 		if encoded {
-			col.Ints, err = decodeIntValues(r, slots)
+			col.Ints, runLens, err = decodeIntValues(r, slots)
 		} else if r.Need(slots * 8) {
 			col.Ints = make([]int64, slots)
 			for i := range col.Ints {
@@ -268,7 +310,7 @@ func decodeColumn(r *FieldReader, at array.Attribute, slots int64) (*array.Colum
 		}
 	case array.TFloat64:
 		if encoded {
-			col.Floats, err = decodeFloatValues(r, slots)
+			col.Floats, runLens, err = decodeFloatValues(r, slots)
 		} else if r.Need(slots * 8) {
 			col.Floats = make([]float64, slots)
 			for i := range col.Floats {
@@ -277,7 +319,7 @@ func decodeColumn(r *FieldReader, at array.Attribute, slots int64) (*array.Colum
 		}
 	case array.TBool:
 		if encoded {
-			col.Bools, err = decodeBoolValues(r, slots)
+			col.Bools, runLens, err = decodeBoolValues(r, slots)
 		} else if r.Need(slots) {
 			col.Bools = make([]bool, slots)
 			for i := range col.Bools {
@@ -286,7 +328,7 @@ func decodeColumn(r *FieldReader, at array.Attribute, slots int64) (*array.Colum
 		}
 	case array.TString:
 		if encoded {
-			col.Strs, err = decodeStringValues(r, slots)
+			col.Strs, col.Enc, err = decodeStringValues(r, slots)
 		} else if r.Need(slots * 4) {
 			col.Strs = make([]string, slots)
 			for i := range col.Strs {
@@ -330,6 +372,9 @@ func decodeColumn(r *FieldReader, at array.Attribute, slots int64) (*array.Colum
 	}
 	if r.Err() != nil {
 		return nil, r.Err()
+	}
+	if runLens != nil {
+		col.Enc = &array.ColEnc{RunLens: runLens}
 	}
 	if flags&colFlagSigma != 0 {
 		if !r.Need(slots * 8) {

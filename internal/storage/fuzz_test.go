@@ -1,6 +1,9 @@
 package storage
 
 import (
+	"bytes"
+	"math"
+	"reflect"
 	"testing"
 
 	"scidb/internal/array"
@@ -62,6 +65,81 @@ func FuzzDecodeChunk(f *testing.F) {
 		}
 		if _, err := EncodeChunkRaw(s, back); err != nil {
 			t.Fatalf("decoded chunk fails to re-encode raw: %v", err)
+		}
+	})
+}
+
+// fuzzZoneTypes is the order the zone-map fuzzer's type selector indexes.
+var fuzzZoneTypes = []array.Type{array.TInt64, array.TFloat64, array.TString, array.TBool}
+
+// FuzzDecodeZoneMap feeds arbitrary bytes to decodeZoneMap for each column
+// type: it must return an error or a fully validated zone map, never panic.
+// Every accepted map must satisfy the pruning invariants (counts inside the
+// slot budget, ordered non-NaN bounds) and survive an encode/decode round
+// trip unchanged — a corrupt range that slipped through would make the scan
+// silently drop cells.
+func FuzzDecodeZoneMap(f *testing.F) {
+	seeds := []*array.ZoneMap{
+		{Kind: array.TInt64, HasRange: true, MinInt: -3, MaxInt: 900, Nulls: 2, Distinct: 5},
+		{Kind: array.TFloat64, HasRange: true, HasNaN: true, MinFloat: -0.5, MaxFloat: 12.25},
+		{Kind: array.TString, HasRange: true, MinStr: "aa", MaxStr: "zz", Distinct: 2},
+		{Kind: array.TBool, HasRange: true, MinInt: 0, MaxInt: 1},
+		{Kind: array.TInt64, Nulls: 16}, // all-null: no range
+	}
+	for sel, z := range seeds {
+		var buf bytes.Buffer
+		w := NewFieldWriter(&buf)
+		encodeZoneMap(w, z)
+		if w.Err() != nil {
+			f.Fatal(w.Err())
+		}
+		f.Add(uint8(sel), uint8(16), buf.Bytes())
+		mut := append([]byte(nil), buf.Bytes()...)
+		mut[len(mut)/2] ^= 0xFF
+		f.Add(uint8(sel), uint8(16), mut)
+		f.Add(uint8(sel), uint8(0), buf.Bytes()[:len(buf.Bytes())/2])
+	}
+	f.Fuzz(func(t *testing.T, typeSel, slotsByte uint8, data []byte) {
+		want := fuzzZoneTypes[int(typeSel)%len(fuzzZoneTypes)]
+		slots := int64(slotsByte)
+		z, err := decodeZoneMap(NewFieldReaderBytes(data), want, slots)
+		if err != nil {
+			return
+		}
+		if z.Kind != want {
+			t.Fatalf("decoded kind %v, want %v", z.Kind, want)
+		}
+		if z.Nulls < 0 || z.Nulls > slots || z.Distinct < 0 || z.Distinct > slots {
+			t.Fatalf("counts escape %d slots: %+v", slots, z)
+		}
+		if z.HasRange {
+			switch want {
+			case array.TInt64, array.TBool:
+				if z.MinInt > z.MaxInt {
+					t.Fatalf("int bounds inverted: %+v", z)
+				}
+			case array.TFloat64:
+				if math.IsNaN(z.MinFloat) || math.IsNaN(z.MaxFloat) || z.MinFloat > z.MaxFloat {
+					t.Fatalf("float bounds invalid: %+v", z)
+				}
+			case array.TString:
+				if z.MinStr > z.MaxStr {
+					t.Fatalf("string bounds inverted: %+v", z)
+				}
+			}
+		}
+		var buf bytes.Buffer
+		w := NewFieldWriter(&buf)
+		encodeZoneMap(w, z)
+		if w.Err() != nil {
+			t.Fatalf("accepted zone map fails to re-encode: %v", w.Err())
+		}
+		back, err := decodeZoneMap(NewFieldReaderBytes(buf.Bytes()), want, slots)
+		if err != nil {
+			t.Fatalf("re-encoded zone map fails to decode: %v", err)
+		}
+		if !reflect.DeepEqual(z, back) {
+			t.Fatalf("round trip drift:\n in: %+v\nout: %+v", z, back)
 		}
 	})
 }

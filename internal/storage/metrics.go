@@ -25,8 +25,11 @@ func RegisterMetrics(r *obs.Registry, label string, stats func() Stats) {
 				{"scidb_store_prefetch_issued_total", s.PrefetchIssued},
 				{"scidb_store_prefetch_hits_total", s.PrefetchHits},
 				{"scidb_store_prefetch_wasted_total", s.PrefetchWasted},
+				{"scidb_store_chunks_visited_total", s.ChunksVisited},
+				{"scidb_store_chunks_skipped_total", s.ChunksSkipped},
 			} {
 				emit(obs.Sample{Name: m.name, Label: label, Value: float64(m.v)})
 			}
+			emit(obs.Sample{Name: "scidb_store_skip_ratio", Label: label, Value: s.SkipRatio()})
 		})
 }

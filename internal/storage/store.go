@@ -36,6 +36,11 @@ type Stats struct {
 	PrefetchIssued int64
 	PrefetchHits   int64
 	PrefetchWasted int64
+	// Zone-pruned scan counters: ChunksVisited buckets were read by pruned
+	// scans, ChunksSkipped buckets were proven irrelevant by their zone
+	// maps and never read from disk.
+	ChunksVisited int64
+	ChunksSkipped int64
 }
 
 // EncodingRatio returns BytesRaw / BytesEncoded (the lightweight-encoding
@@ -45,6 +50,17 @@ func (s Stats) EncodingRatio() float64 {
 		return 1
 	}
 	return float64(s.BytesRaw) / float64(s.BytesEncoded)
+}
+
+// SkipRatio returns the fraction of pruned-scan candidate buckets the
+// zone maps eliminated, or 0 before any pruned scan (empty stores and
+// stores never scanned with predicates divide by zero otherwise).
+func (s Stats) SkipRatio() float64 {
+	total := s.ChunksVisited + s.ChunksSkipped
+	if total == 0 {
+		return 0
+	}
+	return float64(s.ChunksSkipped) / float64(total)
 }
 
 // CompressionRatio returns BytesRaw / BytesWritten (lightweight encodings
@@ -71,6 +87,8 @@ func (s Stats) Add(o Stats) Stats {
 		PrefetchIssued: s.PrefetchIssued + o.PrefetchIssued,
 		PrefetchHits:   s.PrefetchHits + o.PrefetchHits,
 		PrefetchWasted: s.PrefetchWasted + o.PrefetchWasted,
+		ChunksVisited:  s.ChunksVisited + o.ChunksVisited,
+		ChunksSkipped:  s.ChunksSkipped + o.ChunksSkipped,
 	}
 }
 
@@ -89,6 +107,8 @@ type statCounters struct {
 	prefetchIssued atomic.Int64
 	prefetchHits   atomic.Int64
 	prefetchWasted atomic.Int64
+	chunksVisited  atomic.Int64
+	chunksSkipped  atomic.Int64
 }
 
 func (c *statCounters) snapshot() Stats {
@@ -104,6 +124,8 @@ func (c *statCounters) snapshot() Stats {
 		PrefetchIssued: c.prefetchIssued.Load(),
 		PrefetchHits:   c.prefetchHits.Load(),
 		PrefetchWasted: c.prefetchWasted.Load(),
+		ChunksVisited:  c.chunksVisited.Load(),
+		ChunksSkipped:  c.chunksSkipped.Load(),
 	}
 }
 
@@ -149,6 +171,11 @@ type bucketMeta struct {
 	cells int64
 	path  string // file path, or "" when in-memory
 	data  []byte // in-memory payload when path == ""
+	// zones are the per-attribute zone maps computed when the bucket was
+	// encoded (nil for raw-encoded buckets, pre-zone buckets recovered
+	// from an old manifest, and nested-array columns). They let pruned
+	// scans reject the bucket without reading it back from disk.
+	zones []*array.ZoneMap
 }
 
 // Store is the per-node storage manager for one array's partition. Writes
@@ -332,11 +359,14 @@ func (s *Store) flushLocked() error {
 }
 
 func (s *Store) writeBucketLocked(ch *array.Chunk) error {
-	encodeChunk := EncodeChunk
+	var raw []byte
+	var zones []*array.ZoneMap
+	var err error
 	if s.opts.RawEncoding {
-		encodeChunk = EncodeChunkRaw
+		raw, err = EncodeChunkRaw(s.schema, ch)
+	} else {
+		raw, zones, err = EncodeChunkZones(s.schema, ch)
 	}
-	raw, err := encodeChunk(s.schema, ch)
 	if err != nil {
 		return err
 	}
@@ -345,7 +375,7 @@ func (s *Store) writeBucketLocked(ch *array.Chunk) error {
 	s.stats.bytesEncoded.Add(int64(len(raw)))
 	id := s.nextID
 	s.nextID++
-	meta := &bucketMeta{id: id, box: ch.Box(), bytes: int64(len(enc)), cells: ch.CellsPresent()}
+	meta := &bucketMeta{id: id, box: ch.Box(), bytes: int64(len(enc)), cells: ch.CellsPresent(), zones: zones}
 	if s.opts.Dir != "" {
 		meta.path = filepath.Join(s.opts.Dir, fmt.Sprintf("bucket-%06d.sdb", id))
 		if err := os.WriteFile(meta.path, enc, 0o644); err != nil {
