@@ -17,7 +17,7 @@ vet:
 # runs this alongside `test`; the full -race ./... sweep is `race-all`).
 # ./internal/storage includes the scan-prefetcher stress tests.
 race:
-	$(GO) test -race ./internal/exec ./internal/ops ./internal/bufcache ./internal/storage ./internal/cluster ./internal/obs ./internal/session ./internal/core
+	$(GO) test -race ./internal/exec ./internal/ops ./internal/bufcache ./internal/storage ./internal/cluster ./internal/obs ./internal/session ./internal/core ./internal/loader ./internal/insitu
 
 # Short fuzz smoke over the chunk/array decoders. Each target must be
 # invoked separately: `go test -fuzz` refuses a pattern matching more
@@ -29,6 +29,7 @@ fuzz:
 	$(GO) test -run=NONE -fuzz=FuzzDecodeArray -fuzztime=$(FUZZTIME) ./internal/storage
 	$(GO) test -run=NONE -fuzz=FuzzDecodeZoneMap -fuzztime=$(FUZZTIME) ./internal/storage
 	$(GO) test -run=NONE -fuzz=FuzzDecodeSessionFrame -fuzztime=$(FUZZTIME) ./internal/session
+	$(GO) test -run=NONE -fuzz=FuzzCSVShardSplit -fuzztime=$(FUZZTIME) ./internal/insitu
 
 .PHONY: race-all
 race-all:

@@ -3,8 +3,17 @@
 // it to the self-describing SDF format or loads it into a running grid of
 // scidb-server nodes, splitting the stream into site substreams.
 //
+// Grid loads run the parallel partition-on-load pipeline: the input is
+// sharded by the adaptor, shards are parsed concurrently, and chunks are
+// encoded (zone maps included) on the loader before being shipped in
+// batches to their owning workers. -parallelism caps the shard/parse
+// concurrency (0 = one shard per core); -batch sets how many chunks a
+// site accumulates before a batch ships (0 = 16; larger batches amortize
+// more round-trips at the cost of loader memory).
+//
 //	scidb-load -in data.csv -adaptor csv -out data.sdf
 //	scidb-load -in data.ncl -adaptor ncl -array sky -nodes 127.0.0.1:7101,127.0.0.1:7102
+//	scidb-load -in data.csv -array sky -nodes host1:7101,host2:7101 -parallelism 8 -batch 32
 package main
 
 import (
@@ -27,6 +36,8 @@ func main() {
 	arrayName := flag.String("array", "", "grid load: target array name")
 	nodes := flag.String("nodes", "", "grid load: comma-separated worker addresses")
 	splitDim := flag.Int("splitdim", 0, "grid load: dimension index to block-partition on")
+	parallelism := flag.Int("parallelism", 0, "grid load: shard/parse concurrency (0 = one shard per core)")
+	batch := flag.Int("batch", 0, "grid load: chunks per shipped batch (0 = 16)")
 	wireStats := flag.Bool("wire-stats", false, "grid load: print transport wire counters after the load")
 	flag.Parse()
 
@@ -79,9 +90,12 @@ func main() {
 		if err := co.Create(*arrayName, schema, scheme); err != nil {
 			fail("create: %v", err)
 		}
-		sink := loader.ClusterSink{Co: co, Array: *arrayName}
 		box := array.WholeBox(schemaBounded(schema))
-		stats, err := loader.Load(loader.FromDataset(ds, box), scheme, loader.Replicate(sink, len(addrs)))
+		dest := loader.ClusterDest{Co: co, Array: *arrayName}
+		stats, err := loader.LoadParallel(ds, box, schema, scheme, dest, loader.Options{
+			Parallelism: *parallelism,
+			BatchChunks: *batch,
+		})
 		if err != nil {
 			fail("load: %v", err)
 		}

@@ -797,6 +797,63 @@ func (co *Coordinator) ArraySchema(name string) (*array.Schema, error) {
 	return da.Schema, nil
 }
 
+// LoadChunks ships a batch of pre-encoded chunk payloads straight to their
+// owning node — the parallel bulk loader's fast path. Unlike Put it holds no
+// coordinator state, so concurrent calls from loader shards pipeline freely
+// over the transport.
+func (co *Coordinator) LoadChunks(name string, node int, payloads [][]byte, cells int64) error {
+	co.mu.Lock()
+	_, err := co.dist(name)
+	co.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	_, err = co.t.Call(node, &Message{Op: "loadchunks", Array: name, Chunks: payloads, Cells: cells})
+	return err
+}
+
+// RegisterInsitu declares an external file as a distributed array without
+// loading it (§2.9 in-situ data): each node is handed its slab of the file's
+// coordinate box and materializes chunks lazily through the named adaptor.
+// The scheme must describe contiguous per-node boxes (Block or Range), and
+// the file must be reachable from every worker at the same path.
+func (co *Coordinator) RegisterInsitu(name, path, adaptor string, schema *array.Schema, scheme partition.Scheme) error {
+	if err := schema.Validate(); err != nil {
+		return err
+	}
+	boxer, ok := scheme.(partition.Boxer)
+	if !ok {
+		return fmt.Errorf("cluster: in-situ registration needs a contiguous scheme (Block or Range), got %s", scheme.Name())
+	}
+	if scheme.NumNodes() > co.t.NumNodes() {
+		return fmt.Errorf("cluster: scheme wants %d nodes, transport has %d", scheme.NumNodes(), co.t.NumNodes())
+	}
+	// The file's global coordinate box: schema bounds where declared, the
+	// everything-box on unbounded dimensions.
+	box := fullBox(len(schema.Dims))
+	for i, d := range schema.Dims {
+		if d.High != array.Unbounded {
+			box.Hi[i] = d.High
+		}
+	}
+	if err := fanout(allNodes(co.t.NumNodes()), func(_, n int) error {
+		req := &Message{Op: "insitu", Array: name, Schema: schema, Path: path, Adaptor: adaptor}
+		if n < scheme.NumNodes() {
+			if lo, hi, ok := boxer.BoxFor(n, box.Lo, box.Hi); ok {
+				req.BoxLo, req.BoxHi = lo, hi
+			}
+		}
+		_, err := co.t.Call(n, req)
+		return err
+	}); err != nil {
+		return err
+	}
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	co.arrays[name] = &DistArray{Name: name, Schema: schema, Scheme: scheme, staging: map[int]*array.Array{}}
+	return nil
+}
+
 // Drop removes a distributed array from every node and the coordinator's
 // catalog.
 func (co *Coordinator) Drop(name string) error {

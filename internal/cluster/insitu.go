@@ -1,0 +1,247 @@
+package cluster
+
+// Worker-side halves of the parallel bulk loader and distributed in-situ
+// scanning (§2.8–§2.9).
+//
+// "loadchunks" adopts a batch of pre-encoded chunk payloads as buckets
+// (store-backed partitions) or merges them wholesale (array-backed), so
+// ingest pays one parse + one encode total, both on the loader side.
+//
+// "insitu" registers an external file region as a first-class partition:
+// the node materializes stride-aligned chunks of its slab lazily through
+// the adaptor → encoded-chunk path into the buffer pool, so the file is
+// queryable with no load step. The file must be reachable from the worker
+// (shared filesystem or a local copy at the same path) — in-situ data
+// stays under user control and gets no replication or recovery.
+
+import (
+	"fmt"
+
+	"scidb/internal/array"
+	"scidb/internal/bufcache"
+	"scidb/internal/insitu"
+	"scidb/internal/storage"
+)
+
+// loadChunks ingests a batch of pre-encoded chunk payloads shipped by the
+// parallel bulk loader.
+func (w *Worker) loadChunks(req *Message) (*Message, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	st, isStore := w.stores[req.Array]
+	var a *array.Array
+	var schema *array.Schema
+	if isStore {
+		schema = st.Schema()
+	} else {
+		var err error
+		if a, err = w.local(req.Array); err != nil {
+			return nil, err
+		}
+		schema = a.Schema
+	}
+	var cells, bytesIn int64
+	for _, payload := range req.Chunks {
+		ch, err := storage.DecodeChunk(schema, payload)
+		if err != nil {
+			return nil, err
+		}
+		if isStore {
+			// The payload bytes become the bucket verbatim — no re-encode.
+			if err := st.AdoptEncoded(payload, ch); err != nil {
+				return nil, err
+			}
+		} else if err := a.MergeChunk(ch); err != nil {
+			return nil, err
+		}
+		cells += ch.CellsPresent()
+		bytesIn += int64(len(payload))
+	}
+	w.stats.CellsHeld += cells
+	w.stats.BytesIn += bytesIn
+	return &Message{Op: "loadchunks", Cells: cells}, nil
+}
+
+// insituPart is one node's registration of an external file: the adaptor,
+// the node's slab of the global coordinate box, and the lazy chunk grid it
+// materializes through.
+type insituPart struct {
+	path    string
+	adaptor string
+	ds      insitu.Dataset
+	schema  *array.Schema // partition-local (unbounded dims, ChunkLen set)
+	box     array.Box     // this node's slab; unset when empty
+	empty   bool
+	stride  []int64
+	cacheID uint64 // buffer-pool namespace; 0 when uncached
+}
+
+// insituOp registers (or replaces) an in-situ partition on this node.
+// An absent box means the partitioning assigns this node none of the file.
+func (w *Worker) insituOp(req *Message) (*Message, error) {
+	if req.Schema == nil {
+		return nil, fmt.Errorf("cluster: insitu without schema")
+	}
+	ad, err := insitu.ByName(req.Adaptor)
+	if err != nil {
+		return nil, err
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if old, ok := w.insitus[req.Array]; ok {
+		old.release(w)
+	}
+	ps := partitionSchema(req.Schema)
+	p := &insituPart{path: req.Path, adaptor: req.Adaptor, schema: ps}
+	if len(req.BoxLo) == 0 {
+		p.empty = true
+	} else {
+		ds, err := ad.Open(req.Path)
+		if err != nil {
+			return nil, err
+		}
+		p.ds = ds
+		p.box = array.Box{Lo: req.BoxLo, Hi: req.BoxHi}
+		p.stride = make([]int64, len(ps.Dims))
+		for i := range p.stride {
+			if i < len(w.opts.Stride) && w.opts.Stride[i] > 0 {
+				p.stride[i] = w.opts.Stride[i]
+			} else {
+				p.stride[i] = ps.Dims[i].ChunkLen
+			}
+		}
+		if w.cache != nil {
+			p.cacheID = w.cache.RegisterStore()
+		}
+	}
+	if w.insitus == nil {
+		w.insitus = map[string]*insituPart{}
+	}
+	w.insitus[req.Array] = p
+	return &Message{Op: "insitu"}, nil
+}
+
+// release closes the part's dataset and drops its pool entries.
+func (p *insituPart) release(w *Worker) {
+	if p.ds != nil {
+		_ = p.ds.Close()
+	}
+	if w.cache != nil && p.cacheID != 0 {
+		w.cache.InvalidateStore(p.cacheID)
+	}
+}
+
+// gridOrigin aligns c down to the part's chunk grid (1-based strides).
+func (p *insituPart) gridOrigin(c array.Coord) array.Coord {
+	o := make(array.Coord, len(c))
+	for i, cl := range p.stride {
+		o[i] = ((c[i]-1)/cl)*cl + 1
+	}
+	return o
+}
+
+// bucketID numbers a grid origin within the slab's chunk grid, row-major —
+// the part's stable key space inside the shared buffer pool.
+func (p *insituPart) bucketID(origin array.Coord) int64 {
+	id := int64(0)
+	for i, cl := range p.stride {
+		extent := (p.box.Hi[i]-1)/cl + 1
+		id = id*extent + (origin[i]-1)/cl
+	}
+	return id
+}
+
+// chunkAt materializes (or fetches from the pool) the grid chunk at origin:
+// scan the adaptor over the region, then round-trip through the chunk codec
+// so the result carries zone maps and encoded column views like any bucket.
+func (p *insituPart) chunkAt(w *Worker, origin array.Coord) (*array.Chunk, func(), error) {
+	load := func() (*array.Chunk, error) {
+		shape := make([]int64, len(p.stride))
+		copy(shape, p.stride)
+		ch := array.NewChunk(p.schema, origin.Clone(), shape)
+		region, ok := ch.Box().Intersect(p.box)
+		if !ok {
+			return ch, nil
+		}
+		var werr error
+		if err := p.ds.Scan(region, func(c array.Coord, cell array.Cell) bool {
+			if err := ch.Set(c, cell); err != nil {
+				werr = err
+				return false
+			}
+			return true
+		}); err != nil {
+			return nil, err
+		}
+		if werr != nil {
+			return nil, werr
+		}
+		if ch.CellsPresent() == 0 {
+			return ch, nil
+		}
+		raw, _, err := storage.EncodeChunkZones(p.schema, ch)
+		if err != nil {
+			return nil, err
+		}
+		return storage.DecodeChunk(p.schema, raw)
+	}
+	if w.cache == nil || p.cacheID == 0 {
+		ch, err := load()
+		return ch, func() {}, err
+	}
+	h, err := w.cache.GetOrLoad(bufcache.Key{Store: p.cacheID, Bucket: p.bucketID(origin)}, load)
+	if err != nil {
+		return nil, nil, err
+	}
+	return h.Chunk(), h.Release, nil
+}
+
+// insituScan visits the part's cells intersecting box, materializing grid
+// chunks lazily. fn's early-stop return is honoured.
+func (w *Worker) insituScan(p *insituPart, box array.Box, fn func(array.Coord, array.Cell) bool) error {
+	if p.empty {
+		return nil
+	}
+	q, ok := p.box.Intersect(box)
+	if !ok {
+		return nil
+	}
+	// Odometer over the grid origins covering q.
+	origin := p.gridOrigin(q.Lo)
+	for {
+		ch, release, err := p.chunkAt(w, origin)
+		if err != nil {
+			return err
+		}
+		cont := true
+		if inter, ok := ch.Box().Intersect(q); ok {
+			array.IterBox(inter, func(c array.Coord) bool {
+				cell, present := ch.Get(c)
+				if !present {
+					return true
+				}
+				if !fn(c, cell) {
+					cont = false
+					return false
+				}
+				return true
+			})
+		}
+		release()
+		if !cont {
+			return nil
+		}
+		// Advance the odometer, last dimension fastest.
+		d := len(origin) - 1
+		for ; d >= 0; d-- {
+			origin[d] += p.stride[d]
+			if origin[d] <= q.Hi[d] {
+				break
+			}
+			origin[d] = p.gridOrigin(q.Lo)[d]
+		}
+		if d < 0 {
+			return nil
+		}
+	}
+}

@@ -38,10 +38,11 @@ type WorkerOptions struct {
 // NewWorkerWithOptions creates a worker with configured partition backing.
 func NewWorkerWithOptions(id int, opts WorkerOptions) *Worker {
 	w := &Worker{
-		ID:     id,
-		opts:   opts,
-		arrays: map[string]*array.Array{},
-		stores: map[string]*storage.Store{},
+		ID:      id,
+		opts:    opts,
+		arrays:  map[string]*array.Array{},
+		stores:  map[string]*storage.Store{},
+		insitus: map[string]*insituPart{},
 	}
 	if opts.Cache != nil {
 		w.cache = opts.Cache
@@ -115,6 +116,10 @@ func (w *Worker) Close() error {
 		}
 		delete(w.stores, name)
 	}
+	for name, p := range w.insitus {
+		p.release(w)
+		delete(w.insitus, name)
+	}
 	return first
 }
 
@@ -127,6 +132,8 @@ func (w *Worker) flushOp(req *Message) (*Message, error) {
 		if err := st.Flush(); err != nil {
 			return nil, err
 		}
+	} else if _, ok := w.insitus[req.Array]; ok {
+		// In-situ partitions are read-through views of the file: no spill.
 	} else if _, err := w.local(req.Array); err != nil {
 		return nil, err
 	}
@@ -174,6 +181,12 @@ func (w *Worker) createStoreLocked(name string, schema *array.Schema) error {
 func (w *Worker) partLocked(name string) (*array.Schema, func(array.Box, func(array.Coord, array.Cell) bool) error, error) {
 	if st, ok := w.stores[name]; ok {
 		return st.Schema(), st.Scan, nil
+	}
+	if p, ok := w.insitus[name]; ok {
+		iter := func(box array.Box, fn func(array.Coord, array.Cell) bool) error {
+			return w.insituScan(p, box, fn)
+		}
+		return p.schema, iter, nil
 	}
 	a, ok := w.arrays[name]
 	if !ok {

@@ -221,6 +221,18 @@ const (
 	msgHasPreds   = 1 << 7 // Preds + Skipped (compressed-execution pruning)
 )
 
+// The first presence byte is full, so later fields chain through a second
+// one. It is written only when one of its bits is set — legacy messages
+// stay byte-identical — and read only when bytes remain after the first
+// byte's blocks, so decoders on either side of the version line interop:
+// an old decoder never looks past the blocks it knows, and a new decoder
+// ignores unknown present2 bits (and any bytes after the last block it
+// understands), the same append-only contract the first byte grew under.
+const (
+	msg2HasChunks = 1 << 0 // Chunks: batched pre-encoded chunk payloads (bulk load)
+	msg2HasInsitu = 1 << 1 // Path + Adaptor (in-situ registration)
+)
+
 // encodePredValue writes one predicate constant. Preds are scalar
 // comparisons, so the nested-array field never travels.
 func encodePredValue(w *storage.FieldWriter, v array.Value) {
@@ -378,6 +390,26 @@ func encodeMessage(m *Message) ([]byte, error) {
 		}
 		w.I64(m.Skipped)
 	}
+	var present2 uint8
+	if len(m.Chunks) > 0 {
+		present2 |= msg2HasChunks
+	}
+	if m.Path != "" || m.Adaptor != "" {
+		present2 |= msg2HasInsitu
+	}
+	if present2 != 0 {
+		w.U8(present2)
+		if present2&msg2HasChunks != 0 {
+			w.U32(uint32(len(m.Chunks)))
+			for _, c := range m.Chunks {
+				w.Bytes(c)
+			}
+		}
+		if present2&msg2HasInsitu != 0 {
+			w.String(m.Path)
+			w.String(m.Adaptor)
+		}
+	}
 	if w.Err() != nil {
 		return nil, w.Err()
 	}
@@ -526,6 +558,29 @@ func decodeMessage(data []byte) (*Message, error) {
 			p.Val = decodePredValue(r)
 		}
 		m.Skipped = r.I64()
+	}
+	if r.Remaining() > 0 {
+		present2 := r.U8()
+		if present2&msg2HasChunks != 0 {
+			n := int(r.U32())
+			if r.Err() != nil {
+				return nil, fmt.Errorf("cluster: corrupt message: %w", r.Err())
+			}
+			if n > MaxFrameBody/8 {
+				return nil, fmt.Errorf("cluster: message has %d chunk payloads", n)
+			}
+			m.Chunks = make([][]byte, n)
+			for i := range m.Chunks {
+				m.Chunks[i] = r.Bytes()
+				if r.Err() != nil {
+					return nil, fmt.Errorf("cluster: corrupt message: %w", r.Err())
+				}
+			}
+		}
+		if present2&msg2HasInsitu != 0 {
+			m.Path = r.String()
+			m.Adaptor = r.String()
+		}
 	}
 	if r.Err() != nil {
 		return nil, fmt.Errorf("cluster: corrupt message: %w", r.Err())

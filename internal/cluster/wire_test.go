@@ -65,6 +65,9 @@ func wireTestMessage() *Message {
 			{Attr: 2, Op: "!=", Val: array.NullValue(array.TInt64)},
 		},
 		Skipped: 11,
+		Chunks:  [][]byte{{0x01, 0x02, 0x03}, {0x00}, {0xff}},
+		Path:    "/data/sky/night-042.csv",
+		Adaptor: "csv",
 	}
 }
 

@@ -80,6 +80,18 @@ type Message struct {
 	// set it and ignore trailing bytes).
 	Preds   []array.ZonePred
 	Skipped int64
+	// Chunks, on a "loadchunks" request, carries a batch of pre-encoded
+	// chunk payloads (storage.EncodeChunk bytes) for the parallel bulk
+	// loader: the worker adopts each as a bucket verbatim instead of
+	// re-ingesting cell by cell. Rides the second presence byte; legacy
+	// peers interoperate unchanged.
+	Chunks [][]byte
+	// Path and Adaptor, on an "insitu" request, register an external file
+	// region as this node's partition of a file-backed array (distributed
+	// in-situ scanning); BoxLo/BoxHi carry the node's slab. Second presence
+	// byte as well.
+	Path    string
+	Adaptor string
 }
 
 // Partial is a combinable aggregate fragment computed by one worker for one
@@ -153,10 +165,11 @@ type Worker struct {
 	// store-backed partitions (and, typically, by every node in-process).
 	cache *bufcache.Pool
 
-	mu     sync.RWMutex
-	arrays map[string]*array.Array
-	stores map[string]*storage.Store
-	stats  WorkerStats
+	mu      sync.RWMutex
+	arrays  map[string]*array.Array
+	stores  map[string]*storage.Store
+	insitus map[string]*insituPart
+	stats   WorkerStats
 
 	// reg is the node's metrics registry: worker/cache/store collectors
 	// plus the request-latency histogram. The "metrics" op snapshots it so
@@ -284,6 +297,10 @@ func (w *Worker) handle(ctx context.Context, req *Message) (*Message, error) {
 		return w.create(req)
 	case "put":
 		return w.put(req)
+	case "loadchunks":
+		return w.loadChunks(req)
+	case "insitu":
+		return w.insituOp(req)
 	case "scan":
 		return w.scan(req)
 	case "agg":
@@ -556,6 +573,16 @@ func (w *Worker) count(req *Message) (*Message, error) {
 		}
 		return &Message{Op: "count", Cells: n}, nil
 	}
+	if p, ok := w.insitus[req.Array]; ok {
+		var n int64
+		if err := w.insituScan(p, fullBox(len(p.schema.Dims)), func(array.Coord, array.Cell) bool {
+			n++
+			return true
+		}); err != nil {
+			return nil, err
+		}
+		return &Message{Op: "count", Cells: n}, nil
+	}
 	a, err := w.local(req.Array)
 	if err != nil {
 		return nil, err
@@ -574,6 +601,11 @@ func (w *Worker) drop(req *Message) (*Message, error) {
 			_ = os.RemoveAll(filepath.Join(w.opts.Dir, req.Array))
 		}
 		delete(w.stores, req.Array)
+		return nil, nil
+	}
+	if p, ok := w.insitus[req.Array]; ok {
+		p.release(w)
+		delete(w.insitus, req.Array)
 		return nil, nil
 	}
 	delete(w.arrays, req.Array)

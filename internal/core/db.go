@@ -169,6 +169,8 @@ func (db *Database) run(ctx context.Context, stmt parser.Stmt) (*Result, error) 
 		return db.runDefineFunction(s)
 	case *parser.CreateArray:
 		return db.runCreate(s)
+	case *parser.CreateFromFile:
+		return db.runCreateFromFile(s)
 	case *parser.CreateVersion:
 		return db.runCreateVersion(s)
 	case *parser.Enhance:

@@ -56,7 +56,17 @@ func parseCSVHeader(sc *bufio.Scanner, path string) (*array.Schema, error) {
 				if d == "" {
 					continue
 				}
-				schema.Dims = append(schema.Dims, array.Dimension{Name: d, High: array.Unbounded})
+				// "name:High" declares the dimension bound; a bare name
+				// stays unbounded (the original dialect).
+				high := int64(array.Unbounded)
+				if parts := strings.SplitN(d, ":", 2); len(parts) == 2 {
+					v, err := strconv.ParseInt(strings.TrimSpace(parts[1]), 10, 64)
+					if err != nil {
+						return nil, fmt.Errorf("insitu: %s: bad dimension bound %q", path, d)
+					}
+					d, high = strings.TrimSpace(parts[0]), v
+				}
+				schema.Dims = append(schema.Dims, array.Dimension{Name: d, High: high})
 			}
 		case strings.HasPrefix(line, "# attrs:"):
 			for _, a := range strings.Split(strings.TrimPrefix(line, "# attrs:"), ",") {
@@ -121,43 +131,53 @@ func (d *csvDataset) Scan(box array.Box, fn func(array.Coord, array.Cell) bool) 
 	}
 	defer f.Close()
 	sc := bufio.NewScanner(f)
-	nd, na := len(d.schema.Dims), len(d.schema.Attrs)
 	lineNo := 0
 	for sc.Scan() {
 		lineNo++
-		line := strings.TrimSpace(sc.Text())
-		if line == "" || strings.HasPrefix(line, "#") {
+		c, cell, ok, err := parseCSVRecord(d.schema, sc.Text())
+		if err != nil {
+			return fmt.Errorf("insitu: %s:%d: %w", d.path, lineNo, err)
+		}
+		if !ok || !box.Contains(c) {
 			continue
-		}
-		fields := strings.Split(line, ",")
-		if len(fields) != nd+na {
-			return fmt.Errorf("insitu: %s:%d: %d fields, want %d", d.path, lineNo, len(fields), nd+na)
-		}
-		c := make(array.Coord, nd)
-		for i := 0; i < nd; i++ {
-			v, err := strconv.ParseInt(strings.TrimSpace(fields[i]), 10, 64)
-			if err != nil {
-				return fmt.Errorf("insitu: %s:%d: bad coordinate %q", d.path, lineNo, fields[i])
-			}
-			c[i] = v
-		}
-		if !box.Contains(c) {
-			continue
-		}
-		cell := make(array.Cell, na)
-		for i := 0; i < na; i++ {
-			raw := strings.TrimSpace(fields[nd+i])
-			v, err := parseCSVValue(raw, d.schema.Attrs[i].Type)
-			if err != nil {
-				return fmt.Errorf("insitu: %s:%d: %w", d.path, lineNo, err)
-			}
-			cell[i] = v
 		}
 		if !fn(c, cell) {
 			return nil
 		}
 	}
 	return sc.Err()
+}
+
+// parseCSVRecord parses one CSV line into a coordinate and a cell. ok is
+// false for blank lines and # comments (including the header). The returned
+// error carries no file/line context; callers add it.
+func parseCSVRecord(schema *array.Schema, rawLine string) (array.Coord, array.Cell, bool, error) {
+	line := strings.TrimSpace(rawLine)
+	if line == "" || strings.HasPrefix(line, "#") {
+		return nil, nil, false, nil
+	}
+	nd, na := len(schema.Dims), len(schema.Attrs)
+	fields := strings.Split(line, ",")
+	if len(fields) != nd+na {
+		return nil, nil, false, fmt.Errorf("%d fields, want %d", len(fields), nd+na)
+	}
+	c := make(array.Coord, nd)
+	for i := 0; i < nd; i++ {
+		v, err := strconv.ParseInt(strings.TrimSpace(fields[i]), 10, 64)
+		if err != nil {
+			return nil, nil, false, fmt.Errorf("bad coordinate %q", fields[i])
+		}
+		c[i] = v
+	}
+	cell := make(array.Cell, na)
+	for i := 0; i < na; i++ {
+		v, err := parseCSVValue(strings.TrimSpace(fields[nd+i]), schema.Attrs[i].Type)
+		if err != nil {
+			return nil, nil, false, err
+		}
+		cell[i] = v
+	}
+	return c, cell, true, nil
 }
 
 func parseCSVValue(raw string, t array.Type) (array.Value, error) {
@@ -209,7 +229,11 @@ func WriteCSV(path string, a *array.Array) error {
 	fmt.Fprintln(w, "# scidb-csv")
 	var dims, attrs []string
 	for _, d := range a.Schema.Dims {
-		dims = append(dims, d.Name)
+		if d.High != array.Unbounded {
+			dims = append(dims, fmt.Sprintf("%s:%d", d.Name, d.High))
+		} else {
+			dims = append(dims, d.Name)
+		}
 	}
 	for _, at := range a.Schema.Attrs {
 		attrs = append(attrs, at.Name+":"+at.Type.String())

@@ -11,6 +11,7 @@
 package loader
 
 import (
+	"errors"
 	"fmt"
 
 	"scidb/internal/array"
@@ -54,12 +55,15 @@ func Load(recs <-chan Record, scheme partition.Scheme, sinks []Sink) (Stats, err
 		st.Records++
 		st.PerSite[site]++
 	}
+	// Every sink is flushed even when one fails: a site's flush error must
+	// not strand the buffered substreams of the sites after it.
+	var flushErr error
 	for _, s := range sinks {
 		if err := s.Flush(); err != nil {
-			return st, err
+			flushErr = errors.Join(flushErr, err)
 		}
 	}
-	return st, nil
+	return st, flushErr
 }
 
 // FromDataset streams a dataset's cells (the adaptor-based load path: the

@@ -1,0 +1,215 @@
+package loader
+
+import (
+	"errors"
+	"path/filepath"
+	"testing"
+
+	"scidb/internal/array"
+	"scidb/internal/cluster"
+	"scidb/internal/insitu"
+	"scidb/internal/partition"
+	"scidb/internal/storage"
+)
+
+func gridSchema() *array.Schema {
+	return &array.Schema{
+		Name: "grid",
+		Dims: []array.Dimension{
+			{Name: "x", High: 40, ChunkLen: 8},
+			{Name: "y", High: 20, ChunkLen: 8},
+		},
+		Attrs: []array.Attribute{{Name: "v", Type: array.TFloat64}},
+	}
+}
+
+// writeGridCSV writes a sparse grid (two thirds of cells present) and
+// returns the expected content as an array.
+func writeGridCSV(t *testing.T) (string, *array.Array) {
+	t.Helper()
+	a := array.MustNew(gridSchema())
+	for x := int64(1); x <= 40; x++ {
+		for y := int64(1); y <= 20; y++ {
+			if (x+y)%3 == 0 {
+				continue
+			}
+			if err := a.Set(array.Coord{x, y}, array.Cell{array.Float64(float64(x*1000 + y))}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	path := filepath.Join(t.TempDir(), "grid.csv")
+	if err := insitu.WriteCSV(path, a); err != nil {
+		t.Fatal(err)
+	}
+	return path, a
+}
+
+func newSiteStores(t *testing.T, n int) []*storage.Store {
+	t.Helper()
+	stores := make([]*storage.Store, n)
+	for i := range stores {
+		st, err := storage.NewStore(gridSchema(), storage.Options{Stride: []int64{8, 8}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		stores[i] = st
+	}
+	return stores
+}
+
+// scanAll drains a store's full content into a map keyed by coordinate.
+func scanAll(t *testing.T, st *storage.Store) map[string]float64 {
+	t.Helper()
+	out := map[string]float64{}
+	box := array.Box{Lo: array.Coord{1, 1}, Hi: array.Coord{40, 20}}
+	if err := st.Scan(box, func(c array.Coord, cell array.Cell) bool {
+		out[c.String()] = cell[0].Float
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestLoadParallelDeterministic: the parallel pipeline must produce content
+// bit-identical to the serial cell-at-a-time loader, at parallelism 1 and 4
+// alike — shard boundaries and ship order may differ, the cells may not.
+func TestLoadParallelDeterministic(t *testing.T) {
+	path, src := writeGridCSV(t)
+	schema := gridSchema()
+	scheme := partition.Block{Nodes: 3, SplitDim: 0, High: 40}
+	box := array.Box{Lo: array.Coord{1, 1}, Hi: array.Coord{40, 20}}
+
+	// Serial baseline.
+	serial := newSiteStores(t, 3)
+	ds, err := (insitu.CSVAdaptor{}).Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sinks := make([]Sink, len(serial))
+	for i, st := range serial {
+		sinks[i] = StoreSink{st}
+	}
+	stSerial, err := Load(FromDataset(ds, box), scheme, sinks)
+	ds.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stSerial.Records != src.Count() {
+		t.Fatalf("serial records = %d; want %d", stSerial.Records, src.Count())
+	}
+
+	for _, par := range []int{1, 4} {
+		stores := newSiteStores(t, 3)
+		ds, err := (insitu.CSVAdaptor{}).Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := LoadParallel(ds, box, schema, scheme, StoreDest{Schema: schema, Stores: stores},
+			Options{Parallelism: par, BatchChunks: 4, Stride: []int64{8, 8}})
+		ds.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Records != stSerial.Records {
+			t.Fatalf("par=%d records = %d; want %d", par, st.Records, stSerial.Records)
+		}
+		for i := range st.PerSite {
+			if st.PerSite[i] != stSerial.PerSite[i] {
+				t.Fatalf("par=%d per-site = %v; serial %v", par, st.PerSite, stSerial.PerSite)
+			}
+		}
+		for i := range stores {
+			got, want := scanAll(t, stores[i]), scanAll(t, serial[i])
+			if len(got) != len(want) {
+				t.Fatalf("par=%d site %d holds %d cells; serial %d", par, i, len(got), len(want))
+			}
+			for k, v := range want {
+				if got[k] != v {
+					t.Fatalf("par=%d site %d cell %s = %v; want %v", par, i, k, got[k], v)
+				}
+			}
+		}
+	}
+}
+
+// TestLoadParallelIntoCluster: the ClusterDest path ships batches over the
+// loadchunks op and ends in the same state as a coordinator-routed load.
+func TestLoadParallelIntoCluster(t *testing.T) {
+	path, src := writeGridCSV(t)
+	schema := gridSchema()
+	scheme := partition.Block{Nodes: 2, SplitDim: 0, High: 40}
+	box := array.Box{Lo: array.Coord{1, 1}, Hi: array.Coord{40, 20}}
+
+	tr := cluster.NewLocalWithOptions(2, cluster.LocalOptions{
+		Persist: true, Stride: []int64{8, 8}, CacheBytes: 1 << 20,
+	})
+	co := cluster.NewCoordinator(tr, 0)
+	if err := co.Create("grid", schema, scheme); err != nil {
+		t.Fatal(err)
+	}
+	ds, err := (insitu.CSVAdaptor{}).Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ds.Close()
+	st, err := LoadParallel(ds, box, schema, scheme, ClusterDest{Co: co, Array: "grid"},
+		Options{Parallelism: 4, Stride: []int64{8, 8}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Records != src.Count() {
+		t.Fatalf("records = %d; want %d", st.Records, src.Count())
+	}
+	n, err := co.Count("grid")
+	if err != nil || n != src.Count() {
+		t.Fatalf("cluster count = %d, %v; want %d", n, err, src.Count())
+	}
+	got, err := co.Scan("grid", box)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mismatch := false
+	src.Iter(func(c array.Coord, want array.Cell) bool {
+		cell, ok := got.At(c)
+		if !ok || cell[0].Float != want[0].Float {
+			t.Errorf("cell %v = %v, %v; want %v", c, cell, ok, want)
+			mismatch = true
+			return false
+		}
+		return true
+	})
+	if mismatch {
+		t.FailNow()
+	}
+}
+
+// failingSink flushes with an error but must not prevent later sinks from
+// flushing.
+type failingSink struct{ err error }
+
+func (s failingSink) Put(array.Coord, array.Cell) error { return nil }
+func (s failingSink) Flush() error                      { return s.err }
+
+type flushRecorder struct{ flushed bool }
+
+func (s *flushRecorder) Put(array.Coord, array.Cell) error { return nil }
+func (s *flushRecorder) Flush() error                      { s.flushed = true; return nil }
+
+// TestLoadFlushesEverySink: one site's flush failure must not strand the
+// buffered substreams of the sites after it, and every flush error joins
+// the returned error.
+func TestLoadFlushesEverySink(t *testing.T) {
+	errA := errors.New("site 0 disk full")
+	errC := errors.New("site 2 link down")
+	rec := &flushRecorder{}
+	scheme := partition.Block{Nodes: 3, SplitDim: 0, High: 40}
+	_, err := Load(FromSlice(nil), scheme, []Sink{failingSink{errA}, rec, failingSink{errC}})
+	if !rec.flushed {
+		t.Error("sink after the failing one was not flushed")
+	}
+	if !errors.Is(err, errA) || !errors.Is(err, errC) {
+		t.Errorf("joined error = %v; want both %v and %v", err, errA, errC)
+	}
+}

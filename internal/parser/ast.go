@@ -66,6 +66,21 @@ type CreateArray struct {
 
 func (*CreateArray) stmtNode() {}
 
+// CreateFromFile is
+//
+//	CREATE ARRAY Sky FROM FILE '/data/sky.csv' USING csv
+//
+// It registers an external file as a first-class array without a load step
+// (§2.9): the schema comes from the file itself, and on a cluster every
+// worker materializes its slab of the file lazily through the adaptor.
+type CreateFromFile struct {
+	Name    string
+	Path    string
+	Adaptor string
+}
+
+func (*CreateFromFile) stmtNode() {}
+
 // Enhance is "ENHANCE My_remote WITH Scale10".
 type Enhance struct {
 	Array string

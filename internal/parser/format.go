@@ -47,6 +47,8 @@ func Format(s Stmt) string {
 			}
 		}
 		return fmt.Sprintf("create array %s as %s [%s]", n.Name, n.TypeName, strings.Join(bounds, ", "))
+	case *CreateFromFile:
+		return fmt.Sprintf("create array %s from file '%s' using %s", n.Name, n.Path, n.Adaptor)
 	case *CreateVersion:
 		if n.Parent != "" {
 			return fmt.Sprintf("create version %s from %s parent %s", n.Name, n.Array, n.Parent)

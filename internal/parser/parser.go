@@ -275,7 +275,10 @@ func (p *parser) parseParamList() ([]ParamDef, error) {
 	return out, nil
 }
 
-// CREATE ARRAY name AS type [b1, b2] | CREATE VERSION v FROM a [PARENT p]
+// CREATE ARRAY name AS type [b1, b2]
+//
+//	| CREATE ARRAY name FROM FILE 'path' [USING adaptor]
+//	| CREATE VERSION v FROM a [PARENT p]
 func (p *parser) parseCreate() (Stmt, error) {
 	p.advance() // create
 	if p.acceptKeyword("version") {
@@ -305,6 +308,24 @@ func (p *parser) parseCreate() (Stmt, error) {
 	name, err := p.expectIdent()
 	if err != nil {
 		return nil, err
+	}
+	if p.acceptKeyword("from") {
+		if err := p.expectKeyword("file"); err != nil {
+			return nil, err
+		}
+		t := p.peek()
+		if t.kind != tokString {
+			return nil, p.errf("expected quoted path, got %q", t.text)
+		}
+		p.advance()
+		adaptor := "sdf"
+		if p.acceptKeyword("using") {
+			adaptor, err = p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+		}
+		return &CreateFromFile{Name: name, Path: t.text, Adaptor: strings.ToLower(adaptor)}, nil
 	}
 	if err := p.expectKeyword("as"); err != nil {
 		return nil, err

@@ -61,6 +61,20 @@ func TestCreateArray(t *testing.T) {
 	}
 }
 
+func TestCreateArrayFromFile(t *testing.T) {
+	s := mustParse(t, "CREATE ARRAY Sky FROM FILE '/data/sky.csv' USING csv")
+	c := s.(*CreateFromFile)
+	if c.Name != "Sky" || c.Path != "/data/sky.csv" || c.Adaptor != "csv" {
+		t.Errorf("create from file = %+v", c)
+	}
+	// Adaptor defaults to sdf.
+	s = mustParse(t, "create array Obs from file '/data/obs.sdf'")
+	c = s.(*CreateFromFile)
+	if c.Adaptor != "sdf" {
+		t.Errorf("default adaptor = %q", c.Adaptor)
+	}
+}
+
 func TestCreateVersion(t *testing.T) {
 	s := mustParse(t, "create version v1 from base")
 	v := s.(*CreateVersion)
@@ -412,6 +426,7 @@ func TestFormatRoundTrip(t *testing.T) {
 		"define function Scale10 (integer I, integer J) returns (integer K, integer L) 'go:impl'",
 		"create array A as Remote [1024, 1024]",
 		"create array B as Remote [*, *]",
+		"create array Sky from file '/data/sky.csv' using csv",
 		"create version v1 from A",
 		"create version v2 from A parent v1",
 		"enhance A with Scale10",

@@ -186,6 +186,61 @@ func (r Range) NodesForBox(lo, hi array.Coord) []int {
 	return out
 }
 
+// Boxer is implemented by contiguous schemes (Block, Range) that can
+// describe a node's ownership as a sub-box of a query box: distributed
+// in-situ registration uses it to hand each worker its slab of an external
+// file. ok is false when the node owns no part of [lo, hi].
+type Boxer interface {
+	BoxFor(node int, lo, hi array.Coord) (array.Coord, array.Coord, bool)
+}
+
+// BoxFor implements Boxer for Block: node n owns split-dimension values
+// [n*per+1, (n+1)*per] with per = ceil(High/Nodes), clipped to the box.
+func (b Block) BoxFor(node int, lo, hi array.Coord) (array.Coord, array.Coord, bool) {
+	per := (b.High + int64(b.Nodes) - 1) / int64(b.Nodes)
+	slabLo := int64(node)*per + 1
+	slabHi := slabLo + per - 1
+	if node == b.Nodes-1 && slabHi < hi[b.SplitDim] {
+		// NodeFor clamps out-of-range values to the last node; its slab
+		// mirrors that by absorbing everything above.
+		slabHi = hi[b.SplitDim]
+	}
+	return clipSlab(b.SplitDim, slabLo, slabHi, lo, hi)
+}
+
+// BoxFor implements Boxer for Range: node n owns (Splits[n-1], Splits[n]]
+// on SplitDim, with the first node open below and the last open above.
+func (r Range) BoxFor(node int, lo, hi array.Coord) (array.Coord, array.Coord, bool) {
+	slabLo := lo[r.SplitDim]
+	if node > 0 {
+		if node-1 >= len(r.Splits) {
+			return nil, nil, false
+		}
+		slabLo = r.Splits[node-1] + 1
+	}
+	slabHi := hi[r.SplitDim]
+	if node < len(r.Splits) {
+		slabHi = r.Splits[node]
+	}
+	return clipSlab(r.SplitDim, slabLo, slabHi, lo, hi)
+}
+
+// clipSlab intersects a split-dimension interval with the query box.
+func clipSlab(dim int, slabLo, slabHi int64, lo, hi array.Coord) (array.Coord, array.Coord, bool) {
+	if slabLo < lo[dim] {
+		slabLo = lo[dim]
+	}
+	if slabHi > hi[dim] {
+		slabHi = hi[dim]
+	}
+	if slabLo > slabHi {
+		return nil, nil, false
+	}
+	outLo, outHi := lo.Clone(), hi.Clone()
+	outLo[dim], outHi[dim] = slabLo, slabHi
+	return outLo, outHi, true
+}
+
 // SampleAccess is one entry of a sample workload: a cell (or cell region
 // representative) and how often it is touched.
 type SampleAccess struct {

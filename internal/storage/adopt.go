@@ -1,0 +1,74 @@
+package storage
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"scidb/internal/array"
+)
+
+// AdoptEncoded installs a pre-encoded chunk payload as a new bucket without
+// re-encoding it: raw must be the EncodeChunk/EncodeChunkZones wire bytes and
+// ch their decoded form (schema-validated by the caller's DecodeChunk). This
+// is the bulk-load fast path — the loader encodes chunks once at parse time,
+// ships the bytes, and the owning worker adopts them verbatim, paying only
+// the bucket codec instead of a per-cell Put storm plus a second encode.
+//
+// The store takes ownership of ch (it may be installed read-only in the
+// buffer pool); callers must not mutate it afterwards. Zone maps travel on
+// the decoded chunk's column views, so pruned scans work on adopted buckets
+// exactly as on locally written ones. Like writeBucketLocked, adoption does
+// not save the manifest — callers finish a load with Flush, which does.
+//
+// Overlap with existing data is safe: an adopted bucket is newer than every
+// prior bucket, and Scan/Get resolve duplicates newest-first with absent
+// cells falling through to older buckets.
+func (s *Store) AdoptEncoded(raw []byte, ch *array.Chunk) error {
+	if ch == nil {
+		return fmt.Errorf("storage: AdoptEncoded: nil chunk")
+	}
+	if len(ch.Origin) != len(s.schema.Dims) {
+		return fmt.Errorf("storage: AdoptEncoded: chunk has %d dims, schema %d",
+			len(ch.Origin), len(s.schema.Dims))
+	}
+	if ch.CellsPresent() == 0 {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	enc := s.codec.Encode(raw)
+	s.stats.bytesRaw.Add(RawChunkSize(s.schema, ch))
+	s.stats.bytesEncoded.Add(int64(len(raw)))
+	id := s.nextID
+	s.nextID++
+	var zones []*array.ZoneMap
+	for i, col := range ch.Cols {
+		if col.Zone == nil {
+			continue
+		}
+		if zones == nil {
+			zones = make([]*array.ZoneMap, len(ch.Cols))
+		}
+		zones[i] = col.Zone
+	}
+	meta := &bucketMeta{id: id, box: ch.Box(), bytes: int64(len(enc)), cells: ch.CellsPresent(), zones: zones}
+	if s.opts.Dir != "" {
+		meta.path = filepath.Join(s.opts.Dir, fmt.Sprintf("bucket-%06d.sdb", id))
+		if err := os.WriteFile(meta.path, enc, 0o644); err != nil {
+			return fmt.Errorf("storage: %w", err)
+		}
+	} else {
+		meta.data = enc
+	}
+	s.buckets[id] = meta
+	s.rt.Insert(meta.box, id)
+	s.stats.bucketsWritten.Add(1)
+	s.stats.bytesWritten.Add(int64(len(enc)))
+	if s.cache != nil {
+		// Freshly loaded data is the likeliest next read: install the decoded
+		// chunk directly instead of merely invalidating the slot.
+		s.cache.Put(s.cacheKey(id), ch)
+	}
+	return nil
+}

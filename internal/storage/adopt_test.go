@@ -1,0 +1,151 @@
+package storage
+
+import (
+	"testing"
+
+	"scidb/internal/array"
+	"scidb/internal/compress"
+)
+
+// encodedChunk builds an 8x8 chunk at origin with v = base + x + y on every
+// cell and returns its EncodeChunkZones wire bytes plus the decoded form —
+// exactly what a worker receives over the loadchunks op.
+func encodedChunk(t *testing.T, s *array.Schema, origin array.Coord, base float64) ([]byte, *array.Chunk) {
+	t.Helper()
+	ch := array.NewChunk(s, origin, []int64{8, 8})
+	for i := int64(0); i < 8; i++ {
+		for j := int64(0); j < 8; j++ {
+			c := array.Coord{origin[0] + i, origin[1] + j}
+			if err := ch.Set(c, array.Cell{array.Float64(base + float64(i+j)), array.String64("t")}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	raw, _, err := EncodeChunkZones(s, ch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := DecodeChunk(s, raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw, dec
+}
+
+func TestAdoptEncodedScanAndReopen(t *testing.T) {
+	s := schema2D(32)
+	dir := t.TempDir()
+	st, err := NewStore(s, Options{Dir: dir, Stride: []int64{8, 8}, Codec: compress.None{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, dec := encodedChunk(t, s, array.Coord{1, 1}, 0)
+	if err := st.AdoptEncoded(raw, dec); err != nil {
+		t.Fatal(err)
+	}
+	if got := st.NumBuckets(); got != 1 {
+		t.Fatalf("NumBuckets = %d, want 1", got)
+	}
+	count := 0
+	err = st.Scan(array.NewBox(array.Coord{1, 1}, array.Coord{32, 32}), func(c array.Coord, cell array.Cell) bool {
+		count++
+		if want := float64(c[0] - 1 + c[1] - 1); cell[0].Float != want {
+			t.Fatalf("cell %v = %v, want %v", c, cell[0].Float, want)
+		}
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 64 {
+		t.Fatalf("scanned %d cells, want 64", count)
+	}
+	// Flush persists the manifest; a reopened store must still see the
+	// adopted bucket.
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st2, err := NewStore(s, Options{Dir: dir, Stride: []int64{8, 8}, Codec: compress.None{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	cell, ok, err := st2.Get(array.Coord{3, 4})
+	if err != nil || !ok {
+		t.Fatalf("Get after reopen: ok=%v err=%v", ok, err)
+	}
+	if cell[0].Float != 5 {
+		t.Fatalf("reopened cell = %v, want 5", cell[0].Float)
+	}
+}
+
+func TestAdoptEncodedZonesPrune(t *testing.T) {
+	s := schema2D(32)
+	st, err := NewStore(s, Options{Stride: []int64{8, 8}, Codec: compress.None{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	for k := int64(0); k < 4; k++ {
+		raw, dec := encodedChunk(t, s, array.Coord{k*8 + 1, 1}, float64(k)*100)
+		if err := st.AdoptEncoded(raw, dec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q := array.NewBox(array.Coord{1, 1}, array.Coord{32, 32})
+	preds := []array.ZonePred{{Attr: 0, Op: ">", Val: array.Float64(250)}}
+	got := 0
+	skipped, err := st.ScanPruned(q, preds, func(array.Coord, array.Cell) bool {
+		got++
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only the base-300 bucket can exceed 250; the adopted zone maps must
+	// prove that for the other three without reading them.
+	if skipped != 3 {
+		t.Fatalf("skipped = %d, want 3 (zones lost in adoption?)", skipped)
+	}
+	if got != 64 {
+		t.Fatalf("visited cells = %d, want 64", got)
+	}
+}
+
+func TestAdoptEncodedShadowsOlderBuckets(t *testing.T) {
+	s := schema2D(32)
+	st, err := NewStore(s, Options{Stride: []int64{8, 8}, Codec: compress.None{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	// Older, locally written data: a cell inside the adopted box and one
+	// outside it.
+	if err := st.Put(array.Coord{2, 2}, array.Cell{array.Float64(-1), array.String64("old")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Put(array.Coord{20, 20}, array.Cell{array.Float64(-2), array.String64("old")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	raw, dec := encodedChunk(t, s, array.Coord{1, 1}, 0)
+	if err := st.AdoptEncoded(raw, dec); err != nil {
+		t.Fatal(err)
+	}
+	cell, ok, err := st.Get(array.Coord{2, 2})
+	if err != nil || !ok {
+		t.Fatalf("Get(2,2): ok=%v err=%v", ok, err)
+	}
+	if cell[0].Float != 2 {
+		t.Fatalf("adopted bucket did not shadow older cell: got %v, want 2", cell[0].Float)
+	}
+	cell, ok, err = st.Get(array.Coord{20, 20})
+	if err != nil || !ok {
+		t.Fatalf("Get(20,20): ok=%v err=%v", ok, err)
+	}
+	if cell[0].Float != -2 {
+		t.Fatalf("cell outside adopted box changed: got %v, want -2", cell[0].Float)
+	}
+}

@@ -122,6 +122,16 @@ func NewFieldReaderBytes(data []byte) *FieldReader {
 // Err returns the first error any read encountered.
 func (r *FieldReader) Err() error { return r.err }
 
+// Remaining reports the unread byte count, or -1 when the source length is
+// unknown (a streaming reader). Decoders use it to detect optional trailing
+// sections appended by newer peers: read them only when bytes remain.
+func (r *FieldReader) Remaining() int {
+	if r.rem == nil {
+		return -1
+	}
+	return r.rem()
+}
+
 // Need reports whether at least n more bytes remain, recording an error when
 // they provably do not. Readers with unknown length always report true; the
 // subsequent reads then fail with a short-read error instead, just without
