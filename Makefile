@@ -17,7 +17,7 @@ vet:
 # runs this alongside `test`; the full -race ./... sweep is `race-all`).
 # ./internal/storage includes the scan-prefetcher stress tests.
 race:
-	$(GO) test -race ./internal/exec ./internal/ops ./internal/bufcache ./internal/storage ./internal/cluster ./internal/obs ./internal/session ./internal/core ./internal/loader ./internal/insitu
+	$(GO) test -race ./internal/exec ./internal/ops ./internal/bufcache ./internal/storage ./internal/cluster ./internal/obs ./internal/session ./internal/core ./internal/loader ./internal/insitu ./internal/partition
 
 # Short fuzz smoke over the chunk/array decoders. Each target must be
 # invoked separately: `go test -fuzz` refuses a pattern matching more
@@ -30,6 +30,7 @@ fuzz:
 	$(GO) test -run=NONE -fuzz=FuzzDecodeZoneMap -fuzztime=$(FUZZTIME) ./internal/storage
 	$(GO) test -run=NONE -fuzz=FuzzDecodeSessionFrame -fuzztime=$(FUZZTIME) ./internal/session
 	$(GO) test -run=NONE -fuzz=FuzzCSVShardSplit -fuzztime=$(FUZZTIME) ./internal/insitu
+	$(GO) test -run=NONE -fuzz=FuzzDecodeClusterMessage -fuzztime=$(FUZZTIME) ./internal/cluster
 
 .PHONY: race-all
 race-all:

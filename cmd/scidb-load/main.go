@@ -8,8 +8,10 @@
 // encoded (zone maps included) on the loader before being shipped in
 // batches to their owning workers. -parallelism caps the shard/parse
 // concurrency (0 = one shard per core); -batch sets how many chunks a
-// site accumulates before a batch ships (0 = 16; larger batches amortize
-// more round-trips at the cost of loader memory).
+// site accumulates before a batch ships (0 = adaptive: sized from the
+// transport's observed round-trip time, 16 on fast links up to 256 on
+// slow ones; larger batches amortize more round-trips at the cost of
+// loader memory).
 //
 //	scidb-load -in data.csv -adaptor csv -out data.sdf
 //	scidb-load -in data.ncl -adaptor ncl -array sky -nodes 127.0.0.1:7101,127.0.0.1:7102
@@ -37,7 +39,7 @@ func main() {
 	nodes := flag.String("nodes", "", "grid load: comma-separated worker addresses")
 	splitDim := flag.Int("splitdim", 0, "grid load: dimension index to block-partition on")
 	parallelism := flag.Int("parallelism", 0, "grid load: shard/parse concurrency (0 = one shard per core)")
-	batch := flag.Int("batch", 0, "grid load: chunks per shipped batch (0 = 16)")
+	batch := flag.Int("batch", 0, "grid load: chunks per shipped batch (0 = adaptive from observed RTT, 16..256)")
 	wireStats := flag.Bool("wire-stats", false, "grid load: print transport wire counters after the load")
 	flag.Parse()
 

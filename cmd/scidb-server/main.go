@@ -35,6 +35,7 @@ func main() {
 	dataDir := flag.String("data-dir", "", "bucket directory root for -persist (empty: in-memory buckets)")
 	cacheBytes := flag.Int64("cache-bytes", 64<<20, "decoded-bucket buffer pool budget for -persist (0 disables)")
 	readahead := flag.Int("readahead", 0, "scan prefetch depth for -persist: buckets loaded ahead of a scan (0 disables)")
+	heatHalfLife := flag.Duration("heat-half-life", 0, "decay half-life of the per-chunk access-heat tracker the rebalancer polls (0 = 30s default)")
 	parallelism := flag.Int("parallelism", 0, "chunk-parallel worker bound (1 = serial, 0 = NumCPU)")
 	wireCompress := flag.String("wire-compress", "", "response-frame codec (none|rle|delta|gzip|auto; empty mirrors each client)")
 	callTimeout := flag.Duration("call-timeout", 0, "per-connection I/O deadline for hello reads and response writes (0 = none)")
@@ -53,9 +54,10 @@ func main() {
 		fmt.Fprintln(os.Stderr, "listen:", err)
 		os.Exit(1)
 	}
-	opts := cluster.WorkerOptions{}
+	opts := cluster.WorkerOptions{HeatHalfLife: *heatHalfLife}
 	if *persist {
-		opts = cluster.WorkerOptions{Persist: true, Dir: *dataDir, CacheBytes: *cacheBytes, Readahead: *readahead}
+		opts = cluster.WorkerOptions{Persist: true, Dir: *dataDir, CacheBytes: *cacheBytes,
+			Readahead: *readahead, HeatHalfLife: *heatHalfLife}
 	}
 	w := cluster.NewWorkerWithOptions(*id, opts)
 	if *slowQuery > 0 {

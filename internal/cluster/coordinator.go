@@ -24,6 +24,11 @@ type DistArray struct {
 	// staging buffers cells per node until Flush.
 	staging map[int]*array.Array
 	staged  int64
+	// writeSeq counts writes (Put cells and LoadChunks batches) under
+	// co.mu. The rebalancer records it before an unlocked chunk copy and
+	// re-copies under the lock if it moved — the write-safety half of
+	// migration without blocking in-flight reads.
+	writeSeq int64
 }
 
 // Coordinator routes work to grid nodes through a Transport. It is safe for
@@ -35,6 +40,28 @@ type Coordinator struct {
 	arrays     map[string]*DistArray
 	bytesMoved int64
 	batchCells int64
+
+	// down marks nodes whose transport calls failed with ErrNodeDown;
+	// planning routes around them via surviving replicas.
+	down map[int]bool
+	// pending tracks chunks mid-copy (exported but not yet cut over, or
+	// orphaned by a failed install): queries exclude them on every node
+	// but their current holders, so a half-installed copy is never served.
+	pending map[string][]pendingChunk
+	// readRR rotates replica reader choices so hot-chunk load spreads.
+	readRR atomic.Uint64
+
+	// Background rebalancer loop state (StartRebalancer/StopRebalancer).
+	rebMu   sync.Mutex
+	rebStop chan struct{}
+	rebDone chan struct{}
+	rebErr  error
+}
+
+// pendingChunk is one in-flight migration/replication target region.
+type pendingChunk struct {
+	origin array.Coord
+	box    array.Box
 }
 
 // NewCoordinator wraps a transport. batchCells is the staging threshold per
@@ -100,26 +127,35 @@ func (co *Coordinator) Put(name string, c array.Coord, cell array.Cell) error {
 	if err != nil {
 		return err
 	}
-	node := da.Scheme.NodeFor(c)
-	buf, ok := da.staging[node]
-	if !ok {
-		s := da.Schema.Clone()
-		for i := range s.Dims {
-			s.Dims[i].High = array.Unbounded
-			if s.Dims[i].ChunkLen <= 0 {
-				s.Dims[i].ChunkLen = array.DefaultChunkLen
+	// Replicating schemes (Routing overrides, Replicated) place a cell on
+	// several nodes; the write fans to all of them so every replica stays
+	// bit-identical. Plain schemes stage to the single owner as before.
+	nodes := []int{da.Scheme.NodeFor(c)}
+	if rep, ok := da.Scheme.(partition.Replicator); ok {
+		nodes = rep.NodesFor(c)
+	}
+	for _, node := range nodes {
+		buf, ok := da.staging[node]
+		if !ok {
+			s := da.Schema.Clone()
+			for i := range s.Dims {
+				s.Dims[i].High = array.Unbounded
+				if s.Dims[i].ChunkLen <= 0 {
+					s.Dims[i].ChunkLen = array.DefaultChunkLen
+				}
 			}
+			buf, err = array.New(s)
+			if err != nil {
+				return err
+			}
+			da.staging[node] = buf
 		}
-		buf, err = array.New(s)
-		if err != nil {
+		if err := buf.Set(c, cell); err != nil {
 			return err
 		}
-		da.staging[node] = buf
-	}
-	if err := buf.Set(c, cell); err != nil {
-		return err
 	}
 	da.staged++
+	da.writeSeq++
 	if da.staged >= co.batchCells {
 		return co.flushLocked(da)
 	}
@@ -196,25 +232,35 @@ func (co *Coordinator) CountCtx(ctx context.Context, name string) (int64, error)
 		return 0, err
 	}
 	span := obs.SpanFromContext(ctx)
-	req := &Message{Op: "count", Array: da.Name, TraceID: span.TraceID()}
-	nodes := allNodes(co.t.NumNodes())
-	remote := make([]*obs.Span, len(nodes))
-	var total atomic.Int64
-	if err := fanout(nodes, func(i, n int) error {
-		resp, err := co.t.Call(n, req)
-		if err != nil {
+	base := &Message{Op: "count", Array: da.Name, TraceID: span.TraceID()}
+	var remote []*obs.Span
+	var grand int64
+	if err := co.withPlan(da, array.Box{}, func(plan queryPlan) error {
+		spans := make([]*obs.Span, len(plan.nodes))
+		var total atomic.Int64
+		if err := fanout(plan.nodes, func(i, n int) error {
+			// A node with exclusions counts through the iterator (its
+			// partition holds chunks another replica answers, or stale
+			// migrated copies); exclusion-free nodes keep the fast path.
+			resp, err := co.callNode(n, plan.reqFor(base, n))
+			if err != nil {
+				return err
+			}
+			total.Add(resp.Cells)
+			if len(resp.Spans) > 0 {
+				spans[i] = obs.Rebuild(resp.Spans)
+			}
+			return nil
+		}); err != nil {
 			return err
 		}
-		total.Add(resp.Cells)
-		if len(resp.Spans) > 0 {
-			remote[i] = obs.Rebuild(resp.Spans)
-		}
+		grand, remote = total.Load(), spans
 		return nil
 	}); err != nil {
 		return 0, err
 	}
 	graftRemote(span, remote)
-	return total.Load(), nil
+	return grand, nil
 }
 
 // Scan gathers every cell intersecting the box into one local array.
@@ -252,68 +298,68 @@ func (co *Coordinator) scanGather(ctx context.Context, name string, box array.Bo
 			s.Dims[i].ChunkLen = array.DefaultChunkLen
 		}
 	}
-	out, err := array.New(s)
-	if err != nil {
-		return nil, 0, err
-	}
+	var out *array.Array
 	// Nodes are queried and their payloads decoded concurrently; each
 	// decoded partition merges into the result as it arrives, chunk by
-	// chunk. Partitions are disjoint, so arrival order cannot change the
-	// merged content, and a grid-aligned chunk whose region no other node
-	// has touched is adopted wholesale (MergeChunk) instead of re-setting
-	// every cell through the coordinator's write path.
+	// chunk. The plan keeps partitions disjoint even under replication —
+	// exactly one replica answers each routed chunk, everyone else gets it
+	// on their exclude list — so arrival order cannot change the merged
+	// content, and a grid-aligned chunk whose region no other node has
+	// touched is adopted wholesale (MergeChunk) instead of re-setting every
+	// cell through the coordinator's write path. A replica that dies
+	// mid-query surfaces ErrNodeDown; withPlan re-plans against survivors
+	// and the whole gather retries into a fresh result array.
 	span := obs.SpanFromContext(ctx)
-	req := &Message{Op: "scan", Array: name, BoxLo: box.Lo, BoxHi: box.Hi, TraceID: span.TraceID(), Preds: preds}
-	nodes := co.nodesFor(da, box)
-	remote := make([]*obs.Span, len(nodes))
-	var bytesIn, skipped atomic.Int64
-	var mu sync.Mutex
-	if err := fanout(nodes, func(i, n int) error {
-		resp, err := co.t.Call(n, req)
+	base := &Message{Op: "scan", Array: name, BoxLo: box.Lo, BoxHi: box.Hi, TraceID: span.TraceID(), Preds: preds}
+	var nodesVisited int
+	var bytesTotal, skippedTotal int64
+	var remote []*obs.Span
+	if err := co.withPlan(da, box, func(plan queryPlan) error {
+		fresh, err := array.New(s.Clone())
 		if err != nil {
 			return err
 		}
-		bytesIn.Add(int64(len(resp.Payload)))
-		skipped.Add(resp.Skipped)
-		if len(resp.Spans) > 0 {
-			remote[i] = obs.Rebuild(resp.Spans)
-		}
-		part, err := storage.DecodeArray(s.Clone(), resp.Payload)
-		if err != nil {
-			return err
-		}
-		mu.Lock()
-		defer mu.Unlock()
-		for _, ch := range part.Chunks() {
-			if err := out.MergeChunk(ch); err != nil {
+		spans := make([]*obs.Span, len(plan.nodes))
+		var bytesIn, skipped atomic.Int64
+		var mu sync.Mutex
+		if err := fanout(plan.nodes, func(i, n int) error {
+			resp, err := co.callNode(n, plan.reqFor(base, n))
+			if err != nil {
 				return err
 			}
+			bytesIn.Add(int64(len(resp.Payload)))
+			skipped.Add(resp.Skipped)
+			if len(resp.Spans) > 0 {
+				spans[i] = obs.Rebuild(resp.Spans)
+			}
+			part, err := storage.DecodeArray(s.Clone(), resp.Payload)
+			if err != nil {
+				return err
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			for _, ch := range part.Chunks() {
+				if err := fresh.MergeChunk(ch); err != nil {
+					return err
+				}
+			}
+			return nil
+		}); err != nil {
+			return err
 		}
+		out, remote = fresh, spans
+		nodesVisited, bytesTotal, skippedTotal = len(plan.nodes), bytesIn.Load(), skipped.Load()
 		return nil
 	}); err != nil {
 		return nil, 0, err
 	}
-	span.Add("nodes", int64(len(nodes)))
-	span.Add("bytes_gathered", bytesIn.Load())
-	if n := skipped.Load(); n > 0 {
-		ops.NoteEncChunksSkipped(ctx, n)
+	span.Add("nodes", int64(nodesVisited))
+	span.Add("bytes_gathered", bytesTotal)
+	if skippedTotal > 0 {
+		ops.NoteEncChunksSkipped(ctx, skippedTotal)
 	}
 	graftRemote(span, remote)
-	return out, skipped.Load(), nil
-}
-
-// nodesFor returns the nodes a box query must visit: all of them, unless
-// the array's scheme can prune (Block/Range partitioning along a split
-// dimension).
-func (co *Coordinator) nodesFor(da *DistArray, box array.Box) []int {
-	if p, ok := da.Scheme.(partition.Pruner); ok && len(box.Lo) == len(da.Schema.Dims) {
-		return p.NodesForBox(box.Lo, box.Hi)
-	}
-	out := make([]int, co.t.NumNodes())
-	for i := range out {
-		out[i] = i
-	}
-	return out
+	return out, skippedTotal, nil
 }
 
 // Aggregate pushes a distributable aggregate down to every node as
@@ -336,22 +382,31 @@ func (co *Coordinator) AggregateCtx(ctx context.Context, name string, box array.
 	// All nodes compute their partials concurrently; the merge happens at
 	// the barrier in node order so the floating-point fold is identical
 	// from run to run (partial merging is associative but not exactly
-	// commutative in float arithmetic).
-	req := &Message{Op: "agg", Array: name, Agg: agg, Attr: attr, GroupDims: groupDims,
+	// commutative in float arithmetic). Routed chunks are answered by
+	// exactly one replica per the plan's exclude lists; a replica death
+	// mid-query re-plans and retries the whole fan-out.
+	base := &Message{Op: "agg", Array: name, Agg: agg, Attr: attr, GroupDims: groupDims,
 		BoxLo: box.Lo, BoxHi: box.Hi, TraceID: span.TraceID()}
-	nodes := co.nodesFor(da, box)
-	resps := make([]*Message, len(nodes))
-	if err := fanout(nodes, func(i, n int) error {
-		resp, err := co.t.Call(n, req)
-		if err != nil {
+	var resps []*Message
+	var nodesVisited int
+	if err := co.withPlan(da, box, func(plan queryPlan) error {
+		fresh := make([]*Message, len(plan.nodes))
+		if err := fanout(plan.nodes, func(i, n int) error {
+			resp, err := co.callNode(n, plan.reqFor(base, n))
+			if err != nil {
+				return err
+			}
+			fresh[i] = resp
+			return nil
+		}); err != nil {
 			return err
 		}
-		resps[i] = resp
+		resps, nodesVisited = fresh, len(plan.nodes)
 		return nil
 	}); err != nil {
 		return nil, err
 	}
-	span.Add("nodes", int64(len(nodes)))
+	span.Add("nodes", int64(nodesVisited))
 	for _, resp := range resps {
 		if len(resp.Spans) > 0 {
 			span.Graft(obs.Rebuild(resp.Spans))
@@ -405,7 +460,10 @@ func (co *Coordinator) AggregateCtx(ctx context.Context, name string, box array.
 
 // Repartition changes an array's partitioning scheme ("we allow the
 // partitioning to change over time"), moving only the cells whose owner
-// changes and counting the moved bytes.
+// changes and counting the moved bytes. On a routed array the gather honours
+// the override table (replica-served chunks read once, stale migrated copies
+// excluded) and the overrides are dropped with the old scheme: after a
+// repartition the array is placed purely by newScheme.
 func (co *Coordinator) Repartition(name string, newScheme partition.Scheme) error {
 	co.mu.Lock()
 	defer co.mu.Unlock()
@@ -439,12 +497,24 @@ func (co *Coordinator) Repartition(name string, newScheme partition.Scheme) erro
 	if err != nil {
 		return err
 	}
-	// Gather every node's content concurrently (scan + decode are the
-	// expensive half of a repartition), then redistribute serially in node
-	// order so placement and the moved-bytes count stay deterministic.
-	parts := make([]*array.Array, nodes)
-	if err := fanout(allNodes(nodes), func(_, n int) error {
-		resp, err := co.t.Call(n, &Message{Op: "scan", Array: name})
+	// Gather every node's content concurrently under the query plan (scan +
+	// decode are the expensive half of a repartition), then redistribute
+	// serially so placement and the moved-bytes count stay deterministic.
+	// Holding co.mu across the gather keeps the repartition atomic with
+	// respect to concurrent writes, exactly as before.
+	pbox := queryBox(da, array.Box{})
+	plan, err := co.planQueryLocked(da, pbox)
+	if err != nil {
+		return err
+	}
+	baseReq := &Message{Op: "scan", Array: name, BoxLo: pbox.Lo, BoxHi: pbox.Hi}
+	content, err := array.New(tmpl.Clone())
+	if err != nil {
+		return err
+	}
+	var gmu sync.Mutex
+	if err := fanout(plan.nodes, func(_, n int) error {
+		resp, err := co.callNode(n, plan.reqFor(baseReq, n))
 		if err != nil {
 			return err
 		}
@@ -452,30 +522,34 @@ func (co *Coordinator) Repartition(name string, newScheme partition.Scheme) erro
 		if err != nil {
 			return err
 		}
-		parts[n] = part
+		gmu.Lock()
+		defer gmu.Unlock()
+		for _, ch := range part.Chunks() {
+			if err := content.MergeChunk(ch); err != nil {
+				return err
+			}
+		}
 		return nil
 	}); err != nil {
 		return err
 	}
-	for n := 0; n < nodes; n++ {
-		var werr error
-		parts[n].Iter(func(c array.Coord, cell array.Cell) bool {
-			target := newScheme.NodeFor(c)
-			if err := newContent[target].Set(c.Clone(), cell); err != nil {
+	var werr error
+	content.Iter(func(c array.Coord, cell array.Cell) bool {
+		target := newScheme.NodeFor(c)
+		if err := newContent[target].Set(c.Clone(), cell); err != nil {
+			werr = err
+			return false
+		}
+		if target != da.Scheme.NodeFor(c) {
+			if err := moved.Set(c.Clone(), cell); err != nil {
 				werr = err
 				return false
 			}
-			if target != n {
-				if err := moved.Set(c.Clone(), cell); err != nil {
-					werr = err
-					return false
-				}
-			}
-			return true
-		})
-		if werr != nil {
-			return werr
 		}
+		return true
+	})
+	if werr != nil {
+		return werr
 	}
 	// Count moved bytes via the wire encoding of the moved cells.
 	if moved.Count() > 0 {
@@ -494,6 +568,9 @@ func (co *Coordinator) Repartition(name string, newScheme partition.Scheme) erro
 		return err
 	}
 	da.Scheme = newScheme
+	// Replace rebuilt every node from scratch, so routing overrides and any
+	// half-copied chunks are history.
+	delete(co.pending, name)
 	return nil
 }
 
@@ -527,6 +604,16 @@ func (co *Coordinator) SjoinCtx(ctx context.Context, left, right string, onL, on
 	if err := co.flushLocked(ra); err != nil {
 		co.mu.Unlock()
 		return nil, err
+	}
+	// A join's node-local disjointness assumption breaks once chunks have
+	// been migrated or replicated off their base slabs; require callers to
+	// repartition (which folds the overrides back into a plain scheme)
+	// before joining.
+	for _, da := range []*DistArray{la, ra} {
+		if rt, ok := da.Scheme.(*partition.Routing); ok && len(rt.Overrides()) > 0 {
+			co.mu.Unlock()
+			return nil, fmt.Errorf("cluster: sjoin on %q: array has live routing overrides; repartition it first", da.Name)
+		}
 	}
 	coLocated := la.Scheme.Name() == ra.Scheme.Name()
 	co.mu.Unlock()
@@ -803,7 +890,10 @@ func (co *Coordinator) ArraySchema(name string) (*array.Schema, error) {
 // over the transport.
 func (co *Coordinator) LoadChunks(name string, node int, payloads [][]byte, cells int64) error {
 	co.mu.Lock()
-	_, err := co.dist(name)
+	da, err := co.dist(name)
+	if err == nil {
+		da.writeSeq++ // any in-flight migration copy must re-copy
+	}
 	co.mu.Unlock()
 	if err != nil {
 		return err

@@ -66,6 +66,7 @@ func (w *Worker) loadChunks(req *Message) (*Message, error) {
 // the node's slab of the global coordinate box, and the lazy chunk grid it
 // materializes through.
 type insituPart struct {
+	name    string
 	path    string
 	adaptor string
 	ds      insitu.Dataset
@@ -92,7 +93,7 @@ func (w *Worker) insituOp(req *Message) (*Message, error) {
 		old.release(w)
 	}
 	ps := partitionSchema(req.Schema)
-	p := &insituPart{path: req.Path, adaptor: req.Adaptor, schema: ps}
+	p := &insituPart{name: req.Array, path: req.Path, adaptor: req.Adaptor, schema: ps}
 	if len(req.BoxLo) == 0 {
 		p.empty = true
 	} else {
@@ -155,6 +156,10 @@ func (p *insituPart) bucketID(origin array.Coord) int64 {
 // scan the adaptor over the region, then round-trip through the chunk codec
 // so the result carries zone maps and encoded column views like any bucket.
 func (p *insituPart) chunkAt(w *Worker, origin array.Coord) (*array.Chunk, func(), error) {
+	if w.heat != nil {
+		// Every chunk consultation scores a touch, pool hit or miss alike.
+		w.heat.Touch(p.name, origin, 1)
+	}
 	load := func() (*array.Chunk, error) {
 		shape := make([]int64, len(p.stride))
 		copy(shape, p.stride)

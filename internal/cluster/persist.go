@@ -5,6 +5,7 @@ import (
 	"math"
 	"os"
 	"path/filepath"
+	"time"
 
 	"scidb/internal/array"
 	"scidb/internal/bufcache"
@@ -33,6 +34,11 @@ type WorkerOptions struct {
 	// store: how many upcoming buckets a scan loads into the pool ahead of
 	// its read position. Zero disables readahead.
 	Readahead int
+	// HeatHalfLife is the decay half-life of the node's per-chunk access
+	// heat tracker (scidb-server -heat-half-life). Zero means the 30s
+	// default; heat is always tracked — the tracker is cheap and the
+	// rebalancer needs it.
+	HeatHalfLife time.Duration
 }
 
 // NewWorkerWithOptions creates a worker with configured partition backing.
@@ -43,6 +49,7 @@ func NewWorkerWithOptions(id int, opts WorkerOptions) *Worker {
 		arrays:  map[string]*array.Array{},
 		stores:  map[string]*storage.Store{},
 		insitus: map[string]*insituPart{},
+		heat:    newHeatTracker(opts.HeatHalfLife),
 	}
 	if opts.Cache != nil {
 		w.cache = opts.Cache
@@ -63,6 +70,13 @@ func NewWorkerWithOptions(id int, opts WorkerOptions) *Worker {
 			emit(obs.Sample{Name: "scidb_worker_bytes_in_total", Value: float64(s.BytesIn)})
 			emit(obs.Sample{Name: "scidb_worker_bytes_out_total", Value: float64(s.BytesOut)})
 			emit(obs.Sample{Name: "scidb_worker_requests_total", Value: float64(s.Requests)})
+		})
+	w.reg.RegisterFunc("scidb_heat", "Per-node chunk access-heat tracker gauges.", obs.KindGauge,
+		func(emit func(obs.Sample)) {
+			chunks, total, touches := w.heat.stats()
+			emit(obs.Sample{Name: "scidb_heat_tracked_chunks", Value: float64(chunks)})
+			emit(obs.Sample{Name: "scidb_heat_score_total", Value: total})
+			emit(obs.Sample{Name: "scidb_heat_touches_total", Value: float64(touches)})
 		})
 	if w.cache != nil {
 		w.cache.RegisterMetrics(w.reg, "")
@@ -167,6 +181,12 @@ func (w *Worker) createStoreLocked(name string, schema *array.Schema) error {
 		Stride:    w.opts.Stride,
 		Cache:     w.cache,
 		Readahead: w.opts.Readahead,
+		// Heat sampling: every bucket consulted by a read (cache hit or
+		// miss) scores one touch for its chunk. Called under the store
+		// lock; Touch only takes the tracker's own mutex.
+		OnBucketRead: func(box array.Box) {
+			w.heat.Touch(name, box.Lo, 1)
+		},
 	})
 	if err != nil {
 		return err

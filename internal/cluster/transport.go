@@ -3,6 +3,7 @@ package cluster
 import (
 	"bufio"
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"net"
 	"path/filepath"
@@ -13,6 +14,14 @@ import (
 	"scidb/internal/bufcache"
 	"scidb/internal/compress"
 )
+
+// ErrNodeDown marks transport-level failures — a send or receive that broke,
+// a call that timed out, a killed in-process node. It deliberately does NOT
+// wrap worker-logic errors (a worker that answered with Message.Err is alive
+// and in agreement about the request being bad). The coordinator treats
+// errors.Is(err, ErrNodeDown) as "this replica is gone": it marks the node
+// down, re-plans the query against surviving replicas, and retries.
+var ErrNodeDown = errors.New("cluster: node down")
 
 // Transport delivers a request to a numbered node and returns its response.
 // The coordinator is transport-agnostic; protocol behaviour is identical
@@ -98,6 +107,11 @@ func (c *transportCounters) snapshot() TransportStats {
 // Local is the in-process transport: direct calls into worker objects.
 type Local struct {
 	Workers []*Worker
+
+	// killed simulates node failure for recovery tests: calls to a killed
+	// node fail with ErrNodeDown instead of reaching the worker.
+	killMu sync.Mutex
+	killed map[int]bool
 }
 
 // NewLocal creates n in-process workers and a transport over them.
@@ -139,10 +153,34 @@ func NewLocalWithOptions(n int, opts LocalOptions) *Local {
 	return &Local{Workers: ws}
 }
 
+// Kill makes every subsequent call to node fail with ErrNodeDown — the
+// in-process stand-in for pulling a machine's plug. Revive undoes it.
+func (l *Local) Kill(node int) {
+	l.killMu.Lock()
+	defer l.killMu.Unlock()
+	if l.killed == nil {
+		l.killed = map[int]bool{}
+	}
+	l.killed[node] = true
+}
+
+// Revive brings a killed node back.
+func (l *Local) Revive(node int) {
+	l.killMu.Lock()
+	defer l.killMu.Unlock()
+	delete(l.killed, node)
+}
+
 // Call implements Transport.
 func (l *Local) Call(node int, req *Message) (*Message, error) {
 	if node < 0 || node >= len(l.Workers) {
 		return nil, fmt.Errorf("cluster: no node %d", node)
+	}
+	l.killMu.Lock()
+	dead := l.killed[node]
+	l.killMu.Unlock()
+	if dead {
+		return nil, fmt.Errorf("cluster: node %d: %w", node, ErrNodeDown)
 	}
 	resp := l.Workers[node].Handle(req)
 	if resp.Err != "" {
@@ -413,7 +451,7 @@ func (t *TCP) Call(node int, req *Message) (*Message, error) {
 	body, flags := encodeFrameBody(enc, c.reqCodec)
 	id, ch, err := c.register()
 	if err != nil {
-		return nil, fmt.Errorf("cluster: node %d: %w", node, err)
+		return nil, fmt.Errorf("cluster: node %d: %w (%v)", node, ErrNodeDown, err)
 	}
 	t.stats.calls.Add(1)
 	t.stats.enter()
@@ -422,7 +460,7 @@ func (t *TCP) Call(node int, req *Message) (*Message, error) {
 	if err := c.send(id, flags, body); err != nil {
 		c.fail(err)
 		<-ch // fail delivered to every pending call, including ours
-		return nil, fmt.Errorf("cluster: send to node %d: %w", node, err)
+		return nil, fmt.Errorf("cluster: send to node %d: %w (%v)", node, ErrNodeDown, err)
 	}
 	var timeout <-chan time.Time
 	if t.opts.CallTimeout > 0 {
@@ -433,7 +471,7 @@ func (t *TCP) Call(node int, req *Message) (*Message, error) {
 	select {
 	case res := <-ch:
 		if res.err != nil {
-			return nil, fmt.Errorf("cluster: recv from node %d: %w", node, res.err)
+			return nil, fmt.Errorf("cluster: recv from node %d: %w (%v)", node, ErrNodeDown, res.err)
 		}
 		if res.msg.Err != "" {
 			return nil, fmt.Errorf("cluster: node %d: %s", node, res.msg.Err)
@@ -442,7 +480,7 @@ func (t *TCP) Call(node int, req *Message) (*Message, error) {
 	case <-timeout:
 		c.forget(id)
 		t.stats.timeouts.Add(1)
-		return nil, fmt.Errorf("cluster: call to node %d timed out after %v", node, t.opts.CallTimeout)
+		return nil, fmt.Errorf("cluster: call to node %d timed out after %v: %w", node, t.opts.CallTimeout, ErrNodeDown)
 	}
 }
 

@@ -231,6 +231,8 @@ const (
 const (
 	msg2HasChunks = 1 << 0 // Chunks: batched pre-encoded chunk payloads (bulk load)
 	msg2HasInsitu = 1 << 1 // Path + Adaptor (in-situ registration)
+	msg2HasRoute  = 1 << 2 // ExclLo/ExclHi + RouteVersion + Nodes + Release (online rebalancing)
+	msg2HasHeat   = 1 << 3 // Heat samples ("heat" response)
 )
 
 // encodePredValue writes one predicate constant. Preds are scalar
@@ -397,6 +399,15 @@ func encodeMessage(m *Message) ([]byte, error) {
 	if m.Path != "" || m.Adaptor != "" {
 		present2 |= msg2HasInsitu
 	}
+	if len(m.ExclLo) > 0 || m.RouteVersion != 0 || len(m.Nodes) > 0 || m.Release {
+		if len(m.ExclLo) != len(m.ExclHi) {
+			return nil, fmt.Errorf("cluster: message has %d exclude lows but %d highs", len(m.ExclLo), len(m.ExclHi))
+		}
+		present2 |= msg2HasRoute
+	}
+	if len(m.Heat) > 0 {
+		present2 |= msg2HasHeat
+	}
 	if present2 != 0 {
 		w.U8(present2)
 		if present2&msg2HasChunks != 0 {
@@ -408,6 +419,25 @@ func encodeMessage(m *Message) ([]byte, error) {
 		if present2&msg2HasInsitu != 0 {
 			w.String(m.Path)
 			w.String(m.Adaptor)
+		}
+		if present2&msg2HasRoute != 0 {
+			w.U32(uint32(len(m.ExclLo)))
+			for i := range m.ExclLo {
+				w.I64s(m.ExclLo[i])
+				w.I64s(m.ExclHi[i])
+			}
+			w.I64(m.RouteVersion)
+			w.I64s(m.Nodes)
+			w.Bool(m.Release)
+		}
+		if present2&msg2HasHeat != 0 {
+			w.U32(uint32(len(m.Heat)))
+			for i := range m.Heat {
+				h := &m.Heat[i]
+				w.String(h.Array)
+				w.I64s(h.Origin)
+				w.F64(h.Score)
+			}
 		}
 	}
 	if w.Err() != nil {
@@ -580,6 +610,50 @@ func decodeMessage(data []byte) (*Message, error) {
 		if present2&msg2HasInsitu != 0 {
 			m.Path = r.String()
 			m.Adaptor = r.String()
+		}
+		if present2&msg2HasRoute != 0 {
+			n := int(r.U32())
+			if r.Err() != nil {
+				return nil, fmt.Errorf("cluster: corrupt message: %w", r.Err())
+			}
+			if n > MaxFrameBody/16 {
+				return nil, fmt.Errorf("cluster: message has %d exclude boxes", n)
+			}
+			if n > 0 {
+				m.ExclLo = make([][]int64, n)
+				m.ExclHi = make([][]int64, n)
+				for i := 0; i < n; i++ {
+					m.ExclLo[i] = r.I64s()
+					m.ExclHi[i] = r.I64s()
+					if r.Err() != nil {
+						return nil, fmt.Errorf("cluster: corrupt message: %w", r.Err())
+					}
+				}
+			}
+			m.RouteVersion = r.I64()
+			m.Nodes = r.I64s()
+			m.Release = r.Bool()
+		}
+		if present2&msg2HasHeat != 0 {
+			n := int(r.U32())
+			if r.Err() != nil {
+				return nil, fmt.Errorf("cluster: corrupt message: %w", r.Err())
+			}
+			if n > MaxFrameBody/16 {
+				return nil, fmt.Errorf("cluster: message has %d heat samples", n)
+			}
+			if n > 0 {
+				m.Heat = make([]HeatSample, n)
+				for i := range m.Heat {
+					h := &m.Heat[i]
+					h.Array = r.String()
+					h.Origin = r.I64s()
+					h.Score = r.F64()
+					if r.Err() != nil {
+						return nil, fmt.Errorf("cluster: corrupt message: %w", r.Err())
+					}
+				}
+			}
 		}
 	}
 	if r.Err() != nil {

@@ -92,6 +92,22 @@ type Message struct {
 	// byte as well.
 	Path    string
 	Adaptor string
+	// Routing fields (online rebalancing; second presence byte, one bit).
+	// ExclLo/ExclHi, on scan/agg/count requests, list grid-chunk boxes this
+	// node must NOT answer — another replica is assigned them this query,
+	// or the node holds a stale post-migration copy. RouteVersion and Nodes
+	// ride "replicachunk": the routing-table version the installed chunk
+	// belongs to and its replica node set (owner first). Release, on
+	// "migratechunks", asks the source to drop the region's buffer-pool
+	// entries after exporting (post-cutover cache release).
+	ExclLo       [][]int64
+	ExclHi       [][]int64
+	RouteVersion int64
+	Nodes        []int64
+	Release      bool
+	// Heat is the "heat" response: the node's decayed per-chunk access
+	// scores (second presence byte, own bit).
+	Heat []HeatSample
 }
 
 // Partial is a combinable aggregate fragment computed by one worker for one
@@ -170,6 +186,16 @@ type Worker struct {
 	stores  map[string]*storage.Store
 	insitus map[string]*insituPart
 	stats   WorkerStats
+
+	// heat tracks decayed per-chunk access scores for the rebalancer; the
+	// storage layer's OnBucketRead hook and the in-situ chunk loader feed
+	// it, the "heat" wire op drains it.
+	heat *heatTracker
+
+	// routeVersion records, per array, the newest routing-table version a
+	// "replicachunk" install on this node belonged to; echoed back so the
+	// coordinator can confirm the install stuck (guarded by mu).
+	routeVersion map[string]int64
 
 	// reg is the node's metrics registry: worker/cache/store collectors
 	// plus the request-latency histogram. The "metrics" op snapshots it so
@@ -315,6 +341,12 @@ func (w *Worker) handle(ctx context.Context, req *Message) (*Message, error) {
 		return w.replace(req)
 	case "sjoin":
 		return w.sjoin(ctx, req)
+	case "heat":
+		return w.heatOp(req)
+	case "migratechunks":
+		return w.migrateChunks(req)
+	case "replicachunk":
+		return w.replicaChunk(req)
 	case "stats":
 		s := w.Stats()
 		return &Message{Op: "stats", Stats: &s}, nil
@@ -336,6 +368,9 @@ func (w *Worker) handle(ctx context.Context, req *Message) (*Message, error) {
 func (w *Worker) replace(req *Message) (*Message, error) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	if w.heat != nil {
+		w.heat.Drop(req.Array) // new content, stale heat
+	}
 	if st, ok := w.stores[req.Array]; ok {
 		return w.replaceStoreLocked(st, req)
 	}
@@ -456,9 +491,13 @@ func (w *Worker) scan(req *Message) (*Message, error) {
 		return nil, err
 	}
 	box := boxFrom(req, len(s.Dims))
+	excl := exclBoxes(req)
 	var n, skipped int64
 	var werr error
 	visit := func(c array.Coord, cell array.Cell) bool {
+		if cellExcluded(c, excl) {
+			return true
+		}
 		if len(req.Preds) > 0 && !ops.CellMatchesPreds(req.Preds, cell) {
 			return true
 		}
@@ -515,9 +554,13 @@ func (w *Worker) agg(req *Message) (*Message, error) {
 		gidx = append(gidx, d)
 	}
 	box := boxFrom(req, len(s.Dims))
+	excl := exclBoxes(req)
 	parts := map[string]*Partial{}
 	var n int64
 	if err := iter(box, func(c array.Coord, cell array.Cell) bool {
+		if cellExcluded(c, excl) {
+			return true
+		}
 		n++
 		v := cell[attr]
 		if v.Null {
@@ -563,6 +606,27 @@ func (w *Worker) agg(req *Message) (*Message, error) {
 func (w *Worker) count(req *Message) (*Message, error) {
 	w.mu.RLock()
 	defer w.mu.RUnlock()
+	// Routed queries carry a box and/or exclude-chunk list: count through
+	// the generic partition iterator so the excluded chunks (answered by
+	// another replica this query) are skipped. The unrouted fast paths below
+	// stay as they were.
+	if excl := exclBoxes(req); len(excl) > 0 || len(req.BoxLo) > 0 {
+		s, iter, err := w.partLocked(req.Array)
+		if err != nil {
+			return nil, err
+		}
+		box := boxFrom(req, len(s.Dims))
+		var n int64
+		if err := iter(box, func(c array.Coord, _ array.Cell) bool {
+			if !cellExcluded(c, excl) {
+				n++
+			}
+			return true
+		}); err != nil {
+			return nil, err
+		}
+		return &Message{Op: "count", Cells: n}, nil
+	}
 	if st, ok := w.stores[req.Array]; ok {
 		var n int64
 		if err := st.Scan(fullBox(len(st.Schema().Dims)), func(array.Coord, array.Cell) bool {
@@ -593,6 +657,9 @@ func (w *Worker) count(req *Message) (*Message, error) {
 func (w *Worker) drop(req *Message) (*Message, error) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	if w.heat != nil {
+		w.heat.Drop(req.Array)
+	}
 	if st, ok := w.stores[req.Array]; ok {
 		if err := st.Close(); err != nil {
 			return nil, err
@@ -618,4 +685,31 @@ func boxFrom(req *Message, nd int) array.Box {
 		return array.Box{Lo: req.BoxLo, Hi: req.BoxHi}
 	}
 	return fullBox(nd)
+}
+
+// exclBoxes assembles the request's exclude-chunk boxes (chunks this node
+// must not answer because a different replica is assigned them, or because
+// this node's copy is a stale post-migration leftover).
+func exclBoxes(req *Message) []array.Box {
+	if len(req.ExclLo) == 0 {
+		return nil
+	}
+	out := make([]array.Box, 0, len(req.ExclLo))
+	for i := range req.ExclLo {
+		if i >= len(req.ExclHi) {
+			break
+		}
+		out = append(out, array.Box{Lo: req.ExclLo[i], Hi: req.ExclHi[i]})
+	}
+	return out
+}
+
+// cellExcluded reports whether c falls inside any exclude box.
+func cellExcluded(c array.Coord, excl []array.Box) bool {
+	for _, b := range excl {
+		if b.Contains(c) {
+			return true
+		}
+	}
+	return false
 }

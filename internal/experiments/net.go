@@ -75,35 +75,90 @@ func (c delayConn) Read(p []byte) (int, error) {
 	return n, err
 }
 
+// linkListener emulates one shared finite-bandwidth link per node the way a
+// single NIC behaves: every read that delivers n bytes holds the node-wide
+// link for n×perByte, so concurrent requests from different connections
+// serialize at the node in proportion to the bytes they ship — batching
+// buys nothing, exactly like wire serialization. This is the regime where a
+// skewed workload saturates the hot node's link while the other links idle
+// (the SKEW experiment's bottleneck model); delayListener above keeps the
+// per-connection latency model the NET experiment's pipelining comparison
+// is written against.
+type linkListener struct {
+	net.Listener
+	perByte time.Duration
+	mu      *sync.Mutex
+}
+
+func (l linkListener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return linkConn{Conn: c, perByte: l.perByte, mu: l.mu}, nil
+}
+
+type linkConn struct {
+	net.Conn
+	perByte time.Duration
+	mu      *sync.Mutex
+}
+
+func (c linkConn) Read(p []byte) (int, error) {
+	n, err := c.Conn.Read(p)
+	if n > 0 {
+		c.mu.Lock()
+		time.Sleep(time.Duration(n) * c.perByte)
+		c.mu.Unlock()
+	}
+	return n, err
+}
+
 // netServers starts one wire-protocol server per node on a loopback
 // listener, with an optional emulated link delay in front of each.
 func netServers(nodes int, delay time.Duration) (addrs []string, shutdown func(), err error) {
-	var srvs []*cluster.Server
-	shutdown = func() {
-		for _, s := range srvs {
-			s.Shutdown()
+	wrap := func(ln net.Listener) net.Listener { return ln }
+	if delay > 0 {
+		wrap = func(ln net.Listener) net.Listener { return delayListener{Listener: ln, d: delay} }
+	}
+	addrs, stops, err := netServersWithOptions(nodes, wrap, cluster.WorkerOptions{})
+	if err != nil {
+		return nil, nil, err
+	}
+	return addrs, func() {
+		for _, stop := range stops {
+			stop()
+		}
+	}, nil
+}
+
+// netServersWithOptions is netServers generalized: configurable worker
+// backing (persistent stores for the SKEW experiment), a caller-chosen
+// listener wrapper (per-connection delay vs shared-link serialization), and
+// per-node shutdowns so an experiment can kill one node mid-workload and
+// keep the rest serving. wrap is called once per node's listener.
+func netServersWithOptions(nodes int, wrap func(net.Listener) net.Listener, wo cluster.WorkerOptions) (addrs []string, stops []func(), err error) {
+	shutdownAll := func() {
+		for _, stop := range stops {
+			stop()
 		}
 	}
 	for i := 0; i < nodes; i++ {
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
-			shutdown()
+			shutdownAll()
 			return nil, nil, err
 		}
-		srv, err := cluster.NewServer(cluster.NewWorker(i), cluster.ServeOptions{})
+		srv, err := cluster.NewServer(cluster.NewWorkerWithOptions(i, wo), cluster.ServeOptions{})
 		if err != nil {
-			shutdown()
+			shutdownAll()
 			return nil, nil, err
 		}
 		addrs = append(addrs, ln.Addr().String())
-		use := net.Listener(ln)
-		if delay > 0 {
-			use = delayListener{Listener: ln, d: delay}
-		}
-		go func(use net.Listener) { _ = srv.Serve(use) }(use)
-		srvs = append(srvs, srv)
+		go func(use net.Listener) { _ = srv.Serve(use) }(wrap(ln))
+		stops = append(stops, srv.Shutdown)
 	}
-	return addrs, shutdown, nil
+	return addrs, stops, nil
 }
 
 // netWorkload loads the grid through tr and then runs clients × opsPer

@@ -28,7 +28,11 @@ type Options struct {
 	// configured parallelism.
 	Parallelism int
 	// BatchChunks is how many chunks a site accumulates before its batch is
-	// encoded and shipped. Zero means 16. Larger batches amortize more
+	// encoded and shipped. Zero means adaptive: when the destination can
+	// report an observed link round-trip time (RTTSource), the batch grows
+	// with the RTT — a slow link amortizes more chunks per round trip —
+	// clamped to [16, 256]; otherwise 16. A nonzero value is an explicit
+	// override (scidb-load -batch). Larger batches amortize more
 	// round-trips at the cost of load-side memory.
 	BatchChunks int
 	// Stride overrides the chunk grid per dimension (zero entries keep the
@@ -49,11 +53,45 @@ type ChunkDest interface {
 	Flush() error
 }
 
+// RTTSource is implemented by destinations that observe their link's round
+// trips; LoadParallel uses it to size batches adaptively when
+// Options.BatchChunks is zero.
+type RTTSource interface {
+	// AvgRTT reports the destination link's mean round-trip time so far
+	// (zero when nothing has been measured — e.g. an in-process transport).
+	AvgRTT() time.Duration
+}
+
 // ClusterDest ships chunk batches to the owning workers through a
 // coordinator over the batched loadchunks wire op.
 type ClusterDest struct {
 	Co    *cluster.Coordinator
 	Array string
+}
+
+// AvgRTT implements RTTSource from the coordinator's transport counters.
+func (d ClusterDest) AvgRTT() time.Duration {
+	ts, ok := d.Co.TransportStats()
+	if !ok || ts.Calls == 0 {
+		return 0
+	}
+	return time.Duration(ts.RoundTripNanos / ts.Calls)
+}
+
+// batchForRTT maps an observed link round-trip time to a chunk batch size:
+// 16 at sub-millisecond RTT, growing one base batch per millisecond, capped
+// at 256 so load-side memory stays bounded. The shape follows the round-trip
+// economics: the per-batch overhead a shipment must amortize is one RTT, so
+// batch size scales linearly with it.
+func batchForRTT(rtt time.Duration) int {
+	b := 16 * (1 + int(rtt/time.Millisecond))
+	if b < 16 {
+		b = 16
+	}
+	if b > 256 {
+		b = 256
+	}
+	return b
 }
 
 // ShipChunks implements ChunkDest. Concurrent calls pipeline over the
@@ -136,6 +174,9 @@ func LoadParallel(ds insitu.Dataset, box array.Box, schema *array.Schema, scheme
 	batch := opts.BatchChunks
 	if batch <= 0 {
 		batch = 16
+		if src, ok := dest.(RTTSource); ok {
+			batch = batchForRTT(src.AvgRTT())
+		}
 	}
 	bs := schema.Clone()
 	bs.Name = schema.Name + "_loadbuf"

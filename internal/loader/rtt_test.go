@@ -1,0 +1,94 @@
+package loader
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"scidb/internal/array"
+	"scidb/internal/insitu"
+	"scidb/internal/partition"
+)
+
+func TestBatchForRTT(t *testing.T) {
+	for _, tc := range []struct {
+		rtt  time.Duration
+		want int
+	}{
+		{0, 16},                      // unmeasured link: base batch
+		{500 * time.Microsecond, 16}, // sub-millisecond rounds down
+		{time.Millisecond, 32},
+		{3 * time.Millisecond, 64},
+		{15 * time.Millisecond, 256},
+		{time.Second, 256}, // cap holds on pathological links
+		{-time.Millisecond, 16},
+	} {
+		if got := batchForRTT(tc.rtt); got != tc.want {
+			t.Errorf("batchForRTT(%v) = %d, want %d", tc.rtt, got, tc.want)
+		}
+	}
+}
+
+// rttDest wraps a recording ChunkDest with a canned link RTT so the test can
+// observe which batch size LoadParallel actually used.
+type rttDest struct {
+	rtt time.Duration
+
+	mu      sync.Mutex
+	batches []int
+}
+
+func (d *rttDest) AvgRTT() time.Duration { return d.rtt }
+func (d *rttDest) Flush() error          { return nil }
+func (d *rttDest) ShipChunks(site int, payloads [][]byte, cells int64) error {
+	d.mu.Lock()
+	d.batches = append(d.batches, len(payloads))
+	d.mu.Unlock()
+	return nil
+}
+
+func (d *rttDest) maxBatch() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	max := 0
+	for _, b := range d.batches {
+		if b > max {
+			max = b
+		}
+	}
+	return max
+}
+
+// TestLoadParallelAdaptiveBatch: with BatchChunks unset, a slow link grows
+// the shipped batches past the base 16, and an explicit BatchChunks ignores
+// the measured RTT entirely (scidb-load -batch stays an override).
+func TestLoadParallelAdaptiveBatch(t *testing.T) {
+	path, _ := writeGridCSV(t)
+	schema := gridSchema()
+	scheme := partition.Block{Nodes: 1, SplitDim: 0, High: 40}
+	box := array.Box{Lo: array.Coord{1, 1}, Hi: array.Coord{40, 20}}
+	// The 40x20 grid at stride 8 has 5x3 = 15 chunks: a serial shard flushes
+	// them as one batch under the adaptive size (32 at 1ms RTT) but as
+	// multiple under an explicit batch of 4.
+	load := func(opts Options, dest *rttDest) {
+		t.Helper()
+		ds, err := (insitu.CSVAdaptor{}).Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer ds.Close()
+		if _, err := LoadParallel(ds, box, schema, scheme, dest, opts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	adaptive := &rttDest{rtt: time.Millisecond}
+	load(Options{Parallelism: 1, Stride: []int64{8, 8}}, adaptive)
+	if got := adaptive.maxBatch(); got != 15 {
+		t.Errorf("adaptive batch at 1ms RTT shipped max %d chunks per batch, want all 15", got)
+	}
+	explicit := &rttDest{rtt: time.Hour} // huge RTT must be ignored
+	load(Options{Parallelism: 1, Stride: []int64{8, 8}, BatchChunks: 4}, explicit)
+	if got := explicit.maxBatch(); got > 4+1 {
+		t.Errorf("explicit BatchChunks=4 shipped max %d chunks per batch", got)
+	}
+}

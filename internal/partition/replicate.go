@@ -27,12 +27,13 @@ func (r Replicated) NumNodes() int { return r.Scheme.NumNodes() }
 func (r Replicated) NodeFor(c array.Coord) int { return r.Scheme.NodeFor(c) }
 
 // NodesFor returns every node that must hold a copy of the cell at c: the
-// owners of all cells within MaxErr. An observation near a partition
-// boundary lands on both sides, so a join probe for any location within
-// the error bound finds it locally.
+// owners of all cells within MaxErr, primary owner first (the Replicator
+// contract). An observation near a partition boundary lands on both sides,
+// so a join probe for any location within the error bound finds it locally.
 func (r Replicated) NodesFor(c array.Coord) []int {
+	primary := r.Scheme.NodeFor(c)
 	if r.MaxErr <= 0 {
-		return []int{r.Scheme.NodeFor(c)}
+		return []int{primary}
 	}
 	lo := make(array.Coord, len(c))
 	hi := make(array.Coord, len(c))
@@ -43,8 +44,8 @@ func (r Replicated) NodesFor(c array.Coord) []int {
 		}
 		hi[i] = c[i] + r.MaxErr
 	}
-	seen := map[int]bool{}
-	var out []int
+	seen := map[int]bool{primary: true}
+	out := []int{primary}
 	array.IterBox(array.Box{Lo: lo, Hi: hi}, func(p array.Coord) bool {
 		n := r.Scheme.NodeFor(p)
 		if !seen[n] {

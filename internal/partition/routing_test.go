@@ -1,0 +1,171 @@
+package partition
+
+import (
+	"reflect"
+	"testing"
+
+	"scidb/internal/array"
+)
+
+func testRouting(t *testing.T) *Routing {
+	t.Helper()
+	return NewRouting(Block{Nodes: 3, SplitDim: 0, High: 192}, 2, []int64{64, 64})
+}
+
+func TestRoutingOriginAndChunkBox(t *testing.T) {
+	rt := testRouting(t)
+	for _, tc := range []struct {
+		c    array.Coord
+		want array.Coord
+	}{
+		{array.Coord{1, 1}, array.Coord{1, 1}},
+		{array.Coord{64, 64}, array.Coord{1, 1}},
+		{array.Coord{65, 1}, array.Coord{65, 1}},
+		{array.Coord{130, 70}, array.Coord{129, 65}},
+		{array.Coord{0, -5}, array.Coord{1, 1}}, // clamped below the grid
+	} {
+		if got := rt.OriginOf(tc.c); !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("OriginOf(%v) = %v, want %v", tc.c, got, tc.want)
+		}
+	}
+	box := rt.ChunkBox(array.Coord{65, 129})
+	want := array.Box{Lo: array.Coord{65, 129}, Hi: array.Coord{128, 192}}
+	if !reflect.DeepEqual(box, want) {
+		t.Errorf("ChunkBox = %v, want %v", box, want)
+	}
+}
+
+func TestRoutingOverridesAndVersion(t *testing.T) {
+	rt := testRouting(t)
+	if rt.Version() != 0 {
+		t.Fatalf("fresh table version = %d, want 0", rt.Version())
+	}
+	// Unrouted: base placement, single-node replica set.
+	c := array.Coord{100, 10}
+	baseOwner := rt.Base().NodeFor(c)
+	if got := rt.NodeFor(c); got != baseOwner {
+		t.Fatalf("unrouted NodeFor = %d, want base %d", got, baseOwner)
+	}
+	if got := rt.NodesFor(c); !reflect.DeepEqual(got, []int{baseOwner}) {
+		t.Fatalf("unrouted NodesFor = %v, want [%d]", got, baseOwner)
+	}
+	// Override the chunk: any coordinate inside it re-routes, version bumps.
+	v, err := rt.SetNodes(c, []int{2, 0})
+	if err != nil || v != 1 {
+		t.Fatalf("SetNodes = %d, %v", v, err)
+	}
+	if got := rt.NodeFor(array.Coord{70, 60}); got != 2 {
+		t.Errorf("routed NodeFor = %d, want owner 2", got)
+	}
+	if got := rt.NodesFor(array.Coord{128, 64}); !reflect.DeepEqual(got, []int{2, 0}) {
+		t.Errorf("routed NodesFor = %v, want [2 0]", got)
+	}
+	// Coordinates outside the chunk are untouched.
+	if got := rt.NodeFor(array.Coord{1, 1}); got != rt.Base().NodeFor(array.Coord{1, 1}) {
+		t.Errorf("neighbour chunk rerouted: NodeFor = %d", got)
+	}
+	// Invalid overrides are rejected without a version bump.
+	for _, nodes := range [][]int{nil, {3}, {-1}, {1, 1}} {
+		if _, err := rt.SetNodes(c, nodes); err == nil {
+			t.Errorf("SetNodes(%v) accepted", nodes)
+		}
+	}
+	if rt.Version() != 1 {
+		t.Errorf("rejected overrides bumped version to %d", rt.Version())
+	}
+	// ClearNodes returns the chunk to base placement.
+	if v := rt.ClearNodes(c); v != 2 {
+		t.Errorf("ClearNodes version = %d, want 2", v)
+	}
+	if got := rt.NodeFor(c); got != baseOwner {
+		t.Errorf("cleared NodeFor = %d, want base %d", got, baseOwner)
+	}
+	if len(rt.Overrides()) != 0 {
+		t.Errorf("overrides remain after clear: %v", rt.Overrides())
+	}
+}
+
+func TestRoutingOverridesInAndPruning(t *testing.T) {
+	rt := testRouting(t)
+	if _, err := rt.SetNodes(array.Coord{1, 1}, []int{1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.SetNodes(array.Coord{129, 129}, []int{0, 1}); err != nil {
+		t.Fatal(err)
+	}
+	in := rt.OverridesIn(array.NewBox(array.Coord{1, 1}, array.Coord{64, 64}))
+	if len(in) != 1 || !reflect.DeepEqual(in[0].Origin, array.Coord{1, 1}) {
+		t.Fatalf("OverridesIn(first chunk) = %+v", in)
+	}
+	// Base pruning keeps working, unioned with override nodes: the box below
+	// covers only base node 2's slab (rows 129-192), but chunk (1,1) was
+	// moved to node 1 — it must not appear, while chunk (129,129)'s replica
+	// set must.
+	got := rt.NodesForBox(array.Coord{129, 1}, array.Coord{192, 192})
+	if !reflect.DeepEqual(got, []int{0, 1, 2}) {
+		t.Errorf("NodesForBox = %v, want [0 1 2]", got)
+	}
+	got = rt.NodesForBox(array.Coord{129, 1}, array.Coord{192, 64})
+	if !reflect.DeepEqual(got, []int{2}) {
+		t.Errorf("NodesForBox (no overrides in box) = %v, want [2]", got)
+	}
+}
+
+// TestReplicatedNodesForDeterminism pins the two invariants coordinator
+// write fan-out depends on (§2.13 uncertain-location replication shares the
+// Replicator interface with routed rebalancing): the replica set for a
+// coordinate is deterministic across calls, never contains a duplicate
+// node, and always leads with the primary owner.
+func TestReplicatedNodesForDeterminism(t *testing.T) {
+	r := Replicated{Scheme: Block{Nodes: 4, SplitDim: 0, High: 64}, MaxErr: 2}
+	coords := []array.Coord{
+		{1, 1}, {16, 5}, {17, 5}, {32, 32}, {33, 1}, {48, 9}, {49, 9}, {64, 64},
+	}
+	for _, c := range coords {
+		first := r.NodesFor(c)
+		if len(first) == 0 {
+			t.Fatalf("NodesFor(%v) empty", c)
+		}
+		if first[0] != r.NodeFor(c) {
+			t.Errorf("NodesFor(%v)[0] = %d, want primary %d", c, first[0], r.NodeFor(c))
+		}
+		seen := map[int]bool{}
+		for _, n := range first {
+			if n < 0 || n >= r.NumNodes() {
+				t.Errorf("NodesFor(%v) returned out-of-range node %d", c, n)
+			}
+			if seen[n] {
+				t.Errorf("NodesFor(%v) repeats node %d: %v", c, n, first)
+			}
+			seen[n] = true
+		}
+		for i := 0; i < 5; i++ {
+			if again := r.NodesFor(c); !reflect.DeepEqual(again, first) {
+				t.Fatalf("NodesFor(%v) not deterministic: %v then %v", c, first, again)
+			}
+		}
+	}
+	// A boundary-straddling error radius replicates to both neighbours; a
+	// deep-interior cell stays single-copy.
+	if got := r.NodesFor(array.Coord{17, 5}); len(got) < 2 {
+		t.Errorf("boundary cell NodesFor = %v, want both slab owners", got)
+	}
+	if got := r.NodesFor(array.Coord{8, 8}); len(got) != 1 {
+		t.Errorf("interior cell NodesFor = %v, want single copy", got)
+	}
+	// Zero error radius degenerates to the base scheme exactly.
+	r0 := Replicated{Scheme: Block{Nodes: 4, SplitDim: 0, High: 64}}
+	for _, c := range coords {
+		if got := r0.NodesFor(c); !reflect.DeepEqual(got, []int{r0.NodeFor(c)}) {
+			t.Errorf("MaxErr=0 NodesFor(%v) = %v", c, got)
+		}
+	}
+}
+
+// Routing must satisfy the interfaces the coordinator type-asserts.
+var (
+	_ Scheme     = (*Routing)(nil)
+	_ Pruner     = (*Routing)(nil)
+	_ Replicator = (*Routing)(nil)
+	_ Replicator = Replicated{}
+)

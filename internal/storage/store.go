@@ -162,6 +162,12 @@ type Options struct {
 	// lightweight per-column encodings — the measured baseline for the ENC
 	// experiment. Decode accepts both layouts either way.
 	RawEncoding bool
+	// OnBucketRead, when set, is called with a bucket's bounding box every
+	// time that bucket is consulted by a read (cache hit or miss alike —
+	// readBucketLocked is the single funnel). It is the access-heat sampling
+	// hook for online rebalancing. Called with the store lock held: the
+	// callback must be fast and must not call back into the store.
+	OnBucketRead func(box array.Box)
 }
 
 type bucketMeta struct {
@@ -433,6 +439,9 @@ func (s *Store) loadBucket(meta *bucketMeta) (*array.Chunk, error) {
 // chunk becomes evictable again. Cached chunks are shared across readers
 // and must be treated as read-only.
 func (s *Store) readBucketLocked(meta *bucketMeta) (*array.Chunk, func(), error) {
+	if s.opts.OnBucketRead != nil {
+		s.opts.OnBucketRead(meta.box)
+	}
 	if s.cache == nil {
 		ch, err := s.loadBucket(meta)
 		return ch, func() {}, err
