@@ -42,12 +42,25 @@ type Coordinator struct {
 	batchCells int64
 
 	// down marks nodes whose transport calls failed with ErrNodeDown;
-	// planning routes around them via surviving replicas.
-	down map[int]bool
+	// planning routes around them via surviving replicas. It lives under
+	// its own mutex because markDown fires from transport fan-outs that
+	// may already be running under co.mu (Repartition's gather, the
+	// rebalancer's fenced re-copy at cutover) — recording a death must
+	// never need the coordinator lock. Lock order is co.mu → downMu;
+	// nothing takes them in the other order.
+	downMu sync.Mutex
+	down   map[int]bool
 	// pending tracks chunks mid-copy (exported but not yet cut over, or
 	// orphaned by a failed install): queries exclude them on every node
 	// but their current holders, so a half-installed copy is never served.
 	pending map[string][]pendingChunk
+	// moveMu serializes chunk moves against scheme-replacing operations:
+	// moveChunk holds it end to end, and Repartition/Drop take it before
+	// co.mu, so a repartition can never interleave with an in-flight copy
+	// (which would install pre-repartition payloads under the new scheme,
+	// or Release-wipe cells the source legitimately owns after it). Lock
+	// order is moveMu → co.mu.
+	moveMu sync.Mutex
 	// readRR rotates replica reader choices so hot-chunk load spreads.
 	readRR atomic.Uint64
 
@@ -465,6 +478,12 @@ func (co *Coordinator) AggregateCtx(ctx context.Context, name string, box array.
 // excluded) and the overrides are dropped with the old scheme: after a
 // repartition the array is placed purely by newScheme.
 func (co *Coordinator) Repartition(name string, newScheme partition.Scheme) error {
+	// Exclude in-flight chunk moves for the whole repartition: a migration
+	// copy racing the scheme swap would install pre-repartition payloads
+	// (or release cells the source owns under the new scheme) after every
+	// node's content has been rebuilt.
+	co.moveMu.Lock()
+	defer co.moveMu.Unlock()
 	co.mu.Lock()
 	defer co.mu.Unlock()
 	da, err := co.dist(name)
@@ -947,6 +966,11 @@ func (co *Coordinator) RegisterInsitu(name, path, adaptor string, schema *array.
 // Drop removes a distributed array from every node and the coordinator's
 // catalog.
 func (co *Coordinator) Drop(name string) error {
+	// Like Repartition, a drop excludes in-flight chunk moves so a
+	// migration cannot re-install payloads of (or cut a route over on) an
+	// array that no longer exists.
+	co.moveMu.Lock()
+	defer co.moveMu.Unlock()
 	co.mu.Lock()
 	_, err := co.dist(name)
 	co.mu.Unlock()
@@ -961,6 +985,7 @@ func (co *Coordinator) Drop(name string) error {
 	}
 	co.mu.Lock()
 	delete(co.arrays, name)
+	delete(co.pending, name)
 	co.mu.Unlock()
 	return nil
 }

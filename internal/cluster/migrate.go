@@ -6,8 +6,9 @@ package cluster
 //	"heat"          — report the node's decayed per-chunk access scores.
 //	"migratechunks" — export a chunk-box region of a store-backed partition
 //	                  as encoded chunk payloads (the migration wire unit);
-//	                  with Release set, additionally drop the region's
-//	                  buffer-pool entries (post-cutover source release).
+//	                  with Release set, skip the export and just drop the
+//	                  region's buffer-pool entries and buffered cells
+//	                  (post-cutover source release).
 //	"replicachunk"  — adopt exported payloads verbatim into the local store
 //	                  (storage.AdoptEncoded: the copy is bit-identical) and
 //	                  remember the routing-table version it belongs to.
@@ -43,6 +44,17 @@ func (w *Worker) migrateChunks(req *Message) (*Message, error) {
 		return nil, fmt.Errorf("cluster: migratechunks without a chunk box")
 	}
 	box := array.Box{Lo: req.BoxLo, Hi: req.BoxHi}
+	if req.Release {
+		// Post-cutover source release: pool entries go immediately, and any
+		// cells still sitting in the memory buffer are cleared so a later
+		// spill cannot resurrect route-excluded data as a newest bucket.
+		// The caller discards payloads on this path, so skip the export —
+		// re-encoding a just-migrated (recently hot) region only to throw
+		// it away is pure wasted CPU on the source.
+		st.ReleaseRegion(box)
+		st.ClearRegion(box)
+		return &Message{Op: "migratechunks"}, nil
+	}
 	payloads, cells, err := st.ExportRegion(box)
 	if err != nil {
 		return nil, err
@@ -50,13 +62,6 @@ func (w *Worker) migrateChunks(req *Message) (*Message, error) {
 	var bytes int64
 	for _, p := range payloads {
 		bytes += int64(len(p))
-	}
-	if req.Release {
-		// Post-cutover source release: pool entries go immediately, and any
-		// cells still sitting in the memory buffer are cleared so a later
-		// spill cannot resurrect route-excluded data as a newest bucket.
-		st.ReleaseRegion(box)
-		st.ClearRegion(box)
 	}
 	w.stats.BytesOut += bytes
 	return &Message{Op: "migratechunks", Chunks: payloads, Cells: cells}, nil

@@ -71,10 +71,13 @@ func queryBox(da *DistArray, box array.Box) array.Box {
 }
 
 // markDown records a node whose transport failed; subsequent plans route
-// around it.
+// around it. It takes only downMu, never co.mu: transport fan-outs report
+// deaths from paths that already hold the coordinator lock (Repartition's
+// gather, the rebalancer's fenced re-copy), and a self-deadlock here would
+// wedge every query on the coordinator.
 func (co *Coordinator) markDown(n int) {
-	co.mu.Lock()
-	defer co.mu.Unlock()
+	co.downMu.Lock()
+	defer co.downMu.Unlock()
 	if co.down == nil {
 		co.down = map[int]bool{}
 	}
@@ -83,20 +86,31 @@ func (co *Coordinator) markDown(n int) {
 
 // MarkUp clears a node's down marker (operator-driven recovery).
 func (co *Coordinator) MarkUp(n int) {
-	co.mu.Lock()
-	defer co.mu.Unlock()
+	co.downMu.Lock()
+	defer co.downMu.Unlock()
 	delete(co.down, n)
 }
 
 // DownNodes lists the nodes currently marked down, sorted.
 func (co *Coordinator) DownNodes() []int {
-	co.mu.Lock()
-	defer co.mu.Unlock()
+	co.downMu.Lock()
+	defer co.downMu.Unlock()
 	out := make([]int, 0, len(co.down))
 	for n := range co.down {
 		out = append(out, n)
 	}
 	sort.Ints(out)
+	return out
+}
+
+// downSnapshot copies the down set for lock-free reads during planning.
+func (co *Coordinator) downSnapshot() map[int]bool {
+	co.downMu.Lock()
+	defer co.downMu.Unlock()
+	out := make(map[int]bool, len(co.down))
+	for n := range co.down {
+		out[n] = true
+	}
 	return out
 }
 
@@ -147,10 +161,11 @@ func (co *Coordinator) planQueryLocked(da *DistArray, box array.Box) (queryPlan,
 	} else {
 		baseNodes = allNodes(co.t.NumNodes())
 	}
+	down := co.downSnapshot()
 	queried := map[int]bool{}
 	var deadBase []int
 	for _, n := range baseNodes {
-		if co.down[n] {
+		if down[n] {
 			deadBase = append(deadBase, n)
 		} else {
 			queried[n] = true
@@ -178,7 +193,7 @@ func (co *Coordinator) planQueryLocked(da *DistArray, box array.Box) (queryPlan,
 	for _, o := range rt.OverridesIn(box) {
 		var live []int
 		for _, n := range o.Nodes {
-			if !co.down[n] {
+			if !down[n] {
 				live = append(live, n)
 			}
 		}

@@ -127,13 +127,14 @@ func (co *Coordinator) RebalanceOnce(name string, opts RebalanceOptions) (moved,
 		co.mu.Unlock()
 		return 0, 0, fmt.Errorf("cluster: %q has no routing table; call EnableRouting first", name)
 	}
+	co.mu.Unlock()
+	down := co.downSnapshot()
 	var alive []int
 	for n := 0; n < co.t.NumNodes(); n++ {
-		if !co.down[n] {
+		if !down[n] {
 			alive = append(alive, n)
 		}
 	}
-	co.mu.Unlock()
 	rebRounds.Inc()
 	if opts.Replicas > len(alive) {
 		opts.Replicas = len(alive)
@@ -211,10 +212,20 @@ func (co *Coordinator) RebalanceOnce(name string, opts RebalanceOptions) (moved,
 
 	for _, h := range ranked {
 		holders := rt.NodesFor(h.origin)
-		source := holders[0]
-		if !aliveSet[source] {
+		// A replica on a dead node neither serves reads nor counts toward
+		// the replication target: only live holders matter below, so a
+		// lost replica is re-created on a live node instead of silently
+		// eroding fault tolerance.
+		var liveHolders []int
+		for _, n := range holders {
+			if aliveSet[n] {
+				liveHolders = append(liveHolders, n)
+			}
+		}
+		if len(liveHolders) == 0 {
 			continue // can't export from a dead holder
 		}
+		source := liveHolders[0]
 		holderSet := map[int]bool{}
 		for _, n := range holders {
 			holderSet[n] = true
@@ -234,16 +245,18 @@ func (co *Coordinator) RebalanceOnce(name string, opts RebalanceOptions) (moved,
 			}
 			targets, newNodes = []int{t}, []int{t}
 		} else {
-			if len(holders) >= opts.Replicas {
-				continue // already replicated
+			if len(liveHolders) >= opts.Replicas {
+				continue // enough live replicas already
 			}
+			// No new copy lands on a current holder, dead or alive. The new
+			// route keeps only the live holders — a dead holder's stale copy
+			// is excluded from queries by no longer being routed, even if
+			// the node later revives.
 			exclude := map[int]bool{}
-			for n, held := range holderSet {
-				if held {
-					exclude[n] = true
-				}
+			for n := range holderSet {
+				exclude[n] = true
 			}
-			newNodes = append(newNodes, holders...)
+			newNodes = append(newNodes, liveHolders...)
 			for len(newNodes) < opts.Replicas {
 				t, ok := coldest(exclude)
 				if !ok {
@@ -288,10 +301,28 @@ func (co *Coordinator) RebalanceOnce(name string, opts RebalanceOptions) (moved,
 // cuts the routing table over, fencing concurrent writes with writeSeq.
 // Returns mv=false when the chunk turned out to be empty.
 func (co *Coordinator) moveChunk(da *DistArray, rt *partition.Routing, origin array.Coord, cb array.Box, source int, targets, newNodes []int, migrate bool) (mv bool, bytes int64, err error) {
+	// Held for the whole move, including the post-cutover release: while a
+	// copy is in flight, Repartition and Drop (which replace every node's
+	// content and retire rt) must wait — otherwise the move would install
+	// pre-repartition payloads under the new scheme or release cells the
+	// source legitimately owns after it.
+	co.moveMu.Lock()
+	defer co.moveMu.Unlock()
+
 	// Pre-copy: flush staged writes so the export sees them, record the
 	// write fence, and shield the chunk in the pending set so a
-	// half-installed copy is never served.
+	// half-installed copy is never served. A retry of a previously failed
+	// move finds its orphaned pending entry still in place and reuses it —
+	// inserts dedupe by origin so the set stays bounded however often a
+	// move fails.
 	co.mu.Lock()
+	if co.arrays[da.Name] != da || da.Scheme != rt {
+		// The array was repartitioned, dropped, or replaced since this
+		// round planned; the route this move would install belongs to a
+		// retired scheme.
+		co.mu.Unlock()
+		return false, 0, nil
+	}
 	if err := co.flushLocked(da); err != nil {
 		co.mu.Unlock()
 		return false, 0, err
@@ -300,7 +331,16 @@ func (co *Coordinator) moveChunk(da *DistArray, rt *partition.Routing, origin ar
 	if co.pending == nil {
 		co.pending = map[string][]pendingChunk{}
 	}
-	co.pending[da.Name] = append(co.pending[da.Name], pendingChunk{origin: origin.Clone(), box: cb})
+	havePending := false
+	for _, pc := range co.pending[da.Name] {
+		if pc.origin.Key() == origin.Key() {
+			havePending = true
+			break
+		}
+	}
+	if !havePending {
+		co.pending[da.Name] = append(co.pending[da.Name], pendingChunk{origin: origin.Clone(), box: cb})
+	}
 	co.mu.Unlock()
 
 	clearPending := func() {
@@ -347,9 +387,9 @@ func (co *Coordinator) moveChunk(da *DistArray, rt *partition.Routing, origin ar
 	}
 
 	// Unlocked copy: queries and writes proceed while the bytes travel. A
-	// failure leaves the chunk pending forever — the orphaned bytes on the
-	// target are permanently excluded from queries, which is correct, just
-	// unreclaimed.
+	// failure leaves the chunk's pending entry in place — the orphaned
+	// bytes on the target stay excluded from queries, which is correct,
+	// and a later retry reuses the entry rather than stacking a new one.
 	cells, n, err := copyOnce()
 	if err != nil {
 		return false, 0, err
@@ -364,6 +404,14 @@ func (co *Coordinator) moveChunk(da *DistArray, rt *partition.Routing, origin ar
 	// while holding the lock (blocks Puts briefly; reads only touch co.mu
 	// for planning and are unaffected), then install the route.
 	co.mu.Lock()
+	if co.arrays[da.Name] != da || da.Scheme != rt {
+		// Backstop for the pre-copy check: moveMu keeps Repartition/Drop
+		// out for the duration of the move, so this only fires if some
+		// future path swaps the scheme without taking it.
+		co.mu.Unlock()
+		clearPending()
+		return false, 0, nil
+	}
 	if da.writeSeq != seq {
 		if err := co.flushLocked(da); err != nil {
 			co.mu.Unlock()
