@@ -17,7 +17,7 @@ vet:
 # runs this alongside `test`; the full -race ./... sweep is `race-all`).
 # ./internal/storage includes the scan-prefetcher stress tests.
 race:
-	$(GO) test -race ./internal/exec ./internal/ops ./internal/bufcache ./internal/storage ./internal/cluster ./internal/obs ./internal/session ./internal/core ./internal/loader ./internal/insitu ./internal/partition
+	$(GO) test -race ./internal/exec ./internal/ops ./internal/bufcache ./internal/storage ./internal/cluster ./internal/obs ./internal/session ./internal/core ./internal/loader ./internal/insitu ./internal/partition ./internal/introspect
 
 # Short fuzz smoke over the chunk/array decoders. Each target must be
 # invoked separately: `go test -fuzz` refuses a pattern matching more

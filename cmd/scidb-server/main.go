@@ -24,6 +24,7 @@ import (
 
 	"scidb/internal/cluster"
 	"scidb/internal/exec"
+	"scidb/internal/introspect"
 	"scidb/internal/obs"
 	"scidb/internal/session"
 )
@@ -47,6 +48,7 @@ func main() {
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "SIGTERM: wait this long for in-flight session statements before canceling them")
 	flag.Parse()
 
+	introspect.Init()
 	exec.SetParallelism(*parallelism)
 
 	ln, err := net.Listen("tcp", *listen)
@@ -81,6 +83,7 @@ func main() {
 	var metricsSrv interface{ Close() error }
 	if *metricsAddr != "" {
 		obs.RegisterProcessMetrics(w.Registry())
+		introspect.AttachMetrics(w.Registry())
 		ms, err := obs.Serve(*metricsAddr, w.Registry())
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "metrics listen:", err)
@@ -97,10 +100,13 @@ func main() {
 	if codec == "" {
 		codec = "mirror-client"
 	}
+	fmt.Printf("scidb-server %s\n", introspect.Build())
 	fmt.Printf("scidb-server node %d listening on %s, %s, parallelism %d, wire codec %s\n",
 		*id, ln.Addr(), mode, exec.Parallelism(), codec)
 	fmt.Printf("scidb-server sessions: %d slots, queue depth %d, idle timeout %v\n",
 		*slots, *queueDepth, *idleTimeout)
+	introspect.Emit(introspect.EvServerStart, *id, "",
+		fmt.Sprintf("listening on %s (%s)", ln.Addr(), introspect.Build()))
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	go func() {

@@ -10,7 +10,8 @@
 //	scidb -connect 127.0.0.1:7101 -namespace lsst -batch
 //
 // Shell commands: \l lists arrays, \d NAME describes one, \prov shows the
-// provenance log, \metrics dumps the metrics registry, \q quits.
+// provenance log, \metrics dumps the metrics registry, \queries lists live
+// statements (SHOW QUERIES; works over -connect too), \q quits.
 package main
 
 import (
@@ -23,6 +24,7 @@ import (
 
 	"scidb"
 	"scidb/internal/cluster"
+	"scidb/internal/introspect"
 	"scidb/internal/obs"
 	"scidb/internal/session"
 )
@@ -156,7 +158,8 @@ func (r *remote) exec(stmt string) error {
 }
 
 func repl(db *scidb.DB, exec func(string) error) {
-	fmt.Println("SciDB-Go shell — AQL statements, \\l, \\d NAME, \\df, \\prov, \\metrics, \\q")
+	fmt.Printf("SciDB-Go shell (%s)\n", introspect.Build())
+	fmt.Println("AQL statements, \\l, \\d NAME, \\df, \\prov, \\metrics, \\queries, \\q")
 	sc := bufio.NewScanner(os.Stdin)
 	for {
 		fmt.Print("scidb> ")
@@ -165,6 +168,14 @@ func repl(db *scidb.DB, exec func(string) error) {
 			return
 		}
 		line := strings.TrimSpace(sc.Text())
+		if line == "\\queries" {
+			// SHOW QUERIES is a statement, so it works on both paths — over
+			// -connect it lists the server's registry, not ours.
+			if err := exec("show queries"); err != nil {
+				fmt.Println("error:", err)
+			}
+			continue
+		}
 		if db == nil && strings.HasPrefix(line, "\\") && line != "\\q" {
 			// Introspection commands read the in-process engine; over
 			// -connect, use AQL statements instead.

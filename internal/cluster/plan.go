@@ -26,6 +26,7 @@ import (
 	"sort"
 
 	"scidb/internal/array"
+	"scidb/internal/introspect"
 	"scidb/internal/partition"
 )
 
@@ -77,18 +78,26 @@ func queryBox(da *DistArray, box array.Box) array.Box {
 // wedge every query on the coordinator.
 func (co *Coordinator) markDown(n int) {
 	co.downMu.Lock()
-	defer co.downMu.Unlock()
 	if co.down == nil {
 		co.down = map[int]bool{}
 	}
+	already := co.down[n]
 	co.down[n] = true
+	co.downMu.Unlock()
+	if !already {
+		introspect.Emit(introspect.EvNodeDown, n, "", "transport failure; plans route around it")
+	}
 }
 
 // MarkUp clears a node's down marker (operator-driven recovery).
 func (co *Coordinator) MarkUp(n int) {
 	co.downMu.Lock()
-	defer co.downMu.Unlock()
+	was := co.down[n]
 	delete(co.down, n)
+	co.downMu.Unlock()
+	if was {
+		introspect.Emit(introspect.EvNodeUp, n, "", "marked up by operator")
+	}
 }
 
 // DownNodes lists the nodes currently marked down, sorted.

@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"scidb/internal/array"
+	"scidb/internal/introspect"
 	"scidb/internal/obs"
 	"scidb/internal/partition"
 )
@@ -280,9 +281,13 @@ func (co *Coordinator) RebalanceOnce(name string, opts RebalanceOptions) (moved,
 		if opts.Replicas == 1 {
 			moved++
 			rebMoved.Inc()
+			introspect.Emit(introspect.EvRebalanceMove, targets[0], name,
+				fmt.Sprintf("chunk %v moved %d -> %d (heat %.1f)", h.origin, source, targets[0], h.score))
 		} else {
 			replicated += len(targets)
 			rebReplicated.Add(int64(len(targets)))
+			introspect.Emit(introspect.EvRebalanceReplicate, source, name,
+				fmt.Sprintf("chunk %v replicated from %d onto %v (heat %.1f)", h.origin, source, targets, h.score))
 		}
 		rebBytes.Add(bytes)
 		// Spread subsequent picks: the receivers just inherited this load.
@@ -413,6 +418,8 @@ func (co *Coordinator) moveChunk(da *DistArray, rt *partition.Routing, origin ar
 		return false, 0, nil
 	}
 	if da.writeSeq != seq {
+		introspect.Emit(introspect.EvWriteFenceRecopy, source, da.Name,
+			fmt.Sprintf("chunk %v written during copy; re-exporting under lock", origin))
 		if err := co.flushLocked(da); err != nil {
 			co.mu.Unlock()
 			return false, 0, err

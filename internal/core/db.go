@@ -195,6 +195,10 @@ func (db *Database) run(ctx context.Context, stmt parser.Stmt) (*Result, error) 
 		return &Result{Array: a}, nil
 	case *parser.Explain:
 		return db.runExplain(ctx, s)
+	case *parser.ShowQueries:
+		return db.runShowQueries()
+	case *parser.CancelQuery:
+		return db.runCancelQuery(s)
 	}
 	return nil, fmt.Errorf("core: unsupported statement %T", stmt)
 }

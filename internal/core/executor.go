@@ -2,11 +2,13 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
 	"time"
 
+	"scidb/internal/introspect"
 	"scidb/internal/obs"
 	"scidb/internal/parser"
 )
@@ -78,6 +80,13 @@ func (e *Executor) ExecCtx(ctx context.Context, src string) (*Result, error) {
 // statement, traced or not, feeds the scidb_query_seconds histogram. A
 // canceled context fails before execution starts, and the chunk-parallel
 // operators abort between operators/chunks while it runs.
+//
+// Every statement also passes through the live query registry
+// (internal/introspect): a session-registered query arriving in the
+// context (introspect.ContextWithQuery) is adopted — the session owns its
+// terminal state because results may stream after RunCtx returns — while
+// an in-process statement registers here under its own cancelable context,
+// so CANCEL QUERY works for both transports.
 func (e *Executor) RunCtx(ctx context.Context, stmt parser.Stmt) (*Result, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
@@ -86,21 +95,55 @@ func (e *Executor) RunCtx(ctx context.Context, stmt parser.Stmt) (*Result, error
 		return nil, fmt.Errorf("core: statement has %d unbound parameters (prepare it and execute with values)", n)
 	}
 	db := e.db
+	introspect.Init()
 	start := time.Now()
+
+	q := introspect.QueryFromContext(ctx)
+	adopted := q != nil
+	if q == nil && introspect.Enabled() {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithCancel(ctx)
+		defer cancel()
+		q = introspect.Default().Begin("", introspect.OriginFromContext(ctx), cancel)
+		ctx = introspect.ContextWithQuery(ctx, q)
+	}
+	q.SetSQL(parser.Format(stmt))
+	q.SetPhase(introspect.StateRunning)
+
 	var root *obs.Span
 	slow := db.slowThreshold()
-	if slow > 0 && obs.SpanFromContext(ctx) == nil {
+	if obs.SpanFromContext(ctx) == nil && (slow > 0 || q != nil) {
+		// A registered query always runs traced: the span's counters are
+		// what sys.queries reports live (cells, bytes, chunks, fan-out).
 		tr := obs.NewTrace(parser.Format(stmt))
 		root = tr.Root()
 		ctx = obs.ContextWithSpan(ctx, root)
 	}
+	if root != nil {
+		q.SetSpan(root)
+	} else {
+		q.SetSpan(obs.SpanFromContext(ctx))
+	}
+
 	res, err := db.run(ctx, stmt)
 	d := time.Since(start)
 	queryHist.Observe(d.Seconds())
 	if root != nil {
 		root.End()
-		if d >= slow {
+		if slow > 0 && d >= slow {
 			db.logSlow(stmt, d, root)
+			introspect.Emit(introspect.EvSlowQuery, -1, "",
+				fmt.Sprintf("%s took %s (threshold %s)", parser.Format(stmt), d, slow))
+		}
+	}
+	if !adopted {
+		switch {
+		case err == nil:
+			q.Finish(introspect.StateDone)
+		case errors.Is(err, context.Canceled):
+			q.Finish(introspect.StateCanceled)
+		default:
+			q.Finish(introspect.StateError)
 		}
 	}
 	return res, err

@@ -1,0 +1,249 @@
+package core
+
+// Virtual system arrays (§2.9 administrability): the introspection layer's
+// live state — query registry, node liveness, chunk routing, the cluster
+// event log, and the metrics registry — exposed as read-only arrays under
+// the reserved "sys." prefix. They materialize on scan, so the normal
+// query language filters them:
+//
+//	filter(sys.queries, state = 'running')
+//	filter(sys.chunks, array = 'M')
+//	filter(sys.events, kind = 'rebalance_move')
+//
+// SHOW QUERIES and CANCEL QUERY route through the same registry.
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"scidb/internal/array"
+	"scidb/internal/introspect"
+	"scidb/internal/obs"
+	"scidb/internal/parser"
+	"scidb/internal/partition"
+)
+
+// SysNames lists the virtual system arrays, sorted.
+func SysNames() []string {
+	return []string{"sys.chunks", "sys.events", "sys.metrics", "sys.nodes", "sys.queries"}
+}
+
+// sysArray materializes one virtual system array by name.
+func (db *Database) sysArray(name string) (*array.Array, error) {
+	switch name {
+	case "sys.queries":
+		return sysQueries(introspect.Default(), true)
+	case "sys.nodes":
+		return db.sysNodes()
+	case "sys.chunks":
+		return db.sysChunks()
+	case "sys.events":
+		return sysEvents(introspect.Events())
+	case "sys.metrics":
+		return sysMetrics()
+	}
+	return nil, fmt.Errorf("core: unknown system array %q (have %s)", name, strings.Join(SysNames(), ", "))
+}
+
+// sysTable builds a 1-D table-shaped array with one cell per row.
+func sysTable(name string, attrs []array.Attribute, rows []array.Cell) (*array.Array, error) {
+	s := &array.Schema{
+		Name:  name,
+		Dims:  []array.Dimension{{Name: "i", High: array.Unbounded, ChunkLen: 256}},
+		Attrs: attrs,
+	}
+	a, err := array.New(s)
+	if err != nil {
+		return nil, err
+	}
+	for i, r := range rows {
+		if err := a.Set(array.Coord{int64(i + 1)}, r); err != nil {
+			return nil, err
+		}
+	}
+	return a, nil
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// sysQueries renders the registry as an array: live queries first (oldest
+// first), then — when recent is set — the ring of finished ones.
+func sysQueries(r *introspect.Registry, recent bool) (*array.Array, error) {
+	attrs := []array.Attribute{
+		{Name: "id", Type: array.TInt64},
+		{Name: "session", Type: array.TInt64},
+		{Name: "namespace", Type: array.TString},
+		{Name: "priority", Type: array.TString},
+		{Name: "state", Type: array.TString},
+		{Name: "phase", Type: array.TString},
+		{Name: "elapsed_ms", Type: array.TFloat64},
+		{Name: "queue_ms", Type: array.TFloat64},
+		{Name: "chunks", Type: array.TInt64},
+		{Name: "cells", Type: array.TInt64},
+		{Name: "bytes", Type: array.TInt64},
+		{Name: "cache_hits", Type: array.TInt64},
+		{Name: "nodes", Type: array.TInt64},
+		{Name: "sql", Type: array.TString},
+	}
+	infos := r.Snapshot()
+	if recent {
+		infos = append(infos, r.Recent()...)
+	}
+	rows := make([]array.Cell, len(infos))
+	for i, q := range infos {
+		rows[i] = array.Cell{
+			array.Int64(int64(q.ID)),
+			array.Int64(int64(q.Session)),
+			array.String64(q.Namespace),
+			array.String64(q.Priority),
+			array.String64(q.State),
+			array.String64(q.Phase),
+			array.Float64(ms(q.Elapsed)),
+			array.Float64(ms(q.QueueWait)),
+			array.Int64(q.Chunks),
+			array.Int64(q.Cells),
+			array.Int64(q.Bytes),
+			array.Int64(q.CacheHits),
+			array.Int64(q.Nodes),
+			array.String64(q.SQL),
+		}
+	}
+	return sysTable("sys.queries", attrs, rows)
+}
+
+// sysNodes reports node liveness: every cluster node with its up/down
+// state, or the single local node when no cluster is attached.
+func (db *Database) sysNodes() (*array.Array, error) {
+	attrs := []array.Attribute{
+		{Name: "node", Type: array.TInt64},
+		{Name: "state", Type: array.TString},
+	}
+	var rows []array.Cell
+	if co := db.cluster; co != nil {
+		down := map[int]bool{}
+		for _, n := range co.DownNodes() {
+			down[n] = true
+		}
+		for n := 0; n < co.NumNodes(); n++ {
+			st := "up"
+			if down[n] {
+				st = "down"
+			}
+			rows = append(rows, array.Cell{array.Int64(int64(n)), array.String64(st)})
+		}
+	} else {
+		rows = append(rows, array.Cell{array.Int64(0), array.String64("up")})
+	}
+	return sysTable("sys.nodes", attrs, rows)
+}
+
+// sysChunks exposes the routing table: one row per overridden chunk route
+// of every routed cluster array, so placement written by the rebalancer is
+// queryable (and testable against partition.Routing directly).
+func (db *Database) sysChunks() (*array.Array, error) {
+	attrs := []array.Attribute{
+		{Name: "array", Type: array.TString},
+		{Name: "chunk", Type: array.TString},
+		{Name: "nodes", Type: array.TString},
+		{Name: "replicas", Type: array.TInt64},
+		{Name: "route_version", Type: array.TInt64},
+	}
+	var rows []array.Cell
+	if co := db.cluster; co != nil {
+		names := co.Names()
+		sort.Strings(names)
+		for _, name := range names {
+			sch, err := co.Scheme(name)
+			if err != nil {
+				continue
+			}
+			rt, ok := sch.(*partition.Routing)
+			if !ok {
+				continue
+			}
+			ver := rt.Version()
+			for _, cr := range rt.Overrides() {
+				parts := make([]string, len(cr.Nodes))
+				for i, n := range cr.Nodes {
+					parts[i] = fmt.Sprintf("%d", n)
+				}
+				rows = append(rows, array.Cell{
+					array.String64(name),
+					array.String64(fmt.Sprintf("%v", []int64(cr.Origin))),
+					array.String64(strings.Join(parts, ",")),
+					array.Int64(int64(len(cr.Nodes))),
+					array.Int64(ver),
+				})
+			}
+		}
+	}
+	return sysTable("sys.chunks", attrs, rows)
+}
+
+// sysEvents renders the event-log ring, oldest first.
+func sysEvents(l *introspect.EventLog) (*array.Array, error) {
+	attrs := []array.Attribute{
+		{Name: "seq", Type: array.TInt64},
+		{Name: "time", Type: array.TString},
+		{Name: "kind", Type: array.TString},
+		{Name: "node", Type: array.TInt64},
+		{Name: "array", Type: array.TString},
+		{Name: "detail", Type: array.TString},
+	}
+	evs := l.Snapshot()
+	rows := make([]array.Cell, len(evs))
+	for i, e := range evs {
+		rows[i] = array.Cell{
+			array.Int64(int64(e.Seq)),
+			array.String64(e.Time.Format(time.RFC3339Nano)),
+			array.String64(e.Kind),
+			array.Int64(int64(e.Node)),
+			array.String64(e.Array),
+			array.String64(e.Detail),
+		}
+	}
+	return sysTable("sys.events", attrs, rows)
+}
+
+// sysMetrics is the /metrics registry as an array (histograms appear as
+// their _count/_sum samples).
+func sysMetrics() (*array.Array, error) {
+	attrs := []array.Attribute{
+		{Name: "name", Type: array.TString},
+		{Name: "label", Type: array.TString},
+		{Name: "value", Type: array.TFloat64},
+	}
+	snap := obs.Default().Snapshot()
+	rows := make([]array.Cell, len(snap.Samples))
+	for i, s := range snap.Samples {
+		rows[i] = array.Cell{
+			array.String64(s.Name),
+			array.String64(s.Label),
+			array.Float64(s.Value),
+		}
+	}
+	return sysTable("sys.metrics", attrs, rows)
+}
+
+// runShowQueries handles SHOW QUERIES: the live registry only (finished
+// statements stay queryable via sys.queries).
+func (db *Database) runShowQueries() (*Result, error) {
+	a, err := sysQueries(introspect.Default(), false)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Array: a}, nil
+}
+
+// runCancelQuery handles CANCEL QUERY <id>: fire the registered cancel
+// func. The canceled statement's own exit path records its terminal state,
+// so a successful cancel here only means the signal was delivered.
+func (db *Database) runCancelQuery(s *parser.CancelQuery) (*Result, error) {
+	if !introspect.Default().Cancel(uint64(s.ID)) {
+		return nil, fmt.Errorf("core: no cancelable query with id %d", s.ID)
+	}
+	introspect.Emit(introspect.EvQueryCancel, -1, "", fmt.Sprintf("cancel query %d", s.ID))
+	return &Result{Msg: fmt.Sprintf("canceled query %d", s.ID)}, nil
+}

@@ -280,6 +280,11 @@ func (db *Database) evalNode(ctx context.Context, e parser.ArrayExpr) (*array.Ar
 
 // resolveRef returns a plain array, or the latest snapshot of an updatable.
 func (db *Database) resolveRef(ctx context.Context, name string) (*array.Array, error) {
+	if strings.HasPrefix(name, "sys.") {
+		// Virtual system arrays (sys.queries, sys.chunks, ...) materialize
+		// on scan; they never live in the catalog and cannot be shadowed.
+		return db.sysArray(name)
+	}
 	db.mu.RLock()
 	a, okA := db.arrays[name]
 	u, okU := db.updatables[name]

@@ -11,7 +11,7 @@ import (
 func TestAllExperimentsQuick(t *testing.T) {
 	all := All()
 	want := []string{"ASAP", "CACHE", "CE", "CLICK", "COPART", "ENC", "FIG1", "FIG2", "FIG3",
-		"HIST", "INSITU", "LOAD", "NET", "OBS", "PAR", "PART", "PROV", "SERVE", "SKEW", "SSDB", "STORE", "UNC", "VER"}
+		"HIST", "INSITU", "INTROSPECT", "LOAD", "NET", "OBS", "PAR", "PART", "PROV", "SERVE", "SKEW", "SSDB", "STORE", "UNC", "VER"}
 	if len(all) != len(want) {
 		t.Fatalf("registered %d experiments, want %d", len(all), len(want))
 	}

@@ -1,0 +1,82 @@
+package introspect
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+
+	"scidb/internal/obs"
+)
+
+// BuildInfo is the binary's identity: module version, Go toolchain, and
+// the VCS revision baked in by the Go linker (debug.ReadBuildInfo).
+type BuildInfo struct {
+	Version   string `json:"version"`
+	GoVersion string `json:"go_version"`
+	Revision  string `json:"revision"`
+	Modified  bool   `json:"modified"` // dirty working tree at build time
+}
+
+var (
+	buildOnce sync.Once
+	buildInfo BuildInfo
+)
+
+// Build reads the binary's build info once and caches it.
+func Build() BuildInfo {
+	buildOnce.Do(func() {
+		buildInfo = BuildInfo{Version: "devel", GoVersion: runtime.Version(), Revision: "unknown"}
+		bi, ok := debug.ReadBuildInfo()
+		if !ok {
+			return
+		}
+		if bi.Main.Version != "" && bi.Main.Version != "(devel)" {
+			buildInfo.Version = bi.Main.Version
+		}
+		if bi.GoVersion != "" {
+			buildInfo.GoVersion = bi.GoVersion
+		}
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				buildInfo.Revision = s.Value
+				if len(buildInfo.Revision) > 12 {
+					buildInfo.Revision = buildInfo.Revision[:12]
+				}
+			case "vcs.modified":
+				buildInfo.Modified = s.Value == "true"
+			}
+		}
+	})
+	return buildInfo
+}
+
+// String renders the build info as the one-liner the REPL banner and
+// scidb-server startup log print.
+func (b BuildInfo) String() string {
+	rev := b.Revision
+	if b.Modified {
+		rev += "+dirty"
+	}
+	return fmt.Sprintf("version %s, %s, rev %s", b.Version, b.GoVersion, rev)
+}
+
+// registerBuildInfo installs the scidb_build_info gauge (constant 1, with
+// the identity in labels — the standard Prometheus build-info shape) on
+// the default obs registry.
+var buildGauge sync.Once
+
+func registerBuildInfo() {
+	buildGauge.Do(func() { registerBuildInfoOn(obs.Default()) })
+}
+
+func registerBuildInfoOn(reg *obs.Registry) {
+	b := Build()
+	label := fmt.Sprintf("version=%q,go=%q,revision=%q", b.Version, b.GoVersion, b.Revision)
+	reg.RegisterFunc("scidb_build_info",
+		"Build identity of this binary (constant 1; identity in labels).",
+		obs.KindGauge, func(emit func(obs.Sample)) {
+			emit(obs.Sample{Name: "scidb_build_info", Label: label, Value: 1})
+		})
+}

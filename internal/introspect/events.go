@@ -1,0 +1,153 @@
+package introspect
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"scidb/internal/obs"
+)
+
+// Event kinds appended by the cluster, rebalancer, and session hooks.
+const (
+	EvRebalanceMove      = "rebalance_move"      // chunk migrated to a colder node
+	EvRebalanceReplicate = "rebalance_replicate" // hot-chunk replicas installed
+	EvWriteFenceRecopy   = "write_fence_recopy"  // chunk re-copied at cutover (writes raced the move)
+	EvNodeDown           = "node_down"           // transport marked a node dead
+	EvNodeUp             = "node_up"             // operator-driven recovery
+	EvAdmissionShed      = "admission_shed"      // statement rejected server-busy
+	EvSlowQuery          = "slow_query"          // statement crossed the slow threshold
+	EvQueryCancel        = "query_cancel"        // CANCEL QUERY fired
+	EvServerStart        = "server_start"        // scidb-server came up
+)
+
+// Event is one structured cluster-event record.
+type Event struct {
+	Seq    uint64    `json:"seq"`
+	Time   time.Time `json:"time"`
+	Kind   string    `json:"kind"`
+	Node   int       `json:"node"`  // -1 when not node-scoped
+	Array  string    `json:"array"` // "" when not array-scoped
+	Detail string    `json:"detail"`
+}
+
+// EventLog is a bounded ring of events plus monotonic per-kind totals (the
+// totals survive ring eviction, so scidb_events_total{kind} never goes
+// backwards).
+type EventLog struct {
+	mu     sync.Mutex
+	seq    uint64
+	buf    []Event // ring, newest last
+	cap    int
+	counts map[string]uint64
+
+	reg sync.Once
+}
+
+// NewEventLog builds a log keeping up to capacity events (0 selects 256).
+func NewEventLog(capacity int) *EventLog {
+	if capacity <= 0 {
+		capacity = 256
+	}
+	return &EventLog{cap: capacity, counts: map[string]uint64{}}
+}
+
+var defaultEvents = NewEventLog(0)
+
+// Events returns the process-wide event log.
+func Events() *EventLog { return defaultEvents }
+
+// initMetrics lazily registers the scidb_events_total{kind} collector on
+// the default obs registry (first append only, and only for the default
+// log so tests with private logs cannot hijack the family).
+func (l *EventLog) initMetrics() {
+	l.reg.Do(func() {
+		if l != defaultEvents {
+			return
+		}
+		l.registerCollector(obs.Default())
+	})
+}
+
+// registerCollector installs the scidb_events_total{kind} family on reg
+// (see AttachMetrics for serving it from a non-default obs registry).
+func (l *EventLog) registerCollector(reg *obs.Registry) {
+	reg.RegisterFunc("scidb_events_total",
+		"Cluster events appended to the introspection event log, by kind.",
+		obs.KindCounter, func(emit func(obs.Sample)) {
+			l.mu.Lock()
+			kinds := make([]string, 0, len(l.counts))
+			for k := range l.counts {
+				kinds = append(kinds, k)
+			}
+			sort.Strings(kinds)
+			counts := make([]uint64, len(kinds))
+			for i, k := range kinds {
+				counts[i] = l.counts[k]
+			}
+			l.mu.Unlock()
+			for i, k := range kinds {
+				emit(obs.Sample{Name: "scidb_events_total",
+					Label: fmt.Sprintf("kind=%q", k), Value: float64(counts[i])})
+			}
+		})
+}
+
+// Append records one event. node -1 means not node-scoped.
+func (l *EventLog) Append(kind string, node int, arrayName, detail string) {
+	if l == nil {
+		return
+	}
+	l.initMetrics()
+	l.mu.Lock()
+	l.seq++
+	l.buf = append(l.buf, Event{
+		Seq: l.seq, Time: time.Now(), Kind: kind, Node: node, Array: arrayName, Detail: detail,
+	})
+	if len(l.buf) > l.cap {
+		l.buf = l.buf[len(l.buf)-l.cap:]
+	}
+	l.counts[kind]++
+	l.mu.Unlock()
+}
+
+// Emit appends to the process-wide log — the one-liner the cluster and
+// session hooks call.
+func Emit(kind string, node int, arrayName, detail string) {
+	defaultEvents.Append(kind, node, arrayName, detail)
+}
+
+// Snapshot lists the retained events, oldest first.
+func (l *EventLog) Snapshot() []Event {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]Event(nil), l.buf...)
+}
+
+// Counts reports the monotonic per-kind totals.
+func (l *EventLog) Counts() map[string]uint64 {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make(map[string]uint64, len(l.counts))
+	for k, v := range l.counts {
+		out[k] = v
+	}
+	return out
+}
+
+// Total reports how many events of kind were ever appended.
+func (l *EventLog) Total(kind string) uint64 {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.counts[kind]
+}

@@ -1,0 +1,48 @@
+package introspect
+
+import (
+	"sync"
+
+	"scidb/internal/obs"
+)
+
+// Init wires the introspection layer into the process-wide telemetry
+// surface: the scidb_build_info gauge on /metrics and the "build",
+// "queries", and "events" sections of /statusz. Idempotent and cheap; the
+// executor calls it on first statement, and binaries call it at startup so
+// the endpoints are populated before any traffic.
+var initOnce sync.Once
+
+func Init() {
+	initOnce.Do(func() {
+		registerBuildInfo()
+		obs.RegisterStatus("build", func() interface{} { return Build() })
+		obs.RegisterStatus("queries", func() interface{} {
+			return map[string]interface{}{
+				"active": defaultRegistry.Snapshot(),
+				"recent": defaultRegistry.Recent(),
+			}
+		})
+		obs.RegisterStatus("events", func() interface{} {
+			return map[string]interface{}{
+				"ring":   defaultEvents.Snapshot(),
+				"totals": defaultEvents.Counts(),
+			}
+		})
+	})
+}
+
+// AttachMetrics exports every introspection metric family
+// (scidb_build_info, scidb_queries_started/finished_total,
+// scidb_queries_active, scidb_events_total) on reg, for binaries that
+// scrape a registry other than obs.Default() — scidb-server serves its
+// worker's registry, for example. The collectors read the process-wide
+// default query registry and event log, so the numbers match /statusz.
+func AttachMetrics(reg *obs.Registry) {
+	if reg == nil || reg == obs.Default() {
+		return
+	}
+	registerBuildInfoOn(reg)
+	defaultRegistry.registerCollectors(reg)
+	defaultEvents.registerCollector(reg)
+}

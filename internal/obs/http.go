@@ -1,10 +1,48 @@
 package obs
 
 import (
+	"encoding/json"
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"sort"
+	"sync"
 )
+
+// Status sections: named providers whose values are marshaled into the
+// /statusz JSON document. The introspection layer (internal/introspect)
+// registers "build", "queries", and "events" here; any subsystem can add
+// its own section without obs knowing its types.
+var (
+	statusMu       sync.Mutex
+	statusSections = map[string]func() interface{}{}
+)
+
+// RegisterStatus installs (or replaces) a /statusz section. fn runs per
+// request, so it should snapshot cheaply.
+func RegisterStatus(name string, fn func() interface{}) {
+	statusMu.Lock()
+	defer statusMu.Unlock()
+	statusSections[name] = fn
+}
+
+// statusDoc materializes every registered section in name order.
+func statusDoc() map[string]interface{} {
+	statusMu.Lock()
+	names := make([]string, 0, len(statusSections))
+	fns := make(map[string]func() interface{}, len(statusSections))
+	for n, fn := range statusSections {
+		names = append(names, n)
+		fns[n] = fn
+	}
+	statusMu.Unlock()
+	sort.Strings(names)
+	doc := make(map[string]interface{}, len(names))
+	for _, n := range names {
+		doc[n] = fns[n]()
+	}
+	return doc
+}
 
 // Handler returns an http.Handler exposing the registry and runtime
 // profiling on an explicit mux (never DefaultServeMux, so importing this
@@ -12,12 +50,19 @@ import (
 //
 //	/metrics        Prometheus text exposition of r
 //	/healthz        200 "ok" liveness probe
+//	/statusz        JSON of every RegisterStatus section
 //	/debug/pprof/*  net/http/pprof profiles
 func Handler(r *Registry) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		r.WriteProm(w)
+	})
+	mux.HandleFunc("/statusz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(statusDoc())
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")

@@ -136,6 +136,30 @@ func (s *Span) Duration() time.Duration {
 	return time.Duration(s.dur.Load() &^ 1)
 }
 
+// Totals sums every counter in the subtree rooted at s (remote grafts
+// included) into one map — the live roll-up the query registry reads while
+// a statement runs. Nil-safe: a nil span reports nil.
+func (s *Span) Totals() map[string]int64 {
+	if s == nil {
+		return nil
+	}
+	out := map[string]int64{}
+	var walk func(sp *Span)
+	walk = func(sp *Span) {
+		sp.mu.Lock()
+		for k, v := range sp.counters {
+			out[k] += v
+		}
+		kids := append(append([]*Span(nil), sp.children...), sp.remote...)
+		sp.mu.Unlock()
+		for _, c := range kids {
+			walk(c)
+		}
+	}
+	walk(s)
+	return out
+}
+
 // Graft attaches a remote subtree (rebuilt from SpanData) under s; the
 // coordinator uses it to stitch worker-side spans below the per-node call
 // span that produced them.

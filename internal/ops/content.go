@@ -41,8 +41,13 @@ func FilterCtx(ctx context.Context, a *array.Array, pred Expr, reg *udf.Registry
 	cell := make(array.Cell, len(a.Schema.Attrs))
 	// Chunk-major walk over present cells: the same order IterReuse takes,
 	// but with the chunk in hand so the compressed-execution planner can
-	// skip or run-evaluate it.
+	// skip or run-evaluate it. Cancellation aborts between chunks even on
+	// this serial path (a single-core box never takes the pool path, and
+	// CANCEL QUERY must still land).
 	for _, ch := range a.Chunks() {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if ch.CellsPresent() == 0 {
 			continue
 		}

@@ -24,9 +24,18 @@ func (p *parser) parseArrayExpr() (ArrayExpr, error) {
 	}
 	op := strings.ToLower(t.text)
 	if !arrayOps[op] {
-		// plain array reference
+		// Plain array reference; a dotted name ("sys.queries") addresses a
+		// virtual system array.
 		p.advance()
-		return &Ref{Name: t.text}, nil
+		name := t.text
+		if p.acceptPunct(".") {
+			part, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			name = name + "." + part
+		}
+		return &Ref{Name: name}, nil
 	}
 	p.advance()
 	if err := p.expectPunct("("); err != nil {
@@ -41,6 +50,13 @@ func (p *parser) parseArrayExpr() (ArrayExpr, error) {
 		name, e := p.expectIdent()
 		if e != nil {
 			return nil, e
+		}
+		if p.acceptPunct(".") {
+			part, e := p.expectIdent()
+			if e != nil {
+				return nil, e
+			}
+			name = name + "." + part
 		}
 		node = &Ref{Name: name}
 	case "exists":

@@ -170,6 +170,20 @@ type CreateVersion struct {
 
 func (*CreateVersion) stmtNode() {}
 
+// ShowQueries is "SHOW QUERIES": the live query registry rendered as the
+// sys.queries system array.
+type ShowQueries struct{}
+
+func (*ShowQueries) stmtNode() {}
+
+// CancelQuery is "CANCEL QUERY <id>": fire the registered cancel func of
+// the statement with that registry id (any session, any transport).
+type CancelQuery struct {
+	ID int64
+}
+
+func (*CancelQuery) stmtNode() {}
+
 // Scalar is a literal, or a statement parameter placeholder ($1, $2, ...)
 // awaiting a value at bind time (prepared statements parse once and bind
 // per execution — see Bind).

@@ -82,6 +82,10 @@ func Format(s Stmt) string {
 			return "explain analyze " + Format(n.Stmt)
 		}
 		return "explain " + Format(n.Stmt)
+	case *ShowQueries:
+		return "show queries"
+	case *CancelQuery:
+		return fmt.Sprintf("cancel query %d", n.ID)
 	}
 	return fmt.Sprintf("<unprintable %T>", s)
 }

@@ -132,6 +132,10 @@ func (p *parser) parseStmt() (Stmt, error) {
 		return p.parseAttach()
 	case p.isKeyword("store"):
 		return p.parseStore()
+	case p.isKeyword("show"):
+		return p.parseShow()
+	case p.isKeyword("cancel"):
+		return p.parseCancel()
 	default:
 		e, err := p.parseArrayExpr()
 		if err != nil {
@@ -139,6 +143,31 @@ func (p *parser) parseStmt() (Stmt, error) {
 		}
 		return &Query{Expr: e}, nil
 	}
+}
+
+// SHOW QUERIES
+func (p *parser) parseShow() (Stmt, error) {
+	p.advance() // show
+	if err := p.expectKeyword("queries"); err != nil {
+		return nil, err
+	}
+	return &ShowQueries{}, nil
+}
+
+// CANCEL QUERY <id>
+func (p *parser) parseCancel() (Stmt, error) {
+	p.advance() // cancel
+	if err := p.expectKeyword("query"); err != nil {
+		return nil, err
+	}
+	id, err := p.expectInt()
+	if err != nil {
+		return nil, err
+	}
+	if id <= 0 {
+		return nil, p.errf("query id must be positive, got %d", id)
+	}
+	return &CancelQuery{ID: id}, nil
 }
 
 // EXPLAIN [ANALYZE] <stmt>

@@ -454,6 +454,11 @@ func TestFormatRoundTrip(t *testing.T) {
 		"version(A, v1)",
 		"exists(A, 7, 7)",
 		"aggregate(filter(subsample(A, x >= 2), v != 0), {y}, min(v))",
+		"show queries",
+		"cancel query 3",
+		"sys.queries",
+		"filter(sys.chunks, array = 'M')",
+		"scan(sys.events)",
 	}
 	for _, src := range corpus {
 		first, err := Parse(src)

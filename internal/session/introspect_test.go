@@ -1,0 +1,230 @@
+package session
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"scidb/internal/array"
+	"scidb/internal/core"
+	"scidb/internal/introspect"
+	"scidb/internal/udf"
+)
+
+// slowTenant serves one database holding a 1-D array with one-cell chunks
+// and a per-cell delay UDF, so statements run long enough to observe from
+// another session.
+func slowTenant(t *testing.T, cells int64, delay time.Duration) func(string) (*core.Database, error) {
+	t.Helper()
+	db := core.Open()
+	if err := db.Registry().RegisterFunc(&udf.Func{
+		Name: "slowpred",
+		In:   []array.Type{array.TFloat64},
+		Out:  []array.Type{array.TFloat64},
+		Body: func(args []array.Value) ([]array.Value, error) {
+			time.Sleep(delay)
+			return []array.Value{args[0]}, nil
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	a, err := array.New(&array.Schema{
+		Name:  "S",
+		Dims:  []array.Dimension{{Name: "x", High: cells, ChunkLen: 1}},
+		Attrs: []array.Attribute{{Name: "v", Type: array.TFloat64}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for x := int64(1); x <= cells; x++ {
+		if err := a.Set(array.Coord{x}, array.Cell{array.Float64(float64(x))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.PutArray("S", a); err != nil {
+		t.Fatal(err)
+	}
+	return func(string) (*core.Database, error) { return db, nil }
+}
+
+// findLive polls the default registry for a live query from session whose
+// SQL contains marker.
+func findLive(t *testing.T, session uint64, marker string) (introspect.Info, bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		for _, q := range introspect.Default().Snapshot() {
+			if q.Session == session && strings.Contains(q.SQL, marker) {
+				return q, true
+			}
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	return introspect.Info{}, false
+}
+
+func recentState(id uint64) string {
+	for _, r := range introspect.Default().Recent() {
+		if r.ID == id {
+			return r.State
+		}
+	}
+	return ""
+}
+
+// TestCancelQueryAcrossSessions: session B cancels session A's running
+// statement through the statement interface — the cross-transport path
+// (CANCEL QUERY resolves the registry id to A's cancel func server-side).
+func TestCancelQueryAcrossSessions(t *testing.T) {
+	_, addr := startServer(t, ServerOptions{Tenant: slowTenant(t, 2000, 2*time.Millisecond)})
+	a := dialT(t, addr, ClientOptions{Name: "victim"})
+	b := dialT(t, addr, ClientOptions{Name: "canceler"})
+
+	p, err := a.Start("filter(S, slowpred(v) > 0)", Interactive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, ok := findLive(t, a.SessionID(), "slowpred")
+	if !ok {
+		t.Fatal("session A's statement never appeared in the registry")
+	}
+	if q.Namespace != "default" || q.Priority != "interactive" {
+		t.Fatalf("registry row carries namespace %q priority %q", q.Namespace, q.Priority)
+	}
+
+	res, err := b.Exec(fmt.Sprintf("cancel query %d", q.ID))
+	if err != nil {
+		t.Fatalf("cancel from session B: %v", err)
+	}
+	if !strings.Contains(res.Msg, "canceled") {
+		t.Fatalf("cancel result: %q", res.Msg)
+	}
+
+	done := make(chan error, 1)
+	go func() { _, err := p.Wait(); done <- err }()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("canceled statement succeeded")
+		}
+		if !strings.Contains(err.Error(), "canceled") {
+			t.Fatalf("canceled statement error = %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("canceled statement never returned")
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for recentState(q.ID) != introspect.StateCanceled {
+		if time.Now().After(deadline) {
+			t.Fatalf("terminal state = %q, want canceled", recentState(q.ID))
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	// A stays usable after the cancel.
+	if err := a.Ping(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCancelQueuedStatement cancels a statement that is still waiting in
+// the admission queue: it must be visible in the registry with phase
+// queued, abort out of the admission wait, and record a canceled terminal
+// state.
+func TestCancelQueuedStatement(t *testing.T) {
+	_, addr := startServer(t, ServerOptions{Slots: 1, QueueDepth: 4, Tenant: slowTenant(t, 2000, 2*time.Millisecond)})
+	c := dialT(t, addr, ClientOptions{})
+
+	running, err := c.Start("filter(S, slowpred(v) > 0)", Interactive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := findLive(t, c.SessionID(), "slowpred"); !ok {
+		t.Fatal("first statement never appeared in the registry")
+	}
+	// The slot is held, so this one parks in the admission queue.
+	queued, err := c.Start("filter(S, slowpred(v) > 1)", Interactive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, ok := findLive(t, c.SessionID(), "slowpred(v) > 1")
+	if !ok {
+		t.Fatal("queued statement never appeared in the registry")
+	}
+	if got := q.Phase; got != introspect.StateQueued {
+		t.Fatalf("queued statement phase = %q, want queued", got)
+	}
+
+	// The cancel statement must not wait behind the victim in the same
+	// admission queue, so issue it through a local executor — the registry
+	// (and thus CANCEL QUERY) is process-wide.
+	if _, err := core.Open().Exec(fmt.Sprintf("cancel query %d", q.ID)); err != nil {
+		t.Fatalf("cancel queued statement: %v", err)
+	}
+	if _, err := queued.Wait(); err == nil {
+		t.Fatal("canceled queued statement succeeded")
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for recentState(q.ID) != introspect.StateCanceled {
+		if time.Now().After(deadline) {
+			t.Fatalf("queued statement terminal state = %q, want canceled", recentState(q.ID))
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	running.Cancel()
+	_, _ = running.Wait()
+}
+
+// TestShedStatementsRecordTerminalState floods a 1-slot server and checks
+// shed statements neither vanish from telemetry nor leak: every statement
+// ends in a terminal registry state, rejections are recorded as shed with
+// an admission_shed event, and nothing stays live afterwards.
+func TestShedStatementsRecordTerminalState(t *testing.T) {
+	_, addr := startServer(t, ServerOptions{Slots: 1, QueueDepth: 1, Tenant: slowTenant(t, 400, time.Millisecond)})
+	c := dialT(t, addr, ClientOptions{})
+	shedBefore := introspect.Events().Total(introspect.EvAdmissionShed)
+
+	var pend []*Pending
+	var ids []uint64
+	for i := 0; i < 8; i++ {
+		p, err := c.Start("filter(S, slowpred(v) > 0)", Batch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pend = append(pend, p)
+	}
+	var busy int
+	for _, p := range pend {
+		if _, err := p.Wait(); errors.Is(err, ErrServerBusy) {
+			busy++
+		}
+	}
+	if busy == 0 {
+		t.Fatal("no server-busy rejections from 8 statements at 1 slot + depth 1")
+	}
+	if got := introspect.Events().Total(introspect.EvAdmissionShed); got < shedBefore+uint64(busy) {
+		t.Fatalf("admission_shed events = %d, want >= %d", got-shedBefore, busy)
+	}
+
+	// Every statement from this session reached a terminal state; none is
+	// still live in the registry.
+	for _, q := range introspect.Default().Snapshot() {
+		if q.Session == c.SessionID() {
+			t.Fatalf("statement still live after all Waits returned: %+v", q)
+		}
+	}
+	var shed int
+	for _, r := range introspect.Default().Recent() {
+		if r.Session == c.SessionID() {
+			ids = append(ids, r.ID)
+			if r.State == introspect.StateShed {
+				shed++
+			}
+		}
+	}
+	if shed < busy {
+		t.Fatalf("recent ring records %d shed statements, want >= %d (ids %v)", shed, busy, ids)
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"scidb/internal/array"
 	"scidb/internal/cluster"
 	"scidb/internal/core"
+	"scidb/internal/introspect"
 	"scidb/internal/obs"
 	"scidb/internal/storage"
 )
@@ -182,10 +183,15 @@ func (s *Server) ServeConn(conn net.Conn, br *bufio.Reader) {
 		return
 	}
 	id := s.nextSession.Add(1)
+	ns := namespace
+	if ns == "" {
+		ns = "default"
+	}
 	ss := &serverSession{
 		srv:      s,
 		id:       id,
 		name:     clientName,
+		ns:       ns,
 		pri:      pr,
 		conn:     conn,
 		br:       br,
@@ -264,6 +270,7 @@ type serverSession struct {
 	srv  *Server
 	id   uint64
 	name string
+	ns   string
 	pri  Priority
 	conn net.Conn
 	br   *bufio.Reader
@@ -368,7 +375,11 @@ func (ss *serverSession) prepare(reqID uint64, q *request) {
 }
 
 // runStatement executes one admitted statement and streams or returns its
-// result.
+// result. The statement registers in the live query registry before
+// admission — so queued statements are visible in SHOW QUERIES and
+// cancelable — and every exit path below records a terminal state
+// (shed/canceled/error/done); the deferred safety net guarantees the
+// record is never leaked even on a path added later.
 func (ss *serverSession) runStatement(ctx context.Context, cancel context.CancelFunc, reqID uint64, q *request) {
 	defer ss.srv.stmts.Done()
 	defer ss.srv.stmtCount.Add(-1)
@@ -378,15 +389,42 @@ func (ss *serverSession) runStatement(ctx context.Context, cancel context.Cancel
 		ss.inflightMu.Unlock()
 		cancel()
 	}()
+
+	sql := q.SQL
+	if sql == "" && q.Name != "" {
+		sql = "execute " + q.Name
+	}
+	iq := introspect.Default().Begin(sql, introspect.Origin{
+		Namespace: ss.ns, Session: ss.id, Priority: Priority(q.Priority).String(),
+	}, cancel)
+	iq.SetPhase(introspect.StateQueued)
+	ctx = introspect.ContextWithQuery(ctx, iq)
+	defer func() {
+		// Safety net for unforeseen exits; the first Finish wins, so the
+		// specific states recorded below are untouched.
+		if ctx.Err() != nil {
+			iq.Finish(introspect.StateCanceled)
+		} else {
+			iq.Finish(introspect.StateError)
+		}
+	}()
+
+	queued := time.Now()
 	if err := ss.srv.adm.Acquire(ctx, Priority(q.Priority)); err != nil {
 		if errors.Is(err, ErrServerBusy) {
+			iq.Finish(introspect.StateShed)
+			introspect.Emit(introspect.EvAdmissionShed, -1, "",
+				fmt.Sprintf("session %d: %s statement shed (queue full)", ss.id, Priority(q.Priority)))
 			ss.respond(reqID, &response{Status: statusBusy, Err: err.Error()})
 		} else {
+			iq.Finish(introspect.StateCanceled)
 			ss.respond(reqID, &response{Status: statusErr, Err: err.Error()})
 		}
 		return
 	}
 	defer ss.srv.adm.Release()
+	iq.SetQueueWait(time.Since(queued))
+	iq.SetPhase(introspect.StateRunning)
 
 	var res *core.Result
 	var err error
@@ -396,10 +434,16 @@ func (ss *serverSession) runStatement(ctx context.Context, cancel context.Cancel
 		res, err = ss.exec.ExecPrepared(ctx, q.Name, q.Params)
 	}
 	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			iq.Finish(introspect.StateCanceled)
+		} else {
+			iq.Finish(introspect.StateError)
+		}
 		ss.srv.errs.Inc()
 		ss.respond(reqID, &response{Status: statusErr, Err: err.Error()})
 		return
 	}
+	iq.Finish(introspect.StateDone)
 	if res.Array == nil {
 		ss.respond(reqID, &response{Kind: kindMsg, Msg: res.Msg})
 		return
